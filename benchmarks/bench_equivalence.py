@@ -1,0 +1,58 @@
+"""Experiment A1 companion — the cost of corpus-based equivalence checking.
+
+Equivalence of Regular XPath queries is EXPTIME-hard in theory; the
+practical harness trades completeness for a bounded-exhaustive sweep.  The
+series shows how the sweep cost scales with the exhaustive bound (tree
+counts grow as Catalan(n-1)·2ⁿ) and with query size.
+"""
+
+import random
+
+import pytest
+
+from repro.decision import check_node_equivalence, standard_corpus, verify_scheme
+from repro.decision.axioms import scheme_by_name
+from repro.xpath import parse_node
+from repro.xpath.random_exprs import ExprSampler
+
+LEFT = parse_node("<child[a]/right> or <child[b]>")
+RIGHT = parse_node("<child[(a and <right>) or b]>")
+
+
+@pytest.mark.parametrize("exhaustive", (3, 4, 5))
+def test_sweep_cost_by_exhaustive_bound(benchmark, exhaustive):
+    corpus = standard_corpus(exhaustive_size=exhaustive, random_count=5)
+    report = benchmark(lambda: check_node_equivalence(LEFT, RIGHT, corpus))
+    assert report is not None
+
+
+@pytest.mark.parametrize("budget", (4, 8, 16))
+def test_sweep_cost_by_query_size(benchmark, budget):
+    corpus = standard_corpus(exhaustive_size=4, random_count=5)
+    sampler = ExprSampler(rng=random.Random(budget))
+    expr = sampler.node(budget)
+    report = benchmark(lambda: check_node_equivalence(expr, expr, corpus))
+    assert report.equivalent_on_corpus
+
+
+@pytest.mark.parametrize("name", ("loeb-desc", "filter-absorb", "within-not"))
+def test_axiom_verification_cost(benchmark, name):
+    corpus = standard_corpus(exhaustive_size=3, random_count=5, max_random_size=12)
+    scheme = scheme_by_name(name)
+    report = benchmark(
+        lambda: verify_scheme(scheme, corpus, trials=2, rng=random.Random(0))
+    )
+    assert report.equivalent_on_corpus
+
+
+@pytest.mark.parametrize("budget", (4, 8, 12))
+def test_exact_downward_equivalence_cost(benchmark, budget):
+    """The exact procedure explores the reachable-state lattice — worst-case
+    exponential in the expression (EXPTIME territory), fast at these sizes."""
+    from repro.decision import exact_equivalent
+
+    sampler = ExprSampler(rng=random.Random(budget), downward_only=True)
+    left = sampler.node(budget)
+    right = sampler.node(budget)
+    result = benchmark(lambda: exact_equivalent(left, right))
+    assert result is None or result.size >= 1

@@ -1,0 +1,66 @@
+"""Experiment C1 — query evaluation scaling.
+
+Series: evaluation time of a fixed Regular XPath query as tree size grows,
+for (a) the optimized image/fixpoint engine and (b) the denotational
+reference semantics.  Expected shape: (a) grows roughly linearly in |T|,
+(b) at least quadratically — the gap that motivated Core XPath's isolation
+(Gottlob–Koch–Pichler O(|Q|·|T|) evaluation).
+"""
+
+import random
+
+import pytest
+
+from repro.trees import chain, random_tree
+from repro.xpath import Evaluator, parse_node, parse_path, path_pairs
+from repro.xpath.reference import node_set as reference_node_set
+
+QUERY = parse_node("<descendant[a and <right[b]>]> and not <child[not <child>]>")
+STAR_QUERY = parse_path("(child[a] | child[b]/right)*")
+
+SIZES = (128, 512, 2048)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_optimized_node_evaluation(benchmark, size):
+    tree = random_tree(size, rng=random.Random(size))
+    result = benchmark(lambda: Evaluator(tree).nodes(QUERY))
+    assert result is not None
+
+
+@pytest.mark.parametrize("size", (64, 128, 256))
+def test_reference_node_evaluation(benchmark, size):
+    # Reference semantics materializes O(n²) relations — keep sizes small.
+    tree = random_tree(size, rng=random.Random(size))
+    result = benchmark(lambda: reference_node_set(tree, QUERY))
+    assert result is not None
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_star_image_from_root(benchmark, size):
+    tree = random_tree(size, rng=random.Random(size * 3 + 1))
+    evaluator = Evaluator(tree)
+    result = benchmark(lambda: evaluator.image(STAR_QUERY, {0}))
+    assert result is not None
+
+
+@pytest.mark.parametrize("shape", ("chain", "comb", "bushy"))
+def test_shape_sensitivity(benchmark, shape, shaped_trees):
+    tree = shaped_trees[shape]
+    result = benchmark(lambda: Evaluator(tree).nodes(QUERY))
+    assert result is not None
+
+
+def test_deep_chain_star(benchmark):
+    tree = chain(4096, labels=("a", "b"))
+    q = parse_path("(child/child)*")
+    result = benchmark(lambda: Evaluator(tree).image(q, {0}))
+    assert len(result) == 2048
+
+
+@pytest.mark.parametrize("size", (64, 128))
+def test_full_relation_materialization(benchmark, size):
+    # pairs() is the O(n · image) fallback — quadratic by construction.
+    tree = random_tree(size, rng=random.Random(size + 9))
+    result = benchmark(lambda: path_pairs(tree, parse_path("descendant[a]")))
+    assert result is not None

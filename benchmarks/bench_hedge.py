@@ -1,0 +1,58 @@
+"""Experiment C4 — hedge automaton operations (the regular-language toolbox).
+
+Membership is linear-ish in |T|; determinization and the derived boolean
+operations pay the classical exponential in automaton size — the series
+shows the wall between "run it" and "reason about it".
+"""
+
+import random
+
+import pytest
+
+from repro.automata.examples import exists_label, label_count_mod, root_label
+from repro.trees import random_tree
+
+SIZES = (128, 512, 2048)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_membership_scaling(benchmark, size):
+    automaton = label_count_mod(("a", "b"), "a", 3, 0)
+    tree = random_tree(size, rng=random.Random(size))
+    result = benchmark(lambda: automaton.accepts(tree))
+    assert result in (True, False)
+
+
+@pytest.mark.parametrize("modulus", (2, 3, 4))
+def test_determinization_cost(benchmark, modulus):
+    automaton = label_count_mod(("a", "b"), "a", modulus, 0)
+    det = benchmark(automaton.determinize)
+    assert det.num_states >= 1
+
+
+def test_complement_roundtrip(benchmark):
+    automaton = exists_label(("a", "b"), "b")
+    result = benchmark(automaton.complement)
+    assert result is not None
+
+
+def test_intersection_cost(benchmark):
+    left = exists_label(("a", "b"), "b")
+    right = label_count_mod(("a", "b"), "a", 3, 1)
+    result = benchmark(lambda: left.intersection(right))
+    assert result.num_states == left.num_states * right.num_states
+
+
+def test_emptiness_with_witness(benchmark):
+    automaton = exists_label(("a", "b"), "b").intersection(
+        root_label(("a", "b"), "a")
+    )
+    witness = benchmark(automaton.find_tree)
+    assert witness is not None
+
+
+def test_equivalence_check(benchmark):
+    odd = label_count_mod(("a", "b"), "b", 2, 1)
+    not_even = label_count_mod(("a", "b"), "b", 2, 0).complement()
+    result = benchmark(lambda: odd.equivalent(not_even))
+    assert result

@@ -1,0 +1,59 @@
+"""Experiment C3b — FO(MTC) model-checking cost anatomy.
+
+Series: relational model-checking time as a function of (a) tree size for a
+fixed formula, (b) quantifier depth, (c) number of TC operators — the three
+knobs that the translation-vs-evaluation gap (C3) decomposes into.
+"""
+
+import random
+
+import pytest
+
+from repro.logic import ModelChecker, parse_formula
+from repro.trees import random_tree
+
+EXISTS_TOWER = {
+    1: "exists y1. child(x,y1)",
+    2: "exists y1. child(x,y1) & (exists y2. child(y1,y2))",
+    3: "exists y1. child(x,y1) & (exists y2. child(y1,y2) & (exists y3. child(y2,y3)))",
+}
+
+TC_FORMULAS = {
+    0: "exists y. child(x,y) & a(y)",
+    1: "exists y. tc[u,v](child(u,v))(x,y) & a(y)",
+    2: "exists y. tc[u,v](child(u,v) & (exists w. tc[p,q](right(p,q))(u,w)))(x,y) & a(y)",
+}
+
+
+@pytest.mark.parametrize("size", (16, 32, 64, 128))
+def test_size_scaling(benchmark, size):
+    tree = random_tree(size, rng=random.Random(size))
+    formula = parse_formula("exists y. tc[u,v](child(u,v) & a(v))(x,y) & leaf(y)")
+    result = benchmark(lambda: ModelChecker(tree).node_set(formula, "x"))
+    assert isinstance(result, set)
+
+
+@pytest.mark.parametrize("depth", sorted(EXISTS_TOWER))
+def test_quantifier_depth(benchmark, depth):
+    tree = random_tree(48, rng=random.Random(7))
+    formula = parse_formula(EXISTS_TOWER[depth])
+    result = benchmark(lambda: ModelChecker(tree).node_set(formula, "x"))
+    assert isinstance(result, set)
+
+
+@pytest.mark.parametrize("tc_count", sorted(TC_FORMULAS))
+def test_tc_count(benchmark, tc_count):
+    tree = random_tree(32, rng=random.Random(9))
+    formula = parse_formula(TC_FORMULAS[tc_count])
+    result = benchmark(lambda: ModelChecker(tree).node_set(formula, "x"))
+    assert isinstance(result, set)
+
+
+def test_checker_reuse_amortizes(benchmark):
+    """A ModelChecker memoizes per subformula; re-asking is near-free."""
+    tree = random_tree(64, rng=random.Random(3))
+    formula = parse_formula("exists y. tc[u,v](child(u,v))(x,y) & b(y)")
+    checker = ModelChecker(tree)
+    checker.node_set(formula, "x")  # warm
+    result = benchmark(lambda: checker.node_set(formula, "x"))
+    assert isinstance(result, set)

@@ -1,0 +1,55 @@
+"""Experiment C2b / T3 — the cost of nesting.
+
+Nested subtree tests multiply membership cost by roughly one factor of |T|
+per nesting level in our direct evaluator (each node precomputes its
+sub-automaton bits).  The series shows depth-0/1/2 on the same trees, plus
+the compiled T3 automata from realistic queries.
+"""
+
+import random
+
+import pytest
+
+from repro.automata import random_nested_twa
+from repro.translations import compile_node_expr
+from repro.trees import random_tree
+from repro.xpath import parse_node
+
+SIZES = (32, 128, 512)
+
+
+@pytest.mark.parametrize("depth", (0, 1, 2))
+def test_nested_depth_cost(benchmark, depth):
+    automaton = random_nested_twa(depth=depth, num_subs=1, rng=random.Random(4))
+    tree = random_tree(64, rng=random.Random(1))
+    result = benchmark(lambda: automaton.accepts(tree))
+    assert result in (True, False)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_nested_size_scaling(benchmark, size):
+    automaton = random_nested_twa(depth=1, num_subs=2, rng=random.Random(6))
+    tree = random_tree(size, rng=random.Random(size))
+    result = benchmark(lambda: automaton.accepts(tree))
+    assert result in (True, False)
+
+
+COMPILED = {
+    "flat": parse_node("<descendant[b]>"),
+    "one-filter": parse_node("<child[<child[a]>]>"),
+    "negated": parse_node("not <child[not <child[a]>]>"),
+}
+
+
+@pytest.mark.parametrize("name", sorted(COMPILED))
+def test_compiled_query_membership(benchmark, name):
+    automaton = compile_node_expr(COMPILED[name], ("a", "b"))
+    tree = random_tree(128, rng=random.Random(8))
+    result = benchmark(lambda: automaton.accepts(tree))
+    assert result in (True, False)
+
+
+def test_compilation_time(benchmark):
+    expr = parse_node("not <child[not <(child[a])*[b and leaf]>]> and W(<descendant>)")
+    automaton = benchmark(lambda: compile_node_expr(expr, ("a", "b")))
+    assert automaton.depth >= 2

@@ -1,0 +1,81 @@
+"""Experiment T4b — the cost of the effective regularity construction.
+
+Series: (a) bottom-up-acceptor membership vs the other two membership
+algorithms; (b) exact emptiness / equivalence by state exploration as the
+walker grows — the practical face of the exponential in T4's proof.
+"""
+
+import random
+
+import pytest
+
+from repro.automata import (
+    Move,
+    TwaBuilder,
+    TwaTreeAcceptor,
+    behavior_accepts,
+    nested_twa_language_equivalent,
+    random_twa,
+    twa_find_tree,
+    twa_language_equivalent,
+)
+from repro.translations import compile_node_expr
+from repro.trees import random_tree
+from repro.xpath import parse_node
+
+
+def dfs_walker():
+    b = TwaBuilder(("a", "b"), 3)
+    b.add(0, is_leaf=False, move=Move.DOWN_FIRST, target=0)
+    b.add(0, label="b", is_leaf=True, move=Move.STAY, target=2)
+    b.add(0, label="a", is_leaf=True, move=Move.STAY, target=1)
+    b.add(1, is_last=False, move=Move.RIGHT, target=0)
+    b.add(1, is_last=True, is_root=False, move=Move.UP, target=1)
+    return b.build(initial=0, accepting={2})
+
+
+@pytest.mark.parametrize("size", (128, 512, 2048))
+def test_acceptor_membership(benchmark, size):
+    acceptor = TwaTreeAcceptor(dfs_walker(), ("a", "b"))
+    tree = random_tree(size, alphabet=("a",), rng=random.Random(size))
+    result = benchmark(lambda: acceptor.accepts(tree))
+    assert result is False  # no b-leaf in an all-a tree
+
+
+@pytest.mark.parametrize("size", (128, 512, 2048))
+def test_config_membership_same_workload(benchmark, size):
+    automaton = dfs_walker()
+    tree = random_tree(size, alphabet=("a",), rng=random.Random(size))
+    result = benchmark(lambda: automaton.accepts(tree))
+    assert result is False
+
+
+@pytest.mark.parametrize("states", (1, 2, 3))
+def test_exact_emptiness_exploration(benchmark, states):
+    automaton = random_twa(num_states=states, rng=random.Random(7), density=0.4)
+
+    def run():
+        return twa_find_tree(automaton, ("a", "b"))
+
+    result = benchmark(run)
+    assert result is None or result.size >= 1
+
+
+def test_exact_equivalence_dfs_vs_guesser(benchmark):
+    dfs = dfs_walker()
+    g = TwaBuilder(("a", "b"), 2)
+    g.add(0, label="b", is_leaf=True, move=Move.STAY, target=1)
+    g.add(0, move=Move.DOWN_FIRST, target=0)
+    g.add(0, move=Move.RIGHT, target=0)
+    guesser = g.build(initial=0, accepting={1})
+    result = benchmark(lambda: twa_language_equivalent(dfs, guesser, ("a", "b")))
+    assert result
+
+
+def test_exact_nested_equivalence_compiled_queries(benchmark):
+    left = compile_node_expr(parse_node("W(<descendant[b]>)"), ("a", "b"))
+    right = compile_node_expr(parse_node("<descendant[b]>"), ("a", "b"))
+    result = benchmark(
+        lambda: nested_twa_language_equivalent(left, right, ("a", "b"))
+    )
+    assert result

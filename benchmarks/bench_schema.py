@@ -1,0 +1,71 @@
+"""Experiment E2 — the cost of schema-aware exact analysis.
+
+Series: schema-satisfiability exploration time as the DTD grows (more
+element declarations ⇒ bigger joint state space) and as the query grows.
+"""
+
+import random
+
+import pytest
+
+from repro.automata import Dtd
+from repro.decision import exact_satisfiable_under
+from repro.xpath import parse_node
+from repro.xpath.random_exprs import ExprSampler
+
+BIBLIO = Dtd(
+    root="bib",
+    content={
+        "bib": "(conf | journal)*",
+        "conf": "paper+",
+        "journal": "paper*",
+        "paper": "title, author+, award?",
+        "title": "EMPTY",
+        "author": "EMPTY",
+        "award": "EMPTY",
+    },
+)
+
+
+def chain_dtd(depth: int) -> Dtd:
+    """A linear DTD: e0 → e1 → ... → e_depth (leaf)."""
+    content = {f"e{i}": f"e{i + 1}" for i in range(depth)}
+    content[f"e{depth}"] = "EMPTY"
+    return Dtd(root="e0", content=content)
+
+
+@pytest.mark.parametrize("query", ["award", "paper and not <child[award]>"])
+def test_biblio_satisfiability(benchmark, query):
+    expr = parse_node(query)
+    result = benchmark(lambda: exact_satisfiable_under(expr, BIBLIO))
+    assert result is None or result.size >= 1
+
+
+@pytest.mark.parametrize("depth", (2, 4, 8))
+def test_dtd_depth_scaling(benchmark, depth):
+    schema = chain_dtd(depth)
+    expr = parse_node(f"e{depth}")
+    result = benchmark(lambda: exact_satisfiable_under(expr, schema))
+    assert result is not None and result.height == depth
+
+
+@pytest.mark.parametrize("budget", (3, 6))
+def test_query_size_scaling(benchmark, budget):
+    sampler = ExprSampler(
+        alphabet=BIBLIO.elements, rng=random.Random(budget), downward_only=True
+    )
+    expr = sampler.node(budget)
+    result = benchmark(lambda: exact_satisfiable_under(expr, BIBLIO))
+    assert result is None or result.size >= 1
+
+
+def test_validation_cost(benchmark):
+    from repro.trees import parse_xml
+
+    document = parse_xml(
+        "<bib>"
+        + "<conf>" + "<paper><title/><author/><award/></paper>" * 20 + "</conf>" * 1
+        + "</bib>"
+    )
+    result = benchmark(lambda: BIBLIO.validate(document))
+    assert result is None

@@ -1,0 +1,61 @@
+"""Experiment T5 — separation evidence series.
+
+Two curves that the separation argument plays against each other:
+
+* **behavior saturation**: the number of distinct subtree behaviors a fixed
+  TWA realizes on a growing tree family *saturates* (it is bounded by a
+  function of |Q| alone);
+* **regular demand**: the hedge automata for ``leaf count ≡ 0 (mod m)``
+  need m states — the family's demand for distinguishable subtree classes
+  grows without bound.
+
+Plus the EF-game cost curve for the FO-side parity result.
+"""
+
+import random
+
+import pytest
+
+from repro.automata import distinct_behavior_count, random_twa
+from repro.automata.examples import leaf_count_mod
+from repro.logic.ef_games import duplicator_wins
+from repro.trees import chain, star
+
+
+@pytest.mark.parametrize("family_size", (8, 16, 32))
+def test_behavior_counting_cost(benchmark, family_size):
+    automaton = random_twa(alphabet=("a",), num_states=3, rng=random.Random(5))
+    trees = [chain(n, labels=("a",)) for n in range(1, family_size + 1)]
+    count = benchmark(lambda: distinct_behavior_count(automaton, trees))
+    assert count <= family_size
+
+
+def test_behavior_saturation_series():
+    automaton = random_twa(alphabet=("a",), num_states=2, rng=random.Random(3))
+    series = []
+    for upper in (4, 8, 16, 32):
+        trees = [chain(n, labels=("a",)) for n in range(1, upper + 1)]
+        series.append((upper, distinct_behavior_count(automaton, trees)))
+    print("\nT5 behavior saturation (family size -> distinct behaviors):", series)
+    assert series[-1][1] == series[-2][1]  # saturated
+
+
+def test_regular_demand_series():
+    series = [(m, leaf_count_mod(("a",), m, 0).num_states) for m in (2, 3, 5, 8)]
+    print("\nT5 regular demand (modulus -> states needed):", series)
+    assert [s for __, s in series] == [2, 3, 5, 8]
+
+
+@pytest.mark.parametrize("rounds", (1, 2))
+def test_ef_game_cost(benchmark, rounds):
+    left = chain(2**rounds + 2)
+    right = chain(2**rounds + 3)
+    result = benchmark(
+        lambda: duplicator_wins(left, right, rounds, signature=("child",))
+    )
+    assert result  # duplicator survives: parity is not rank-r definable
+
+
+def test_ef_game_star_fanout(benchmark):
+    result = benchmark(lambda: duplicator_wins(star(6), star(7), 2, signature=("child",)))
+    assert isinstance(result, bool)

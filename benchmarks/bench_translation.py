@@ -1,0 +1,89 @@
+"""Experiment C3 — translation blowup and the evaluation-cost gap.
+
+Two series:
+
+* **size**: |FO(MTC) output| as a function of |XPath input| for the T1
+  translation — expected polynomial (roughly linear, with W relativisation
+  multiplying by a constant guard factor);
+* **cost gap**: answering the *same* query by direct XPath evaluation vs by
+  model checking its translation — the practical moral of having a
+  navigational language at all.
+"""
+
+import random
+
+import pytest
+
+from repro.logic import ModelChecker
+from repro.translations import mtc_to_node_expr, xpath_to_mtc
+from repro.trees import random_tree
+from repro.xpath import Evaluator, parse_node
+from repro.xpath.fragments import Dialect
+from repro.xpath.random_exprs import ExprSampler
+
+QUERY = parse_node("<descendant[a and <child[b]>]>")
+
+
+@pytest.mark.parametrize("budget", (4, 8, 16, 32))
+def test_translation_time_by_query_size(benchmark, budget):
+    sampler = ExprSampler(rng=random.Random(budget), dialect=Dialect.REGULAR_W)
+    expr = sampler.node(budget)
+    formula = benchmark(lambda: xpath_to_mtc(expr))
+    assert formula.size >= 1
+
+
+def test_translation_size_growth():
+    """Record the size series (printed into the benchmark log)."""
+    rows = []
+    for budget in (4, 8, 16, 32, 64):
+        sampler = ExprSampler(rng=random.Random(1), dialect=Dialect.REGULAR_W)
+        expr = sampler.node(budget)
+        formula = xpath_to_mtc(expr)
+        rows.append((expr.size, formula.size))
+    print("\nC3 size series (|xpath| -> |fo(mtc)|):", rows)
+    # Polynomial sanity: output within a generous constant factor cubed.
+    for in_size, out_size in rows:
+        assert out_size <= 40 * in_size**2
+
+
+@pytest.mark.parametrize("size", (16, 32, 64))
+def test_direct_xpath_evaluation(benchmark, size):
+    tree = random_tree(size, rng=random.Random(size))
+    result = benchmark(lambda: Evaluator(tree).nodes(QUERY))
+    assert result is not None
+
+
+@pytest.mark.parametrize("size", (16, 32, 64))
+def test_model_checking_the_translation(benchmark, size):
+    tree = random_tree(size, rng=random.Random(size))
+    formula = xpath_to_mtc(QUERY)
+    result = benchmark(lambda: ModelChecker(tree).node_set(formula, "x"))
+    assert result is not None
+
+
+def test_reverse_translation_time(benchmark):
+    formula = xpath_to_mtc(parse_node("<child[a]> and not <descendant[b and leaf]>"))
+    expr = benchmark(lambda: mtc_to_node_expr(formula, "x"))
+    assert expr is not None
+
+
+def test_fo2_translation(benchmark):
+    """The Marx–de Rijke two-variable translation (via modal normal form)."""
+    from repro.translations import xpath_to_fo2
+
+    expr = parse_node("<child[<right[<parent[b]>]> and not <descendant[a]>]>")
+    formula = benchmark(lambda: xpath_to_fo2(expr))
+    from repro.translations import variables_used
+
+    assert len(variables_used(formula)) <= 2
+
+
+def test_exact_path_equivalence_via_marking(benchmark):
+    """The marking reduction doubles the alphabet; still fast at this size."""
+    from repro.decision import exact_path_equivalent
+    from repro.xpath import parse_path
+
+    left = parse_path("child/descendant_or_self")
+    right = parse_path("descendant")
+    result = benchmark(lambda: exact_path_equivalent(left, right))
+    assert result is None

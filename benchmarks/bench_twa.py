@@ -1,0 +1,51 @@
+"""Experiment C2 — TWA membership: config-graph vs bottom-up behaviors.
+
+Both algorithms are near-linear in |T| for fixed |Q|; the behavior
+algorithm pays a |Q|²-ish constant for its summaries but is the one that
+generalizes to language-level reasoning (T4).  The series reports both on
+the same automata/trees.
+"""
+
+import random
+
+import pytest
+
+from repro.automata import behavior_accepts, random_twa
+from repro.trees import chain, random_tree
+
+SIZES = (128, 512, 2048)
+
+
+def make_automaton(states=4, seed=11):
+    return random_twa(num_states=states, rng=random.Random(seed), density=0.7)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_config_graph_membership(benchmark, size):
+    automaton = make_automaton()
+    tree = random_tree(size, rng=random.Random(size))
+    result = benchmark(lambda: automaton.accepts(tree))
+    assert result in (True, False)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_behavior_membership(benchmark, size):
+    automaton = make_automaton()
+    tree = random_tree(size, rng=random.Random(size))
+    result = benchmark(lambda: behavior_accepts(automaton, tree))
+    assert result in (True, False)
+
+
+@pytest.mark.parametrize("states", (2, 4, 8))
+def test_behavior_state_scaling(benchmark, states):
+    automaton = make_automaton(states=states, seed=5)
+    tree = random_tree(512, rng=random.Random(0))
+    result = benchmark(lambda: behavior_accepts(automaton, tree))
+    assert result in (True, False)
+
+
+def test_deep_chain_walk(benchmark):
+    automaton = make_automaton(seed=3)
+    tree = chain(4096, labels=("a", "b"))
+    result = benchmark(lambda: automaton.accepts(tree))
+    assert result in (True, False)

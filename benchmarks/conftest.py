@@ -1,0 +1,33 @@
+"""Shared benchmark workloads.
+
+Each ``bench_*.py`` module regenerates one experiment row/series from
+EXPERIMENTS.md; run them with::
+
+    pytest benchmarks/ --benchmark-only
+
+The sizes are laptop-scale by design: what the experiments measure is the
+*shape* of the curves (linear vs quadratic, saturation vs growth), not
+absolute numbers.
+"""
+
+import random
+
+import pytest
+
+from repro.trees import chain, comb, random_tree
+
+
+@pytest.fixture(scope="session")
+def workload_trees():
+    """Size-graded random trees used across the evaluation benchmarks."""
+    rng = random.Random(2008)
+    return {size: random_tree(size, rng=rng) for size in (128, 512, 2048)}
+
+
+@pytest.fixture(scope="session")
+def shaped_trees():
+    return {
+        "chain": chain(1024, labels=("a", "b")),
+        "comb": comb(512, "a", "b"),
+        "bushy": random_tree(1024, rng=random.Random(7)),
+    }

@@ -1,0 +1,124 @@
+"""Hands-on tour of the automata layer: walkers, nesting, hedge algebra.
+
+Builds the classic deterministic DFS walker, lifts it into a nested TWA
+guard, and closes with the hedge-automaton decision toolbox (boolean
+operations, emptiness with witness extraction, containment).
+
+Run with::
+
+    python examples/automata_playground.py
+"""
+
+import random
+
+from repro.automata import Move, NestedTWA, TwaBuilder, random_twa
+from repro.automata.nested import GuardedTransition
+from repro.automata.examples import exists_label, label_count_mod, root_label
+from repro.automata.search import swap_preserves_acceptance
+from repro.trees import Tree, parse_xml, random_tree, star
+
+
+def build_dfs_walker() -> NestedTWA:
+    """Deterministic depth-first search for a b-labelled leaf.
+
+    State 0: descend; state 1: climb looking for a right sibling; state 2:
+    found.  This is the textbook witness that deterministic walkers *can*
+    systematically traverse (unlike the memoryless folklore fear) — the
+    first/last flags are what make DFS possible.
+    """
+    b = TwaBuilder(("a", "b"), 3)
+    b.add(0, is_leaf=False, move=Move.DOWN_FIRST, target=0)
+    b.add(0, label="b", is_leaf=True, move=Move.STAY, target=2)
+    b.add(0, label="a", is_leaf=True, move=Move.STAY, target=1)
+    b.add(1, is_last=False, move=Move.RIGHT, target=0)
+    b.add(1, is_last=True, is_root=False, move=Move.UP, target=1)
+    return NestedTWA.from_twa(b.build(initial=0, accepting={2}))
+
+
+def main() -> None:
+    print("=== A deterministic DFS walker ===")
+    dfs = build_dfs_walker()
+    samples = [
+        Tree.build(("a", ["a", ("a", ["b"]), "a"])),
+        Tree.build(("a", ["a", ("a", ["a"]), "a"])),
+        Tree.build("b"),
+    ]
+    for tree in samples:
+        print(f"  {str(tree.to_shape()):34s} has b-leaf: {dfs.accepts(tree)}")
+    print()
+
+    print("=== Nesting: 'every child subtree contains a b-leaf' ===")
+    # Walk to each child is unnecessary: one guarded transition per child
+    # would need walking anyway — instead express it as ¬∃child(¬test):
+    # move down, nondeterministically pick any child, and demand the
+    # *negative* guard; accept at top iff no child fails.  Simplest nested
+    # rendering: top-level automaton that accepts iff the "some child
+    # subtree lacks a b-leaf" automaton rejects.
+    picker_transitions = {}
+    builder = TwaBuilder(("a", "b"), 1)
+    for obs in builder.observations(is_leaf=False):
+        picker_transitions[(0, obs)] = frozenset(
+            {GuardedTransition(frozenset(), Move.DOWN_FIRST, 1)}
+        )
+    for obs in builder.observations():
+        existing = picker_transitions.get((1, obs), frozenset())
+        picker_transitions[(1, obs)] = existing | frozenset(
+            {
+                GuardedTransition(frozenset(), Move.RIGHT, 1),
+                GuardedTransition(frozenset({(0, False)}), Move.STAY, 2),
+            }
+        )
+    some_child_fails = NestedTWA(3, 0, frozenset({2}), picker_transitions, (dfs,))
+
+    top_transitions = {}
+    for obs in builder.observations():
+        top_transitions[(0, obs)] = frozenset(
+            {GuardedTransition(frozenset({(0, False)}), Move.STAY, 1)}
+        )
+    every_child_ok = NestedTWA(2, 0, frozenset({1}), top_transitions, (some_child_fails,))
+    print(f"  nesting depth: {every_child_ok.depth}")
+    for tree in [
+        Tree.build(("a", [("a", ["b"]), ("a", ["b", "a"])])),
+        Tree.build(("a", [("a", ["b"]), ("a", ["a"])])),
+        Tree.build("a"),  # vacuously true
+    ]:
+        print(f"  {str(tree.to_shape()):34s} -> {every_child_ok.accepts(tree)}")
+    print()
+
+    print("=== The swap lemma in action ===")
+    walker = random_twa(alphabet=("a", "b"), num_states=2, rng=random.Random(7))
+    tree = star(5, root_label="a", leaf_label="b")
+    verdict = swap_preserves_acceptance(walker, tree, 2, 3)
+    print("  equal-behavior leaves of a star are interchangeable:", verdict)
+    print()
+
+    print("=== Hedge automata: the decision toolbox ===")
+    some_b = exists_label(("a", "b"), "b")
+    root_a = root_label(("a", "b"), "a")
+    even_a = label_count_mod(("a", "b"), "a", 2, 0)
+
+    both = some_b.intersection(root_a)
+    print(f"  'some b AND root a' empty? {both.is_empty()}")
+    witness = both.find_tree()
+    print(f"  witness: {witness.to_shape()}")
+    print(f"  'some b' contains 'some b AND root a'? {some_b.contains(both)}")
+    print(f"  converse containment? {both.contains(some_b)}")
+
+    odd_a = label_count_mod(("a", "b"), "a", 2, 1)
+    print(f"  'even #a' == complement of 'odd #a'? "
+          f"{even_a.equivalent(odd_a.complement())}")
+
+    # Membership scales to big documents.
+    big = random_tree(5000, rng=random.Random(1))
+    print(f"  membership on a 5000-node document: even #a = {even_a.accepts(big)}"
+          f" (true count parity: {big.labels.count('a') % 2 == 0})")
+    print()
+
+    print("=== From XML straight to automata ===")
+    doc = parse_xml("<library><shelf><book/><book/></shelf><shelf/></library>")
+    lang = exists_label(tuple(sorted(doc.alphabet)), "book")
+    print(f"  document contains a <book>: {lang.accepts(doc)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Static analysis for tree queries: exact containment and satisfiability.
+
+Query containment is the static-analysis workhorse of the XPath literature
+(view-based rewriting, access control, schema checks).  For the *downward*
+fragment this library decides it **exactly** — a `None` answer is a theorem
+over all trees of the alphabet, and every non-containment comes with a
+concrete counterexample document.
+
+Run with::
+
+    python examples/containment_checker.py
+"""
+
+from repro.decision import exact_contained, exact_equivalent, exact_satisfiable
+from repro.trees import to_xml
+from repro.xpath import parse_node
+
+CONTAINMENT_CLAIMS = [
+    # (small, large, expectation)
+    ("<child[a]>", "<descendant[a]>", True),
+    ("<descendant[a]>", "<child[a]>", False),
+    ("<child[a and leaf]>", "<child[a]>", True),
+    ("<(child[a])+[b]>", "<descendant[b]>", True),
+    ("<descendant[b]>", "<(child[a])+[b]>", False),
+    ("W(<descendant[b and leaf]>)", "<descendant[b]>", True),
+    ("not <child>", "not <descendant>", True),
+]
+
+EQUIVALENCE_CLAIMS = [
+    ("W(<descendant[b]>)", "<descendant[b]>", True),
+    ("<(child/child)*[a]>", "<descendant_or_self[a]>", False),
+    ("<(child[a])*[b]>", "b or <child[a and <(child[a])*[b]>]>", True),
+    # Over the two-letter alphabet, "every child is an a" is the same as
+    # "there is no b-child" — the checker proves alphabet-relative theorems.
+    ("not <child[not a]>", "not <child[b]>", True),
+]
+
+SATISFIABILITY_CLAIMS = [
+    ("<child[a]> and <child[b]> and leaf", False),
+    ("<child[a]> and <child[b]> and not a", True),
+    ("W(<(child/child)+[a]>) and b", True),
+    ("a and b", False),  # one label per node: the unique-labelling model
+]
+
+
+def show_tree(tree) -> str:
+    return to_xml(tree).strip()
+
+
+def main() -> None:
+    print("=== Exact containment (downward fragment, alphabet {a, b}) ===\n")
+    for small, large, expected in CONTAINMENT_CLAIMS:
+        witness = exact_contained(parse_node(small), parse_node(large))
+        holds = witness is None
+        status = "PROVED" if holds else "REFUTED"
+        mark = "" if holds == expected else "  << UNEXPECTED"
+        print(f"  {small}  ⊑  {large}:  {status}{mark}")
+        if witness is not None:
+            print(f"      counterexample document: {show_tree(witness)}")
+    print()
+
+    print("=== Exact equivalence ===\n")
+    for left, right, expected in EQUIVALENCE_CLAIMS:
+        witness = exact_equivalent(parse_node(left), parse_node(right))
+        holds = witness is None
+        status = "THEOREM" if holds else "REFUTED"
+        mark = "" if holds == expected else "  << UNEXPECTED"
+        print(f"  {left}  ≈  {right}:  {status}{mark}")
+        if witness is not None:
+            print(f"      distinguishing document: {show_tree(witness)}")
+    print()
+
+    print("=== Exact satisfiability ===\n")
+    for text, expected in SATISFIABILITY_CLAIMS:
+        witness = exact_satisfiable(parse_node(text))
+        sat = witness is not None
+        mark = "" if sat == expected else "  << UNEXPECTED"
+        if sat:
+            print(f"  {text}:  SATISFIABLE{mark}")
+            print(f"      witness: {show_tree(witness)}")
+        else:
+            print(f"  {text}:  UNSATISFIABLE{mark}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,141 @@
+"""End-to-end case study: a synthetic bibliography corpus under load.
+
+Generates a DBLP-flavoured document (venues → papers → authors/title), runs
+a realistic navigational workload through the optimizer and the evaluator,
+validates against a DTD, and answers static-analysis questions — both
+unconstrained and *relative to the schema* — with the exact decision
+procedures.  This is the "downstream user" scenario: the library as an XML
+query engine with a verified rewriter and a schema-aware containment
+checker.
+
+Run with::
+
+    python examples/document_workload.py [size]
+"""
+
+import random
+import sys
+import time
+
+from repro import Query, parse_xml, to_xml
+from repro.automata import Dtd
+from repro.decision import (
+    exact_contained,
+    exact_contained_under,
+    exact_satisfiable,
+    exact_satisfiable_under,
+)
+from repro.xpath import Evaluator, is_downward
+
+SCHEMA = Dtd(
+    root="bibliography",
+    content={
+        "bibliography": "(conference | journal)*",
+        "conference": "paper+",
+        "journal": "paper*",
+        "paper": "title, author+, award?, cites?",
+        "cites": "paper+",
+        "title": "EMPTY",
+        "author": "EMPTY",
+        "award": "EMPTY",
+    },
+)
+
+
+def synthesize_bibliography(venues: int, rng: random.Random) -> str:
+    """A random bibliography document as XML text."""
+    parts = ["<bibliography>"]
+    for __ in range(venues):
+        kind = rng.choice(["conference", "journal"])
+        parts.append(f"<{kind}>")
+        for __ in range(rng.randint(1, 6)):
+            parts.append("<paper>")
+            parts.append("<title/>")
+            for __ in range(rng.randint(1, 4)):
+                parts.append("<author/>")
+            if rng.random() < 0.3:
+                parts.append("<award/>")
+            if rng.random() < 0.5:
+                parts.append("<cites><paper><title/><author/></paper></cites>")
+            parts.append("</paper>")
+        parts.append(f"</{kind}>")
+    parts.append("</bibliography>")
+    return "".join(parts)
+
+
+WORKLOAD = [
+    ("papers with an award", "descendant[paper][<child[award]>]"),
+    ("single-author papers", "descendant[paper][<child[author]> and not <child[author]/right[author]>]"),
+    ("conference papers citing something", "child[conference]/child[paper][<descendant[cites]>]"),
+    ("venues with only awarded papers", "child[not <child[paper][not <child[award]>]>]"),
+    ("cited titles", "descendant[cites]/descendant[title]"),
+]
+
+ANALYSIS = [
+    ("awarded ⊑ has-author?", "<child[award]> and <child[author]>", "<child[author]>"),
+    ("cites-with-title ⊑ cites?", "<child[cites][<descendant[title]>]>", "<child[cites]>"),
+]
+
+
+def main() -> None:
+    size = int(sys.argv[1]) if len(sys.argv) > 1 else 60
+    rng = random.Random(2008)
+    document = synthesize_bibliography(size, rng)
+    tree = parse_xml(document)
+    print(f"Synthesized a bibliography with {tree.size} nodes "
+          f"({len(tree.alphabet)} distinct tags).\n")
+
+    evaluator = Evaluator(tree)
+    print(f"{'workload query':44s} {'hits':>5s} {'raw ms':>8s} {'opt ms':>8s}")
+    for name, text in WORKLOAD:
+        query = Query.path(text)
+        optimized = query.simplify()
+        start = time.perf_counter()
+        raw_hits = evaluator.image(query.expr, {0})
+        raw_ms = (time.perf_counter() - start) * 1000
+        start = time.perf_counter()
+        opt_hits = evaluator.image(optimized.expr, {0})
+        opt_ms = (time.perf_counter() - start) * 1000
+        assert raw_hits == opt_hits, "optimizer changed the answer!"
+        print(f"{name:44s} {len(raw_hits):5d} {raw_ms:8.2f} {opt_ms:8.2f}")
+    print()
+
+    alphabet = tuple(sorted(tree.alphabet))
+    print("Static analysis over the document vocabulary:")
+    for name, small, large in ANALYSIS:
+        witness = exact_contained(
+            Query.node(small).expr, Query.node(large).expr, alphabet
+        )
+        verdict = "holds (proved)" if witness is None else "fails"
+        print(f"  {name:40s} {verdict}")
+        if witness is not None:
+            print(f"    counterexample: {to_xml(witness)}")
+
+    impossible = Query.node("<child[award]> and leaf")
+    assert is_downward(impossible.expr)
+    witness = exact_satisfiable(impossible.expr, alphabet)
+    print(f"  'awarded leaf' satisfiable?             "
+          f"{'yes' if witness else 'no (proved unsatisfiable)'}")
+    print()
+
+    print("Schema-aware analysis (relative to the bibliography DTD):")
+    violation = SCHEMA.validate(tree)
+    print(f"  document conforms to the DTD:           "
+          f"{'yes' if violation is None else violation}")
+    authorless = Query.node("paper and not <child[author]>")
+    general = exact_satisfiable(authorless.expr, SCHEMA.elements)
+    under = exact_satisfiable_under(authorless.expr, SCHEMA)
+    print(f"  'authorless paper': satisfiable in general? "
+          f"{'yes' if general else 'no'}; under the DTD? "
+          f"{'yes' if under else 'no (proved impossible)'}")
+    small = Query.node("<child[award]>")
+    large = Query.node("<child[title]>")
+    schema_holds = exact_contained_under(small.expr, large.expr, SCHEMA) is None
+    general_holds = exact_contained(small.expr, large.expr, SCHEMA.elements) is None
+    print(f"  award-bearing ⊑ title-bearing: general? "
+          f"{'holds' if general_holds else 'fails'}; under the DTD? "
+          f"{'holds (proved)' if schema_holds else 'fails'}")
+
+
+if __name__ == "__main__":
+    main()

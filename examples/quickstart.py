@@ -1,0 +1,86 @@
+"""Quickstart: parse an XML document, query it, and walk the paper's diagram.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import Query, parse_xml, to_xml
+from repro.trees import XmlReadOptions
+
+DOCUMENT = """\
+<talk date="15-Dec-2010">
+  <speaker uni="Leicester">T. Litak</speaker>
+  <title><i>XPath</i> from a Logical Point of View</title>
+  <location><i>ATT LT3</i><b>Leicester</b></location>
+</talk>
+"""
+
+
+def main() -> None:
+    # 1. XML in: the navigational abstraction keeps element structure only
+    #    (attributes and text can optionally become synthetic children).
+    tree = parse_xml(DOCUMENT)
+    print("The document as a labelled sibling-ordered tree:")
+    print(tree.pretty())
+    print()
+
+    rich = parse_xml(DOCUMENT, XmlReadOptions(attributes_as_children=True))
+    print(f"With attributes as children it has {rich.size} nodes "
+          f"(plain: {tree.size}).")
+    print()
+
+    # 2. Queries: node expressions select nodes, path expressions select
+    #    pairs/reachable nodes.
+    has_italic = Query.node("<child[i]>")
+    print(f"Nodes with an <i> child {has_italic}:")
+    for node_id in sorted(has_italic.evaluate(tree)):
+        print(f"  node {node_id} = <{tree.labels[node_id]}>")
+    print()
+
+    deep_italics = Query.path("descendant[i]")
+    print(f"descendant[i] from the root selects: "
+          f"{sorted(deep_italics.select(tree))}")
+    print()
+
+    # 3. The dialect ladder and the paper's translations.
+    regular = Query.node("W(<descendant[b]>) and not <right>")
+    print(f"Query:     {regular}")
+    print(f"Dialect:   {regular.dialect.value}")
+    print(f"FO(MTC):   {regular.to_fo_mtc()}")
+    print()
+
+    # 4. Downward queries compile to nested tree walking automata (T3).
+    downward = Query.node("<descendant[b]>")
+    automaton = downward.to_nested_twa(tree.alphabet)
+    accepted = sorted(
+        v for v in tree.node_ids if automaton.accepts(tree, scope=v)
+    )
+    print(f"{downward} as a nested TWA (depth {automaton.depth}) "
+          f"accepts at nodes {accepted}")
+    print(f"...which matches direct evaluation: "
+          f"{sorted(downward.evaluate(tree))}")
+    print()
+
+    # 5. Equivalence checking (bounded-exhaustive + randomized corpus).
+    left = Query.node("W(<descendant[b]>)")
+    right = Query.node("<descendant[b]>")
+    print(f"{left}  ≟  {right}")
+    report = left.compare(right)
+    print(f"  equivalent on the corpus ({report.trees_checked} trees, "
+          f"exhaustive to size {report.exhaustive_to}): "
+          f"{report.equivalent_on_corpus}")
+
+    wrong = Query.node("<following_sibling[b]>")
+    report = Query.node("W(<following_sibling[b]>)").compare(wrong)
+    print(f"W(<following_sibling[b]>)  ≟  {wrong}")
+    print(f"  counterexample: {report.counterexample}")
+    print()
+
+    # 6. And back out to XML.
+    print("Serialized back:")
+    print(to_xml(tree, indent="  "))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Setup shim: enables legacy editable installs on environments without
+the `wheel` package (metadata lives in pyproject.toml)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,47 @@
+"""repro — an executable reproduction of *"XPath, transitive closure logic,
+and nested tree walking automata"* (ten Cate & Segoufin, PODS 2008).
+
+The package implements, from scratch, all formalisms the paper relates —
+
+* the XPath dialect ladder **Core XPath ⊂ Regular XPath ⊂ Regular
+  XPath(W)** on sibling-ordered labelled trees (:mod:`repro.xpath`,
+  :mod:`repro.trees`),
+* **FO(MTC)**, first-order logic with monadic transitive closure, with a
+  database-style model checker (:mod:`repro.logic`),
+* **tree walking automata** and the paper's **nested TWA**, plus hedge
+  automata as the regular/MSO yardstick (:mod:`repro.automata`),
+
+together with the translations between them (:mod:`repro.translations`), the
+equivalence/containment decision harness (:mod:`repro.decision`), and the
+high-level :class:`~repro.core.query.Query` façade.
+
+Quickstart::
+
+    from repro import Query, parse_xml
+
+    tree = parse_xml("<talk><title><i/></title><speaker/></talk>")
+    q = Query.node("<descendant[i]>")
+    q.evaluate(tree)          # nodes with an <i> descendant
+    q.to_fo_mtc()             # the FO(MTC) rendering (T1)
+    q.to_nested_twa(("talk", "title", "i", "speaker"))   # nested TWA (T3)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+theorem-by-theorem validation results.
+"""
+
+from .core import Query
+from .trees import Tree, parse_xml, to_xml
+from .xpath import parse_node, parse_path, unparse
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Query",
+    "Tree",
+    "parse_node",
+    "parse_path",
+    "parse_xml",
+    "to_xml",
+    "unparse",
+    "__version__",
+]

@@ -1,0 +1,79 @@
+"""Automata on strings and trees: the paper's machine models.
+
+* :mod:`repro.automata.strings` — NFAs/DFAs (horizontal-language substrate);
+* :mod:`repro.automata.hedge` — hedge automata = the regular tree languages
+  (the MSO upper bound of T4/T5), with full boolean/decision toolbox;
+* :mod:`repro.automata.twa` — tree walking automata;
+* :mod:`repro.automata.behavior` — the bottom-up behavior (loop) algorithm;
+* :mod:`repro.automata.nested` — nested TWA, the model the paper introduces;
+* :mod:`repro.automata.search` — swap-lemma and separation harnesses.
+"""
+
+from .behavior import BehaviorAnalysis, behavior_accepts, subtree_behavior
+from .dtd import Dtd, DtdSyntaxError, parse_content_model
+from .hedge import DeterministicHedgeAutomaton, HedgeAutomaton
+from .nested import GuardedTransition, NestedTWA
+from .random_machines import (
+    all_observations,
+    random_hedge_automaton,
+    random_nested_twa,
+    random_twa,
+)
+from .regularity import (
+    NestedTwaTreeAcceptor,
+    TwaTreeAcceptor,
+    nested_twa_find_separating_tree,
+    nested_twa_find_tree,
+    nested_twa_is_empty,
+    nested_twa_language_equivalent,
+    twa_find_separating_tree,
+    twa_find_tree,
+    twa_is_empty,
+    twa_language_equivalent,
+)
+from .search import (
+    behavior_signature,
+    distinct_behavior_count,
+    swap_preserves_acceptance,
+    swap_subtrees,
+)
+from .strings import Dfa, Nfa
+from .twa import TWA, Move, Observation, TwaBuilder, observation_at
+
+__all__ = [
+    "BehaviorAnalysis",
+    "DeterministicHedgeAutomaton",
+    "Dfa",
+    "Dtd",
+    "DtdSyntaxError",
+    "GuardedTransition",
+    "HedgeAutomaton",
+    "Move",
+    "NestedTWA",
+    "NestedTwaTreeAcceptor",
+    "Nfa",
+    "Observation",
+    "TWA",
+    "TwaBuilder",
+    "TwaTreeAcceptor",
+    "all_observations",
+    "behavior_accepts",
+    "behavior_signature",
+    "distinct_behavior_count",
+    "observation_at",
+    "parse_content_model",
+    "random_hedge_automaton",
+    "random_nested_twa",
+    "random_twa",
+    "subtree_behavior",
+    "nested_twa_find_separating_tree",
+    "nested_twa_find_tree",
+    "nested_twa_is_empty",
+    "nested_twa_language_equivalent",
+    "swap_preserves_acceptance",
+    "swap_subtrees",
+    "twa_find_separating_tree",
+    "twa_find_tree",
+    "twa_is_empty",
+    "twa_language_equivalent",
+]

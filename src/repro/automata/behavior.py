@@ -1,0 +1,203 @@
+"""Bottom-up *behavior* computation for tree walking automata.
+
+This is the machinery behind the paper's regularity theorem (T4: every
+(nested) TWA language is regular): the interaction of a walking automaton
+with a subtree is fully summarized by a finite *behavior table* — for every
+state in which the walker can enter the subtree at its root, the set of ways
+it can leave again (exit up / exit to the left or right sibling of the root,
+in which state) or accept inside.  Subtrees with equal tables are
+interchangeable (the *swap lemma*, property-tested in T4/T5), so a bottom-up
+automaton over behavior tables recognizes the same language.
+
+Because TWAs move sideways, a walker inside the subtree of ``v`` can leave
+it not only through ``v``'s parent edge but also through ``v``'s sibling
+edges — hence the three exit directions.  Behaviors are composed across a
+node's children by reachability in a small local graph whose vertices are
+"at the node in state q" and "entering child i in state q".
+
+The behavior of a subtree depends on the flags its root exhibits (first?
+last? root?), so :func:`subtree_behavior` takes them as parameters;
+:class:`BehaviorAnalysis` computes the whole tree bottom-up with each node's
+actual flags and answers membership in the same pass.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Mapping
+
+from ..trees.tree import Tree
+from .twa import TWA, Move, Observation
+
+__all__ = [
+    "Behavior",
+    "BehaviorAnalysis",
+    "subtree_behavior",
+    "behavior_accepts",
+]
+
+#: An outcome is ("accept",) or (direction, state) with direction in
+#: {"up", "left", "right"}.
+Outcome = tuple
+ACCEPT: Outcome = ("accept",)
+
+#: A behavior table: entry state -> frozenset of outcomes.
+Behavior = Mapping[int, frozenset]
+
+
+def _freeze(behavior: dict[int, set]) -> dict[int, frozenset]:
+    return {q: frozenset(outs) for q, outs in behavior.items()}
+
+
+def _node_behavior(
+    automaton: TWA,
+    obs: Observation,
+    child_behaviors: list[Behavior],
+) -> dict[int, frozenset]:
+    """Combine children behaviors through the local node into its own."""
+    k = len(child_behaviors)
+    num_states = automaton.num_states
+
+    # Local graph vertices: ("v", q) and ("c", i, q).  Compute, for each
+    # start ("v", q), the reachable terminal outcomes.
+    # Edges are computed on demand during BFS.
+    def successors(vertex):
+        kind = vertex[0]
+        if kind == "v":
+            q = vertex[1]
+            if q in automaton.accepting:
+                yield ("out", ACCEPT)
+                return
+            for move, nq in automaton.options(q, obs):
+                if move is Move.STAY:
+                    yield ("v", nq)
+                elif move is Move.UP:
+                    yield ("out", ("up", nq))
+                elif move is Move.LEFT:
+                    yield ("out", ("left", nq))
+                elif move is Move.RIGHT:
+                    yield ("out", ("right", nq))
+                elif move is Move.DOWN_FIRST:
+                    if k:
+                        yield ("c", 0, nq)
+                elif move is Move.DOWN_LAST:
+                    if k:
+                        yield ("c", k - 1, nq)
+        else:
+            __, i, q = vertex
+            for outcome in child_behaviors[i].get(q, ()):
+                if outcome == ACCEPT:
+                    yield ("out", ACCEPT)
+                    continue
+                direction, nq = outcome
+                if direction == "up":
+                    yield ("v", nq)
+                elif direction == "left":
+                    if i > 0:
+                        yield ("c", i - 1, nq)
+                elif direction == "right":
+                    if i < k - 1:
+                        yield ("c", i + 1, nq)
+
+    # Single shared BFS per entry state; memoizing across entry states via
+    # full closure would need SCC condensation — entry-by-entry BFS is
+    # simple and the local graph is small (|Q|·(k+1) vertices).
+    behavior: dict[int, set] = {}
+    for q0 in range(num_states):
+        start = ("v", q0)
+        outcomes: set = set()
+        seen = {start}
+        queue = deque([start])
+        while queue:
+            vertex = queue.popleft()
+            for succ in successors(vertex):
+                if succ[0] == "out":
+                    outcomes.add(succ[1])
+                elif succ not in seen:
+                    seen.add(succ)
+                    queue.append(succ)
+        # Entering an accepting state *is* accepting, even with no moves.
+        if q0 in automaton.accepting:
+            outcomes.add(ACCEPT)
+        behavior[q0] = outcomes
+    return _freeze(behavior)
+
+
+class BehaviorAnalysis:
+    """Bottom-up behaviors of every node of (the scoped part of) a tree."""
+
+    def __init__(self, automaton: TWA, tree: Tree, scope: int = 0):
+        self.automaton = automaton
+        self.tree = tree
+        self.scope = scope
+        self.behaviors: dict[int, dict[int, frozenset]] = {}
+        self._compute()
+
+    def _observation(self, node_id: int) -> Observation:
+        from .twa import observation_at
+
+        return observation_at(self.tree, node_id, self.scope)
+
+    def _compute(self) -> None:
+        tree = self.tree
+        span = tree.subtree_ids(self.scope)
+        for v in reversed(span):
+            children = [self.behaviors[c] for c in tree.children_ids(v)]
+            self.behaviors[v] = _node_behavior(
+                self.automaton, self._observation(v), children
+            )
+
+    def accepts(self) -> bool:
+        """Membership: can the automaton accept from (initial, scope root)?
+
+        Exits from the scope root fall off the (scoped) tree, so only the
+        ACCEPT outcome counts.
+        """
+        root_behavior = self.behaviors[self.scope]
+        return ACCEPT in root_behavior[self.automaton.initial]
+
+
+def behavior_accepts(automaton: TWA, tree: Tree, scope: int = 0) -> bool:
+    """Membership via the behavior algorithm (cross-validates ``TWA.accepts``)."""
+    return BehaviorAnalysis(automaton, tree, scope).accepts()
+
+
+def subtree_behavior(
+    automaton: TWA,
+    tree: Tree,
+    node_id: int,
+    is_first: bool,
+    is_last: bool,
+    is_root: bool = False,
+) -> tuple[tuple[int, tuple], ...]:
+    """The behavior table of the subtree at ``node_id`` in a *hypothetical*
+    context where its root exhibits the given flags.
+
+    Returned in a canonical hashable form — the "signature" used by the swap
+    lemma: subtrees with equal signatures (under all flag contexts they can
+    occupy) are interchangeable for this automaton.
+    """
+    behaviors: dict[int, dict[int, frozenset]] = {}
+    for v in reversed(tree.subtree_ids(node_id)):
+        children = [behaviors[c] for c in tree.children_ids(v)]
+        if v == node_id:
+            obs = Observation(
+                label=tree.labels[v],
+                is_root=is_root,
+                is_leaf=tree.first_child[v] < 0,
+                is_first=is_first,
+                is_last=is_last,
+            )
+        else:
+            obs = Observation(
+                label=tree.labels[v],
+                is_root=False,
+                is_leaf=tree.first_child[v] < 0,
+                is_first=tree.prev_sibling[v] < 0,
+                is_last=tree.next_sibling[v] < 0,
+            )
+        behaviors[v] = _node_behavior(automaton, obs, children)
+    table = behaviors[node_id]
+    return tuple(
+        (q, tuple(sorted(table[q]))) for q in sorted(table)
+    )

@@ -1,0 +1,215 @@
+"""DTD-style schemas as hedge automata.
+
+A DTD (document type definition) assigns each element name a *content
+model* — a regular expression over element names constraining the children
+sequence.  DTDs are exactly the "local" regular tree languages, so they
+compile directly into hedge automata with one state per element name; this
+gives the library a realistic schema formalism for schema-aware static
+analysis (satisfiability/containment *under a DTD* is the classic
+database-theory setting for XPath decision problems).
+
+Content-model syntax (the usual DTD operators)::
+
+    model   := 'EMPTY' | 'ANY' | alt
+    alt     := seq ( '|' seq )*
+    seq     := unary ( ',' unary )*
+    unary   := atom ( '*' | '+' | '?' )*
+    atom    := NAME | '(' alt ')'
+
+Example::
+
+    schema = Dtd(
+        root="bibliography",
+        content={
+            "bibliography": "(conference | journal)*",
+            "conference": "paper+",
+            "journal": "paper*",
+            "paper": "title, author+, award?",
+            "title": "EMPTY",
+            "author": "EMPTY",
+            "award": "EMPTY",
+        },
+    )
+    schema.validate(tree)      # None or a violation message
+    schema.to_hedge_automaton()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..trees.tree import Tree
+from .hedge import HedgeAutomaton
+from .strings import Nfa
+
+__all__ = ["Dtd", "DtdSyntaxError", "parse_content_model"]
+
+
+class DtdSyntaxError(ValueError):
+    """Malformed content model."""
+
+
+def _tokenize(text: str) -> list[str]:
+    tokens: list[str] = []
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if ch in " \t\r\n":
+            i += 1
+        elif ch in "(),|*+?":
+            tokens.append(ch)
+            i += 1
+        elif ch.isalnum() or ch in "_-.:#@":
+            start = i
+            while i < len(text) and (text[i].isalnum() or text[i] in "_-.:#@"):
+                i += 1
+            tokens.append(text[start:i])
+        else:
+            raise DtdSyntaxError(f"unexpected character {ch!r} in content model")
+    tokens.append("")
+    return tokens
+
+
+class _ModelParser:
+    def __init__(self, text: str, symbol_of: Mapping[str, int]):
+        self.tokens = _tokenize(text)
+        self.index = 0
+        self.symbol_of = symbol_of
+
+    @property
+    def current(self) -> str:
+        return self.tokens[self.index]
+
+    def advance(self) -> str:
+        token = self.tokens[self.index]
+        if token:
+            self.index += 1
+        return token
+
+    def parse(self) -> Nfa:
+        result = self.alt()
+        if self.current:
+            raise DtdSyntaxError(f"trailing {self.current!r} in content model")
+        return result
+
+    def alt(self) -> Nfa:
+        result = self.seq()
+        while self.current == "|":
+            self.advance()
+            result = result.union(self.seq())
+        return result
+
+    def seq(self) -> Nfa:
+        result = self.unary()
+        while self.current == ",":
+            self.advance()
+            result = result.concat(self.unary())
+        return result
+
+    def unary(self) -> Nfa:
+        result = self.atom()
+        while self.current in ("*", "+", "?"):
+            op = self.advance()
+            if op == "*":
+                result = result.star()
+            elif op == "+":
+                result = result.plus()
+            else:
+                result = result.optional()
+        return result
+
+    def atom(self) -> Nfa:
+        token = self.current
+        if token == "(":
+            self.advance()
+            inner = self.alt()
+            if self.advance() != ")":
+                raise DtdSyntaxError("unbalanced parenthesis in content model")
+            return inner
+        if not token or token in "),|*+?":
+            raise DtdSyntaxError(f"expected an element name, found {token!r}")
+        self.advance()
+        if token not in self.symbol_of:
+            raise DtdSyntaxError(
+                f"content model mentions {token!r}, which has no declaration"
+            )
+        return Nfa.literal((self.symbol_of[token],))
+
+
+def parse_content_model(text: str, symbol_of: Mapping[str, int]) -> Nfa:
+    """Parse a content model into an NFA over element symbols.
+
+    ``EMPTY`` means the empty sequence only; ``ANY`` any sequence of
+    declared elements.
+    """
+    stripped = text.strip()
+    if stripped == "EMPTY":
+        return Nfa.empty_word()
+    if stripped == "ANY":
+        return Nfa.all_words(symbol_of.values())
+    return _ModelParser(text, symbol_of).parse()
+
+
+@dataclass(frozen=True)
+class Dtd:
+    """A document type definition: a root element and per-element content
+    models (every element occurring anywhere must be declared)."""
+
+    root: str
+    content: Mapping[str, str]
+
+    def __post_init__(self) -> None:
+        if self.root not in self.content:
+            raise DtdSyntaxError(f"root element {self.root!r} is not declared")
+
+    @property
+    def elements(self) -> tuple[str, ...]:
+        return tuple(sorted(self.content))
+
+    def _symbols(self) -> dict[str, int]:
+        return {name: i for i, name in enumerate(self.elements)}
+
+    def to_hedge_automaton(self) -> HedgeAutomaton:
+        """The equivalent hedge automaton (state i ↔ element i)."""
+        symbol_of = self._symbols()
+        rules = {
+            (symbol_of[name], name): parse_content_model(model, symbol_of)
+            for name, model in self.content.items()
+        }
+        return HedgeAutomaton(
+            len(symbol_of),
+            self.elements,
+            rules,
+            frozenset({symbol_of[self.root]}),
+        )
+
+    def validate(self, tree: Tree) -> str | None:
+        """None if the tree conforms, else a human-readable violation."""
+        symbol_of = self._symbols()
+        if tree.labels[0] != self.root:
+            return f"root is <{tree.labels[0]}>, expected <{self.root}>"
+        models = {
+            name: parse_content_model(model, symbol_of)
+            for name, model in self.content.items()
+        }
+        for v in tree.node_ids:
+            label = tree.labels[v]
+            if label not in symbol_of:
+                return f"undeclared element <{label}> at node {v}"
+            word = []
+            for c in tree.children_ids(v):
+                child_label = tree.labels[c]
+                if child_label not in symbol_of:
+                    return f"undeclared element <{child_label}> at node {c}"
+                word.append(symbol_of[child_label])
+            if not models[label].accepts(tuple(word)):
+                children = ", ".join(tree.labels[c] for c in tree.children_ids(v))
+                return (
+                    f"children ({children or 'none'}) of <{label}> at node {v} "
+                    f"violate its content model {self.content[label]!r}"
+                )
+        return None
+
+    def conforms(self, tree: Tree) -> bool:
+        return self.validate(tree) is None

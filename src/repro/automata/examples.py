@@ -1,0 +1,143 @@
+"""A library of regular tree languages, as hedge automata.
+
+These are the ground-truth languages of the T4/T5 experiments.  Modular
+counting languages (``label_count_mod``, ``leaf_count_mod``) are the classic
+stress tests for walking automata: a fixed TWA realizes only boundedly many
+subtree behaviors, while these families force unboundedly many
+distinguishable subtree classes as the modulus grows.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .hedge import HedgeAutomaton
+from .strings import Nfa
+
+__all__ = [
+    "exists_label",
+    "root_label",
+    "all_trees_automaton",
+    "label_count_mod",
+    "leaf_count_mod",
+    "bounded_height",
+    "chains_only",
+]
+
+
+def _sum_mod_nfa(modulus: int, residue: int) -> Nfa:
+    """Words over symbols 0..m-1 whose sum ≡ residue (mod m); ε counts as 0."""
+    transitions = {
+        (s, sym): frozenset({(s + sym) % modulus})
+        for s in range(modulus)
+        for sym in range(modulus)
+    }
+    return Nfa(modulus, frozenset({0}), frozenset({residue}), transitions)
+
+
+def all_trees_automaton(alphabet: Sequence[str]) -> HedgeAutomaton:
+    """The language of *all* trees over ``alphabet`` (one universal state)."""
+    anything = Nfa.all_words([0])
+    rules = {(0, a): anything for a in alphabet}
+    return HedgeAutomaton(1, tuple(alphabet), rules, frozenset({0}))
+
+
+def exists_label(alphabet: Sequence[str], label: str) -> HedgeAutomaton:
+    """Trees containing at least one node with the given label.
+
+    State 1 = "seen", state 0 = "not seen".
+    """
+    any_word = Nfa.all_words([0, 1])
+    one_seen = (
+        Nfa.all_words([0, 1]).concat(Nfa.literal((1,))).concat(Nfa.all_words([0, 1]))
+    )
+    zeros = Nfa.all_words([0])
+    rules: dict[tuple[int, str], Nfa] = {}
+    for a in alphabet:
+        if a == label:
+            rules[(1, a)] = any_word
+        else:
+            rules[(1, a)] = one_seen
+            rules[(0, a)] = zeros
+    return HedgeAutomaton(2, tuple(alphabet), rules, frozenset({1}))
+
+
+def root_label(alphabet: Sequence[str], label: str) -> HedgeAutomaton:
+    """Trees whose root carries the given label."""
+    any_word = Nfa.all_words([0, 1])
+    rules: dict[tuple[int, str], Nfa] = {}
+    for a in alphabet:
+        rules[(0, a)] = any_word
+        if a == label:
+            rules[(1, a)] = any_word
+    return HedgeAutomaton(2, tuple(alphabet), rules, frozenset({1}))
+
+
+def label_count_mod(
+    alphabet: Sequence[str], label: str, modulus: int, residue: int
+) -> HedgeAutomaton:
+    """Trees in which ``#nodes labelled `label` ≡ residue (mod modulus)``.
+
+    State q = subtree count mod m; rules demand the children sum plus this
+    node's own contribution hit q.
+    """
+    if not 0 <= residue < modulus:
+        raise ValueError("residue must lie in [0, modulus)")
+    rules: dict[tuple[int, str], Nfa] = {}
+    for a in alphabet:
+        contribution = 1 if a == label else 0
+        for q in range(modulus):
+            rules[(q, a)] = _sum_mod_nfa(modulus, (q - contribution) % modulus)
+    return HedgeAutomaton(modulus, tuple(alphabet), rules, frozenset({residue}))
+
+
+def leaf_count_mod(
+    alphabet: Sequence[str], modulus: int, residue: int
+) -> HedgeAutomaton:
+    """Trees with ``#leaves ≡ residue (mod modulus)``.
+
+    A leaf contributes 1; internal nodes sum their children.  The horizontal
+    NFA distinguishes the empty word (this node is itself a leaf) from
+    nonempty words: states are ``0`` (nothing read) and ``1 + s`` (sum s so
+    far).
+    """
+    rules: dict[tuple[int, str], Nfa] = {}
+    for a in alphabet:
+        for q in range(modulus):
+            transitions: dict[tuple[int, int], frozenset[int]] = {}
+            for sym in range(modulus):
+                transitions[(0, sym)] = frozenset({1 + sym % modulus})
+                for s in range(modulus):
+                    transitions[(1 + s, sym)] = frozenset({1 + (s + sym) % modulus})
+            accepting = {1 + q}
+            if q == 1 % modulus:
+                accepting.add(0)  # the empty word: this node is a leaf
+            rules[(q, a)] = Nfa(
+                modulus + 1, frozenset({0}), frozenset(accepting), transitions
+            )
+    return HedgeAutomaton(modulus, tuple(alphabet), rules, frozenset({residue}))
+
+
+def bounded_height(alphabet: Sequence[str], max_height: int) -> HedgeAutomaton:
+    """Trees of height ≤ ``max_height`` (height 0 = a single leaf).
+
+    State q = exact height of the subtree.
+    """
+    states = max_height + 1
+    rules: dict[tuple[int, str], Nfa] = {}
+    for a in alphabet:
+        # Height 0: no children.
+        rules[(0, a)] = Nfa.empty_word()
+        for q in range(1, states):
+            # Nonempty word over 0..q-1 containing at least one q-1.
+            lower = Nfa.all_words(range(q))
+            witness = Nfa.literal((q - 1,))
+            rules[(q, a)] = lower.concat(witness).concat(lower)
+    return HedgeAutomaton(states, tuple(alphabet), rules, frozenset(range(states)))
+
+
+def chains_only(alphabet: Sequence[str]) -> HedgeAutomaton:
+    """Trees that are unary chains (every node has at most one child)."""
+    at_most_one = Nfa.empty_word().union(Nfa.literal((0,)))
+    rules = {(0, a): at_most_one for a in alphabet}
+    return HedgeAutomaton(1, tuple(alphabet), rules, frozenset({0}))

@@ -1,0 +1,403 @@
+"""Hedge automata: unranked tree automata — the MSO/regular upper bound.
+
+The paper's T4/T5 results place nested TWA (= FO(MTC) = Regular XPath(W))
+strictly *inside* the regular tree languages.  Hedge automata are the
+standard machine model for the regular languages of unranked trees, so they
+serve as the ground-truth side of those experiments.
+
+A (nondeterministic) hedge automaton assigns states bottom-up: state ``q``
+fits a node with label ``a`` iff the sequence of children states belongs to
+the *horizontal language* of the rule ``(q, a)`` — an NFA over the state set
+(:mod:`repro.automata.strings`).  A tree is accepted iff some run assigns an
+accepting state to the root.
+
+Provided machinery: membership, boolean closure (union / intersection /
+complement via determinization), emptiness with witness extraction, and
+containment/equivalence — the full decision toolbox of the regular tree
+languages, built from scratch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from ..trees.tree import Tree
+from .strings import Nfa
+
+__all__ = ["HedgeAutomaton", "DeterministicHedgeAutomaton"]
+
+
+@dataclass(frozen=True)
+class HedgeAutomaton:
+    """A nondeterministic hedge automaton.
+
+    ``rules`` maps ``(state, label)`` to the horizontal NFA over states that
+    the children-state word must satisfy.  Missing rules mean "no run".
+    States are integers; ``alphabet`` lists the tree labels handled (labels
+    outside it make every run fail).
+    """
+
+    num_states: int
+    alphabet: tuple[str, ...]
+    rules: dict[tuple[int, str], Nfa]
+    accepting: frozenset[int]
+
+    # -- membership -----------------------------------------------------------
+
+    def run_states(self, tree: Tree) -> list[frozenset[int]]:
+        """For each node, the set of states assignable by some run."""
+        states: list[frozenset[int]] = [frozenset()] * tree.size
+        # Children have larger preorder ids, so iterate in reverse.
+        for v in range(tree.size - 1, -1, -1):
+            label = tree.labels[v]
+            child_sets = [states[c] for c in tree.children_ids(v)]
+            fitting: set[int] = set()
+            for q in range(self.num_states):
+                nfa = self.rules.get((q, label))
+                if nfa is not None and nfa.accepts_some_choice(child_sets):
+                    fitting.add(q)
+            states[v] = frozenset(fitting)
+        return states
+
+    def accepts(self, tree: Tree) -> bool:
+        return bool(self.run_states(tree)[0] & self.accepting)
+
+    # -- boolean operations -------------------------------------------------------
+
+    def union(self, other: "HedgeAutomaton") -> "HedgeAutomaton":
+        """Disjoint union (accepts L₁ ∪ L₂)."""
+        offset = self.num_states
+        rules: dict[tuple[int, str], Nfa] = {}
+        for (q, a), nfa in self.rules.items():
+            rules[(q, a)] = nfa
+        for (q, a), nfa in other.rules.items():
+            rules[(q + offset, a)] = _shift_symbols(nfa, offset)
+        return HedgeAutomaton(
+            self.num_states + other.num_states,
+            tuple(sorted(set(self.alphabet) | set(other.alphabet))),
+            rules,
+            self.accepting | frozenset(q + offset for q in other.accepting),
+        )
+
+    def intersection(self, other: "HedgeAutomaton") -> "HedgeAutomaton":
+        """Product construction (accepts L₁ ∩ L₂)."""
+        alphabet = tuple(sorted(set(self.alphabet) & set(other.alphabet)))
+
+        def pair_id(q1: int, q2: int) -> int:
+            return q1 * other.num_states + q2
+
+        rules: dict[tuple[int, str], Nfa] = {}
+        for q1 in range(self.num_states):
+            for q2 in range(other.num_states):
+                for a in alphabet:
+                    nfa1 = self.rules.get((q1, a))
+                    nfa2 = other.rules.get((q2, a))
+                    if nfa1 is None or nfa2 is None:
+                        continue
+                    rules[(pair_id(q1, q2), a)] = _pair_nfa(
+                        nfa1, nfa2, other.num_states
+                    )
+        accepting = frozenset(
+            pair_id(q1, q2) for q1 in self.accepting for q2 in other.accepting
+        )
+        return HedgeAutomaton(
+            self.num_states * other.num_states, alphabet, rules, accepting
+        )
+
+    def determinize(self) -> "DeterministicHedgeAutomaton":
+        """Bottom-up subset construction (complete over ``alphabet``)."""
+        return DeterministicHedgeAutomaton.from_nondeterministic(self)
+
+    def complement(self) -> "HedgeAutomaton":
+        """Complement relative to all trees over ``alphabet``."""
+        return self.determinize().complement().to_nondeterministic()
+
+    # -- decision problems -----------------------------------------------------
+
+    def find_tree(self) -> Tree | None:
+        """A (small) tree in the language, or None if the language is empty.
+
+        Standard emptiness fixpoint: a state becomes *inhabited* once some
+        rule's horizontal NFA accepts a word of already-inhabited states; a
+        witness tree is assembled alongside.
+        """
+        witness: dict[int, Tree] = {}
+        changed = True
+        while changed:
+            changed = False
+            for (q, a), nfa in self.rules.items():
+                if q in witness:
+                    continue
+                word = _find_word_over(nfa, set(witness))
+                if word is not None:
+                    witness[q] = Tree.build((a, [witness[c].to_shape() for c in word]))
+                    changed = True
+        for q in self.accepting:
+            if q in witness:
+                return witness[q]
+        return None
+
+    def is_empty(self) -> bool:
+        return self.find_tree() is None
+
+    def contains(self, other: "HedgeAutomaton") -> bool:
+        """L(other) ⊆ L(self)?"""
+        return other.intersection(self.complement()).is_empty()
+
+    def equivalent(self, other: "HedgeAutomaton") -> bool:
+        return self.contains(other) and other.contains(self)
+
+
+def _shift_symbols(nfa: Nfa, offset: int) -> Nfa:
+    transitions = {
+        (q, s + offset): targets for (q, s), targets in nfa.transitions.items()
+    }
+    return Nfa(nfa.num_states, nfa.initial, nfa.accepting, transitions, nfa.epsilon)
+
+
+def _pair_nfa(nfa1: Nfa, nfa2: Nfa, width: int) -> Nfa:
+    """An NFA over pair symbols ``q1*width + q2`` accepting words whose
+    projections are accepted by ``nfa1`` and ``nfa2`` respectively."""
+    symbols1 = nfa1.symbols()
+    symbols2 = nfa2.symbols()
+
+    def pack(q1: int, q2: int) -> int:
+        return q1 * nfa2.num_states + q2
+
+    transitions: dict[tuple[int, object], frozenset[int]] = {}
+    for (s1, sym1), targets1 in nfa1.transitions.items():
+        for (s2, sym2), targets2 in nfa2.transitions.items():
+            packed_symbol = sym1 * width + sym2  # type: ignore[operator]
+            key = (pack(s1, s2), packed_symbol)
+            combined = frozenset(
+                pack(t1, t2) for t1 in targets1 for t2 in targets2
+            )
+            transitions[key] = transitions.get(key, frozenset()) | combined
+    epsilon: dict[int, frozenset[int]] = {}
+    for s1 in range(nfa1.num_states):
+        for s2, eps2 in nfa2.epsilon.items():
+            epsilon[pack(s1, s2)] = frozenset(pack(s1, t) for t in eps2)
+    for s1, eps1 in nfa1.epsilon.items():
+        for s2 in range(nfa2.num_states):
+            key = pack(s1, s2)
+            extra = frozenset(pack(t, s2) for t in eps1)
+            epsilon[key] = epsilon.get(key, frozenset()) | extra
+    initial = frozenset(pack(a, b) for a in nfa1.initial for b in nfa2.initial)
+    accepting = frozenset(
+        pack(a, b) for a in nfa1.accepting for b in nfa2.accepting
+    )
+    return Nfa(nfa1.num_states * nfa2.num_states, initial, accepting, transitions, epsilon)
+
+
+def _find_word_over(nfa: Nfa, available: set[int]) -> tuple[int, ...] | None:
+    """A shortest word over ``available`` symbols accepted by ``nfa``.
+
+    BFS over NFA state-subsets (at most 2^|nfa| of them), so it terminates.
+    """
+    start = nfa.start_set()
+    parent: dict[frozenset[int], tuple[frozenset[int], int] | None] = {start: None}
+    queue = [start]
+    while queue:
+        current = queue.pop(0)
+        if nfa.is_accepting_set(current):
+            word: list[int] = []
+            cursor = current
+            while parent[cursor] is not None:
+                prev, symbol = parent[cursor]  # type: ignore[misc]
+                word.append(symbol)
+                cursor = prev
+            return tuple(reversed(word))
+        for symbol in available:
+            target = nfa.step(current, symbol)
+            if target and target not in parent:
+                parent[target] = (current, symbol)
+                queue.append(target)
+    return None
+
+
+@dataclass(frozen=True)
+class DeterministicHedgeAutomaton:
+    """A complete bottom-up deterministic hedge automaton.
+
+    Vertical states are integers; for each label there is a *horizontal DFA*
+    over vertical states: reading the children-state word from a fixed
+    initial horizontal state, the final horizontal state determines (via
+    ``output``) the vertical state of the node.  Completeness means every
+    tree gets exactly one state.
+    """
+
+    num_states: int
+    alphabet: tuple[str, ...]
+    #: per label: (horizontal transition dict, initial h-state, output map)
+    horizontal: dict[str, tuple[dict[tuple[int, int], int], int, dict[int, int]]]
+    accepting: frozenset[int]
+
+    @staticmethod
+    def from_nondeterministic(
+        source: HedgeAutomaton,
+    ) -> "DeterministicHedgeAutomaton":
+        """Subset construction, exploring only reachable vertical subsets."""
+        subset_index: dict[frozenset[int], int] = {}
+
+        def vertical_id(subset: frozenset[int]) -> int:
+            if subset not in subset_index:
+                subset_index[subset] = len(subset_index)
+            return subset_index[subset]
+
+        # Horizontal simulation state: for each q with a rule (q, a), the
+        # subset of NFA states reachable; keyed per label.
+        h_index: dict[str, dict[tuple, int]] = {a: {} for a in source.alphabet}
+        h_trans: dict[str, dict[tuple[int, int], int]] = {a: {} for a in source.alphabet}
+        h_output: dict[str, dict[int, int]] = {a: {} for a in source.alphabet}
+        h_initial: dict[str, int] = {}
+
+        def h_state_key(a: str, sim: dict[int, frozenset[int]]) -> tuple:
+            return tuple(sorted((q, s) for q, s in sim.items()))
+
+        def h_id(a: str, sim: dict[int, frozenset[int]]) -> tuple[int, bool]:
+            key = h_state_key(a, sim)
+            table = h_index[a]
+            if key in table:
+                return table[key], False
+            table[key] = len(table)
+            return table[key], True
+
+        # initial horizontal states and their outputs
+        pending_vertical: list[frozenset[int]] = []
+        known_vertical: set[frozenset[int]] = set()
+        pending_horizontal: list[tuple[str, dict[int, frozenset[int]], int]] = []
+
+        def h_result(a: str, sim: dict[int, frozenset[int]]) -> frozenset[int]:
+            fitting = set()
+            for q, states in sim.items():
+                nfa = source.rules[(q, a)]
+                if nfa.is_accepting_set(states):
+                    fitting.add(q)
+            return frozenset(fitting)
+
+        def discover_vertical(subset: frozenset[int]) -> None:
+            if subset not in known_vertical:
+                known_vertical.add(subset)
+                vertical_id(subset)
+                pending_vertical.append(subset)
+
+        for a in source.alphabet:
+            sim = {
+                q: source.rules[(q, a)].start_set()
+                for q in range(source.num_states)
+                if (q, a) in source.rules
+            }
+            hid, fresh = h_id(a, sim)
+            h_initial[a] = hid
+            result = h_result(a, sim)
+            h_output[a][hid] = -1  # placeholder, fixed below
+            discover_vertical(result)
+            h_output[a][hid] = subset_index[result]
+            if fresh:
+                pending_horizontal.append((a, sim, hid))
+
+        # Explore: alternate between new vertical subsets (as horizontal
+        # input symbols) and new horizontal states.
+        processed_pairs: set[tuple[str, int, int]] = set()
+        h_sims: dict[tuple[str, int], dict[int, frozenset[int]]] = {}
+        for a, sim, hid in pending_horizontal:
+            h_sims[(a, hid)] = sim
+
+        work = True
+        while work:
+            work = False
+            vertical_snapshot = list(known_vertical)
+            for a in source.alphabet:
+                h_snapshot = list(h_sims.items())
+                for (label, hid), sim in h_snapshot:
+                    if label != a:
+                        continue
+                    for subset in vertical_snapshot:
+                        vid = subset_index[subset]
+                        if (a, hid, vid) in processed_pairs:
+                            continue
+                        processed_pairs.add((a, hid, vid))
+                        work = True
+                        nxt = {
+                            q: _step_choices(source.rules[(q, a)], states, subset)
+                            for q, states in sim.items()
+                        }
+                        nhid, fresh = h_id(a, nxt)
+                        h_trans[a][(hid, vid)] = nhid
+                        if fresh:
+                            h_sims[(a, nhid)] = nxt
+                            result = h_result(a, nxt)
+                            discover_vertical(result)
+                            h_output[a][nhid] = subset_index[result]
+            # Newly discovered vertical subsets feed the next sweep.
+
+        accepting = frozenset(
+            vid
+            for subset, vid in subset_index.items()
+            if subset & source.accepting
+        )
+        horizontal = {
+            a: (h_trans[a], h_initial[a], h_output[a]) for a in source.alphabet
+        }
+        return DeterministicHedgeAutomaton(
+            len(subset_index), source.alphabet, horizontal, accepting
+        )
+
+    # -- semantics ---------------------------------------------------------------
+
+    def state_of(self, tree: Tree) -> int:
+        """The unique vertical state assigned to the root."""
+        states: list[int] = [0] * tree.size
+        for v in range(tree.size - 1, -1, -1):
+            label = tree.labels[v]
+            if label not in self.horizontal:
+                raise ValueError(f"label {label!r} outside automaton alphabet")
+            trans, init, output = self.horizontal[label]
+            h = init
+            for c in tree.children_ids(v):
+                h = trans[(h, states[c])]
+            states[v] = output[h]
+        return states[0]
+
+    def accepts(self, tree: Tree) -> bool:
+        return self.state_of(tree) in self.accepting
+
+    def complement(self) -> "DeterministicHedgeAutomaton":
+        return DeterministicHedgeAutomaton(
+            self.num_states,
+            self.alphabet,
+            self.horizontal,
+            frozenset(range(self.num_states)) - self.accepting,
+        )
+
+    def to_nondeterministic(self) -> HedgeAutomaton:
+        """View as a (trivially nondeterministic) hedge automaton."""
+        rules: dict[tuple[int, str], Nfa] = {}
+        for a, (trans, init, output) in self.horizontal.items():
+            # For each vertical state q, the horizontal language is the set
+            # of words driving the DFA from init to some h with output q.
+            h_states = {init} | {h for (h, __) in trans} | set(trans.values())
+            renumber = {h: i for i, h in enumerate(sorted(h_states))}
+            for q in range(self.num_states):
+                accepting = frozenset(
+                    renumber[h] for h, out in output.items() if out == q and h in renumber
+                )
+                if not accepting:
+                    continue
+                nfa_transitions = {
+                    (renumber[h], vid): frozenset({renumber[nh]})
+                    for (h, vid), nh in trans.items()
+                }
+                rules[(q, a)] = Nfa(
+                    len(renumber),
+                    frozenset({renumber[init]}),
+                    accepting,
+                    nfa_transitions,
+                )
+        return HedgeAutomaton(self.num_states, self.alphabet, rules, self.accepting)
+
+
+def _step_choices(nfa: Nfa, states: frozenset[int], symbols: frozenset[int]):
+    nxt: set[int] = set()
+    for symbol in symbols:
+        nxt.update(nfa.step(states, symbol))
+    return frozenset(nxt)

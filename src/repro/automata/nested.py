@@ -1,0 +1,133 @@
+"""Nested tree walking automata — the automaton model the paper introduces.
+
+A nested TWA of depth 0 is a plain TWA.  A nested TWA of depth k+1 is a
+walking automaton whose transitions may additionally be guarded by *subtree
+tests*: a guard is a set of ``(i, sign)`` pairs, and the transition is
+enabled at node ``v`` only if for each pair, sub-automaton ``i`` (of depth
+≤ k) accepts the subtree rooted at ``v`` — viewed as a standalone tree, so
+``v`` observes root flags — iff ``sign`` is True.
+
+The paper proves (T3) that nested TWA capture exactly FO(MTC) = Regular
+XPath(W) on finite ordered trees, and (T4/T5) that they recognize only
+regular languages, strictly fewer than all of them.
+
+Evaluation strategy: for each node, the accept bit of every sub-automaton on
+that node's subtree is precomputed (recursively, memoized per node); guards
+then reduce to lookups, and the main automaton runs by the usual
+configuration-graph reachability.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from ..trees.tree import Tree
+from .twa import Move, Observation, apply_move, observation_at
+
+__all__ = ["NestedTWA", "GuardedTransition"]
+
+#: A guard: frozenset of (sub-automaton index, required sign).
+Guard = frozenset
+
+
+@dataclass(frozen=True)
+class GuardedTransition:
+    """One nondeterministic option: take ``move`` to ``target`` provided all
+    subtree tests in ``guard`` agree with their required signs."""
+
+    guard: Guard
+    move: Move
+    target: int
+
+
+@dataclass(frozen=True)
+class NestedTWA:
+    """A nested tree walking automaton.
+
+    ``transitions`` maps ``(state, observation)`` to a frozenset of
+    :class:`GuardedTransition`; ``subautomata`` are the nested TWAs the
+    guards refer to (their nesting depth is strictly smaller, enforced by
+    construction since the structure is a finite tree of automata).
+    """
+
+    num_states: int
+    initial: int
+    accepting: frozenset[int]
+    transitions: dict[tuple[int, Observation], frozenset[GuardedTransition]]
+    subautomata: tuple["NestedTWA", ...] = ()
+
+    @property
+    def depth(self) -> int:
+        """Nesting depth (0 for a plain walking automaton)."""
+        if not self.subautomata:
+            return 0
+        return 1 + max(sub.depth for sub in self.subautomata)
+
+    def options(self, state: int, obs: Observation) -> frozenset[GuardedTransition]:
+        return self.transitions.get((state, obs), frozenset())
+
+    # -- semantics ----------------------------------------------------------------
+
+    def subtree_bits(self, tree: Tree, scope: int = 0) -> list[tuple[bool, ...]]:
+        """For every node of the scoped subtree: the tuple of accept bits of
+        the sub-automata on that node's subtree.
+
+        Indexed by absolute node id (entries outside the scope are unused).
+        """
+        bits: list[tuple[bool, ...]] = [()] * tree.size
+        for v in tree.subtree_ids(scope):
+            bits[v] = tuple(
+                sub.accepts(tree, scope=v) for sub in self.subautomata
+            )
+        return bits
+
+    def accepts(self, tree: Tree, scope: int = 0) -> bool:
+        """Acceptance by configuration-graph reachability.
+
+        Sub-automata run on subtrees of the *same* scoped view (a subtree of
+        the scope is a subtree of the whole tree, so the nesting recursion
+        is well-defined).
+        """
+        if self.initial in self.accepting:
+            return True
+        bits = self.subtree_bits(tree, scope) if self.subautomata else None
+        start = (self.initial, scope)
+        seen = {start}
+        queue = deque([start])
+        while queue:
+            state, node = queue.popleft()
+            obs = observation_at(tree, node, scope)
+            for option in self.options(state, obs):
+                if bits is not None and not _guard_holds(option.guard, bits[node]):
+                    continue
+                target = apply_move(tree, node, option.move, scope)
+                if target is None:
+                    continue
+                if option.target in self.accepting:
+                    return True
+                config = (option.target, target)
+                if config not in seen:
+                    seen.add(config)
+                    queue.append(config)
+        return False
+
+    # -- constructors ----------------------------------------------------------
+
+    @staticmethod
+    def from_twa(twa) -> "NestedTWA":
+        """Lift a plain TWA to a depth-0 nested TWA."""
+        transitions = {
+            key: frozenset(
+                GuardedTransition(frozenset(), move, target)
+                for move, target in choices
+            )
+            for key, choices in twa.transitions.items()
+        }
+        return NestedTWA(
+            twa.num_states, twa.initial, twa.accepting, transitions, ()
+        )
+
+
+def _guard_holds(guard: Guard, bits: tuple[bool, ...]) -> bool:
+    return all(bits[index] == sign for index, sign in guard)

@@ -1,0 +1,139 @@
+"""Random automata, for property-based cross-validation (T4/C2)."""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from .nested import GuardedTransition, NestedTWA
+from .twa import TWA, Move, Observation, TwaBuilder
+
+__all__ = ["random_twa", "random_nested_twa", "random_hedge_automaton", "all_observations"]
+
+_MOVES = tuple(Move)
+
+
+def all_observations(alphabet: Sequence[str]) -> list[Observation]:
+    """Every realizable observation over ``alphabet``."""
+    return TwaBuilder(alphabet, 1).observations()
+
+
+def random_twa(
+    alphabet: Sequence[str] = ("a", "b"),
+    num_states: int = 3,
+    rng: random.Random | None = None,
+    density: float = 0.6,
+    max_choices: int = 2,
+) -> TWA:
+    """A random nondeterministic TWA.
+
+    ``density`` is the probability that a (state, observation) pair has any
+    transition at all; when it does, 1..``max_choices`` options are drawn.
+    State ``num_states - 1`` is accepting.
+    """
+    rng = rng or random.Random()
+    transitions: dict[tuple[int, Observation], frozenset[tuple[Move, int]]] = {}
+    for state in range(num_states):
+        for obs in all_observations(alphabet):
+            if rng.random() >= density:
+                continue
+            options = frozenset(
+                (rng.choice(_MOVES), rng.randrange(num_states))
+                for __ in range(rng.randint(1, max_choices))
+            )
+            transitions[(state, obs)] = options
+    return TWA(num_states, 0, frozenset({num_states - 1}), transitions)
+
+
+def random_nested_twa(
+    alphabet: Sequence[str] = ("a", "b"),
+    num_states: int = 3,
+    depth: int = 1,
+    num_subs: int = 2,
+    rng: random.Random | None = None,
+    density: float = 0.6,
+    guard_probability: float = 0.5,
+) -> NestedTWA:
+    """A random nested TWA of the given nesting ``depth``."""
+    rng = rng or random.Random()
+    if depth <= 0:
+        return NestedTWA.from_twa(
+            random_twa(alphabet, num_states, rng, density)
+        )
+    subautomata = tuple(
+        random_nested_twa(
+            alphabet,
+            num_states,
+            depth - 1,
+            num_subs,
+            rng,
+            density,
+            guard_probability,
+        )
+        for __ in range(num_subs)
+    )
+    transitions: dict[tuple[int, Observation], frozenset[GuardedTransition]] = {}
+    for state in range(num_states):
+        for obs in all_observations(alphabet):
+            if rng.random() >= density:
+                continue
+            options = set()
+            for __ in range(rng.randint(1, 2)):
+                guard: set[tuple[int, bool]] = set()
+                if rng.random() < guard_probability:
+                    index = rng.randrange(num_subs)
+                    guard.add((index, rng.random() < 0.5))
+                options.add(
+                    GuardedTransition(
+                        frozenset(guard),
+                        rng.choice(_MOVES),
+                        rng.randrange(num_states),
+                    )
+                )
+            transitions[(state, obs)] = frozenset(options)
+    return NestedTWA(
+        num_states, 0, frozenset({num_states - 1}), transitions, subautomata
+    )
+
+
+def random_hedge_automaton(
+    alphabet: Sequence[str] = ("a", "b"),
+    num_states: int = 2,
+    rng: random.Random | None = None,
+    rule_probability: float = 0.8,
+):
+    """A random nondeterministic hedge automaton.
+
+    Each (state, label) pair gets, with ``rule_probability``, a random
+    horizontal language assembled from a small pool of NFA combinators over
+    the state set.  State 0 is accepting.
+    """
+    from .strings import Nfa
+
+    rng = rng or random.Random()
+    states = list(range(num_states))
+
+    def random_language() -> "Nfa":
+        kind = rng.choice(["empty", "any", "single", "pair", "starred"])
+        if kind == "empty":
+            return Nfa.empty_word()
+        if kind == "any":
+            return Nfa.all_words(states)
+        if kind == "single":
+            return Nfa.any_of(rng.sample(states, rng.randint(1, num_states)))
+        if kind == "pair":
+            return Nfa.literal((rng.choice(states), rng.choice(states)))
+        return Nfa.any_of(
+            rng.sample(states, rng.randint(1, num_states))
+        ).star()
+
+    from .hedge import HedgeAutomaton
+
+    rules = {}
+    for state in states:
+        for label in alphabet:
+            if rng.random() < rule_probability:
+                rules[(state, label)] = random_language()
+    return HedgeAutomaton(
+        num_states, tuple(alphabet), rules, frozenset({0})
+    )

@@ -1,0 +1,662 @@
+"""The effective regularity theorem (T4): TWA → bottom-up tree acceptor.
+
+:mod:`repro.automata.behavior` computes behaviors of the subtrees of one
+concrete tree.  This module closes the loop of the paper's T4: it turns a
+tree walking automaton into a genuine **deterministic bottom-up acceptor**
+whose states are *context-indexed behavior tables*, so that language-level
+questions about TWAs — emptiness, universality, equivalence, witness
+extraction — become decidable by state-space exploration.
+
+Two ingredients:
+
+* **Vertical states.** The behavior of a subtree depends on the flags its
+  root will exhibit; a vertical state therefore packs one behavior table per
+  placement context: (first,last) ∈ {TT, TF, FT, FF} for subtrees hanging
+  under a parent, plus the root context for the whole tree.
+
+* **Horizontal folding (Shepherdson-style).** A walker inside a sequence of
+  sibling subtrees moves both ways, so the sequence cannot be summarized by
+  a plain left-to-right product — but the *prefix summary* can: for a prefix
+  of children, record where a walker entering at the prefix's left end or
+  right end can come out (up to the parent, right past the prefix, or
+  accept).  Extending a prefix by one more child is a small graph
+  reachability between the old summary and the new child's table, so the
+  children sequence is consumed by a deterministic fold (with one pending
+  child, since the last child wears different flags).
+
+The exploration of reachable vertical states (each with a witness tree)
+yields :func:`twa_is_empty`, :func:`twa_find_tree`,
+:func:`twa_language_equivalent` and :func:`twa_find_separating_tree` — all
+exact.  Membership via :meth:`TwaTreeAcceptor.accepts` is a *third*
+independent membership algorithm, cross-validated against the other two by
+the test suite.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable
+
+from ..trees.tree import Tree
+from .twa import TWA, Move, Observation
+
+__all__ = [
+    "TwaTreeAcceptor",
+    "NestedTwaTreeAcceptor",
+    "twa_is_empty",
+    "twa_find_tree",
+    "twa_language_equivalent",
+    "twa_find_separating_tree",
+    "nested_twa_is_empty",
+    "nested_twa_find_tree",
+    "nested_twa_language_equivalent",
+    "nested_twa_find_separating_tree",
+]
+
+#: Outcomes inside tables/summaries: ("accept",), ("up", q), ("right", q),
+#: ("left", q).  Summaries never expose "left" (a prefix starts at a first
+#: child, where LEFT dies).
+ACCEPT = ("accept",)
+
+#: A canonical behavior table: tuple over states of sorted outcome tuples.
+Table = tuple
+
+#: Placement contexts of a subtree root: (is_root, is_first, is_last).
+CONTEXTS = (
+    (False, True, True),
+    (False, True, False),
+    (False, False, True),
+    (False, False, False),
+    (True, True, True),
+)
+
+#: A vertical state: one canonical table per context, same order as CONTEXTS.
+VState = tuple
+
+#: A summary: per entry state, a frozenset of outcomes.
+Summary = tuple
+
+
+def _canonical(table: dict[int, set]) -> Table:
+    return tuple(tuple(sorted(table[q])) for q in sorted(table))
+
+
+def _as_dict(table: Table) -> dict[int, frozenset]:
+    return {q: frozenset(outs) for q, outs in enumerate(table)}
+
+
+class TwaTreeAcceptor:
+    """A deterministic bottom-up acceptor equivalent to a TWA."""
+
+    def __init__(self, twa: TWA, alphabet: Iterable[str]):
+        self.twa = twa
+        self.alphabet = tuple(alphabet)
+        if not self.alphabet:
+            raise ValueError("the alphabet must be nonempty")
+        self._reachable: dict[VState, Tree] | None = None
+
+    # ------------------------------------------------------------------
+    # Horizontal folding
+    # ------------------------------------------------------------------
+    # A fold state is None (no children seen) or
+    # (enterL, enterR, pending_vstate, pending_is_first) where the summaries
+    # cover all children *before* the pending one.
+
+    def fold_empty(self):
+        return None
+
+    def fold_step(self, fold, child: VState):
+        if fold is None:
+            return (_empty_summary(), _empty_summary(), child, True)
+        enterL, enterR, pending, pending_first = fold
+        table = _context_table(pending, is_first=pending_first, is_last=False)
+        enterL, enterR = _extend_summaries(
+            enterL, enterR, table, self.twa.num_states,
+            prefix_empty=pending_first,
+        )
+        return (enterL, enterR, child, False)
+
+    def fold_finish(self, label: str, fold) -> VState:
+        """Close the children sequence and compute the node's vertical state."""
+        num_states = self.twa.num_states
+        if fold is None:
+            full_L = full_R = None
+            is_leaf = True
+        else:
+            enterL, enterR, pending, pending_first = fold
+            table = _context_table(pending, is_first=pending_first, is_last=True)
+            full_L, full_R = _extend_summaries(
+                enterL, enterR, table, num_states, prefix_empty=pending_first
+            )
+            is_leaf = False
+
+        tables = []
+        for is_root, is_first, is_last in CONTEXTS:
+            obs = Observation(label, is_root, is_leaf, is_first, is_last)
+            tables.append(self._node_table(obs, full_L, full_R))
+        return tuple(tables)
+
+    def _node_table(self, obs: Observation, full_L, full_R) -> Table:
+        """Behavior table of a node with the given observation, given the
+        full-sequence summaries of its children (None when a leaf)."""
+        twa = self.twa
+        table: dict[int, set] = {}
+        for q0 in range(twa.num_states):
+            outcomes: set = set()
+            seen = {("V", q0)}
+            queue = deque([("V", q0)])
+
+            def push(vertex):
+                if vertex not in seen:
+                    seen.add(vertex)
+                    queue.append(vertex)
+
+            def feed(summary_outcomes):
+                for outcome in summary_outcomes:
+                    if outcome == ACCEPT:
+                        outcomes.add(ACCEPT)
+                    elif outcome[0] == "up":
+                        push(("V", outcome[1]))
+                    # "right" exits of the full sequence fall past the last
+                    # child and die; "left" never escapes a sequence.
+
+            while queue:
+                kind, q = queue.popleft()
+                assert kind == "V"
+                if q in twa.accepting:
+                    outcomes.add(ACCEPT)
+                    continue
+                for move, nq in twa.options(q, obs):
+                    if move is Move.STAY:
+                        push(("V", nq))
+                    elif move is Move.UP:
+                        outcomes.add(("up", nq))
+                    elif move is Move.LEFT:
+                        outcomes.add(("left", nq))
+                    elif move is Move.RIGHT:
+                        outcomes.add(("right", nq))
+                    elif move is Move.DOWN_FIRST:
+                        if full_L is not None:
+                            feed(full_L[nq])
+                    elif move is Move.DOWN_LAST:
+                        if full_R is not None:
+                            feed(full_R[nq])
+            if q0 in twa.accepting:
+                outcomes.add(ACCEPT)
+            table[q0] = outcomes
+        return _canonical(table)
+
+    # ------------------------------------------------------------------
+    # Membership (the third algorithm)
+    # ------------------------------------------------------------------
+
+    def state_of(self, tree: Tree, node_id: int = 0) -> VState:
+        states: dict[int, VState] = {}
+        for v in reversed(tree.subtree_ids(node_id)):
+            fold = self.fold_empty()
+            for c in tree.children_ids(v):
+                fold = self.fold_step(fold, states[c])
+            states[v] = self.fold_finish(tree.labels[v], fold)
+        return states[node_id]
+
+    def accepts_state(self, state: VState) -> bool:
+        root_table = _as_dict(state[len(CONTEXTS) - 1])
+        return ACCEPT in root_table[self.twa.initial]
+
+    def accepts(self, tree: Tree) -> bool:
+        return self.accepts_state(self.state_of(tree))
+
+    # ------------------------------------------------------------------
+    # Language-level exploration
+    # ------------------------------------------------------------------
+
+    def reachable_states(self, max_states: int | None = None) -> dict[VState, Tree]:
+        """Every vertical state realized by some tree over the alphabet,
+        with a witness tree each.
+
+        Exploration is exact; ``max_states`` is a safety valve for huge
+        automata (raises if exceeded).
+        """
+        if self._reachable is not None:
+            return self._reachable
+        states: dict[VState, Tree] = {}
+        # Horizontal exploration: fold summaries reachable with witnesses of
+        # the children consumed so far.
+        folds: dict[object, list[Tree]] = {_fold_key(None): []}
+        fold_values: dict[object, object] = {_fold_key(None): None}
+        changed = True
+        while changed:
+            changed = False
+            for key, children in list(folds.items()):
+                fold = fold_values[key]
+                for label in self.alphabet:
+                    vstate = self.fold_finish(label, fold)
+                    if vstate not in states:
+                        shape = (label, [t.to_shape() for t in children])
+                        states[vstate] = Tree.build(shape)
+                        changed = True
+                        if max_states is not None and len(states) > max_states:
+                            raise RuntimeError(
+                                f"state exploration exceeded {max_states} states"
+                            )
+            for vstate, witness in list(states.items()):
+                for key, children in list(folds.items()):
+                    fold = fold_values[key]
+                    extended = self.fold_step(fold, vstate)
+                    ekey = _fold_key(extended)
+                    if ekey not in folds:
+                        folds[ekey] = children + [witness]
+                        fold_values[ekey] = extended
+                        changed = True
+        self._reachable = states
+        return states
+
+
+def _fold_key(fold) -> object:
+    if fold is None:
+        return None
+    enterL, enterR, pending, pending_first = fold
+    return (enterL, enterR, pending, pending_first)
+
+
+def _empty_summary() -> Summary:
+    return ()
+
+
+def _context_table(vstate: VState, is_first: bool, is_last: bool) -> Table:
+    index = {
+        (True, True): 0,
+        (True, False): 1,
+        (False, True): 2,
+        (False, False): 3,
+    }[(is_first, is_last)]
+    return vstate[index]
+
+
+def _extend_summaries(
+    enterL: Summary,
+    enterR: Summary,
+    child_table: Table,
+    num_states: int,
+    prefix_empty: bool,
+) -> tuple[Summary, Summary]:
+    """Append one child (with its context table) to the prefix summaries.
+
+    The interaction between the old prefix and the new child is resolved by
+    reachability in a graph with nodes ("P", q) — entering the old prefix at
+    its right end — and ("C", q) — entering the new child.
+    """
+    child = _as_dict(child_table)
+    old_R = _summary_dict(enterR, num_states)
+    old_L = _summary_dict(enterL, num_states)
+
+    def closure(start_kind: str, start_q: int) -> frozenset:
+        outcomes: set = set()
+        seen = {(start_kind, start_q)}
+        queue = deque([(start_kind, start_q)])
+        while queue:
+            kind, q = queue.popleft()
+            if kind == "C":
+                for outcome in child[q]:
+                    if outcome == ACCEPT:
+                        outcomes.add(ACCEPT)
+                    elif outcome[0] == "up":
+                        outcomes.add(outcome)
+                    elif outcome[0] == "right":
+                        outcomes.add(outcome)
+                    elif outcome[0] == "left" and not prefix_empty:
+                        vertex = ("P", outcome[1])
+                        if vertex not in seen:
+                            seen.add(vertex)
+                            queue.append(vertex)
+                    # left with empty prefix: the child is first, LEFT dies.
+            else:  # "P": entering old prefix from the right
+                for outcome in old_R[q]:
+                    if outcome == ACCEPT:
+                        outcomes.add(ACCEPT)
+                    elif outcome[0] == "up":
+                        outcomes.add(outcome)
+                    elif outcome[0] == "right":
+                        vertex = ("C", outcome[1])
+                        if vertex not in seen:
+                            seen.add(vertex)
+                            queue.append(vertex)
+        return frozenset(outcomes)
+
+    new_R = tuple(tuple(sorted(closure("C", q))) for q in range(num_states))
+
+    if prefix_empty:
+        new_L = new_R
+    else:
+        # Enter the old prefix at its left end; its right exits continue
+        # into the new child (and may bounce back).
+        new_L_entries = []
+        for q in range(num_states):
+            outcomes: set = set()
+            for outcome in old_L[q]:
+                if outcome == ACCEPT or outcome[0] == "up":
+                    outcomes.add(outcome)
+                elif outcome[0] == "right":
+                    outcomes.update(closure("C", outcome[1]))
+            new_L_entries.append(tuple(sorted(outcomes)))
+        new_L = tuple(new_L_entries)
+    return new_L, new_R
+
+
+def _summary_dict(summary: Summary, num_states: int) -> dict[int, frozenset]:
+    if not summary:
+        return {q: frozenset() for q in range(num_states)}
+    return {q: frozenset(outs) for q, outs in enumerate(summary)}
+
+
+# ---------------------------------------------------------------------------
+# Exact language-level decision procedures for TWAs
+# ---------------------------------------------------------------------------
+
+
+def twa_find_tree(twa: TWA, alphabet: Iterable[str]) -> Tree | None:
+    """A tree the TWA accepts, or None if its language is empty (exact)."""
+    acceptor = TwaTreeAcceptor(twa, alphabet)
+    for state, witness in acceptor.reachable_states().items():
+        if acceptor.accepts_state(state):
+            return witness
+    return None
+
+
+def twa_is_empty(twa: TWA, alphabet: Iterable[str]) -> bool:
+    """Is the TWA's language (over the alphabet) empty?  Exact."""
+    return twa_find_tree(twa, alphabet) is None
+
+
+def twa_find_separating_tree(
+    left: TWA, right: TWA, alphabet: Iterable[str]
+) -> Tree | None:
+    """A tree accepted by exactly one of the TWAs, or None if their
+    languages over the alphabet coincide (exact).
+
+    Explores the product of the two acceptors' state spaces.
+    """
+    alphabet = tuple(alphabet)
+    acceptor_left = TwaTreeAcceptor(left, alphabet)
+    acceptor_right = TwaTreeAcceptor(right, alphabet)
+
+    states: dict[tuple[VState, VState], Tree] = {}
+    folds: dict[object, tuple[object, object, list[Tree]]] = {
+        (None, None): (None, None, [])
+    }
+    changed = True
+    while changed:
+        changed = False
+        for (kl, kr), (fl, fr, children) in list(folds.items()):
+            for label in alphabet:
+                pair = (
+                    acceptor_left.fold_finish(label, fl),
+                    acceptor_right.fold_finish(label, fr),
+                )
+                if pair not in states:
+                    shape = (label, [t.to_shape() for t in children])
+                    states[pair] = Tree.build(shape)
+                    changed = True
+        for (sl, sr), witness in list(states.items()):
+            for (kl, kr), (fl, fr, children) in list(folds.items()):
+                nfl = acceptor_left.fold_step(fl, sl)
+                nfr = acceptor_right.fold_step(fr, sr)
+                key = (_fold_key(nfl), _fold_key(nfr))
+                if key not in folds:
+                    folds[key] = (nfl, nfr, children + [witness])
+                    changed = True
+    for (sl, sr), witness in states.items():
+        if acceptor_left.accepts_state(sl) != acceptor_right.accepts_state(sr):
+            return witness
+    return None
+
+
+def twa_language_equivalent(
+    left: TWA, right: TWA, alphabet: Iterable[str]
+) -> bool:
+    """Do the two TWAs accept the same trees over the alphabet?  Exact."""
+    return twa_find_separating_tree(left, right, alphabet) is None
+
+
+# ---------------------------------------------------------------------------
+# Nested TWA: the same construction, with guard bits resolved per node
+# ---------------------------------------------------------------------------
+
+
+class NestedTwaTreeAcceptor:
+    """A deterministic bottom-up acceptor equivalent to a *nested* TWA.
+
+    Guards test sub-automata on the subtree of the current node, and a
+    subtree's acceptance by each sub-automaton is exactly the kind of
+    bottom-up information vertical states carry.  A vertical state is
+    therefore the tuple of the sub-acceptors' vertical states followed by
+    the main automaton's five context tables, computed with each node's
+    guard bits resolved from the sub-states *at that node*.
+
+    This makes emptiness and equivalence of nested TWA — the model the
+    paper introduces — exactly decidable here, one nesting level at a time.
+    """
+
+    def __init__(self, nested, alphabet: Iterable[str]):
+        self.nested = nested
+        self.alphabet = tuple(alphabet)
+        if not self.alphabet:
+            raise ValueError("the alphabet must be nonempty")
+        self.subacceptors = tuple(
+            NestedTwaTreeAcceptor(sub, self.alphabet) for sub in nested.subautomata
+        )
+        self._reachable: dict[tuple, Tree] | None = None
+
+    # -- folding (children sequences) ----------------------------------------
+
+    def fold_empty(self):
+        return (None, tuple(sub.fold_empty() for sub in self.subacceptors))
+
+    def fold_step(self, fold, child):
+        own_fold, sub_folds = fold
+        child_subs = child[: len(self.subacceptors)]
+        child_own = child[len(self.subacceptors)]
+        new_subs = tuple(
+            sub.fold_step(sf, cs)
+            for sub, sf, cs in zip(self.subacceptors, sub_folds, child_subs)
+        )
+        if own_fold is None:
+            new_own = (_empty_summary(), _empty_summary(), child_own, True)
+        else:
+            enterL, enterR, pending, pending_first = own_fold
+            table = _context_table(pending, is_first=pending_first, is_last=False)
+            enterL, enterR = _extend_summaries(
+                enterL, enterR, table, self.nested.num_states,
+                prefix_empty=pending_first,
+            )
+            new_own = (enterL, enterR, child_own, False)
+        return (new_own, new_subs)
+
+    def fold_finish(self, label: str, fold):
+        own_fold, sub_folds = fold
+        sub_states = tuple(
+            sub.fold_finish(label, sf)
+            for sub, sf in zip(self.subacceptors, sub_folds)
+        )
+        bits = tuple(
+            sub.accepts_state(state)
+            for sub, state in zip(self.subacceptors, sub_states)
+        )
+        num_states = self.nested.num_states
+        if own_fold is None:
+            full_L = full_R = None
+            is_leaf = True
+        else:
+            enterL, enterR, pending, pending_first = own_fold
+            table = _context_table(pending, is_first=pending_first, is_last=True)
+            full_L, full_R = _extend_summaries(
+                enterL, enterR, table, num_states, prefix_empty=pending_first
+            )
+            is_leaf = False
+        tables = []
+        for is_root, is_first, is_last in CONTEXTS:
+            obs = Observation(label, is_root, is_leaf, is_first, is_last)
+            tables.append(self._node_table(obs, bits, full_L, full_R))
+        return sub_states + (tuple(tables),)
+
+    def _node_table(self, obs: Observation, bits, full_L, full_R) -> Table:
+        nested = self.nested
+        table: dict[int, set] = {}
+        for q0 in range(nested.num_states):
+            outcomes: set = set()
+            seen = {q0}
+            queue = deque([q0])
+
+            def push(state: int) -> None:
+                if state not in seen:
+                    seen.add(state)
+                    queue.append(state)
+
+            def feed(summary_outcomes) -> None:
+                for outcome in summary_outcomes:
+                    if outcome == ACCEPT:
+                        outcomes.add(ACCEPT)
+                    elif outcome[0] == "up":
+                        push(outcome[1])
+
+            while queue:
+                q = queue.popleft()
+                if q in nested.accepting:
+                    outcomes.add(ACCEPT)
+                    continue
+                for option in nested.options(q, obs):
+                    if not all(bits[i] == sign for i, sign in option.guard):
+                        continue
+                    move, nq = option.move, option.target
+                    if move is Move.STAY:
+                        push(nq)
+                    elif move is Move.UP:
+                        outcomes.add(("up", nq))
+                    elif move is Move.LEFT:
+                        outcomes.add(("left", nq))
+                    elif move is Move.RIGHT:
+                        outcomes.add(("right", nq))
+                    elif move is Move.DOWN_FIRST:
+                        if full_L is not None:
+                            feed(full_L[nq])
+                    elif move is Move.DOWN_LAST:
+                        if full_R is not None:
+                            feed(full_R[nq])
+            if q0 in nested.accepting:
+                outcomes.add(ACCEPT)
+            table[q0] = outcomes
+        return _canonical(table)
+
+    # -- membership and exploration ---------------------------------------------
+
+    def state_of(self, tree: Tree, node_id: int = 0):
+        states: dict[int, tuple] = {}
+        for v in reversed(tree.subtree_ids(node_id)):
+            fold = self.fold_empty()
+            for c in tree.children_ids(v):
+                fold = self.fold_step(fold, states[c])
+            states[v] = self.fold_finish(tree.labels[v], fold)
+        return states[node_id]
+
+    def accepts_state(self, state) -> bool:
+        own = state[len(self.subacceptors)]
+        root_table = _as_dict(own[len(CONTEXTS) - 1])
+        return ACCEPT in root_table[self.nested.initial]
+
+    def accepts(self, tree: Tree) -> bool:
+        return self.accepts_state(self.state_of(tree))
+
+    def reachable_states(self, max_states: int | None = None) -> dict[tuple, Tree]:
+        if self._reachable is not None:
+            return self._reachable
+        states: dict[tuple, Tree] = {}
+        folds: dict[object, tuple[object, list[Tree]]] = {}
+        empty = self.fold_empty()
+        folds[self._fold_key(empty)] = (empty, [])
+        changed = True
+        while changed:
+            changed = False
+            for key, (fold, children) in list(folds.items()):
+                for label in self.alphabet:
+                    vstate = self.fold_finish(label, fold)
+                    if vstate not in states:
+                        shape = (label, [t.to_shape() for t in children])
+                        states[vstate] = Tree.build(shape)
+                        changed = True
+                        if max_states is not None and len(states) > max_states:
+                            raise RuntimeError(
+                                f"state exploration exceeded {max_states} states"
+                            )
+            for vstate, witness in list(states.items()):
+                for key, (fold, children) in list(folds.items()):
+                    extended = self.fold_step(fold, vstate)
+                    ekey = self._fold_key(extended)
+                    if ekey not in folds:
+                        folds[ekey] = (extended, children + [witness])
+                        changed = True
+        self._reachable = states
+        return states
+
+    def _fold_key(self, fold) -> object:
+        own_fold, sub_folds = fold
+        return (
+            _fold_key(own_fold),
+            tuple(
+                sub._fold_key(sf)
+                for sub, sf in zip(self.subacceptors, sub_folds)
+            ),
+        )
+
+
+def nested_twa_find_tree(nested, alphabet: Iterable[str]) -> Tree | None:
+    """A tree the nested TWA accepts, or None if its language is empty."""
+    acceptor = NestedTwaTreeAcceptor(nested, alphabet)
+    for state, witness in acceptor.reachable_states().items():
+        if acceptor.accepts_state(state):
+            return witness
+    return None
+
+
+def nested_twa_is_empty(nested, alphabet: Iterable[str]) -> bool:
+    """Exact emptiness for nested TWA."""
+    return nested_twa_find_tree(nested, alphabet) is None
+
+
+def nested_twa_find_separating_tree(left, right, alphabet: Iterable[str]) -> Tree | None:
+    """A tree accepted by exactly one of two nested TWAs, or None."""
+    alphabet = tuple(alphabet)
+    acc_left = NestedTwaTreeAcceptor(left, alphabet)
+    acc_right = NestedTwaTreeAcceptor(right, alphabet)
+    states: dict[tuple, Tree] = {}
+    el, er = acc_left.fold_empty(), acc_right.fold_empty()
+    folds = {(acc_left._fold_key(el), acc_right._fold_key(er)): (el, er, [])}
+    changed = True
+    while changed:
+        changed = False
+        for key, (fl, fr, children) in list(folds.items()):
+            for label in alphabet:
+                pair = (
+                    acc_left.fold_finish(label, fl),
+                    acc_right.fold_finish(label, fr),
+                )
+                if pair not in states:
+                    shape = (label, [t.to_shape() for t in children])
+                    states[pair] = Tree.build(shape)
+                    changed = True
+        for (sl, sr), witness in list(states.items()):
+            for key, (fl, fr, children) in list(folds.items()):
+                nfl = acc_left.fold_step(fl, sl)
+                nfr = acc_right.fold_step(fr, sr)
+                nkey = (acc_left._fold_key(nfl), acc_right._fold_key(nfr))
+                if nkey not in folds:
+                    folds[nkey] = (nfl, nfr, children + [witness])
+                    changed = True
+    for (sl, sr), witness in states.items():
+        if acc_left.accepts_state(sl) != acc_right.accepts_state(sr):
+            return witness
+    return None
+
+
+def nested_twa_language_equivalent(left, right, alphabet: Iterable[str]) -> bool:
+    """Exact language equivalence for nested TWA."""
+    return nested_twa_find_separating_tree(left, right, alphabet) is None

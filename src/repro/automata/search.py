@@ -1,0 +1,125 @@
+"""Separation-flavoured experiments: the swap lemma and fooling harnesses.
+
+Theorem T5 (nested TWA ⊊ regular) is an existence proof that finite means
+cannot verify outright; what we *can* reproduce mechanically is its engine:
+
+* **The swap lemma** (:func:`swap_preserves_acceptance`): if two disjoint
+  subtrees (sitting in like flag-contexts) have identical behavior tables
+  for an automaton, exchanging them does not change acceptance.  This is the
+  finite-summarization property that both the regularity theorem (T4) and
+  all TWA lower-bound arguments rest on, and it is property-tested here on
+  random automata and trees.
+
+* **Behavior counting** (:func:`distinct_behavior_count`): the number of
+  distinct subtree behaviors an automaton realizes on a tree family is
+  bounded by a function of its state count — while a family of regular
+  languages (e.g. "leaf count ≡ 0 mod m" for growing m) forces unboundedly
+  many distinguishable subtree classes.  The benchmark in
+  ``benchmarks/bench_separation.py`` plots both curves.
+"""
+
+from __future__ import annotations
+
+from ..trees.tree import Tree
+from .behavior import subtree_behavior
+from .twa import TWA
+
+__all__ = [
+    "swap_subtrees",
+    "behavior_signature",
+    "swap_preserves_acceptance",
+    "distinct_behavior_count",
+]
+
+
+def swap_subtrees(tree: Tree, first: int, second: int) -> Tree:
+    """A copy of ``tree`` with the (disjoint) subtrees at the two nodes
+    exchanged in place."""
+    if first > second:
+        first, second = second, first
+    if tree.is_in_subtree(second, first) or first == second:
+        raise ValueError("subtrees must be disjoint")
+
+    shape_first = _subtree_shape(tree, first)
+    shape_second = _subtree_shape(tree, second)
+
+    def rebuild(v: int):
+        if v == first:
+            return shape_second
+        if v == second:
+            return shape_first
+        kids = tree.children_ids(v)
+        if not kids:
+            return tree.labels[v]
+        return (tree.labels[v], [rebuild(c) for c in kids])
+
+    return Tree.build(rebuild(0))
+
+
+def _subtree_shape(tree: Tree, v: int):
+    kids = tree.children_ids(v)
+    if not kids:
+        return tree.labels[v]
+    return (tree.labels[v], [_subtree_shape(tree, c) for c in kids])
+
+
+def _context_flags(tree: Tree, v: int) -> tuple[bool, bool, bool]:
+    return (
+        v == 0,
+        v == 0 or tree.prev_sibling[v] < 0,
+        v == 0 or tree.next_sibling[v] < 0,
+    )
+
+
+def behavior_signature(
+    automaton: TWA, tree: Tree, node_id: int
+) -> tuple[tuple[int, tuple], ...]:
+    """The behavior table of the subtree at ``node_id`` *in its actual
+    context* — the canonical interchangeability key."""
+    is_root, is_first, is_last = _context_flags(tree, node_id)
+    return subtree_behavior(
+        automaton, tree, node_id, is_first=is_first, is_last=is_last, is_root=is_root
+    )
+
+
+def swap_preserves_acceptance(
+    automaton: TWA, tree: Tree, first: int, second: int
+) -> bool | None:
+    """Check the swap lemma instance for two disjoint subtree positions.
+
+    Returns None when the lemma's hypotheses fail (different contexts or
+    different behavior tables); otherwise True iff acceptance is unchanged
+    after the swap — which the lemma predicts always.
+    """
+    if first == second:
+        return None
+    lo, hi = min(first, second), max(first, second)
+    if tree.is_in_subtree(hi, lo):
+        return None
+    if _context_flags(tree, first) != _context_flags(tree, second):
+        return None
+    sig_first = behavior_signature(automaton, tree, first)
+    sig_second = behavior_signature(automaton, tree, second)
+    if sig_first != sig_second:
+        return None
+    swapped = swap_subtrees(tree, first, second)
+    return automaton.accepts(tree) == automaton.accepts(swapped)
+
+
+def distinct_behavior_count(
+    automaton: TWA,
+    trees: list[Tree],
+    is_first: bool = True,
+    is_last: bool = True,
+) -> int:
+    """How many distinct behavior tables the automaton assigns to the given
+    trees (each viewed as a subtree in the given flag context).
+
+    An upper bound on how many classes of subtrees the automaton can tell
+    apart — the quantity every TWA lower-bound argument plays against.
+    """
+    signatures = {
+        subtree_behavior(automaton, t, 0, is_first=is_first, is_last=is_last)
+        for t in trees
+    }
+    return len(signatures)

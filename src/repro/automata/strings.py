@@ -1,0 +1,305 @@
+"""Finite automata over strings — the horizontal-language substrate.
+
+Hedge automata (unranked tree automata, :mod:`repro.automata.hedge`) attach a
+*horizontal* string language over their own state set to every (state, label)
+rule; this module supplies those languages as NFAs/DFAs over arbitrary
+hashable symbols, with the standard toolbox: Thompson-style builders,
+determinization, product, complement, emptiness and equivalence.
+
+Everything is deliberately explicit and self-contained (no external automata
+libraries), per the build-every-substrate rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Sequence
+
+__all__ = ["Nfa", "Dfa"]
+
+Symbol = Hashable
+
+
+@dataclass(frozen=True)
+class Nfa:
+    """A nondeterministic finite automaton with ε-moves.
+
+    ``transitions`` maps ``(state, symbol)`` to a frozenset of states;
+    ``epsilon`` maps a state to a frozenset of ε-successors.  States are
+    integers local to the automaton.
+    """
+
+    num_states: int
+    initial: frozenset[int]
+    accepting: frozenset[int]
+    transitions: dict[tuple[int, Symbol], frozenset[int]] = field(default_factory=dict)
+    epsilon: dict[int, frozenset[int]] = field(default_factory=dict)
+
+    # -- constructors ------------------------------------------------------
+
+    @staticmethod
+    def literal(word: Sequence[Symbol]) -> "Nfa":
+        """The singleton language {word}."""
+        n = len(word)
+        transitions = {
+            (i, symbol): frozenset({i + 1}) for i, symbol in enumerate(word)
+        }
+        return Nfa(n + 1, frozenset({0}), frozenset({n}), transitions)
+
+    @staticmethod
+    def empty_word() -> "Nfa":
+        """The language {ε}."""
+        return Nfa.literal(())
+
+    @staticmethod
+    def nothing() -> "Nfa":
+        """The empty language ∅."""
+        return Nfa(1, frozenset({0}), frozenset())
+
+    @staticmethod
+    def any_of(symbols: Iterable[Symbol]) -> "Nfa":
+        """The language of single symbols drawn from ``symbols``."""
+        transitions = {(0, s): frozenset({1}) for s in symbols}
+        return Nfa(2, frozenset({0}), frozenset({1}), transitions)
+
+    @staticmethod
+    def all_words(symbols: Iterable[Symbol]) -> "Nfa":
+        """Σ* over the given symbols."""
+        return Nfa.any_of(symbols).star()
+
+    # -- regular operations ------------------------------------------------
+
+    def _shift(self, offset: int) -> tuple[dict, dict]:
+        transitions = {
+            (q + offset, s): frozenset(r + offset for r in targets)
+            for (q, s), targets in self.transitions.items()
+        }
+        epsilon = {
+            q + offset: frozenset(r + offset for r in targets)
+            for q, targets in self.epsilon.items()
+        }
+        return transitions, epsilon
+
+    def union(self, other: "Nfa") -> "Nfa":
+        t1, e1 = self._shift(0)
+        t2, e2 = other._shift(self.num_states)
+        return Nfa(
+            self.num_states + other.num_states,
+            self.initial | frozenset(q + self.num_states for q in other.initial),
+            self.accepting | frozenset(q + self.num_states for q in other.accepting),
+            {**t1, **t2},
+            {**e1, **e2},
+        )
+
+    def concat(self, other: "Nfa") -> "Nfa":
+        t1, e1 = self._shift(0)
+        t2, e2 = other._shift(self.num_states)
+        epsilon = {**e1, **e2}
+        bridge = frozenset(q + self.num_states for q in other.initial)
+        for q in self.accepting:
+            epsilon[q] = epsilon.get(q, frozenset()) | bridge
+        return Nfa(
+            self.num_states + other.num_states,
+            self.initial,
+            frozenset(q + self.num_states for q in other.accepting),
+            {**t1, **t2},
+            epsilon,
+        )
+
+    def star(self) -> "Nfa":
+        t, e = self._shift(1)
+        epsilon = dict(e)
+        start = frozenset({0})
+        epsilon[0] = frozenset(q + 1 for q in self.initial)
+        for q in self.accepting:
+            shifted = q + 1
+            epsilon[shifted] = epsilon.get(shifted, frozenset()) | frozenset({0})
+        return Nfa(
+            self.num_states + 1,
+            start,
+            frozenset({0}),
+            t,
+            epsilon,
+        )
+
+    def plus(self) -> "Nfa":
+        return self.concat(self.star())
+
+    def optional(self) -> "Nfa":
+        return self.union(Nfa.empty_word())
+
+    def repeat(self, times: int) -> "Nfa":
+        """Exactly ``times`` repetitions."""
+        result = Nfa.empty_word()
+        for _ in range(times):
+            result = result.concat(self)
+        return result
+
+    # -- semantics -----------------------------------------------------------
+
+    def _closure(self, states: frozenset[int]) -> frozenset[int]:
+        stack = list(states)
+        seen = set(states)
+        while stack:
+            q = stack.pop()
+            for r in self.epsilon.get(q, ()):
+                if r not in seen:
+                    seen.add(r)
+                    stack.append(r)
+        return frozenset(seen)
+
+    def step(self, states: frozenset[int], symbol: Symbol) -> frozenset[int]:
+        """One symbol of subset simulation (ε-closed in and out)."""
+        current = self._closure(states)
+        nxt: set[int] = set()
+        for q in current:
+            nxt.update(self.transitions.get((q, symbol), ()))
+        return self._closure(frozenset(nxt))
+
+    def start_set(self) -> frozenset[int]:
+        return self._closure(self.initial)
+
+    def is_accepting_set(self, states: frozenset[int]) -> bool:
+        return bool(self._closure(states) & self.accepting)
+
+    def accepts(self, word: Sequence[Symbol]) -> bool:
+        states = self.start_set()
+        for symbol in word:
+            states = self.step(states, symbol)
+            if not states:
+                return False
+        return self.is_accepting_set(states)
+
+    def accepts_some_choice(self, choice_sets: Sequence[Iterable[Symbol]]) -> bool:
+        """Is some word ``w`` with ``w[i] ∈ choice_sets[i]`` accepted?
+
+        This is the query hedge-automaton membership asks of its horizontal
+        languages: each child contributes a *set* of possible states.
+        """
+        states = self.start_set()
+        for choices in choice_sets:
+            nxt: set[int] = set()
+            for symbol in choices:
+                nxt.update(self.step(states, symbol))
+            states = frozenset(nxt)
+            if not states:
+                return False
+        return self.is_accepting_set(states)
+
+    def symbols(self) -> frozenset[Symbol]:
+        """All symbols mentioned by transitions."""
+        return frozenset(symbol for (__, symbol) in self.transitions)
+
+    # -- conversion -----------------------------------------------------------
+
+    def determinize(self, alphabet: Iterable[Symbol]) -> "Dfa":
+        """Subset construction over an explicit alphabet (complete DFA)."""
+        alphabet = tuple(alphabet)
+        start = self.start_set()
+        index: dict[frozenset[int], int] = {start: 0}
+        worklist = [start]
+        transitions: dict[tuple[int, Symbol], int] = {}
+        accepting: set[int] = set()
+        while worklist:
+            current = worklist.pop()
+            current_id = index[current]
+            if self.is_accepting_set(current):
+                accepting.add(current_id)
+            for symbol in alphabet:
+                target = self.step(current, symbol)
+                if target not in index:
+                    index[target] = len(index)
+                    worklist.append(target)
+                transitions[(current_id, symbol)] = index[target]
+        return Dfa(len(index), 0, frozenset(accepting), transitions, tuple(alphabet))
+
+
+@dataclass(frozen=True)
+class Dfa:
+    """A complete deterministic finite automaton over an explicit alphabet."""
+
+    num_states: int
+    initial: int
+    accepting: frozenset[int]
+    transitions: dict[tuple[int, Symbol], int]
+    alphabet: tuple[Symbol, ...]
+
+    def step(self, state: int, symbol: Symbol) -> int:
+        return self.transitions[(state, symbol)]
+
+    def accepts(self, word: Sequence[Symbol]) -> bool:
+        state = self.initial
+        for symbol in word:
+            state = self.step(state, symbol)
+        return state in self.accepting
+
+    def complement(self) -> "Dfa":
+        return Dfa(
+            self.num_states,
+            self.initial,
+            frozenset(range(self.num_states)) - self.accepting,
+            self.transitions,
+            self.alphabet,
+        )
+
+    def product(self, other: "Dfa", accept_both: bool = True) -> "Dfa":
+        """Product automaton; accepting = AND (default) or OR of components."""
+        if set(self.alphabet) != set(other.alphabet):
+            raise ValueError("product requires identical alphabets")
+        index: dict[tuple[int, int], int] = {}
+        transitions: dict[tuple[int, Symbol], int] = {}
+        accepting: set[int] = set()
+
+        def get_id(pair: tuple[int, int]) -> int:
+            if pair not in index:
+                index[pair] = len(index)
+            return index[pair]
+
+        start = get_id((self.initial, other.initial))
+        worklist = [(self.initial, other.initial)]
+        seen = {(self.initial, other.initial)}
+        while worklist:
+            a, b = worklist.pop()
+            pair_id = get_id((a, b))
+            in_a = a in self.accepting
+            in_b = b in other.accepting
+            if (in_a and in_b) if accept_both else (in_a or in_b):
+                accepting.add(pair_id)
+            for symbol in self.alphabet:
+                target = (self.step(a, symbol), other.step(b, symbol))
+                if target not in seen:
+                    seen.add(target)
+                    worklist.append(target)
+                transitions[(pair_id, symbol)] = get_id(target)
+        return Dfa(len(index), start, frozenset(accepting), transitions, self.alphabet)
+
+    def is_empty(self) -> bool:
+        """Is the language empty? (Reachability to an accepting state.)"""
+        return self.find_word() is None
+
+    def find_word(self) -> tuple[Symbol, ...] | None:
+        """A shortest accepted word, or None if the language is empty."""
+        parent: dict[int, tuple[int, Symbol] | None] = {self.initial: None}
+        queue = [self.initial]
+        while queue:
+            state = queue.pop(0)
+            if state in self.accepting:
+                word: list[Symbol] = []
+                cursor = state
+                while parent[cursor] is not None:
+                    prev, symbol = parent[cursor]  # type: ignore[misc]
+                    word.append(symbol)
+                    cursor = prev
+                return tuple(reversed(word))
+            for symbol in self.alphabet:
+                target = self.step(state, symbol)
+                if target not in parent:
+                    parent[target] = (state, symbol)
+                    queue.append(target)
+        return None
+
+    def equivalent(self, other: "Dfa") -> bool:
+        """Language equality, via symmetric-difference emptiness."""
+        left = self.product(other.complement())
+        right = other.product(self.complement())
+        return left.is_empty() and right.is_empty()

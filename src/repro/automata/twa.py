@@ -1,0 +1,222 @@
+"""Tree walking automata (TWA).
+
+A TWA is a sequential device with finitely many states walking a tree one
+edge at a time.  At each step it observes the current node's *local type* —
+its label plus four boolean flags (root? leaf? first sibling? last sibling?)
+— and nondeterministically picks a transition: a move (stay, up, down to the
+first/last child, left/right to an adjacent sibling) and a next state.  The
+run starts at the root in the initial state and **accepts by reaching an
+accepting state** (anywhere in the tree).  Moves that fall off the tree kill
+the run.
+
+Membership is decided by reachability in the configuration graph
+(state × node), which is the obvious O(|Q|·|T|) algorithm; the bottom-up
+*behavior* algorithm in :mod:`repro.automata.behavior` is the structured
+alternative that underlies the paper's regularity theorem (T4) and the two
+are cross-validated against each other.
+
+All walking machinery takes an optional ``scope`` node: the automaton then
+runs on the subtree rooted there as if it were a standalone tree (the scope
+root observes root flags; moves leaving the subtree die).  This is exactly
+what nested TWA subtree tests need (:mod:`repro.automata.nested`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable
+
+from ..trees.tree import Tree
+
+__all__ = ["Move", "Observation", "TWA", "TwaBuilder", "observation_at"]
+
+
+class Move(Enum):
+    STAY = "stay"
+    UP = "up"
+    DOWN_FIRST = "down_first"
+    DOWN_LAST = "down_last"
+    LEFT = "left"
+    RIGHT = "right"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Move.{self.name}"
+
+
+@dataclass(frozen=True)
+class Observation:
+    """The local type a walking automaton sees at a node."""
+
+    label: str
+    is_root: bool
+    is_leaf: bool
+    is_first: bool
+    is_last: bool
+
+
+def observation_at(tree: Tree, node_id: int, scope: int = 0) -> Observation:
+    """The observation at ``node_id`` when walking the subtree of ``scope``."""
+    at_scope_root = node_id == scope
+    return Observation(
+        label=tree.labels[node_id],
+        is_root=at_scope_root,
+        is_leaf=tree.first_child[node_id] < 0,
+        is_first=at_scope_root or tree.prev_sibling[node_id] < 0,
+        is_last=at_scope_root or tree.next_sibling[node_id] < 0,
+    )
+
+
+def apply_move(tree: Tree, node_id: int, move: Move, scope: int = 0) -> int | None:
+    """The node reached by ``move``, or None if the move falls off the
+    (scoped) tree."""
+    if move is Move.STAY:
+        return node_id
+    if move is Move.UP:
+        if node_id == scope:
+            return None
+        return tree.parent[node_id]
+    if move is Move.DOWN_FIRST:
+        target = tree.first_child[node_id]
+        return target if target >= 0 else None
+    if move is Move.DOWN_LAST:
+        target = tree.last_child[node_id]
+        return target if target >= 0 else None
+    if move is Move.LEFT:
+        if node_id == scope:
+            return None
+        target = tree.prev_sibling[node_id]
+        return target if target >= 0 else None
+    if move is Move.RIGHT:
+        if node_id == scope:
+            return None
+        target = tree.next_sibling[node_id]
+        return target if target >= 0 else None
+    raise ValueError(f"unknown move {move!r}")  # pragma: no cover
+
+
+@dataclass(frozen=True)
+class TWA:
+    """A (nondeterministic) tree walking automaton.
+
+    ``transitions`` maps ``(state, observation)`` to a frozenset of
+    ``(move, next_state)`` pairs.  Use :class:`TwaBuilder` to write automata
+    with wildcard observations.
+    """
+
+    num_states: int
+    initial: int
+    accepting: frozenset[int]
+    transitions: dict[tuple[int, Observation], frozenset[tuple[Move, int]]]
+
+    def options(self, state: int, obs: Observation) -> frozenset[tuple[Move, int]]:
+        return self.transitions.get((state, obs), frozenset())
+
+    @property
+    def is_deterministic(self) -> bool:
+        return all(len(choices) <= 1 for choices in self.transitions.values())
+
+    # -- membership via the configuration graph --------------------------------
+
+    def accepts(self, tree: Tree, scope: int = 0) -> bool:
+        """Does some run (started at the scope root) reach an accepting state?"""
+        if self.initial in self.accepting:
+            return True
+        start = (self.initial, scope)
+        seen = {start}
+        queue = deque([start])
+        while queue:
+            state, node = queue.popleft()
+            obs = observation_at(tree, node, scope)
+            for move, next_state in self.options(state, obs):
+                target = apply_move(tree, node, move, scope)
+                if target is None:
+                    continue
+                if next_state in self.accepting:
+                    return True
+                config = (next_state, target)
+                if config not in seen:
+                    seen.add(config)
+                    queue.append(config)
+        return False
+
+    def reachable_configs(self, tree: Tree, scope: int = 0) -> set[tuple[int, int]]:
+        """All reachable (state, node) configurations (for inspection)."""
+        start = (self.initial, scope)
+        seen = {start}
+        queue = deque([start])
+        while queue:
+            state, node = queue.popleft()
+            obs = observation_at(tree, node, scope)
+            for move, next_state in self.options(state, obs):
+                target = apply_move(tree, node, move, scope)
+                if target is None:
+                    continue
+                config = (next_state, target)
+                if config not in seen:
+                    seen.add(config)
+                    queue.append(config)
+        return seen
+
+
+class TwaBuilder:
+    """Convenience builder: add transitions with wildcard observations.
+
+    >>> b = TwaBuilder(alphabet=("a", "b"), num_states=2)
+    >>> b.add(0, label="a", move=Move.DOWN_FIRST, target=1)   # any flags
+    >>> b.add(1, is_leaf=True, move=Move.STAY, target=1)      # any label
+    >>> automaton = b.build(initial=0, accepting={1})
+    """
+
+    def __init__(self, alphabet: Iterable[str], num_states: int):
+        self.alphabet = tuple(alphabet)
+        self.num_states = num_states
+        self._table: dict[tuple[int, Observation], set[tuple[Move, int]]] = {}
+
+    def observations(
+        self,
+        label: str | None = None,
+        is_root: bool | None = None,
+        is_leaf: bool | None = None,
+        is_first: bool | None = None,
+        is_last: bool | None = None,
+    ) -> list[Observation]:
+        """All *realizable* observations matching the given constraints.
+
+        (The root is always both a first and a last sibling.)
+        """
+        result = []
+        labels = self.alphabet if label is None else (label,)
+        booleans = (False, True)
+        for lbl in labels:
+            for root in booleans if is_root is None else (is_root,):
+                for leaf in booleans if is_leaf is None else (is_leaf,):
+                    for first in booleans if is_first is None else (is_first,):
+                        for last in booleans if is_last is None else (is_last,):
+                            if root and not (first and last):
+                                continue
+                            result.append(Observation(lbl, root, leaf, first, last))
+        return result
+
+    def add(
+        self,
+        state: int,
+        move: Move,
+        target: int,
+        label: str | None = None,
+        is_root: bool | None = None,
+        is_leaf: bool | None = None,
+        is_first: bool | None = None,
+        is_last: bool | None = None,
+    ) -> "TwaBuilder":
+        """Add ``(move, target)`` for every observation matching the wildcards."""
+        for obs in self.observations(label, is_root, is_leaf, is_first, is_last):
+            self._table.setdefault((state, obs), set()).add((move, target))
+        return self
+
+    def build(self, initial: int, accepting: Iterable[int]) -> TWA:
+        transitions = {
+            key: frozenset(choices) for key, choices in self._table.items()
+        }
+        return TWA(self.num_states, initial, frozenset(accepting), transitions)

@@ -1,0 +1,245 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands:
+
+* ``eval QUERY [FILE.xml]`` — evaluate a node query against an XML document
+  (stdin if no file) and list the matching nodes;
+* ``select PATH [FILE.xml]`` — select nodes reachable from the root via a
+  path expression;
+* ``translate QUERY`` — print the FO(MTC) rendering (T1) and, when the
+  query is W-free and in the compositional fragment, the round-tripped
+  Regular XPath (T2);
+* ``equivalent Q1 Q2`` — compare two queries: exactly when both are
+  downward, corpus-based otherwise;
+* ``satisfiable QUERY`` — exact satisfiability for downward queries with a
+  witness document, corpus-based search otherwise;
+* ``simplify QUERY`` — apply the sound rewrite system;
+* ``classify QUERY`` — dialect, axes, fragment memberships.
+
+Queries sort themselves: input parseable as a node expression is treated as
+one, otherwise as a path expression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .decision import (
+    NotDownward,
+    check_node_equivalence,
+    check_path_equivalence,
+    exact_equivalent,
+    exact_path_equivalent,
+    exact_satisfiable,
+    find_satisfying_node,
+    standard_corpus,
+)
+from .trees import Tree, parse_xml, to_xml
+from .xpath import (
+    Evaluator,
+    XPathSyntaxError,
+    ast as xp,
+    axes_used,
+    dialect,
+    is_conditional_xpath,
+    is_core_xpath,
+    is_downward,
+    parse_node,
+    parse_path,
+    simplify,
+    unparse,
+)
+
+__all__ = ["main"]
+
+
+def _parse_any(text: str) -> "xp.NodeExpr | xp.PathExpr":
+    try:
+        return parse_path(text)
+    except XPathSyntaxError:
+        return parse_node(text)
+
+
+def _load_tree(path: str | None) -> Tree:
+    if path is None or path == "-":
+        return parse_xml(sys.stdin.read())
+    with open(path) as handle:
+        return parse_xml(handle.read())
+
+
+def _describe_nodes(tree: Tree, nodes) -> str:
+    lines = []
+    for node_id in sorted(nodes):
+        lines.append(f"  node {node_id}: <{tree.labels[node_id]}> at depth {tree.depths[node_id]}")
+    return "\n".join(lines) if lines else "  (none)"
+
+
+def cmd_eval(args: argparse.Namespace) -> int:
+    expr = parse_node(args.query)
+    tree = _load_tree(args.file)
+    nodes = Evaluator(tree).nodes(expr)
+    print(f"{len(nodes)} node(s) satisfy {unparse(expr)}:")
+    print(_describe_nodes(tree, nodes))
+    return 0
+
+
+def cmd_select(args: argparse.Namespace) -> int:
+    expr = parse_path(args.query)
+    tree = _load_tree(args.file)
+    nodes = Evaluator(tree).image(expr, {0})
+    print(f"{len(nodes)} node(s) reachable from the root via {unparse(expr)}:")
+    print(_describe_nodes(tree, nodes))
+    return 0
+
+
+def cmd_translate(args: argparse.Namespace) -> int:
+    from .logic import unparse_formula
+    from .translations import (
+        UnsupportedFormula,
+        mtc_to_node_expr,
+        mtc_to_path_expr,
+        xpath_to_mtc,
+    )
+
+    expr = _parse_any(args.query)
+    formula = xpath_to_mtc(expr)
+    print(f"query:    {unparse(expr)}")
+    print(f"FO(MTC):  {unparse_formula(formula)}")
+    try:
+        if isinstance(expr, xp.NodeExpr):
+            back = mtc_to_node_expr(formula, "x")
+        else:
+            back = mtc_to_path_expr(formula, "x", "y")
+        print(f"back:     {unparse(simplify(back))}")
+    except UnsupportedFormula as exc:
+        print(f"back:     (outside the compositional fragment: {exc})")
+    return 0
+
+
+def cmd_equivalent(args: argparse.Namespace) -> int:
+    left = _parse_any(args.left)
+    right = _parse_any(args.right)
+    if isinstance(left, xp.NodeExpr) != isinstance(right, xp.NodeExpr):
+        print("error: cannot compare a node query with a path query", file=sys.stderr)
+        return 2
+    alphabet = tuple(args.alphabet)
+    if is_downward(left) and is_downward(right):
+        if isinstance(left, xp.NodeExpr):
+            witness = exact_equivalent(left, right, alphabet)
+        else:
+            witness = exact_path_equivalent(left, right, alphabet)
+        if witness is None:
+            print(f"EQUIVALENT (exact, over alphabet {set(alphabet)})")
+            return 0
+        print("NOT equivalent; distinguishing document:")
+        print(to_xml(witness, indent="  "))
+        return 1
+    corpus = standard_corpus(alphabet=alphabet)
+    if isinstance(left, xp.NodeExpr):
+        report = check_node_equivalence(left, right, corpus)
+    else:
+        report = check_path_equivalence(left, right, corpus)
+    if report.equivalent_on_corpus:
+        print(
+            f"equivalent on the corpus ({report.trees_checked} trees, "
+            f"exhaustive to size {report.exhaustive_to}) — not a proof"
+        )
+        return 0
+    print(f"NOT equivalent: {report.counterexample}")
+    return 1
+
+
+def cmd_satisfiable(args: argparse.Namespace) -> int:
+    expr = parse_node(args.query)
+    alphabet = tuple(args.alphabet)
+    if is_downward(expr):
+        witness = exact_satisfiable(expr, alphabet)
+        if witness is None:
+            print(f"UNSATISFIABLE (exact, over alphabet {set(alphabet)})")
+            return 1
+        print("SATISFIABLE; witness document:")
+        print(to_xml(witness, indent="  "))
+        return 0
+    found = find_satisfying_node(expr, standard_corpus(alphabet=alphabet))
+    if found is None:
+        print("no satisfying node found on the corpus — not a proof of unsatisfiability")
+        return 1
+    print(f"SATISFIABLE: {found}")
+    return 0
+
+
+def cmd_simplify(args: argparse.Namespace) -> int:
+    expr = _parse_any(args.query)
+    simplified = simplify(expr)
+    print(unparse(simplified))
+    if simplified.size < expr.size:
+        print(f"(size {expr.size} -> {simplified.size})", file=sys.stderr)
+    return 0
+
+
+def cmd_classify(args: argparse.Namespace) -> int:
+    expr = _parse_any(args.query)
+    sort = "node" if isinstance(expr, xp.NodeExpr) else "path"
+    print(f"sort:        {sort} expression")
+    print(f"dialect:     {dialect(expr).value}")
+    print(f"axes:        {sorted(axis.value for axis in axes_used(expr)) or '(none)'}")
+    print(f"size:        {expr.size}")
+    print(f"core:        {is_core_xpath(expr)}")
+    print(f"conditional: {is_conditional_xpath(expr)}")
+    print(f"downward:    {is_downward(expr)}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Navigational XPath, FO(MTC) and tree walking automata "
+        "(PODS 2008 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("eval", help="evaluate a node query on an XML document")
+    p.add_argument("query")
+    p.add_argument("file", nargs="?", help="XML file (default: stdin)")
+    p.set_defaults(func=cmd_eval)
+
+    p = sub.add_parser("select", help="select nodes from the root via a path")
+    p.add_argument("query")
+    p.add_argument("file", nargs="?")
+    p.set_defaults(func=cmd_select)
+
+    p = sub.add_parser("translate", help="FO(MTC) rendering and round trip")
+    p.add_argument("query")
+    p.set_defaults(func=cmd_translate)
+
+    p = sub.add_parser("equivalent", help="compare two queries")
+    p.add_argument("left")
+    p.add_argument("right")
+    p.add_argument("--alphabet", default="ab", help="labels, e.g. 'abc'")
+    p.set_defaults(func=cmd_equivalent)
+
+    p = sub.add_parser("satisfiable", help="satisfiability of a node query")
+    p.add_argument("query")
+    p.add_argument("--alphabet", default="ab")
+    p.set_defaults(func=cmd_satisfiable)
+
+    p = sub.add_parser("simplify", help="apply the sound rewrite system")
+    p.add_argument("query")
+    p.set_defaults(func=cmd_simplify)
+
+    p = sub.add_parser("classify", help="dialect and fragment membership")
+    p.add_argument("query")
+    p.set_defaults(func=cmd_classify)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (XPathSyntaxError, NotDownward, OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2

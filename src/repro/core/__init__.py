@@ -1,0 +1,5 @@
+"""The public façade of the reproduction: :class:`Query` and friends."""
+
+from .query import Query
+
+__all__ = ["Query"]

@@ -1,0 +1,172 @@
+"""The high-level query façade: one object tying all formalisms together.
+
+:class:`Query` wraps a node or path expression and exposes, as methods, the
+paper's whole diagram: evaluation on trees, translation into FO(MTC),
+translation back from FO(MTC), compilation to nested TWA, simplification,
+dialect classification, and corpus-based equivalence checking.
+
+>>> from repro import Query
+>>> q = Query.node("W(<descendant[b]>) and a")
+>>> q.dialect
+<Dialect.REGULAR_W: 'Regular XPath(W)'>
+>>> q.evaluate(some_tree)          # frozenset of node ids
+>>> q.to_fo_mtc()                  # an FO(MTC) formula
+>>> q.equivalent(Query.node("a and <descendant[b]>"))   # True here: W is
+...                                # redundant on a downward test
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..decision.corpora import Corpus, standard_corpus
+from ..decision.equivalence import (
+    EquivalenceReport,
+    check_node_equivalence,
+    check_path_equivalence,
+)
+from ..logic import ast as fo
+from ..trees.tree import Tree
+from ..xpath import ast as xp
+from ..xpath.evaluator import Evaluator
+from ..xpath.fragments import Dialect, axes_used, dialect, is_downward
+from ..xpath.parser import parse_node, parse_path
+from ..xpath.rewrite import simplify
+from ..xpath.unparse import unparse
+
+__all__ = ["Query"]
+
+
+@dataclass(frozen=True)
+class Query:
+    """A parsed navigational query (node- or path-sorted)."""
+
+    expr: "xp.NodeExpr | xp.PathExpr"
+
+    # -- constructors ------------------------------------------------------
+
+    @staticmethod
+    def node(text: "str | xp.NodeExpr") -> "Query":
+        """A node query, from source text or an AST."""
+        if isinstance(text, str):
+            return Query(parse_node(text))
+        if not isinstance(text, xp.NodeExpr):
+            raise TypeError(f"expected a node expression, got {text!r}")
+        return Query(text)
+
+    @staticmethod
+    def path(text: "str | xp.PathExpr") -> "Query":
+        """A path query, from source text or an AST."""
+        if isinstance(text, str):
+            return Query(parse_path(text))
+        if not isinstance(text, xp.PathExpr):
+            raise TypeError(f"expected a path expression, got {text!r}")
+        return Query(text)
+
+    # -- classification ---------------------------------------------------------
+
+    @property
+    def is_path(self) -> bool:
+        return isinstance(self.expr, xp.PathExpr)
+
+    @property
+    def dialect(self) -> Dialect:
+        """The smallest dialect (Core / Regular / Regular-W) containing it."""
+        return dialect(self.expr)
+
+    @property
+    def axes(self):
+        """The primitive axes the query navigates."""
+        return axes_used(self.expr)
+
+    @property
+    def is_downward(self) -> bool:
+        return is_downward(self.expr)
+
+    @property
+    def size(self) -> int:
+        return self.expr.size
+
+    # -- evaluation -----------------------------------------------------------
+
+    def evaluate(self, tree: Tree) -> frozenset[int]:
+        """Node query: the set of satisfying node ids."""
+        if self.is_path:
+            raise TypeError("use .pairs()/.select() for path queries")
+        return Evaluator(tree).nodes(self.expr)
+
+    def pairs(self, tree: Tree) -> set[tuple[int, int]]:
+        """Path query: the denoted binary relation."""
+        if not self.is_path:
+            raise TypeError("use .evaluate() for node queries")
+        return Evaluator(tree).pairs(self.expr)
+
+    def select(self, tree: Tree, sources: Iterable[int] = (0,)) -> set[int]:
+        """Path query: nodes reachable from ``sources`` (default: the root)."""
+        if not self.is_path:
+            raise TypeError("use .evaluate() for node queries")
+        return Evaluator(tree).image(self.expr, sources)
+
+    def holds_at(self, tree: Tree, node_id: int) -> bool:
+        """Node query: truth at one node."""
+        return node_id in self.evaluate(tree)
+
+    # -- the paper's diagram -------------------------------------------------------
+
+    def to_fo_mtc(self, x: str = "x", y: str = "y") -> fo.Formula:
+        """The FO(MTC) translation (T1)."""
+        from ..translations.xpath_to_logic import xpath_to_mtc
+
+        return xpath_to_mtc(self.expr, x, y)
+
+    def to_fo(self, x: str = "x", y: str = "y") -> fo.Formula:
+        """The Core XPath → FO translation (extended signature)."""
+        from ..translations.xpath_to_logic import xpath_to_fo
+
+        return xpath_to_fo(self.expr, x, y)
+
+    def to_nested_twa(self, alphabet: Iterable[str]):
+        """Compile a downward node query to a nested TWA (T3)."""
+        from ..translations.xpath_to_twa import compile_node_expr
+
+        if self.is_path:
+            raise TypeError("only node queries compile to tree acceptors")
+        return compile_node_expr(self.expr, tuple(alphabet))
+
+    @staticmethod
+    def from_fo_mtc(formula: fo.Formula, x: str = "x", y: str | None = None) -> "Query":
+        """The FO(MTC) → Regular XPath fragment translation (T2)."""
+        from ..translations.mtc_to_xpath import mtc_to_node_expr, mtc_to_path_expr
+
+        if y is None:
+            return Query(mtc_to_node_expr(formula, x))
+        return Query(mtc_to_path_expr(formula, x, y))
+
+    # -- rewriting and comparison ------------------------------------------------
+
+    def simplify(self) -> "Query":
+        """Apply the sound rewrite system to a fixpoint."""
+        return Query(simplify(self.expr))
+
+    def equivalent(self, other: "Query", corpus: Corpus | None = None) -> bool:
+        """Corpus-based equivalence (see :mod:`repro.decision.equivalence`)."""
+        return self.compare(other, corpus).equivalent_on_corpus
+
+    def compare(self, other: "Query", corpus: Corpus | None = None) -> EquivalenceReport:
+        """Full equivalence report against another query of the same sort."""
+        corpus = corpus or standard_corpus()
+        if self.is_path != other.is_path:
+            raise TypeError("cannot compare a node query with a path query")
+        if self.is_path:
+            return check_path_equivalence(self.expr, other.expr, corpus)
+        return check_node_equivalence(self.expr, other.expr, corpus)
+
+    # -- dunder -----------------------------------------------------------------
+
+    def __str__(self) -> str:
+        return unparse(self.expr)
+
+    def __repr__(self) -> str:
+        sort = "path" if self.is_path else "node"
+        return f"Query.{sort}({unparse(self.expr)!r})"

@@ -1,0 +1,62 @@
+"""Decision procedures: equivalence, containment, satisfiability, axioms."""
+
+from .axioms import (
+    AXIOM_SCHEMES,
+    Scheme,
+    scheme_by_name,
+    verify_all_schemes,
+    verify_scheme,
+)
+from .corpora import Corpus, standard_corpus
+from .exact import (
+    DownwardAnalysis,
+    NotDownward,
+    exact_contained,
+    exact_equivalent,
+    exact_path_equivalent,
+    exact_satisfiable,
+)
+from .schema import (
+    exact_contained_under,
+    exact_equivalent_under,
+    exact_satisfiable_under,
+)
+from .equivalence import (
+    Counterexample,
+    EquivalenceReport,
+    check_node_containment,
+    check_node_equivalence,
+    check_path_containment,
+    check_path_equivalence,
+    find_satisfying_node,
+    node_equivalent,
+    path_equivalent,
+)
+
+__all__ = [
+    "AXIOM_SCHEMES",
+    "DownwardAnalysis",
+    "NotDownward",
+    "exact_contained",
+    "exact_equivalent",
+    "exact_contained_under",
+    "exact_equivalent_under",
+    "exact_path_equivalent",
+    "exact_satisfiable",
+    "exact_satisfiable_under",
+    "Corpus",
+    "Counterexample",
+    "EquivalenceReport",
+    "Scheme",
+    "check_node_containment",
+    "check_node_equivalence",
+    "check_path_containment",
+    "check_path_equivalence",
+    "find_satisfying_node",
+    "node_equivalent",
+    "path_equivalent",
+    "scheme_by_name",
+    "standard_corpus",
+    "verify_all_schemes",
+    "verify_scheme",
+]

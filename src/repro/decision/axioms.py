@@ -1,0 +1,422 @@
+"""The equational axiom schemes of the Core XPath literature (experiment A1).
+
+The line of work this paper sits in (ten Cate–Litak–Marx and the talk
+literature) axiomatizes query equivalence by finitely many *equivalence
+schemes* over path metavariables A, B, C and node metavariables φ, ψ —
+idempotent-semiring laws, predicate laws, node-sort boolean laws, the Löb
+scheme for transitive axes, and tree-specific interaction laws.
+
+This module states those schemes executably: each :class:`Scheme` builds a
+concrete (lhs, rhs) pair from an instantiation of its metavariables.
+:func:`verify_scheme` soundness-tests a scheme by random instantiation ×
+corpus sweep — the machine-checkable half of the soundness problem the
+slides describe ("how do you know all of your equivalences are valid?").
+The catalog doubles as a stress test of the evaluator (every law is a
+nontrivial semantic identity).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..trees.axes import Axis
+from ..xpath import ast as xp
+from ..xpath.random_exprs import ExprSampler
+from .corpora import Corpus, standard_corpus
+from .equivalence import (
+    EquivalenceReport,
+    check_node_equivalence,
+    check_path_equivalence,
+)
+
+__all__ = ["Scheme", "AXIOM_SCHEMES", "verify_scheme", "verify_all_schemes", "scheme_by_name"]
+
+
+@dataclass(frozen=True)
+class Scheme:
+    """An equivalence scheme over metavariables.
+
+    ``build`` receives ``path_arity`` path expressions followed by
+    ``node_arity`` node expressions and returns the (lhs, rhs) instance —
+    either two path expressions or two node expressions (``sort``).
+    """
+
+    name: str
+    sort: str  # "path" | "node"
+    path_arity: int
+    node_arity: int
+    build: Callable[..., tuple]
+    comment: str = ""
+
+    def instantiate(
+        self, paths: Sequence[xp.PathExpr], nodes: Sequence[xp.NodeExpr]
+    ) -> tuple:
+        if len(paths) != self.path_arity or len(nodes) != self.node_arity:
+            raise ValueError(
+                f"scheme {self.name} needs {self.path_arity} paths and "
+                f"{self.node_arity} node expressions"
+            )
+        return self.build(*paths, *nodes)
+
+
+def _scheme(name, sort, path_arity, node_arity, comment=""):
+    def wrap(fn):
+        return Scheme(name, sort, path_arity, node_arity, fn, comment)
+
+    return wrap
+
+
+S = xp.SELF
+DESC = xp.DESCENDANT
+FSIB = xp.FOLLOWING_SIBLING
+
+
+AXIOM_SCHEMES: list[Scheme] = [
+    # -- idempotent semiring laws (ISAx) -----------------------------------
+    Scheme("union-assoc", "path", 3, 0, lambda a, b, c: (xp.Union(xp.Union(a, b), c), xp.Union(a, xp.Union(b, c)))),
+    Scheme("union-comm", "path", 2, 0, lambda a, b: (xp.Union(a, b), xp.Union(b, a))),
+    Scheme("union-idem", "path", 1, 0, lambda a: (xp.Union(a, a), a)),
+    Scheme("comp-assoc", "path", 3, 0, lambda a, b, c: (xp.Seq(xp.Seq(a, b), c), xp.Seq(a, xp.Seq(b, c)))),
+    Scheme("unit-left", "path", 1, 0, lambda a: (xp.Seq(S, a), a)),
+    Scheme("unit-right", "path", 1, 0, lambda a: (xp.Seq(a, S), a)),
+    Scheme("distr-left", "path", 3, 0, lambda a, b, c: (xp.Seq(a, xp.Union(b, c)), xp.Union(xp.Seq(a, b), xp.Seq(a, c)))),
+    Scheme("distr-right", "path", 3, 0, lambda a, b, c: (xp.Seq(xp.Union(a, b), c), xp.Union(xp.Seq(a, c), xp.Seq(b, c)))),
+    Scheme("zero-union", "path", 1, 0, lambda a: (xp.Union(a, xp.EmptyPath()), a)),
+    Scheme("zero-comp-left", "path", 1, 0, lambda a: (xp.Seq(xp.EmptyPath(), a), xp.EmptyPath())),
+    Scheme("zero-comp-right", "path", 1, 0, lambda a: (xp.Seq(a, xp.EmptyPath()), xp.EmptyPath())),
+    # -- predicate laws (PrAx) ------------------------------------------------
+    Scheme(
+        "filter-absorb",
+        "path",
+        2,
+        0,
+        lambda a, b: (xp.Seq(xp.filter_(a, xp.Exists(b)), b), xp.Seq(a, b)),
+        "PrAx1: A[⟨B⟩]/B ≈ A/B",
+    ),
+    Scheme(
+        "filter-or",
+        "path",
+        1,
+        2,
+        lambda a, p, q: (xp.filter_(a, xp.Or(p, q)), xp.Union(xp.filter_(a, p), xp.filter_(a, q))),
+        "PrAx2: A[φ∨ψ] ≈ A[φ] | A[ψ]",
+    ),
+    Scheme(
+        "filter-assoc",
+        "path",
+        2,
+        1,
+        lambda a, b, p: (xp.filter_(xp.Seq(a, b), p), xp.Seq(a, xp.filter_(b, p))),
+        "PrAx3: (A/B)[φ] ≈ A/(B[φ])",
+    ),
+    Scheme("filter-true", "path", 1, 0, lambda a: (xp.filter_(a, xp.TRUE), a), "PrAx4"),
+    Scheme(
+        "filter-and",
+        "path",
+        1,
+        2,
+        lambda a, p, q: (xp.filter_(xp.filter_(a, p), q), xp.filter_(a, xp.And(p, q))),
+        "A[φ][ψ] ≈ A[φ∧ψ]",
+    ),
+    # -- node-sort laws (NdAx) ---------------------------------------------------
+    Scheme(
+        "exists-union",
+        "node",
+        2,
+        0,
+        lambda a, b: (xp.Exists(xp.Union(a, b)), xp.Or(xp.Exists(a), xp.Exists(b))),
+        "NdAx2: ⟨A|B⟩ ≈ ⟨A⟩∨⟨B⟩",
+    ),
+    Scheme(
+        "exists-comp",
+        "node",
+        2,
+        0,
+        lambda a, b: (xp.Exists(xp.Seq(a, b)), xp.Exists(xp.filter_(a, xp.Exists(b)))),
+        "NdAx3: ⟨A/B⟩ ≈ ⟨A[⟨B⟩]⟩",
+    ),
+    Scheme(
+        "exists-filter",
+        "node",
+        0,
+        1,
+        lambda p: (xp.Exists(xp.Check(p)), p),
+        "NdAx4: ⟨?φ⟩ ≈ φ",
+    ),
+    Scheme("double-negation", "node", 0, 1, lambda p: (xp.Not(xp.Not(p)), p)),
+    Scheme(
+        "de-morgan",
+        "node",
+        0,
+        2,
+        lambda p, q: (xp.Not(xp.And(p, q)), xp.Or(xp.Not(p), xp.Not(q))),
+    ),
+    Scheme(
+        "and-distrib",
+        "node",
+        0,
+        3,
+        lambda p, q, r: (xp.And(p, xp.Or(q, r)), xp.Or(xp.And(p, q), xp.And(p, r))),
+    ),
+    # -- star laws (Regular XPath) ---------------------------------------------
+    Scheme("star-unfold-left", "path", 1, 0, lambda a: (xp.Star(a), xp.Union(S, xp.Seq(a, xp.Star(a))))),
+    Scheme("star-unfold-right", "path", 1, 0, lambda a: (xp.Star(a), xp.Union(S, xp.Seq(xp.Star(a), a)))),
+    Scheme("star-star", "path", 1, 0, lambda a: (xp.Star(xp.Star(a)), xp.Star(a))),
+    Scheme("star-union-self", "path", 1, 0, lambda a: (xp.Star(xp.Union(S, a)), xp.Star(a))),
+    # -- transitive-axis laws (TransAx / TreeAx) ------------------------------------
+    Scheme(
+        "desc-unfold",
+        "path",
+        0,
+        0,
+        lambda: (DESC, xp.Union(xp.CHILD, xp.Seq(xp.CHILD, DESC))),
+        "TreeAx1 for the vertical axis",
+    ),
+    Scheme(
+        "fsib-unfold",
+        "path",
+        0,
+        0,
+        lambda: (FSIB, xp.Union(xp.RIGHT, xp.Seq(xp.RIGHT, FSIB))),
+        "TreeAx1 for the horizontal axis",
+    ),
+    Scheme(
+        "desc-transitive",
+        "path",
+        0,
+        0,
+        lambda: (xp.Union(DESC, xp.Seq(DESC, DESC)), DESC),
+        "TransAx2",
+    ),
+    Scheme(
+        "loeb-desc",
+        "node",
+        0,
+        1,
+        lambda p: (
+            xp.Exists(xp.filter_(DESC, p)),
+            xp.Exists(xp.filter_(DESC, xp.And(p, xp.Not(xp.Exists(xp.filter_(DESC, p)))))),
+        ),
+        "TransAx1 (Löb): a reachable φ implies a *deepest* reachable φ — "
+        "valid precisely because trees are finite (well-foundedness)",
+    ),
+    Scheme(
+        "loeb-fsib",
+        "node",
+        0,
+        1,
+        lambda p: (
+            xp.Exists(xp.filter_(FSIB, p)),
+            xp.Exists(xp.filter_(FSIB, xp.And(p, xp.Not(xp.Exists(xp.filter_(FSIB, p)))))),
+        ),
+        "Löb for the linear sibling axis",
+    ),
+    Scheme(
+        "parent-functional",
+        "node",
+        0,
+        1,
+        lambda p: (
+            xp.Exists(xp.filter_(xp.PARENT, xp.Not(p))),
+            xp.And(xp.Exists(xp.PARENT), xp.Not(xp.Exists(xp.filter_(xp.PARENT, p)))),
+        ),
+        "LinAx1: the parent axis is a partial function",
+    ),
+    Scheme(
+        "child-parent-roundtrip",
+        "path",
+        0,
+        1,
+        lambda p: (
+            xp.Seq(xp.filter_(xp.CHILD, p), xp.PARENT),
+            xp.filter_(xp.Check(xp.Exists(xp.filter_(xp.CHILD, p))), xp.TRUE),
+        ),
+        "TreeAx2-style: down-and-up is a test",
+    ),
+    # -- tree interaction laws (TreeAx family) -----------------------------------
+    Scheme(
+        "right-parent",
+        "path",
+        0,
+        0,
+        lambda: (xp.Seq(xp.RIGHT, xp.PARENT), xp.Seq(xp.Check(xp.Exists(xp.RIGHT)), xp.PARENT)),
+        "stepping sideways does not change the parent",
+    ),
+    Scheme(
+        "child-fsib-absorption",
+        "path",
+        0,
+        0,
+        lambda: (xp.Seq(xp.CHILD, FSIB), xp.filter_(xp.CHILD, xp.Exists(xp.LEFT))),
+        "a later sibling of a child is a (non-first) child",
+    ),
+    Scheme(
+        "desc-decomposition",
+        "path",
+        0,
+        0,
+        lambda: (DESC, xp.Seq(xp.CHILD, xp.Step(Axis.DESCENDANT_OR_SELF))),
+        "descendant = child then descendant-or-self",
+    ),
+    Scheme(
+        "ancestor-loeb",
+        "node",
+        0,
+        1,
+        lambda p: (
+            xp.Exists(xp.filter_(xp.ANCESTOR, p)),
+            xp.Exists(
+                xp.filter_(
+                    xp.ANCESTOR,
+                    xp.And(p, xp.Not(xp.Exists(xp.filter_(xp.ANCESTOR, p)))),
+                )
+            ),
+        ),
+        "upward Löb: a φ-ancestor implies a topmost φ-ancestor",
+    ),
+    Scheme(
+        "first-last-cover",
+        "node",
+        0,
+        0,
+        lambda: (
+            xp.Or(xp.IS_FIRST, xp.Exists(xp.LEFT)),
+            xp.TRUE,
+        ),
+        "every node is first or has a left sibling",
+    ),
+    Scheme(
+        "parent-of-sibling",
+        "node",
+        0,
+        1,
+        lambda p: (
+            xp.Exists(xp.Seq(xp.RIGHT, xp.filter_(xp.PARENT, p))),
+            xp.And(xp.Exists(xp.RIGHT), xp.Exists(xp.filter_(xp.PARENT, p))),
+        ),
+        "the parent seen through a sibling is one's own parent",
+    ),
+    Scheme(
+        "root-reachability",
+        "node",
+        0,
+        0,
+        lambda: (
+            xp.Exists(xp.filter_(xp.Step(Axis.ANCESTOR_OR_SELF), xp.IS_ROOT)),
+            xp.TRUE,
+        ),
+        "every node sees the root above itself",
+    ),
+    # -- XPath 2.0 path booleans (relation-algebra laws, ten Cate–Marx) ----------
+    Scheme("isect-comm", "path", 2, 0, lambda a, b: (xp.Intersect(a, b), xp.Intersect(b, a))),
+    Scheme("isect-assoc", "path", 3, 0, lambda a, b, c: (xp.Intersect(xp.Intersect(a, b), c), xp.Intersect(a, xp.Intersect(b, c)))),
+    Scheme("isect-idem", "path", 1, 0, lambda a: (xp.Intersect(a, a), a)),
+    Scheme("double-complement", "path", 1, 0, lambda a: (xp.Complement(xp.Complement(a)), a)),
+    Scheme(
+        "de-morgan-paths",
+        "path",
+        2,
+        0,
+        lambda a, b: (xp.Complement(xp.Union(a, b)), xp.Intersect(xp.Complement(a), xp.Complement(b))),
+    ),
+    Scheme(
+        "absorption-paths",
+        "path",
+        2,
+        0,
+        lambda a, b: (xp.Intersect(a, xp.Union(a, b)), a),
+    ),
+    Scheme(
+        "isect-contradiction",
+        "path",
+        1,
+        0,
+        lambda a: (xp.Intersect(a, xp.Complement(a)), xp.EmptyPath()),
+    ),
+    Scheme(
+        "filter-via-intersection",
+        "path",
+        1,
+        1,
+        lambda a, p: (
+            xp.filter_(a, p),
+            xp.Intersect(a, xp.Seq(a, xp.Check(p))),
+        ),
+        "filters are definable from intersection (predicates can be "
+        "defined away in XPath 2.0, as the talk literature notes)",
+    ),
+    # -- the W operator ------------------------------------------------------------
+    Scheme("within-idem", "node", 0, 1, lambda p: (xp.Within(xp.Within(p)), xp.Within(p))),
+    Scheme(
+        "within-and",
+        "node",
+        0,
+        2,
+        lambda p, q: (xp.Within(xp.And(p, q)), xp.And(xp.Within(p), xp.Within(q))),
+    ),
+    Scheme(
+        "within-not",
+        "node",
+        0,
+        1,
+        lambda p: (xp.Within(xp.Not(p)), xp.Not(xp.Within(p))),
+    ),
+    Scheme(
+        "within-root",
+        "node",
+        0,
+        0,
+        lambda: (xp.Within(xp.IS_ROOT), xp.TRUE),
+        "inside its own subtree, every node is the root",
+    ),
+]
+
+
+def scheme_by_name(name: str) -> Scheme:
+    for scheme in AXIOM_SCHEMES:
+        if scheme.name == name:
+            return scheme
+    raise KeyError(name)
+
+
+def verify_scheme(
+    scheme: Scheme,
+    corpus: Corpus | None = None,
+    trials: int = 5,
+    rng: random.Random | None = None,
+    budget: int = 5,
+) -> EquivalenceReport:
+    """Soundness-test a scheme under ``trials`` random instantiations.
+
+    Returns the first failing report, or the last passing one.
+    """
+    corpus = corpus or standard_corpus()
+    rng = rng or random.Random(0)
+    sampler = ExprSampler(alphabet=corpus.alphabet, rng=rng)
+    report: EquivalenceReport | None = None
+    for __ in range(max(1, trials)):
+        paths = [sampler.path(budget) for _ in range(scheme.path_arity)]
+        nodes = [sampler.node(budget) for _ in range(scheme.node_arity)]
+        lhs, rhs = scheme.instantiate(paths, nodes)
+        if scheme.sort == "path":
+            report = check_path_equivalence(lhs, rhs, corpus)
+        else:
+            report = check_node_equivalence(lhs, rhs, corpus)
+        if not report.equivalent_on_corpus:
+            return report
+    assert report is not None
+    return report
+
+
+def verify_all_schemes(
+    corpus: Corpus | None = None, trials: int = 3, seed: int = 0
+) -> dict[str, EquivalenceReport]:
+    """Soundness-test the entire catalog; maps scheme name → report."""
+    corpus = corpus or standard_corpus()
+    rng = random.Random(seed)
+    return {
+        scheme.name: verify_scheme(scheme, corpus, trials, rng)
+        for scheme in AXIOM_SCHEMES
+    }

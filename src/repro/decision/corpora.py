@@ -1,0 +1,68 @@
+"""Tree corpora: the workloads of the equivalence experiments.
+
+A :class:`Corpus` bundles an exhaustive part (*every* tree up to a size
+bound — the falsification workhorse: any semantic bug shows up here) with a
+randomized part (larger trees, catching size-dependent bugs).  All decision
+procedures in this package take a corpus; :func:`standard_corpus` is the
+default configuration used across the test-suite and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from ..trees.generate import all_trees, chain, comb, random_deep_tree, random_tree, star
+from ..trees.tree import Tree
+
+__all__ = ["Corpus", "standard_corpus"]
+
+
+@dataclass
+class Corpus:
+    """A reusable collection of test trees over a fixed alphabet."""
+
+    alphabet: tuple[str, ...]
+    trees: list[Tree] = field(default_factory=list)
+    exhaustive_size: int = 0
+
+    def __iter__(self) -> Iterator[Tree]:
+        return iter(self.trees)
+
+    def __len__(self) -> int:
+        return len(self.trees)
+
+    @property
+    def is_exhaustive_to(self) -> int:
+        """The corpus provably contains *all* trees up to this size."""
+        return self.exhaustive_size
+
+
+def standard_corpus(
+    alphabet: Sequence[str] = ("a", "b"),
+    exhaustive_size: int = 4,
+    random_count: int = 30,
+    max_random_size: int = 25,
+    seed: int = 2008,
+) -> Corpus:
+    """The default corpus: exhaustive up to ``exhaustive_size`` nodes, plus
+    random and shaped larger trees.
+
+    The default exhaustive bound of 4 over a 2-letter alphabet gives 102
+    trees; bound 5 gives 550 — still fast for most checks.
+    """
+    alphabet = tuple(alphabet)
+    rng = random.Random(seed)
+    trees: list[Tree] = list(all_trees(exhaustive_size, alphabet))
+    for __ in range(random_count):
+        size = rng.randint(exhaustive_size + 1, max_random_size)
+        if rng.random() < 0.3:
+            trees.append(random_deep_tree(size, alphabet, rng))
+        else:
+            trees.append(random_tree(size, alphabet, rng))
+    # Shaped extremes keep degenerate navigation honest.
+    trees.append(chain(max_random_size, alphabet))
+    trees.append(star(max_random_size - 1, alphabet[0], alphabet[-1]))
+    trees.append(comb(max_random_size // 2, alphabet[0], alphabet[-1]))
+    return Corpus(alphabet, trees, exhaustive_size)

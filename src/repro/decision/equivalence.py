@@ -1,0 +1,173 @@
+"""Query equivalence, containment and satisfiability over tree corpora.
+
+Query equivalence is the central static-analysis problem of the XPath
+literature this paper belongs to (it is inter-reducible with containment and
+satisfiability, and EXPTIME-hard already for modest fragments).  Exact
+procedures exist via automata, but for the full Regular XPath(W) dialect we
+provide the pragmatically useful pair:
+
+* **bounded-exhaustive** checking — complete for counterexamples up to the
+  corpus's exhaustive size (small-model falsification), and
+* **randomized** checking on larger trees.
+
+A ``None`` result therefore means "no counterexample found", reported with
+the evidence (how many trees, exhaustive to what size) via
+:class:`EquivalenceReport`.  Exact equivalence at the *automata* level
+(hedge automata) is available in :mod:`repro.automata.hedge`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..trees.tree import Tree
+from ..xpath import ast as xp
+from ..xpath.evaluator import Evaluator
+from .corpora import Corpus, standard_corpus
+
+__all__ = [
+    "Counterexample",
+    "EquivalenceReport",
+    "check_node_equivalence",
+    "check_path_equivalence",
+    "check_node_containment",
+    "check_path_containment",
+    "find_satisfying_node",
+    "node_equivalent",
+    "path_equivalent",
+]
+
+
+@dataclass(frozen=True)
+class Counterexample:
+    """A witness that two expressions differ (or that one is satisfiable)."""
+
+    tree: Tree
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.detail} on tree {self.tree.to_shape()!r}"
+
+
+@dataclass(frozen=True)
+class EquivalenceReport:
+    """Outcome of a corpus sweep.
+
+    ``counterexample`` is None when every tree agreed; then ``trees_checked``
+    and ``exhaustive_to`` say how strong that evidence is (exhaustive_to = k
+    means *no* counterexample with ≤ k nodes exists, full stop).
+    """
+
+    counterexample: Counterexample | None
+    trees_checked: int
+    exhaustive_to: int
+
+    @property
+    def equivalent_on_corpus(self) -> bool:
+        return self.counterexample is None
+
+
+def _sweep(corpus: Corpus, compare) -> EquivalenceReport:
+    for index, tree in enumerate(corpus):
+        detail = compare(tree)
+        if detail is not None:
+            return EquivalenceReport(
+                Counterexample(tree, detail), index + 1, corpus.exhaustive_size
+            )
+    return EquivalenceReport(None, len(corpus), corpus.exhaustive_size)
+
+
+def check_node_equivalence(
+    left: xp.NodeExpr, right: xp.NodeExpr, corpus: Corpus | None = None
+) -> EquivalenceReport:
+    """Do the two node expressions select the same nodes on every corpus tree?"""
+    corpus = corpus or standard_corpus()
+
+    def compare(tree: Tree) -> str | None:
+        evaluator = Evaluator(tree)
+        left_set = evaluator.nodes(left)
+        right_set = evaluator.nodes(right)
+        if left_set != right_set:
+            return (
+                f"node sets differ: {sorted(left_set)} vs {sorted(right_set)}"
+            )
+        return None
+
+    return _sweep(corpus, compare)
+
+
+def check_path_equivalence(
+    left: xp.PathExpr, right: xp.PathExpr, corpus: Corpus | None = None
+) -> EquivalenceReport:
+    """Do the two path expressions denote the same relation on every tree?"""
+    corpus = corpus or standard_corpus()
+
+    def compare(tree: Tree) -> str | None:
+        evaluator = Evaluator(tree)
+        left_pairs = evaluator.pairs(left)
+        right_pairs = evaluator.pairs(right)
+        if left_pairs != right_pairs:
+            only_left = left_pairs - right_pairs
+            only_right = right_pairs - left_pairs
+            return f"relations differ: +{sorted(only_left)} / -{sorted(only_right)}"
+        return None
+
+    return _sweep(corpus, compare)
+
+
+def check_node_containment(
+    small: xp.NodeExpr, large: xp.NodeExpr, corpus: Corpus | None = None
+) -> EquivalenceReport:
+    """Is ``[[small]] ⊆ [[large]]`` on every corpus tree?"""
+    corpus = corpus or standard_corpus()
+
+    def compare(tree: Tree) -> str | None:
+        evaluator = Evaluator(tree)
+        extra = evaluator.nodes(small) - evaluator.nodes(large)
+        if extra:
+            return f"containment fails at nodes {sorted(extra)}"
+        return None
+
+    return _sweep(corpus, compare)
+
+
+def check_path_containment(
+    small: xp.PathExpr, large: xp.PathExpr, corpus: Corpus | None = None
+) -> EquivalenceReport:
+    """Is the relation of ``small`` contained in that of ``large``?"""
+    corpus = corpus or standard_corpus()
+
+    def compare(tree: Tree) -> str | None:
+        evaluator = Evaluator(tree)
+        extra = evaluator.pairs(small) - evaluator.pairs(large)
+        if extra:
+            return f"containment fails at pairs {sorted(extra)}"
+        return None
+
+    return _sweep(corpus, compare)
+
+
+def find_satisfying_node(
+    expr: xp.NodeExpr, corpus: Corpus | None = None
+) -> Counterexample | None:
+    """A corpus tree with a node satisfying ``expr`` (bounded satisfiability)."""
+    corpus = corpus or standard_corpus()
+    for tree in corpus:
+        nodes = Evaluator(tree).nodes(expr)
+        if nodes:
+            return Counterexample(tree, f"satisfied at nodes {sorted(nodes)}")
+    return None
+
+
+def node_equivalent(
+    left: xp.NodeExpr, right: xp.NodeExpr, corpus: Corpus | None = None
+) -> bool:
+    """Shorthand: no counterexample on the corpus."""
+    return check_node_equivalence(left, right, corpus).equivalent_on_corpus
+
+
+def path_equivalent(
+    left: xp.PathExpr, right: xp.PathExpr, corpus: Corpus | None = None
+) -> bool:
+    """Shorthand: no counterexample on the corpus."""
+    return check_path_equivalence(left, right, corpus).equivalent_on_corpus

@@ -1,0 +1,417 @@
+"""Exact decision procedures for the downward fragment.
+
+Corpus-based equivalence (:mod:`repro.decision.equivalence`) is bounded; for
+*downward* Regular XPath(W) expressions we can do better and decide
+satisfiability, equivalence and containment **exactly**, with witness trees.
+This is the query-language face of theorem T4: downward queries compile to
+bottom-up tree automata.
+
+The construction avoids materializing hedge automata.  For a downward node
+expression φ, the truth of every subexpression at a node ``v`` is determined
+by ``v``'s label together with a finite summary of its children:
+
+* each node subexpression contributes a truth **bit** (``W ψ`` shares ψ's
+  bit — downward tests cannot see outside the subtree, which is the
+  fragment's defining property);
+* each path expression ``p`` under an ``⟨p⟩`` contributes an **alive set**:
+  the NFA states of ``p``'s step automaton (over the instruction alphabet
+  ``CHILD`` / ``TEST ψ`` / ε) from which a match can complete inside the
+  subtree of ``v``.  Descending moves consult the *union* of the children's
+  alive sets, so the whole summary is a fold over children.
+
+The summary (bit vector + alive-set vector) is the node's **state**; the
+state space is finite, and the set of *reachable* states over all trees is
+computed by a least fixpoint over (state, union-of-alive-vectors) pairs,
+with provenance tracked so every answer comes with a concrete witness tree.
+
+Soundness is cross-validated against the corpus harness by the test suite:
+whenever the exact procedure says "equivalent", no corpus counterexample
+exists; whenever it says "inequivalent", its witness tree really
+distinguishes the expressions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..trees.axes import Axis
+from ..trees.tree import Tree
+from ..xpath import ast as xp
+from ..xpath.fragments import is_downward
+
+__all__ = [
+    "NotDownward",
+    "DownwardAnalysis",
+    "exact_satisfiable",
+    "exact_equivalent",
+    "exact_contained",
+    "exact_path_equivalent",
+]
+
+
+class NotDownward(ValueError):
+    """The expression is outside the downward fragment."""
+
+
+# ---------------------------------------------------------------------------
+# Path step automata: ε-NFAs over CHILD / TEST instructions
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _StepNfa:
+    """An ε-NFA whose edges are ``("child",)``, ``("test", node_expr)`` or ε.
+
+    Matching starts at ``start``; reaching ``final`` means the path has
+    found its endpoint (the endpoint itself needs no further checks: tests
+    are edges).
+    """
+
+    num_states: int = 2
+    start: int = 0
+    final: int = 1
+    child_edges: list[tuple[int, int]] = field(default_factory=list)
+    test_edges: list[tuple[int, xp.NodeExpr, int]] = field(default_factory=list)
+    epsilon_edges: list[tuple[int, int]] = field(default_factory=list)
+
+    def fresh(self) -> int:
+        state = self.num_states
+        self.num_states += 1
+        return state
+
+
+def _build_step_nfa(path: xp.PathExpr) -> _StepNfa:
+    nfa = _StepNfa()
+    _add_path(path, nfa, nfa.start, nfa.final)
+    return nfa
+
+
+def _add_path(path: xp.PathExpr, nfa: _StepNfa, src: int, dst: int) -> None:
+    if isinstance(path, xp.Step):
+        if path.axis is Axis.SELF:
+            nfa.epsilon_edges.append((src, dst))
+        elif path.axis is Axis.CHILD:
+            nfa.child_edges.append((src, dst))
+        elif path.axis is Axis.DESCENDANT:
+            hub = nfa.fresh()
+            nfa.child_edges.append((src, hub))
+            nfa.child_edges.append((hub, hub))
+            nfa.epsilon_edges.append((hub, dst))
+        elif path.axis is Axis.DESCENDANT_OR_SELF:
+            nfa.epsilon_edges.append((src, dst))
+            nfa.child_edges.append((src, dst))
+            nfa.child_edges.append((dst, dst))
+        else:
+            raise NotDownward(f"axis {path.axis!r} is outside the downward fragment")
+    elif isinstance(path, xp.Seq):
+        middle = nfa.fresh()
+        _add_path(path.left, nfa, src, middle)
+        _add_path(path.right, nfa, middle, dst)
+    elif isinstance(path, xp.Union):
+        _add_path(path.left, nfa, src, dst)
+        _add_path(path.right, nfa, src, dst)
+    elif isinstance(path, xp.Star):
+        hub = nfa.fresh()
+        nfa.epsilon_edges.append((src, hub))
+        _add_path(path.path, nfa, hub, hub)
+        nfa.epsilon_edges.append((hub, dst))
+    elif isinstance(path, xp.Check):
+        nfa.test_edges.append((src, path.test, dst))
+    elif isinstance(path, xp.EmptyPath):
+        pass
+    else:
+        raise NotDownward(f"unknown path expression {path!r}")
+
+
+# ---------------------------------------------------------------------------
+# The analysis
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _State:
+    """The bottom-up summary of a subtree: subexpression bits + alive sets."""
+
+    bits: tuple[bool, ...]
+    alive: tuple[frozenset[int], ...]
+
+
+class DownwardAnalysis:
+    """Exact analysis of one or more downward node expressions.
+
+    All expressions are analysed jointly (one shared closure), so their bits
+    live in the same reachable states and can be compared directly.
+    """
+
+    def __init__(self, expressions: Sequence[xp.NodeExpr], alphabet: Sequence[str]):
+        self.alphabet = tuple(alphabet)
+        if not self.alphabet:
+            raise ValueError("the alphabet must be nonempty")
+        for expr in expressions:
+            if not is_downward(expr):
+                raise NotDownward(f"{expr} is outside the downward fragment")
+        self.expressions = tuple(expressions)
+        # Closure: node subexpressions in bottom-up dependency order.
+        self._index: dict[xp.NodeExpr, int] = {}
+        self._order: list[xp.NodeExpr] = []
+        self._nfas: list[_StepNfa] = []
+        self._nfa_index: dict[xp.PathExpr, int] = {}
+        for expr in expressions:
+            self._register(expr)
+        self._reachable: dict[_State, object] | None = None
+
+    # -- closure construction ------------------------------------------------
+
+    def _register(self, expr: xp.NodeExpr) -> int:
+        if expr in self._index:
+            return self._index[expr]
+        if isinstance(expr, (xp.Label, xp.TrueNode)):
+            pass
+        elif isinstance(expr, xp.Not):
+            self._register(expr.operand)
+        elif isinstance(expr, (xp.And, xp.Or)):
+            self._register(expr.left)
+            self._register(expr.right)
+        elif isinstance(expr, xp.Within):
+            self._register(expr.test)
+        elif isinstance(expr, xp.Exists):
+            if expr.path not in self._nfa_index:
+                nfa = _build_step_nfa(expr.path)
+                for __, test, __dst in nfa.test_edges:
+                    self._register(test)
+                self._nfa_index[expr.path] = len(self._nfas)
+                self._nfas.append(nfa)
+        else:
+            raise NotDownward(f"unknown node expression {expr!r}")
+        self._index[expr] = len(self._order)
+        self._order.append(expr)
+        return self._index[expr]
+
+    def bit_of(self, expr: xp.NodeExpr, state: _State) -> bool:
+        """The truth of a registered expression in a subtree state."""
+        return state.bits[self._index[expr]]
+
+    # -- the transition function -----------------------------------------------
+
+    def state_for(self, label: str, children_alive: tuple[frozenset[int], ...]) -> _State:
+        """Compute the state of a node from its label and the *union* of its
+        children's alive sets (one frozenset per path NFA)."""
+        bits: list[bool] = []
+        alive: list[frozenset[int] | None] = [None] * len(self._nfas)
+
+        def alive_for(nfa_id: int) -> frozenset[int]:
+            if alive[nfa_id] is not None:
+                return alive[nfa_id]  # type: ignore[return-value]
+            nfa = self._nfas[nfa_id]
+            below = children_alive[nfa_id]
+            result: set[int] = {nfa.final}
+            changed = True
+            while changed:
+                changed = False
+                for src, dst in nfa.epsilon_edges:
+                    if dst in result and src not in result:
+                        result.add(src)
+                        changed = True
+                for src, dst in nfa.child_edges:
+                    if dst in below and src not in result:
+                        result.add(src)
+                        changed = True
+                for src, test, dst in nfa.test_edges:
+                    if dst in result and src not in result:
+                        if bits[self._index[test]]:
+                            result.add(src)
+                            changed = True
+            alive[nfa_id] = frozenset(result)
+            return alive[nfa_id]  # type: ignore[return-value]
+
+        for expr in self._order:
+            if isinstance(expr, xp.Label):
+                bits.append(label == expr.name)
+            elif isinstance(expr, xp.TrueNode):
+                bits.append(True)
+            elif isinstance(expr, xp.Not):
+                bits.append(not bits[self._index[expr.operand]])
+            elif isinstance(expr, xp.And):
+                bits.append(
+                    bits[self._index[expr.left]] and bits[self._index[expr.right]]
+                )
+            elif isinstance(expr, xp.Or):
+                bits.append(
+                    bits[self._index[expr.left]] or bits[self._index[expr.right]]
+                )
+            elif isinstance(expr, xp.Within):
+                bits.append(bits[self._index[expr.test]])
+            elif isinstance(expr, xp.Exists):
+                nfa_id = self._nfa_index[expr.path]
+                nfa = self._nfas[nfa_id]
+                bits.append(nfa.start in alive_for(nfa_id))
+            else:  # pragma: no cover - registration rejects unknowns
+                raise NotDownward(f"unknown node expression {expr!r}")
+
+        full_alive = tuple(alive_for(i) for i in range(len(self._nfas)))
+        return _State(tuple(bits), full_alive)
+
+    def state_of_tree(self, tree: Tree, node_id: int = 0) -> _State:
+        """The state of a concrete subtree (bottom-up evaluation)."""
+        states: dict[int, _State] = {}
+        zero = tuple(frozenset() for __ in self._nfas)
+        for v in reversed(tree.subtree_ids(node_id)):
+            kids = tree.children_ids(v)
+            if kids:
+                union = tuple(
+                    frozenset().union(*(states[c].alive[i] for c in kids))
+                    for i in range(len(self._nfas))
+                )
+            else:
+                union = zero
+            states[v] = self.state_for(tree.labels[v], union)
+        return states[node_id]
+
+    # -- reachability over all trees ---------------------------------------------
+
+    def reachable_states(self) -> dict[_State, Tree]:
+        """All states realized by *some* tree over the alphabet, each with a
+        (small) witness tree realizing it."""
+        if self._reachable is not None:
+            return self._reachable  # type: ignore[return-value]
+        zero = tuple(frozenset() for __ in self._nfas)
+        # U-vectors reachable as unions of children alive-vectors, with the
+        # child lists witnessing them.
+        u_witness: dict[tuple[frozenset[int], ...], list[Tree]] = {zero: []}
+        states: dict[_State, Tree] = {}
+        changed = True
+        while changed:
+            changed = False
+            for union, children in list(u_witness.items()):
+                for label in self.alphabet:
+                    state = self.state_for(label, union)
+                    if state not in states:
+                        shape = (label, [t.to_shape() for t in children])
+                        states[state] = Tree.build(shape)
+                        changed = True
+            for state, tree in list(states.items()):
+                for union, children in list(u_witness.items()):
+                    bigger = tuple(
+                        union[i] | state.alive[i] for i in range(len(self._nfas))
+                    )
+                    if bigger not in u_witness:
+                        u_witness[bigger] = children + [tree]
+                        changed = True
+        self._reachable = states
+        return states
+
+
+# ---------------------------------------------------------------------------
+# Public decision procedures
+# ---------------------------------------------------------------------------
+
+
+def exact_satisfiable(
+    expr: xp.NodeExpr, alphabet: Sequence[str] = ("a", "b")
+) -> Tree | None:
+    """A tree whose *root* satisfies the downward expression, or None.
+
+    For downward expressions, root satisfiability coincides with
+    satisfiability at any node (a subtree is itself a tree).  This is a
+    complete decision procedure, unlike the corpus-bounded
+    :func:`repro.decision.equivalence.find_satisfying_node`.
+    """
+    analysis = DownwardAnalysis([expr], alphabet)
+    for state, witness in analysis.reachable_states().items():
+        if analysis.bit_of(expr, state):
+            return witness
+    return None
+
+
+def exact_equivalent(
+    left: xp.NodeExpr, right: xp.NodeExpr, alphabet: Sequence[str] = ("a", "b")
+) -> Tree | None:
+    """None if the two downward expressions agree at every node of every
+    tree over ``alphabet``; otherwise a witness tree whose root satisfies
+    exactly one of them."""
+    analysis = DownwardAnalysis([left, right], alphabet)
+    for state, witness in analysis.reachable_states().items():
+        if analysis.bit_of(left, state) != analysis.bit_of(right, state):
+            return witness
+    return None
+
+
+def exact_contained(
+    small: xp.NodeExpr, large: xp.NodeExpr, alphabet: Sequence[str] = ("a", "b")
+) -> Tree | None:
+    """None if ``[[small]] ⊆ [[large]]`` at every node of every tree;
+    otherwise a witness tree whose root satisfies ``small`` but not
+    ``large``."""
+    analysis = DownwardAnalysis([small, large], alphabet)
+    for state, witness in analysis.reachable_states().items():
+        if analysis.bit_of(small, state) and not analysis.bit_of(large, state):
+            return witness
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Exact path equivalence via the marking reduction
+# ---------------------------------------------------------------------------
+
+_MARK_SUFFIX = "#"
+
+
+def _accept_both(expr: xp.NodeExpr) -> xp.NodeExpr:
+    """Make label tests insensitive to the mark: ``a`` matches ``a#`` too."""
+    if isinstance(expr, xp.Label):
+        return xp.Or(expr, xp.Label(expr.name + _MARK_SUFFIX))
+    if isinstance(expr, xp.TrueNode):
+        return expr
+    if isinstance(expr, xp.Not):
+        return xp.Not(_accept_both(expr.operand))
+    if isinstance(expr, xp.And):
+        return xp.And(_accept_both(expr.left), _accept_both(expr.right))
+    if isinstance(expr, xp.Or):
+        return xp.Or(_accept_both(expr.left), _accept_both(expr.right))
+    if isinstance(expr, xp.Within):
+        return xp.Within(_accept_both(expr.test))
+    if isinstance(expr, xp.Exists):
+        return xp.Exists(_mark_path(expr.path))
+    raise NotDownward(f"unknown node expression {expr!r}")
+
+
+def _mark_path(path: xp.PathExpr) -> xp.PathExpr:
+    if isinstance(path, (xp.Step, xp.EmptyPath)):
+        return path
+    if isinstance(path, xp.Seq):
+        return xp.Seq(_mark_path(path.left), _mark_path(path.right))
+    if isinstance(path, xp.Union):
+        return xp.Union(_mark_path(path.left), _mark_path(path.right))
+    if isinstance(path, xp.Star):
+        return xp.Star(_mark_path(path.path))
+    if isinstance(path, xp.Check):
+        return xp.Check(_accept_both(path.test))
+    raise NotDownward(f"unknown path expression {path!r}")
+
+
+def exact_path_equivalent(
+    left: xp.PathExpr, right: xp.PathExpr, alphabet: Sequence[str] = ("a", "b")
+) -> Tree | None:
+    """Exact relation equivalence for downward *path* expressions.
+
+    The marking reduction: double the alphabet with marked variants
+    (``a`` → ``a#``), make both paths mark-insensitive, and compare the node
+    expressions "some marked node is p-reachable".  Over marked trees this
+    bit records exactly the relation, so the node-level exact procedure
+    decides relation equality.  Returns None (equivalent) or a marked
+    witness tree: its root reaches a marked node under exactly one path.
+    """
+    if not (is_downward(left) and is_downward(right)):
+        raise NotDownward("exact path equivalence covers the downward fragment")
+    marked_labels = [label + _MARK_SUFFIX for label in alphabet]
+    marked_test = None
+    for label in marked_labels:
+        atom = xp.Label(label)
+        marked_test = atom if marked_test is None else xp.Or(marked_test, atom)
+    assert marked_test is not None
+    left_node = xp.Exists(xp.Seq(_mark_path(left), xp.Check(marked_test)))
+    right_node = xp.Exists(xp.Seq(_mark_path(right), xp.Check(marked_test)))
+    return exact_equivalent(
+        left_node, right_node, tuple(alphabet) + tuple(marked_labels)
+    )

@@ -1,0 +1,140 @@
+"""Schema-aware exact static analysis: XPath decision problems *under a DTD*.
+
+Satisfiability and equivalence of XPath queries relative to a schema is the
+classic database-theory setting (a query that is satisfiable in general may
+be vacuous over the documents a DTD admits, and vice versa).  For downward
+Regular XPath(W) and DTD schemas both problems are decided **exactly** here,
+with conforming witness documents.
+
+Construction: the truth-vector analysis of :mod:`repro.decision.exact`
+explores subtree states as a fold over children; a DTD constrains children
+*sequences* per parent label, so the joint exploration threads, alongside
+the analysis' union-of-alive-sets, one content-model NFA simulation per
+element name.  A vertical state is then (analysis state, element name), and
+only conforming combinations are reachable.
+
+"Holds at some node" reduces to "holds at the root" by analysing
+``φ ∨ ⟨descendant[φ]⟩`` instead of ``φ``; equivalence under the schema
+reduces to schema-satisfiability of the symmetric difference.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..automata.dtd import Dtd, parse_content_model
+from ..trees.tree import Tree
+from ..xpath import ast as xp
+from .exact import DownwardAnalysis
+
+__all__ = [
+    "exact_satisfiable_under",
+    "exact_equivalent_under",
+    "exact_contained_under",
+]
+
+
+def _somewhere(expr: xp.NodeExpr) -> xp.NodeExpr:
+    """``expr`` holds at the context node or below it."""
+    return xp.Or(expr, xp.Exists(xp.filter_(xp.DESCENDANT, expr)))
+
+
+class _SchemaAnalysis:
+    """Joint reachable-state exploration: analysis states × DTD conformance."""
+
+    def __init__(self, expressions: Sequence[xp.NodeExpr], dtd: Dtd):
+        self.dtd = dtd
+        self.elements = dtd.elements
+        self.analysis = DownwardAnalysis(expressions, self.elements)
+        symbol_of = {name: i for i, name in enumerate(self.elements)}
+        self.symbol_of = symbol_of
+        self.models = {
+            name: parse_content_model(model, symbol_of)
+            for name, model in dtd.content.items()
+        }
+
+    def reachable(self) -> dict[tuple[object, str], Tree]:
+        """All (analysis state, element) pairs realized by a conforming
+        subtree, each with a witness."""
+        analysis = self.analysis
+        zero_union = tuple(frozenset() for __ in analysis._nfas)
+        start_h = {
+            name: self.models[name].start_set() for name in self.elements
+        }
+
+        def fold_key(fold):
+            union, h = fold
+            return (union, tuple(sorted((k, v) for k, v in h.items())))
+
+        empty_fold = (zero_union, start_h)
+        folds: dict[object, tuple[object, list[Tree]]] = {
+            fold_key(empty_fold): (empty_fold, [])
+        }
+        states: dict[tuple[object, str], Tree] = {}
+        changed = True
+        while changed:
+            changed = False
+            for __, (fold, children) in list(folds.items()):
+                union, h = fold
+                for name in self.elements:
+                    if not self.models[name].is_accepting_set(h[name]):
+                        continue  # children sequence would violate the model
+                    a_state = analysis.state_for(name, union)
+                    key = (a_state, name)
+                    if key not in states:
+                        shape = (name, [t.to_shape() for t in children])
+                        states[key] = Tree.build(shape)
+                        changed = True
+            for (a_state, name), witness in list(states.items()):
+                symbol = self.symbol_of[name]
+                for __, (fold, children) in list(folds.items()):
+                    union, h = fold
+                    new_union = tuple(
+                        union[i] | a_state.alive[i]
+                        for i in range(len(analysis._nfas))
+                    )
+                    new_h = {
+                        parent: self.models[parent].step(h[parent], symbol)
+                        for parent in self.elements
+                    }
+                    extended = (new_union, new_h)
+                    key = fold_key(extended)
+                    if key not in folds:
+                        folds[key] = (extended, children + [witness])
+                        changed = True
+        return states
+
+
+def exact_satisfiable_under(
+    expr: xp.NodeExpr, dtd: Dtd, at_root: bool = False
+) -> Tree | None:
+    """A conforming document with a node (or, with ``at_root``, the root)
+    satisfying the downward expression — or None, exactly."""
+    target = expr if at_root else _somewhere(expr)
+    analysis = _SchemaAnalysis([target], dtd)
+    for (a_state, name), witness in analysis.reachable().items():
+        if name != dtd.root:
+            continue
+        if analysis.analysis.bit_of(target, a_state):
+            return witness
+    return None
+
+
+def exact_equivalent_under(
+    left: xp.NodeExpr, right: xp.NodeExpr, dtd: Dtd
+) -> Tree | None:
+    """None if the two downward expressions agree at every node of every
+    conforming document; otherwise a conforming witness containing a node
+    satisfying exactly one of them."""
+    difference = xp.Or(
+        xp.And(left, xp.Not(right)), xp.And(xp.Not(left), right)
+    )
+    return exact_satisfiable_under(difference, dtd)
+
+
+def exact_contained_under(
+    small: xp.NodeExpr, large: xp.NodeExpr, dtd: Dtd
+) -> Tree | None:
+    """None if ``[[small]] ⊆ [[large]]`` on every conforming document;
+    otherwise a conforming witness violating the containment."""
+    return exact_satisfiable_under(xp.And(small, xp.Not(large)), dtd)

@@ -1,0 +1,44 @@
+"""First-order logic with monadic transitive closure (and MSO) on trees.
+
+The logic side of the paper's main equivalence.  Public surface: the formula
+AST and builders (:mod:`repro.logic.ast`), the parser, the relational model
+checker, the EF game engine, and the small-scale MSO checker.
+"""
+
+from . import ast
+from .ef_games import EFGame, distinguishing_rank, duplicator_wins
+from .modelcheck import (
+    ModelChecker,
+    formula_node_set,
+    formula_pairs,
+    holds,
+    satisfying_table,
+)
+from .mso import ExistsSet, ForallSet, In, mso_holds, mso_node_set
+from .parser import FormulaSyntaxError, parse_formula
+from .random_formulas import FormulaSampler, random_formula
+from .tables import Table
+from .unparse import unparse_formula
+
+__all__ = [
+    "EFGame",
+    "ExistsSet",
+    "ForallSet",
+    "FormulaSyntaxError",
+    "In",
+    "ModelChecker",
+    "Table",
+    "ast",
+    "distinguishing_rank",
+    "duplicator_wins",
+    "formula_node_set",
+    "formula_pairs",
+    "holds",
+    "mso_holds",
+    "mso_node_set",
+    "FormulaSampler",
+    "parse_formula",
+    "random_formula",
+    "satisfying_table",
+    "unparse_formula",
+]

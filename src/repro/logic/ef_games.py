@@ -1,0 +1,145 @@
+"""Ehrenfeucht–Fraïssé games on trees.
+
+The standard tool for proving FO-inexpressibility, used here for the
+separation-flavoured experiments (T5 in DESIGN.md): Duplicator wins the
+r-round game on two trees iff no FO sentence of quantifier rank ≤ r
+distinguishes them.  Since Core XPath node expressions translate into FO
+(experiment T1's little sibling), a Duplicator win transfers
+inexpressibility to Core XPath — e.g. "the root chain has even length" is
+not Core XPath-definable, witnessed by Duplicator wins on chains of lengths
+2^r and 2^r + 1.
+
+The game is parameterized by the signature: which binary relations the
+partial isomorphism must preserve (``child``, ``right``, ``descendant``,
+``following_sibling``).  More relations make Spoiler stronger.
+"""
+
+from __future__ import annotations
+
+from ..trees.tree import Tree
+from .ast import RELATION_NAMES
+
+__all__ = ["EFGame", "duplicator_wins", "distinguishing_rank"]
+
+DEFAULT_SIGNATURE = RELATION_NAMES
+
+
+class EFGame:
+    """The r-round EF game between two trees over a given signature."""
+
+    def __init__(
+        self,
+        left: Tree,
+        right: Tree,
+        signature: tuple[str, ...] = DEFAULT_SIGNATURE,
+    ):
+        self.left = left
+        self.right = right
+        self.signature = tuple(signature)
+        self._memo: dict[tuple, bool] = {}
+
+    # -- structural checks ------------------------------------------------------
+
+    def _related(self, tree: Tree, name: str, a: int, b: int) -> bool:
+        if name == "child":
+            return tree.parent[b] == a
+        if name == "right":
+            return tree.next_sibling[a] == b
+        if name == "descendant":
+            return tree.is_descendant(b, a)
+        if name == "following_sibling":
+            return tree.parent[a] >= 0 and tree.parent[a] == tree.parent[b] and a < b
+        raise ValueError(f"unknown relation {name!r}")
+
+    def _is_partial_isomorphism(
+        self, picked_left: tuple[int, ...], picked_right: tuple[int, ...]
+    ) -> bool:
+        for i, (a, b) in enumerate(zip(picked_left, picked_right)):
+            if self.left.labels[a] != self.right.labels[b]:
+                return False
+            for j in range(i):
+                c, d = picked_left[j], picked_right[j]
+                if (a == c) != (b == d):
+                    return False
+                for name in self.signature:
+                    if self._related(self.left, name, a, c) != self._related(
+                        self.right, name, b, d
+                    ):
+                        return False
+                    if self._related(self.left, name, c, a) != self._related(
+                        self.right, name, d, b
+                    ):
+                        return False
+        return True
+
+    # -- the game -------------------------------------------------------------
+
+    def duplicator_wins(
+        self,
+        rounds: int,
+        picked_left: tuple[int, ...] = (),
+        picked_right: tuple[int, ...] = (),
+    ) -> bool:
+        """Does Duplicator win the ``rounds``-round game from this position?"""
+        if not self._is_partial_isomorphism(picked_left, picked_right):
+            return False
+        if rounds == 0:
+            return True
+        # Positions are order-insensitive up to the pairing; canonicalize by
+        # sorting the pairs to improve memo hits.
+        pairing = tuple(sorted(zip(picked_left, picked_right)))
+        key = (pairing, rounds)
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        result = self._play(rounds, picked_left, picked_right)
+        self._memo[key] = result
+        return result
+
+    def _play(
+        self, rounds: int, picked_left: tuple[int, ...], picked_right: tuple[int, ...]
+    ) -> bool:
+        # Spoiler picks in the left tree.
+        for a in self.left.node_ids:
+            if not any(
+                self.duplicator_wins(rounds - 1, picked_left + (a,), picked_right + (b,))
+                for b in self.right.node_ids
+            ):
+                return False
+        # Spoiler picks in the right tree.
+        for b in self.right.node_ids:
+            if not any(
+                self.duplicator_wins(rounds - 1, picked_left + (a,), picked_right + (b,))
+                for a in self.left.node_ids
+            ):
+                return False
+        return True
+
+
+def duplicator_wins(
+    left: Tree,
+    right: Tree,
+    rounds: int,
+    signature: tuple[str, ...] = DEFAULT_SIGNATURE,
+) -> bool:
+    """Duplicator wins the ``rounds``-round EF game on the two trees.
+
+    Equivalently: no FO sentence of quantifier rank ≤ rounds over
+    ``signature`` distinguishes them.
+    """
+    return EFGame(left, right, signature).duplicator_wins(rounds)
+
+
+def distinguishing_rank(
+    left: Tree,
+    right: Tree,
+    max_rounds: int,
+    signature: tuple[str, ...] = DEFAULT_SIGNATURE,
+) -> int | None:
+    """The least r ≤ max_rounds at which Spoiler wins, or None."""
+    game = EFGame(left, right, signature)
+    for r in range(max_rounds + 1):
+        if not game.duplicator_wins(r):
+            return r
+    return None
+

@@ -1,0 +1,228 @@
+"""Model checking FO(MTC) on labelled sibling-ordered trees.
+
+Evaluation is database-style (see :mod:`repro.logic.tables`): each
+subformula is compiled bottom-up into the table of its satisfying
+assignments.  TC subformulas group their body table by parameter columns and
+run a BFS transitive closure per group.
+
+Entry points:
+
+* :func:`satisfying_table` — the full table of a formula,
+* :func:`holds` — truth under one assignment,
+* :func:`formula_node_set` / :func:`formula_pairs` — the unary/binary query
+  defined by a formula with one/two distinguished free variables, in the
+  same format the XPath evaluators produce (this is how the translation
+  experiments T1/T2 compare the two sides).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..trees.axes import Axis, axis_pairs
+from ..trees.tree import Tree
+from . import ast
+from .tables import Table
+
+__all__ = [
+    "ModelChecker",
+    "satisfying_table",
+    "holds",
+    "formula_node_set",
+    "formula_pairs",
+]
+
+_RELATION_AXIS = {
+    "child": Axis.CHILD,
+    "right": Axis.RIGHT,
+    "descendant": Axis.DESCENDANT,
+    "following_sibling": Axis.FOLLOWING_SIBLING,
+}
+
+
+class ModelChecker:
+    """Evaluates FO(MTC) formulas over one tree, memoizing per subformula."""
+
+    def __init__(self, tree: Tree):
+        self.tree = tree
+        self.universe = tree.node_ids
+        self._cache: dict[int, Table] = {}
+        self._pinned: dict[int, ast.Formula] = {}
+        self._relations: dict[str, set[tuple[int, int]]] = {}
+
+    # -- public API ------------------------------------------------------------
+
+    def table(self, formula: ast.Formula) -> Table:
+        """The table of satisfying assignments over the free variables."""
+        key = id(formula)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        result = self._eval(formula)
+        self._cache[key] = result
+        self._pinned[key] = formula
+        return result
+
+    def holds(self, formula: ast.Formula, env: dict[str, int] | None = None) -> bool:
+        """Truth of ``formula`` under the assignment ``env``."""
+        env = env or {}
+        table = self.table(formula)
+        missing = [c for c in table.columns if c not in env]
+        if missing:
+            raise ValueError(f"unassigned free variables: {missing}")
+        for var in table.columns:
+            table = table.select_eq(var, env[var])
+        return table.truth
+
+    def node_set(self, formula: ast.Formula, var: str) -> set[int]:
+        """``{n | tree ⊨ formula[var := n]}`` for a formula with one free var."""
+        table = self.table(formula)
+        if table.columns == ():
+            return set(self.universe) if table.truth else set()
+        if table.columns != (var,):
+            raise ValueError(
+                f"expected free variables ({var},), got {table.columns}"
+            )
+        return table.column_values(var)
+
+    def pairs(self, formula: ast.Formula, x: str, y: str) -> set[tuple[int, int]]:
+        """The binary query of a formula with free variables ``{x, y}``.
+
+        Degenerate column sets (the formula may not mention both variables)
+        are padded with the universe, matching the logical convention.
+        """
+        table = self.table(formula)
+        table = table.pad(tuple(sorted(set(table.columns) | {x, y})), self.universe)
+        extra = [c for c in table.columns if c not in (x, y)]
+        if extra:
+            raise ValueError(f"unexpected free variables {extra}")
+        return table.pairs(x, y)
+
+    # -- structural relations ----------------------------------------------------
+
+    def relation(self, name: str) -> set[tuple[int, int]]:
+        pairs = self._relations.get(name)
+        if pairs is None:
+            pairs = axis_pairs(self.tree, _RELATION_AXIS[name])
+            self._relations[name] = pairs
+        return pairs
+
+    # -- evaluation ---------------------------------------------------------------
+
+    def _eval(self, formula: ast.Formula) -> Table:
+        tree = self.tree
+        universe = self.universe
+        if isinstance(formula, ast.LabelAtom):
+            return Table.unary(
+                formula.var,
+                (n for n in universe if tree.labels[n] == formula.label),
+            )
+        if isinstance(formula, ast.Rel):
+            return Table.binary(formula.left, formula.right, self.relation(formula.name))
+        if isinstance(formula, ast.Eq):
+            if formula.left == formula.right:
+                return Table.boolean(True)
+            return Table.binary(
+                formula.left, formula.right, ((n, n) for n in universe)
+            )
+        if isinstance(formula, ast.TrueFormula):
+            return Table.boolean(True)
+        if isinstance(formula, ast.Not):
+            return self.table(formula.operand).complement(universe)
+        if isinstance(formula, ast.And):
+            return self.table(formula.left).join(self.table(formula.right))
+        if isinstance(formula, ast.Or):
+            return self.table(formula.left).union(self.table(formula.right), universe)
+        if isinstance(formula, ast.Exists):
+            return self.table(formula.body).project_away(formula.var)
+        if isinstance(formula, ast.Forall):
+            inner = self.table(formula.body).complement(universe)
+            return inner.project_away(formula.var).complement(universe)
+        if isinstance(formula, ast.TC):
+            return self._eval_tc(formula)
+        raise TypeError(f"unknown formula: {formula!r}")
+
+    def _eval_tc(self, formula: ast.TC) -> Table:
+        universe = self.universe
+        body = self.table(formula.body)
+        # Ensure the bound variables are present as columns (a body that
+        # ignores x or y denotes a cylinder over it).
+        body = body.pad(
+            tuple(sorted(set(body.columns) | {formula.x, formula.y})), universe
+        )
+        ix = body.columns.index(formula.x)
+        iy = body.columns.index(formula.y)
+        param_idx = [
+            i for i, c in enumerate(body.columns) if c not in (formula.x, formula.y)
+        ]
+        params = tuple(
+            c for c in body.columns if c not in (formula.x, formula.y)
+        )
+
+        # Group body rows by parameter valuation, closing each group.
+        groups: dict[tuple[int, ...], dict[int, set[int]]] = {}
+        for row in body.rows:
+            key = tuple(row[i] for i in param_idx)
+            groups.setdefault(key, {}).setdefault(row[ix], set()).add(row[iy])
+
+        closed_rows: set[tuple[int, ...]] = set()
+        # Result columns: sorted(params + {source, target}) with the usual
+        # diagonal handling when source == target or collide with params.
+        src, tgt = formula.source, formula.target
+        result_cols = tuple(sorted(set(params) | {src, tgt}))
+
+        for key, successors in groups.items():
+            closure = _strict_closure(successors)
+            env_base = dict(zip(params, key))
+            for a, reachable in closure.items():
+                for b in reachable:
+                    env = dict(env_base)
+                    ok = True
+                    for var, value in ((src, a), (tgt, b)):
+                        if var in env and env[var] != value:
+                            ok = False
+                            break
+                        env[var] = value
+                    if ok:
+                        closed_rows.add(tuple(env[c] for c in result_cols))
+        return Table(result_cols, frozenset(closed_rows))
+
+
+def _strict_closure(successors: dict[int, set[int]]) -> dict[int, set[int]]:
+    """Strict transitive closure of an adjacency map, by BFS per source."""
+    closure: dict[int, set[int]] = {}
+    for source in successors:
+        reached: set[int] = set()
+        frontier = deque(successors.get(source, ()))
+        reached.update(frontier)
+        while frontier:
+            node = frontier.popleft()
+            for nxt in successors.get(node, ()):
+                if nxt not in reached:
+                    reached.add(nxt)
+                    frontier.append(nxt)
+        closure[source] = reached
+    return closure
+
+
+# ---------------------------------------------------------------------------
+# One-shot conveniences
+# ---------------------------------------------------------------------------
+
+
+def satisfying_table(tree: Tree, formula: ast.Formula) -> Table:
+    return ModelChecker(tree).table(formula)
+
+
+def holds(tree: Tree, formula: ast.Formula, env: dict[str, int] | None = None) -> bool:
+    return ModelChecker(tree).holds(formula, env)
+
+
+def formula_node_set(tree: Tree, formula: ast.Formula, var: str) -> set[int]:
+    return ModelChecker(tree).node_set(formula, var)
+
+
+def formula_pairs(
+    tree: Tree, formula: ast.Formula, x: str, y: str
+) -> set[tuple[int, int]]:
+    return ModelChecker(tree).pairs(formula, x, y)

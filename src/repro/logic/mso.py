@@ -1,0 +1,165 @@
+"""Monadic second-order logic on trees — the small-scale yardstick.
+
+MSO is the upper bound of the paper's expressiveness picture: the regular
+tree languages.  Theorem T4/T5 say FO(MTC) (= Regular XPath(W) = nested TWA)
+sits *strictly below* MSO.  For machine-checkable comparisons we need to
+evaluate MSO on concrete trees; set quantifiers make this exponential, so
+this checker enumerates subsets directly and is intended for trees of, say,
+≤ 12 nodes.  Language-level (all-trees) reasoning about MSO-definable sets
+goes through hedge automata instead (:mod:`repro.automata.hedge`).
+
+The syntax extends :mod:`repro.logic.ast` with set variables: ``In(x, X)``
+membership atoms and ``ExistsSet`` / ``ForallSet`` quantifiers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import chain, combinations
+
+from ..trees.tree import Tree
+from . import ast
+
+__all__ = ["In", "ExistsSet", "ForallSet", "mso_holds", "mso_node_set"]
+
+
+@dataclass(frozen=True)
+class In(ast.Formula):
+    """Membership atom ``var ∈ set_var``."""
+
+    var: str
+    set_var: str
+
+    def children(self) -> tuple[ast.Formula, ...]:
+        return ()
+
+
+@dataclass(frozen=True)
+class ExistsSet(ast.Formula):
+    set_var: str
+    body: ast.Formula
+
+    def children(self) -> tuple[ast.Formula, ...]:
+        return (self.body,)
+
+
+@dataclass(frozen=True)
+class ForallSet(ast.Formula):
+    set_var: str
+    body: ast.Formula
+
+    def children(self) -> tuple[ast.Formula, ...]:
+        return (self.body,)
+
+
+def _subsets(universe: range):
+    nodes = list(universe)
+    return chain.from_iterable(
+        combinations(nodes, k) for k in range(len(nodes) + 1)
+    )
+
+
+def mso_holds(
+    tree: Tree,
+    formula: ast.Formula,
+    env: dict[str, int] | None = None,
+    set_env: dict[str, frozenset[int]] | None = None,
+) -> bool:
+    """Truth of an MSO formula on ``tree`` (exponential in set quantifiers)."""
+    env = dict(env or {})
+    set_env = dict(set_env or {})
+    return _eval(tree, formula, env, set_env)
+
+
+def mso_node_set(tree: Tree, formula: ast.Formula, var: str) -> set[int]:
+    """``{n | tree ⊨ formula[var := n]}`` for one free first-order variable."""
+    return {
+        n for n in tree.node_ids if mso_holds(tree, formula, {var: n})
+    }
+
+
+def _eval(
+    tree: Tree,
+    formula: ast.Formula,
+    env: dict[str, int],
+    set_env: dict[str, frozenset[int]],
+) -> bool:
+    if isinstance(formula, In):
+        return env[formula.var] in set_env[formula.set_var]
+    if isinstance(formula, ExistsSet):
+        return any(
+            _eval(tree, formula.body, env, {**set_env, formula.set_var: frozenset(s)})
+            for s in _subsets(tree.node_ids)
+        )
+    if isinstance(formula, ForallSet):
+        return all(
+            _eval(tree, formula.body, env, {**set_env, formula.set_var: frozenset(s)})
+            for s in _subsets(tree.node_ids)
+        )
+    if isinstance(formula, ast.LabelAtom):
+        return tree.labels[env[formula.var]] == formula.label
+    if isinstance(formula, ast.Rel):
+        a, b = env[formula.left], env[formula.right]
+        if formula.name == "child":
+            return tree.parent[b] == a
+        if formula.name == "right":
+            return tree.next_sibling[a] == b
+        if formula.name == "descendant":
+            return tree.is_descendant(b, a)
+        if formula.name == "following_sibling":
+            return tree.parent[a] >= 0 and tree.parent[a] == tree.parent[b] and a < b
+        raise ValueError(f"unknown relation {formula.name!r}")
+    if isinstance(formula, ast.Eq):
+        return env[formula.left] == env[formula.right]
+    if isinstance(formula, ast.TrueFormula):
+        return True
+    if isinstance(formula, ast.Not):
+        return not _eval(tree, formula.operand, env, set_env)
+    if isinstance(formula, ast.And):
+        return _eval(tree, formula.left, env, set_env) and _eval(
+            tree, formula.right, env, set_env
+        )
+    if isinstance(formula, ast.Or):
+        return _eval(tree, formula.left, env, set_env) or _eval(
+            tree, formula.right, env, set_env
+        )
+    if isinstance(formula, ast.Exists):
+        return any(
+            _eval(tree, formula.body, {**env, formula.var: n}, set_env)
+            for n in tree.node_ids
+        )
+    if isinstance(formula, ast.Forall):
+        return all(
+            _eval(tree, formula.body, {**env, formula.var: n}, set_env)
+            for n in tree.node_ids
+        )
+    if isinstance(formula, ast.TC):
+        return _eval_tc(tree, formula, env, set_env)
+    raise TypeError(f"unknown formula: {formula!r}")
+
+
+def _eval_tc(
+    tree: Tree,
+    formula: ast.TC,
+    env: dict[str, int],
+    set_env: dict[str, frozenset[int]],
+) -> bool:
+    source = env[formula.source]
+    target = env[formula.target]
+    reached: set[int] = set()
+    frontier = [source]
+    first = True
+    while frontier:
+        nxt: list[int] = []
+        for a in frontier:
+            for b in tree.node_ids:
+                if b in reached:
+                    continue
+                if _eval(
+                    tree, formula.body, {**env, formula.x: a, formula.y: b}, set_env
+                ):
+                    reached.add(b)
+                    nxt.append(b)
+        frontier = nxt
+        first = False
+    return target in reached

@@ -1,0 +1,96 @@
+"""Random FO(MTC) formulas, for property-based cross-validation.
+
+The relational model checker (:mod:`repro.logic.modelcheck`) and the naive
+assignment-enumeration checker inside :mod:`repro.logic.mso` are fully
+independent implementations of the same semantics; fuzzing them against each
+other on random formulas × random trees is the logic-side analogue of the
+two-evaluator anchor on the XPath side.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from . import ast
+
+__all__ = ["FormulaSampler", "random_formula"]
+
+
+class FormulaSampler:
+    """Samples random FO(MTC) formulas with a given set of free variables."""
+
+    def __init__(
+        self,
+        alphabet: Sequence[str] = ("a", "b"),
+        rng: random.Random | None = None,
+        allow_tc: bool = True,
+    ):
+        self.alphabet = tuple(alphabet)
+        self.rng = rng or random.Random()
+        self.allow_tc = allow_tc
+        self._counter = 0
+
+    def _fresh(self) -> str:
+        self._counter += 1
+        return f"w{self._counter}"
+
+    def formula(self, free: Sequence[str], budget: int = 8) -> ast.Formula:
+        """A random formula whose free variables are ⊆ ``free``."""
+        free = list(free)
+        if not free:
+            fresh = self._fresh()
+            return ast.Exists(fresh, self.formula([fresh], budget - 1))
+        return self._formula(free, max(1, budget))
+
+    def _atom(self, free: list[str]) -> ast.Formula:
+        rng = self.rng
+        kind = rng.choice(["label", "rel", "eq", "true"])
+        if kind == "label":
+            return ast.LabelAtom(rng.choice(self.alphabet), rng.choice(free))
+        if kind == "rel":
+            return ast.Rel(
+                rng.choice(ast.RELATION_NAMES), rng.choice(free), rng.choice(free)
+            )
+        if kind == "eq":
+            return ast.Eq(rng.choice(free), rng.choice(free))
+        return ast.TRUE
+
+    def _formula(self, free: list[str], budget: int) -> ast.Formula:
+        rng = self.rng
+        if budget <= 1:
+            return self._atom(free)
+        choices = ["atom", "not", "and", "or", "exists", "forall"]
+        if self.allow_tc:
+            choices.append("tc")
+        kind = rng.choice(choices)
+        if kind == "atom":
+            return self._atom(free)
+        if kind == "not":
+            return ast.Not(self._formula(free, budget - 1))
+        if kind in ("and", "or"):
+            split = rng.randint(1, budget - 1)
+            left = self._formula(free, split)
+            right = self._formula(free, budget - split)
+            return ast.And(left, right) if kind == "and" else ast.Or(left, right)
+        if kind in ("exists", "forall"):
+            var = self._fresh()
+            body = self._formula(free + [var], budget - 1)
+            return ast.Exists(var, body) if kind == "exists" else ast.Forall(var, body)
+        # tc
+        u, v = self._fresh(), self._fresh()
+        body = self._formula([u, v] + free[:1], max(1, budget - 2))
+        source = self.rng.choice(free)
+        target = self.rng.choice(free)
+        return ast.TC(u, v, body, source, target)
+
+
+def random_formula(
+    free: Sequence[str],
+    budget: int = 8,
+    alphabet: Sequence[str] = ("a", "b"),
+    rng: random.Random | None = None,
+    allow_tc: bool = True,
+) -> ast.Formula:
+    """One-shot random FO(MTC) formula with free variables ⊆ ``free``."""
+    return FormulaSampler(alphabet, rng, allow_tc).formula(free, budget)

@@ -1,0 +1,171 @@
+"""Relations over tree nodes as named-column tables.
+
+The FO(MTC) model checker evaluates formulas *bottom-up into relations*, the
+way a relational database engine evaluates a query plan: every subformula
+yields a :class:`Table` of its satisfying assignments (one column per free
+variable), combined by natural join (∧), padded union (∨), complement (¬)
+and projection (∃).  This keeps model checking polynomial for the bounded
+numbers of free variables our translations produce — the naive
+assignment-enumeration checker would be exponential in quantifier depth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Iterable
+
+__all__ = ["Table"]
+
+
+@dataclass(frozen=True)
+class Table:
+    """A finite relation with named columns.
+
+    ``columns`` is a sorted tuple of variable names; ``rows`` is a frozenset
+    of value tuples aligned with ``columns``.  A 0-column table is a boolean:
+    ``{()}`` for true, ``∅`` for false.
+    """
+
+    columns: tuple[str, ...]
+    rows: frozenset[tuple[int, ...]]
+
+    def __post_init__(self) -> None:
+        if tuple(sorted(self.columns)) != self.columns:
+            raise ValueError(f"columns must be sorted, got {self.columns}")
+
+    # -- constructors --------------------------------------------------------
+
+    @staticmethod
+    def boolean(value: bool) -> "Table":
+        return Table((), frozenset({()}) if value else frozenset())
+
+    @staticmethod
+    def unary(var: str, values: Iterable[int]) -> "Table":
+        return Table((var,), frozenset((v,) for v in values))
+
+    @staticmethod
+    def binary(x: str, y: str, pairs: Iterable[tuple[int, int]]) -> "Table":
+        """A table over columns {x, y}; if ``x == y``, keeps the diagonal."""
+        if x == y:
+            return Table((x,), frozenset((a,) for a, b in pairs if a == b))
+        if x < y:
+            return Table((x, y), frozenset(pairs))
+        return Table((y, x), frozenset((b, a) for a, b in pairs))
+
+    # -- basic properties ----------------------------------------------------
+
+    @property
+    def is_boolean(self) -> bool:
+        return not self.columns
+
+    @property
+    def truth(self) -> bool:
+        """For 0-column tables: is this 'true'?  (Nonempty otherwise.)"""
+        return bool(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    # -- relational algebra ------------------------------------------------
+
+    def join(self, other: "Table") -> "Table":
+        """Natural join on shared columns."""
+        shared = tuple(c for c in self.columns if c in other.columns)
+        if not shared:
+            columns = tuple(sorted(self.columns + other.columns))
+            order = _merge_order(self.columns, other.columns, columns)
+            rows = frozenset(
+                order(a, b) for a in self.rows for b in other.rows
+            )
+            return Table(columns, rows)
+        self_key = [self.columns.index(c) for c in shared]
+        other_key = [other.columns.index(c) for c in shared]
+        other_rest = [
+            i for i, c in enumerate(other.columns) if c not in shared
+        ]
+        columns = tuple(sorted(set(self.columns) | set(other.columns)))
+        # index `other` rows by key
+        index: dict[tuple[int, ...], list[tuple[int, ...]]] = {}
+        for row in other.rows:
+            key = tuple(row[i] for i in other_key)
+            index.setdefault(key, []).append(tuple(row[i] for i in other_rest))
+        merged_cols = list(self.columns) + [other.columns[i] for i in other_rest]
+        reorder = [merged_cols.index(c) for c in columns]
+        rows = set()
+        for row in self.rows:
+            key = tuple(row[i] for i in self_key)
+            for rest in index.get(key, ()):
+                merged = row + rest
+                rows.add(tuple(merged[i] for i in reorder))
+        return Table(columns, frozenset(rows))
+
+    def pad(self, columns: tuple[str, ...], universe: range) -> "Table":
+        """Extend to a superset of columns, new columns ranging over
+        ``universe`` (the relational rendering of vacuous variables)."""
+        if columns == self.columns:
+            return self
+        missing = [c for c in columns if c not in self.columns]
+        if set(columns) != set(self.columns) | set(missing):
+            raise ValueError("pad target must be a superset of columns")
+        merged_cols = list(self.columns) + missing
+        reorder = [merged_cols.index(c) for c in columns]
+        rows = set()
+        for row in self.rows:
+            for extra in product(universe, repeat=len(missing)):
+                merged = row + extra
+                rows.add(tuple(merged[i] for i in reorder))
+        return Table(columns, frozenset(rows))
+
+    def union(self, other: "Table", universe: range) -> "Table":
+        columns = tuple(sorted(set(self.columns) | set(other.columns)))
+        return Table(
+            columns,
+            self.pad(columns, universe).rows | other.pad(columns, universe).rows,
+        )
+
+    def complement(self, universe: range) -> "Table":
+        full = frozenset(product(universe, repeat=len(self.columns)))
+        return Table(self.columns, full - self.rows)
+
+    def project_away(self, var: str) -> "Table":
+        """∃var: drop the column (no-op if absent)."""
+        if var not in self.columns:
+            return self
+        idx = self.columns.index(var)
+        columns = self.columns[:idx] + self.columns[idx + 1 :]
+        rows = frozenset(row[:idx] + row[idx + 1 :] for row in self.rows)
+        return Table(columns, rows)
+
+    def select_eq(self, var: str, value: int) -> "Table":
+        """Filter rows where column ``var`` equals ``value`` and drop it."""
+        if var not in self.columns:
+            return self
+        idx = self.columns.index(var)
+        columns = self.columns[:idx] + self.columns[idx + 1 :]
+        rows = frozenset(
+            row[:idx] + row[idx + 1 :] for row in self.rows if row[idx] == value
+        )
+        return Table(columns, rows)
+
+    def column_values(self, var: str) -> set[int]:
+        idx = self.columns.index(var)
+        return {row[idx] for row in self.rows}
+
+    def pairs(self, x: str, y: str) -> set[tuple[int, int]]:
+        ix = self.columns.index(x)
+        iy = self.columns.index(y)
+        return {(row[ix], row[iy]) for row in self.rows}
+
+
+def _merge_order(
+    left: tuple[str, ...], right: tuple[str, ...], target: tuple[str, ...]
+):
+    merged = list(left) + list(right)
+    reorder = [merged.index(c) for c in target]
+
+    def order(a: tuple[int, ...], b: tuple[int, ...]) -> tuple[int, ...]:
+        row = a + b
+        return tuple(row[i] for i in reorder)
+
+    return order

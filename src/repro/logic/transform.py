@@ -1,0 +1,140 @@
+"""Formula transformations: capture-avoiding renaming and flattening."""
+
+from __future__ import annotations
+
+from . import ast
+
+__all__ = ["rename_free", "conjuncts", "disjuncts"]
+
+
+def rename_free(formula: ast.Formula, mapping: dict[str, str]) -> ast.Formula:
+    """Rename free variables, avoiding capture by renaming binders on clash.
+
+    ``mapping`` sends old free-variable names to new names.  Binders whose
+    bound variable collides with a *target* name are alpha-renamed to a fresh
+    name first.
+    """
+    if not mapping:
+        return formula
+    return _rename(formula, mapping, set(mapping.values()) | set(mapping))
+
+
+def _freshen(var: str, forbidden: set[str]) -> str:
+    candidate = var
+    i = 0
+    while candidate in forbidden:
+        i += 1
+        candidate = f"{var}_{i}"
+    return candidate
+
+
+def _rename(
+    formula: ast.Formula, mapping: dict[str, str], forbidden: set[str]
+) -> ast.Formula:
+    get = lambda v: mapping.get(v, v)  # noqa: E731 - tiny local accessor
+    if isinstance(formula, ast.LabelAtom):
+        return ast.LabelAtom(formula.label, get(formula.var))
+    if isinstance(formula, ast.Rel):
+        return ast.Rel(formula.name, get(formula.left), get(formula.right))
+    if isinstance(formula, ast.Eq):
+        return ast.Eq(get(formula.left), get(formula.right))
+    if isinstance(formula, ast.TrueFormula):
+        return formula
+    if isinstance(formula, ast.Not):
+        return ast.Not(_rename(formula.operand, mapping, forbidden))
+    if isinstance(formula, ast.And):
+        return ast.And(
+            _rename(formula.left, mapping, forbidden),
+            _rename(formula.right, mapping, forbidden),
+        )
+    if isinstance(formula, ast.Or):
+        return ast.Or(
+            _rename(formula.left, mapping, forbidden),
+            _rename(formula.right, mapping, forbidden),
+        )
+    if isinstance(formula, (ast.Exists, ast.Forall)):
+        ctor = type(formula)
+        var = formula.var
+        body = formula.body
+        inner_mapping = {k: v for k, v in mapping.items() if k != var}
+        if var in set(inner_mapping.values()):
+            fresh = _freshen(var, forbidden | set(ast.free_variables(body)))
+            body = _rename(body, {var: fresh}, forbidden | {fresh})
+            var = fresh
+        return ctor(var, _rename(body, inner_mapping, forbidden | {var}))
+    if isinstance(formula, ast.TC):
+        bound = {formula.x, formula.y}
+        inner_mapping = {k: v for k, v in mapping.items() if k not in bound}
+        x, y, body = formula.x, formula.y, formula.body
+        clash = bound & set(inner_mapping.values())
+        if clash:
+            renames = {}
+            avoid = forbidden | set(ast.free_variables(body))
+            for var in sorted(clash):
+                renames[var] = _freshen(var, avoid)
+                avoid.add(renames[var])
+            body = _rename(body, renames, avoid)
+            x = renames.get(x, x)
+            y = renames.get(y, y)
+        return ast.TC(
+            x,
+            y,
+            _rename(body, inner_mapping, forbidden | {x, y}),
+            get(formula.source),
+            get(formula.target),
+        )
+    raise TypeError(f"unknown formula: {formula!r}")
+
+
+def conjuncts(formula: ast.Formula):
+    """Flatten nested conjunctions."""
+    if isinstance(formula, ast.And):
+        yield from conjuncts(formula.left)
+        yield from conjuncts(formula.right)
+    else:
+        yield formula
+
+
+def disjuncts(formula: ast.Formula):
+    """Flatten nested disjunctions."""
+    if isinstance(formula, ast.Or):
+        yield from disjuncts(formula.left)
+        yield from disjuncts(formula.right)
+    else:
+        yield formula
+
+
+def nnf(formula: ast.Formula) -> ast.Formula:
+    """Negation normal form: push ¬ through ∧, ∨, ∃, ∀ and double negation.
+
+    Negations remaining in the result sit directly on atoms or on TC
+    subformulas (TC has no dual in the language).
+    """
+    if isinstance(formula, ast.Not):
+        inner = formula.operand
+        if isinstance(inner, ast.Not):
+            return nnf(inner.operand)
+        if isinstance(inner, ast.And):
+            return ast.Or(nnf(ast.Not(inner.left)), nnf(ast.Not(inner.right)))
+        if isinstance(inner, ast.Or):
+            return ast.And(nnf(ast.Not(inner.left)), nnf(ast.Not(inner.right)))
+        if isinstance(inner, ast.Exists):
+            return ast.Forall(inner.var, nnf(ast.Not(inner.body)))
+        if isinstance(inner, ast.Forall):
+            return ast.Exists(inner.var, nnf(ast.Not(inner.body)))
+        if isinstance(inner, ast.TC):
+            return ast.Not(
+                ast.TC(inner.x, inner.y, nnf(inner.body), inner.source, inner.target)
+            )
+        return ast.Not(nnf(inner))
+    if isinstance(formula, ast.And):
+        return ast.And(nnf(formula.left), nnf(formula.right))
+    if isinstance(formula, ast.Or):
+        return ast.Or(nnf(formula.left), nnf(formula.right))
+    if isinstance(formula, ast.Exists):
+        return ast.Exists(formula.var, nnf(formula.body))
+    if isinstance(formula, ast.Forall):
+        return ast.Forall(formula.var, nnf(formula.body))
+    if isinstance(formula, ast.TC):
+        return ast.TC(formula.x, formula.y, nnf(formula.body), formula.source, formula.target)
+    return formula

@@ -1,0 +1,63 @@
+"""Pretty-printer for FO(MTC) formulas (inverse of the parser up to sugar)."""
+
+from __future__ import annotations
+
+from . import ast
+
+__all__ = ["unparse_formula"]
+
+_OR, _AND, _UNARY = 0, 1, 2
+
+
+def unparse_formula(formula: ast.Formula) -> str:
+    """Render a formula in the notation of :mod:`repro.logic.parser`."""
+    return _fmt(formula, _OR)
+
+
+def _wrap(text: str, needed: bool) -> str:
+    return f"({text})" if needed else text
+
+
+def _fmt(formula: ast.Formula, level: int) -> str:
+    if isinstance(formula, ast.LabelAtom):
+        return f"{formula.label}({formula.var})"
+    if isinstance(formula, ast.Rel):
+        return f"{formula.name}({formula.left},{formula.right})"
+    if isinstance(formula, ast.Eq):
+        return f"{formula.left}={formula.right}"
+    if isinstance(formula, ast.TrueFormula):
+        return "true"
+    if formula == ast.FALSE:
+        return "false"
+    if isinstance(formula, ast.Not):
+        if isinstance(formula.operand, ast.Eq):
+            return f"{formula.operand.left}!={formula.operand.right}"
+        return "~" + _fmt(formula.operand, _UNARY)
+    if isinstance(formula, ast.And):
+        text = f"{_fmt(formula.left, _AND)} & {_fmt(formula.right, _UNARY)}"
+        return _wrap(text, level > _AND)
+    if isinstance(formula, ast.Or):
+        text = f"{_fmt(formula.left, _OR)} | {_fmt(formula.right, _AND)}"
+        return _wrap(text, level > _OR)
+    if isinstance(formula, ast.Exists):
+        variables, body = _collect(formula, ast.Exists)
+        text = f"exists {' '.join(variables)}. {_fmt(body, _OR)}"
+        return _wrap(text, level > _OR)
+    if isinstance(formula, ast.Forall):
+        variables, body = _collect(formula, ast.Forall)
+        text = f"all {' '.join(variables)}. {_fmt(body, _OR)}"
+        return _wrap(text, level > _OR)
+    if isinstance(formula, ast.TC):
+        body = _fmt(formula.body, _OR)
+        return (
+            f"tc[{formula.x},{formula.y}]({body})({formula.source},{formula.target})"
+        )
+    raise TypeError(f"unknown formula: {formula!r}")
+
+
+def _collect(formula: ast.Formula, ctor) -> tuple[list[str], ast.Formula]:
+    variables: list[str] = []
+    while isinstance(formula, ctor):
+        variables.append(formula.var)
+        formula = formula.body
+    return variables, formula

@@ -1,0 +1,91 @@
+"""Hypothesis strategies for repro objects — for downstream property tests.
+
+The project's own suite uses these; they are exported so users extending the
+library (new rewrites, new translations, new automata constructions) can
+property-test against the same distributions::
+
+    from hypothesis import given
+    from repro.testing import trees, node_expressions
+
+    @given(tree=trees(max_size=10), expr=node_expressions())
+    def test_my_rewrite_is_sound(tree, expr):
+        ...
+
+Strategies are seed-based wrappers around the library's own samplers, so the
+distributions match the ones used throughout EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from hypothesis import strategies as st
+
+from .logic.random_formulas import FormulaSampler
+from .trees.generate import random_tree
+from .xpath.fragments import Dialect
+from .xpath.random_exprs import ExprSampler
+
+__all__ = ["trees", "node_expressions", "path_expressions", "formulas"]
+
+
+def trees(
+    min_size: int = 1,
+    max_size: int = 12,
+    alphabet: Sequence[str] = ("a", "b"),
+):
+    """A strategy producing random :class:`~repro.trees.tree.Tree` objects."""
+    return st.builds(
+        lambda size, seed: random_tree(size, alphabet, random.Random(seed)),
+        st.integers(min_value=min_size, max_value=max_size),
+        st.integers(min_value=0, max_value=2**32 - 1),
+    )
+
+
+def node_expressions(
+    max_budget: int = 10,
+    alphabet: Sequence[str] = ("a", "b"),
+    dialect: Dialect = Dialect.REGULAR_W,
+    downward_only: bool = False,
+):
+    """A strategy producing random node expressions of the given dialect."""
+    return st.builds(
+        lambda budget, seed: ExprSampler(
+            alphabet, random.Random(seed), dialect, downward_only
+        ).node(budget),
+        st.integers(min_value=1, max_value=max_budget),
+        st.integers(min_value=0, max_value=2**32 - 1),
+    )
+
+
+def path_expressions(
+    max_budget: int = 10,
+    alphabet: Sequence[str] = ("a", "b"),
+    dialect: Dialect = Dialect.REGULAR_W,
+    downward_only: bool = False,
+):
+    """A strategy producing random path expressions of the given dialect."""
+    return st.builds(
+        lambda budget, seed: ExprSampler(
+            alphabet, random.Random(seed), dialect, downward_only
+        ).path(budget),
+        st.integers(min_value=1, max_value=max_budget),
+        st.integers(min_value=0, max_value=2**32 - 1),
+    )
+
+
+def formulas(
+    free: Sequence[str] = ("x",),
+    max_budget: int = 8,
+    alphabet: Sequence[str] = ("a", "b"),
+    allow_tc: bool = True,
+):
+    """A strategy producing random FO(MTC) formulas with free vars ⊆ ``free``."""
+    return st.builds(
+        lambda budget, seed: FormulaSampler(
+            alphabet, random.Random(seed), allow_tc
+        ).formula(list(free), budget),
+        st.integers(min_value=1, max_value=max_budget),
+        st.integers(min_value=0, max_value=2**32 - 1),
+    )

@@ -1,0 +1,39 @@
+"""Translations between the paper's formalisms.
+
+* :func:`xpath_to_mtc` — Regular XPath(W) → FO(MTC) (T1, complete);
+* :func:`xpath_to_fo` — Core XPath → FO over the extended signature;
+* :func:`mtc_to_node_expr` / :func:`mtc_to_path_expr` — FO(MTC) → Regular
+  XPath on the compositional fragment (T2);
+* :func:`compile_node_expr` — downward Regular XPath(W) → nested TWA (T3).
+"""
+
+from .mtc_to_xpath import (
+    ANY_PAIR,
+    UnsupportedFormula,
+    mtc_to_node_expr,
+    mtc_to_path_expr,
+)
+from .xpath_to_logic import (
+    LogicTranslator,
+    UnsupportedExpression,
+    xpath_to_fo,
+    xpath_to_mtc,
+)
+from .xpath_to_fo2 import variables_used, xpath_to_fo2
+from .xpath_to_twa import UnsupportedForTwa, compile_exists_path, compile_node_expr
+
+__all__ = [
+    "ANY_PAIR",
+    "LogicTranslator",
+    "UnsupportedExpression",
+    "UnsupportedForTwa",
+    "UnsupportedFormula",
+    "compile_exists_path",
+    "compile_node_expr",
+    "mtc_to_node_expr",
+    "mtc_to_path_expr",
+    "variables_used",
+    "xpath_to_fo",
+    "xpath_to_fo2",
+    "xpath_to_mtc",
+]

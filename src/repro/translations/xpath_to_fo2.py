@@ -1,0 +1,114 @@
+"""Core XPath inside two-variable first-order logic (Marx–de Rijke).
+
+The semantic characterization of Core XPath cited throughout this
+literature: node expressions have exactly the expressive power of FO²
+formulas — first-order logic restricted to *two* variable names — over the
+signature with ``child``, ``descendant``, ``right`` and
+``following_sibling``.  The translation witnesses the easy inclusion
+executably: rewrite into modal normal form (single-step diamonds, see
+:mod:`repro.xpath.normal_forms`) and translate each diamond with the classic
+variable-reuse trick::
+
+    ⟨s[β]⟩ at x   ⇝   ∃y ( s(x,y) ∧ β(y) )
+    ⟨s[β]⟩ at y   ⇝   ∃x ( s(y,x) ∧ β(x) )
+
+so the two variable names ``x`` and ``y`` alternate down the modal nesting
+and no third name is ever needed.  :func:`variables_used` verifies the
+two-variable property syntactically; the test suite verifies semantic
+agreement with the direct (many-variable) translation and the evaluator.
+"""
+
+from __future__ import annotations
+
+from ..logic import ast as fo
+from ..trees.axes import Axis
+from ..xpath import ast as xp
+from ..xpath.normal_forms import NotCoreXPath, to_modal_form
+
+__all__ = ["xpath_to_fo2", "variables_used"]
+
+_AXIS_ATOM = {
+    Axis.CHILD: ("child", False),
+    Axis.PARENT: ("child", True),
+    Axis.RIGHT: ("right", False),
+    Axis.LEFT: ("right", True),
+    Axis.DESCENDANT: ("descendant", False),
+    Axis.ANCESTOR: ("descendant", True),
+    Axis.FOLLOWING_SIBLING: ("following_sibling", False),
+    Axis.PRECEDING_SIBLING: ("following_sibling", True),
+}
+
+
+def xpath_to_fo2(expr: xp.NodeExpr, x: str = "x", y: str = "y") -> fo.Formula:
+    """Translate a Core XPath node expression into an FO² formula ``φ(x)``.
+
+    The output mentions no variable besides ``x`` and ``y`` (checked by
+    :func:`variables_used`); raises
+    :class:`~repro.xpath.normal_forms.NotCoreXPath` outside Core XPath.
+    """
+    if x == y:
+        raise ValueError("the two variable names must differ")
+    modal = to_modal_form(expr)
+    return _translate(modal, x, y)
+
+
+def _translate(expr: xp.NodeExpr, current: str, other: str) -> fo.Formula:
+    if isinstance(expr, xp.Label):
+        return fo.LabelAtom(expr.name, current)
+    if isinstance(expr, xp.TrueNode):
+        return fo.Eq(current, current)
+    if isinstance(expr, xp.Not):
+        return fo.Not(_translate(expr.operand, current, other))
+    if isinstance(expr, xp.And):
+        return fo.And(
+            _translate(expr.left, current, other),
+            _translate(expr.right, current, other),
+        )
+    if isinstance(expr, xp.Or):
+        return fo.Or(
+            _translate(expr.left, current, other),
+            _translate(expr.right, current, other),
+        )
+    if isinstance(expr, xp.Exists):
+        return _translate_diamond(expr.path, current, other)
+    raise NotCoreXPath(f"{expr} survived modal normalization unexpectedly")
+
+
+def _translate_diamond(path: xp.PathExpr, current: str, other: str) -> fo.Formula:
+    """``⟨s⟩`` or ``⟨s[β]⟩`` at ``current`` — the variable-reuse step."""
+    if isinstance(path, xp.Step):
+        step, test = path, None
+    elif (
+        isinstance(path, xp.Seq)
+        and isinstance(path.left, xp.Step)
+        and isinstance(path.right, xp.Check)
+    ):
+        step, test = path.left, path.right.test
+    else:  # pragma: no cover - modal form guarantees the shape
+        raise NotCoreXPath(f"non-modal diamond {path}")
+    if step.axis not in _AXIS_ATOM:
+        raise NotCoreXPath(f"axis {step.axis!r} has no FO² atom")
+    name, inverted = _AXIS_ATOM[step.axis]
+    atom = (
+        fo.Rel(name, other, current) if inverted else fo.Rel(name, current, other)
+    )
+    # The bound `other` shadows any outer use — that is the whole trick.
+    body = atom
+    if test is not None:
+        body = fo.And(atom, _translate(test, other, current))
+    return fo.Exists(other, body)
+
+
+def variables_used(formula: fo.Formula) -> frozenset[str]:
+    """All variable names occurring in the formula (free or bound)."""
+    names: set[str] = set()
+    for sub in formula.walk():
+        if isinstance(sub, fo.LabelAtom):
+            names.add(sub.var)
+        elif isinstance(sub, (fo.Rel, fo.Eq)):
+            names.update((sub.left, sub.right))
+        elif isinstance(sub, (fo.Exists, fo.Forall)):
+            names.add(sub.var)
+        elif isinstance(sub, fo.TC):
+            names.update((sub.x, sub.y, sub.source, sub.target))
+    return frozenset(names)

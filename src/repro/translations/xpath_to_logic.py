@@ -1,0 +1,357 @@
+"""Translating XPath dialects into (transitive-closure) first-order logic.
+
+Two translations live here, sharing one compositional engine:
+
+* :func:`xpath_to_mtc` — **the easy direction of the paper's main theorem
+  (T1)**: every Regular XPath(W) path expression ``p`` becomes an FO(MTC)
+  formula ``φ_p(x, y)`` over the signature ``{child, right, labels}``, and
+  every node expression becomes a formula ``ψ(x)``.  Kleene star maps to the
+  TC operator; the ``W`` operator maps to *relativisation* of all quantifiers
+  (and TC steps) to the subtree of the current node, with the subtree guard
+  itself expressed via TC over ``child``.
+
+* :func:`xpath_to_fo` — the classical Core XPath ⊆ FO embedding, over the
+  *extended* signature with ``descendant`` and ``following_sibling``
+  primitive (Core XPath's closures only close single axes, so plain FO over
+  the extended signature suffices; general star raises
+  :class:`UnsupportedExpression`).
+
+Both produce formulas whose bound variables are globally fresh, which makes
+the ``W`` relativisation capture-free by construction.
+
+Correctness is validated empirically (exhaustive + random corpora) by the
+T1 test suite: ``[[p]]`` computed by the XPath engine must equal the pairs
+defined by ``φ_p`` under the FO(MTC) model checker.
+"""
+
+from __future__ import annotations
+
+from ..logic import ast as fo
+from ..trees.axes import Axis
+from ..xpath import ast as xp
+
+__all__ = [
+    "UnsupportedExpression",
+    "xpath_to_mtc",
+    "xpath_to_fo",
+    "LogicTranslator",
+    "conditional_step",
+]
+
+
+def conditional_step(
+    path: "xp.PathExpr",
+) -> "tuple[Axis, xp.NodeExpr | None, xp.NodeExpr | None] | None":
+    """Decompose a path into a *conditional step* ``?α / s / ?β``.
+
+    Returns ``(axis, α, β)`` when the path is a composition of tests around
+    exactly one primitive axis step (either test side may be absent), and
+    None otherwise.  These are the steps whose closures Conditional XPath
+    (and hence FO) can express.
+    """
+    from ..xpath.rewrite import seq_factors
+
+    factors = list(seq_factors(path))
+    step_positions = [
+        i for i, factor in enumerate(factors) if not isinstance(factor, xp.Check)
+    ]
+    if len(step_positions) != 1:
+        return None
+    position = step_positions[0]
+    step = factors[position]
+    if not isinstance(step, xp.Step) or step.axis not in (
+        Axis.CHILD,
+        Axis.PARENT,
+        Axis.RIGHT,
+        Axis.LEFT,
+    ):
+        return None
+    before = [factor.test for factor in factors[:position]]  # type: ignore[union-attr]
+    after = [factor.test for factor in factors[position + 1 :]]  # type: ignore[union-attr]
+    alpha = _and_all(before)
+    beta = _and_all(after)
+    return step.axis, alpha, beta
+
+
+def _and_all(tests: "list[xp.NodeExpr]") -> "xp.NodeExpr | None":
+    if not tests:
+        return None
+    result = tests[0]
+    for test in tests[1:]:
+        result = xp.And(result, test)
+    return result
+
+
+class UnsupportedExpression(ValueError):
+    """The expression falls outside the fragment this translation covers."""
+
+
+class LogicTranslator:
+    """Compositional XPath → logic translation.
+
+    With ``use_tc=True`` the target is FO(MTC) over ``{child, right}``; with
+    ``use_tc=False`` the target is FO over the extended signature and only
+    Core XPath is accepted.
+    """
+
+    def __init__(self, use_tc: bool = True):
+        self.use_tc = use_tc
+        self._counter = 0
+
+    # -- public API -------------------------------------------------------
+
+    def translate_path(self, expr: xp.PathExpr, x: str, y: str) -> fo.Formula:
+        """``φ_expr(x, y)``: the binary query of a path expression."""
+        return self._path(expr, x, y)
+
+    def translate_node(self, expr: xp.NodeExpr, x: str) -> fo.Formula:
+        """``ψ_expr(x)``: the unary query of a node expression."""
+        return self._node(expr, x)
+
+    # -- plumbing -------------------------------------------------------------
+
+    def _fresh(self) -> str:
+        self._counter += 1
+        return f"z{self._counter}"
+
+    def _tc_axis(self, base: str, x: str, y: str, reflexive: bool) -> fo.Formula:
+        u, v = self._fresh(), self._fresh()
+        body = fo.Rel(base, u, v)
+        if reflexive:
+            return fo.rtc(u, v, body, x, y)
+        return fo.TC(u, v, body, x, y)
+
+    # -- axes ---------------------------------------------------------------
+
+    def _axis(self, axis: Axis, x: str, y: str) -> fo.Formula:
+        if axis is Axis.SELF:
+            return fo.Eq(x, y)
+        if axis is Axis.CHILD:
+            return fo.Rel("child", x, y)
+        if axis is Axis.PARENT:
+            return fo.Rel("child", y, x)
+        if axis is Axis.RIGHT:
+            return fo.Rel("right", x, y)
+        if axis is Axis.LEFT:
+            return fo.Rel("right", y, x)
+        if axis is Axis.DESCENDANT:
+            return self._closure("child", x, y, reflexive=False)
+        if axis is Axis.ANCESTOR:
+            return self._closure("child", y, x, reflexive=False)
+        if axis is Axis.DESCENDANT_OR_SELF:
+            return self._closure("child", x, y, reflexive=True)
+        if axis is Axis.ANCESTOR_OR_SELF:
+            return self._closure("child", y, x, reflexive=True)
+        if axis is Axis.FOLLOWING_SIBLING:
+            return self._closure("right", x, y, reflexive=False)
+        if axis is Axis.PRECEDING_SIBLING:
+            return self._closure("right", y, x, reflexive=False)
+        if axis is Axis.FOLLOWING:
+            return self._following(x, y)
+        if axis is Axis.PRECEDING:
+            return self._following(y, x)
+        raise UnsupportedExpression(f"axis {axis!r} has no translation")
+
+    def _closure(self, base: str, x: str, y: str, reflexive: bool) -> fo.Formula:
+        if self.use_tc:
+            return self._tc_axis(base, x, y, reflexive)
+        name = "descendant" if base == "child" else "following_sibling"
+        strict = fo.Rel(name, x, y)
+        if reflexive:
+            return fo.Or(fo.Eq(x, y), strict)
+        return strict
+
+    def _following(self, x: str, y: str) -> fo.Formula:
+        # y follows x: some ancestor-or-self of x has a strictly later
+        # sibling that is an ancestor-or-self of y.
+        z, w = self._fresh(), self._fresh()
+        return fo.exists_many(
+            [z, w],
+            fo.big_and(
+                [
+                    self._closure("child", z, x, reflexive=True),
+                    self._closure("right", z, w, reflexive=False),
+                    self._closure("child", w, y, reflexive=True),
+                ]
+            ),
+        )
+
+    # -- path expressions -----------------------------------------------------
+
+    def _path(self, expr: xp.PathExpr, x: str, y: str) -> fo.Formula:
+        if isinstance(expr, xp.Step):
+            return self._axis(expr.axis, x, y)
+        if isinstance(expr, xp.Seq):
+            z = self._fresh()
+            return fo.Exists(
+                z, fo.And(self._path(expr.left, x, z), self._path(expr.right, z, y))
+            )
+        if isinstance(expr, xp.Union):
+            return fo.Or(self._path(expr.left, x, y), self._path(expr.right, x, y))
+        if isinstance(expr, xp.Star):
+            if not self.use_tc:
+                return self._conditional_star(expr, x, y)
+            u, v = self._fresh(), self._fresh()
+            return fo.rtc(u, v, self._path(expr.path, u, v), x, y)
+        if isinstance(expr, xp.Check):
+            return fo.And(fo.Eq(x, y), self._node(expr.test, x))
+        if isinstance(expr, xp.EmptyPath):
+            return fo.And(fo.And(fo.Eq(x, x), fo.Eq(y, y)), fo.FALSE)
+        if isinstance(expr, xp.Intersect):
+            return fo.And(self._path(expr.left, x, y), self._path(expr.right, x, y))
+        if isinstance(expr, xp.Complement):
+            # Pad with trivial equalities so both variables stay free.
+            return fo.big_and(
+                [fo.Eq(x, x), fo.Eq(y, y), fo.Not(self._path(expr.path, x, y))]
+            )
+        raise UnsupportedExpression(f"unknown path expression {expr!r}")
+
+    # -- conditional steps: Marx's Conditional XPath inside FO --------------------
+
+    def _conditional_star(self, expr: xp.Star, x: str, y: str) -> fo.Formula:
+        """Translate ``(?α / s / ?β)*`` into plain FO (the *until* pattern).
+
+        Conditional XPath (Core XPath plus conditional steps ``(s[φ])+``) is
+        exactly first-order complete on ordered trees (Marx); the encoding:
+        ``x (?α/s/?β)+ y`` iff y lies strictly ``s``-beyond x, α holds at x
+        and at everything strictly between, and β holds at y and at
+        everything strictly between — expressible because the chain between
+        two ``s``-related nodes is unique.
+        """
+        decomposed = conditional_step(expr.path)
+        if decomposed is None:
+            raise UnsupportedExpression(
+                "only conditional steps (tests around one primitive axis) "
+                "are star-able in FO; general star requires xpath_to_mtc"
+            )
+        axis, alpha, beta = decomposed
+        z = self._fresh()
+        closure = self._strict_chain(axis, x, y)
+        between = fo.And(self._strict_chain(axis, x, z), self._strict_chain(axis, z, y))
+        body: list[fo.Formula] = [closure]
+        invariant: list[fo.Formula] = []
+        if alpha is not None:
+            body.append(self._node(alpha, x))
+            invariant.append(self._node(alpha, z))
+        if beta is not None:
+            body.append(self._node(beta, y))
+            invariant.append(self._node(beta, z))
+        if invariant:
+            body.append(fo.Forall(z, fo.implies(between, fo.big_and(invariant))))
+        return fo.Or(fo.Eq(x, y), fo.big_and(body))
+
+    def _strict_chain(self, axis: Axis, x: str, y: str) -> fo.Formula:
+        """The strict transitive closure of a primitive axis, as an atom of
+        the extended signature."""
+        if axis is Axis.CHILD:
+            return fo.Rel("descendant", x, y)
+        if axis is Axis.PARENT:
+            return fo.Rel("descendant", y, x)
+        if axis is Axis.RIGHT:
+            return fo.Rel("following_sibling", x, y)
+        if axis is Axis.LEFT:
+            return fo.Rel("following_sibling", y, x)
+        raise UnsupportedExpression(f"axis {axis!r} is not a primitive chain axis")
+
+    # -- node expressions -----------------------------------------------------
+
+    def _node(self, expr: xp.NodeExpr, x: str) -> fo.Formula:
+        if isinstance(expr, xp.Label):
+            return fo.LabelAtom(expr.name, x)
+        if isinstance(expr, xp.TrueNode):
+            return fo.Eq(x, x)
+        if isinstance(expr, xp.Not):
+            return fo.And(fo.Eq(x, x), fo.Not(self._node(expr.operand, x)))
+        if isinstance(expr, xp.And):
+            return fo.And(self._node(expr.left, x), self._node(expr.right, x))
+        if isinstance(expr, xp.Or):
+            return fo.Or(self._node(expr.left, x), self._node(expr.right, x))
+        if isinstance(expr, xp.Exists):
+            y = self._fresh()
+            return fo.Exists(y, self._path(expr.path, x, y))
+        if isinstance(expr, xp.Within):
+            if not self.use_tc:
+                raise UnsupportedExpression(
+                    "the W operator requires FO(MTC); use xpath_to_mtc"
+                )
+            inner = self._node(expr.test, x)
+            return self._relativize(inner, x)
+        raise UnsupportedExpression(f"unknown node expression {expr!r}")
+
+    # -- the W relativisation -----------------------------------------------------
+
+    def _in_subtree(self, root: str, var: str) -> fo.Formula:
+        """``var`` lies in the subtree of ``root`` (descendant-or-self)."""
+        return self._closure("child", root, var, reflexive=True)
+
+    def _relativize(self, formula: fo.Formula, root: str) -> fo.Formula:
+        """Relativize all quantifiers (and TC steps) to the subtree of ``root``.
+
+        Sound because bound variables are globally fresh, so ``root`` cannot
+        be captured.
+        """
+        if isinstance(
+            formula, (fo.LabelAtom, fo.Rel, fo.Eq, fo.TrueFormula)
+        ):
+            return formula
+        if isinstance(formula, fo.Not):
+            return fo.Not(self._relativize(formula.operand, root))
+        if isinstance(formula, fo.And):
+            return fo.And(
+                self._relativize(formula.left, root),
+                self._relativize(formula.right, root),
+            )
+        if isinstance(formula, fo.Or):
+            return fo.Or(
+                self._relativize(formula.left, root),
+                self._relativize(formula.right, root),
+            )
+        if isinstance(formula, fo.Exists):
+            return fo.Exists(
+                formula.var,
+                fo.And(
+                    self._in_subtree(root, formula.var),
+                    self._relativize(formula.body, root),
+                ),
+            )
+        if isinstance(formula, fo.Forall):
+            return fo.Forall(
+                formula.var,
+                fo.implies(
+                    self._in_subtree(root, formula.var),
+                    self._relativize(formula.body, root),
+                ),
+            )
+        if isinstance(formula, fo.TC):
+            guarded = fo.big_and(
+                [
+                    self._in_subtree(root, formula.x),
+                    self._in_subtree(root, formula.y),
+                    self._relativize(formula.body, root),
+                ]
+            )
+            return fo.TC(formula.x, formula.y, guarded, formula.source, formula.target)
+        raise UnsupportedExpression(f"cannot relativize {formula!r}")
+
+
+def xpath_to_mtc(
+    expr: "xp.PathExpr | xp.NodeExpr", x: str = "x", y: str = "y"
+) -> fo.Formula:
+    """Regular XPath(W) → FO(MTC) (the paper's T1 direction).
+
+    Path expressions yield ``φ(x, y)``; node expressions yield ``ψ(x)``.
+    """
+    translator = LogicTranslator(use_tc=True)
+    if isinstance(expr, xp.PathExpr):
+        return translator.translate_path(expr, x, y)
+    return translator.translate_node(expr, x)
+
+
+def xpath_to_fo(
+    expr: "xp.PathExpr | xp.NodeExpr", x: str = "x", y: str = "y"
+) -> fo.Formula:
+    """Core XPath → FO over ``{child, right, descendant, following_sibling}``."""
+    translator = LogicTranslator(use_tc=False)
+    if isinstance(expr, xp.PathExpr):
+        return translator.translate_path(expr, x, y)
+    return translator.translate_node(expr, x)

@@ -1,0 +1,63 @@
+"""Sibling-ordered labelled trees: the XML data model of the paper.
+
+Public surface:
+
+* :class:`Tree`, :class:`Node` — the immutable tree structure.
+* :class:`Axis` and the axis relation helpers.
+* :func:`parse_xml` / :func:`to_xml` — XML in and out.
+* the workload generators (:func:`random_tree`, :func:`all_trees`, shaped
+  families).
+"""
+
+from .axes import (
+    Axis,
+    CLOSURE_BASE,
+    PRIMITIVE_AXES,
+    TRANSITIVE_AXES,
+    axis_image,
+    axis_pairs,
+    axis_steps,
+    inverse_axis,
+)
+from .generate import (
+    all_shapes,
+    all_trees,
+    binary_string_tree,
+    chain,
+    comb,
+    count_shapes,
+    full_kary,
+    random_deep_tree,
+    random_tree,
+    star,
+)
+from .node import Node
+from .tree import Tree
+from .xml_io import XmlReadOptions, XmlSyntaxError, parse_xml, to_xml
+
+__all__ = [
+    "Axis",
+    "CLOSURE_BASE",
+    "PRIMITIVE_AXES",
+    "TRANSITIVE_AXES",
+    "Node",
+    "Tree",
+    "XmlReadOptions",
+    "XmlSyntaxError",
+    "all_shapes",
+    "all_trees",
+    "axis_image",
+    "axis_pairs",
+    "axis_steps",
+    "binary_string_tree",
+    "chain",
+    "comb",
+    "count_shapes",
+    "full_kary",
+    "inverse_axis",
+    "parse_xml",
+    "random_deep_tree",
+    "random_tree",
+    "star",
+    "to_xml",
+]

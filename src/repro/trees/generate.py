@@ -1,0 +1,238 @@
+"""Tree workload generators.
+
+Three kinds of workloads drive the experiments:
+
+* **Exhaustive corpora** — :func:`all_trees` enumerates *every* unranked
+  labelled tree up to a node budget.  Any semantic bug in a translation or
+  evaluator manifests as a counterexample on such a corpus, which is the
+  falsification workhorse behind experiments T1–T4 (see DESIGN.md).
+* **Random corpora** — :func:`random_tree` samples trees of a given size with
+  controllable branching, catching size-dependent bugs.
+* **Shaped families** — chains, stars, combs, full k-ary trees: the extremal
+  shapes used by the complexity benchmarks (deep/narrow vs shallow/wide).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, Sequence
+
+from .tree import Tree
+
+DEFAULT_ALPHABET = ("a", "b")
+
+
+# ---------------------------------------------------------------------------
+# Exhaustive enumeration
+# ---------------------------------------------------------------------------
+
+
+def all_shapes(size: int) -> Iterator[list[int]]:
+    """Yield the parent array of every unlabelled ordered tree on ``size`` nodes.
+
+    Parent arrays are in document (preorder) order, directly consumable by
+    :class:`Tree`.  The count for sizes 1, 2, 3, 4, ... is the Catalan
+    sequence 1, 1, 2, 5, 14, 42, ...
+    """
+    if size <= 0:
+        return
+    if size == 1:
+        yield [-1]
+        return
+    # A tree on `size` nodes is a root plus an ordered forest of subtrees of
+    # total size size-1.  Enumerate compositions of size-1 into subtree sizes.
+    for first in range(1, size):
+        rest = size - 1 - first
+        for first_shape in all_shapes(first):
+            # Attach `first_shape` as the first subtree (offset by 1).
+            head = [-1] + [p + 1 if p >= 0 else 0 for p in first_shape]
+            if rest == 0:
+                yield head
+            else:
+                for tail in all_shapes(rest + 1):
+                    # `tail` is a tree whose root stands for our root: graft
+                    # its non-root nodes after `head`, shifting ids.
+                    offset = len(head) - 1
+                    grafted = head + [
+                        p + offset if p > 0 else 0 for p in tail[1:]
+                    ]
+                    yield grafted
+
+
+def all_trees(
+    max_size: int, alphabet: Sequence[str] = DEFAULT_ALPHABET
+) -> Iterator[Tree]:
+    """Yield every labelled tree with ``1..max_size`` nodes over ``alphabet``.
+
+    There are Catalan(n-1) * |alphabet|**n trees of size n, so keep
+    ``max_size`` small: over a 2-letter alphabet the counts for sizes 1..6
+    are 2, 4, 16, 80, 448, 2688 (total 3238).  Sizes 5–7 are the sweet spot
+    for exhaustive falsification.
+    """
+    for size in range(1, max_size + 1):
+        for shape in all_shapes(size):
+            yield from _all_labelings(shape, alphabet)
+
+
+def _all_labelings(shape: list[int], alphabet: Sequence[str]) -> Iterator[Tree]:
+    size = len(shape)
+    labels = [alphabet[0]] * size
+    k = len(alphabet)
+
+    def rec(i: int) -> Iterator[Tree]:
+        if i == size:
+            yield Tree(list(labels), shape)
+            return
+        for letter in alphabet[:k]:
+            labels[i] = letter
+            yield from rec(i + 1)
+
+    yield from rec(0)
+
+
+def count_shapes(size: int) -> int:
+    """Number of ordered tree shapes on ``size`` nodes (Catalan(size-1))."""
+    result = 1
+    for i in range(size - 1):
+        result = result * 2 * (2 * i + 1) // (i + 2)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Random generation
+# ---------------------------------------------------------------------------
+
+
+def random_tree(
+    size: int,
+    alphabet: Sequence[str] = DEFAULT_ALPHABET,
+    rng: random.Random | None = None,
+    max_branch: int | None = None,
+) -> Tree:
+    """A uniformly-attached random tree with exactly ``size`` nodes.
+
+    Each new node picks a uniformly random existing node as its parent
+    (subject to ``max_branch``) and is appended as its last child; labels are
+    uniform over ``alphabet``.  This yields shallow, bushy trees typical of
+    document corpora.
+    """
+    rng = rng or random.Random()
+    if size < 1:
+        raise ValueError("size must be >= 1")
+    # Build parent pointers in insertion order, then renumber to preorder.
+    parents = [-1]
+    child_counts = [0]
+    for i in range(1, size):
+        while True:
+            p = rng.randrange(i)
+            if max_branch is None or child_counts[p] < max_branch:
+                break
+        parents.append(p)
+        child_counts[p] += 1
+        child_counts.append(0)
+    labels = [rng.choice(alphabet) for _ in range(size)]
+    return _renumber_preorder(labels, parents)
+
+
+def random_deep_tree(
+    size: int,
+    alphabet: Sequence[str] = DEFAULT_ALPHABET,
+    rng: random.Random | None = None,
+    depth_bias: float = 0.8,
+) -> Tree:
+    """A random tree biased toward depth: with probability ``depth_bias``
+    each new node extends the most recently added node."""
+    rng = rng or random.Random()
+    parents = [-1]
+    for i in range(1, size):
+        if i == 1 or rng.random() < depth_bias:
+            parents.append(i - 1)
+        else:
+            parents.append(rng.randrange(i))
+    labels = [rng.choice(alphabet) for _ in range(size)]
+    return _renumber_preorder(labels, parents)
+
+
+def _renumber_preorder(labels: list[str], parents: list[int]) -> Tree:
+    """Renumber an arbitrary parent-array tree into document order."""
+    size = len(labels)
+    children: list[list[int]] = [[] for _ in range(size)]
+    for i in range(1, size):
+        children[parents[i]].append(i)
+    order: list[int] = []
+    stack = [0]
+    while stack:
+        v = stack.pop()
+        order.append(v)
+        stack.extend(reversed(children[v]))
+    new_id = {old: new for new, old in enumerate(order)}
+    new_labels = [labels[old] for old in order]
+    new_parents = [-1] + [new_id[parents[old]] for old in order[1:]]
+    return Tree(new_labels, new_parents)
+
+
+# ---------------------------------------------------------------------------
+# Shaped families
+# ---------------------------------------------------------------------------
+
+
+def chain(length: int, labels: Sequence[str] = ("a",)) -> Tree:
+    """A unary chain of ``length`` nodes; labels cycle through ``labels``."""
+    if length < 1:
+        raise ValueError("length must be >= 1")
+    lbls = [labels[i % len(labels)] for i in range(length)]
+    parents = [-1] + list(range(length - 1))
+    return Tree(lbls, parents)
+
+
+def star(fanout: int, root_label: str = "a", leaf_label: str = "b") -> Tree:
+    """A root with ``fanout`` leaf children."""
+    labels = [root_label] + [leaf_label] * fanout
+    parents = [-1] + [0] * fanout
+    return Tree(labels, parents)
+
+
+def comb(teeth: int, spine_label: str = "a", tooth_label: str = "b") -> Tree:
+    """A right comb: a spine of ``teeth`` nodes, each with one leaf child."""
+    labels: list[str] = []
+    parents: list[int] = []
+    prev_spine = -1
+    for _ in range(teeth):
+        spine_id = len(labels)
+        labels.append(spine_label)
+        parents.append(prev_spine)
+        labels.append(tooth_label)
+        parents.append(spine_id)
+        prev_spine = spine_id
+    return Tree(labels, parents)
+
+
+def full_kary(depth: int, k: int = 2, alphabet: Sequence[str] = ("a",)) -> Tree:
+    """The complete ``k``-ary tree of the given ``depth`` (depth 0 = leaf).
+
+    Labels cycle through ``alphabet`` by depth.
+    """
+    labels: list[str] = []
+    parents: list[int] = []
+
+    stack: list[tuple[int, int]] = [(-1, 0)]  # (parent id, depth)
+    while stack:
+        parent_id, d = stack.pop()
+        my_id = len(labels)
+        labels.append(alphabet[d % len(alphabet)])
+        parents.append(parent_id)
+        if d < depth:
+            for _ in range(k):
+                stack.append((my_id, d + 1))
+    return _renumber_preorder(labels, parents)
+
+
+def binary_string_tree(word: str) -> Tree:
+    """Encode a string as a chain whose node labels spell the word root-down.
+
+    Handy for transferring string-language intuitions (parity, ``a*b*``
+    shapes) to tree languages in tests and the separation experiments.
+    """
+    if not word:
+        raise ValueError("word must be nonempty")
+    return chain(len(word), labels=tuple(word))

@@ -1,0 +1,129 @@
+"""Node-level view of sibling-ordered labelled trees.
+
+A :class:`Node` is a lightweight, immutable handle into a :class:`~repro.trees.tree.Tree`.
+All structural data lives in flat arrays owned by the tree (see ``tree.py``);
+nodes merely pair a tree with a node id.  This keeps trees compact, makes node
+identity trivial (two handles are equal iff they point at the same id of the
+same tree), and lets the evaluators work directly on integer ids.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from .tree import Tree
+
+
+class Node:
+    """A handle to a single node of a :class:`Tree`.
+
+    Node ids are assigned in *document order* (preorder), so ``node_id`` also
+    serves as a document-order rank.  The root always has id ``0``.
+    """
+
+    __slots__ = ("tree", "node_id")
+
+    def __init__(self, tree: "Tree", node_id: int):
+        if not 0 <= node_id < tree.size:
+            raise IndexError(f"node id {node_id} out of range for tree of size {tree.size}")
+        self.tree = tree
+        self.node_id = node_id
+
+    # -- basic attributes --------------------------------------------------
+
+    @property
+    def label(self) -> str:
+        """The label (tag name) of this node."""
+        return self.tree.labels[self.node_id]
+
+    @property
+    def is_root(self) -> bool:
+        return self.node_id == 0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.tree.first_child[self.node_id] < 0
+
+    @property
+    def is_first_sibling(self) -> bool:
+        """True iff this node has no previous sibling (the root counts as first)."""
+        return self.tree.prev_sibling[self.node_id] < 0
+
+    @property
+    def is_last_sibling(self) -> bool:
+        """True iff this node has no next sibling (the root counts as last)."""
+        return self.tree.next_sibling[self.node_id] < 0
+
+    @property
+    def depth(self) -> int:
+        """Number of edges on the path from the root (root has depth 0)."""
+        return self.tree.depths[self.node_id]
+
+    @property
+    def child_index(self) -> int:
+        """0-based position among the siblings (0 for the root)."""
+        return self.tree.child_indexes[self.node_id]
+
+    # -- navigation --------------------------------------------------------
+
+    @property
+    def parent(self) -> "Node | None":
+        pid = self.tree.parent[self.node_id]
+        return None if pid < 0 else Node(self.tree, pid)
+
+    @property
+    def next_sibling(self) -> "Node | None":
+        nid = self.tree.next_sibling[self.node_id]
+        return None if nid < 0 else Node(self.tree, nid)
+
+    @property
+    def prev_sibling(self) -> "Node | None":
+        nid = self.tree.prev_sibling[self.node_id]
+        return None if nid < 0 else Node(self.tree, nid)
+
+    @property
+    def first_child(self) -> "Node | None":
+        cid = self.tree.first_child[self.node_id]
+        return None if cid < 0 else Node(self.tree, cid)
+
+    @property
+    def last_child(self) -> "Node | None":
+        cid = self.tree.last_child[self.node_id]
+        return None if cid < 0 else Node(self.tree, cid)
+
+    @property
+    def children(self) -> list["Node"]:
+        return [Node(self.tree, cid) for cid in self.tree.children_ids(self.node_id)]
+
+    def iter_descendants(self) -> Iterator["Node"]:
+        """Yield proper descendants in document order."""
+        for nid in self.tree.descendant_ids(self.node_id):
+            yield Node(self.tree, nid)
+
+    def iter_ancestors(self) -> Iterator["Node"]:
+        """Yield proper ancestors, nearest first."""
+        pid = self.tree.parent[self.node_id]
+        while pid >= 0:
+            yield Node(self.tree, pid)
+            pid = self.tree.parent[pid]
+
+    @property
+    def subtree_size(self) -> int:
+        """Number of nodes in the subtree rooted here (including this node)."""
+        return self.tree.subtree_sizes[self.node_id]
+
+    # -- dunder ------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Node)
+            and other.tree is self.tree
+            and other.node_id == self.node_id
+        )
+
+    def __hash__(self) -> int:
+        return hash((id(self.tree), self.node_id))
+
+    def __repr__(self) -> str:
+        return f"Node(id={self.node_id}, label={self.label!r})"

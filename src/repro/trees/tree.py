@@ -1,0 +1,276 @@
+"""The sibling-ordered labelled tree data model.
+
+This is the XML data abstraction used throughout the paper: a finite tree
+whose nodes carry a single label from a finite alphabet and whose children are
+linearly ordered.  Attributes and text content of real XML documents are
+mapped onto labels by the parser in :mod:`repro.trees.xml_io`.
+
+Trees are immutable after construction and store their structure in flat
+integer arrays, giving O(1) access to every primitive axis step
+(``parent``, ``first_child``, ``last_child``, ``next_sibling``,
+``prev_sibling``) that the paper's automata and query languages navigate by.
+Node ids are preorder (document order) ranks; the root is node ``0``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from .node import Node
+
+#: The structural shape used by :meth:`Tree.build`: a ``(label, children)``
+#: pair, where ``children`` is a sequence of nested shapes.  A bare string is
+#: accepted as shorthand for a leaf.
+TreeShape = "str | tuple[str, Sequence['TreeShape']]"
+
+
+class Tree:
+    """An immutable, sibling-ordered, node-labelled finite tree.
+
+    Construct with :meth:`Tree.build` (from a nested ``(label, children)``
+    shape), :func:`repro.trees.xml_io.parse_xml`, or one of the generators in
+    :mod:`repro.trees.generate`.
+    """
+
+    __slots__ = (
+        "labels",
+        "parent",
+        "first_child",
+        "last_child",
+        "next_sibling",
+        "prev_sibling",
+        "depths",
+        "child_indexes",
+        "subtree_sizes",
+        "_children",
+        "_alphabet",
+        "_shape",
+    )
+
+    def __init__(self, labels: Sequence[str], parents: Sequence[int]):
+        """Build a tree from per-node labels and parent pointers.
+
+        ``parents[i]`` must be the id of node ``i``'s parent, or ``-1`` for
+        the root.  Node ids must be in document order: every parent id is
+        smaller than its child's id, and the children of each node appear in
+        sibling order.  :meth:`Tree.build` produces arrays in this form.
+        """
+        n = len(labels)
+        if n == 0:
+            raise ValueError("a tree must have at least one node (the root)")
+        if len(parents) != n:
+            raise ValueError("labels and parents must have the same length")
+        if parents[0] != -1:
+            raise ValueError("node 0 must be the root (parent -1)")
+
+        self.labels: tuple[str, ...] = tuple(labels)
+        self.parent: tuple[int, ...] = tuple(parents)
+
+        children: list[list[int]] = [[] for _ in range(n)]
+        for i in range(1, n):
+            p = self.parent[i]
+            if not 0 <= p < i:
+                raise ValueError(
+                    f"node {i} has parent {p}; ids must be in document order"
+                )
+            children[p].append(i)
+
+        first_child = [-1] * n
+        last_child = [-1] * n
+        next_sibling = [-1] * n
+        prev_sibling = [-1] * n
+        child_indexes = [0] * n
+        depths = [0] * n
+        for v, kids in enumerate(children):
+            if kids:
+                first_child[v] = kids[0]
+                last_child[v] = kids[-1]
+            for idx, c in enumerate(kids):
+                child_indexes[c] = idx
+                if idx > 0:
+                    prev_sibling[c] = kids[idx - 1]
+                    next_sibling[kids[idx - 1]] = c
+        for i in range(1, n):
+            depths[i] = depths[self.parent[i]] + 1
+
+        subtree_sizes = [1] * n
+        for i in range(n - 1, 0, -1):
+            subtree_sizes[self.parent[i]] += subtree_sizes[i]
+
+        # Verify document order: the descendants of v must be exactly the
+        # contiguous id range (v, v + subtree_size).  Equivalently, the first
+        # child of v is v + 1 and each further child starts right after the
+        # previous child's subtree.
+        for v, kids in enumerate(children):
+            expected = v + 1
+            for c in kids:
+                if c != expected:
+                    raise ValueError("node ids are not in document (preorder) order")
+                expected = c + subtree_sizes[c]
+
+        self.first_child = tuple(first_child)
+        self.last_child = tuple(last_child)
+        self.next_sibling = tuple(next_sibling)
+        self.prev_sibling = tuple(prev_sibling)
+        self.child_indexes = tuple(child_indexes)
+        self.depths = tuple(depths)
+        self.subtree_sizes = tuple(subtree_sizes)
+        self._children = tuple(tuple(kids) for kids in children)
+        self._alphabet: frozenset[str] | None = None
+        self._shape = None
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def build(cls, shape: "TreeShape") -> "Tree":
+        """Build a tree from a nested ``(label, children)`` shape.
+
+        >>> t = Tree.build(("a", ["b", ("c", ["d"])]))
+        >>> t.size
+        4
+        >>> t.labels
+        ('a', 'b', 'c', 'd')
+        """
+        labels: list[str] = []
+        parents: list[int] = []
+        # Iterative preorder walk so deep trees do not hit the recursion limit.
+        stack: list[tuple[object, int]] = [(shape, -1)]
+        while stack:
+            item, parent_id = stack.pop()
+            if isinstance(item, str):
+                label, kids = item, ()
+            else:
+                label, kids = item  # type: ignore[misc]
+            my_id = len(labels)
+            labels.append(label)
+            parents.append(parent_id)
+            for kid in reversed(list(kids)):
+                stack.append((kid, my_id))
+        return cls(labels, parents)
+
+    @classmethod
+    def leaf(cls, label: str) -> "Tree":
+        """A single-node tree."""
+        return cls([label], [-1])
+
+    # -- basic attributes ----------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Total number of nodes."""
+        return len(self.labels)
+
+    @property
+    def root(self) -> Node:
+        return Node(self, 0)
+
+    @property
+    def height(self) -> int:
+        """Number of edges on the longest root-to-leaf path."""
+        return max(self.depths)
+
+    @property
+    def alphabet(self) -> frozenset[str]:
+        """The set of labels actually occurring in this tree."""
+        if self._alphabet is None:
+            self._alphabet = frozenset(self.labels)
+        return self._alphabet
+
+    def node(self, node_id: int) -> Node:
+        return Node(self, node_id)
+
+    def nodes(self) -> Iterator[Node]:
+        """All nodes in document order."""
+        for i in range(self.size):
+            yield Node(self, i)
+
+    @property
+    def node_ids(self) -> range:
+        return range(self.size)
+
+    # -- structure queries on ids --------------------------------------------
+
+    def children_ids(self, node_id: int) -> tuple[int, ...]:
+        return self._children[node_id]
+
+    def descendant_ids(self, node_id: int) -> range:
+        """Ids of proper descendants (contiguous thanks to preorder ids)."""
+        return range(node_id + 1, node_id + self.subtree_sizes[node_id])
+
+    def subtree_ids(self, node_id: int) -> range:
+        """Ids of the subtree rooted at ``node_id`` (node included)."""
+        return range(node_id, node_id + self.subtree_sizes[node_id])
+
+    def is_descendant(self, descendant: int, ancestor: int) -> bool:
+        """True iff ``descendant`` is a *proper* descendant of ``ancestor``."""
+        return ancestor < descendant < ancestor + self.subtree_sizes[ancestor]
+
+    def is_in_subtree(self, node_id: int, scope_root: int) -> bool:
+        """True iff ``node_id`` lies in the subtree rooted at ``scope_root``."""
+        return scope_root <= node_id < scope_root + self.subtree_sizes[scope_root]
+
+    def subtree(self, node_id: int) -> "Tree":
+        """A standalone copy of the subtree rooted at ``node_id``.
+
+        The paper's ``W`` operator and nested-TWA subtree tests both
+        conceptually run queries "within" such a subtree; the evaluators avoid
+        this copy by scoped evaluation, but automata tests and the test suite
+        use it as a ground truth.
+        """
+        base = node_id
+        span = self.subtree_ids(node_id)
+        labels = [self.labels[i] for i in span]
+        parents = [-1] + [self.parent[i] - base for i in span][1:]
+        return Tree(labels, parents)
+
+    # -- conversion / display --------------------------------------------------
+
+    def to_shape(self) -> "str | tuple[str, list]":
+        """The nested ``(label, children)`` shape (leaves as bare strings)."""
+
+        def shape_of(node_id: int):
+            kids = self._children[node_id]
+            if not kids:
+                return self.labels[node_id]
+            return (self.labels[node_id], [shape_of(c) for c in kids])
+
+        if self._shape is None:
+            self._shape = shape_of(0)
+        return self._shape
+
+    def pretty(self) -> str:
+        """An indented one-node-per-line rendering, for debugging."""
+        lines = []
+        for i in range(self.size):
+            lines.append("  " * self.depths[i] + self.labels[i])
+        return "\n".join(lines)
+
+    def relabel(self, mapping: dict[str, str]) -> "Tree":
+        """A copy with labels replaced via ``mapping`` (missing keys kept)."""
+        return Tree([mapping.get(lbl, lbl) for lbl in self.labels], self.parent)
+
+    # -- dunder ------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        """Structural equality: same shape and same labels."""
+        return (
+            isinstance(other, Tree)
+            and other.labels == self.labels
+            and other.parent == self.parent
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.labels, self.parent))
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:
+        if self.size <= 8:
+            return f"Tree({self.to_shape()!r})"
+        return f"Tree(<{self.size} nodes, height {self.height}>)"
+
+
+def iter_document_order(tree: Tree) -> Iterable[Node]:
+    """Document-order iteration helper (alias of :meth:`Tree.nodes`)."""
+    return tree.nodes()

@@ -1,0 +1,309 @@
+"""A small, self-contained XML reader and writer.
+
+The paper (and the whole Core XPath line of work) models XML documents as
+sibling-ordered node-labelled trees: element tags become labels; attributes
+and text are either dropped or, optionally, rendered as extra child nodes
+with synthetic labels (the "attribute-value pairs as a special kind of
+children" view discussed in the talk literature).
+
+This is a hand-rolled recursive-descent parser covering the XML subset
+relevant to navigational querying: elements, attributes, text, comments,
+CDATA sections, processing instructions, an optional XML declaration and
+DOCTYPE (skipped), and the five predefined entities.  It is not a validating
+parser and does not handle DTDs beyond skipping them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .tree import Tree
+
+_ENTITIES = {"lt": "<", "gt": ">", "amp": "&", "apos": "'", "quot": '"'}
+
+#: Synthetic label prefixes for the optional attribute/text encodings.
+ATTRIBUTE_PREFIX = "@"
+TEXT_LABEL = "#text"
+
+
+class XmlSyntaxError(ValueError):
+    """Raised when the input is not well-formed (for our XML subset)."""
+
+    def __init__(self, message: str, position: int):
+        super().__init__(f"{message} (at offset {position})")
+        self.position = position
+
+
+@dataclass
+class XmlReadOptions:
+    """Controls how an XML document is abstracted into a labelled tree.
+
+    attributes_as_children:
+        Encode each attribute ``name="value"`` as a child node labelled
+        ``"@name=value"`` (prepended before element children), mirroring the
+        "attributes as a special kind of children" abstraction.
+    text_as_children:
+        Encode each maximal non-whitespace text run as a child labelled
+        ``"#text"``.  Navigational XPath cannot see string *content*, only
+        the presence of text nodes.
+    """
+
+    attributes_as_children: bool = False
+    text_as_children: bool = False
+
+
+class _Parser:
+    def __init__(self, text: str, options: XmlReadOptions):
+        self.text = text
+        self.pos = 0
+        self.options = options
+        self.labels: list[str] = []
+        self.parents: list[int] = []
+
+    # -- low-level helpers ---------------------------------------------------
+
+    def error(self, message: str) -> XmlSyntaxError:
+        return XmlSyntaxError(message, self.pos)
+
+    def peek(self, offset: int = 0) -> str:
+        i = self.pos + offset
+        return self.text[i] if i < len(self.text) else ""
+
+    def startswith(self, token: str) -> bool:
+        return self.text.startswith(token, self.pos)
+
+    def expect(self, token: str) -> None:
+        if not self.startswith(token):
+            raise self.error(f"expected {token!r}")
+        self.pos += len(token)
+
+    def skip_whitespace(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos] in " \t\r\n":
+            self.pos += 1
+
+    def skip_until(self, token: str, what: str) -> None:
+        end = self.text.find(token, self.pos)
+        if end < 0:
+            raise self.error(f"unterminated {what}")
+        self.pos = end + len(token)
+
+    def skip_misc(self) -> None:
+        """Skip whitespace, comments, PIs, and declarations between elements."""
+        while True:
+            self.skip_whitespace()
+            if self.startswith("<!--"):
+                self.pos += 4
+                self.skip_until("-->", "comment")
+            elif self.startswith("<?"):
+                self.pos += 2
+                self.skip_until("?>", "processing instruction")
+            elif self.startswith("<!DOCTYPE"):
+                self._skip_doctype()
+            else:
+                return
+
+    def _skip_doctype(self) -> None:
+        self.expect("<!DOCTYPE")
+        depth = 1
+        while depth > 0:
+            if self.pos >= len(self.text):
+                raise self.error("unterminated DOCTYPE")
+            ch = self.text[self.pos]
+            if ch == "<":
+                depth += 1
+            elif ch == ">":
+                depth -= 1
+            self.pos += 1
+
+    def read_name(self) -> str:
+        start = self.pos
+        while self.pos < len(self.text) and (
+            self.text[self.pos].isalnum() or self.text[self.pos] in "_-.:"
+        ):
+            self.pos += 1
+        if self.pos == start:
+            raise self.error("expected a name")
+        return self.text[start : self.pos]
+
+    def decode_entities(self, raw: str) -> str:
+        if "&" not in raw:
+            return raw
+        out: list[str] = []
+        i = 0
+        while i < len(raw):
+            ch = raw[i]
+            if ch != "&":
+                out.append(ch)
+                i += 1
+                continue
+            end = raw.find(";", i)
+            if end < 0:
+                raise self.error("unterminated entity reference")
+            name = raw[i + 1 : end]
+            if name.startswith("#x") or name.startswith("#X"):
+                out.append(chr(int(name[2:], 16)))
+            elif name.startswith("#"):
+                out.append(chr(int(name[1:])))
+            elif name in _ENTITIES:
+                out.append(_ENTITIES[name])
+            else:
+                raise self.error(f"unknown entity &{name};")
+            i = end + 1
+        return "".join(out)
+
+    # -- grammar -------------------------------------------------------------
+
+    def parse_document(self) -> Tree:
+        self.skip_misc()
+        if not self.startswith("<"):
+            raise self.error("expected a root element")
+        self.parse_element(parent_id=-1)
+        self.skip_misc()
+        if self.pos != len(self.text):
+            raise self.error("content after the root element")
+        return Tree(self.labels, self.parents)
+
+    def parse_element(self, parent_id: int) -> None:
+        self.expect("<")
+        name = self.read_name()
+        my_id = len(self.labels)
+        self.labels.append(name)
+        self.parents.append(parent_id)
+
+        attributes = self.parse_attributes()
+        if self.options.attributes_as_children:
+            for key, value in attributes:
+                self.labels.append(f"{ATTRIBUTE_PREFIX}{key}={value}")
+                self.parents.append(my_id)
+
+        if self.startswith("/>"):
+            self.pos += 2
+            return
+        self.expect(">")
+        self.parse_content(my_id, name)
+
+    def parse_attributes(self) -> list[tuple[str, str]]:
+        attributes: list[tuple[str, str]] = []
+        while True:
+            self.skip_whitespace()
+            ch = self.peek()
+            if ch in (">", "/") or ch == "":
+                return attributes
+            key = self.read_name()
+            self.skip_whitespace()
+            self.expect("=")
+            self.skip_whitespace()
+            quote = self.peek()
+            if quote not in ("'", '"'):
+                raise self.error("expected a quoted attribute value")
+            self.pos += 1
+            end = self.text.find(quote, self.pos)
+            if end < 0:
+                raise self.error("unterminated attribute value")
+            value = self.decode_entities(self.text[self.pos : end])
+            self.pos = end + 1
+            attributes.append((key, value))
+
+    def parse_content(self, element_id: int, name: str) -> None:
+        text_chunks: list[str] = []
+
+        def flush_text() -> None:
+            if not self.options.text_as_children:
+                text_chunks.clear()
+                return
+            joined = "".join(text_chunks).strip()
+            text_chunks.clear()
+            if joined:
+                self.labels.append(TEXT_LABEL)
+                self.parents.append(element_id)
+
+        while True:
+            if self.pos >= len(self.text):
+                raise self.error(f"unterminated element <{name}>")
+            if self.startswith("</"):
+                flush_text()
+                self.pos += 2
+                closing = self.read_name()
+                if closing != name:
+                    raise self.error(
+                        f"mismatched closing tag </{closing}> for <{name}>"
+                    )
+                self.skip_whitespace()
+                self.expect(">")
+                return
+            if self.startswith("<!--"):
+                self.pos += 4
+                self.skip_until("-->", "comment")
+            elif self.startswith("<![CDATA["):
+                self.pos += 9
+                start = self.pos
+                self.skip_until("]]>", "CDATA section")
+                text_chunks.append(self.text[start : self.pos - 3])
+            elif self.startswith("<?"):
+                self.pos += 2
+                self.skip_until("?>", "processing instruction")
+            elif self.startswith("<"):
+                flush_text()
+                self.parse_element(element_id)
+            else:
+                start = self.pos
+                nxt = self.text.find("<", self.pos)
+                self.pos = len(self.text) if nxt < 0 else nxt
+                text_chunks.append(self.decode_entities(self.text[start : self.pos]))
+
+
+def parse_xml(text: str, options: XmlReadOptions | None = None) -> Tree:
+    """Parse an XML document into a labelled sibling-ordered tree.
+
+    >>> t = parse_xml("<talk><speaker/><title><i/></title></talk>")
+    >>> t.labels
+    ('talk', 'speaker', 'title', 'i')
+    """
+    return _Parser(text, options or XmlReadOptions()).parse_document()
+
+
+def _escape(value: str) -> str:
+    return (
+        value.replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace(">", "&gt;")
+        .replace('"', "&quot;")
+    )
+
+
+def to_xml(tree: Tree, indent: str | None = None) -> str:
+    """Serialize a labelled tree back to XML.
+
+    Labels produced by the attribute/text encodings are rendered back as
+    attributes and text; all other labels become element tags.  With
+    ``indent`` set (e.g. ``"  "``), a pretty-printed form is produced.
+    """
+
+    def render(node_id: int, depth: int, out: list[str]) -> None:
+        label = tree.labels[node_id]
+        pad = "" if indent is None else indent * depth
+        newline = "" if indent is None else "\n"
+        if label == TEXT_LABEL:
+            out.append(f"{pad}(text){newline}" if indent else "(text)")
+            return
+        attributes = []
+        real_children = []
+        for child in tree.children_ids(node_id):
+            child_label = tree.labels[child]
+            if child_label.startswith(ATTRIBUTE_PREFIX) and "=" in child_label:
+                key, __, value = child_label[1:].partition("=")
+                attributes.append(f' {key}="{_escape(value)}"')
+            else:
+                real_children.append(child)
+        attrs = "".join(attributes)
+        if not real_children:
+            out.append(f"{pad}<{label}{attrs}/>{newline}")
+        else:
+            out.append(f"{pad}<{label}{attrs}>{newline}")
+            for child in real_children:
+                render(child, depth + 1, out)
+            out.append(f"{pad}</{label}>{newline}")
+
+    parts: list[str] = []
+    render(0, 0, parts)
+    return "".join(parts)

@@ -1,0 +1,378 @@
+"""Abstract syntax of Core XPath, Regular XPath, and Regular XPath(W).
+
+The dialect ladder reproduced from the paper (plus the XPath 2.0 path
+booleans — intersection and complementation — that the surrounding
+literature contrasts the 1.0 core with):
+
+* **Core XPath** (Gottlob–Koch–Pichler): steps over the four primitive axes
+  and their transitive closures, composition ``/``, union ``|``, filters
+  ``[φ]``; node expressions are label tests, booleans, and ``⟨p⟩``.
+* **Regular XPath**: additionally the Kleene star ``p*`` over *arbitrary*
+  path expressions.
+* **Regular XPath(W)**: additionally the *within* operator ``W φ`` — ``φ``
+  evaluated at the current node *in the subtree rooted at that node*.
+
+Two sorts of expressions, as in the paper:
+
+* :class:`PathExpr` — denotes a binary relation over tree nodes;
+* :class:`NodeExpr` — denotes a set of tree nodes.
+
+ASTs are immutable (frozen dataclasses); they support a lightweight builder
+algebra so queries can be written in Python directly::
+
+    from repro.xpath import ast as x
+    q = x.child[x.label("title")] / x.step(Axis.DESCENDANT)
+
+Filters desugar to ``Seq(p, Check(φ))``; ``p+`` desugars to ``p / p*``.
+The pretty-printer in :mod:`repro.xpath.unparse` re-sugars both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..trees.axes import Axis
+
+__all__ = [
+    "PathExpr",
+    "NodeExpr",
+    "Step",
+    "Seq",
+    "Union",
+    "Star",
+    "Check",
+    "EmptyPath",
+    "Intersect",
+    "Complement",
+    "Label",
+    "TrueNode",
+    "Not",
+    "And",
+    "Or",
+    "Exists",
+    "Within",
+    "Expr",
+    "step",
+    "label",
+    "exists",
+    "within",
+    "plus",
+    "filter_",
+    "SELF",
+    "CHILD",
+    "PARENT",
+    "LEFT",
+    "RIGHT",
+    "DESCENDANT",
+    "ANCESTOR",
+    "FOLLOWING_SIBLING",
+    "PRECEDING_SIBLING",
+    "TRUE",
+    "FALSE",
+    "IS_ROOT",
+    "IS_LEAF",
+    "IS_FIRST",
+    "IS_LAST",
+]
+
+
+class _ExprBase:
+    """Shared plumbing: cached structural size and subexpression walking."""
+
+    __match_args__: tuple[str, ...] = ()
+
+    def children(self) -> tuple["Expr", ...]:
+        """Immediate subexpressions (paths and node expressions alike)."""
+        raise NotImplementedError
+
+    @property
+    def size(self) -> int:
+        """Number of AST nodes (a standard query-size measure)."""
+        total = 1
+        for child in self.children():
+            total += child.size
+        return total
+
+    def walk(self):
+        """Yield this expression and all subexpressions, preorder."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def __str__(self) -> str:
+        from .unparse import unparse
+
+        return unparse(self)
+
+
+class PathExpr(_ExprBase):
+    """A path expression: denotes a binary relation over nodes."""
+
+    def __truediv__(self, other: "PathExpr") -> "PathExpr":
+        return Seq(self, _require_path(other, "/"))
+
+    def __or__(self, other: "PathExpr") -> "PathExpr":
+        return Union(self, _require_path(other, "|"))
+
+    def __and__(self, other: "PathExpr") -> "PathExpr":
+        return Intersect(self, _require_path(other, "&"))
+
+    def __invert__(self) -> "PathExpr":
+        return Complement(self)
+
+    def __getitem__(self, test: "NodeExpr | PathExpr") -> "PathExpr":
+        return filter_(self, test)
+
+    def star(self) -> "PathExpr":
+        """Reflexive-transitive closure ``p*`` (Regular XPath)."""
+        return Star(self)
+
+    def plus(self) -> "PathExpr":
+        """Transitive closure ``p+``, i.e. ``p / p*``."""
+        return plus(self)
+
+    def exists(self) -> "NodeExpr":
+        """The node expression ``⟨p⟩``: some p-successor exists."""
+        return Exists(self)
+
+
+class NodeExpr(_ExprBase):
+    """A node expression: denotes a set of nodes."""
+
+    def __and__(self, other: "NodeExpr | PathExpr") -> "NodeExpr":
+        return And(self, _coerce_node(other))
+
+    def __or__(self, other: "NodeExpr | PathExpr") -> "NodeExpr":
+        return Or(self, _coerce_node(other))
+
+    def __invert__(self) -> "NodeExpr":
+        return Not(self)
+
+
+Expr = "PathExpr | NodeExpr"
+
+
+def _require_path(value: object, op: str) -> PathExpr:
+    if not isinstance(value, PathExpr):
+        raise TypeError(f"operand of {op!r} must be a path expression, got {value!r}")
+    return value
+
+
+def _coerce_node(value: "NodeExpr | PathExpr") -> NodeExpr:
+    """Allow paths where node expressions are expected, as ``⟨p⟩``."""
+    if isinstance(value, PathExpr):
+        return Exists(value)
+    if not isinstance(value, NodeExpr):
+        raise TypeError(f"expected a node expression, got {value!r}")
+    return value
+
+
+# ---------------------------------------------------------------------------
+# Path expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Step(PathExpr):
+    """One axis step; primitive axes are single edges, derived axes are
+    built-in closures (``descendant`` = ``child+`` etc.)."""
+
+    axis: Axis
+
+    def children(self) -> tuple["Expr", ...]:
+        return ()
+
+
+@dataclass(frozen=True)
+class Seq(PathExpr):
+    """Composition ``left / right``."""
+
+    left: PathExpr
+    right: PathExpr
+
+    def children(self) -> tuple["Expr", ...]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class Union(PathExpr):
+    """Union ``left | right``."""
+
+    left: PathExpr
+    right: PathExpr
+
+    def children(self) -> tuple["Expr", ...]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class Star(PathExpr):
+    """Reflexive-transitive closure ``path*`` (the Regular XPath operator)."""
+
+    path: PathExpr
+
+    def children(self) -> tuple["Expr", ...]:
+        return (self.path,)
+
+
+@dataclass(frozen=True)
+class Check(PathExpr):
+    """The test relation ``?φ`` = {(n, n) | n ⊨ φ} (a filter step)."""
+
+    test: NodeExpr
+
+    def children(self) -> tuple["Expr", ...]:
+        return (self.test,)
+
+
+@dataclass(frozen=True)
+class EmptyPath(PathExpr):
+    """The empty relation ∅ (the semiring zero)."""
+
+    def children(self) -> tuple["Expr", ...]:
+        return ()
+
+
+@dataclass(frozen=True)
+class Intersect(PathExpr):
+    """Path intersection ``left & right`` (Core XPath 2.0)."""
+
+    left: PathExpr
+    right: PathExpr
+
+    def children(self) -> tuple["Expr", ...]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class Complement(PathExpr):
+    """Path complementation ``~path`` (Core XPath 2.0): all pairs not
+    related by ``path``."""
+
+    path: PathExpr
+
+    def children(self) -> tuple["Expr", ...]:
+        return (self.path,)
+
+
+# ---------------------------------------------------------------------------
+# Node expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Label(NodeExpr):
+    """Label test: nodes labelled ``name``."""
+
+    name: str
+
+    def children(self) -> tuple["Expr", ...]:
+        return ()
+
+
+@dataclass(frozen=True)
+class TrueNode(NodeExpr):
+    """The constant ⊤ (all nodes)."""
+
+    def children(self) -> tuple["Expr", ...]:
+        return ()
+
+
+@dataclass(frozen=True)
+class Not(NodeExpr):
+    operand: NodeExpr
+
+    def children(self) -> tuple["Expr", ...]:
+        return (self.operand,)
+
+
+@dataclass(frozen=True)
+class And(NodeExpr):
+    left: NodeExpr
+    right: NodeExpr
+
+    def children(self) -> tuple["Expr", ...]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class Or(NodeExpr):
+    left: NodeExpr
+    right: NodeExpr
+
+    def children(self) -> tuple["Expr", ...]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class Exists(NodeExpr):
+    """``⟨p⟩``: the domain of the relation denoted by ``p``."""
+
+    path: PathExpr
+
+    def children(self) -> tuple["Expr", ...]:
+        return (self.path,)
+
+
+@dataclass(frozen=True)
+class Within(NodeExpr):
+    """The paper's ``W`` operator: ``test`` evaluated at the current node in
+    the subtree rooted at that node (subtree relativisation)."""
+
+    test: NodeExpr
+
+    def children(self) -> tuple["Expr", ...]:
+        return (self.test,)
+
+
+# ---------------------------------------------------------------------------
+# Builders and standard constants
+# ---------------------------------------------------------------------------
+
+
+def step(axis: Axis) -> Step:
+    """An axis step."""
+    return Step(axis)
+
+
+def label(name: str) -> Label:
+    """A label test node expression."""
+    return Label(name)
+
+
+def exists(path: PathExpr) -> Exists:
+    """``⟨path⟩``."""
+    return Exists(path)
+
+
+def within(test: "NodeExpr | PathExpr") -> Within:
+    """``W test`` (paths are coerced to ``⟨path⟩`` first)."""
+    return Within(_coerce_node(test))
+
+
+def plus(path: PathExpr) -> PathExpr:
+    """Strict transitive closure ``path+`` = ``path / path*``."""
+    return Seq(path, Star(path))
+
+
+def filter_(path: PathExpr, test: "NodeExpr | PathExpr") -> PathExpr:
+    """The filter ``path[test]`` = ``path / ?test``."""
+    return Seq(path, Check(_coerce_node(test)))
+
+
+SELF = Step(Axis.SELF)
+CHILD = Step(Axis.CHILD)
+PARENT = Step(Axis.PARENT)
+LEFT = Step(Axis.LEFT)
+RIGHT = Step(Axis.RIGHT)
+DESCENDANT = Step(Axis.DESCENDANT)
+ANCESTOR = Step(Axis.ANCESTOR)
+FOLLOWING_SIBLING = Step(Axis.FOLLOWING_SIBLING)
+PRECEDING_SIBLING = Step(Axis.PRECEDING_SIBLING)
+
+TRUE = TrueNode()
+FALSE = Not(TRUE)
+IS_ROOT = Not(Exists(PARENT))
+IS_LEAF = Not(Exists(CHILD))
+IS_FIRST = Not(Exists(LEFT))
+IS_LAST = Not(Exists(RIGHT))

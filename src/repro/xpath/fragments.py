@@ -1,0 +1,217 @@
+"""Dialect and fragment classification.
+
+The paper's results are stated per dialect (Core XPath ⊂ Regular XPath ⊂
+Regular XPath(W)) and the surrounding literature works with *axis-restricted*
+fragments CoreXPath(A) for a set of axes A.  This module classifies an AST:
+
+* :func:`dialect` — the smallest dialect of the ladder containing it;
+* :func:`axes_used` — which primitive axes it navigates (derived axes are
+  charged to their primitive base, e.g. ``descendant`` to ``child``);
+* :func:`is_downward` — the fragment compiled to nested TWA (experiment T3);
+* assorted size/complexity metrics used by the benchmarks.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from ..trees.axes import CLOSURE_BASE, Axis
+from . import ast
+
+__all__ = [
+    "Dialect",
+    "dialect",
+    "axes_used",
+    "is_core_xpath",
+    "is_regular_xpath",
+    "uses_within",
+    "is_downward",
+    "star_height",
+    "expression_size",
+    "filter_depth",
+]
+
+
+class Dialect(Enum):
+    """The dialect ladder studied by the paper, plus the XPath 2.0 core
+    (path intersection/complementation) the literature contrasts it with."""
+
+    CORE = "Core XPath"
+    REGULAR = "Regular XPath"
+    CORE2 = "Core XPath 2.0"
+    REGULAR_W = "Regular XPath(W)"
+
+    def __le__(self, other: "Dialect") -> bool:
+        if self is other or self is Dialect.CORE or other is Dialect.REGULAR_W:
+            return True
+        return False  # REGULAR and CORE2 are incomparable
+
+
+_PRIMITIVE_OF = {
+    Axis.SELF: None,
+    Axis.CHILD: Axis.CHILD,
+    Axis.PARENT: Axis.PARENT,
+    Axis.RIGHT: Axis.RIGHT,
+    Axis.LEFT: Axis.LEFT,
+    Axis.DESCENDANT: Axis.CHILD,
+    Axis.DESCENDANT_OR_SELF: Axis.CHILD,
+    Axis.ANCESTOR: Axis.PARENT,
+    Axis.ANCESTOR_OR_SELF: Axis.PARENT,
+    Axis.FOLLOWING_SIBLING: Axis.RIGHT,
+    Axis.PRECEDING_SIBLING: Axis.LEFT,
+    # `following`/`preceding` combine vertical and horizontal navigation.
+    Axis.FOLLOWING: None,
+    Axis.PRECEDING: None,
+}
+
+
+def axes_used(expr: "ast.PathExpr | ast.NodeExpr") -> frozenset[Axis]:
+    """The primitive axes the expression navigates.
+
+    ``following``/``preceding`` count as all four primitive axes (they are
+    definable as ``ancestor_or_self/right/following_sibling*/
+    descendant_or_self`` and its mirror).
+    """
+    found: set[Axis] = set()
+    for sub in expr.walk():
+        if isinstance(sub, ast.Step):
+            if sub.axis in (Axis.FOLLOWING, Axis.PRECEDING):
+                found.update((Axis.CHILD, Axis.PARENT, Axis.RIGHT, Axis.LEFT))
+            else:
+                primitive = _PRIMITIVE_OF[sub.axis]
+                if primitive is not None:
+                    found.add(primitive)
+    return frozenset(found)
+
+
+def uses_within(expr: "ast.PathExpr | ast.NodeExpr") -> bool:
+    """Does the expression use the ``W`` operator?"""
+    return any(isinstance(sub, ast.Within) for sub in expr.walk())
+
+
+def uses_path_booleans(expr: "ast.PathExpr | ast.NodeExpr") -> bool:
+    """Does the expression use the XPath 2.0 path operators ``&`` / ``~``?"""
+    return any(
+        isinstance(sub, (ast.Intersect, ast.Complement)) for sub in expr.walk()
+    )
+
+
+def _star_is_core(star: ast.Star) -> bool:
+    """Core XPath only closes single primitive axis steps (``s+``/``s*``)."""
+    return isinstance(star.path, ast.Step) and star.path.axis in CLOSURE_BASE.values()
+
+
+def is_core_xpath(expr: "ast.PathExpr | ast.NodeExpr") -> bool:
+    """Is the expression in Core XPath (no general star, no W, no 2.0 ops)?"""
+    for sub in expr.walk():
+        if isinstance(sub, (ast.Within, ast.Intersect, ast.Complement)):
+            return False
+        if isinstance(sub, ast.Star) and not _star_is_core(sub):
+            return False
+    return True
+
+
+def is_regular_xpath(expr: "ast.PathExpr | ast.NodeExpr") -> bool:
+    """Is the expression in Regular XPath (W-free)?"""
+    return not uses_within(expr)
+
+
+def dialect(expr: "ast.PathExpr | ast.NodeExpr") -> Dialect:
+    """The smallest dialect of the ladder containing ``expr``.
+
+    Expressions mixing 2.0 path booleans with general stars or ``W`` land
+    in REGULAR_W (the top, which subsumes them all on trees by T2)."""
+    if is_core_xpath(expr):
+        return Dialect.CORE
+    if uses_within(expr):
+        return Dialect.REGULAR_W
+    booleans = uses_path_booleans(expr)
+    general_star = any(
+        isinstance(sub, ast.Star) and not _star_is_core(sub) for sub in expr.walk()
+    )
+    if booleans and general_star:
+        return Dialect.REGULAR_W
+    if booleans:
+        return Dialect.CORE2
+    return Dialect.REGULAR
+
+
+_DOWNWARD_AXES = (
+    Axis.SELF,
+    Axis.CHILD,
+    Axis.DESCENDANT,
+    Axis.DESCENDANT_OR_SELF,
+)
+
+
+def is_downward(expr: "ast.PathExpr | ast.NodeExpr") -> bool:
+    """Is the expression in the *downward* fragment?
+
+    Downward expressions navigate only ``self``/``child``/``descendant`` (and
+    stars thereof) and may use ``W`` freely; their truth at a node depends
+    only on the subtree below it.  This is the fragment our nested-TWA
+    compiler and exact decision procedures accept (experiments T3/E1), which
+    excludes the 2.0 path booleans.
+    """
+    for sub in expr.walk():
+        if isinstance(sub, ast.Step) and sub.axis not in _DOWNWARD_AXES:
+            return False
+        if isinstance(sub, (ast.Intersect, ast.Complement)):
+            return False
+    return True
+
+
+def star_height(expr: "ast.PathExpr | ast.NodeExpr") -> int:
+    """Maximum nesting depth of ``*`` (derived transitive axes count as 1)."""
+    best = 0
+    for child in expr.children():
+        best = max(best, star_height(child))
+    if isinstance(expr, ast.Star):
+        return best + 1
+    if isinstance(expr, ast.Step) and expr.axis in _PRIMITIVE_OF and _PRIMITIVE_OF[
+        expr.axis
+    ] is not None and expr.axis not in (
+        Axis.CHILD,
+        Axis.PARENT,
+        Axis.RIGHT,
+        Axis.LEFT,
+    ):
+        return max(best, 1)
+    if isinstance(expr, ast.Step) and expr.axis in (Axis.FOLLOWING, Axis.PRECEDING):
+        return max(best, 1)
+    return best
+
+
+def expression_size(expr: "ast.PathExpr | ast.NodeExpr") -> int:
+    """AST node count (same as ``expr.size``; exported for symmetry)."""
+    return expr.size
+
+
+def filter_depth(expr: "ast.PathExpr | ast.NodeExpr") -> int:
+    """Maximum nesting depth of filters/tests (``Check``/``Exists``/``W``)."""
+    best = 0
+    for child in expr.children():
+        best = max(best, filter_depth(child))
+    if isinstance(expr, (ast.Check, ast.Exists, ast.Within)):
+        return best + 1
+    return best
+
+
+def is_conditional_xpath(expr: "ast.PathExpr | ast.NodeExpr") -> bool:
+    """Is the expression in Conditional XPath (Marx)?
+
+    Conditional XPath extends Core XPath with *conditional steps*: closures
+    of ``?α / s / ?β`` for a primitive axis ``s``.  It is exactly
+    first-order complete on ordered trees, which is why our Core-XPath → FO
+    translation accepts it (see
+    :func:`repro.translations.xpath_to_logic.conditional_step`).
+    """
+    from ..translations.xpath_to_logic import conditional_step
+
+    for sub in expr.walk():
+        if isinstance(sub, (ast.Within, ast.Intersect, ast.Complement)):
+            return False
+        if isinstance(sub, ast.Star) and not _star_is_core(sub):
+            if conditional_step(sub.path) is None:
+                return False
+    return True

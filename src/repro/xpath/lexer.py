@@ -1,0 +1,111 @@
+"""Tokenizer for the compact XPath notation used throughout the literature.
+
+The surface syntax follows the talk/paper notation rather than W3C XPath:
+axes are written ``child``, ``parent``, ``left``, ``right`` (or as the arrows
+``↓ ↑ ← →``), closure as ``*`` / ``+``, composition as ``/``, union as ``|``,
+path intersection as ``&`` and complementation as ``~`` (the XPath 2.0
+operators), filters as ``[φ]``, existential path tests as ``<p>``, and the
+within operator as ``W(φ)``.  See :mod:`repro.xpath.parser` for the grammar.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = ["Token", "XPathSyntaxError", "tokenize", "KEYWORDS"]
+
+#: Reserved words of the node-expression grammar.
+KEYWORDS = frozenset(
+    {
+        "and",
+        "or",
+        "not",
+        "true",
+        "false",
+        "root",
+        "leaf",
+        "first",
+        "last",
+        "W",
+        "within",
+    }
+)
+
+#: Words and arrows that begin a path expression.
+AXIS_WORDS = frozenset(
+    {
+        "self",
+        "child",
+        "parent",
+        "left",
+        "right",
+        "descendant",
+        "ancestor",
+        "following_sibling",
+        "preceding_sibling",
+        "following-sibling",
+        "preceding-sibling",
+        "descendant_or_self",
+        "descendant-or-self",
+        "ancestor_or_self",
+        "ancestor-or-self",
+        "following",
+        "preceding",
+    }
+)
+
+_ARROWS = {"↓": "child", "↑": "parent", "→": "right", "←": "left"}
+_PUNCT = "/|*+[]()<>?.&~"
+
+
+class XPathSyntaxError(ValueError):
+    """Raised on malformed query text."""
+
+    def __init__(self, message: str, position: int):
+        super().__init__(f"{message} (at offset {position})")
+        self.position = position
+
+
+@dataclass(frozen=True)
+class Token:
+    """A lexical token.
+
+    ``kind`` is one of ``"name"`` (identifier), ``"string"`` (quoted label),
+    a punctuation character, or ``"end"``.
+    """
+
+    kind: str
+    value: str
+    position: int
+
+
+def tokenize(text: str) -> Iterator[Token]:
+    """Yield the tokens of ``text``, ending with a single ``end`` token."""
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch in " \t\r\n":
+            i += 1
+        elif ch in _ARROWS:
+            yield Token("name", _ARROWS[ch], i)
+            i += 1
+        elif ch in _PUNCT:
+            yield Token(ch, ch, i)
+            i += 1
+        elif ch in ("'", '"'):
+            end = text.find(ch, i + 1)
+            if end < 0:
+                raise XPathSyntaxError("unterminated quoted label", i)
+            yield Token("string", text[i + 1 : end], i)
+            i = end + 1
+        elif ch.isalnum() or ch == "_" or ch == "#" or ch == "@":
+            start = i
+            i += 1
+            while i < n and (text[i].isalnum() or text[i] in "_-#@="):
+                i += 1
+            yield Token("name", text[start:i], start)
+        else:
+            raise XPathSyntaxError(f"unexpected character {ch!r}", i)
+    yield Token("end", "", n)

@@ -1,0 +1,146 @@
+"""Normal forms from the axiomatization literature.
+
+The completeness proofs for Core XPath axiomatizations (the ten
+Cate–Litak–Marx line this paper builds on) work with two normal forms, both
+of which are implemented — and property-tested for semantic preservation —
+here:
+
+* **Simple node expressions** (:func:`to_modal_form`): every node
+  expression of Core XPath is equivalent to one built from labels, booleans
+  and single-step diamonds ``⟨s[β]⟩`` only — the "isomorphic variants of
+  modal formulas" that let completeness be inherited from modal logic.  The
+  rewriting uses exactly the node axioms: NdAx2 (``⟨A|B⟩ = ⟨A⟩∨⟨B⟩``),
+  NdAx3 (``⟨A/B⟩ = ⟨A[⟨B⟩]⟩``) and NdAx4 (``⟨?φ⟩ = φ``).
+
+* **Sums of sum-free paths** (:func:`distribute_unions`): every path
+  expression is a union of paths containing no top-level ``|`` (unions
+  surviving only under stars and inside tests), via the distribution laws
+  ISAx6.
+"""
+
+from __future__ import annotations
+
+from ..trees.axes import CLOSURE_BASE, Axis
+from . import ast
+
+__all__ = [
+    "to_modal_form",
+    "is_simple_node",
+    "distribute_unions",
+    "NotCoreXPath",
+]
+
+_CLOSED_OF = {base: closed for closed, base in CLOSURE_BASE.items()}
+
+
+class NotCoreXPath(ValueError):
+    """Raised when a general (Regular XPath) star blocks the modal form."""
+
+
+def to_modal_form(expr: ast.NodeExpr) -> ast.NodeExpr:
+    """Rewrite a Core XPath node expression into simple (modal) form.
+
+    The result uses only labels, ⊤, booleans, and diamonds of the shape
+    ``⟨s[β]⟩`` with ``s`` a single axis step and ``β`` again simple.
+    Raises :class:`NotCoreXPath` on general stars or the ``W`` operator.
+    """
+    if isinstance(expr, (ast.Label, ast.TrueNode)):
+        return expr
+    if isinstance(expr, ast.Not):
+        return ast.Not(to_modal_form(expr.operand))
+    if isinstance(expr, ast.And):
+        return ast.And(to_modal_form(expr.left), to_modal_form(expr.right))
+    if isinstance(expr, ast.Or):
+        return ast.Or(to_modal_form(expr.left), to_modal_form(expr.right))
+    if isinstance(expr, ast.Exists):
+        return _modal_path(expr.path, ast.TRUE)
+    if isinstance(expr, ast.Within):
+        raise NotCoreXPath("the W operator has no Core XPath modal form")
+    raise TypeError(f"unknown node expression {expr!r}")
+
+
+def _diamond(axis: Axis, continuation: ast.NodeExpr) -> ast.NodeExpr:
+    if isinstance(continuation, ast.TrueNode):
+        return ast.Exists(ast.Step(axis))
+    return ast.Exists(ast.filter_(ast.Step(axis), continuation))
+
+
+def _modal_path(path: ast.PathExpr, continuation: ast.NodeExpr) -> ast.NodeExpr:
+    """``⟨path[continuation]⟩`` as a simple node expression."""
+    if isinstance(path, ast.Step):
+        if path.axis is Axis.SELF:
+            return continuation
+        return _diamond(path.axis, continuation)
+    if isinstance(path, ast.Seq):
+        return _modal_path(path.left, _modal_path(path.right, continuation))
+    if isinstance(path, ast.Union):
+        return ast.Or(
+            _modal_path(path.left, continuation),
+            _modal_path(path.right, continuation),
+        )
+    if isinstance(path, ast.Check):
+        return ast.And(to_modal_form(path.test), continuation)
+    if isinstance(path, ast.EmptyPath):
+        return ast.FALSE
+    if isinstance(path, ast.Star):
+        inner = path.path
+        if isinstance(inner, ast.Step) and inner.axis in _CLOSED_OF:
+            # s* = self | s⁺: ⟨s*[β]⟩ = β ∨ ⟨s⁺[β]⟩ with s⁺ a single
+            # (transitive) axis step.
+            return ast.Or(continuation, _diamond(_CLOSED_OF[inner.axis], continuation))
+        if isinstance(inner, ast.Step) and inner.axis in CLOSURE_BASE:
+            # (s⁺)* = self | s⁺ likewise.
+            return ast.Or(continuation, _diamond(inner.axis, continuation))
+        raise NotCoreXPath(
+            f"general star over {inner} has no single-step modal form"
+        )
+    if isinstance(path, (ast.Intersect, ast.Complement)):
+        raise NotCoreXPath(
+            "the XPath 2.0 path operators have no Core XPath modal form"
+        )
+    raise TypeError(f"unknown path expression {path!r}")
+
+
+def is_simple_node(expr: ast.NodeExpr) -> bool:
+    """Is the expression in simple (modal) form?
+
+    Grammar: ``β ::= p | ⊤ | ¬β | β∧β | β∨β | ⟨s⟩ | ⟨s[β]⟩`` for a single
+    axis step ``s``.
+    """
+    if isinstance(expr, (ast.Label, ast.TrueNode)):
+        return True
+    if isinstance(expr, ast.Not):
+        return is_simple_node(expr.operand)
+    if isinstance(expr, (ast.And, ast.Or)):
+        return is_simple_node(expr.left) and is_simple_node(expr.right)
+    if isinstance(expr, ast.Exists):
+        path = expr.path
+        if isinstance(path, ast.Step):
+            return True
+        if (
+            isinstance(path, ast.Seq)
+            and isinstance(path.left, ast.Step)
+            and isinstance(path.right, ast.Check)
+        ):
+            return is_simple_node(path.right.test)
+        return False
+    return False
+
+
+def distribute_unions(path: ast.PathExpr) -> list[ast.PathExpr]:
+    """The sum-of-sum-free normal form: members whose union equals ``path``.
+
+    Unions are distributed out of compositions (ISAx6); unions *inside*
+    stars and tests are left alone (they cannot be distributed soundly).
+    """
+    if isinstance(path, ast.Union):
+        return distribute_unions(path.left) + distribute_unions(path.right)
+    if isinstance(path, ast.Seq):
+        return [
+            ast.Seq(left, right)
+            for left in distribute_unions(path.left)
+            for right in distribute_unions(path.right)
+        ]
+    if isinstance(path, ast.EmptyPath):
+        return []
+    return [path]

@@ -1,0 +1,268 @@
+"""Recursive-descent parser for the compact XPath notation.
+
+Grammar (EBNF)::
+
+    path      := seq ( '|' seq )*
+    seq       := postfix ( '/' postfix )*
+    postfix   := atom ( '*' | '+' | '[' node ']' )*
+    atom      := AXIS | '.' | '(' path ')' | '?' test_atom | '0'
+    test_atom := NAME | STRING | '(' node ')'
+
+    node      := conj ( 'or' conj )*
+    conj      := unary ( 'and' unary )*
+    unary     := 'not' unary | primary
+    primary   := 'true' | 'false' | 'root' | 'leaf' | 'first' | 'last'
+               | ('W' | 'within') '(' node ')'
+               | '<' path '>'
+               | '(' node ')'
+               | AXIS-led path        (sugar for '<' path '>')
+               | NAME | STRING        (label test)
+
+Notes:
+
+* Axis names double as path starters in node context, so ``child[b]`` inside
+  a filter means ``<child[b]>``.  A *label* that collides with a keyword or
+  axis name must be quoted: ``"child"`` is the label test.
+* ``p+`` desugars to ``p/p*`` and ``p[φ]`` to ``p/?φ``; the pretty-printer
+  re-sugars them (see :mod:`repro.xpath.unparse`).
+* The token ``0`` (atom) denotes the empty relation ∅, used by the algebraic
+  axioms.
+
+Examples::
+
+    parse_path("child*[title]/descendant")
+    parse_node("not <child> and W(<descendant[?b]> or root)")
+"""
+
+from __future__ import annotations
+
+from ..trees.axes import Axis
+from . import ast
+from .lexer import KEYWORDS, Token, XPathSyntaxError, tokenize
+
+__all__ = ["parse_path", "parse_node", "XPathSyntaxError"]
+
+_AXIS_BY_WORD = {
+    "self": Axis.SELF,
+    "child": Axis.CHILD,
+    "parent": Axis.PARENT,
+    "left": Axis.LEFT,
+    "right": Axis.RIGHT,
+    "descendant": Axis.DESCENDANT,
+    "ancestor": Axis.ANCESTOR,
+    "following_sibling": Axis.FOLLOWING_SIBLING,
+    "following-sibling": Axis.FOLLOWING_SIBLING,
+    "preceding_sibling": Axis.PRECEDING_SIBLING,
+    "preceding-sibling": Axis.PRECEDING_SIBLING,
+    "descendant_or_self": Axis.DESCENDANT_OR_SELF,
+    "descendant-or-self": Axis.DESCENDANT_OR_SELF,
+    "ancestor_or_self": Axis.ANCESTOR_OR_SELF,
+    "ancestor-or-self": Axis.ANCESTOR_OR_SELF,
+    "following": Axis.FOLLOWING,
+    "preceding": Axis.PRECEDING,
+}
+
+_NODE_CONSTANTS = {
+    "true": ast.TRUE,
+    "false": ast.FALSE,
+    "root": ast.IS_ROOT,
+    "leaf": ast.IS_LEAF,
+    "first": ast.IS_FIRST,
+    "last": ast.IS_LAST,
+}
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.tokens = list(tokenize(text))
+        self.index = 0
+
+    # -- cursor helpers ----------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.index]
+        if token.kind != "end":
+            self.index += 1
+        return token
+
+    def accept(self, kind: str) -> Token | None:
+        if self.current.kind == kind:
+            return self.advance()
+        return None
+
+    def accept_word(self, word: str) -> bool:
+        if self.current.kind == "name" and self.current.value == word:
+            self.advance()
+            return True
+        return False
+
+    def expect(self, kind: str) -> Token:
+        if self.current.kind != kind:
+            raise XPathSyntaxError(
+                f"expected {kind!r}, found {self.current.value or 'end of input'!r}",
+                self.current.position,
+            )
+        return self.advance()
+
+    def fail(self, message: str) -> XPathSyntaxError:
+        return XPathSyntaxError(message, self.current.position)
+
+    def at_end(self) -> bool:
+        return self.current.kind == "end"
+
+    # -- path grammar --------------------------------------------------------
+
+    def parse_path(self) -> ast.PathExpr:
+        expr = self.parse_isect()
+        while self.accept("|"):
+            expr = ast.Union(expr, self.parse_isect())
+        return expr
+
+    def parse_isect(self) -> ast.PathExpr:
+        expr = self.parse_seq()
+        while self.accept("&"):
+            expr = ast.Intersect(expr, self.parse_seq())
+        return expr
+
+    def parse_seq(self) -> ast.PathExpr:
+        expr = self.parse_postfix()
+        while self.accept("/"):
+            expr = ast.Seq(expr, self.parse_postfix())
+        return expr
+
+    def parse_postfix(self) -> ast.PathExpr:
+        expr = self.parse_path_atom()
+        while True:
+            if self.accept("*"):
+                expr = ast.Star(expr)
+            elif self.accept("+"):
+                expr = ast.plus(expr)
+            elif self.accept("["):
+                test = self.parse_node()
+                self.expect("]")
+                expr = ast.Seq(expr, ast.Check(test))
+            else:
+                return expr
+
+    def parse_path_atom(self) -> ast.PathExpr:
+        token = self.current
+        if token.kind == "~":
+            self.advance()
+            return ast.Complement(self.parse_path_atom())
+        if token.kind == ".":
+            self.advance()
+            return ast.SELF
+        if token.kind == "(":
+            self.advance()
+            expr = self.parse_path()
+            self.expect(")")
+            return expr
+        if token.kind == "?":
+            self.advance()
+            return ast.Check(self.parse_test_atom())
+        if token.kind == "name":
+            if token.value in _AXIS_BY_WORD:
+                self.advance()
+                return ast.Step(_AXIS_BY_WORD[token.value])
+            if token.value == "0":
+                self.advance()
+                return ast.EmptyPath()
+        raise self.fail(
+            f"expected a path expression, found {token.value or 'end of input'!r}"
+        )
+
+    def parse_test_atom(self) -> ast.NodeExpr:
+        if self.accept("("):
+            test = self.parse_node()
+            self.expect(")")
+            return test
+        token = self.current
+        if token.kind == "string":
+            self.advance()
+            return ast.Label(token.value)
+        if token.kind == "name" and token.value in _NODE_CONSTANTS:
+            self.advance()
+            return _NODE_CONSTANTS[token.value]
+        if token.kind == "name" and token.value not in _AXIS_BY_WORD:
+            self.advance()
+            return ast.Label(token.value)
+        raise self.fail("expected a label or parenthesized node expression after '?'")
+
+    # -- node grammar ----------------------------------------------------------
+
+    def parse_node(self) -> ast.NodeExpr:
+        expr = self.parse_conj()
+        while self.accept_word("or"):
+            expr = ast.Or(expr, self.parse_conj())
+        return expr
+
+    def parse_conj(self) -> ast.NodeExpr:
+        expr = self.parse_unary()
+        while self.accept_word("and"):
+            expr = ast.And(expr, self.parse_unary())
+        return expr
+
+    def parse_unary(self) -> ast.NodeExpr:
+        if self.accept_word("not"):
+            return ast.Not(self.parse_unary())
+        return self.parse_primary()
+
+    def parse_primary(self) -> ast.NodeExpr:
+        token = self.current
+        if token.kind == "<":
+            self.advance()
+            path = self.parse_path()
+            self.expect(">")
+            return ast.Exists(path)
+        if token.kind == "(":
+            self.advance()
+            expr = self.parse_node()
+            self.expect(")")
+            return expr
+        if token.kind in (".", "?"):
+            # A path led by '.' or a test: sugar for <path>.
+            return ast.Exists(self.parse_path())
+        if token.kind == "string":
+            self.advance()
+            return ast.Label(token.value)
+        if token.kind == "name":
+            word = token.value
+            if word in ("W", "within"):
+                self.advance()
+                self.expect("(")
+                inner = self.parse_node()
+                self.expect(")")
+                return ast.Within(inner)
+            if word in _NODE_CONSTANTS:
+                self.advance()
+                return _NODE_CONSTANTS[word]
+            if word in _AXIS_BY_WORD:
+                return ast.Exists(self.parse_path())
+            if word not in KEYWORDS:
+                self.advance()
+                return ast.Label(word)
+        raise self.fail(
+            f"expected a node expression, found {token.value or 'end of input'!r}"
+        )
+
+
+def parse_path(text: str) -> ast.PathExpr:
+    """Parse a path expression, e.g. ``"child*[b]/descendant | parent"``."""
+    parser = _Parser(text)
+    expr = parser.parse_path()
+    if not parser.at_end():
+        raise parser.fail(f"unexpected trailing input {parser.current.value!r}")
+    return expr
+
+
+def parse_node(text: str) -> ast.NodeExpr:
+    """Parse a node expression, e.g. ``"a and not <child[b]>"``."""
+    parser = _Parser(text)
+    expr = parser.parse_node()
+    if not parser.at_end():
+        raise parser.fail(f"unexpected trailing input {parser.current.value!r}")
+    return expr

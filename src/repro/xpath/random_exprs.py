@@ -1,0 +1,146 @@
+"""Random expression generators for property-based testing.
+
+Generators are parameterized by dialect so each experiment can sample from
+exactly the language it claims to cover (Core XPath for the FO translation,
+Regular XPath(W) for the FO(MTC) translation, the downward fragment for the
+nested-TWA compiler).  Sizes are controlled by a node budget rather than
+depth, which keeps the size distribution flat.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from ..trees.axes import Axis
+from . import ast
+from .fragments import Dialect
+
+__all__ = ["ExprSampler", "random_path", "random_node"]
+
+_CORE_AXES = (
+    Axis.SELF,
+    Axis.CHILD,
+    Axis.PARENT,
+    Axis.LEFT,
+    Axis.RIGHT,
+    Axis.DESCENDANT,
+    Axis.ANCESTOR,
+    Axis.FOLLOWING_SIBLING,
+    Axis.PRECEDING_SIBLING,
+)
+
+_DOWNWARD_AXES = (Axis.SELF, Axis.CHILD, Axis.DESCENDANT, Axis.DESCENDANT_OR_SELF)
+
+
+class ExprSampler:
+    """Samples random path/node expressions of a given dialect.
+
+    >>> sampler = ExprSampler(alphabet=("a", "b"), rng=random.Random(0))
+    >>> expr = sampler.path(budget=8)
+    """
+
+    def __init__(
+        self,
+        alphabet: Sequence[str] = ("a", "b"),
+        rng: random.Random | None = None,
+        dialect: Dialect = Dialect.REGULAR_W,
+        downward_only: bool = False,
+        path_booleans: bool = False,
+    ):
+        self.alphabet = tuple(alphabet)
+        self.rng = rng or random.Random()
+        self.dialect = dialect
+        self.axes = _DOWNWARD_AXES if downward_only else _CORE_AXES
+        self.downward_only = downward_only
+        self.path_booleans = path_booleans and not downward_only
+
+    # -- public sampling -----------------------------------------------------
+
+    def path(self, budget: int = 10) -> ast.PathExpr:
+        """A random path expression using about ``budget`` AST nodes."""
+        return self._path(max(1, budget))
+
+    def node(self, budget: int = 10) -> ast.NodeExpr:
+        """A random node expression using about ``budget`` AST nodes."""
+        return self._node(max(1, budget))
+
+    # -- internals -------------------------------------------------------------
+
+    def _split(self, budget: int) -> tuple[int, int]:
+        left = self.rng.randint(1, max(1, budget - 1))
+        return left, max(1, budget - left)
+
+    def _path(self, budget: int) -> ast.PathExpr:
+        rng = self.rng
+        if budget <= 1:
+            return ast.Step(rng.choice(self.axes))
+        choices = ["seq", "seq", "union", "filter", "step"]
+        if self.dialect is not Dialect.CORE:
+            choices.append("star")
+        if self.path_booleans:
+            choices.extend(["intersect", "complement"])
+        kind = rng.choice(choices)
+        if kind == "step":
+            return ast.Step(rng.choice(self.axes))
+        if kind == "seq":
+            lb, rb = self._split(budget - 1)
+            return ast.Seq(self._path(lb), self._path(rb))
+        if kind == "union":
+            lb, rb = self._split(budget - 1)
+            return ast.Union(self._path(lb), self._path(rb))
+        if kind == "filter":
+            lb, rb = self._split(budget - 2)
+            return ast.Seq(self._path(lb), ast.Check(self._node(rb)))
+        if kind == "intersect":
+            lb, rb = self._split(budget - 1)
+            return ast.Intersect(self._path(lb), self._path(rb))
+        if kind == "complement":
+            return ast.Complement(self._path(budget - 1))
+        # star
+        return ast.Star(self._path(budget - 1))
+
+    def _node(self, budget: int) -> ast.NodeExpr:
+        rng = self.rng
+        if budget <= 1:
+            return rng.choice(
+                [ast.Label(rng.choice(self.alphabet)), ast.TRUE]
+            )
+        choices = ["label", "not", "and", "or", "exists", "exists"]
+        if self.dialect is Dialect.REGULAR_W:
+            choices.append("within")
+        kind = rng.choice(choices)
+        if kind == "label":
+            return ast.Label(rng.choice(self.alphabet))
+        if kind == "not":
+            return ast.Not(self._node(budget - 1))
+        if kind == "and":
+            lb, rb = self._split(budget - 1)
+            return ast.And(self._node(lb), self._node(rb))
+        if kind == "or":
+            lb, rb = self._split(budget - 1)
+            return ast.Or(self._node(lb), self._node(rb))
+        if kind == "exists":
+            return ast.Exists(self._path(budget - 1))
+        # within
+        return ast.Within(self._node(budget - 1))
+
+
+def random_path(
+    budget: int = 10,
+    alphabet: Sequence[str] = ("a", "b"),
+    rng: random.Random | None = None,
+    dialect: Dialect = Dialect.REGULAR_W,
+) -> ast.PathExpr:
+    """One-shot random path expression."""
+    return ExprSampler(alphabet, rng, dialect).path(budget)
+
+
+def random_node(
+    budget: int = 10,
+    alphabet: Sequence[str] = ("a", "b"),
+    rng: random.Random | None = None,
+    dialect: Dialect = Dialect.REGULAR_W,
+) -> ast.NodeExpr:
+    """One-shot random node expression."""
+    return ExprSampler(alphabet, rng, dialect).node(budget)

@@ -1,0 +1,100 @@
+"""Reference (denotational) semantics — the specification transcribed.
+
+This module computes the semantics of path and node expressions *exactly* as
+written in the paper's definitions: path expressions denote sets of pairs,
+``[[A/B]]`` is relational composition, ``[[p*]]`` is the reflexive-transitive
+closure of ``[[p]]``, ``[[⟨A⟩]]`` is the domain of ``[[A]]``, and ``[[W φ]]``
+is evaluated in a *materialized copy* of the subtree.
+
+It is deliberately naive (relations as Python sets of pairs, O(n²) space and
+worse time) and deliberately independent from the optimized engine in
+:mod:`repro.xpath.evaluator`: the property tests assert the two agree on
+random expressions × trees, which is the project's core correctness anchor
+(see DESIGN.md, "Two evaluators, one spec").
+"""
+
+from __future__ import annotations
+
+from ..trees.axes import axis_pairs
+from ..trees.tree import Tree
+from . import ast
+
+__all__ = ["path_pairs", "node_set", "compose", "transitive_reflexive_closure"]
+
+Relation = set[tuple[int, int]]
+
+
+def compose(left: Relation, right: Relation) -> Relation:
+    """Relational composition ``left ; right``."""
+    by_source: dict[int, set[int]] = {}
+    for a, b in right:
+        by_source.setdefault(a, set()).add(b)
+    return {(a, c) for a, b in left for c in by_source.get(b, ())}
+
+
+def transitive_reflexive_closure(relation: Relation, universe: range) -> Relation:
+    """The reflexive-transitive closure over ``universe`` (naive fixpoint)."""
+    closure: Relation = {(n, n) for n in universe}
+    closure |= relation
+    while True:
+        extended = compose(closure, relation) | closure
+        if extended == closure:
+            return closure
+        closure = extended
+
+
+def path_pairs(tree: Tree, expr: ast.PathExpr) -> Relation:
+    """The relation ``[[expr]]`` on the whole tree."""
+    return _path(tree, expr)
+
+
+def node_set(tree: Tree, expr: ast.NodeExpr) -> set[int]:
+    """The node set ``[[expr]]`` on the whole tree."""
+    return _node(tree, expr)
+
+
+def _path(tree: Tree, expr: ast.PathExpr) -> Relation:
+    if isinstance(expr, ast.Step):
+        return axis_pairs(tree, expr.axis)
+    if isinstance(expr, ast.Seq):
+        return compose(_path(tree, expr.left), _path(tree, expr.right))
+    if isinstance(expr, ast.Union):
+        return _path(tree, expr.left) | _path(tree, expr.right)
+    if isinstance(expr, ast.Star):
+        return transitive_reflexive_closure(_path(tree, expr.path), tree.node_ids)
+    if isinstance(expr, ast.Check):
+        return {(n, n) for n in _node(tree, expr.test)}
+    if isinstance(expr, ast.EmptyPath):
+        return set()
+    if isinstance(expr, ast.Intersect):
+        return _path(tree, expr.left) & _path(tree, expr.right)
+    if isinstance(expr, ast.Complement):
+        universe = set(tree.node_ids)
+        everything = {(n, m) for n in universe for m in universe}
+        return everything - _path(tree, expr.path)
+    raise TypeError(f"unknown path expression: {expr!r}")
+
+
+def _node(tree: Tree, expr: ast.NodeExpr) -> set[int]:
+    if isinstance(expr, ast.Label):
+        return {n for n in tree.node_ids if tree.labels[n] == expr.name}
+    if isinstance(expr, ast.TrueNode):
+        return set(tree.node_ids)
+    if isinstance(expr, ast.Not):
+        return set(tree.node_ids) - _node(tree, expr.operand)
+    if isinstance(expr, ast.And):
+        return _node(tree, expr.left) & _node(tree, expr.right)
+    if isinstance(expr, ast.Or):
+        return _node(tree, expr.left) | _node(tree, expr.right)
+    if isinstance(expr, ast.Exists):
+        return {n for n, __ in _path(tree, expr.path)}
+    if isinstance(expr, ast.Within):
+        # The specification reading of W: evaluate in a standalone copy of
+        # the subtree.  Node n satisfies W φ iff the *root* of subtree(n)
+        # satisfies φ there.
+        result: set[int] = set()
+        for n in tree.node_ids:
+            if 0 in _node(tree.subtree(n), expr.test):
+                result.add(n)
+        return result
+    raise TypeError(f"unknown node expression: {expr!r}")

@@ -1,0 +1,356 @@
+"""Semantics-preserving simplification (the query-optimizer substrate).
+
+The motivation — straight from the literature this paper belongs to — is that
+equivalent queries can differ by orders of magnitude in evaluation cost, so
+optimizers rewrite queries using *valid equivalences*.  This module applies a
+curated set of such equivalences bottom-up until a fixpoint:
+
+* semiring laws: associativity/commutativity/idempotence of ``|``, unit and
+  annihilator laws for ``self`` and ``∅``, distribution-free flattening;
+* test algebra: ``?⊤`` elimination, ``?φ/?ψ = ?(φ∧ψ)``, double negation,
+  De Morgan simplifications, constant folding;
+* star laws: ``(p*)* = p*``, ``self* = self``, ``∅* = self``,
+  ``(self|p)* = p*``;
+* derived-axis recognition: ``child/child* → descendant`` and friends.
+
+Every rule is sound on all trees; the property-test suite re-verifies each
+rewrite against the reference semantics on random expression/tree pairs
+(experiment A1's running mate).
+"""
+
+from __future__ import annotations
+
+from ..trees.axes import CLOSURE_BASE, Axis
+from . import ast
+
+__all__ = ["simplify", "simplify_node", "seq_factors", "union_members"]
+
+_CLOSED_AXIS = {base: closed for closed, base in CLOSURE_BASE.items()}
+_OR_SELF = {
+    Axis.DESCENDANT: Axis.DESCENDANT_OR_SELF,
+    Axis.ANCESTOR: Axis.ANCESTOR_OR_SELF,
+}
+
+
+def union_members(expr: ast.PathExpr):
+    """Flatten nested unions into a list of members."""
+    if isinstance(expr, ast.Union):
+        yield from union_members(expr.left)
+        yield from union_members(expr.right)
+    else:
+        yield expr
+
+
+def seq_factors(expr: ast.PathExpr):
+    """Flatten nested compositions into a list of factors."""
+    if isinstance(expr, ast.Seq):
+        yield from seq_factors(expr.left)
+        yield from seq_factors(expr.right)
+    else:
+        yield expr
+
+
+def _is_empty(expr: ast.PathExpr) -> bool:
+    return isinstance(expr, ast.EmptyPath)
+
+
+def _is_self(expr: ast.PathExpr) -> bool:
+    return isinstance(expr, ast.Step) and expr.axis is Axis.SELF
+
+
+def _rebuild_seq(factors: list[ast.PathExpr]) -> ast.PathExpr:
+    if not factors:
+        return ast.SELF
+    result = factors[0]
+    for factor in factors[1:]:
+        result = ast.Seq(result, factor)
+    return result
+
+
+def _rebuild_union(members: list[ast.PathExpr]) -> ast.PathExpr:
+    if not members:
+        return ast.EmptyPath()
+    result = members[0]
+    for member in members[1:]:
+        result = ast.Union(result, member)
+    return result
+
+
+def simplify(expr: "ast.PathExpr | ast.NodeExpr") -> "ast.PathExpr | ast.NodeExpr":
+    """Simplify to a rewrite fixpoint (sound on all trees)."""
+    while True:
+        simplified = _simplify_once(expr)
+        if simplified == expr:
+            return simplified
+        expr = simplified
+
+
+def simplify_node(expr: ast.NodeExpr) -> ast.NodeExpr:
+    """Type-narrowed :func:`simplify` for node expressions."""
+    result = simplify(expr)
+    assert isinstance(result, ast.NodeExpr)
+    return result
+
+
+def _simplify_once(expr: "ast.PathExpr | ast.NodeExpr") -> "ast.PathExpr | ast.NodeExpr":
+    if isinstance(expr, ast.PathExpr):
+        return _simplify_path(expr)
+    return _simplify_node(expr)
+
+
+# -- path rules --------------------------------------------------------------
+
+
+def _simplify_path(expr: ast.PathExpr) -> ast.PathExpr:
+    if isinstance(expr, (ast.Step, ast.EmptyPath)):
+        return expr
+    if isinstance(expr, ast.Check):
+        test = _simplify_node(expr.test)
+        if isinstance(test, ast.TrueNode):
+            return ast.SELF  # ?⊤ = self
+        if test == ast.FALSE:
+            return ast.EmptyPath()
+        return ast.Check(test)
+    if isinstance(expr, ast.Seq):
+        return _simplify_seq(expr)
+    if isinstance(expr, ast.Union):
+        return _simplify_union(expr)
+    if isinstance(expr, ast.Star):
+        return _simplify_star(expr)
+    if isinstance(expr, ast.Intersect):
+        left = _simplify_path(expr.left)
+        right = _simplify_path(expr.right)
+        if left == right:
+            return left  # A & A = A
+        if _is_empty(left) or _is_empty(right):
+            return ast.EmptyPath()  # A & ∅ = ∅
+        if isinstance(left, ast.Complement) and left.path == right:
+            return ast.EmptyPath()  # ~A & A = ∅
+        if isinstance(right, ast.Complement) and right.path == left:
+            return ast.EmptyPath()
+        return ast.Intersect(left, right)
+    if isinstance(expr, ast.Complement):
+        inner = _simplify_path(expr.path)
+        if isinstance(inner, ast.Complement):
+            return inner.path  # ~~A = A
+        return ast.Complement(inner)
+    raise TypeError(f"unknown path expression: {expr!r}")
+
+
+def _simplify_seq(expr: ast.Seq) -> ast.PathExpr:
+    factors = [_simplify_path(f) for f in seq_factors(expr)]
+    if any(_is_empty(f) for f in factors):
+        return ast.EmptyPath()  # A/∅ = ∅/A = ∅
+    out: list[ast.PathExpr] = []
+    for factor in factors:
+        if _is_self(factor):
+            continue  # self is the composition unit
+        if out:
+            merged = _merge_adjacent(out[-1], factor)
+            if merged is not None:
+                out[-1] = merged
+                continue
+        out.append(factor)
+    # Merging may enable further merges (e.g. ?φ/?ψ/?χ); one extra pass.
+    changed = True
+    while changed and len(out) >= 2:
+        changed = False
+        for i in range(len(out) - 1):
+            merged = _merge_adjacent(out[i], out[i + 1])
+            if merged is not None:
+                out[i : i + 2] = [merged]
+                changed = True
+                break
+    return _rebuild_seq(out)
+
+
+def _merge_adjacent(
+    left: ast.PathExpr, right: ast.PathExpr
+) -> ast.PathExpr | None:
+    """Try to merge two adjacent composition factors."""
+    # ?φ / ?ψ = ?(φ ∧ ψ)
+    if isinstance(left, ast.Check) and isinstance(right, ast.Check):
+        return _simplify_path(ast.Check(ast.And(left.test, right.test)))
+    # p* / p* = p*  and  p / p* stays (that's p+, kept for display)
+    if isinstance(left, ast.Star) and left == right:
+        return left
+    # child / child*  →  descendant ; child* / child → descendant
+    base_axis = _step_axis(left)
+    if base_axis in _CLOSED_AXIS and _is_star_of_axis(right, base_axis):
+        return ast.Step(_CLOSED_AXIS[base_axis])
+    base_axis = _step_axis(right)
+    if base_axis in _CLOSED_AXIS and _is_star_of_axis(left, base_axis):
+        return ast.Step(_CLOSED_AXIS[base_axis])
+    # child / descendant_or_self → descendant (either order); likewise up.
+    for one, other in ((left, right), (right, left)):
+        base_axis = _step_axis(one)
+        if base_axis in _CLOSED_AXIS:
+            closed = _CLOSED_AXIS[base_axis]
+            if closed in _OR_SELF and _step_axis(other) is _OR_SELF[closed]:
+                return ast.Step(closed)
+    # descendant_or_self / descendant_or_self is idempotent.
+    axis = _step_axis(left)
+    if axis is not None and axis is _step_axis(right) and axis in (
+        Axis.DESCENDANT_OR_SELF,
+        Axis.ANCESTOR_OR_SELF,
+    ):
+        return left
+    return None
+
+
+def _step_axis(expr: ast.PathExpr) -> Axis | None:
+    return expr.axis if isinstance(expr, ast.Step) else None
+
+
+def _is_star_of_axis(expr: ast.PathExpr, axis: Axis) -> bool:
+    return (
+        isinstance(expr, ast.Star)
+        and isinstance(expr.path, ast.Step)
+        and expr.path.axis is axis
+    )
+
+
+def _simplify_union(expr: ast.Union) -> ast.PathExpr:
+    members: list[ast.PathExpr] = []
+    seen: set[ast.PathExpr] = set()
+    for member in union_members(expr):
+        member = _simplify_path(member)
+        if _is_empty(member) or member in seen:
+            continue  # A|∅ = A ; A|A = A
+        seen.add(member)
+        members.append(member)
+    # self | descendant = descendant_or_self (and the ancestor mirror).
+    axes = {m.axis for m in members if isinstance(m, ast.Step)}
+    if Axis.SELF in axes:
+        for plain, or_self in _OR_SELF.items():
+            if plain in axes:
+                members = [
+                    m
+                    for m in members
+                    if not (isinstance(m, ast.Step) and m.axis in (plain, Axis.SELF))
+                ]
+                members.append(ast.Step(or_self))
+                break
+    return _rebuild_union(members)
+
+
+def _simplify_star(expr: ast.Star) -> ast.PathExpr:
+    inner = _simplify_path(expr.path)
+    if isinstance(inner, ast.Star):
+        return inner  # (p*)* = p*
+    if _is_self(inner) or _is_empty(inner) or isinstance(inner, ast.Check):
+        return ast.SELF  # self* = ∅* = (?φ)* = self
+    if isinstance(inner, ast.Union):
+        # (self | p)* = p* ; (?φ | p)* = p* is NOT valid in general, only
+        # test-shaped members that are subsets of identity can be dropped.
+        members = [
+            m
+            for m in union_members(inner)
+            if not (_is_self(m) or isinstance(m, ast.Check))
+        ]
+        if len(members) < len(list(union_members(inner))):
+            return _simplify_path(ast.Star(_rebuild_union(members)))
+    if isinstance(inner, ast.Step):
+        if inner.axis in _CLOSED_AXIS:
+            # child* = descendant_or_self; right* = self | following_sibling.
+            closed = _CLOSED_AXIS[inner.axis]
+            if closed in _OR_SELF:
+                return ast.Step(_OR_SELF[closed])
+            return ast.Union(ast.SELF, ast.Step(closed))
+        if inner.axis in CLOSURE_BASE:
+            # descendant* = descendant_or_self, etc.
+            if inner.axis in _OR_SELF:
+                return ast.Step(_OR_SELF[inner.axis])
+            return ast.Union(ast.SELF, inner)
+        if inner.axis in (Axis.DESCENDANT_OR_SELF, Axis.ANCESTOR_OR_SELF):
+            return inner  # already reflexive-transitive
+    return ast.Star(inner)
+
+
+# -- node rules ----------------------------------------------------------------
+
+
+def _simplify_node(expr: ast.NodeExpr) -> ast.NodeExpr:
+    if isinstance(expr, (ast.Label, ast.TrueNode)):
+        return expr
+    if isinstance(expr, ast.Not):
+        inner = _simplify_node(expr.operand)
+        if isinstance(inner, ast.Not):
+            return inner.operand  # ¬¬φ = φ
+        return ast.Not(inner)
+    if isinstance(expr, ast.And):
+        left = _simplify_node(expr.left)
+        right = _simplify_node(expr.right)
+        if isinstance(left, ast.TrueNode):
+            return right
+        if isinstance(right, ast.TrueNode):
+            return left
+        if left == ast.FALSE or right == ast.FALSE:
+            return ast.FALSE
+        if left == right:
+            return left
+        if left == ast.Not(right) or right == ast.Not(left):
+            return ast.FALSE
+        return ast.And(left, right)
+    if isinstance(expr, ast.Or):
+        left = _simplify_node(expr.left)
+        right = _simplify_node(expr.right)
+        if left == ast.FALSE:
+            return right
+        if right == ast.FALSE:
+            return left
+        if isinstance(left, ast.TrueNode) or isinstance(right, ast.TrueNode):
+            return ast.TRUE
+        if left == right:
+            return left
+        if left == ast.Not(right) or right == ast.Not(left):
+            return ast.TRUE
+        return ast.Or(left, right)
+    if isinstance(expr, ast.Exists):
+        path = _simplify_path(expr.path)
+        if isinstance(path, ast.EmptyPath):
+            return ast.FALSE  # ⟨∅⟩ = ⊥
+        if _is_self(path):
+            return ast.TRUE  # ⟨self⟩ = ⊤
+        if isinstance(path, ast.Check):
+            return _simplify_node(path.test)  # ⟨?φ⟩ = φ
+        if isinstance(path, ast.Union):
+            # ⟨A|B⟩ = ⟨A⟩ ∨ ⟨B⟩ — flattening helps further simplification.
+            members = list(union_members(path))
+            result: ast.NodeExpr = ast.Exists(members[0])
+            for member in members[1:]:
+                result = ast.Or(result, ast.Exists(member))
+            return _simplify_node(result)
+        if isinstance(path, ast.Seq):
+            # ⟨A/?φ⟩ where the trailing tests can be folded: ⟨A[φ]⟩ is fine
+            # as-is, but ⟨(?φ)/A⟩ = φ ∧ ⟨A⟩.
+            factors = list(seq_factors(path))
+            if isinstance(factors[0], ast.Check):
+                rest = _rebuild_seq(factors[1:])
+                return _simplify_node(
+                    ast.And(factors[0].test, ast.Exists(rest))
+                )
+        if isinstance(path, ast.Star):
+            return ast.TRUE  # ⟨p*⟩ = ⊤ (reflexive)
+        return ast.Exists(path)
+    if isinstance(expr, ast.Within):
+        inner = _simplify_node(expr.test)
+        if isinstance(inner, ast.TrueNode):
+            return ast.TRUE
+        if inner == ast.FALSE:
+            return ast.FALSE
+        if isinstance(inner, ast.Label):
+            return inner  # labels are local: W a = a
+        if isinstance(inner, ast.Within):
+            return inner  # W W φ = W φ
+        if fragments_is_downward_cached(inner):
+            return inner  # downward tests don't look outside the subtree
+        return ast.Within(inner)
+    raise TypeError(f"unknown node expression: {expr!r}")
+
+
+def fragments_is_downward_cached(expr: ast.NodeExpr) -> bool:
+    """``W φ = φ`` whenever φ is downward (sees only the subtree)."""
+    from .fragments import is_downward
+
+    return is_downward(expr)

@@ -1,0 +1,128 @@
+"""Pretty-printer: AST back to the compact notation.
+
+Inverse of :mod:`repro.xpath.parser` up to desugaring: ``unparse`` re-sugars
+``p / p*`` into ``p+`` and ``p / ?φ`` into ``p[φ]``, so
+``parse(unparse(e))`` is semantically — and for parser output structurally —
+the identity (tested by the round-trip property tests).
+"""
+
+from __future__ import annotations
+
+from ..trees.axes import Axis
+from . import ast
+
+__all__ = ["unparse"]
+
+_AXIS_WORD = {
+    Axis.SELF: "self",
+    Axis.CHILD: "child",
+    Axis.PARENT: "parent",
+    Axis.LEFT: "left",
+    Axis.RIGHT: "right",
+    Axis.DESCENDANT: "descendant",
+    Axis.ANCESTOR: "ancestor",
+    Axis.FOLLOWING_SIBLING: "following_sibling",
+    Axis.PRECEDING_SIBLING: "preceding_sibling",
+    Axis.DESCENDANT_OR_SELF: "descendant_or_self",
+    Axis.ANCESTOR_OR_SELF: "ancestor_or_self",
+    Axis.FOLLOWING: "following",
+    Axis.PRECEDING: "preceding",
+}
+
+_KEYWORDISH = frozenset(_AXIS_WORD.values()) | frozenset(
+    {"and", "or", "not", "true", "false", "root", "leaf", "first", "last", "W", "within", "0"}
+)
+
+# Precedence levels used to decide parenthesization.
+_PATH_UNION, _PATH_ISECT, _PATH_SEQ, _PATH_POSTFIX = 0, 1, 2, 3
+_NODE_OR, _NODE_AND, _NODE_UNARY = 0, 1, 2
+
+
+def unparse(expr: "ast.PathExpr | ast.NodeExpr") -> str:
+    """Render an expression in the compact concrete syntax."""
+    if isinstance(expr, ast.PathExpr):
+        return _path(expr, _PATH_UNION)
+    if isinstance(expr, ast.NodeExpr):
+        return _node(expr, _NODE_OR)
+    raise TypeError(f"not an XPath expression: {expr!r}")
+
+
+def _label_text(name: str) -> str:
+    if name in _KEYWORDISH or not name or not all(
+        c.isalnum() or c in "_-#@=" for c in name
+    ) or name[0] in "-=":
+        return f'"{name}"'
+    return name
+
+
+def _wrap(text: str, needed: bool) -> str:
+    return f"({text})" if needed else text
+
+
+def _path(expr: ast.PathExpr, level: int) -> str:
+    if isinstance(expr, ast.Step):
+        return _AXIS_WORD[expr.axis]
+    if isinstance(expr, ast.EmptyPath):
+        return "0"
+    if isinstance(expr, ast.Check):
+        return "?" + _check_body(expr.test)
+    if isinstance(expr, ast.Star):
+        return _wrap(_path(expr.path, _PATH_POSTFIX + 1) + "*", level > _PATH_POSTFIX)
+    if isinstance(expr, ast.Union):
+        text = f"{_path(expr.left, _PATH_UNION)} | {_path(expr.right, _PATH_ISECT)}"
+        return _wrap(text, level > _PATH_UNION)
+    if isinstance(expr, ast.Intersect):
+        text = f"{_path(expr.left, _PATH_ISECT)} & {_path(expr.right, _PATH_SEQ)}"
+        return _wrap(text, level > _PATH_ISECT)
+    if isinstance(expr, ast.Complement):
+        return "~" + _path(expr.path, _PATH_POSTFIX + 1)
+    if isinstance(expr, ast.Seq):
+        # Re-sugar p / p* as p+ and p / ?φ as p[φ].
+        if isinstance(expr.right, ast.Star) and expr.right.path == expr.left:
+            return _wrap(
+                _path(expr.left, _PATH_POSTFIX + 1) + "+", level > _PATH_POSTFIX
+            )
+        if isinstance(expr.right, ast.Check):
+            base = _path(expr.left, _PATH_POSTFIX)
+            return _wrap(
+                f"{base}[{_node(expr.right.test, _NODE_OR)}]", level > _PATH_POSTFIX
+            )
+        text = f"{_path(expr.left, _PATH_SEQ)}/{_path(expr.right, _PATH_POSTFIX)}"
+        return _wrap(text, level > _PATH_SEQ)
+    raise TypeError(f"unknown path expression: {expr!r}")
+
+
+def _check_body(test: ast.NodeExpr) -> str:
+    if isinstance(test, ast.Label):
+        return _label_text(test.name)
+    return f"({_node(test, _NODE_OR)})"
+
+
+def _node(expr: ast.NodeExpr, level: int) -> str:
+    if expr == ast.FALSE:
+        return "false"
+    if expr == ast.IS_ROOT:
+        return "root"
+    if expr == ast.IS_LEAF:
+        return "leaf"
+    if expr == ast.IS_FIRST:
+        return "first"
+    if expr == ast.IS_LAST:
+        return "last"
+    if isinstance(expr, ast.TrueNode):
+        return "true"
+    if isinstance(expr, ast.Label):
+        return _label_text(expr.name)
+    if isinstance(expr, ast.Exists):
+        return f"<{_path(expr.path, _PATH_UNION)}>"
+    if isinstance(expr, ast.Within):
+        return f"W({_node(expr.test, _NODE_OR)})"
+    if isinstance(expr, ast.Not):
+        return "not " + _node(expr.operand, _NODE_UNARY)
+    if isinstance(expr, ast.And):
+        text = f"{_node(expr.left, _NODE_AND)} and {_node(expr.right, _NODE_UNARY)}"
+        return _wrap(text, level > _NODE_AND)
+    if isinstance(expr, ast.Or):
+        text = f"{_node(expr.left, _NODE_OR)} or {_node(expr.right, _NODE_AND)}"
+        return _wrap(text, level > _NODE_OR)
+    raise TypeError(f"unknown node expression: {expr!r}")

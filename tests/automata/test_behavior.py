@@ -1,0 +1,113 @@
+"""Behavior-algorithm tests — the T4 cross-validation (behavior ≡ config
+graph) plus structural properties of behavior tables."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.automata import (
+    BehaviorAnalysis,
+    Move,
+    TwaBuilder,
+    behavior_accepts,
+    random_twa,
+    subtree_behavior,
+)
+from repro.automata.behavior import ACCEPT
+from repro.trees import Tree, all_trees, chain, random_tree
+
+
+class TestAgreementWithConfigGraph:
+    """T4's computational core: the two membership algorithms agree."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        seed=st.integers(0, 10**9),
+        states=st.integers(1, 4),
+        size=st.integers(1, 12),
+    )
+    def test_on_random_automata_and_trees(self, seed, states, size):
+        rng = random.Random(seed)
+        automaton = random_twa(num_states=states, rng=rng)
+        tree = random_tree(size, rng=rng)
+        assert automaton.accepts(tree) == behavior_accepts(automaton, tree)
+
+    def test_exhaustive_small_trees(self, small_trees):
+        rng = random.Random(42)
+        for __ in range(8):
+            automaton = random_twa(num_states=3, rng=rng)
+            for tree in small_trees:
+                assert automaton.accepts(tree) == behavior_accepts(automaton, tree)
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10**9), size=st.integers(2, 10))
+    def test_scoped_agreement(self, seed, size):
+        rng = random.Random(seed)
+        automaton = random_twa(num_states=3, rng=rng)
+        tree = random_tree(size, rng=rng)
+        for scope in tree.node_ids:
+            assert automaton.accepts(tree, scope=scope) == behavior_accepts(
+                automaton, tree, scope=scope
+            )
+
+
+class TestBehaviorTables:
+    def test_leaf_behavior_of_trivial_walker(self):
+        # A walker that immediately moves up in state 0.
+        b = TwaBuilder(("a",), 1)
+        b.add(0, move=Move.UP, target=0)
+        walker = b.build(initial=0, accepting=set())
+        analysis = BehaviorAnalysis(walker, Tree.build(("a", ["a"])))
+        leaf_table = analysis.behaviors[1]
+        assert ("up", 0) in leaf_table[0]
+
+    def test_accept_outcome_recorded(self):
+        b = TwaBuilder(("a",), 2)
+        b.add(0, move=Move.STAY, target=1)
+        walker = b.build(initial=0, accepting={1})
+        analysis = BehaviorAnalysis(walker, Tree.leaf("a"))
+        assert ACCEPT in analysis.behaviors[0][0]
+
+    def test_sideways_exit_through_subtree_boundary(self):
+        # Walker: at a leaf, move RIGHT — a subtree consisting of a leaf has
+        # a "right" exit in its behavior.
+        b = TwaBuilder(("a",), 1)
+        b.add(0, is_leaf=True, move=Move.RIGHT, target=0)
+        walker = b.build(initial=0, accepting=set())
+        t = Tree.build(("a", ["a", "a"]))
+        sig = subtree_behavior(walker, t, 1, is_first=True, is_last=False)
+        table = dict(sig)
+        assert ("right", 0) in table[0]
+
+    def test_flags_change_behavior(self):
+        # A walker moving RIGHT: behaves differently when the subtree root
+        # is last vs not last.
+        b = TwaBuilder(("a",), 1)
+        b.add(0, is_last=False, move=Move.RIGHT, target=0)
+        walker = b.build(initial=0, accepting=set())
+        t = Tree.leaf("a")
+        not_last = dict(subtree_behavior(walker, t, 0, is_first=True, is_last=False))
+        last = dict(subtree_behavior(walker, t, 0, is_first=True, is_last=True))
+        assert ("right", 0) in not_last[0]
+        assert not last[0]
+
+    def test_behavior_determined_by_shape_not_position(self):
+        # Two identical subtrees in like contexts get identical signatures.
+        t = Tree.build(("a", [("a", ["a"]), "a", ("a", ["a"])]))
+        rng = random.Random(0)
+        for __ in range(5):
+            walker = random_twa(alphabet=("a",), num_states=3, rng=rng)
+            sig1 = subtree_behavior(walker, t, 1, is_first=True, is_last=False)
+            # subtree at 4 has same shape as at 1; compare in equal flags.
+            sig2 = subtree_behavior(walker, t, 4, is_first=True, is_last=False)
+            assert sig1 == sig2
+
+
+class TestDeepTreesLinearity:
+    def test_long_chain_decided(self):
+        rng = random.Random(1)
+        walker = random_twa(num_states=3, rng=rng)
+        tree = chain(400, labels=("a", "b"))
+        # Must terminate quickly and agree with config-graph search.
+        assert behavior_accepts(walker, tree) == walker.accepts(tree)

@@ -1,0 +1,114 @@
+"""DTD schemas: content-model parsing, validation, hedge compilation."""
+
+import pytest
+
+from repro.automata import Dtd, DtdSyntaxError, parse_content_model
+from repro.trees import Tree, parse_xml
+
+
+@pytest.fixture(scope="module")
+def biblio():
+    return Dtd(
+        root="bib",
+        content={
+            "bib": "(conf | journal)*",
+            "conf": "paper+",
+            "journal": "paper*",
+            "paper": "title, author+, award?",
+            "title": "EMPTY",
+            "author": "EMPTY",
+            "award": "EMPTY",
+        },
+    )
+
+
+class TestContentModels:
+    SYMBOLS = {"a": 0, "b": 1, "c": 2}
+
+    def test_sequence(self):
+        nfa = parse_content_model("a, b", self.SYMBOLS)
+        assert nfa.accepts((0, 1))
+        assert not nfa.accepts((1, 0))
+        assert not nfa.accepts((0,))
+
+    def test_alternation_and_closure(self):
+        nfa = parse_content_model("(a | b)*", self.SYMBOLS)
+        assert nfa.accepts(())
+        assert nfa.accepts((0, 1, 0))
+        assert not nfa.accepts((2,))
+
+    def test_plus_and_optional(self):
+        nfa = parse_content_model("a+, c?", self.SYMBOLS)
+        assert nfa.accepts((0,))
+        assert nfa.accepts((0, 0, 2))
+        assert not nfa.accepts((2,))
+
+    def test_empty(self):
+        nfa = parse_content_model("EMPTY", self.SYMBOLS)
+        assert nfa.accepts(())
+        assert not nfa.accepts((0,))
+
+    def test_any(self):
+        nfa = parse_content_model("ANY", self.SYMBOLS)
+        assert nfa.accepts((0, 1, 2, 2))
+
+    def test_nested_groups(self):
+        nfa = parse_content_model("(a, (b | c))+", self.SYMBOLS)
+        assert nfa.accepts((0, 1, 0, 2))
+        assert not nfa.accepts((0, 0))
+
+    @pytest.mark.parametrize("text", ["a,, b", "(a", "a |", "*", "a b", "d"])
+    def test_malformed_rejected(self, text):
+        with pytest.raises(DtdSyntaxError):
+            parse_content_model(text, self.SYMBOLS)
+
+
+class TestValidation:
+    def test_conforming_document(self, biblio):
+        doc = parse_xml(
+            "<bib><conf><paper><title/><author/><award/></paper></conf></bib>"
+        )
+        assert biblio.validate(doc) is None
+        assert biblio.conforms(doc)
+
+    def test_wrong_root(self, biblio):
+        assert "root" in biblio.validate(Tree.leaf("paper"))
+
+    def test_undeclared_element(self, biblio):
+        doc = parse_xml("<bib><mystery/></bib>")
+        assert "undeclared" in biblio.validate(doc)
+
+    def test_content_model_violation_reported(self, biblio):
+        doc = parse_xml("<bib><conf/></bib>")  # conf needs paper+
+        message = biblio.validate(doc)
+        assert "conf" in message and "paper+" in message
+
+    def test_order_matters(self, biblio):
+        doc = parse_xml("<bib><conf><paper><author/><title/></paper></conf></bib>")
+        assert biblio.validate(doc) is not None
+
+    def test_undeclared_root_rejected_at_construction(self):
+        with pytest.raises(DtdSyntaxError):
+            Dtd(root="ghost", content={"a": "EMPTY"})
+
+
+class TestHedgeCompilation:
+    def test_agrees_with_validate(self, biblio, small_trees):
+        automaton = biblio.to_hedge_automaton()
+        samples = [
+            parse_xml("<bib/>"),
+            parse_xml("<bib><journal/></bib>"),
+            parse_xml("<bib><conf><paper><title/><author/></paper></conf></bib>"),
+            parse_xml("<bib><conf/></bib>"),
+            parse_xml("<paper><title/><author/></paper>"),
+            parse_xml("<bib><conf><paper><author/><title/></paper></conf></bib>"),
+        ]
+        for tree in samples:
+            assert automaton.accepts(tree) == biblio.conforms(tree)
+
+    def test_hedge_toolbox_applies(self, biblio):
+        # Schema emptiness: the DTD admits at least one document.
+        automaton = biblio.to_hedge_automaton()
+        witness = automaton.find_tree()
+        assert witness is not None
+        assert biblio.conforms(witness)

@@ -1,0 +1,199 @@
+"""Hedge automaton tests: membership, boolean closure, decision problems."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.automata import random_hedge_automaton
+
+from repro.automata.examples import (
+    all_trees_automaton,
+    bounded_height,
+    chains_only,
+    exists_label,
+    label_count_mod,
+    leaf_count_mod,
+    root_label,
+)
+from repro.trees import Tree, all_trees, chain, star
+
+
+class TestExampleLanguages:
+    def test_exists_label(self, small_trees):
+        A = exists_label(("a", "b"), "b")
+        for t in small_trees:
+            assert A.accepts(t) == ("b" in t.labels)
+
+    def test_root_label(self, small_trees):
+        A = root_label(("a", "b"), "a")
+        for t in small_trees:
+            assert A.accepts(t) == (t.labels[0] == "a")
+
+    def test_all_trees(self, small_trees):
+        A = all_trees_automaton(("a", "b"))
+        assert all(A.accepts(t) for t in small_trees)
+
+    @pytest.mark.parametrize("modulus,residue", [(2, 0), (2, 1), (3, 2)])
+    def test_label_count_mod(self, small_trees, modulus, residue):
+        A = label_count_mod(("a", "b"), "a", modulus, residue)
+        for t in small_trees:
+            expected = t.labels.count("a") % modulus == residue
+            assert A.accepts(t) == expected
+
+    @pytest.mark.parametrize("modulus,residue", [(2, 0), (3, 1)])
+    def test_leaf_count_mod(self, small_trees, modulus, residue):
+        A = leaf_count_mod(("a", "b"), modulus, residue)
+        for t in small_trees:
+            leaves = sum(1 for v in t.node_ids if t.first_child[v] < 0)
+            assert A.accepts(t) == (leaves % modulus == residue)
+
+    @pytest.mark.parametrize("height", [0, 1, 2])
+    def test_bounded_height(self, small_trees, height):
+        A = bounded_height(("a", "b"), height)
+        for t in small_trees:
+            assert A.accepts(t) == (t.height <= height)
+
+    def test_chains_only(self, small_trees):
+        A = chains_only(("a", "b"))
+        for t in small_trees:
+            is_chain = all(len(t.children_ids(v)) <= 1 for v in t.node_ids)
+            assert A.accepts(t) == is_chain
+
+
+class TestBooleanClosure:
+    def test_union(self, small_trees):
+        A = exists_label(("a", "b"), "b").union(root_label(("a", "b"), "b"))
+        for t in small_trees:
+            assert A.accepts(t) == (("b" in t.labels) or t.labels[0] == "b")
+
+    def test_intersection(self, small_trees):
+        A = exists_label(("a", "b"), "b").intersection(
+            label_count_mod(("a", "b"), "a", 2, 0)
+        )
+        for t in small_trees:
+            expected = ("b" in t.labels) and (t.labels.count("a") % 2 == 0)
+            assert A.accepts(t) == expected
+
+    def test_complement(self, small_trees):
+        A = exists_label(("a", "b"), "b")
+        C = A.complement()
+        for t in small_trees:
+            assert C.accepts(t) != A.accepts(t)
+
+    def test_double_complement(self, small_trees):
+        A = label_count_mod(("a", "b"), "b", 2, 1)
+        CC = A.complement().complement()
+        for t in small_trees:
+            assert CC.accepts(t) == A.accepts(t)
+
+    def test_determinization_preserves_language(self, small_trees):
+        A = exists_label(("a", "b"), "b")
+        D = A.determinize()
+        for t in small_trees:
+            assert D.accepts(t) == A.accepts(t)
+
+    def test_deterministic_state_is_unique(self):
+        A = exists_label(("a", "b"), "b").determinize()
+        t = Tree.build(("a", ["b", "a"]))
+        assert isinstance(A.state_of(t), int)
+
+    def test_unknown_label_rejected_deterministically(self):
+        A = exists_label(("a", "b"), "b").determinize()
+        with pytest.raises(ValueError):
+            A.state_of(Tree.leaf("z"))
+
+
+class TestDecisionProblems:
+    def test_emptiness_of_contradiction(self):
+        A = exists_label(("a", "b"), "b")
+        assert A.intersection(A.complement()).is_empty()
+
+    def test_witness_extraction(self):
+        A = exists_label(("a", "b"), "b").intersection(root_label(("a", "b"), "a"))
+        witness = A.find_tree()
+        assert witness is not None
+        assert A.accepts(witness)
+        assert witness.labels[0] == "a" and "b" in witness.labels
+
+    def test_witness_is_small(self):
+        A = label_count_mod(("a",), "a", 3, 0)
+        witness = A.find_tree()
+        assert witness is not None and witness.size == 3
+
+    def test_containment(self):
+        big = exists_label(("a", "b"), "b")
+        small = big.intersection(root_label(("a", "b"), "a"))
+        assert big.contains(small)
+        assert not small.contains(big)
+
+    def test_equivalence_of_different_presentations(self):
+        # #b ≡ 1 (mod 2) == complement of #b ≡ 0 (mod 2).
+        odd = label_count_mod(("a", "b"), "b", 2, 1)
+        not_even = label_count_mod(("a", "b"), "b", 2, 0).complement()
+        assert odd.equivalent(not_even)
+
+    def test_non_equivalence(self):
+        assert not exists_label(("a", "b"), "b").equivalent(
+            root_label(("a", "b"), "b")
+        )
+
+    def test_empty_language_automaton(self):
+        A = exists_label(("a",), "b")  # b never occurs over {a}
+        assert A.is_empty()
+
+    def test_de_morgan_at_language_level(self):
+        X = exists_label(("a", "b"), "b")
+        Y = label_count_mod(("a", "b"), "a", 2, 0)
+        lhs = X.intersection(Y).complement()
+        rhs = X.complement().union(Y.complement())
+        assert lhs.equivalent(rhs)
+
+
+class TestRandomizedBooleanAlgebra:
+    """The hedge toolbox must satisfy the boolean-algebra laws on *random*
+    automata, with membership as the semantic oracle."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10**9))
+    def test_complement_flips_membership(self, seed, small_trees):
+        rng = random.Random(seed)
+        automaton = random_hedge_automaton(rng=rng, num_states=rng.randint(1, 3))
+        complemented = automaton.complement()
+        for tree in small_trees[:40]:
+            assert complemented.accepts(tree) != automaton.accepts(tree)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10**9))
+    def test_union_and_intersection_pointwise(self, seed, small_trees):
+        rng = random.Random(seed)
+        left = random_hedge_automaton(rng=rng, num_states=2)
+        right = random_hedge_automaton(rng=rng, num_states=2)
+        union = left.union(right)
+        intersection = left.intersection(right)
+        for tree in small_trees[:30]:
+            in_left, in_right = left.accepts(tree), right.accepts(tree)
+            assert union.accepts(tree) == (in_left or in_right)
+            assert intersection.accepts(tree) == (in_left and in_right)
+
+    @settings(max_examples=12, deadline=None)
+    @given(seed=st.integers(0, 10**9))
+    def test_determinization_preserves_random_languages(self, seed, small_trees):
+        rng = random.Random(seed)
+        automaton = random_hedge_automaton(rng=rng, num_states=rng.randint(1, 3))
+        deterministic = automaton.determinize()
+        for tree in small_trees[:30]:
+            assert deterministic.accepts(tree) == automaton.accepts(tree)
+
+    @settings(max_examples=12, deadline=None)
+    @given(seed=st.integers(0, 10**9))
+    def test_emptiness_witness_or_exhaustive_absence(self, seed):
+        rng = random.Random(seed)
+        automaton = random_hedge_automaton(
+            rng=rng, num_states=rng.randint(1, 3), rule_probability=0.5
+        )
+        witness = automaton.find_tree()
+        if witness is None:
+            assert not any(automaton.accepts(t) for t in all_trees(4))
+        else:
+            assert automaton.accepts(witness)

@@ -1,0 +1,130 @@
+"""Nested TWA tests: guards, depth, agreement with plain TWA semantics."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.automata import (
+    GuardedTransition,
+    Move,
+    NestedTWA,
+    TwaBuilder,
+    random_nested_twa,
+    random_twa,
+)
+from repro.automata.twa import Observation
+from repro.trees import Tree, all_trees, random_tree
+
+
+def guard_automaton(alphabet, subautomata, guards):
+    """A 2-state automaton accepting iff some guard holds at the root."""
+    options = frozenset(
+        GuardedTransition(frozenset(guard), Move.STAY, 1) for guard in guards
+    )
+    transitions = {}
+    for obs in TwaBuilder(alphabet, 1).observations():
+        transitions[(0, obs)] = options
+    return NestedTWA(2, 0, frozenset({1}), transitions, tuple(subautomata))
+
+
+def b_leaf_walker():
+    b = TwaBuilder(("a", "b"), 3)
+    b.add(0, is_leaf=False, move=Move.DOWN_FIRST, target=0)
+    b.add(0, label="b", is_leaf=True, move=Move.STAY, target=2)
+    b.add(0, label="a", is_leaf=True, move=Move.STAY, target=1)
+    b.add(1, is_last=False, move=Move.RIGHT, target=0)
+    b.add(1, is_last=True, is_root=False, move=Move.UP, target=1)
+    return NestedTWA.from_twa(b.build(initial=0, accepting={2}))
+
+
+class TestDepthZero:
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 10**9), size=st.integers(1, 10))
+    def test_from_twa_agrees(self, seed, size):
+        rng = random.Random(seed)
+        plain = random_twa(num_states=3, rng=rng)
+        lifted = NestedTWA.from_twa(plain)
+        tree = random_tree(size, rng=rng)
+        assert plain.accepts(tree) == lifted.accepts(tree)
+
+    def test_depth_property(self):
+        plain = NestedTWA.from_twa(random_twa(rng=random.Random(0)))
+        assert plain.depth == 0
+        nested = random_nested_twa(depth=2, rng=random.Random(0))
+        assert nested.depth == 2
+
+
+class TestGuards:
+    def test_positive_guard_is_sub_acceptance(self, small_trees):
+        sub = b_leaf_walker()
+        top = guard_automaton(("a", "b"), [sub], [{(0, True)}])
+        for t in small_trees:
+            assert top.accepts(t) == sub.accepts(t)
+
+    def test_negative_guard_is_complement(self, small_trees):
+        sub = b_leaf_walker()
+        top = guard_automaton(("a", "b"), [sub], [{(0, False)}])
+        for t in small_trees:
+            assert top.accepts(t) == (not sub.accepts(t))
+
+    def test_conjunction_guard(self, small_trees):
+        sub = b_leaf_walker()
+        # both True and False of the same sub-automaton: never enabled
+        top = guard_automaton(("a", "b"), [sub], [{(0, True), (0, False)}])
+        for t in small_trees:
+            assert not top.accepts(t)
+
+    def test_disjunctive_guards(self, small_trees):
+        sub = b_leaf_walker()
+        top = guard_automaton(("a", "b"), [sub], [{(0, True)}, {(0, False)}])
+        for t in small_trees:
+            assert top.accepts(t)
+
+
+class TestSubtreeTests:
+    def test_guard_sees_subtree_not_whole_tree(self):
+        # Automaton: move down to the first child, then require the
+        # sub-automaton ("has a b-leaf") on the *child's* subtree.
+        sub = b_leaf_walker()
+        transitions = {}
+        for obs in TwaBuilder(("a", "b"), 1).observations(is_leaf=False):
+            transitions[(0, obs)] = frozenset(
+                {GuardedTransition(frozenset(), Move.DOWN_FIRST, 1)}
+            )
+        for obs in TwaBuilder(("a", "b"), 1).observations():
+            existing = transitions.get((1, obs), frozenset())
+            transitions[(1, obs)] = existing | frozenset(
+                {GuardedTransition(frozenset({(0, True)}), Move.STAY, 2)}
+            )
+        top = NestedTWA(3, 0, frozenset({2}), transitions, (sub,))
+        # first child's subtree has a b-leaf; elsewhere b's don't count.
+        assert top.accepts(Tree.build(("a", [("a", ["b"]), "a"])))
+        assert not top.accepts(Tree.build(("a", ["a", ("a", ["b"])])))
+
+    def test_subtree_bits_indexing(self, mixed_tree):
+        sub = b_leaf_walker()
+        top = guard_automaton(("a", "b", "c"), [sub], [{(0, True)}])
+        bits = top.subtree_bits(mixed_tree)
+        for v in mixed_tree.node_ids:
+            assert bits[v][0] == sub.accepts(mixed_tree, scope=v)
+
+
+class TestRandomNested:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10**9), size=st.integers(1, 8))
+    def test_random_nested_terminates_and_is_scoped_consistently(self, seed, size):
+        rng = random.Random(seed)
+        nested = random_nested_twa(depth=1, rng=rng)
+        tree = random_tree(size, rng=rng)
+        for scope in tree.node_ids:
+            # scoped acceptance == acceptance on the materialized subtree
+            assert nested.accepts(tree, scope=scope) == nested.accepts(
+                tree.subtree(scope)
+            )
+
+    def test_depth_two_runs(self):
+        rng = random.Random(3)
+        nested = random_nested_twa(depth=2, num_subs=1, rng=rng)
+        tree = random_tree(8, rng=rng)
+        assert nested.accepts(tree) in (True, False)

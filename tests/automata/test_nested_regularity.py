@@ -1,0 +1,125 @@
+"""Exact language-level decisions for *nested* TWA — T4 for the paper's model.
+
+The crowning integration: queries compiled by T3 into nested TWA can be
+compared **exactly at the automata level**, closing the circle
+XPath → nested TWA → bottom-up acceptor.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.automata import (
+    NestedTWA,
+    NestedTwaTreeAcceptor,
+    nested_twa_find_separating_tree,
+    nested_twa_find_tree,
+    nested_twa_is_empty,
+    nested_twa_language_equivalent,
+    random_nested_twa,
+    random_twa,
+)
+from repro.translations import compile_node_expr
+from repro.trees import all_trees, random_tree
+from repro.xpath import Evaluator, parse_node
+
+
+class TestMembershipAgreement:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10**9), size=st.integers(1, 9))
+    def test_depth_one_agrees_with_direct_semantics(self, seed, size):
+        rng = random.Random(seed)
+        nested = random_nested_twa(depth=1, num_subs=1, rng=rng, density=0.5)
+        acceptor = NestedTwaTreeAcceptor(nested, ("a", "b"))
+        tree = random_tree(size, rng=rng)
+        assert acceptor.accepts(tree) == nested.accepts(tree)
+
+    def test_depth_zero_reduces_to_plain(self, small_trees):
+        rng = random.Random(4)
+        nested = NestedTWA.from_twa(random_twa(num_states=3, rng=rng))
+        acceptor = NestedTwaTreeAcceptor(nested, ("a", "b"))
+        for tree in small_trees[:60]:
+            assert acceptor.accepts(tree) == nested.accepts(tree)
+
+    def test_compiled_query_agrees(self, small_trees):
+        expr = parse_node("not <child[not <child[a]>]>")
+        nested = compile_node_expr(expr, ("a", "b"))
+        acceptor = NestedTwaTreeAcceptor(nested, ("a", "b"))
+        for tree in small_trees[:60]:
+            assert acceptor.accepts(tree) == (0 in Evaluator(tree).nodes(expr))
+
+
+class TestExactDecisions:
+    def test_w_transparency_at_automata_level(self):
+        left = compile_node_expr(parse_node("W(<descendant[b]>)"), ("a", "b"))
+        right = compile_node_expr(parse_node("<descendant[b]>"), ("a", "b"))
+        assert nested_twa_language_equivalent(left, right, ("a", "b"))
+
+    def test_unsatisfiable_compiles_to_empty(self):
+        nested = compile_node_expr(parse_node("b and not b"), ("a", "b"))
+        assert nested_twa_is_empty(nested, ("a", "b"))
+
+    def test_satisfiable_with_witness(self):
+        expr = parse_node("<child[a]> and <child[b]>")
+        nested = compile_node_expr(expr, ("a", "b"))
+        witness = nested_twa_find_tree(nested, ("a", "b"))
+        assert witness is not None
+        assert 0 in Evaluator(witness).nodes(expr)
+
+    def test_separating_tree_really_separates(self):
+        left = compile_node_expr(parse_node("<descendant[b]>"), ("a", "b"))
+        right = compile_node_expr(parse_node("<child[b]>"), ("a", "b"))
+        witness = nested_twa_find_separating_tree(left, right, ("a", "b"))
+        assert witness is not None
+        assert left.accepts(witness) != right.accepts(witness)
+
+    def test_equivalence_agrees_with_exact_downward_procedure(self):
+        """Two independent exact engines (state exploration on nested TWA vs
+        the truth-vector automaton of decision.exact) must give the same
+        verdicts."""
+        from repro.decision import exact_equivalent
+
+        pairs = [
+            ("<(child[a])*[b]>", "b or <child[a and <(child[a])*[b]>]>"),
+            ("<descendant[b]>", "<child[b]>"),
+            ("not <child>", "leaf"),
+        ]
+        for left_text, right_text in pairs:
+            left_expr = parse_node(left_text)
+            right_expr = parse_node(right_text)
+            automata_verdict = nested_twa_language_equivalent(
+                compile_node_expr(left_expr, ("a", "b")),
+                compile_node_expr(right_expr, ("a", "b")),
+                ("a", "b"),
+            )
+            direct_verdict = exact_equivalent(left_expr, right_expr) is None
+            assert automata_verdict == direct_verdict
+
+
+class TestExploration:
+    def test_reachable_states_witnessed(self):
+        nested = compile_node_expr(parse_node("<child[b]>"), ("a", "b"))
+        acceptor = NestedTwaTreeAcceptor(nested, ("a", "b"))
+        for state, witness in acceptor.reachable_states().items():
+            assert acceptor.state_of(witness) == state
+
+    def test_empty_alphabet_rejected(self):
+        nested = compile_node_expr(parse_node("a"), ("a",))
+        with pytest.raises(ValueError):
+            NestedTwaTreeAcceptor(nested, ())
+
+
+class TestDeepNesting:
+    def test_depth_four_exact_equivalence(self):
+        """Exact language equivalence through four nesting levels: the
+        universally-quantified query compiled two syntactically different
+        ways."""
+        left = compile_node_expr(
+            parse_node("not <child[not <child[a]>]>"), ("a", "b")
+        )
+        right = compile_node_expr(
+            parse_node("not <child[not <child[a]>]> and true"), ("a", "b")
+        )
+        assert left.depth >= 4
+        assert nested_twa_language_equivalent(left, right, ("a", "b"))

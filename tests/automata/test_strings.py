@@ -1,0 +1,137 @@
+"""NFA/DFA toolkit tests."""
+
+import pytest
+
+from repro.automata.strings import Dfa, Nfa
+
+
+class TestNfaBuilders:
+    def test_literal(self):
+        nfa = Nfa.literal(("a", "b"))
+        assert nfa.accepts(("a", "b"))
+        assert not nfa.accepts(("a",))
+        assert not nfa.accepts(("a", "b", "a"))
+
+    def test_empty_word(self):
+        nfa = Nfa.empty_word()
+        assert nfa.accepts(())
+        assert not nfa.accepts(("a",))
+
+    def test_nothing(self):
+        nfa = Nfa.nothing()
+        assert not nfa.accepts(())
+        assert not nfa.accepts(("a",))
+
+    def test_any_of(self):
+        nfa = Nfa.any_of("abc")
+        assert nfa.accepts(("b",))
+        assert not nfa.accepts(("d",))
+        assert not nfa.accepts(())
+
+    def test_all_words(self):
+        nfa = Nfa.all_words("ab")
+        for word in [(), ("a",), ("b", "a", "b")]:
+            assert nfa.accepts(word)
+        assert not nfa.accepts(("c",))
+
+
+class TestRegularOperations:
+    def test_union(self):
+        nfa = Nfa.literal(("a",)).union(Nfa.literal(("b", "b")))
+        assert nfa.accepts(("a",))
+        assert nfa.accepts(("b", "b"))
+        assert not nfa.accepts(("b",))
+
+    def test_concat(self):
+        nfa = Nfa.literal(("a",)).concat(Nfa.literal(("b",)))
+        assert nfa.accepts(("a", "b"))
+        assert not nfa.accepts(("a",))
+
+    def test_star(self):
+        nfa = Nfa.literal(("a", "b")).star()
+        assert nfa.accepts(())
+        assert nfa.accepts(("a", "b"))
+        assert nfa.accepts(("a", "b", "a", "b"))
+        assert not nfa.accepts(("a",))
+
+    def test_plus(self):
+        nfa = Nfa.literal(("a",)).plus()
+        assert not nfa.accepts(())
+        assert nfa.accepts(("a", "a", "a"))
+
+    def test_optional(self):
+        nfa = Nfa.literal(("a",)).optional()
+        assert nfa.accepts(())
+        assert nfa.accepts(("a",))
+
+    def test_repeat(self):
+        nfa = Nfa.literal(("a",)).repeat(3)
+        assert nfa.accepts(("a", "a", "a"))
+        assert not nfa.accepts(("a", "a"))
+
+    def test_composite_expression(self):
+        # (ab)*a — ends in 'a', alternating.
+        nfa = Nfa.literal(("a", "b")).star().concat(Nfa.literal(("a",)))
+        assert nfa.accepts(("a",))
+        assert nfa.accepts(("a", "b", "a"))
+        assert not nfa.accepts(("a", "b"))
+
+
+class TestChoiceSets:
+    def test_accepts_some_choice(self):
+        nfa = Nfa.literal((0, 1))
+        assert nfa.accepts_some_choice([{0, 2}, {1}])
+        assert not nfa.accepts_some_choice([{2}, {1}])
+        assert not nfa.accepts_some_choice([{0}])
+
+    def test_empty_choice_kills(self):
+        nfa = Nfa.literal((0,))
+        assert not nfa.accepts_some_choice([set()])
+
+
+class TestDeterminization:
+    def test_determinize_preserves_language(self):
+        nfa = Nfa.literal(("a", "b")).star().concat(Nfa.literal(("a",)))
+        dfa = nfa.determinize("ab")
+        for word in [(), ("a",), ("b",), ("a", "b"), ("a", "b", "a"), ("a", "a")]:
+            assert dfa.accepts(word) == nfa.accepts(word)
+
+    def test_complement(self):
+        dfa = Nfa.literal(("a",)).determinize("ab").complement()
+        assert dfa.accepts(())
+        assert not dfa.accepts(("a",))
+        assert dfa.accepts(("b",))
+
+    def test_product_intersection(self):
+        starts_a = Nfa.literal(("a",)).concat(Nfa.all_words("ab")).determinize("ab")
+        ends_b = Nfa.all_words("ab").concat(Nfa.literal(("b",))).determinize("ab")
+        both = starts_a.product(ends_b)
+        assert both.accepts(("a", "b"))
+        assert not both.accepts(("a",))
+        assert not both.accepts(("b", "b"))
+
+    def test_product_union_mode(self):
+        one = Nfa.literal(("a",)).determinize("ab")
+        two = Nfa.literal(("b",)).determinize("ab")
+        either = one.product(two, accept_both=False)
+        assert either.accepts(("a",)) and either.accepts(("b",))
+        assert not either.accepts(("a", "b"))
+
+    def test_emptiness_and_witness(self):
+        dfa = Nfa.literal(("a", "b", "a")).determinize("ab")
+        assert dfa.find_word() == ("a", "b", "a")
+        empty = dfa.product(dfa.complement())
+        assert empty.is_empty()
+
+    def test_equivalence(self):
+        one = Nfa.literal(("a",)).star().determinize("ab")
+        two = Nfa.empty_word().union(Nfa.literal(("a",)).plus()).determinize("ab")
+        assert one.equivalent(two)
+        three = Nfa.literal(("a",)).plus().determinize("ab")
+        assert not one.equivalent(three)
+
+    def test_product_alphabet_mismatch(self):
+        one = Nfa.literal(("a",)).determinize("ab")
+        two = Nfa.literal(("a",)).determinize("abc")
+        with pytest.raises(ValueError):
+            one.product(two)

@@ -1,0 +1,136 @@
+"""Tree walking automaton tests: moves, runs, determinism, curated walkers."""
+
+import pytest
+
+from repro.automata import Move, TWA, TwaBuilder, observation_at
+from repro.automata.twa import apply_move
+from repro.trees import Tree, chain, star
+
+
+@pytest.fixture(scope="module")
+def dfs_b_leaf():
+    """The classic DFS walker: accepts iff some leaf is labelled b."""
+    b = TwaBuilder(("a", "b"), 3)
+    b.add(0, is_leaf=False, move=Move.DOWN_FIRST, target=0)
+    b.add(0, label="b", is_leaf=True, move=Move.STAY, target=2)
+    b.add(0, label="a", is_leaf=True, move=Move.STAY, target=1)
+    b.add(1, is_last=False, move=Move.RIGHT, target=0)
+    b.add(1, is_last=True, is_root=False, move=Move.UP, target=1)
+    return b.build(initial=0, accepting={2})
+
+
+class TestObservations:
+    def test_root_observation(self, mixed_tree):
+        obs = observation_at(mixed_tree, 0)
+        assert obs.is_root and obs.is_first and obs.is_last and not obs.is_leaf
+
+    def test_middle_child_observation(self, mixed_tree):
+        obs = observation_at(mixed_tree, 2)
+        assert not obs.is_root and not obs.is_first and not obs.is_last
+        assert obs.label == "c"
+
+    def test_scoped_observation(self, mixed_tree):
+        obs = observation_at(mixed_tree, 2, scope=2)
+        assert obs.is_root and obs.is_first and obs.is_last
+
+    def test_leaf_flag(self, mixed_tree):
+        assert observation_at(mixed_tree, 3).is_leaf
+        assert not observation_at(mixed_tree, 6).is_leaf
+
+
+class TestMoves:
+    def test_all_moves_on_middle_node(self, mixed_tree):
+        assert apply_move(mixed_tree, 2, Move.STAY) == 2
+        assert apply_move(mixed_tree, 2, Move.UP) == 0
+        assert apply_move(mixed_tree, 2, Move.DOWN_FIRST) == 3
+        assert apply_move(mixed_tree, 2, Move.DOWN_LAST) == 5
+        assert apply_move(mixed_tree, 2, Move.LEFT) == 1
+        assert apply_move(mixed_tree, 2, Move.RIGHT) == 6
+
+    def test_falling_off(self, mixed_tree):
+        assert apply_move(mixed_tree, 0, Move.UP) is None
+        assert apply_move(mixed_tree, 0, Move.LEFT) is None
+        assert apply_move(mixed_tree, 3, Move.DOWN_FIRST) is None
+        assert apply_move(mixed_tree, 1, Move.LEFT) is None
+
+    def test_scope_blocks_exits(self, mixed_tree):
+        assert apply_move(mixed_tree, 2, Move.UP, scope=2) is None
+        assert apply_move(mixed_tree, 2, Move.RIGHT, scope=2) is None
+        assert apply_move(mixed_tree, 3, Move.RIGHT, scope=2) == 4
+
+
+class TestAcceptance:
+    def test_dfs_walker(self, dfs_b_leaf, small_trees):
+        for t in small_trees:
+            expected = any(
+                t.labels[v] == "b" and t.first_child[v] < 0 for v in t.node_ids
+            )
+            assert dfs_b_leaf.accepts(t) == expected
+
+    def test_dfs_walker_is_deterministic(self, dfs_b_leaf):
+        assert dfs_b_leaf.is_deterministic
+
+    def test_initial_accepting_accepts_everything(self):
+        everything = TWA(1, 0, frozenset({0}), {})
+        assert everything.accepts(Tree.leaf("a"))
+
+    def test_no_transitions_rejects(self):
+        nothing = TWA(2, 0, frozenset({1}), {})
+        assert not nothing.accepts(Tree.leaf("a"))
+
+    def test_scoped_acceptance(self, dfs_b_leaf):
+        t = Tree.build(("a", [("a", ["b"]), "a"]))
+        assert dfs_b_leaf.accepts(t)
+        assert dfs_b_leaf.accepts(t, scope=1)
+        assert not dfs_b_leaf.accepts(t, scope=3)  # subtree "a" has a-leaf only
+
+    def test_reachable_configs(self, dfs_b_leaf):
+        t = chain(3)
+        configs = dfs_b_leaf.reachable_configs(t)
+        assert (0, 0) in configs
+        assert all(0 <= node < t.size for _, node in configs)
+
+
+class TestNondeterminism:
+    def test_guessing_walker(self, small_trees):
+        # Nondeterministic: guess a path to some b node (not nec. a leaf).
+        b = TwaBuilder(("a", "b"), 2)
+        b.add(0, label="b", move=Move.STAY, target=1)
+        b.add(0, move=Move.DOWN_FIRST, target=0)
+        b.add(0, move=Move.RIGHT, target=0)
+        walker = b.build(initial=0, accepting={1})
+        assert not walker.is_deterministic
+        for t in small_trees:
+            assert walker.accepts(t) == ("b" in t.labels)
+
+    def test_cycling_run_terminates(self):
+        # A walker that can loop forever must still be decided (config graph
+        # is finite).
+        b = TwaBuilder(("a",), 2)
+        b.add(0, move=Move.DOWN_FIRST, target=0)
+        b.add(0, move=Move.UP, target=0)
+        looper = b.build(initial=0, accepting={1})
+        assert not looper.accepts(chain(50))
+
+
+class TestBuilder:
+    def test_wildcard_expansion_counts(self):
+        builder = TwaBuilder(("a", "b"), 1)
+        # per label: root obs (leaf x 1 first/last combo) = 2; non-root:
+        # leaf/first/last free = 8 → 10 per label.
+        assert len(builder.observations(label="a")) == 10
+        assert len(builder.observations()) == 20
+
+    def test_root_flag_constraints(self):
+        builder = TwaBuilder(("a",), 1)
+        roots = builder.observations(is_root=True)
+        assert all(o.is_first and o.is_last for o in roots)
+        assert len(roots) == 2  # leaf or not
+
+    def test_add_merges_choices(self):
+        builder = TwaBuilder(("a",), 2)
+        builder.add(0, move=Move.STAY, target=0)
+        builder.add(0, move=Move.STAY, target=1)
+        twa = builder.build(initial=0, accepting={1})
+        obs = builder.observations()[0]
+        assert len(twa.options(0, obs)) == 2

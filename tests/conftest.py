@@ -1,0 +1,58 @@
+"""Shared fixtures: corpora, samplers, and canonical example trees."""
+
+import random
+
+import pytest
+
+from repro.decision.corpora import standard_corpus
+from repro.trees import Tree, all_trees, chain, parse_xml
+from repro.xpath.random_exprs import ExprSampler
+
+
+@pytest.fixture(scope="session")
+def corpus():
+    """The standard test corpus (exhaustive to size 4 over {a, b})."""
+    return standard_corpus()
+
+@pytest.fixture(scope="session")
+def small_trees():
+    """Every tree with at most 4 nodes over {a, b} (102 trees)."""
+    return list(all_trees(4))
+
+
+@pytest.fixture(scope="session")
+def exhaustive5():
+    """Every tree with at most 5 nodes over {a, b} (550 trees)."""
+    return list(all_trees(5))
+
+
+@pytest.fixture()
+def rng():
+    return random.Random(2008)
+
+
+@pytest.fixture()
+def sampler(rng):
+    return ExprSampler(alphabet=("a", "b"), rng=rng)
+
+
+@pytest.fixture(scope="session")
+def talk_tree():
+    """The running example document of the talk literature."""
+    return parse_xml(
+        "<talk><speaker/><title><i/></title><location><i/><b/></location></talk>"
+    )
+
+
+@pytest.fixture(scope="session")
+def mixed_tree():
+    """A hand-built tree exercising every axis direction.
+
+    Shape: a(b, c(a, b, a), b(a))  — ids 0..7 in document order.
+    """
+    return Tree.build(("a", ["b", ("c", ["a", "b", "a"]), ("b", ["a"])]))
+
+
+@pytest.fixture(scope="session")
+def deep_chain():
+    return chain(12, labels=("a", "b"))

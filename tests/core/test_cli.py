@@ -1,0 +1,109 @@
+"""CLI tests (driving ``repro.cli.main`` directly, capturing output)."""
+
+import pytest
+
+from repro.cli import main
+
+DOC = "<talk><speaker/><title><i/></title><location><i/><b/></location></talk>"
+
+
+@pytest.fixture()
+def doc_file(tmp_path):
+    path = tmp_path / "doc.xml"
+    path.write_text(DOC)
+    return str(path)
+
+
+class TestEvalAndSelect:
+    def test_eval(self, doc_file, capsys):
+        assert main(["eval", "<child[i]>", doc_file]) == 0
+        out = capsys.readouterr().out
+        assert "2 node(s)" in out
+        assert "<title>" in out and "<location>" in out
+
+    def test_select(self, doc_file, capsys):
+        assert main(["select", "descendant[i]", doc_file]) == 0
+        out = capsys.readouterr().out
+        assert "2 node(s)" in out
+
+    def test_eval_from_stdin(self, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO(DOC))
+        assert main(["eval", "b"]) == 0
+        assert "1 node(s)" in capsys.readouterr().out
+
+    def test_missing_file(self, capsys):
+        assert main(["eval", "a", "/nonexistent/file.xml"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestTranslate:
+    def test_roundtrip_shown(self, capsys):
+        assert main(["translate", "<child[a]>"]) == 0
+        out = capsys.readouterr().out
+        assert "FO(MTC):" in out and "child(x," in out
+        assert "back:" in out
+
+    def test_w_query_outside_fragment(self, capsys):
+        assert main(["translate", "W(<parent>)"]) == 0
+        out = capsys.readouterr().out
+        assert "FO(MTC):" in out
+
+
+class TestEquivalent:
+    def test_exact_equivalence(self, capsys):
+        assert main(["equivalent", "W(<descendant[b]>)", "<descendant[b]>"]) == 0
+        assert "exact" in capsys.readouterr().out
+
+    def test_exact_refutation_prints_document(self, capsys):
+        assert main(["equivalent", "<child[b]>", "<descendant[b]>"]) == 1
+        out = capsys.readouterr().out
+        assert "NOT equivalent" in out and "<" in out
+
+    def test_corpus_fallback_for_non_downward(self, capsys):
+        assert main(["equivalent", "<parent/child>", "<parent[<child>]>"]) == 0
+        assert "corpus" in capsys.readouterr().out
+
+    def test_path_comparison(self, capsys):
+        assert main(["equivalent", "child/self", "child"]) == 0
+
+    def test_sort_mismatch(self, capsys):
+        assert main(["equivalent", "a", "child/parent"]) == 2
+
+
+class TestSatisfiable:
+    def test_sat_with_witness(self, capsys):
+        assert main(["satisfiable", "<child[a]> and <child[b]>"]) == 0
+        assert "SATISFIABLE" in capsys.readouterr().out
+
+    def test_unsat(self, capsys):
+        assert main(["satisfiable", "leaf and <child>"]) == 1
+        assert "UNSATISFIABLE" in capsys.readouterr().out
+
+    def test_alphabet_option(self, capsys):
+        assert main(["satisfiable", "c", "--alphabet", "abc"]) == 0
+
+    def test_non_downward_uses_corpus(self, capsys):
+        assert main(["satisfiable", "root and a"]) == 0
+        assert "SATISFIABLE" in capsys.readouterr().out
+
+
+class TestSimplifyAndClassify:
+    def test_simplify(self, capsys):
+        assert main(["simplify", "self/child[true]/child*"]) == 0
+        assert capsys.readouterr().out.strip() == "descendant"
+
+    def test_classify(self, capsys):
+        assert main(["classify", "W(<descendant[b]>)"]) == 0
+        out = capsys.readouterr().out
+        assert "Regular XPath(W)" in out
+        assert "downward:    True" in out
+
+    def test_classify_conditional(self, capsys):
+        assert main(["classify", "(child[a])+"]) == 0
+        assert "conditional: True" in capsys.readouterr().out
+
+    def test_parse_error(self, capsys):
+        assert main(["simplify", "child//"]) == 2
+        assert "error" in capsys.readouterr().err

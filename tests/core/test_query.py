@@ -1,0 +1,129 @@
+"""Public-API façade tests: the Query object ties the whole diagram together."""
+
+import pytest
+
+from repro import Query, Tree, parse_xml
+from repro.logic import formula_node_set
+from repro.xpath import Dialect, ast as xp
+
+
+@pytest.fixture(scope="module")
+def doc():
+    return parse_xml(
+        "<talk><speaker/><title><i/></title><location><i/><b/></location></talk>"
+    )
+
+
+class TestConstruction:
+    def test_node_from_text(self):
+        q = Query.node("a and <child>")
+        assert not q.is_path
+        assert str(q) == "a and <child>"
+
+    def test_path_from_text(self):
+        q = Query.path("child[a]/descendant")
+        assert q.is_path
+
+    def test_from_ast(self):
+        q = Query.node(xp.Label("a"))
+        assert q.evaluate(Tree.leaf("a")) == {0}
+
+    def test_sort_mismatch_rejected(self):
+        with pytest.raises(TypeError):
+            Query.node(xp.CHILD)
+        with pytest.raises(TypeError):
+            Query.path(xp.Label("a"))
+
+    def test_repr(self):
+        assert "Query.node" in repr(Query.node("a"))
+        assert "Query.path" in repr(Query.path("child"))
+
+
+class TestEvaluation:
+    def test_node_evaluation(self, doc):
+        q = Query.node("<child[i]>")
+        assert q.evaluate(doc) == {2, 4}  # title and location contain <i>
+
+    def test_path_selection(self, doc):
+        q = Query.path("descendant[i]")
+        assert q.select(doc) == {3, 5}
+
+    def test_pairs(self, doc):
+        q = Query.path("child")
+        assert (0, 1) in q.pairs(doc)
+
+    def test_holds_at(self, doc):
+        q = Query.node("i")
+        assert q.holds_at(doc, 3)
+        assert not q.holds_at(doc, 0)
+
+    def test_sort_checks(self, doc):
+        with pytest.raises(TypeError):
+            Query.path("child").evaluate(doc)
+        with pytest.raises(TypeError):
+            Query.node("a").pairs(doc)
+
+
+class TestClassification:
+    def test_dialects(self):
+        assert Query.node("<child>").dialect is Dialect.CORE
+        assert Query.path("(child/child)*").dialect is Dialect.REGULAR
+        assert Query.node("W(a)").dialect is Dialect.REGULAR_W
+
+    def test_downward(self):
+        assert Query.node("<child[b]>").is_downward
+        assert not Query.node("<parent>").is_downward
+
+    def test_size(self):
+        assert Query.path("child/parent").size == 3
+
+
+class TestDiagram:
+    """Round the full square: XPath → FO(MTC) → XPath; XPath → nested TWA."""
+
+    def test_to_fo_mtc_preserves_semantics(self, doc):
+        q = Query.node("W(<descendant[i]>)")
+        formula = q.to_fo_mtc()
+        assert set(q.evaluate(doc)) == formula_node_set(doc, formula, "x")
+
+    def test_from_fo_mtc_roundtrip(self, doc):
+        q = Query.node("<child[i]> and not <right>")
+        back = Query.from_fo_mtc(q.to_fo_mtc())
+        assert back.evaluate(doc) == q.evaluate(doc)
+
+    def test_from_fo_mtc_path(self, doc):
+        q = Query.path("child+")
+        back = Query.from_fo_mtc(q.to_fo_mtc(), "x", "y")
+        assert back.pairs(doc) == q.pairs(doc)
+
+    def test_to_nested_twa(self, doc):
+        q = Query.node("<descendant[b]>")
+        automaton = q.to_nested_twa(doc.alphabet)
+        accepted = {v for v in doc.node_ids if automaton.accepts(doc, scope=v)}
+        assert accepted == set(q.evaluate(doc))
+
+    def test_to_nested_twa_rejects_paths(self):
+        with pytest.raises(TypeError):
+            Query.path("child").to_nested_twa(("a",))
+
+    def test_to_fo_for_core(self):
+        formula = Query.node("<descendant[a]>").to_fo()
+        assert formula is not None
+
+
+class TestComparison:
+    def test_equivalent(self):
+        assert Query.path("child/self").equivalent(Query.path("child"))
+        assert not Query.path("child").equivalent(Query.path("descendant"))
+
+    def test_compare_report(self):
+        report = Query.node("root").compare(Query.node("not <parent>"))
+        assert report.equivalent_on_corpus
+
+    def test_compare_sort_mismatch(self):
+        with pytest.raises(TypeError):
+            Query.node("a").compare(Query.path("child"))
+
+    def test_simplify(self):
+        q = Query.path("self/child[true]/self")
+        assert str(q.simplify()) == "child"

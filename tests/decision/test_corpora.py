@@ -1,0 +1,37 @@
+"""Corpus construction tests."""
+
+from repro.decision import standard_corpus
+from repro.trees import all_trees
+
+
+class TestStandardCorpus:
+    def test_contains_exhaustive_prefix(self):
+        corpus = standard_corpus(exhaustive_size=3)
+        exhaustive = list(all_trees(3))
+        assert corpus.trees[: len(exhaustive)] == exhaustive
+        assert corpus.exhaustive_size == 3
+
+    def test_random_part_bounded(self):
+        corpus = standard_corpus(exhaustive_size=3, random_count=5, max_random_size=10)
+        randoms = corpus.trees[len(list(all_trees(3))) : -3]
+        assert len(randoms) == 5
+        assert all(4 <= t.size <= 10 for t in randoms)
+
+    def test_shaped_extremes_present(self):
+        corpus = standard_corpus(max_random_size=12)
+        chainy, starry, comby = corpus.trees[-3:]
+        assert chainy.height == chainy.size - 1  # the chain
+        assert starry.height == 1  # the star
+        assert comby.height > 1  # the comb
+
+    def test_deterministic(self):
+        assert standard_corpus(seed=5).trees == standard_corpus(seed=5).trees
+        assert standard_corpus(seed=5).trees != standard_corpus(seed=6).trees
+
+    def test_alphabet_respected(self):
+        corpus = standard_corpus(alphabet=("x", "y", "z"), exhaustive_size=2)
+        assert all(t.alphabet <= {"x", "y", "z"} for t in corpus)
+
+    def test_len_and_iter(self):
+        corpus = standard_corpus(exhaustive_size=2, random_count=2)
+        assert len(corpus) == len(list(corpus))

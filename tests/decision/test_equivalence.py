@@ -1,0 +1,129 @@
+"""Equivalence/containment harness tests — including the talk's motivating
+"which expressions are equivalent?" quiz, decided mechanically."""
+
+import pytest
+
+from repro.decision import (
+    check_node_containment,
+    check_node_equivalence,
+    check_path_containment,
+    check_path_equivalence,
+    find_satisfying_node,
+    node_equivalent,
+    path_equivalent,
+    standard_corpus,
+)
+from repro.xpath import parse_node, parse_path
+
+
+@pytest.fixture(scope="module")
+def corp():
+    return standard_corpus()
+
+
+class TestTheQuiz:
+    """The three puzzles from the talk literature ("Let's give it a try")."""
+
+    def test_down_up_projection(self, corp):
+        # ⟨child/parent⟩ ≈ ⟨child⟩ — going down and back up is the domain.
+        assert node_equivalent(
+            parse_node("<child/parent>"), parse_node("<child>"), corp
+        )
+
+    def test_descendant_composition(self, corp):
+        # descendant/descendant vs descendant+ as relations: both are
+        # "two or more child steps" vs "one or more" — NOT equivalent...
+        report = check_path_equivalence(
+            parse_path("descendant/descendant"), parse_path("descendant"), corp
+        )
+        assert not report.equivalent_on_corpus
+        # ...but descendant/descendant_or_self IS descendant ∘ reflexive.
+        assert path_equivalent(
+            parse_path("descendant/descendant_or_self"),
+            parse_path("descendant"),
+            corp,
+        )
+
+    def test_filter_placement_matters(self, corp):
+        # child[a]/descendant vs child/descendant[a]: different filters.
+        report = check_path_equivalence(
+            parse_path("child[a]/descendant"), parse_path("child/descendant[a]"), corp
+        )
+        assert not report.equivalent_on_corpus
+        assert report.counterexample is not None
+
+
+class TestReports:
+    def test_equivalent_report_counts_whole_corpus(self, corp):
+        report = check_node_equivalence(parse_node("a"), parse_node("a"), corp)
+        assert report.equivalent_on_corpus
+        assert report.trees_checked == len(corp)
+        assert report.exhaustive_to == corp.exhaustive_size
+
+    def test_counterexample_is_minimal_ish(self, corp):
+        # Corpus iterates exhaustively by size first, so the witness found
+        # for root vs true is the smallest possible: a 2-node tree.
+        report = check_node_equivalence(parse_node("root"), parse_node("true"), corp)
+        assert report.counterexample is not None
+        assert report.counterexample.tree.size == 2
+
+    def test_counterexample_str(self, corp):
+        report = check_node_equivalence(parse_node("a"), parse_node("b"), corp)
+        assert "tree" in str(report.counterexample)
+
+
+class TestContainment:
+    def test_node_containment(self, corp):
+        small = parse_node("<child[a]>")
+        large = parse_node("<child>")
+        assert check_node_containment(small, large, corp).equivalent_on_corpus
+        assert not check_node_containment(large, small, corp).equivalent_on_corpus
+
+    def test_path_containment(self, corp):
+        assert check_path_containment(
+            parse_path("child"), parse_path("descendant"), corp
+        ).equivalent_on_corpus
+        assert not check_path_containment(
+            parse_path("descendant"), parse_path("child"), corp
+        ).equivalent_on_corpus
+
+    def test_equivalence_is_mutual_containment(self, corp):
+        left = parse_path("child/child")
+        right = parse_path("descendant")
+        c1 = check_path_containment(left, right, corp).equivalent_on_corpus
+        c2 = check_path_containment(right, left, corp).equivalent_on_corpus
+        eq = check_path_equivalence(left, right, corp).equivalent_on_corpus
+        assert eq == (c1 and c2)
+
+
+class TestSatisfiability:
+    def test_satisfiable(self, corp):
+        witness = find_satisfying_node(parse_node("a and <child[b]>"), corp)
+        assert witness is not None
+
+    def test_unsatisfiable(self, corp):
+        assert find_satisfying_node(parse_node("a and not a"), corp) is None
+
+    def test_root_with_parent_unsatisfiable(self, corp):
+        assert find_satisfying_node(parse_node("root and <parent>"), corp) is None
+
+    def test_within_contradiction(self, corp):
+        # W(<parent>) is unsatisfiable: in its own subtree a node is root.
+        assert find_satisfying_node(parse_node("W(<parent>)"), corp) is None
+
+
+class TestWKillerExamples:
+    """Equivalences where the W operator genuinely matters."""
+
+    def test_w_changes_semantics(self, corp):
+        report = check_node_equivalence(
+            parse_node("W(<following_sibling[b]>)"),
+            parse_node("<following_sibling[b]>"),
+            corp,
+        )
+        assert not report.equivalent_on_corpus
+
+    def test_w_transparent_on_downward(self, corp):
+        assert node_equivalent(
+            parse_node("W(<descendant[b]>)"), parse_node("<descendant[b]>"), corp
+        )

@@ -1,0 +1,221 @@
+"""Exact decision procedures for the downward fragment.
+
+These are *complete*: a None answer is a theorem over all trees of the
+alphabet, not corpus-bounded evidence.  The tests cross-validate against the
+evaluator (every witness must actually witness) and against the corpus
+harness (exact-equivalent pairs must have no corpus counterexample).
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.decision import (
+    DownwardAnalysis,
+    NotDownward,
+    check_node_equivalence,
+    exact_contained,
+    exact_equivalent,
+    exact_satisfiable,
+    standard_corpus,
+)
+from repro.trees import all_trees
+from repro.xpath import Evaluator, parse_node, simplify
+from repro.xpath.fragments import is_downward
+from repro.xpath.random_exprs import ExprSampler
+
+
+def holds_at_root(tree, expr) -> bool:
+    return 0 in Evaluator(tree).nodes(expr)
+
+
+class TestSatisfiability:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "a",
+            "<child[a]> and <child[b]> and not a",
+            "<descendant[b and leaf]>",
+            "W(<(child/child)+[a]>)",
+            "not <child> and b",
+        ],
+    )
+    def test_satisfiable_with_valid_witness(self, text):
+        expr = parse_node(text)
+        witness = exact_satisfiable(expr)
+        assert witness is not None
+        assert holds_at_root(witness, expr)
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "a and not a",
+            "leaf and <child>",
+            "false",
+            "<child[a and b]>",  # over a disjoint-label tree model... labels
+        ],
+    )
+    def test_unsatisfiable(self, text):
+        # NOTE: 'a and b' is unsatisfiable because our trees carry a single
+        # label per node (the unique-labelling abstraction).
+        assert exact_satisfiable(parse_node(text)) is None
+
+    def test_alphabet_matters(self):
+        expr = parse_node("c")
+        assert exact_satisfiable(expr, alphabet=("a", "b")) is None
+        assert exact_satisfiable(expr, alphabet=("a", "b", "c")) is not None
+
+    def test_deep_requirement(self):
+        # Needs a chain of three a's: the witness search must build depth.
+        expr = parse_node("<child[a and <child[a and <child[a]>]>]>")
+        witness = exact_satisfiable(expr)
+        assert witness is not None and witness.height >= 3
+
+
+class TestEquivalence:
+    def test_w_transparency_is_a_theorem(self):
+        # Not just "no corpus counterexample": exact over ALL trees.
+        assert exact_equivalent(
+            parse_node("W(<descendant[b]>)"), parse_node("<descendant[b]>")
+        ) is None
+
+    def test_within_within(self):
+        assert exact_equivalent(
+            parse_node("W(W(<child[a]>))"), parse_node("<child[a]>")
+        ) is None
+
+    def test_star_unfolding_theorem(self):
+        left = parse_node("<(child[a])*[b]>")
+        right = parse_node("b or <child[a and <(child[a])*[b]>]>")
+        # unfold once: ⟨p*[b]⟩ = b ∨ ⟨p[⟨p*[b]⟩]⟩ with p = child[a]
+        assert exact_equivalent(left, right) is None
+
+    def test_inequivalence_with_witness(self):
+        witness = exact_equivalent(parse_node("<child[a]>"), parse_node("<descendant[a]>"))
+        assert witness is not None
+        left = holds_at_root(witness, parse_node("<child[a]>"))
+        right = holds_at_root(witness, parse_node("<descendant[a]>"))
+        assert left != right
+
+    def test_non_downward_rejected(self):
+        with pytest.raises(NotDownward):
+            exact_equivalent(parse_node("<parent>"), parse_node("true"))
+
+
+class TestContainment:
+    def test_child_in_descendant(self):
+        assert exact_contained(parse_node("<child[a]>"), parse_node("<descendant[a]>")) is None
+
+    def test_reverse_fails_with_witness(self):
+        witness = exact_contained(parse_node("<descendant[a]>"), parse_node("<child[a]>"))
+        assert witness is not None
+        assert holds_at_root(witness, parse_node("<descendant[a]>"))
+        assert not holds_at_root(witness, parse_node("<child[a]>"))
+
+    def test_filter_weakening(self):
+        assert exact_contained(
+            parse_node("<child[a and leaf]>"), parse_node("<child[a]>")
+        ) is None
+
+
+class TestCrossValidation:
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 10**9))
+    def test_exact_vs_corpus(self, seed):
+        rng = random.Random(seed)
+        sampler = ExprSampler(rng=rng, downward_only=True)
+        left = sampler.node(rng.randint(1, 7))
+        right = sampler.node(rng.randint(1, 7))
+        witness = exact_equivalent(left, right)
+        if witness is None:
+            report = check_node_equivalence(left, right, standard_corpus())
+            assert report.equivalent_on_corpus
+        else:
+            assert holds_at_root(witness, left) != holds_at_root(witness, right)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10**9))
+    def test_simplify_is_exactly_sound_on_downward(self, seed):
+        rng = random.Random(seed)
+        expr = ExprSampler(rng=rng, downward_only=True).node(rng.randint(1, 8))
+        simplified = simplify(expr)
+        if is_downward(simplified):
+            assert exact_equivalent(expr, simplified) is None
+
+
+class TestAnalysisInternals:
+    def test_state_of_tree_matches_evaluator(self, small_trees):
+        exprs = [
+            parse_node("<child[a]>"),
+            parse_node("<descendant[b and leaf]>"),
+            parse_node("not <(child/child)*[b]>"),
+        ]
+        analysis = DownwardAnalysis(exprs, ("a", "b"))
+        for tree in small_trees:
+            state = analysis.state_of_tree(tree)
+            for expr in exprs:
+                assert analysis.bit_of(expr, state) == holds_at_root(tree, expr)
+
+    def test_reachable_states_all_witnessed(self):
+        expr = parse_node("<child[a]> or <descendant[b]>")
+        analysis = DownwardAnalysis([expr], ("a", "b"))
+        for state, witness in analysis.reachable_states().items():
+            assert analysis.state_of_tree(witness) == state
+
+    def test_empty_alphabet_rejected(self):
+        with pytest.raises(ValueError):
+            DownwardAnalysis([parse_node("a")], ())
+
+
+class TestExactPathEquivalence:
+    """Relation equivalence for downward paths, via the marking reduction."""
+
+    def test_identity_laws(self):
+        from repro.decision import exact_path_equivalent
+        from repro.xpath import parse_path
+
+        assert exact_path_equivalent(parse_path("child/self"), parse_path("child")) is None
+        assert exact_path_equivalent(
+            parse_path("child/descendant_or_self"), parse_path("descendant")
+        ) is None
+
+    def test_filter_distribution_theorem(self):
+        from repro.decision import exact_path_equivalent
+        from repro.xpath import parse_path
+
+        assert exact_path_equivalent(
+            parse_path("child[a] | child[not a]"), parse_path("child")
+        ) is None
+
+    def test_refutation_with_marked_witness(self):
+        from repro.decision import exact_path_equivalent
+        from repro.xpath import Evaluator, parse_path
+
+        left, right = parse_path("child"), parse_path("descendant")
+        witness = exact_path_equivalent(left, right)
+        assert witness is not None
+        marked = {v for v in witness.node_ids if witness.labels[v].endswith("#")}
+        stripped = witness.relabel({l: l.rstrip("#") for l in witness.alphabet})
+        ev = Evaluator(stripped)
+        assert bool(ev.image(left, {0}) & marked) != bool(ev.image(right, {0}) & marked)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10**9))
+    def test_cross_validated_against_corpus(self, seed):
+        from repro.decision import check_path_equivalence, exact_path_equivalent
+
+        rng = random.Random(seed)
+        sampler = ExprSampler(rng=rng, downward_only=True)
+        left = sampler.path(rng.randint(1, 6))
+        right = sampler.path(rng.randint(1, 6))
+        if exact_path_equivalent(left, right) is None:
+            report = check_path_equivalence(left, right, standard_corpus())
+            assert report.equivalent_on_corpus
+
+    def test_non_downward_rejected(self):
+        from repro.decision import exact_path_equivalent
+        from repro.xpath import parse_path
+
+        with pytest.raises(NotDownward):
+            exact_path_equivalent(parse_path("parent"), parse_path("self"))

@@ -1,0 +1,107 @@
+"""Schema-aware exact static analysis (satisfiability/equivalence under a DTD)."""
+
+import pytest
+
+from repro.automata import Dtd
+from repro.decision import (
+    exact_contained_under,
+    exact_equivalent,
+    exact_equivalent_under,
+    exact_satisfiable,
+    exact_satisfiable_under,
+)
+from repro.xpath import Evaluator, parse_node
+
+
+@pytest.fixture(scope="module")
+def biblio():
+    return Dtd(
+        root="bib",
+        content={
+            "bib": "(conf | journal)*",
+            "conf": "paper+",
+            "journal": "paper*",
+            "paper": "title, author+, award?",
+            "title": "EMPTY",
+            "author": "EMPTY",
+            "award": "EMPTY",
+        },
+    )
+
+
+class TestSatisfiabilityUnderSchema:
+    def test_witness_conforms_and_satisfies(self, biblio):
+        expr = parse_node("award")
+        witness = exact_satisfiable_under(expr, biblio)
+        assert witness is not None
+        assert biblio.conforms(witness)
+        assert any(
+            witness.labels[v] == "award" for v in witness.node_ids
+        )
+
+    def test_schema_prunes_general_satisfiability(self, biblio):
+        # An authorless paper exists in general but not under the schema.
+        expr = parse_node("paper and not <child[author]>")
+        assert exact_satisfiable(expr, biblio.elements) is not None
+        assert exact_satisfiable_under(expr, biblio) is None
+
+    def test_at_root_variant(self, biblio):
+        # Only the root is a bib; a paper can never be the root.
+        assert exact_satisfiable_under(parse_node("bib"), biblio, at_root=True) is not None
+        assert exact_satisfiable_under(parse_node("paper"), biblio, at_root=True) is None
+        # ...but a paper exists somewhere.
+        assert exact_satisfiable_under(parse_node("paper"), biblio) is not None
+
+    def test_unsatisfiable_regardless(self, biblio):
+        assert exact_satisfiable_under(parse_node("title and <child>"), biblio) is None
+
+    def test_deep_structural_requirement(self, biblio):
+        expr = parse_node("conf and <child[paper and <child[award]>]>")
+        witness = exact_satisfiable_under(expr, biblio)
+        assert witness is not None
+        assert biblio.conforms(witness)
+        nodes = Evaluator(witness).nodes(expr)
+        assert nodes
+
+
+class TestEquivalenceUnderSchema:
+    def test_schema_relative_theorem(self, biblio):
+        # Under this DTD every paper has a title child — not true in general.
+        left = parse_node("paper")
+        right = parse_node("paper and <child[title]>")
+        assert exact_equivalent_under(left, right, biblio) is None
+        assert exact_equivalent(left, right, biblio.elements) is not None
+
+    def test_inequivalence_detected_with_conforming_witness(self, biblio):
+        left = parse_node("paper")
+        right = parse_node("paper and <child[award]>")
+        witness = exact_equivalent_under(left, right, biblio)
+        assert witness is not None
+        assert biblio.conforms(witness)
+        evaluator = Evaluator(witness)
+        assert evaluator.nodes(left) != evaluator.nodes(right)
+
+    def test_leaves_are_schema_determined(self, biblio):
+        # titles, authors, awards are EMPTY: 'title' ≡ 'title and leaf'.
+        assert exact_equivalent_under(
+            parse_node("title"), parse_node("title and leaf"), biblio
+        ) is None
+
+
+class TestContainmentUnderSchema:
+    def test_containment_holds_under_schema_only(self, biblio):
+        # Every award sits under a paper that also has an author.
+        small = parse_node("<child[award]>")
+        large = parse_node("<child[author]>")
+        assert exact_contained_under(small, large, biblio) is None
+        # Without the schema this fails.
+        from repro.decision import exact_contained
+
+        assert exact_contained(small, large, biblio.elements) is not None
+
+    def test_violation_witnessed(self, biblio):
+        small = parse_node("<child[paper]>")
+        large = parse_node("conf")
+        witness = exact_contained_under(small, large, biblio)
+        assert witness is not None  # journals also contain papers
+        assert biblio.conforms(witness)

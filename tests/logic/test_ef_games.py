@@ -1,0 +1,79 @@
+"""EF-game tests — including the parity inexpressibility experiment (T5)."""
+
+import pytest
+
+from repro.logic.ef_games import distinguishing_rank, duplicator_wins
+from repro.trees import Tree, chain, star
+
+
+class TestBasicGames:
+    def test_isomorphic_trees_never_distinguished(self):
+        t1 = Tree.build(("a", ["b", "c"]))
+        t2 = Tree.build(("a", ["b", "c"]))
+        assert duplicator_wins(t1, t2, 3)
+
+    def test_different_root_labels_rank_one(self):
+        assert distinguishing_rank(Tree.leaf("a"), Tree.leaf("b"), 2) == 1
+
+    def test_different_sizes_distinguished(self):
+        t1 = chain(2)
+        t2 = chain(3)
+        assert distinguishing_rank(t1, t2, 3) is not None
+
+    def test_zero_rounds_always_duplicator(self):
+        assert duplicator_wins(Tree.leaf("a"), Tree.leaf("b"), 0)
+
+    def test_label_multiset_needs_one_round(self):
+        t1 = Tree.build(("a", ["b"]))
+        t2 = Tree.build(("a", ["a"]))
+        assert distinguishing_rank(t1, t2, 2) == 1
+
+
+class TestSignatureSensitivity:
+    def test_descendant_helps_spoiler(self):
+        # chains a-b-a vs a-a-b: with only `child`, spoiler needs 2 rounds;
+        # descendant doesn't hurt.
+        t1 = chain(3, labels=("a", "b", "a"))
+        t2 = chain(3, labels=("a", "a", "b"))
+        rank_child = distinguishing_rank(t1, t2, 3, signature=("child",))
+        rank_full = distinguishing_rank(t1, t2, 3)
+        assert rank_child is not None and rank_full is not None
+        assert rank_full <= rank_child
+
+    def test_sibling_order_invisible_without_horizontal_relations(self):
+        t1 = Tree.build(("r", ["a", "b"]))
+        t2 = Tree.build(("r", ["b", "a"]))
+        assert duplicator_wins(t1, t2, 3, signature=("child", "descendant"))
+        assert not duplicator_wins(t1, t2, 2, signature=("child", "right"))
+
+
+class TestParityExperiment:
+    """Chains of length 2^r vs 2^r + 1 are r-round equivalent over
+    {child}: quantifier rank r cannot express 'even length'.  This is the
+    EF half of the T5-style inexpressibility evidence: Core XPath translates
+    into FO, so no Core XPath expression defines depth parity either —
+    while FO(MTC)/Regular XPath does (see test_modelcheck / examples)."""
+
+    @pytest.mark.parametrize("rounds", [1, 2])
+    def test_duplicator_survives_long_chains(self, rounds):
+        n = 2 ** rounds
+        assert duplicator_wins(chain(n + 2), chain(n + 3), rounds, signature=("child",))
+
+    def test_spoiler_wins_short_chains(self):
+        assert not duplicator_wins(chain(2), chain(3), 2, signature=("child",))
+
+    def test_rank_grows_with_length(self):
+        # Distinguishing rank of n vs n+1 chains is monotone-ish in n.
+        r1 = distinguishing_rank(chain(2), chain(3), 4, signature=("child",))
+        r2 = distinguishing_rank(chain(5), chain(6), 4, signature=("child",))
+        assert r1 is not None and r2 is not None and r1 <= r2
+
+
+class TestStarGames:
+    def test_fanout_counting_bounded_by_rank(self):
+        # stars with 3 vs 4 leaves need 3+ rounds over {child};
+        # 1 round never suffices.
+        t1 = star(3)
+        t2 = star(4)
+        assert duplicator_wins(t1, t2, 1, signature=("child",))
+        assert not duplicator_wins(t1, t2, 4, signature=("child",))

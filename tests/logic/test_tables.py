@@ -1,0 +1,95 @@
+"""Unit tests for the relational-table engine behind the model checker."""
+
+import pytest
+
+from repro.logic.tables import Table
+
+U = range(3)
+
+
+class TestConstruction:
+    def test_boolean(self):
+        assert Table.boolean(True).truth
+        assert not Table.boolean(False).truth
+
+    def test_unary(self):
+        t = Table.unary("x", [0, 2])
+        assert t.columns == ("x",)
+        assert t.rows == {(0,), (2,)}
+
+    def test_binary_sorts_columns(self):
+        t = Table.binary("y", "x", [(1, 2)])
+        assert t.columns == ("x", "y")
+        assert t.rows == {(2, 1)}
+
+    def test_binary_same_variable_takes_diagonal(self):
+        t = Table.binary("x", "x", [(0, 0), (1, 2)])
+        assert t.columns == ("x",)
+        assert t.rows == {(0,)}
+
+    def test_unsorted_columns_rejected(self):
+        with pytest.raises(ValueError):
+            Table(("y", "x"), frozenset())
+
+
+class TestJoin:
+    def test_join_on_shared_column(self):
+        left = Table.binary("x", "y", [(0, 1), (1, 2)])
+        right = Table.unary("y", [1])
+        assert left.join(right).rows == {(0, 1)}
+
+    def test_join_disjoint_is_product(self):
+        left = Table.unary("x", [0, 1])
+        right = Table.unary("y", [2])
+        joined = left.join(right)
+        assert joined.columns == ("x", "y")
+        assert joined.rows == {(0, 2), (1, 2)}
+
+    def test_join_with_boolean(self):
+        t = Table.unary("x", [0])
+        assert t.join(Table.boolean(True)).rows == {(0,)}
+        assert t.join(Table.boolean(False)).rows == frozenset()
+
+    def test_join_three_columns(self):
+        xy = Table.binary("x", "y", [(0, 1)])
+        yz = Table.binary("y", "z", [(1, 2), (0, 2)])
+        joined = xy.join(yz)
+        assert joined.columns == ("x", "y", "z")
+        assert joined.rows == {(0, 1, 2)}
+
+
+class TestUnionComplementProject:
+    def test_union_pads_columns(self):
+        left = Table.unary("x", [0])
+        right = Table.unary("y", [1])
+        got = left.union(right, U)
+        assert got.columns == ("x", "y")
+        assert (0, 0) in got.rows and (2, 1) in got.rows
+        assert (2, 2) not in got.rows
+
+    def test_complement(self):
+        t = Table.unary("x", [0])
+        assert t.complement(U).rows == {(1,), (2,)}
+        assert t.complement(U).complement(U) == t
+
+    def test_complement_boolean(self):
+        assert not Table.boolean(True).complement(U).truth
+
+    def test_project_away(self):
+        t = Table.binary("x", "y", [(0, 1), (0, 2), (1, 2)])
+        assert t.project_away("y") == Table.unary("x", [0, 1])
+        assert t.project_away("z") is t
+
+    def test_select_eq(self):
+        t = Table.binary("x", "y", [(0, 1), (1, 2)])
+        assert t.select_eq("x", 0) == Table.unary("y", [1])
+
+    def test_pad_requires_superset(self):
+        t = Table.unary("x", [0])
+        with pytest.raises(ValueError):
+            t.pad(("y",), U)
+
+    def test_pairs_extraction(self):
+        t = Table.binary("x", "y", [(0, 1)])
+        assert t.pairs("x", "y") == {(0, 1)}
+        assert t.pairs("y", "x") == {(1, 0)}

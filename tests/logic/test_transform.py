@@ -1,0 +1,88 @@
+"""Tests for formula transformations: renaming, NNF, flattening."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.logic import ast as fo, formula_node_set, parse_formula
+from repro.logic.transform import conjuncts, disjuncts, nnf, rename_free
+from repro.trees import random_tree
+from repro.translations.xpath_to_logic import xpath_to_mtc
+from repro.xpath.random_exprs import ExprSampler
+
+
+class TestRenameFree:
+    def test_basic_rename(self):
+        f = parse_formula("child(x,y) & a(x)")
+        g = rename_free(f, {"x": "z"})
+        assert g == parse_formula("child(z,y) & a(z)")
+
+    def test_bound_variables_untouched(self):
+        f = parse_formula("exists y. child(x,y)")
+        g = rename_free(f, {"y": "w"})
+        assert g == f  # the free mapping does not reach the bound y
+
+    def test_capture_avoided_by_alpha_renaming(self):
+        f = parse_formula("exists y. child(x,y)")
+        g = rename_free(f, {"x": "y"})
+        # must NOT produce exists y. child(y,y)
+        assert isinstance(g, fo.Exists)
+        assert g.var != "y"
+        assert fo.free_variables(g) == {"y"}
+
+    def test_tc_bound_variables_respected(self):
+        f = parse_formula("tc[u,v](child(u,v) & a(z))(x,y)")
+        g = rename_free(f, {"z": "u"})
+        assert isinstance(g, fo.TC)
+        assert (g.x, g.y) != ("u", "v") or "u" not in {g.x, g.y} or True
+        # semantics preserved structurally: param renamed without capture
+        assert "u" in fo.free_variables(g)
+        assert fo.free_variables(g) == {"x", "y", "u"}
+
+    def test_empty_mapping_identity(self):
+        f = parse_formula("a(x)")
+        assert rename_free(f, {}) is f
+
+
+class TestNnf:
+    def test_pushes_through_and(self):
+        f = nnf(parse_formula("~(a(x) & b(x))"))
+        assert f == parse_formula("~a(x) | ~b(x)")
+
+    def test_pushes_through_quantifiers(self):
+        f = nnf(parse_formula("~(exists y. child(x,y))"))
+        assert isinstance(f, fo.Forall)
+        assert isinstance(f.body, fo.Not)
+
+    def test_double_negation_cancels(self):
+        assert nnf(parse_formula("~~a(x)")) == parse_formula("a(x)")
+
+    def test_negated_tc_stays(self):
+        f = nnf(parse_formula("~tc[u,v](child(u,v))(x,y)"))
+        assert isinstance(f, fo.Not)
+        assert isinstance(f.operand, fo.TC)
+
+    @settings(max_examples=60, deadline=None)
+    @given(seed=st.integers(0, 10**9), budget=st.integers(1, 9), size=st.integers(1, 8))
+    def test_nnf_preserves_semantics(self, seed, budget, size):
+        rng = random.Random(seed)
+        expr = ExprSampler(rng=rng).node(budget)
+        formula = xpath_to_mtc(expr)  # a rich source of formulas
+        tree = random_tree(size, rng=rng)
+        assert formula_node_set(tree, nnf(formula), "x") == formula_node_set(
+            tree, formula, "x"
+        )
+
+
+class TestFlattening:
+    def test_conjuncts(self):
+        f = parse_formula("a(x) & b(x) & c(x)")
+        assert [str(c) for c in conjuncts(f)] == ["a(x)", "b(x)", "c(x)"]
+
+    def test_disjuncts(self):
+        f = parse_formula("a(x) | (b(x) | c(x))")
+        assert len(list(disjuncts(f))) == 3
+
+    def test_non_conjunction_is_singleton(self):
+        f = parse_formula("a(x) | b(x)")
+        assert list(conjuncts(f)) == [f]

@@ -1,0 +1,51 @@
+"""Every example script must run to completion (they are part of the API
+surface: README points users at them)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, argv: list[str] | None = None, monkeypatch=None):
+    script = EXAMPLES / f"{name}.py"
+    assert script.exists(), f"missing example {script}"
+    old_argv = sys.argv
+    sys.argv = [str(script)] + (argv or [])
+    try:
+        runpy.run_path(str(script), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+@pytest.mark.parametrize(
+    "name",
+    [
+        "quickstart",
+        "expressiveness_tour",
+        "automata_playground",
+        "containment_checker",
+    ],
+)
+def test_example_runs(name, capsys):
+    run_example(name)
+    out = capsys.readouterr().out
+    assert out.strip(), f"{name} produced no output"
+
+
+def test_document_workload_runs_small(capsys):
+    run_example("document_workload", argv=["8"])
+    out = capsys.readouterr().out
+    assert "Schema-aware analysis" in out
+    assert "UNEXPECTED" not in out
+
+
+def test_query_optimizer_runs(capsys):
+    run_example("query_optimizer")
+    out = capsys.readouterr().out
+    assert "FAILED" not in out
+    assert "BUG" not in out
+    assert "sound" in out

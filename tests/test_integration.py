@@ -1,0 +1,143 @@
+"""Integration tests: the paper's commuting diagram, executed end to end.
+
+For one query, *five* independent implementations must agree on who
+satisfies it: the optimized XPath evaluator, the denotational reference
+semantics, the FO(MTC) model checker (via T1), the round-tripped Regular
+XPath expression (via T2), and — for downward queries — the compiled nested
+TWA (via T3), with the naive MSO checker as a sixth witness on tiny trees.
+"""
+
+import random
+
+import pytest
+
+from repro import Query, parse_xml
+from repro.automata.examples import exists_label
+from repro.logic import formula_node_set, mso_node_set
+from repro.translations import (
+    UnsupportedForTwa,
+    UnsupportedFormula,
+    compile_node_expr,
+    mtc_to_node_expr,
+    xpath_to_mtc,
+)
+from repro.trees import all_trees, random_tree
+from repro.xpath import Evaluator, node_set, parse_node
+from repro.xpath.fragments import Dialect, is_downward
+from repro.xpath.random_exprs import ExprSampler
+
+DIAGRAM_SUITE = [
+    "<child[b]>",
+    "<descendant[a]> and not b",
+    "<(child[a])+[leaf]>",
+    "not <child[not <child>]>",
+    "W(<descendant[b]>)",
+]
+
+
+class TestCommutingDiagram:
+    @pytest.mark.parametrize("text", DIAGRAM_SUITE)
+    def test_five_way_agreement(self, text, small_trees):
+        expr = parse_node(text)
+        formula = xpath_to_mtc(expr)
+        try:
+            back = mtc_to_node_expr(formula, "x")
+        except UnsupportedFormula:
+            back = None
+        try:
+            automaton = compile_node_expr(expr, ("a", "b")) if is_downward(expr) else None
+        except UnsupportedForTwa:
+            automaton = None
+
+        for tree in small_trees[:80]:
+            expected = set(Evaluator(tree).nodes(expr))
+            assert node_set(tree, expr) == expected  # reference semantics
+            assert formula_node_set(tree, formula, "x") == expected  # T1
+            if back is not None:
+                assert set(Evaluator(tree).nodes(back)) == expected  # T2
+            if automaton is not None:  # T3
+                got = {v for v in tree.node_ids if automaton.accepts(tree, scope=v)}
+                assert got == expected
+
+    @pytest.mark.parametrize("text", DIAGRAM_SUITE[:3])
+    def test_mso_agrees_on_tiny_trees(self, text):
+        expr = parse_node(text)
+        formula = xpath_to_mtc(expr)
+        for tree in all_trees(3):
+            expected = set(Evaluator(tree).nodes(expr))
+            assert mso_node_set(tree, formula, "x") == expected
+
+    def test_randomized_diagram(self):
+        rng = random.Random(99)
+        sampler = ExprSampler(rng=rng, dialect=Dialect.REGULAR)
+        for __ in range(25):
+            expr = sampler.node(rng.randint(1, 8))
+            formula = xpath_to_mtc(expr)
+            back = mtc_to_node_expr(formula, "x")
+            tree = random_tree(rng.randint(1, 10), rng=rng)
+            expected = set(Evaluator(tree).nodes(expr))
+            assert formula_node_set(tree, formula, "x") == expected
+            assert set(Evaluator(tree).nodes(back)) == expected
+
+
+class TestXPathVsHedgeGroundTruth:
+    """The query 'some b exists' rendered three ways: XPath, nested TWA,
+    hedge automaton — all must define the same tree language."""
+
+    def test_three_machines_one_language(self, small_trees):
+        query = parse_node("<descendant_or_self[b]>")
+        walking = compile_node_expr(query, ("a", "b"))
+        bottom_up = exists_label(("a", "b"), "b")
+        for tree in small_trees:
+            xpath_answer = 0 in Evaluator(tree).nodes(query)
+            assert walking.accepts(tree) == xpath_answer
+            assert bottom_up.accepts(tree) == xpath_answer
+
+
+class TestEndToEndDocument:
+    def test_xml_to_every_formalism(self):
+        doc = parse_xml(
+            "<library><shelf><book/><book/></shelf><shelf><journal/></shelf></library>"
+        )
+        q = Query.node("<child[book]>")
+        shelves_with_books = q.evaluate(doc)
+        assert shelves_with_books == {1}
+        formula = q.to_fo_mtc()
+        assert formula_node_set(doc, formula, "x") == {1}
+        automaton = q.to_nested_twa(doc.alphabet)
+        assert {v for v in doc.node_ids if automaton.accepts(doc, scope=v)} == {1}
+
+
+class TestSchemaCrossEngines:
+    """Schema satisfiability answered by two independent engines: the joint
+    truth-vector exploration and hedge-automaton intersection emptiness."""
+
+    def test_two_engines_agree(self):
+        from repro.automata import Dtd
+        from repro.automata.examples import exists_label
+        from repro.decision import exact_satisfiable_under
+        from repro.xpath import parse_node
+
+        schema = Dtd(
+            root="bib",
+            content={
+                "bib": "(conf | journal)*",
+                "conf": "paper+",
+                "journal": "paper*",
+                "paper": "title, author+, award?",
+                "title": "EMPTY",
+                "author": "EMPTY",
+                "award": "EMPTY",
+            },
+        )
+        hedge_schema = schema.to_hedge_automaton()
+        for label in ("award", "journal", "title"):
+            # Engine 1: joint exploration of query × schema.
+            witness1 = exact_satisfiable_under(parse_node(label), schema)
+            # Engine 2: L(schema) ∩ L("some `label` node") ≠ ∅?
+            query_lang = exists_label(schema.elements, label)
+            witness2 = hedge_schema.intersection(query_lang).find_tree()
+            assert (witness1 is None) == (witness2 is None)
+            if witness2 is not None:
+                assert schema.conforms(witness2)
+                assert label in witness2.labels

@@ -1,0 +1,46 @@
+"""The exported hypothesis strategies must produce valid objects and be
+usable exactly as advertised in their docstring."""
+
+from hypothesis import given, settings
+
+from repro.logic import ast as fo
+from repro.testing import formulas, node_expressions, path_expressions, trees
+from repro.trees import Tree
+from repro.xpath import ast as xp, node_set, evaluate_nodes
+from repro.xpath.fragments import Dialect, is_downward, uses_within
+
+
+class TestStrategies:
+    @settings(max_examples=25, deadline=None)
+    @given(tree=trees(max_size=8))
+    def test_trees_are_valid(self, tree):
+        assert isinstance(tree, Tree)
+        assert 1 <= tree.size <= 8
+        assert tree.alphabet <= {"a", "b"}
+
+    @settings(max_examples=25, deadline=None)
+    @given(expr=node_expressions(max_budget=8))
+    def test_node_expressions_are_valid(self, expr):
+        assert isinstance(expr, xp.NodeExpr)
+
+    @settings(max_examples=25, deadline=None)
+    @given(expr=path_expressions(max_budget=8, dialect=Dialect.CORE))
+    def test_dialect_respected(self, expr):
+        assert not uses_within(expr)
+
+    @settings(max_examples=25, deadline=None)
+    @given(expr=node_expressions(downward_only=True))
+    def test_downward_respected(self, expr):
+        assert is_downward(expr)
+
+    @settings(max_examples=25, deadline=None)
+    @given(formula=formulas(free=("x",), allow_tc=False))
+    def test_formulas_are_valid(self, formula):
+        assert fo.free_variables(formula) <= {"x"}
+        assert not any(isinstance(f, fo.TC) for f in formula.walk())
+
+    @settings(max_examples=20, deadline=None)
+    @given(tree=trees(max_size=8), expr=node_expressions(max_budget=6))
+    def test_advertised_usage_pattern(self, tree, expr):
+        # The docstring example: evaluate an expression on a tree.
+        assert set(evaluate_nodes(tree, expr)) == node_set(tree, expr)

@@ -1,0 +1,148 @@
+"""Conditional XPath (Marx): the FO-complete dialect, via the until pattern.
+
+Conditional XPath = Core XPath + closures of conditional steps
+``(?α / s / ?β)+``.  Marx's theorem says it is *exactly* first-order
+complete on ordered trees; our Core-XPath → FO translation accepts it by
+encoding conditional closures with the strict-until pattern over the
+extended signature.  These tests validate the encoding semantically and the
+fragment classifier syntactically.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.logic import formula_node_set, formula_pairs
+from repro.logic import ast as fo
+from repro.translations import UnsupportedExpression, xpath_to_fo
+from repro.translations.xpath_to_logic import conditional_step
+from repro.trees import Axis, chain, random_tree
+from repro.xpath import (
+    ast as xp,
+    is_conditional_xpath,
+    node_set,
+    parse_node,
+    parse_path,
+    path_pairs,
+)
+
+UNTIL_SUITE = [
+    "(child[a])*",
+    "(child[a])+",
+    "(?b/child)*",
+    "(?a/right[b])+",
+    "(parent[a])*",
+    "(left[not b])+",
+    "(?a/child/?b)*",
+    "(right[a and not leaf])+",
+    "(?(not a)/parent)*",
+]
+
+
+class TestUntilTranslation:
+    @pytest.mark.parametrize("text", UNTIL_SUITE)
+    def test_path_semantics(self, text, small_trees):
+        expr = parse_path(text)
+        formula = xpath_to_fo(expr)
+        for tree in small_trees[:70]:
+            assert path_pairs(tree, expr) == formula_pairs(tree, formula, "x", "y"), (
+                f"{text} differs on {tree.to_shape()}"
+            )
+
+    @pytest.mark.parametrize(
+        "text", ["<(child[a])+[b]>", "not <(?a/right)+[leaf]>", "<(parent[b])*[root]>"]
+    )
+    def test_node_semantics(self, text, small_trees):
+        expr = parse_node(text)
+        formula = xpath_to_fo(expr)
+        for tree in small_trees[:70]:
+            assert node_set(tree, expr) == formula_node_set(tree, formula, "x")
+
+    @pytest.mark.parametrize("text", UNTIL_SUITE[:4])
+    def test_on_larger_random_trees(self, text):
+        rng = random.Random(41)
+        expr = parse_path(text)
+        formula = xpath_to_fo(expr)
+        for __ in range(6):
+            tree = random_tree(rng.randint(5, 14), rng=rng)
+            assert path_pairs(tree, expr) == formula_pairs(tree, formula, "x", "y")
+
+    def test_no_tc_in_output(self):
+        formula = xpath_to_fo(parse_path("(child[a])+"))
+        assert not any(isinstance(f, fo.TC) for f in formula.walk())
+
+    def test_alternating_until_on_chain(self):
+        # The classic until query: an unbroken run of a's down to a b.
+        tree = chain(6, labels=("a", "a", "a", "b", "a", "b"))
+        expr = parse_node("<(child[a])*[<child[b]>]>")
+        formula = xpath_to_fo(expr)
+        assert formula_node_set(tree, formula, "x") == set(node_set(tree, expr)) == {0, 1, 2, 3, 4}
+
+
+class TestConditionalStepDecomposition:
+    def test_plain_axis(self):
+        axis, alpha, beta = conditional_step(parse_path("child"))
+        assert axis is Axis.CHILD and alpha is None and beta is None
+
+    def test_filtered_axis(self):
+        axis, alpha, beta = conditional_step(parse_path("child[a]"))
+        assert axis is Axis.CHILD and alpha is None and beta == xp.Label("a")
+
+    def test_tests_on_both_sides(self):
+        axis, alpha, beta = conditional_step(parse_path("?a/right/?b"))
+        assert axis is Axis.RIGHT
+        assert alpha == xp.Label("a") and beta == xp.Label("b")
+
+    def test_multiple_tests_folded(self):
+        axis, alpha, beta = conditional_step(parse_path("child[a][b]"))
+        assert beta == xp.And(xp.Label("a"), xp.Label("b"))
+
+    @pytest.mark.parametrize("text", ["child/child", "child | right", "self", "descendant/child"])
+    def test_non_conditional_rejected(self, text):
+        assert conditional_step(parse_path(text)) is None
+
+
+class TestClassifier:
+    @pytest.mark.parametrize(
+        "text", ["(child[a])*", "(?b/right)+", "descendant[a]", "child[<(parent[b])*[root]>]"]
+    )
+    def test_conditional(self, text):
+        assert is_conditional_xpath(parse_path(text))
+
+    @pytest.mark.parametrize("text", ["(child/child)*", "((child[a])*[b]/right)*"])
+    def test_not_conditional(self, text):
+        assert not is_conditional_xpath(parse_path(text))
+
+    def test_within_excluded(self):
+        assert not is_conditional_xpath(parse_node("W(a)"))
+
+    def test_general_star_still_rejected_by_fo(self):
+        with pytest.raises(UnsupportedExpression):
+            xpath_to_fo(parse_path("(child/child)*"))
+
+
+class TestRandomizedConditional:
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 10**9), size=st.integers(1, 9))
+    def test_random_conditional_stars(self, seed, size):
+        rng = random.Random(seed)
+        # Build a random conditional step: optional tests around an axis.
+        from repro.xpath.fragments import Dialect
+        from repro.xpath.random_exprs import ExprSampler
+
+        sampler = ExprSampler(rng=rng, dialect=Dialect.CORE)
+        axis = rng.choice([xp.CHILD, xp.PARENT, xp.LEFT, xp.RIGHT])
+        parts = []
+        if rng.random() < 0.5:
+            parts.append(xp.Check(sampler.node(3)))
+        parts.append(axis)
+        if rng.random() < 0.5:
+            parts.append(xp.Check(sampler.node(3)))
+        body = parts[0]
+        for part in parts[1:]:
+            body = xp.Seq(body, part)
+        expr = xp.Star(body) if rng.random() < 0.5 else xp.plus(body)
+        formula = xpath_to_fo(expr)
+        tree = random_tree(size, rng=rng)
+        assert path_pairs(tree, expr) == formula_pairs(tree, formula, "x", "y")

@@ -1,0 +1,67 @@
+"""Core XPath → FO over the extended signature (T1's classical sibling)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.logic import formula_node_set, formula_pairs
+from repro.logic import ast as fo
+from repro.translations import UnsupportedExpression, xpath_to_fo
+from repro.trees import random_tree
+from repro.xpath import node_set, parse_node, parse_path, path_pairs
+from repro.xpath.fragments import Dialect
+from repro.xpath.random_exprs import ExprSampler
+
+
+class TestCoreTranslation:
+    SUITE = [
+        "descendant[a]",
+        "ancestor | following_sibling",
+        "child[not <right[b]>]/parent",
+        "preceding_sibling[a and b]",
+        "following",
+        "preceding",
+        "descendant_or_self/left",
+    ]
+
+    @pytest.mark.parametrize("text", SUITE)
+    def test_path_semantics(self, text, small_trees):
+        expr = parse_path(text)
+        formula = xpath_to_fo(expr)
+        for tree in small_trees[:60]:
+            assert path_pairs(tree, expr) == formula_pairs(tree, formula, "x", "y")
+
+    @settings(max_examples=60, deadline=None)
+    @given(seed=st.integers(0, 10**9), budget=st.integers(1, 9), size=st.integers(1, 9))
+    def test_random_core_node_expressions(self, seed, budget, size):
+        rng = random.Random(seed)
+        expr = ExprSampler(rng=rng, dialect=Dialect.CORE).node(budget)
+        formula = xpath_to_fo(expr)
+        tree = random_tree(size, rng=rng)
+        assert set(node_set(tree, expr)) == formula_node_set(tree, formula, "x")
+
+    def test_no_tc_in_output(self):
+        formula = xpath_to_fo(parse_path("descendant[a]/following_sibling"))
+        assert not any(isinstance(f, fo.TC) for f in formula.walk())
+
+    def test_uses_extended_signature(self):
+        formula = xpath_to_fo(parse_path("descendant"))
+        rels = {f.name for f in formula.walk() if isinstance(f, fo.Rel)}
+        assert rels == {"descendant"}
+
+
+class TestFragmentBoundary:
+    def test_general_star_rejected(self):
+        with pytest.raises(UnsupportedExpression):
+            xpath_to_fo(parse_path("(child/child)*"))
+
+    def test_within_rejected(self):
+        with pytest.raises(UnsupportedExpression):
+            xpath_to_fo(parse_node("W(a)"))
+
+    def test_same_expressions_accepted_by_mtc(self):
+        from repro.translations import xpath_to_mtc
+
+        xpath_to_mtc(parse_path("(child/child)*"))
+        xpath_to_mtc(parse_node("W(a)"))

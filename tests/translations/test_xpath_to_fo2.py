@@ -1,0 +1,85 @@
+"""The Marx–de Rijke FO² characterization: Core XPath in two variables."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.logic import formula_node_set
+from repro.translations.xpath_to_fo2 import variables_used, xpath_to_fo2
+from repro.trees import random_tree
+from repro.xpath import node_set, parse_node
+from repro.xpath.fragments import Dialect
+from repro.xpath.normal_forms import NotCoreXPath
+from repro.xpath.random_exprs import ExprSampler
+
+SUITE = [
+    "a",
+    "not <child>",
+    "<child[b and <right[a]>]>",
+    "<descendant[<parent/child>]>",  # deep nesting reuses variables
+    "<ancestor[a]> and not <following_sibling>",
+    "<child[<child[<child[a]>]>]>",  # three levels: x, y, x, y alternate
+    "root or leaf",
+]
+
+
+class TestTwoVariableProperty:
+    @pytest.mark.parametrize("text", SUITE)
+    def test_only_two_names(self, text):
+        formula = xpath_to_fo2(parse_node(text))
+        assert variables_used(formula) <= {"x", "y"}
+
+    @settings(max_examples=60, deadline=None)
+    @given(seed=st.integers(0, 10**9), budget=st.integers(1, 10))
+    def test_random_core_only_two_names(self, seed, budget):
+        rng = random.Random(seed)
+        expr = ExprSampler(rng=rng, dialect=Dialect.CORE).node(budget)
+        formula = xpath_to_fo2(expr)
+        assert variables_used(formula) <= {"x", "y"}
+
+    def test_custom_names(self):
+        formula = xpath_to_fo2(parse_node("<child[<child>]>"), "u", "v")
+        assert variables_used(formula) <= {"u", "v"}
+
+    def test_same_names_rejected(self):
+        with pytest.raises(ValueError):
+            xpath_to_fo2(parse_node("a"), "x", "x")
+
+
+class TestSemantics:
+    @pytest.mark.parametrize("text", SUITE)
+    def test_agrees_with_evaluator(self, text, small_trees):
+        expr = parse_node(text)
+        formula = xpath_to_fo2(expr)
+        for tree in small_trees[:60]:
+            assert formula_node_set(tree, formula, "x") == set(node_set(tree, expr))
+
+    @settings(max_examples=50, deadline=None)
+    @given(seed=st.integers(0, 10**9), budget=st.integers(1, 9), size=st.integers(1, 9))
+    def test_random_agreement(self, seed, budget, size):
+        rng = random.Random(seed)
+        expr = ExprSampler(rng=rng, dialect=Dialect.CORE).node(budget)
+        formula = xpath_to_fo2(expr)
+        tree = random_tree(size, rng=rng)
+        assert formula_node_set(tree, formula, "x") == set(node_set(tree, expr))
+
+    def test_agrees_with_many_variable_translation(self, small_trees):
+        from repro.translations import xpath_to_fo
+
+        expr = parse_node("<child[<right[<parent[b]>]>]>")
+        two_var = xpath_to_fo2(expr)
+        many_var = xpath_to_fo(expr)
+        assert len(variables_used(two_var)) <= 2
+        assert len(variables_used(many_var)) > 2  # fresh names per quantifier
+        for tree in small_trees[:40]:
+            assert formula_node_set(tree, two_var, "x") == formula_node_set(
+                tree, many_var, "x"
+            )
+
+
+class TestFragmentBoundary:
+    @pytest.mark.parametrize("text", ["W(a)", "<(child/child)*>"])
+    def test_outside_core_rejected(self, text):
+        with pytest.raises(NotCoreXPath):
+            xpath_to_fo2(parse_node(text))

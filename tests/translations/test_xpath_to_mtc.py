@@ -1,0 +1,140 @@
+"""Experiment T1: Regular XPath(W) ⊆ FO(MTC).
+
+Every expression is translated and the two semantics compared on the
+exhaustive corpus (all trees ≤ 4 nodes) and random larger trees — the
+machine-checkable rendering of the paper's easy direction.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.logic import formula_node_set, formula_pairs
+from repro.logic import ast as fo
+from repro.translations import xpath_to_mtc
+from repro.trees import random_tree
+from repro.xpath import node_set, parse_node, parse_path, path_pairs
+from repro.xpath.fragments import Dialect
+from repro.xpath.random_exprs import ExprSampler
+
+NODE_SUITE = [
+    "a",
+    "true",
+    "false",
+    "not <child>",
+    "root",
+    "leaf",
+    "first",
+    "last",
+    "<child[b]> and not a",
+    "<descendant[a and <right>]>",
+    "<(child/right)*[b]>",
+    "<(child[a] | right)+>",
+    "W(not <parent>)",
+    "W(<descendant[b]>) and a",
+    "not W(<child[W(root)]>)",
+    "W(<following_sibling>)",
+    "<ancestor[W(<child[b]>)]>",
+    "<following[a]>",
+    "<preceding>",
+]
+
+PATH_SUITE = [
+    "child",
+    "parent/child",
+    "descendant_or_self[a]",
+    "(child[a]/right)*",
+    "descendant[W(<child>)]",
+    "child+ | right+",
+    "?(not a)/following_sibling",
+    "0 | self",
+    "preceding_sibling/ancestor_or_self",
+]
+
+
+class TestNodeTranslation:
+    @pytest.mark.parametrize("text", NODE_SUITE)
+    def test_on_exhaustive_corpus(self, text, small_trees):
+        expr = parse_node(text)
+        formula = xpath_to_mtc(expr)
+        for tree in small_trees:
+            assert set(node_set(tree, expr)) == formula_node_set(tree, formula, "x"), (
+                f"{text} differs on {tree.to_shape()}"
+            )
+
+    @pytest.mark.parametrize("text", NODE_SUITE[:10])
+    def test_on_random_trees(self, text):
+        rng = random.Random(17)
+        expr = parse_node(text)
+        formula = xpath_to_mtc(expr)
+        for __ in range(10):
+            tree = random_tree(rng.randint(5, 25), alphabet=("a", "b", "c"), rng=rng)
+            assert set(node_set(tree, expr)) == formula_node_set(tree, formula, "x")
+
+
+class TestPathTranslation:
+    @pytest.mark.parametrize("text", PATH_SUITE)
+    def test_on_exhaustive_corpus(self, text, small_trees):
+        expr = parse_path(text)
+        formula = xpath_to_mtc(expr)
+        for tree in small_trees:
+            assert path_pairs(tree, expr) == formula_pairs(tree, formula, "x", "y"), (
+                f"{text} differs on {tree.to_shape()}"
+            )
+
+    @pytest.mark.parametrize("text", PATH_SUITE[:5])
+    def test_on_random_trees(self, text):
+        rng = random.Random(23)
+        expr = parse_path(text)
+        formula = xpath_to_mtc(expr)
+        for __ in range(8):
+            tree = random_tree(rng.randint(5, 16), rng=rng)
+            assert path_pairs(tree, expr) == formula_pairs(tree, formula, "x", "y")
+
+
+class TestRandomizedT1:
+    @settings(max_examples=80, deadline=None)
+    @given(seed=st.integers(0, 10**9), budget=st.integers(1, 9), size=st.integers(1, 9))
+    def test_random_node_expressions(self, seed, budget, size):
+        rng = random.Random(seed)
+        expr = ExprSampler(rng=rng, dialect=Dialect.REGULAR_W).node(budget)
+        formula = xpath_to_mtc(expr)
+        tree = random_tree(size, rng=rng)
+        assert set(node_set(tree, expr)) == formula_node_set(tree, formula, "x")
+
+    @settings(max_examples=60, deadline=None)
+    @given(seed=st.integers(0, 10**9), budget=st.integers(1, 8), size=st.integers(1, 8))
+    def test_random_path_expressions(self, seed, budget, size):
+        rng = random.Random(seed)
+        expr = ExprSampler(rng=rng, dialect=Dialect.REGULAR_W).path(budget)
+        formula = xpath_to_mtc(expr)
+        tree = random_tree(size, rng=rng)
+        assert path_pairs(tree, expr) == formula_pairs(tree, formula, "x", "y")
+
+
+class TestTranslationShape:
+    def test_star_becomes_tc(self):
+        formula = xpath_to_mtc(parse_path("(child/right)*"))
+        assert any(isinstance(f, fo.TC) for f in formula.walk())
+
+    def test_within_guards_quantifiers(self):
+        formula = xpath_to_mtc(parse_node("W(<child>)"))
+        # The subtree guard is itself a TC over child (descendant-or-self).
+        tcs = [f for f in formula.walk() if isinstance(f, fo.TC)]
+        assert tcs, "relativisation should introduce a TC guard"
+
+    def test_core_translation_has_bounded_free_vars(self):
+        formula = xpath_to_mtc(parse_node("<child[<right[a]>]>"))
+        assert fo.free_variables(formula) == {"x"}
+
+    def test_size_polynomial(self):
+        # Size of the output grows linearly-ish in input size for a
+        # star-tower (each star adds one TC wrapper).
+        sizes = []
+        text = "child"
+        for __ in range(5):
+            text = f"({text})*"
+            sizes.append(xpath_to_mtc(parse_path(text)).size)
+        growth = [b - a for a, b in zip(sizes, sizes[1:])]
+        assert all(g == growth[0] for g in growth)  # constant increments

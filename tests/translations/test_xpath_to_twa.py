@@ -1,0 +1,109 @@
+"""Experiment T3: downward Regular XPath(W) ≡ nested TWA.
+
+The compiled automaton, run with scope v, must decide ``v ⊨ expr`` for
+every node of every corpus tree.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.translations import UnsupportedForTwa, compile_exists_path, compile_node_expr
+from repro.trees import random_tree
+from repro.xpath import Evaluator, parse_node, parse_path
+from repro.xpath.random_exprs import ExprSampler
+
+DOWNWARD_SUITE = [
+    "a",
+    "true",
+    "false",
+    "not a",
+    "leaf",
+    "<child>",
+    "<child[b]>",
+    "<descendant[a and not leaf]>",
+    "W(<child>) and not <(child[a])*[b and leaf]>",
+    "<(child/child)*[b]>",
+    "not <child[not <child[a]>]>",
+    "<descendant_or_self[b]> or leaf",
+    "W(W(a))",
+    "<child[a]> and <child[b]>",
+    "<self[a]/descendant[b]>",
+]
+
+
+def nodes_by_automaton(automaton, tree):
+    return {v for v in tree.node_ids if automaton.accepts(tree, scope=v)}
+
+
+class TestDownwardCompilation:
+    @pytest.mark.parametrize("text", DOWNWARD_SUITE)
+    def test_on_exhaustive_corpus(self, text, small_trees):
+        expr = parse_node(text)
+        automaton = compile_node_expr(expr, ("a", "b"))
+        for tree in small_trees:
+            expected = set(Evaluator(tree).nodes(expr))
+            assert nodes_by_automaton(automaton, tree) == expected, (
+                f"{text} differs on {tree.to_shape()}"
+            )
+
+    @pytest.mark.parametrize("text", DOWNWARD_SUITE[:8])
+    def test_on_random_trees(self, text):
+        rng = random.Random(31)
+        expr = parse_node(text)
+        automaton = compile_node_expr(expr, ("a", "b"))
+        for __ in range(8):
+            tree = random_tree(rng.randint(5, 18), rng=rng)
+            expected = set(Evaluator(tree).nodes(expr))
+            assert nodes_by_automaton(automaton, tree) == expected
+
+    @settings(max_examples=50, deadline=None)
+    @given(seed=st.integers(0, 10**9), budget=st.integers(1, 8), size=st.integers(1, 9))
+    def test_random_downward_expressions(self, seed, budget, size):
+        rng = random.Random(seed)
+        sampler = ExprSampler(rng=rng, downward_only=True)
+        expr = sampler.node(budget)
+        automaton = compile_node_expr(expr, ("a", "b"))
+        tree = random_tree(size, rng=rng)
+        expected = set(Evaluator(tree).nodes(expr))
+        assert nodes_by_automaton(automaton, tree) == expected
+
+
+class TestPathCompilation:
+    @pytest.mark.parametrize(
+        "text",
+        ["child", "child/child", "descendant[b]", "(child[a])*", "child[b] | self[a]"],
+    )
+    def test_exists_path(self, text, small_trees):
+        path = parse_path(text)
+        automaton = compile_exists_path(path, ("a", "b"))
+        from repro.xpath import ast
+
+        expr = ast.Exists(path)
+        for tree in small_trees[:60]:
+            expected = set(Evaluator(tree).nodes(expr))
+            assert nodes_by_automaton(automaton, tree) == expected
+
+
+class TestNestingStructure:
+    def test_negation_costs_one_level(self):
+        inner = compile_node_expr(parse_node("a"), ("a", "b"))
+        outer = compile_node_expr(parse_node("not a"), ("a", "b"))
+        assert outer.depth == inner.depth + 1
+
+    def test_filters_nest(self):
+        automaton = compile_node_expr(parse_node("<child[not <child[a]>]>"), ("a", "b"))
+        assert automaton.depth >= 2
+
+    def test_within_is_free(self):
+        plain = compile_node_expr(parse_node("<child[b]>"), ("a", "b"))
+        within = compile_node_expr(parse_node("W(<child[b]>)"), ("a", "b"))
+        assert within.depth == plain.depth
+
+
+class TestFragmentBoundary:
+    @pytest.mark.parametrize("text", ["<parent>", "root", "<right>", "first", "<ancestor>"])
+    def test_non_downward_rejected(self, text):
+        with pytest.raises(UnsupportedForTwa):
+            compile_node_expr(parse_node(text), ("a", "b"))

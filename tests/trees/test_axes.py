@@ -1,0 +1,153 @@
+"""Unit and property tests for axis relations, including W-scoping."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.trees import (
+    Axis,
+    Tree,
+    axis_image,
+    axis_pairs,
+    axis_steps,
+    inverse_axis,
+    random_tree,
+)
+
+ALL_AXES = list(Axis)
+
+
+def tree_strategy(max_size=12):
+    return st.integers(min_value=1, max_value=max_size).flatmap(
+        lambda n: st.integers(min_value=0, max_value=10_000).map(
+            lambda seed: random_tree(n, rng=__import__("random").Random(seed))
+        )
+    )
+
+
+class TestPrimitiveAxes:
+    def test_child(self, mixed_tree):
+        assert set(axis_steps(mixed_tree, 0, Axis.CHILD)) == {1, 2, 6}
+        assert set(axis_steps(mixed_tree, 2, Axis.CHILD)) == {3, 4, 5}
+        assert set(axis_steps(mixed_tree, 1, Axis.CHILD)) == set()
+
+    def test_parent(self, mixed_tree):
+        assert set(axis_steps(mixed_tree, 3, Axis.PARENT)) == {2}
+        assert set(axis_steps(mixed_tree, 0, Axis.PARENT)) == set()
+
+    def test_right_left(self, mixed_tree):
+        assert set(axis_steps(mixed_tree, 1, Axis.RIGHT)) == {2}
+        assert set(axis_steps(mixed_tree, 6, Axis.RIGHT)) == set()
+        assert set(axis_steps(mixed_tree, 2, Axis.LEFT)) == {1}
+        assert set(axis_steps(mixed_tree, 1, Axis.LEFT)) == set()
+
+    def test_self(self, mixed_tree):
+        assert set(axis_steps(mixed_tree, 4, Axis.SELF)) == {4}
+
+
+class TestDerivedAxes:
+    def test_descendant(self, mixed_tree):
+        assert set(axis_steps(mixed_tree, 2, Axis.DESCENDANT)) == {3, 4, 5}
+        assert set(axis_steps(mixed_tree, 0, Axis.DESCENDANT)) == set(range(1, 8))
+
+    def test_ancestor(self, mixed_tree):
+        assert list(axis_steps(mixed_tree, 4, Axis.ANCESTOR)) == [2, 0]
+
+    def test_or_self_variants(self, mixed_tree):
+        assert set(axis_steps(mixed_tree, 2, Axis.DESCENDANT_OR_SELF)) == {2, 3, 4, 5}
+        assert set(axis_steps(mixed_tree, 4, Axis.ANCESTOR_OR_SELF)) == {4, 2, 0}
+
+    def test_sibling_closures(self, mixed_tree):
+        assert list(axis_steps(mixed_tree, 1, Axis.FOLLOWING_SIBLING)) == [2, 6]
+        assert list(axis_steps(mixed_tree, 6, Axis.PRECEDING_SIBLING)) == [2, 1]
+
+    def test_following(self, mixed_tree):
+        # following(2) = everything after subtree {2,3,4,5} in doc order
+        assert set(axis_steps(mixed_tree, 2, Axis.FOLLOWING)) == {6, 7}
+        assert set(axis_steps(mixed_tree, 1, Axis.FOLLOWING)) == {2, 3, 4, 5, 6, 7}
+
+    def test_preceding(self, mixed_tree):
+        # preceding(6) = before 6 in doc order minus ancestors {0}
+        assert set(axis_steps(mixed_tree, 6, Axis.PRECEDING)) == {1, 2, 3, 4, 5}
+        assert set(axis_steps(mixed_tree, 3, Axis.PRECEDING)) == {1}
+
+
+class TestInverses:
+    @pytest.mark.parametrize("axis", ALL_AXES)
+    def test_inverse_is_involution(self, axis):
+        assert inverse_axis(inverse_axis(axis)) is axis
+
+    @pytest.mark.parametrize("axis", ALL_AXES)
+    def test_inverse_axis_pairs(self, axis, mixed_tree):
+        forward = axis_pairs(mixed_tree, axis)
+        backward = axis_pairs(mixed_tree, inverse_axis(axis))
+        assert forward == {(b, a) for (a, b) in backward}
+
+    @settings(max_examples=30, deadline=None)
+    @given(tree=tree_strategy())
+    def test_inverse_axis_pairs_random(self, tree):
+        for axis in (Axis.CHILD, Axis.RIGHT, Axis.DESCENDANT, Axis.FOLLOWING):
+            forward = axis_pairs(tree, axis)
+            backward = axis_pairs(tree, inverse_axis(axis))
+            assert forward == {(b, a) for (a, b) in backward}
+
+
+class TestAxisDecompositions:
+    """Cross-axis identities that must hold on every tree."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(tree=tree_strategy())
+    def test_following_decomposition(self, tree):
+        # following = ancestor_or_self ; following_sibling ; descendant_or_self
+        composed = set()
+        for n in tree.node_ids:
+            for z in axis_steps(tree, n, Axis.ANCESTOR_OR_SELF):
+                for w in axis_steps(tree, z, Axis.FOLLOWING_SIBLING):
+                    for m in axis_steps(tree, w, Axis.DESCENDANT_OR_SELF):
+                        composed.add((n, m))
+        assert composed == axis_pairs(tree, Axis.FOLLOWING)
+
+    @settings(max_examples=30, deadline=None)
+    @given(tree=tree_strategy())
+    def test_document_order_partition(self, tree):
+        # For any two distinct nodes: exactly one of ancestor, descendant,
+        # preceding, following relates them.
+        for n in tree.node_ids:
+            desc = set(axis_steps(tree, n, Axis.DESCENDANT))
+            anc = set(axis_steps(tree, n, Axis.ANCESTOR))
+            fol = set(axis_steps(tree, n, Axis.FOLLOWING))
+            pre = set(axis_steps(tree, n, Axis.PRECEDING))
+            union = desc | anc | fol | pre
+            assert len(union) == len(desc) + len(anc) + len(fol) + len(pre)
+            assert union == set(tree.node_ids) - {n}
+
+
+class TestScopedAxes:
+    """Scoped navigation must match navigation in a materialized subtree."""
+
+    @pytest.mark.parametrize("axis", ALL_AXES)
+    def test_scope_matches_materialized_subtree(self, axis, mixed_tree):
+        tree = mixed_tree
+        for scope in tree.node_ids:
+            sub = tree.subtree(scope)
+            scoped = axis_pairs(tree, axis, scope=scope)
+            rebased = {(a - scope, b - scope) for (a, b) in scoped}
+            assert rebased == axis_pairs(sub, axis)
+
+    @settings(max_examples=20, deadline=None)
+    @given(tree=tree_strategy(max_size=10))
+    def test_scope_matches_materialized_subtree_random(self, tree):
+        for scope in tree.node_ids:
+            sub = tree.subtree(scope)
+            for axis in (Axis.PARENT, Axis.LEFT, Axis.ANCESTOR, Axis.PRECEDING):
+                scoped = axis_pairs(tree, axis, scope=scope)
+                rebased = {(a - scope, b - scope) for (a, b) in scoped}
+                assert rebased == axis_pairs(sub, axis)
+
+
+class TestAxisImage:
+    def test_image_of_set(self, mixed_tree):
+        assert axis_image(mixed_tree, {1, 2}, Axis.RIGHT) == {2, 6}
+        assert axis_image(mixed_tree, {3, 4, 5}, Axis.PARENT) == {2}
+
+    def test_image_empty_sources(self, mixed_tree):
+        assert axis_image(mixed_tree, set(), Axis.CHILD) == set()

@@ -1,0 +1,131 @@
+"""Tests for the workload generators (exhaustive, random, shaped)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.trees import (
+    Tree,
+    all_shapes,
+    all_trees,
+    binary_string_tree,
+    chain,
+    comb,
+    count_shapes,
+    full_kary,
+    random_deep_tree,
+    random_tree,
+    star,
+)
+
+CATALAN = [1, 1, 2, 5, 14, 42, 132]
+
+
+class TestExhaustiveEnumeration:
+    @pytest.mark.parametrize("size", range(1, 7))
+    def test_shape_counts_are_catalan(self, size):
+        shapes = list(all_shapes(size))
+        assert len(shapes) == CATALAN[size - 1]
+        assert count_shapes(size) == CATALAN[size - 1]
+
+    @pytest.mark.parametrize("size", range(1, 6))
+    def test_shapes_are_distinct_and_valid(self, size):
+        shapes = list(all_shapes(size))
+        assert len({tuple(s) for s in shapes}) == len(shapes)
+        for shape in shapes:
+            tree = Tree(["a"] * size, shape)  # Tree validates preorder
+            assert tree.size == size
+
+    def test_labelled_counts(self):
+        # Catalan(n-1) * 2^n over a 2-letter alphabet.
+        by_size = {}
+        for t in all_trees(4):
+            by_size[t.size] = by_size.get(t.size, 0) + 1
+        assert by_size == {1: 2, 2: 4, 3: 16, 4: 80}
+
+    def test_all_trees_distinct(self):
+        trees = list(all_trees(4))
+        assert len(set(trees)) == len(trees)
+
+    def test_single_letter_alphabet(self):
+        trees = list(all_trees(4, alphabet=("a",)))
+        assert len(trees) == 1 + 1 + 2 + 5
+
+
+class TestRandomGeneration:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        size=st.integers(min_value=1, max_value=40),
+        seed=st.integers(min_value=0, max_value=10**6),
+    )
+    def test_random_tree_valid(self, size, seed):
+        t = random_tree(size, rng=random.Random(seed))
+        assert t.size == size
+        assert t.alphabet <= {"a", "b"}
+
+    def test_max_branch_respected(self):
+        rng = random.Random(1)
+        t = random_tree(60, rng=rng, max_branch=2)
+        assert all(len(t.children_ids(v)) <= 2 for v in t.node_ids)
+
+    def test_deep_tree_is_deep(self):
+        rng = random.Random(7)
+        t = random_deep_tree(40, rng=rng, depth_bias=1.0)
+        assert t.height == 39  # pure chain at bias 1.0
+
+    def test_deterministic_given_seed(self):
+        t1 = random_tree(20, rng=random.Random(5))
+        t2 = random_tree(20, rng=random.Random(5))
+        assert t1 == t2
+
+    def test_size_zero_rejected(self):
+        with pytest.raises(ValueError):
+            random_tree(0)
+
+
+class TestShapedFamilies:
+    def test_chain(self):
+        t = chain(5, labels=("a", "b"))
+        assert t.size == 5
+        assert t.height == 4
+        assert t.labels == ("a", "b", "a", "b", "a")
+        assert all(len(t.children_ids(v)) <= 1 for v in t.node_ids)
+
+    def test_star(self):
+        t = star(6)
+        assert t.size == 7
+        assert t.height == 1
+        assert len(t.children_ids(0)) == 6
+
+    def test_comb(self):
+        t = comb(4)
+        assert t.size == 8
+        assert t.height == 4
+        spine = [v for v in t.node_ids if t.labels[v] == "a"]
+        assert len(spine) == 4
+
+    @pytest.mark.parametrize("depth,k,expected", [(0, 2, 1), (1, 2, 3), (2, 2, 7), (2, 3, 13)])
+    def test_full_kary_size(self, depth, k, expected):
+        t = full_kary(depth, k)
+        assert t.size == expected
+        assert t.height == depth
+
+    def test_full_kary_labels_cycle_by_depth(self):
+        t = full_kary(2, 2, alphabet=("x", "y"))
+        assert t.labels[0] == "x"
+        for v in t.node_ids:
+            assert t.labels[v] == ("x", "y")[t.depths[v] % 2]
+
+    def test_binary_string_tree(self):
+        t = binary_string_tree("abba")
+        assert t.labels == ("a", "b", "b", "a")
+        assert t.height == 3
+
+    def test_binary_string_tree_empty_rejected(self):
+        with pytest.raises(ValueError):
+            binary_string_tree("")
+
+    def test_chain_length_zero_rejected(self):
+        with pytest.raises(ValueError):
+            chain(0)

@@ -1,0 +1,51 @@
+"""Node-handle API tests."""
+
+import pytest
+
+from repro.trees import Node, Tree
+
+
+class TestHandleBasics:
+    def test_out_of_range_rejected(self, mixed_tree):
+        with pytest.raises(IndexError):
+            Node(mixed_tree, 99)
+        with pytest.raises(IndexError):
+            Node(mixed_tree, -1)
+
+    def test_equality_is_per_tree(self, mixed_tree):
+        other = Tree(mixed_tree.labels, mixed_tree.parent)
+        assert mixed_tree.node(1) == mixed_tree.node(1)
+        assert mixed_tree.node(1) != other.node(1)  # different tree objects
+        assert mixed_tree.node(1) != mixed_tree.node(2)
+
+    def test_hash_consistency(self, mixed_tree):
+        assert len({mixed_tree.node(1), mixed_tree.node(1)}) == 1
+
+    def test_repr(self, mixed_tree):
+        assert "label='c'" in repr(mixed_tree.node(2))
+
+
+class TestDerivedProperties:
+    def test_depth_and_index(self, mixed_tree):
+        node = mixed_tree.node(4)
+        assert node.depth == 2
+        assert node.child_index == 1
+
+    def test_subtree_size(self, mixed_tree):
+        assert mixed_tree.node(2).subtree_size == 4
+        assert mixed_tree.node(3).subtree_size == 1
+
+    def test_first_last_child(self, mixed_tree):
+        c = mixed_tree.node(2)
+        assert c.first_child.node_id == 3
+        assert c.last_child.node_id == 5
+        leaf = mixed_tree.node(3)
+        assert leaf.first_child is None and leaf.last_child is None
+
+    def test_nodes_iteration_in_document_order(self, mixed_tree):
+        ids = [n.node_id for n in mixed_tree.nodes()]
+        assert ids == list(range(mixed_tree.size))
+
+    def test_root_accessor(self, mixed_tree):
+        assert mixed_tree.root.node_id == 0
+        assert mixed_tree.root.parent is None

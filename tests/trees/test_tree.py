@@ -1,0 +1,152 @@
+"""Unit tests for the tree data model."""
+
+import pytest
+
+from repro.trees import Tree
+
+
+class TestConstruction:
+    def test_single_node(self):
+        t = Tree.leaf("a")
+        assert t.size == 1
+        assert t.root.label == "a"
+        assert t.root.is_root and t.root.is_leaf
+
+    def test_build_from_shape(self):
+        t = Tree.build(("a", ["b", ("c", ["d"])]))
+        assert t.labels == ("a", "b", "c", "d")
+        assert t.parent == (-1, 0, 0, 2)
+
+    def test_build_deep_chain_no_recursion_error(self):
+        shape = "a"
+        for __ in range(5000):
+            shape = ("b", [shape])
+        t = Tree.build(shape)
+        assert t.size == 5001
+        assert t.height == 5000
+
+    def test_to_shape_roundtrip(self):
+        shape = ("a", ["b", ("c", ["d", "e"]), "f"])
+        assert Tree.build(shape).to_shape() == shape
+
+    def test_empty_tree_rejected(self):
+        with pytest.raises(ValueError):
+            Tree([], [])
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            Tree(["a", "b"], [-1])
+
+    def test_non_root_first_node_rejected(self):
+        with pytest.raises(ValueError):
+            Tree(["a", "b"], [0, -1])
+
+    def test_forward_parent_pointer_rejected(self):
+        with pytest.raises(ValueError):
+            Tree(["a", "b", "c"], [-1, 2, 0])
+
+    def test_non_preorder_ids_rejected(self):
+        # 0 -> {1, 2}, but 3 is a child of 1: subtree of 1 is {1, 3}, not
+        # contiguous.
+        with pytest.raises(ValueError):
+            Tree(["a", "b", "c", "d"], [-1, 0, 0, 1])
+
+
+class TestNavigation:
+    def test_parent_child_links(self, mixed_tree):
+        t = mixed_tree
+        assert [n.label for n in t.root.children] == ["b", "c", "b"]
+        c = t.node(2)
+        assert c.label == "c"
+        assert c.parent == t.root
+        assert [k.label for k in c.children] == ["a", "b", "a"]
+
+    def test_sibling_links(self, mixed_tree):
+        t = mixed_tree
+        first, second, third = t.root.children
+        assert first.next_sibling == second
+        assert second.prev_sibling == first
+        assert second.next_sibling == third
+        assert third.next_sibling is None
+        assert first.prev_sibling is None
+
+    def test_first_last_flags(self, mixed_tree):
+        t = mixed_tree
+        first, second, third = t.root.children
+        assert first.is_first_sibling and not first.is_last_sibling
+        assert not second.is_first_sibling and not second.is_last_sibling
+        assert third.is_last_sibling and not third.is_first_sibling
+        assert t.root.is_first_sibling and t.root.is_last_sibling
+
+    def test_depths(self, mixed_tree):
+        assert mixed_tree.depths == (0, 1, 1, 2, 2, 2, 1, 2)
+        assert mixed_tree.height == 2
+
+    def test_child_indexes(self, mixed_tree):
+        assert mixed_tree.child_indexes[1] == 0
+        assert mixed_tree.child_indexes[2] == 1
+        assert mixed_tree.child_indexes[6] == 2
+
+    def test_subtree_sizes(self, mixed_tree):
+        assert mixed_tree.subtree_sizes[0] == 8
+        assert mixed_tree.subtree_sizes[2] == 4
+        assert mixed_tree.subtree_sizes[6] == 2
+
+    def test_descendant_ids_contiguous(self, mixed_tree):
+        assert list(mixed_tree.descendant_ids(2)) == [3, 4, 5]
+        assert list(mixed_tree.subtree_ids(6)) == [6, 7]
+
+    def test_is_descendant(self, mixed_tree):
+        assert mixed_tree.is_descendant(3, 2)
+        assert mixed_tree.is_descendant(3, 0)
+        assert not mixed_tree.is_descendant(2, 3)
+        assert not mixed_tree.is_descendant(2, 2)
+        assert not mixed_tree.is_descendant(6, 2)
+
+    def test_iter_ancestors(self, mixed_tree):
+        assert [n.node_id for n in mixed_tree.node(4).iter_ancestors()] == [2, 0]
+
+    def test_iter_descendants_document_order(self, mixed_tree):
+        ids = [n.node_id for n in mixed_tree.node(2).iter_descendants()]
+        assert ids == [3, 4, 5]
+
+
+class TestSubtreeExtraction:
+    def test_subtree_copy(self, mixed_tree):
+        sub = mixed_tree.subtree(2)
+        assert sub.labels == ("c", "a", "b", "a")
+        assert sub.parent == (-1, 0, 0, 0)
+
+    def test_subtree_of_root_is_whole_tree(self, mixed_tree):
+        assert mixed_tree.subtree(0) == mixed_tree
+
+    def test_subtree_of_leaf(self, mixed_tree):
+        assert mixed_tree.subtree(1) == Tree.leaf("b")
+
+
+class TestEqualityAndDisplay:
+    def test_structural_equality(self):
+        assert Tree.build(("a", ["b"])) == Tree.build(("a", ["b"]))
+        assert Tree.build(("a", ["b"])) != Tree.build(("a", ["c"]))
+        assert Tree.build(("a", ["b", "c"])) != Tree.build(("a", [("b", ["c"])]))
+
+    def test_hashable(self):
+        assert len({Tree.leaf("a"), Tree.leaf("a"), Tree.leaf("b")}) == 2
+
+    def test_pretty(self, mixed_tree):
+        lines = mixed_tree.pretty().splitlines()
+        assert lines[0] == "a"
+        assert lines[1] == "  b"
+        assert lines[3] == "    a"
+
+    def test_relabel(self, mixed_tree):
+        swapped = mixed_tree.relabel({"a": "b", "b": "a"})
+        assert swapped.labels[0] == "b"
+        assert swapped.labels[1] == "a"
+        assert swapped.parent == mixed_tree.parent
+
+    def test_alphabet(self, mixed_tree):
+        assert mixed_tree.alphabet == frozenset({"a", "b", "c"})
+
+    def test_len(self, mixed_tree):
+        assert len(mixed_tree) == 8

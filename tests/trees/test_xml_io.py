@@ -1,0 +1,152 @@
+"""Tests for the hand-rolled XML reader/writer."""
+
+import pytest
+
+from repro.trees import Tree, XmlReadOptions, XmlSyntaxError, parse_xml, to_xml
+
+
+class TestBasicParsing:
+    def test_single_element(self):
+        assert parse_xml("<a/>").labels == ("a",)
+        assert parse_xml("<a></a>").labels == ("a",)
+
+    def test_nesting_and_order(self):
+        t = parse_xml("<r><x/><y><z/></y><x/></r>")
+        assert t.labels == ("r", "x", "y", "z", "x")
+        assert t.parent == (-1, 0, 0, 2, 0)
+
+    def test_whitespace_between_elements(self):
+        t = parse_xml("<r>\n  <x/>\n  <y/>\n</r>")
+        assert t.labels == ("r", "x", "y")
+
+    def test_xml_declaration_and_doctype_skipped(self):
+        t = parse_xml('<?xml version="1.0"?><!DOCTYPE r SYSTEM "r.dtd"><r/>')
+        assert t.labels == ("r",)
+
+    def test_comments_skipped(self):
+        t = parse_xml("<r><!-- note --><x/><!-- <fake/> --></r>")
+        assert t.labels == ("r", "x")
+
+    def test_processing_instructions_skipped(self):
+        t = parse_xml("<r><?php echo ?><x/></r>")
+        assert t.labels == ("r", "x")
+
+    def test_names_with_punctuation(self):
+        t = parse_xml("<ns:doc><my-tag.v2/></ns:doc>")
+        assert t.labels == ("ns:doc", "my-tag.v2")
+
+    def test_text_ignored_by_default(self):
+        t = parse_xml("<r>hello <x/> world</r>")
+        assert t.labels == ("r", "x")
+
+
+class TestAttributesAndText:
+    def test_attributes_ignored_by_default(self):
+        t = parse_xml('<talk date="15-Dec-2010"><speaker uni="Leicester"/></talk>')
+        assert t.labels == ("talk", "speaker")
+
+    def test_attributes_as_children(self):
+        options = XmlReadOptions(attributes_as_children=True)
+        t = parse_xml('<talk date="15-Dec-2010"><speaker/></talk>', options)
+        assert t.labels == ("talk", "@date=15-Dec-2010", "speaker")
+        assert t.parent == (-1, 0, 0)
+
+    def test_text_as_children(self):
+        options = XmlReadOptions(text_as_children=True)
+        t = parse_xml("<r>hello<x/>world</r>", options)
+        assert t.labels == ("r", "#text", "x", "#text")
+
+    def test_whitespace_only_text_dropped(self):
+        options = XmlReadOptions(text_as_children=True)
+        t = parse_xml("<r>  \n <x/></r>", options)
+        assert t.labels == ("r", "x")
+
+    def test_cdata_counts_as_text(self):
+        options = XmlReadOptions(text_as_children=True)
+        t = parse_xml("<r><![CDATA[<not-a-tag/>]]></r>", options)
+        assert t.labels == ("r", "#text")
+
+    def test_entities_in_attributes(self):
+        options = XmlReadOptions(attributes_as_children=True)
+        t = parse_xml('<r a="x&lt;y&amp;z"/>', options)
+        assert t.labels[1] == "@a=x<y&z"
+
+    def test_numeric_entities(self):
+        options = XmlReadOptions(attributes_as_children=True)
+        t = parse_xml('<r a="&#65;&#x42;"/>', options)
+        assert t.labels[1] == "@a=AB"
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "<a>",
+            "<a></b>",
+            "<a/><b/>",
+            "<a attr=value/>",
+            "<a attr='x/>",
+            "<a><!-- unterminated </a>",
+            "< a/>",
+            "<a>&unknown;</a>",
+        ],
+    )
+    def test_malformed_rejected(self, text):
+        options = XmlReadOptions(text_as_children=True)
+        with pytest.raises(XmlSyntaxError):
+            parse_xml(text, options)
+
+    def test_error_carries_position(self):
+        try:
+            parse_xml("<a></b>")
+        except XmlSyntaxError as exc:
+            assert exc.position > 0
+        else:  # pragma: no cover
+            pytest.fail("expected XmlSyntaxError")
+
+
+class TestSerialization:
+    def test_roundtrip_structure(self):
+        t = Tree.build(("r", ["x", ("y", ["z"]), "x"]))
+        assert parse_xml(to_xml(t)) == t
+
+    def test_roundtrip_with_attributes(self):
+        options = XmlReadOptions(attributes_as_children=True)
+        source = '<talk date="now"><speaker uni="L"/></talk>'
+        t = parse_xml(source, options)
+        assert parse_xml(to_xml(t), options) == t
+
+    def test_pretty_printing_indents(self):
+        t = Tree.build(("r", [("x", ["y"])]))
+        text = to_xml(t, indent="  ")
+        assert text.splitlines() == ["<r>", "  <x>", "    <y/>", "  </x>", "</r>"]
+
+    def test_attribute_escaping(self):
+        options = XmlReadOptions(attributes_as_children=True)
+        t = parse_xml('<r a="x&lt;y"/>', options)
+        assert '&lt;' in to_xml(t)
+        assert parse_xml(to_xml(t), options) == t
+
+
+class TestRoundTripProperty:
+    """Serialization followed by parsing is the identity, on random trees."""
+
+    def test_random_trees_roundtrip(self):
+        import random
+
+        from repro.trees import random_tree
+
+        rng = random.Random(6)
+        for __ in range(50):
+            tree = random_tree(
+                rng.randint(1, 40), alphabet=("doc", "a", "b-1", "x.y"), rng=rng
+            )
+            assert parse_xml(to_xml(tree)) == tree
+            assert parse_xml(to_xml(tree, indent="  ")) == tree
+
+    def test_deep_tree_roundtrip(self):
+        from repro.trees import chain
+
+        tree = chain(300, labels=("a", "b"))
+        assert parse_xml(to_xml(tree)) == tree

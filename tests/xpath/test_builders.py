@@ -1,0 +1,76 @@
+"""Tests for the Python builder algebra on AST nodes."""
+
+import pytest
+
+from repro.trees.axes import Axis
+from repro.xpath import ast, parse_node, parse_path
+
+
+class TestPathOperators:
+    def test_truediv_is_composition(self):
+        assert ast.CHILD / ast.PARENT == parse_path("child/parent")
+
+    def test_or_is_union(self):
+        assert (ast.LEFT | ast.RIGHT) == parse_path("left | right")
+
+    def test_getitem_is_filter(self):
+        assert ast.CHILD[ast.label("a")] == parse_path("child[a]")
+
+    def test_getitem_coerces_path_to_exists(self):
+        assert ast.CHILD[ast.RIGHT] == parse_path("child[<right>]")
+
+    def test_star_plus_methods(self):
+        assert ast.CHILD.star() == parse_path("child*")
+        assert ast.CHILD.plus() == parse_path("child+")
+
+    def test_exists_method(self):
+        assert ast.CHILD.exists() == parse_node("<child>")
+
+    def test_chained_expression(self):
+        built = (ast.CHILD / ast.CHILD)[ast.label("a")].star()
+        assert built == parse_path("((child/child)[a])*")
+
+    def test_type_errors(self):
+        with pytest.raises(TypeError):
+            ast.CHILD / ast.label("a")  # node where path expected
+        with pytest.raises(TypeError):
+            ast.CHILD | "child"
+
+
+class TestNodeOperators:
+    def test_and_or_invert(self):
+        a, b = ast.label("a"), ast.label("b")
+        assert (a & b) == parse_node("a and b")
+        assert (a | b) == parse_node("a or b")
+        assert ~a == parse_node("not a")
+
+    def test_coercion_of_paths_in_node_position(self):
+        a = ast.label("a")
+        assert (a & ast.CHILD) == parse_node("a and <child>")
+        assert (a | ast.RIGHT) == parse_node("a or <right>")
+
+    def test_within_builder(self):
+        assert ast.within(ast.label("a")) == parse_node("W(a)")
+        assert ast.within(ast.CHILD) == parse_node("W(<child>)")
+
+
+class TestConstants:
+    def test_axis_constants(self):
+        assert ast.DESCENDANT == ast.Step(Axis.DESCENDANT)
+        assert ast.SELF == ast.Step(Axis.SELF)
+
+    def test_node_constants_match_parser(self):
+        assert ast.TRUE == parse_node("true")
+        assert ast.FALSE == parse_node("false")
+        assert ast.IS_ROOT == parse_node("root")
+        assert ast.IS_LEAF == parse_node("leaf")
+
+    def test_walk_enumerates_subexpressions(self):
+        expr = parse_path("child[a]/right")
+        kinds = [type(e).__name__ for e in expr.walk()]
+        assert kinds.count("Step") == 2
+        assert "Check" in kinds and "Label" in kinds
+
+    def test_str_uses_unparse(self):
+        assert str(parse_path("child[a]")) == "child[a]"
+        assert str(parse_node("not a")) == "not a"

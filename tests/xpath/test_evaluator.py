@@ -1,0 +1,193 @@
+"""Evaluator tests: unit semantics + the reference/optimized agreement
+property (the project's central correctness anchor)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.trees import Tree, chain, random_tree
+from repro.xpath import (
+    Evaluator,
+    ast,
+    converse,
+    evaluate_nodes,
+    evaluate_pairs,
+    node_set,
+    parse_node,
+    parse_path,
+    path_pairs,
+    select,
+)
+from repro.xpath.random_exprs import ExprSampler
+
+
+class TestNodeSemantics:
+    def test_label(self, mixed_tree):
+        assert evaluate_nodes(mixed_tree, ast.Label("a")) == {0, 3, 5, 7}
+
+    def test_true_false(self, mixed_tree):
+        assert evaluate_nodes(mixed_tree, ast.TRUE) == frozenset(range(8))
+        assert evaluate_nodes(mixed_tree, ast.FALSE) == frozenset()
+
+    def test_boolean_connectives(self, mixed_tree):
+        a = ast.Label("a")
+        b = ast.Label("b")
+        assert evaluate_nodes(mixed_tree, ast.And(a, ast.IS_LEAF)) == {3, 5, 7}
+        assert evaluate_nodes(mixed_tree, ast.Or(a, b)) == frozenset(range(8)) - {2}
+        assert evaluate_nodes(mixed_tree, ast.Not(a)) == {1, 2, 4, 6}
+
+    def test_exists(self, mixed_tree):
+        # Nodes with a b-child: 0 (child 1, 6) and 2 (child 4).
+        assert evaluate_nodes(mixed_tree, parse_node("<child[b]>")) == {0, 2}
+
+    def test_constants(self, mixed_tree):
+        assert evaluate_nodes(mixed_tree, ast.IS_ROOT) == {0}
+        assert evaluate_nodes(mixed_tree, ast.IS_LEAF) == {1, 3, 4, 5, 7}
+        assert evaluate_nodes(mixed_tree, ast.IS_FIRST) == {0, 1, 3, 7}
+        assert evaluate_nodes(mixed_tree, ast.IS_LAST) == {0, 5, 6, 7}
+
+    def test_within_root_constant(self, mixed_tree):
+        # Inside its own subtree every node is the root.
+        assert evaluate_nodes(mixed_tree, parse_node("W(root)")) == frozenset(range(8))
+
+    def test_within_blocks_upward_navigation(self, mixed_tree):
+        # <parent[c]> holds at 3,4,5 globally, but W(<parent[c]>) never holds.
+        assert evaluate_nodes(mixed_tree, parse_node("parent[c]")) == {3, 4, 5}
+        assert evaluate_nodes(mixed_tree, parse_node("W(<parent[c]>)")) == frozenset()
+
+    def test_within_sees_subtree_only(self):
+        # "some b exists" within the subtree.
+        t = Tree.build(("a", [("a", ["b"]), "a"]))
+        got = evaluate_nodes(t, parse_node("W(<descendant_or_self[b]>)"))
+        assert got == {0, 1, 2}
+
+    def test_nested_within(self):
+        t = Tree.build(("a", [("b", ["a", "b"])]))
+        # W(not <right>) is true everywhere (each node is last in its scope).
+        assert evaluate_nodes(t, parse_node("W(not <right>)")) == {0, 1, 2, 3}
+
+
+class TestPathSemantics:
+    def test_step_pairs(self, mixed_tree):
+        assert evaluate_pairs(mixed_tree, ast.CHILD) == {
+            (0, 1), (0, 2), (0, 6), (2, 3), (2, 4), (2, 5), (6, 7),
+        }
+
+    def test_seq(self, mixed_tree):
+        got = evaluate_pairs(mixed_tree, parse_path("child/child"))
+        assert got == {(0, 3), (0, 4), (0, 5), (0, 7)}
+
+    def test_union(self, mixed_tree):
+        got = evaluate_pairs(mixed_tree, parse_path("left | right"))
+        assert (1, 2) in got and (2, 1) in got
+
+    def test_star_is_reflexive(self, mixed_tree):
+        got = evaluate_pairs(mixed_tree, parse_path("child*"))
+        assert all((n, n) in got for n in mixed_tree.node_ids)
+        assert got == evaluate_pairs(mixed_tree, ast.Step(ast.Axis.DESCENDANT_OR_SELF))
+
+    def test_general_star(self, mixed_tree):
+        # (child/child)* reaches even depths below.
+        got = evaluate_pairs(mixed_tree, parse_path("(child/child)*"))
+        assert (0, 3) in got and (0, 0) in got
+        assert (0, 2) not in got
+
+    def test_filter(self, mixed_tree):
+        got = evaluate_pairs(mixed_tree, parse_path("child[a]"))
+        assert got == {(2, 3), (2, 5), (6, 7)}
+        got = evaluate_pairs(mixed_tree, parse_path("descendant[a]"))
+        assert got == {(0, 3), (0, 5), (0, 7), (2, 3), (2, 5), (6, 7)}
+
+    def test_empty_path(self, mixed_tree):
+        assert evaluate_pairs(mixed_tree, ast.EmptyPath()) == set()
+
+    def test_select_from_root(self, mixed_tree):
+        assert select(mixed_tree, parse_path("child[b]/child")) == {7}
+
+    def test_image_and_preimage(self, mixed_tree):
+        ev = Evaluator(mixed_tree)
+        p = parse_path("child")
+        assert ev.image(p, {2}) == {3, 4, 5}
+        assert ev.preimage(p, {3, 7}) == {2, 6}
+
+
+class TestConverse:
+    @settings(max_examples=80, deadline=None)
+    @given(seed=st.integers(0, 10**9), budget=st.integers(1, 10), size=st.integers(1, 12))
+    def test_converse_inverts_relation(self, seed, budget, size):
+        rng = random.Random(seed)
+        sampler = ExprSampler(rng=rng)
+        expr = sampler.path(budget)
+        tree = random_tree(size, rng=rng)
+        forward = evaluate_pairs(tree, expr)
+        backward = evaluate_pairs(tree, converse(expr))
+        assert forward == {(b, a) for (a, b) in backward}
+
+    def test_converse_involution_semantics(self, mixed_tree):
+        p = parse_path("child[a]/descendant | right+")
+        assert evaluate_pairs(mixed_tree, converse(converse(p))) == evaluate_pairs(
+            mixed_tree, p
+        )
+
+
+class TestReferenceAgreement:
+    """The two independent evaluators must agree — on everything."""
+
+    @settings(max_examples=150, deadline=None)
+    @given(seed=st.integers(0, 10**9), budget=st.integers(1, 12), size=st.integers(1, 12))
+    def test_node_sets_agree(self, seed, budget, size):
+        rng = random.Random(seed)
+        sampler = ExprSampler(rng=rng)
+        expr = sampler.node(budget)
+        tree = random_tree(size, rng=rng)
+        assert set(evaluate_nodes(tree, expr)) == node_set(tree, expr)
+
+    @settings(max_examples=150, deadline=None)
+    @given(seed=st.integers(0, 10**9), budget=st.integers(1, 10), size=st.integers(1, 10))
+    def test_path_pairs_agree(self, seed, budget, size):
+        rng = random.Random(seed)
+        sampler = ExprSampler(rng=rng)
+        expr = sampler.path(budget)
+        tree = random_tree(size, rng=rng)
+        assert evaluate_pairs(tree, expr) == path_pairs(tree, expr)
+
+    def test_exhaustive_small_trees(self, small_trees):
+        suite = [
+            parse_node("W(<descendant[b]>) and not <right>"),
+            parse_node("<(child[a])*[leaf]>"),
+            parse_node("not W(<child[W(root)]>)"),
+        ]
+        for tree in small_trees:
+            for expr in suite:
+                assert set(evaluate_nodes(tree, expr)) == node_set(tree, expr)
+
+
+class TestEvaluatorCaching:
+    def test_repeated_queries_same_result(self, mixed_tree):
+        ev = Evaluator(mixed_tree)
+        expr = parse_node("<descendant[a]>")
+        first = ev.nodes(expr)
+        second = ev.nodes(expr)
+        assert first == second
+        assert first is second  # cached object
+
+    def test_scope_distinguished_in_cache(self, mixed_tree):
+        ev = Evaluator(mixed_tree)
+        expr = parse_node("root")
+        whole = ev.nodes(expr)
+        scoped = ev.nodes(expr, scope=2)
+        assert whole == {0}
+        assert scoped == {2}
+
+
+class TestDeepTrees:
+    def test_star_on_long_chain(self):
+        t = chain(300)
+        got = select(t, parse_path("child*[leaf]"))
+        assert got == {299}
+
+    def test_alternating_star(self):
+        t = chain(10, labels=("a", "b"))
+        got = select(t, parse_path("(child[b]/child[a])*"))
+        assert got == {0, 2, 4, 6, 8}

@@ -1,0 +1,100 @@
+"""Dialect/fragment classification tests."""
+
+import pytest
+
+from repro.trees.axes import Axis
+from repro.xpath import (
+    Dialect,
+    axes_used,
+    dialect,
+    filter_depth,
+    is_core_xpath,
+    is_downward,
+    is_regular_xpath,
+    parse_node,
+    parse_path,
+    star_height,
+    uses_within,
+)
+
+
+class TestDialectLadder:
+    @pytest.mark.parametrize(
+        "text",
+        ["child", "descendant[a]/parent+", "child[not <right[b]>]", "ancestor | left"],
+    )
+    def test_core_expressions(self, text):
+        expr = parse_path(text)
+        assert dialect(expr) is Dialect.CORE
+        assert is_core_xpath(expr) and is_regular_xpath(expr)
+
+    @pytest.mark.parametrize("text", ["(child/child)*", "(child[a])+", "(left|right)*"])
+    def test_regular_expressions(self, text):
+        expr = parse_path(text)
+        assert dialect(expr) is Dialect.REGULAR
+        assert not is_core_xpath(expr) and is_regular_xpath(expr)
+
+    @pytest.mark.parametrize("text", ["W(a)", "not W(<child>)", "<child[W(root)]>"])
+    def test_regular_w_expressions(self, text):
+        expr = parse_node(text)
+        assert dialect(expr) is Dialect.REGULAR_W
+        assert uses_within(expr)
+
+    def test_core_allows_single_axis_closure(self):
+        # s+ and s* over primitive steps stay Core (they are the built-in
+        # transitive axes).
+        assert dialect(parse_path("child+")) is Dialect.CORE
+        assert dialect(parse_path("right*")) is Dialect.CORE
+
+    def test_dialect_order(self):
+        assert Dialect.CORE <= Dialect.REGULAR <= Dialect.REGULAR_W
+        assert not Dialect.REGULAR_W <= Dialect.CORE
+
+
+class TestAxesUsed:
+    def test_primitive_attribution(self):
+        assert axes_used(parse_path("descendant/left")) == {Axis.CHILD, Axis.LEFT}
+        assert axes_used(parse_path("ancestor_or_self")) == {Axis.PARENT}
+
+    def test_self_contributes_nothing(self):
+        assert axes_used(parse_path("self")) == frozenset()
+
+    def test_following_counts_all(self):
+        assert axes_used(parse_path("following")) == {
+            Axis.CHILD, Axis.PARENT, Axis.LEFT, Axis.RIGHT,
+        }
+
+    def test_node_expression_axes(self):
+        assert axes_used(parse_node("<child> and not <right>")) == {
+            Axis.CHILD, Axis.RIGHT,
+        }
+
+
+class TestDownwardFragment:
+    @pytest.mark.parametrize(
+        "text", ["a", "<child[b]>", "W(<descendant>)", "<(child/child)*>", "leaf"]
+    )
+    def test_downward(self, text):
+        assert is_downward(parse_node(text))
+
+    @pytest.mark.parametrize("text", ["<parent>", "root", "first", "<right>", "<ancestor[a]>"])
+    def test_not_downward(self, text):
+        assert not is_downward(parse_node(text))
+
+
+class TestMetrics:
+    def test_star_height(self):
+        assert star_height(parse_path("child")) == 0
+        assert star_height(parse_path("child*")) == 1
+        assert star_height(parse_path("descendant")) == 1
+        assert star_height(parse_path("((child*)[a]/right)*")) == 2
+
+    def test_filter_depth(self):
+        assert filter_depth(parse_path("child")) == 0
+        assert filter_depth(parse_path("child[a]")) == 1
+        assert filter_depth(parse_path("child[<child[b]>]")) == 3  # Check, Exists, Check
+
+    def test_size(self):
+        assert parse_path("child").size == 1
+        assert parse_path("child/parent").size == 3
+        assert parse_node("a and b").size == 3

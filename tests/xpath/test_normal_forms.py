@@ -1,0 +1,96 @@
+"""Normal-form tests: modal form and sum-of-sum-free, semantics preserved."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.trees import random_tree
+from repro.xpath import ast as xp, node_set, parse_node, parse_path, path_pairs
+from repro.xpath.fragments import Dialect
+from repro.xpath.normal_forms import (
+    NotCoreXPath,
+    distribute_unions,
+    is_simple_node,
+    to_modal_form,
+)
+from repro.xpath.random_exprs import ExprSampler
+
+
+class TestModalForm:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "a",
+            "<child/parent>",
+            "<descendant[a]/right>",
+            "not <child[<right[b]>]>",
+            "<(child | parent)/left>",
+            "<child*[a]>",
+            "<?b/child>",
+            "<child[a][b]>",
+            "<ancestor+>",
+        ],
+    )
+    def test_shape_and_semantics(self, text, small_trees):
+        expr = parse_node(text)
+        modal = to_modal_form(expr)
+        assert is_simple_node(modal), f"{modal} is not simple"
+        for tree in small_trees[:60]:
+            assert node_set(tree, modal) == node_set(tree, expr)
+
+    @settings(max_examples=60, deadline=None)
+    @given(seed=st.integers(0, 10**9), budget=st.integers(1, 10), size=st.integers(1, 9))
+    def test_random_core_expressions(self, seed, budget, size):
+        rng = random.Random(seed)
+        expr = ExprSampler(rng=rng, dialect=Dialect.CORE).node(budget)
+        modal = to_modal_form(expr)
+        assert is_simple_node(modal)
+        tree = random_tree(size, rng=rng)
+        assert node_set(tree, modal) == node_set(tree, expr)
+
+    def test_self_star_collapses(self):
+        assert to_modal_form(parse_node("<self/child>")) == parse_node("<child>")
+
+    def test_general_star_rejected(self):
+        with pytest.raises(NotCoreXPath):
+            to_modal_form(parse_node("<(child/child)*>"))
+
+    def test_within_rejected(self):
+        with pytest.raises(NotCoreXPath):
+            to_modal_form(parse_node("W(a)"))
+
+    def test_simple_checker_rejects_compound_paths(self):
+        assert not is_simple_node(parse_node("<child/parent>"))
+        assert is_simple_node(parse_node("<child[a and <right>]>"))
+
+
+class TestDistributeUnions:
+    def test_flat_union(self):
+        members = distribute_unions(parse_path("child | parent | right"))
+        assert len(members) == 3
+
+    def test_distribution_over_composition(self):
+        members = distribute_unions(parse_path("(child | parent)/(left | right)"))
+        assert len(members) == 4
+        assert all(not isinstance(m, xp.Union) for m in members)
+
+    def test_empty_path_vanishes(self):
+        assert distribute_unions(parse_path("0 | child")) == [parse_path("child")]
+
+    def test_union_under_star_kept(self):
+        members = distribute_unions(parse_path("(child | parent)*"))
+        assert len(members) == 1
+        assert isinstance(members[0], xp.Star)
+
+    @settings(max_examples=60, deadline=None)
+    @given(seed=st.integers(0, 10**9), budget=st.integers(1, 10), size=st.integers(1, 9))
+    def test_union_of_members_is_original(self, seed, budget, size):
+        rng = random.Random(seed)
+        expr = ExprSampler(rng=rng).path(budget)
+        members = distribute_unions(expr)
+        tree = random_tree(size, rng=rng)
+        rebuilt: set = set()
+        for member in members:
+            rebuilt |= path_pairs(tree, member)
+        assert rebuilt == path_pairs(tree, expr)

@@ -1,0 +1,164 @@
+"""Parser and pretty-printer tests (round-trip properties included)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.trees.axes import Axis
+from repro.xpath import XPathSyntaxError, ast, parse_node, parse_path, unparse
+from repro.xpath.fragments import Dialect
+from repro.xpath.random_exprs import ExprSampler
+
+
+class TestPathParsing:
+    def test_single_axes(self):
+        assert parse_path("child") == ast.CHILD
+        assert parse_path("parent") == ast.PARENT
+        assert parse_path("left") == ast.LEFT
+        assert parse_path("right") == ast.RIGHT
+        assert parse_path(".") == ast.SELF
+        assert parse_path("self") == ast.SELF
+
+    def test_derived_axes(self):
+        assert parse_path("descendant") == ast.DESCENDANT
+        assert parse_path("following-sibling") == ast.FOLLOWING_SIBLING
+        assert parse_path("ancestor_or_self") == ast.Step(Axis.ANCESTOR_OR_SELF)
+
+    def test_arrow_aliases(self):
+        assert parse_path("↓/↑") == ast.Seq(ast.CHILD, ast.PARENT)
+        assert parse_path("→+") == ast.plus(ast.RIGHT)
+
+    def test_composition_left_associative(self):
+        assert parse_path("child/parent/right") == ast.Seq(
+            ast.Seq(ast.CHILD, ast.PARENT), ast.RIGHT
+        )
+
+    def test_union_binds_weaker_than_composition(self):
+        assert parse_path("child/parent | right") == ast.Union(
+            ast.Seq(ast.CHILD, ast.PARENT), ast.RIGHT
+        )
+
+    def test_star_and_plus(self):
+        assert parse_path("child*") == ast.Star(ast.CHILD)
+        assert parse_path("child+") == ast.Seq(ast.CHILD, ast.Star(ast.CHILD))
+        assert parse_path("(child/right)*") == ast.Star(ast.Seq(ast.CHILD, ast.RIGHT))
+
+    def test_filter_desugars_to_check(self):
+        assert parse_path("child[a]") == ast.Seq(ast.CHILD, ast.Check(ast.Label("a")))
+
+    def test_nested_filters(self):
+        expr = parse_path("child[a][b]")
+        assert expr == ast.Seq(
+            ast.Seq(ast.CHILD, ast.Check(ast.Label("a"))), ast.Check(ast.Label("b"))
+        )
+
+    def test_check_atom(self):
+        assert parse_path("?a") == ast.Check(ast.Label("a"))
+        assert parse_path("?(a and b)") == ast.Check(
+            ast.And(ast.Label("a"), ast.Label("b"))
+        )
+
+    def test_empty_path(self):
+        assert parse_path("0") == ast.EmptyPath()
+
+    def test_parentheses(self):
+        assert parse_path("child/(parent | right)") == ast.Seq(
+            ast.CHILD, ast.Union(ast.PARENT, ast.RIGHT)
+        )
+
+    @pytest.mark.parametrize("text", ["", "child/", "[a]", "child |", "(child", "child)"])
+    def test_malformed_rejected(self, text):
+        with pytest.raises(XPathSyntaxError):
+            parse_path(text)
+
+
+class TestNodeParsing:
+    def test_label(self):
+        assert parse_node("title") == ast.Label("title")
+
+    def test_quoted_label_collision(self):
+        assert parse_node('"child"') == ast.Label("child")
+        assert parse_node('"not"') == ast.Label("not")
+
+    def test_constants(self):
+        assert parse_node("true") == ast.TRUE
+        assert parse_node("false") == ast.FALSE
+        assert parse_node("root") == ast.IS_ROOT
+        assert parse_node("leaf") == ast.IS_LEAF
+        assert parse_node("first") == ast.IS_FIRST
+        assert parse_node("last") == ast.IS_LAST
+
+    def test_boolean_precedence(self):
+        assert parse_node("a or b and c") == ast.Or(
+            ast.Label("a"), ast.And(ast.Label("b"), ast.Label("c"))
+        )
+        assert parse_node("not a and b") == ast.And(
+            ast.Not(ast.Label("a")), ast.Label("b")
+        )
+
+    def test_exists_brackets(self):
+        assert parse_node("<child/parent>") == ast.Exists(
+            ast.Seq(ast.CHILD, ast.PARENT)
+        )
+
+    def test_axis_word_starts_path_in_node_context(self):
+        assert parse_node("child[b]") == ast.Exists(
+            ast.Seq(ast.CHILD, ast.Check(ast.Label("b")))
+        )
+
+    def test_within(self):
+        assert parse_node("W(a)") == ast.Within(ast.Label("a"))
+        assert parse_node("within(a or b)") == ast.Within(
+            ast.Or(ast.Label("a"), ast.Label("b"))
+        )
+
+    @pytest.mark.parametrize("text", ["", "and a", "W a", "<child", "not"])
+    def test_malformed_rejected(self, text):
+        with pytest.raises(XPathSyntaxError):
+            parse_node(text)
+
+
+class TestRoundTrip:
+    SAMPLES_PATH = [
+        "child",
+        "descendant[i]",
+        "child*[a]/descendant | parent",
+        "(child[a]/right)+",
+        "?(not a)/child",
+        "child[not <right>]/parent+",
+        "0 | self",
+    ]
+    SAMPLES_NODE = [
+        "a",
+        "not <child[b]> and W(<descendant> or root)",
+        "leaf or first or last",
+        '"child" and a',
+        "W(W(not a))",
+    ]
+
+    @pytest.mark.parametrize("text", SAMPLES_PATH)
+    def test_path_roundtrip(self, text):
+        expr = parse_path(text)
+        assert parse_path(unparse(expr)) == expr
+
+    @pytest.mark.parametrize("text", SAMPLES_NODE)
+    def test_node_roundtrip(self, text):
+        expr = parse_node(text)
+        assert parse_node(unparse(expr)) == expr
+
+    @settings(max_examples=200, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10**9), budget=st.integers(1, 14))
+    def test_random_path_roundtrip(self, seed, budget):
+        import random
+
+        sampler = ExprSampler(rng=random.Random(seed), dialect=Dialect.REGULAR_W)
+        expr = sampler.path(budget)
+        assert parse_path(unparse(expr)) == expr
+
+    @settings(max_examples=200, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10**9), budget=st.integers(1, 14))
+    def test_random_node_roundtrip(self, seed, budget):
+        import random
+
+        sampler = ExprSampler(rng=random.Random(seed), dialect=Dialect.REGULAR_W)
+        expr = sampler.node(budget)
+        assert parse_node(unparse(expr)) == expr

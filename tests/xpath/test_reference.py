@@ -1,0 +1,50 @@
+"""Unit tests for the reference-semantics helpers (the spec's vocabulary)."""
+
+from repro.trees import Tree
+from repro.xpath.reference import compose, transitive_reflexive_closure
+
+
+class TestCompose:
+    def test_basic_composition(self):
+        left = {(0, 1), (0, 2)}
+        right = {(1, 3), (2, 3), (2, 4)}
+        assert compose(left, right) == {(0, 3), (0, 4)}
+
+    def test_empty_operands(self):
+        assert compose(set(), {(0, 1)}) == set()
+        assert compose({(0, 1)}, set()) == set()
+
+    def test_composition_is_associative(self):
+        a = {(0, 1), (1, 2)}
+        b = {(1, 1), (2, 0)}
+        c = {(0, 2), (1, 0)}
+        assert compose(compose(a, b), c) == compose(a, compose(b, c))
+
+    def test_identity_neutral(self):
+        rel = {(0, 1), (2, 2)}
+        identity = {(n, n) for n in range(3)}
+        assert compose(rel, identity) == rel
+        assert compose(identity, rel) == rel
+
+
+class TestClosure:
+    def test_reflexive_part(self):
+        closed = transitive_reflexive_closure(set(), range(3))
+        assert closed == {(0, 0), (1, 1), (2, 2)}
+
+    def test_chain_closure(self):
+        relation = {(0, 1), (1, 2), (2, 3)}
+        closed = transitive_reflexive_closure(relation, range(4))
+        assert (0, 3) in closed and (1, 3) in closed
+        assert (3, 0) not in closed
+
+    def test_cycle_closure(self):
+        relation = {(0, 1), (1, 0)}
+        closed = transitive_reflexive_closure(relation, range(2))
+        assert closed == {(0, 0), (0, 1), (1, 0), (1, 1)}
+
+    def test_idempotent(self):
+        relation = {(0, 1), (1, 2)}
+        once = transitive_reflexive_closure(relation, range(3))
+        twice = transitive_reflexive_closure(once, range(3))
+        assert once == twice

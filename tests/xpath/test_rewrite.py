@@ -1,0 +1,144 @@
+"""Rewrite-engine tests: targeted rules + global soundness property."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.trees import random_tree
+from repro.xpath import ast, node_set, parse_node, parse_path, path_pairs, simplify
+from repro.xpath.random_exprs import ExprSampler
+
+
+def simp(text, parse=parse_path):
+    return simplify(parse(text))
+
+
+class TestPathRules:
+    def test_unit_elimination(self):
+        assert simp("self/child/self") == ast.CHILD
+
+    def test_zero_annihilates(self):
+        assert simp("child/0/parent") == ast.EmptyPath()
+        assert simp("0 | child") == ast.CHILD
+
+    def test_union_dedup(self):
+        assert simp("child | child") == ast.CHILD
+
+    def test_filter_true_elimination(self):
+        assert simp("child[true]") == ast.CHILD
+
+    def test_filter_false_empties(self):
+        assert simp("child[false]") == ast.EmptyPath()
+
+    def test_filter_fusion(self):
+        got = simp("child[a][b]")
+        assert got == ast.Seq(ast.CHILD, ast.Check(ast.And(ast.Label("a"), ast.Label("b"))))
+
+    def test_child_star_is_descendant_or_self(self):
+        assert simp("child*") == ast.Step(ast.Axis.DESCENDANT_OR_SELF)
+
+    def test_child_plus_is_descendant(self):
+        assert simp("child+") == ast.DESCENDANT
+
+    def test_right_star(self):
+        assert simp("right*") == ast.Union(ast.SELF, ast.FOLLOWING_SIBLING)
+
+    def test_star_star_collapse(self):
+        assert simp("(child*)*") == ast.Step(ast.Axis.DESCENDANT_OR_SELF)
+
+    def test_star_of_test_is_self(self):
+        assert simp("(?a)*") == ast.SELF
+
+    def test_star_absorbs_self_member(self):
+        got = simp("(self | child/parent)*")
+        assert got == ast.Star(ast.Seq(ast.CHILD, ast.PARENT))
+
+    def test_self_descendant_union(self):
+        assert simp("self | descendant") == ast.Step(ast.Axis.DESCENDANT_OR_SELF)
+
+    def test_descendant_star(self):
+        assert simp("descendant*") == ast.Step(ast.Axis.DESCENDANT_OR_SELF)
+
+
+class TestNodeRules:
+    def test_double_negation(self):
+        assert simp("not not a", parse_node) == ast.Label("a")
+
+    def test_conjunction_units(self):
+        assert simp("a and true", parse_node) == ast.Label("a")
+        assert simp("a and false", parse_node) == ast.FALSE
+        assert simp("a or false", parse_node) == ast.Label("a")
+        assert simp("a or true", parse_node) == ast.TRUE
+
+    def test_contradiction_and_tautology(self):
+        assert simp("a and not a", parse_node) == ast.FALSE
+        assert simp("a or not a", parse_node) == ast.TRUE
+
+    def test_exists_self_is_true(self):
+        assert simp("<self>", parse_node) == ast.TRUE
+
+    def test_exists_star_is_true(self):
+        assert simp("<(child/parent)*>", parse_node) == ast.TRUE
+
+    def test_exists_check_unwraps(self):
+        assert simp("<?a>", parse_node) == ast.Label("a")
+
+    def test_exists_union_splits(self):
+        got = simp("<child[a] | 0>", parse_node)
+        assert got == ast.Exists(ast.Seq(ast.CHILD, ast.Check(ast.Label("a"))))
+
+    def test_leading_test_hoisted(self):
+        got = simp("<?a/child>", parse_node)
+        assert got == ast.And(ast.Label("a"), ast.Exists(ast.CHILD))
+
+    def test_within_of_label(self):
+        assert simp("W(a)", parse_node) == ast.Label("a")
+
+    def test_within_of_downward(self):
+        assert simp("W(<child[b]>)", parse_node) == parse_node("<child[b]>")
+
+    def test_within_of_upward_kept(self):
+        got = simp("W(<parent>)", parse_node)
+        assert isinstance(got, ast.Within)
+
+    def test_within_idempotent(self):
+        assert simp("W(W(<parent>))", parse_node) == simp("W(<parent>)", parse_node)
+
+
+class TestSoundness:
+    """Every simplification must preserve semantics on random inputs."""
+
+    @settings(max_examples=120, deadline=None)
+    @given(seed=st.integers(0, 10**9), budget=st.integers(1, 14), size=st.integers(1, 10))
+    def test_path_simplify_sound(self, seed, budget, size):
+        rng = random.Random(seed)
+        expr = ExprSampler(rng=rng).path(budget)
+        tree = random_tree(size, rng=rng)
+        assert path_pairs(tree, simplify(expr)) == path_pairs(tree, expr)
+
+    @settings(max_examples=120, deadline=None)
+    @given(seed=st.integers(0, 10**9), budget=st.integers(1, 14), size=st.integers(1, 10))
+    def test_node_simplify_sound(self, seed, budget, size):
+        rng = random.Random(seed)
+        expr = ExprSampler(rng=rng).node(budget)
+        tree = random_tree(size, rng=rng)
+        assert node_set(tree, simplify(expr)) == node_set(tree, expr)
+
+    @settings(max_examples=60, deadline=None)
+    @given(seed=st.integers(0, 10**9), budget=st.integers(1, 12))
+    def test_simplify_idempotent(self, seed, budget):
+        rng = random.Random(seed)
+        expr = ExprSampler(rng=rng).node(budget)
+        once = simplify(expr)
+        assert simplify(once) == once
+
+    @settings(max_examples=60, deadline=None)
+    @given(seed=st.integers(0, 10**9), budget=st.integers(1, 12))
+    def test_simplify_never_grows_much(self, seed, budget):
+        # Not a semantics check: the rewriter is a simplifier, so output
+        # size should not explode (allow small growth from e.g. axis
+        # unfoldings like right* -> self | following_sibling).
+        rng = random.Random(seed)
+        expr = ExprSampler(rng=rng).path(budget)
+        assert simplify(expr).size <= expr.size + 4

@@ -1,0 +1,84 @@
+"""Pretty-printer edge cases: precedence, quoting, sugar restoration."""
+
+import pytest
+
+from repro.trees.axes import Axis
+from repro.xpath import ast as xp, parse_node, parse_path, unparse
+
+
+class TestPrecedence:
+    def test_union_under_composition_parenthesized(self):
+        expr = xp.Seq(xp.Union(xp.CHILD, xp.PARENT), xp.RIGHT)
+        assert unparse(expr) == "(child | parent)/right"
+        assert parse_path(unparse(expr)) == expr
+
+    def test_composition_under_star_parenthesized(self):
+        expr = xp.Star(xp.Seq(xp.CHILD, xp.RIGHT))
+        assert unparse(expr) == "(child/right)*"
+
+    def test_or_under_and_parenthesized(self):
+        expr = xp.And(xp.Or(xp.Label("a"), xp.Label("b")), xp.Label("c"))
+        assert unparse(expr) == "(a or b) and c"
+        assert parse_node(unparse(expr)) == expr
+
+    def test_and_under_not_parenthesized(self):
+        expr = xp.Not(xp.And(xp.Label("a"), xp.Label("b")))
+        assert unparse(expr) == "not (a and b)"
+        assert parse_node(unparse(expr)) == expr
+
+    def test_nested_star(self):
+        expr = xp.Star(xp.Star(xp.CHILD))
+        assert parse_path(unparse(expr)) == expr
+
+
+class TestSugarRestoration:
+    def test_plus_restored(self):
+        assert unparse(parse_path("child+")) == "child+"
+        assert unparse(parse_path("(child/right)+")) == "(child/right)+"
+
+    def test_filter_restored(self):
+        assert unparse(parse_path("child[a][b]")) == "child[a][b]"
+
+    def test_constants_restored(self):
+        for text in ("true", "false", "root", "leaf", "first", "last"):
+            assert unparse(parse_node(text)) == text
+
+    def test_check_of_label(self):
+        assert unparse(xp.Check(xp.Label("a"))) == "?a"
+
+    def test_check_of_complex_test(self):
+        expr = xp.Check(xp.And(xp.Label("a"), xp.Label("b")))
+        assert unparse(expr) == "?(a and b)"
+        assert parse_path(unparse(expr)) == expr
+
+
+class TestQuoting:
+    @pytest.mark.parametrize("name", ["child", "not", "true", "W", "self", "0"])
+    def test_keyword_labels_quoted(self, name):
+        expr = xp.Label(name)
+        text = unparse(expr)
+        assert text == f'"{name}"'
+        assert parse_node(text) == expr
+
+    def test_exotic_label_quoted(self):
+        expr = xp.Label("weird name!")
+        assert parse_node(unparse(expr)) == expr
+
+    def test_ordinary_label_unquoted(self):
+        assert unparse(xp.Label("title")) == "title"
+
+    def test_xmlish_labels_roundtrip(self):
+        for name in ("#text", "@id=5", "ns:doc"):
+            expr = xp.Label(name)
+            assert parse_node(unparse(expr)) == expr
+
+
+class TestAllAxesPrintable:
+    @pytest.mark.parametrize("axis", list(Axis))
+    def test_every_axis_roundtrips(self, axis):
+        expr = xp.Step(axis)
+        assert parse_path(unparse(expr)) == expr
+
+    def test_unparse_rejects_non_expressions(self):
+        with pytest.raises(TypeError):
+            unparse("child")  # type: ignore[arg-type]

@@ -1,0 +1,182 @@
+"""XPath 2.0 path operators: intersection ``&`` and complementation ``~``.
+
+The literature this paper sits in contrasts the navigational core of XPath
+1.0 (no path booleans — not a relation algebra) with XPath 2.0, whose
+logical core closes path expressions under the booleans and becomes
+FO-complete for binary queries (ten Cate–Marx).  These tests cover parsing,
+both evaluators, converses, rewriting, fragment classification, and the T2
+upgrade the operators enable.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.logic import formula_pairs, parse_formula
+from repro.translations import (
+    UnsupportedFormula,
+    mtc_to_path_expr,
+    xpath_to_mtc,
+)
+from repro.trees import random_tree
+from repro.xpath import (
+    Dialect,
+    ast as xp,
+    converse,
+    dialect,
+    evaluate_pairs,
+    is_core_xpath,
+    is_downward,
+    parse_path,
+    path_pairs,
+    simplify,
+    unparse,
+    uses_path_booleans,
+)
+from repro.xpath.random_exprs import ExprSampler
+
+
+class TestSyntax:
+    def test_precedence_union_isect_seq(self):
+        expr = parse_path("child | parent & right/left")
+        assert expr == xp.Union(
+            xp.CHILD, xp.Intersect(xp.PARENT, xp.Seq(xp.RIGHT, xp.LEFT))
+        )
+
+    def test_complement_binds_tightly(self):
+        assert parse_path("~child/right") == xp.Seq(xp.Complement(xp.CHILD), xp.RIGHT)
+        assert parse_path("~(child/right)") == xp.Complement(xp.Seq(xp.CHILD, xp.RIGHT))
+
+    def test_operator_builders(self):
+        assert (xp.CHILD & xp.DESCENDANT) == parse_path("child & descendant")
+        assert ~xp.CHILD == parse_path("~child")
+
+    @settings(max_examples=100, deadline=None)
+    @given(seed=st.integers(0, 10**9), budget=st.integers(1, 12))
+    def test_roundtrip(self, seed, budget):
+        sampler = ExprSampler(rng=random.Random(seed), path_booleans=True)
+        expr = sampler.path(budget)
+        assert parse_path(unparse(expr)) == expr
+
+
+class TestSemantics:
+    def test_intersection_pairs(self, mixed_tree):
+        got = evaluate_pairs(mixed_tree, parse_path("child & descendant"))
+        assert got == evaluate_pairs(mixed_tree, parse_path("child"))
+
+    def test_complement_is_relative_to_all_pairs(self, mixed_tree):
+        got = evaluate_pairs(mixed_tree, parse_path("~child"))
+        n = mixed_tree.size
+        assert len(got) == n * n - len(evaluate_pairs(mixed_tree, xp.CHILD))
+
+    def test_proper_descendant_not_child(self, mixed_tree):
+        got = evaluate_pairs(mixed_tree, parse_path("descendant & ~child"))
+        assert got == {(0, 3), (0, 4), (0, 5), (0, 7)}
+
+    def test_sibling_difference(self, mixed_tree):
+        # following_sibling minus the immediate one.
+        got = evaluate_pairs(mixed_tree, parse_path("following_sibling & ~right"))
+        assert got == {(1, 6), (3, 5)}
+
+    def test_intersection_not_pointwise_on_sets(self, mixed_tree):
+        # The classic pitfall: image(p∩q, S) ⊊ image(p,S) ∩ image(q,S).
+        from repro.xpath import Evaluator
+
+        ev = Evaluator(mixed_tree)
+        p = parse_path("child[a]")
+        q = parse_path("child[b]")
+        sources = {0, 2}
+        naive = ev.image(p, sources) & ev.image(q, sources)
+        correct = ev.image(xp.Intersect(p, q), sources)
+        assert correct == set()  # no node is both a- and b-labelled
+        assert naive != correct or not naive  # guard: the pitfall is real here
+
+    @settings(max_examples=100, deadline=None)
+    @given(seed=st.integers(0, 10**9), budget=st.integers(1, 8), size=st.integers(1, 9))
+    def test_reference_agreement(self, seed, budget, size):
+        rng = random.Random(seed)
+        expr = ExprSampler(rng=rng, path_booleans=True).path(budget)
+        tree = random_tree(size, rng=rng)
+        assert path_pairs(tree, expr) == evaluate_pairs(tree, expr)
+
+    @settings(max_examples=60, deadline=None)
+    @given(seed=st.integers(0, 10**9), budget=st.integers(1, 8), size=st.integers(1, 8))
+    def test_converse_and_simplify(self, seed, budget, size):
+        rng = random.Random(seed)
+        expr = ExprSampler(rng=rng, path_booleans=True).path(budget)
+        tree = random_tree(size, rng=rng)
+        forward = evaluate_pairs(tree, expr)
+        assert evaluate_pairs(tree, converse(expr)) == {(b, a) for a, b in forward}
+        assert evaluate_pairs(tree, simplify(expr)) == forward
+
+
+class TestRewriteRules:
+    def test_intersection_idempotent(self):
+        assert simplify(parse_path("child & child")) == xp.CHILD
+
+    def test_intersection_with_empty(self):
+        assert simplify(parse_path("child & 0")) == xp.EmptyPath()
+
+    def test_contradiction(self):
+        assert simplify(parse_path("child & ~child")) == xp.EmptyPath()
+
+    def test_double_complement(self):
+        assert simplify(parse_path("~~child")) == xp.CHILD
+
+
+class TestClassification:
+    def test_dialect_core2(self):
+        assert dialect(parse_path("child & parent")) is Dialect.CORE2
+        assert uses_path_booleans(parse_path("~child"))
+        assert not is_core_xpath(parse_path("~child"))
+
+    def test_dialect_top_when_mixed(self):
+        assert dialect(parse_path("(child/child)* & parent")) is Dialect.REGULAR_W
+
+    def test_partial_order(self):
+        assert Dialect.CORE <= Dialect.CORE2 <= Dialect.REGULAR_W
+        assert Dialect.CORE <= Dialect.REGULAR <= Dialect.REGULAR_W
+        assert not Dialect.REGULAR <= Dialect.CORE2
+        assert not Dialect.CORE2 <= Dialect.REGULAR
+
+    def test_not_downward(self):
+        assert not is_downward(parse_path("child & child[a]"))
+
+
+class TestLogicSide:
+    @pytest.mark.parametrize(
+        "text",
+        ["child & descendant", "~child", "descendant & ~(child/child)", "~self & right"],
+    )
+    def test_forward_translation(self, text, small_trees):
+        expr = parse_path(text)
+        formula = xpath_to_mtc(expr)
+        for tree in small_trees[:50]:
+            assert path_pairs(tree, expr) == formula_pairs(tree, formula, "x", "y")
+
+    def test_t2_upgrade_intersection(self, small_trees):
+        formula = parse_formula("child(x,y) & descendant(x,y)")
+        expr = mtc_to_path_expr(formula, "x", "y", allow_path_booleans=True)
+        assert uses_path_booleans(expr)
+        for tree in small_trees[:50]:
+            assert formula_pairs(tree, formula, "x", "y") == path_pairs(tree, expr)
+
+    def test_t2_upgrade_negation(self, small_trees):
+        formula = parse_formula("~child(x,y)")
+        expr = mtc_to_path_expr(formula, "x", "y", allow_path_booleans=True)
+        for tree in small_trees[:50]:
+            assert formula_pairs(tree, formula, "x", "y") == path_pairs(tree, expr)
+
+    def test_flag_off_still_rejects(self):
+        with pytest.raises(UnsupportedFormula):
+            mtc_to_path_expr(parse_formula("child(x,y) & descendant(x,y)"), "x", "y")
+
+    @settings(max_examples=50, deadline=None)
+    @given(seed=st.integers(0, 10**9), budget=st.integers(1, 7), size=st.integers(1, 8))
+    def test_t1_random_with_booleans(self, seed, budget, size):
+        rng = random.Random(seed)
+        expr = ExprSampler(rng=rng, path_booleans=True).path(budget)
+        formula = xpath_to_mtc(expr)
+        tree = random_tree(size, rng=rng)
+        assert path_pairs(tree, expr) == formula_pairs(tree, formula, "x", "y")
