@@ -1,10 +1,18 @@
-"""Experiment C1 — query evaluation scaling.
+"""Experiment C1 — query evaluation scaling, sets vs bitset backends.
 
 Series: evaluation time of a fixed Regular XPath query as tree size grows,
-for (a) the optimized image/fixpoint engine and (b) the denotational
+for (a) the two optimized image/fixpoint engines — the AST-walking ``sets``
+backend and the compiled-plan ``bitset`` backend — and (b) the denotational
 reference semantics.  Expected shape: (a) grows roughly linearly in |T|,
 (b) at least quadratically — the gap that motivated Core XPath's isolation
-(Gottlob–Koch–Pichler O(|Q|·|T|) evaluation).
+(Gottlob–Koch–Pichler O(|Q|·|T|) evaluation).  Within (a), the bitset
+backend should hold a ≥10× lead on the C1 series at size 2048 (guarded by
+``benchmarks/compare_backends.py``; record results with
+``pytest benchmarks/bench_eval.py --benchmark-json=BENCH_eval.json``).
+
+Each timed call constructs a fresh evaluator, so what is measured is a full
+evaluation (per-tree index construction and plan compilation are amortized
+one-time costs, cached on the tree across iterations).
 """
 
 import random
@@ -12,7 +20,7 @@ import random
 import pytest
 
 from repro.trees import chain, random_tree
-from repro.xpath import Evaluator, parse_node, parse_path, path_pairs
+from repro.xpath import BACKENDS, Evaluator, parse_node, parse_path, path_pairs
 from repro.xpath.reference import node_set as reference_node_set
 
 QUERY = parse_node("<descendant[a and <right[b]>]> and not <child[not <child>]>")
@@ -21,10 +29,13 @@ STAR_QUERY = parse_path("(child[a] | child[b]/right)*")
 SIZES = (128, 512, 2048)
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @pytest.mark.parametrize("size", SIZES)
-def test_optimized_node_evaluation(benchmark, size):
+def test_node_evaluation(benchmark, size, backend):
+    """The C1 series proper: fixed node query, growing trees, both backends."""
     tree = random_tree(size, rng=random.Random(size))
-    result = benchmark(lambda: Evaluator(tree).nodes(QUERY))
+    benchmark.group = f"C1 nodes n={size}"
+    result = benchmark(lambda: Evaluator(tree, backend=backend).nodes(QUERY))
     assert result is not None
 
 
@@ -36,31 +47,58 @@ def test_reference_node_evaluation(benchmark, size):
     assert result is not None
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @pytest.mark.parametrize("size", SIZES)
-def test_star_image_from_root(benchmark, size):
+def test_star_image_from_root(benchmark, size, backend):
     tree = random_tree(size, rng=random.Random(size * 3 + 1))
-    evaluator = Evaluator(tree)
+    benchmark.group = f"C1 star n={size}"
+    evaluator = Evaluator(tree, backend=backend)
     result = benchmark(lambda: evaluator.image(STAR_QUERY, {0}))
     assert result is not None
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @pytest.mark.parametrize("shape", ("chain", "comb", "bushy"))
-def test_shape_sensitivity(benchmark, shape, shaped_trees):
+def test_shape_sensitivity(benchmark, shape, backend, shaped_trees):
     tree = shaped_trees[shape]
-    result = benchmark(lambda: Evaluator(tree).nodes(QUERY))
+    benchmark.group = f"C1 shape {shape}"
+    result = benchmark(lambda: Evaluator(tree, backend=backend).nodes(QUERY))
     assert result is not None
 
 
-def test_deep_chain_star(benchmark):
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_deep_chain_star(benchmark, backend):
     tree = chain(4096, labels=("a", "b"))
     q = parse_path("(child/child)*")
-    result = benchmark(lambda: Evaluator(tree).image(q, {0}))
+    benchmark.group = "C1 deep chain star"
+    evaluator = Evaluator(tree, backend=backend)
+    result = benchmark(lambda: evaluator.image(q, {0}))
     assert len(result) == 2048
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @pytest.mark.parametrize("size", (64, 128))
-def test_full_relation_materialization(benchmark, size):
-    # pairs() is the O(n · image) fallback — quadratic by construction.
+def test_full_relation_materialization(benchmark, size, backend):
+    # pairs() of a filtered axis: per-source images of the (compiled) plan.
+    tree = random_tree(size, rng=random.Random(size + 9))
+    benchmark.group = f"C1 pairs n={size}"
+    evaluator = Evaluator(tree, backend=backend)
+    result = benchmark(lambda: evaluator.pairs(parse_path("descendant[a]")))
+    assert result is not None
+
+
+@pytest.mark.parametrize("size", (64, 128))
+def test_full_relation_reference(benchmark, size):
     tree = random_tree(size, rng=random.Random(size + 9))
     result = benchmark(lambda: path_pairs(tree, parse_path("descendant[a]")))
+    assert result is not None
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_interval_pairs_fast_path(benchmark, backend):
+    # Bare transitive axes: output-linear interval enumeration.
+    tree = random_tree(512, rng=random.Random(17))
+    evaluator = Evaluator(tree, backend=backend)
+    benchmark.group = "C1 interval pairs"
+    result = benchmark(lambda: evaluator.pairs(parse_path("descendant")))
     assert result is not None

@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Sets-vs-bitset speedup table for the C1 evaluation series.
+
+Runs the C1 workloads (fixed Regular XPath queries, size-graded random
+trees) on both evaluation backends, prints a speedup table, and exits
+non-zero if the bitset backend falls below the required speedup on the C1
+node-evaluation series (default 2×, i.e. the regression gate used in CI;
+the headline target at size 2048 is ≥10×, recorded in BENCH_eval.json).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/compare_backends.py           # full
+    PYTHONPATH=src python benchmarks/compare_backends.py --quick   # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+import time
+
+from repro.trees import random_tree
+from repro.xpath import Evaluator, parse_node, parse_path
+
+QUERY = parse_node("<descendant[a and <right[b]>]> and not <child[not <child>]>")
+STAR_QUERY = parse_path("(child[a] | child[b]/right)*")
+
+
+def median_seconds(thunk, repetitions: int) -> float:
+    thunk()  # warm caches (tree index, compiled plans) outside the timing
+    times = []
+    for _ in range(repetitions):
+        start = time.perf_counter()
+        thunk()
+        times.append(time.perf_counter() - start)
+    times.sort()
+    return times[len(times) // 2]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="small sizes / few reps (CI smoke)"
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=2.0,
+        help="fail if the bitset backend is below this on any C1 node row",
+    )
+    args = parser.parse_args(argv)
+
+    sizes = (128, 512) if args.quick else (128, 512, 2048)
+    reps = 5 if args.quick else 15
+
+    rows = []
+    gate_failures = []
+    for size in sizes:
+        tree = random_tree(size, rng=random.Random(size))
+        sets_t = median_seconds(
+            lambda: Evaluator(tree, backend="sets").nodes(QUERY), reps
+        )
+        bits_t = median_seconds(
+            lambda: Evaluator(tree, backend="bitset").nodes(QUERY), reps
+        )
+        speedup = sets_t / bits_t
+        rows.append((f"C1 nodes n={size}", sets_t, bits_t, speedup))
+        if speedup < args.min_speedup:
+            gate_failures.append((f"C1 nodes n={size}", speedup))
+
+    for size in sizes:
+        tree = random_tree(size, rng=random.Random(size * 3 + 1))
+        sets_ev = Evaluator(tree, backend="sets")
+        bits_ev = Evaluator(tree, backend="bitset")
+        sets_t = median_seconds(lambda: sets_ev.image(STAR_QUERY, {0}), reps)
+        bits_t = median_seconds(lambda: bits_ev.image(STAR_QUERY, {0}), reps)
+        rows.append((f"star image n={size}", sets_t, bits_t, sets_t / bits_t))
+
+    header = f"{'workload':<22} {'sets':>12} {'bitset':>12} {'speedup':>9}"
+    print(header)
+    print("-" * len(header))
+    for name, sets_t, bits_t, speedup in rows:
+        print(
+            f"{name:<22} {sets_t * 1e3:>10.3f}ms {bits_t * 1e3:>10.3f}ms "
+            f"{speedup:>8.1f}x"
+        )
+
+    if gate_failures:
+        for name, speedup in gate_failures:
+            print(
+                f"FAIL: {name} speedup {speedup:.2f}x is below the "
+                f"{args.min_speedup:.1f}x regression gate",
+                file=sys.stderr,
+            )
+        return 1
+    print(f"OK: all C1 node rows at or above {args.min_speedup:.1f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

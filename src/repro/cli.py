@@ -37,6 +37,7 @@ from .decision import (
 )
 from .trees import Tree, parse_xml, to_xml
 from .xpath import (
+    BACKENDS,
     Evaluator,
     XPathSyntaxError,
     ast as xp,
@@ -78,7 +79,7 @@ def _describe_nodes(tree: Tree, nodes) -> str:
 def cmd_eval(args: argparse.Namespace) -> int:
     expr = parse_node(args.query)
     tree = _load_tree(args.file)
-    nodes = Evaluator(tree).nodes(expr)
+    nodes = Evaluator(tree, backend=args.backend).nodes(expr)
     print(f"{len(nodes)} node(s) satisfy {unparse(expr)}:")
     print(_describe_nodes(tree, nodes))
     return 0
@@ -87,7 +88,7 @@ def cmd_eval(args: argparse.Namespace) -> int:
 def cmd_select(args: argparse.Namespace) -> int:
     expr = parse_path(args.query)
     tree = _load_tree(args.file)
-    nodes = Evaluator(tree).image(expr, {0})
+    nodes = Evaluator(tree, backend=args.backend).image(expr, {0})
     print(f"{len(nodes)} node(s) reachable from the root via {unparse(expr)}:")
     print(_describe_nodes(tree, nodes))
     return 0
@@ -202,11 +203,23 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("eval", help="evaluate a node query on an XML document")
     p.add_argument("query")
     p.add_argument("file", nargs="?", help="XML file (default: stdin)")
+    p.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default="bitset",
+        help="evaluation engine (default: the compiled bitset backend)",
+    )
     p.set_defaults(func=cmd_eval)
 
     p = sub.add_parser("select", help="select nodes from the root via a path")
     p.add_argument("query")
     p.add_argument("file", nargs="?")
+    p.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default="bitset",
+        help="evaluation engine (default: the compiled bitset backend)",
+    )
     p.set_defaults(func=cmd_select)
 
     p = sub.add_parser("translate", help="FO(MTC) rendering and round trip")

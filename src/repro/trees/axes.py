@@ -186,6 +186,62 @@ def axis_pairs(
     return pairs
 
 
+#: Axes whose full relation is a union of preorder-id intervals.
+INTERVAL_AXES = (
+    Axis.DESCENDANT,
+    Axis.DESCENDANT_OR_SELF,
+    Axis.ANCESTOR,
+    Axis.ANCESTOR_OR_SELF,
+    Axis.FOLLOWING,
+    Axis.PRECEDING,
+)
+
+
+def interval_axis_pairs(
+    tree: Tree, axis: Axis, scope: int | None = None
+) -> set[tuple[int, int]] | None:
+    """The full relation of a transitive axis, generated output-linearly.
+
+    Because preorder ids make every subtree a contiguous interval, the
+    relations of ``descendant``/``ancestor``/``following``/``preceding``
+    (and the ``or_self`` closures) are unions of id ranges; enumerating the
+    ranges directly sidesteps the per-source image machinery (and, for
+    ``preceding``, the per-candidate subtree tests) that
+    :func:`axis_pairs` would otherwise pay for.  Returns ``None`` for axes
+    without interval structure — callers fall back to the generic path.
+    """
+    if axis not in INTERVAL_AXES:
+        return None
+    lo = 0 if scope is None else scope
+    hi = tree.size if scope is None else scope + tree.subtree_sizes[scope]
+    sizes = tree.subtree_sizes
+    pairs: set[tuple[int, int]] = set()
+    if axis in (Axis.DESCENDANT, Axis.DESCENDANT_OR_SELF):
+        keep_self = axis is Axis.DESCENDANT_OR_SELF
+        for v in range(lo, hi):
+            start = v if keep_self else v + 1
+            for m in range(start, v + sizes[v]):
+                pairs.add((v, m))
+        return pairs
+    if axis in (Axis.ANCESTOR, Axis.ANCESTOR_OR_SELF):
+        keep_self = axis is Axis.ANCESTOR_OR_SELF
+        for v in range(lo, hi):
+            start = v if keep_self else v + 1
+            for m in range(start, v + sizes[v]):
+                pairs.add((m, v))
+        return pairs
+    if axis is Axis.FOLLOWING:
+        for v in range(lo, hi):
+            for m in range(v + sizes[v], hi):
+                pairs.add((v, m))
+        return pairs
+    # PRECEDING is the converse of FOLLOWING.
+    for v in range(lo, hi):
+        for m in range(v + sizes[v], hi):
+            pairs.add((m, v))
+    return pairs
+
+
 def document_order_pairs(tree: Tree) -> set[tuple[int, int]]:
     """All strictly document-ordered pairs ``(n, m)`` with ``n < m``."""
     n = tree.size

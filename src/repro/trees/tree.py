@@ -45,6 +45,8 @@ class Tree:
         "_children",
         "_alphabet",
         "_shape",
+        "_postorder",
+        "_engine_index",
     )
 
     def __init__(self, labels: Sequence[str], parents: Sequence[int]):
@@ -118,6 +120,9 @@ class Tree:
         self._children = tuple(tuple(kids) for kids in children)
         self._alphabet: frozenset[str] | None = None
         self._shape = None
+        self._postorder: tuple[int, ...] | None = None
+        # Per-tree bitset index, built lazily by repro.xpath.engine.kernels.
+        self._engine_index = None
 
     # -- construction --------------------------------------------------------
 
@@ -176,6 +181,24 @@ class Tree:
             self._alphabet = frozenset(self.labels)
         return self._alphabet
 
+    @property
+    def postorder(self) -> tuple[int, ...]:
+        """Postorder rank of each node (lazy, computed without recursion).
+
+        Together with the preorder ids this gives the classic XPath
+        accelerator pre/post window: ``u`` is an ancestor of ``v`` iff
+        ``u < v`` and ``postorder[u] > postorder[v]``.  For preorder ids the
+        ranks satisfy ``postorder[v] = v + subtree_size(v) - depth(v) - 1``
+        (each of ``v``'s ancestors finishes after ``v``, everything else in
+        ``v``'s preorder prefix plus ``v``'s proper subtree finishes first).
+        """
+        if self._postorder is None:
+            self._postorder = tuple(
+                v + self.subtree_sizes[v] - self.depths[v] - 1
+                for v in range(self.size)
+            )
+        return self._postorder
+
     def node(self, node_id: int) -> Node:
         return Node(self, node_id)
 
@@ -226,16 +249,21 @@ class Tree:
     # -- conversion / display --------------------------------------------------
 
     def to_shape(self) -> "str | tuple[str, list]":
-        """The nested ``(label, children)`` shape (leaves as bare strings)."""
+        """The nested ``(label, children)`` shape (leaves as bare strings).
 
-        def shape_of(node_id: int):
-            kids = self._children[node_id]
-            if not kids:
-                return self.labels[node_id]
-            return (self.labels[node_id], [shape_of(c) for c in kids])
-
+        Built by an iterative reverse-document-order sweep (children have
+        larger ids than their parent, so their shapes are always ready),
+        which keeps deep chains clear of the recursion limit.
+        """
         if self._shape is None:
-            self._shape = shape_of(0)
+            shapes: list = [None] * self.size
+            for v in range(self.size - 1, -1, -1):
+                kids = self._children[v]
+                if kids:
+                    shapes[v] = (self.labels[v], [shapes[c] for c in kids])
+                else:
+                    shapes[v] = self.labels[v]
+            self._shape = shapes[0]
         return self._shape
 
     def pretty(self) -> str:

@@ -15,8 +15,11 @@ classification, and random samplers for property testing.
 """
 
 from . import ast
+from .engine import BitsetEvaluator
 from .evaluator import (
+    BACKENDS,
     Evaluator,
+    SetEvaluator,
     converse,
     evaluate_nodes,
     evaluate_pairs,
@@ -51,8 +54,11 @@ from .rewrite import simplify, simplify_node
 from .unparse import unparse
 
 __all__ = [
+    "BACKENDS",
+    "BitsetEvaluator",
     "Dialect",
     "Evaluator",
+    "SetEvaluator",
     "ExprSampler",
     "XPathSyntaxError",
     "ast",

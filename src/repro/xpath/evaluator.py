@@ -1,11 +1,18 @@
-"""The optimized query evaluation engine.
+"""The optimized query evaluation engines.
 
 Core XPath was isolated by Gottlob, Koch and Pichler precisely because it
-admits evaluation in time O(|Q| · |T|); this engine realizes that style of
-algorithm for the full Regular XPath(W) dialect:
+admits evaluation in time O(|Q| · |T|); this module realizes that style of
+algorithm for the full Regular XPath(W) dialect, in two interchangeable
+backends behind one front door::
+
+    Evaluator(tree)                    # backend="sets" (the default)
+    Evaluator(tree, backend="bitset")  # compiled plans over big-int bitmasks
+
+Both backends share the same algorithmic skeleton:
 
 * node expressions are evaluated bottom-up into node sets, one set per
-  subexpression (memoized per evaluation scope);
+  subexpression (memoized per evaluation scope, keyed *structurally* on the
+  expression so syntactically equal subqueries share work);
 * path expressions are never materialized as relations — only their *images*
   and *pre-images* of node sets are computed, with Kleene star as a BFS
   fixpoint (each star costs O(|edges|) per saturation rather than a
@@ -15,8 +22,14 @@ algorithm for the full Regular XPath(W) dialect:
 * the ``W`` operator is evaluated by *scoped* navigation (clipping steps at
   the subtree boundary) instead of materializing subtrees.
 
-The engine is cross-validated against the denotational reference semantics
-(:mod:`repro.xpath.reference`) by the property-test suite.
+The ``sets`` backend (:class:`SetEvaluator`, below) walks the AST with
+``set[int]`` node sets and per-node axis generators.  The ``bitset`` backend
+(:class:`repro.xpath.engine.BitsetEvaluator`) compiles the AST once into a
+plan of closures over big-int bitmasks and evaluates whole axes as
+shift-and-mask kernels; see :mod:`repro.xpath.engine` and DESIGN.md.  Both
+are cross-validated against the denotational reference semantics
+(:mod:`repro.xpath.reference`) — and against each other — by the
+property-test suite.
 """
 
 from __future__ import annotations
@@ -24,18 +37,22 @@ from __future__ import annotations
 from collections import deque
 from typing import Iterable
 
-from ..trees.axes import axis_steps, inverse_axis
+from ..trees.axes import axis_steps, interval_axis_pairs, inverse_axis
 from ..trees.tree import Tree
 from . import ast
 
 __all__ = [
     "Evaluator",
+    "SetEvaluator",
     "evaluate_nodes",
     "evaluate_path",
     "evaluate_pairs",
     "select",
     "converse",
 ]
+
+#: The available evaluation backends (constructor ``backend=`` values).
+BACKENDS = ("sets", "bitset")
 
 
 def converse(expr: ast.PathExpr) -> ast.PathExpr:
@@ -61,62 +78,127 @@ def converse(expr: ast.PathExpr) -> ast.PathExpr:
     raise TypeError(f"unknown path expression: {expr!r}")
 
 
+def _backend_class(name: str) -> type:
+    if name == "sets":
+        return SetEvaluator
+    if name == "bitset":
+        from .engine import BitsetEvaluator
+
+        return BitsetEvaluator
+    raise ValueError(f"unknown backend {name!r}; expected one of {BACKENDS}")
+
+
 class Evaluator:
     """Evaluates Regular XPath(W) expressions on one tree.
 
-    An evaluator owns per-tree memo tables (node sets per ``(expression,
-    scope)``), so reuse the same instance when issuing many queries against
-    the same document.
+    ``Evaluator(tree, backend=...)`` dispatches to the chosen backend
+    implementation (a subclass); both share this public API.  An evaluator
+    owns per-tree memo tables (node sets per ``(expression, scope)``), so
+    reuse the same instance when issuing many queries against the same
+    document.
     """
 
-    def __init__(self, tree: Tree):
-        self.tree = tree
-        self._node_cache: dict[tuple[int, int | None], frozenset[int]] = {}
-        # Keep every memoized expression alive so ids stay unambiguous.
-        self._pinned: dict[int, ast.NodeExpr] = {}
+    #: Name of the backend an instance implements (set by subclasses).
+    backend = ""
 
-    # -- public API -------------------------------------------------------
+    def __new__(cls, tree: Tree, backend: str | None = None):
+        if cls is Evaluator:
+            return super().__new__(_backend_class(backend or "sets"))
+        return super().__new__(cls)
+
+    def __init__(self, tree: Tree, backend: str | None = None):
+        if backend is not None and backend != self.backend:
+            raise ValueError(
+                f"{type(self).__name__} implements backend {self.backend!r}, "
+                f"not {backend!r}"
+            )
+        self.tree = tree
+
+    # -- public API (shared by both backends) ------------------------------
 
     def nodes(self, expr: ast.NodeExpr, scope: int | None = None) -> frozenset[int]:
         """The set of nodes satisfying ``expr`` (within ``scope`` if given)."""
-        key = (id(expr), scope)
-        cached = self._node_cache.get(key)
-        if cached is not None:
-            return cached
-        result = frozenset(self._node(expr, scope))
-        self._node_cache[key] = result
-        self._pinned[id(expr)] = expr
-        return result
+        raise NotImplementedError
 
     def image(
         self, expr: ast.PathExpr, sources: Iterable[int], scope: int | None = None
     ) -> set[int]:
         """All nodes reachable from ``sources`` via ``expr``."""
-        return self._image(expr, set(sources), scope)
+        raise NotImplementedError
 
     def preimage(
         self, expr: ast.PathExpr, targets: Iterable[int], scope: int | None = None
     ) -> set[int]:
         """All nodes from which ``expr`` reaches into ``targets``."""
-        return self._image(converse(expr), set(targets), scope)
+        return self.image(converse(expr), targets, scope)
 
     def pairs(self, expr: ast.PathExpr, scope: int | None = None) -> set[tuple[int, int]]:
-        """The full relation, via one image computation per source node."""
-        universe = self._universe(scope)
-        result: set[tuple[int, int]] = set()
-        for n in universe:
-            for m in self._image(expr, {n}, scope):
-                result.add((n, m))
-        return result
+        """The full relation denoted by ``expr``.
+
+        Bare transitive axes (``descendant``, ``ancestor``, ``following``,
+        ``preceding`` and the ``or_self`` closures) take an output-linear
+        interval fast path; everything else falls back to one image
+        computation per source node.
+        """
+        if isinstance(expr, ast.Step):
+            fast = interval_axis_pairs(self.tree, expr.axis, scope)
+            if fast is not None:
+                return fast
+        return self._pairs_by_source(expr, scope)
 
     def holds_at(self, expr: ast.NodeExpr, node_id: int) -> bool:
         """Does ``expr`` hold at ``node_id`` (whole-tree scope)?"""
         return node_id in self.nodes(expr)
 
-    # -- internals -------------------------------------------------------
+    # -- shared internals ---------------------------------------------------
 
     def _universe(self, scope: int | None) -> range:
         return self.tree.node_ids if scope is None else self.tree.subtree_ids(scope)
+
+    def _pairs_by_source(
+        self, expr: ast.PathExpr, scope: int | None
+    ) -> set[tuple[int, int]]:
+        result: set[tuple[int, int]] = set()
+        for n in self._universe(scope):
+            for m in self.image(expr, (n,), scope):
+                result.add((n, m))
+        return result
+
+
+class SetEvaluator(Evaluator):
+    """The ``sets`` backend: AST-walking evaluation over ``set[int]``.
+
+    Straightforward and allocation-heavy; kept both as the readable
+    specification of the evaluation strategy and as a cross-check for the
+    compiled bitset backend.
+    """
+
+    backend = "sets"
+
+    def __init__(self, tree: Tree, backend: str | None = None):
+        super().__init__(tree, backend)
+        # Memoized node sets, keyed structurally: AST nodes are frozen
+        # dataclasses, so syntactically equal subexpressions (even distinct
+        # objects) share one entry per scope.
+        self._node_cache: dict[tuple[ast.NodeExpr, int | None], frozenset[int]] = {}
+
+    # -- public API -------------------------------------------------------
+
+    def nodes(self, expr: ast.NodeExpr, scope: int | None = None) -> frozenset[int]:
+        key = (expr, scope)
+        cached = self._node_cache.get(key)
+        if cached is not None:
+            return cached
+        result = frozenset(self._node(expr, scope))
+        self._node_cache[key] = result
+        return result
+
+    def image(
+        self, expr: ast.PathExpr, sources: Iterable[int], scope: int | None = None
+    ) -> set[int]:
+        return self._image(expr, set(sources), scope)
+
+    # -- internals -------------------------------------------------------
 
     def _node(self, expr: ast.NodeExpr, scope: int | None) -> set[int]:
         tree = self.tree
@@ -198,23 +280,27 @@ class Evaluator:
 # ---------------------------------------------------------------------------
 
 
-def evaluate_nodes(tree: Tree, expr: ast.NodeExpr) -> frozenset[int]:
+def evaluate_nodes(
+    tree: Tree, expr: ast.NodeExpr, backend: str = "sets"
+) -> frozenset[int]:
     """One-shot node-set evaluation on ``tree``."""
-    return Evaluator(tree).nodes(expr)
+    return Evaluator(tree, backend=backend).nodes(expr)
 
 
 def evaluate_path(
-    tree: Tree, expr: ast.PathExpr, sources: Iterable[int]
+    tree: Tree, expr: ast.PathExpr, sources: Iterable[int], backend: str = "sets"
 ) -> set[int]:
     """One-shot image computation: nodes reachable from ``sources``."""
-    return Evaluator(tree).image(expr, sources)
+    return Evaluator(tree, backend=backend).image(expr, sources)
 
 
-def evaluate_pairs(tree: Tree, expr: ast.PathExpr) -> set[tuple[int, int]]:
+def evaluate_pairs(
+    tree: Tree, expr: ast.PathExpr, backend: str = "sets"
+) -> set[tuple[int, int]]:
     """One-shot full-relation evaluation (prefer images when possible)."""
-    return Evaluator(tree).pairs(expr)
+    return Evaluator(tree, backend=backend).pairs(expr)
 
 
-def select(tree: Tree, expr: ast.PathExpr) -> set[int]:
+def select(tree: Tree, expr: ast.PathExpr, backend: str = "sets") -> set[int]:
     """XPath-style selection: nodes reachable from the *root* via ``expr``."""
-    return Evaluator(tree).image(expr, {0})
+    return Evaluator(tree, backend=backend).image(expr, {0})

@@ -150,3 +150,67 @@ class TestEqualityAndDisplay:
 
     def test_len(self, mixed_tree):
         assert len(mixed_tree) == 8
+
+
+class TestToShapeDeep:
+    def test_to_shape_deep_chain_no_recursion_error(self):
+        # shape_of used to be recursive and overflow around depth ~1000.
+        from repro.trees import chain
+
+        t = chain(5000, labels=("a", "b"))
+        shape = t.to_shape()
+        depth = 0
+        while not isinstance(shape, str):
+            label, kids = shape
+            assert len(kids) == 1
+            shape = kids[0]
+            depth += 1
+        assert depth == 4999
+
+    def test_to_shape_roundtrips_deep(self):
+        from repro.trees import chain
+
+        t = chain(3000)
+        assert Tree.build(t.to_shape()) == t
+
+
+class TestPostorder:
+    def _reference_postorder(self, tree):
+        ranks = [0] * tree.size
+        counter = 0
+        stack = [(0, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if expanded:
+                ranks[node] = counter
+                counter += 1
+            else:
+                stack.append((node, True))
+                for child in reversed(tree.children_ids(node)):
+                    stack.append((child, False))
+        return tuple(ranks)
+
+    def test_postorder_matches_explicit_walk(self, mixed_tree):
+        assert mixed_tree.postorder == self._reference_postorder(mixed_tree)
+
+    def test_postorder_random_trees(self):
+        import random
+
+        from repro.trees import random_tree
+
+        for seed in range(25):
+            rng = random.Random(seed)
+            t = random_tree(rng.randint(1, 40), rng=rng)
+            assert t.postorder == self._reference_postorder(t)
+
+    def test_pre_post_window_characterizes_ancestry(self):
+        import random
+
+        from repro.trees import random_tree
+
+        t = random_tree(30, rng=random.Random(5))
+        post = t.postorder
+        for u in t.node_ids:
+            for v in t.node_ids:
+                is_anc = u < v and post[u] > post[v]
+                assert is_anc == t.is_descendant(v, u)

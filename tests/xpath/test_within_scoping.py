@@ -1,0 +1,199 @@
+"""Scoped (``W``-operator) axis edge cases, asserted identically on both
+evaluation backends and against the materialized ``subtree()`` ground truth.
+
+The ``W`` operator evaluates its test *in the subtree rooted at the current
+node*: the scope root must behave exactly like the root of a standalone
+tree (no parent, no siblings, nothing preceding it), and the horizontal
+document-order axes must clip at the subtree boundary."""
+
+import random
+
+import pytest
+
+from repro.trees import Tree, random_tree
+from repro.trees.axes import Axis, axis_image
+from repro.xpath import Evaluator, parse_node
+from repro.xpath.random_exprs import ExprSampler
+
+BACKENDS = ("sets", "bitset")
+
+
+def both(tree, expr, scope=None):
+    """Evaluate on both backends, assert agreement, return the node set."""
+    results = {
+        backend: set(Evaluator(tree, backend=backend).nodes(expr, scope))
+        for backend in BACKENDS
+    }
+    assert results["sets"] == results["bitset"], expr
+    return results["sets"]
+
+
+@pytest.fixture(scope="module")
+def bushy():
+    # a(b(a, b), c(a(b), b), a)  — ids 0..8, scope roots at every depth.
+    return Tree.build(
+        ("a", [("b", ["a", "b"]), ("c", [("a", ["b"]), "b"]), "a"])
+    )
+
+
+class TestScopeRootIsolation:
+    """The scope root has no parent and no siblings inside its scope."""
+
+    def test_no_parent_within_scope(self, bushy):
+        # Globally every non-root has a parent; under W nobody does at the top.
+        assert both(bushy, parse_node("<parent>")) == set(range(1, 9))
+        assert both(bushy, parse_node("W(<parent>)")) == set()
+
+    def test_no_siblings_within_scope(self, bushy):
+        assert both(bushy, parse_node("W(<right>)")) == set()
+        assert both(bushy, parse_node("W(<left>)")) == set()
+        assert both(bushy, parse_node("W(<right+>)")) == set()
+        assert both(bushy, parse_node("W(<left+>)")) == set()
+
+    def test_no_ancestor_within_scope(self, bushy):
+        assert both(bushy, parse_node("W(<ancestor>)")) == set()
+
+    def test_scoped_image_from_scope_root(self, bushy):
+        for scope in bushy.node_ids:
+            for backend in BACKENDS:
+                ev = Evaluator(bushy, backend=backend)
+                for text in ("parent", "right", "left", "ancestor"):
+                    from repro.xpath import parse_path
+
+                    assert ev.image(parse_path(text), {scope}, scope) == set(), (
+                        scope,
+                        text,
+                        backend,
+                    )
+
+
+class TestHorizontalClipping:
+    """``following``/``preceding`` stop at the scope's subtree boundary."""
+
+    def test_following_clipped(self, bushy):
+        # Node 2 ("b", second child of node 1) globally has following nodes,
+        # but within the subtree of node 1 only node 3 follows node 2.
+        ev = {b: Evaluator(bushy, backend=b) for b in BACKENDS}
+        from repro.xpath import parse_path
+
+        for backend, e in ev.items():
+            glob = e.image(parse_path("following"), {2})
+            scoped = e.image(parse_path("following"), {2}, scope=1)
+            assert scoped == {3}, backend
+            assert scoped < glob, backend
+
+    def test_preceding_clipped(self, bushy):
+        from repro.xpath import parse_path
+
+        for backend in BACKENDS:
+            e = Evaluator(bushy, backend=backend)
+            glob = e.image(parse_path("preceding"), {7})
+            scoped = e.image(parse_path("preceding"), {7}, scope=4)
+            # Within subtree(4) = {4,5,6,7}, only 5 and 6 precede 7.
+            assert scoped == {5, 6}, backend
+            assert scoped < glob, backend
+
+    def test_kernel_level_clipping_random(self):
+        rng = random.Random(77)
+        from repro.xpath.engine import from_ids, to_set, tree_index
+
+        for __ in range(25):
+            tree = random_tree(rng.randint(2, 25), rng=rng)
+            scope = rng.randrange(tree.size)
+            index = tree_index(tree)
+            sc = index.scope(scope)
+            members = set(tree.subtree_ids(scope))
+            for axis in (Axis.FOLLOWING, Axis.PRECEDING):
+                sources = {n for n in members if rng.random() < 0.5}
+                got = to_set(index.kernel(axis)(from_ids(sources), sc))
+                assert got == axis_image(tree, sources, axis, scope)
+                assert got <= members
+
+
+class TestWithinAtLeaf:
+    def test_leaf_scope_is_trivial(self, bushy):
+        # In a leaf's subtree the leaf is root, leaf, first and last at once.
+        leaves = both(bushy, parse_node("leaf"))
+        assert both(bushy, parse_node("W(root and leaf)")) >= leaves
+        assert both(bushy, parse_node("W(<child>)")) == both(
+            bushy, parse_node("<child>")
+        )
+
+    def test_leaf_scope_no_navigation(self, bushy):
+        # Any move off a leaf-scope root is impossible.
+        got = both(bushy, parse_node("leaf and W(<descendant | parent | right | left>)"))
+        assert got == set()
+
+
+class TestNestedWithin:
+    def test_nested_within_within(self, bushy):
+        # W(W φ) == W φ: the inner scope of the scope root is the same scope.
+        inner = both(bushy, parse_node("W(<descendant[b]>)"))
+        nested = both(bushy, parse_node("W(W(<descendant[b]>))"))
+        assert inner == nested
+
+    def test_within_under_navigation_inside_within(self, bushy):
+        # A W nested under navigation re-scopes at a *deeper* node.
+        expr = parse_node("W(<child[W(<child[b]>)]>)")
+        got = both(bushy, expr)
+        # Node 0: child 4 has a b-child within subtree(4) -> holds.
+        assert 0 in got
+        # Node 3 (subtree of 1): children of 3? none -> fails.
+        assert 3 not in got
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_random_nested_within_agree(self, backend):
+        rng = random.Random(2008)
+        sampler = ExprSampler(rng=rng)
+        from repro.xpath import ast
+        from repro.xpath.reference import node_set
+
+        for __ in range(30):
+            tree = random_tree(rng.randint(1, 10), rng=rng)
+            expr = ast.Within(ast.Within(sampler.node(5)))
+            got = set(Evaluator(tree, backend=backend).nodes(expr))
+            assert got == node_set(tree, expr)
+
+
+class TestSubtreeGroundTruth:
+    """n ⊨ W φ on T  iff  root ⊨ φ on the standalone copy subtree(n),
+    for both backends — the specification reading of ``W``."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_against_materialized_subtrees(self, backend):
+        rng = random.Random(424242)
+        sampler = ExprSampler(rng=rng)
+        for __ in range(20):
+            tree = random_tree(rng.randint(1, 12), rng=rng)
+            test = sampler.node(rng.randint(1, 8))
+            from repro.xpath import ast
+
+            within_holds = set(
+                Evaluator(tree, backend=backend).nodes(ast.Within(test))
+            )
+            for n in tree.node_ids:
+                standalone = Evaluator(tree.subtree(n), backend=backend)
+                assert (n in within_holds) == standalone.holds_at(test, 0), (
+                    tree.to_shape(),
+                    test,
+                    n,
+                )
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_scoped_evaluation_matches_subtree_copy(self, backend):
+        # nodes(φ, scope=s) on T must equal nodes(φ) on subtree(s), shifted.
+        rng = random.Random(11)
+        sampler = ExprSampler(rng=rng)
+        for __ in range(20):
+            tree = random_tree(rng.randint(2, 12), rng=rng)
+            scope = rng.randrange(tree.size)
+            expr = sampler.node(rng.randint(1, 8))
+            scoped = set(Evaluator(tree, backend=backend).nodes(expr, scope))
+            copied = set(
+                Evaluator(tree.subtree(scope), backend=backend).nodes(expr)
+            )
+            assert scoped == {n + scope for n in copied}, (
+                tree.to_shape(),
+                scope,
+                expr,
+            )
