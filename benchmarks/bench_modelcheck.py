@@ -1,16 +1,20 @@
 """Experiment C3b — FO(MTC) model-checking cost anatomy.
 
-Series: relational model-checking time as a function of (a) tree size for a
-fixed formula, (b) quantifier depth, (c) number of TC operators — the three
-knobs that the translation-vs-evaluation gap (C3) decomposes into.
+Series: model-checking time as a function of (a) tree size for a fixed
+formula, (b) quantifier depth, (c) number of TC operators — the three knobs
+that the translation-vs-evaluation gap (C3) decomposes into.  Every series
+runs on both checker backends (the row-wise ``table`` reference and the
+columnar ``bitset`` engine), so the recorded numbers double as the
+model-checking speedup table (see also ``compare_backends.py``, which gates
+on the TC-heavy series).
 """
 
 import random
 
 import pytest
 
-from repro.logic import ModelChecker, parse_formula
-from repro.trees import random_tree
+from repro.logic import CHECKER_BACKENDS, ModelChecker, parse_formula
+from repro.trees import random_deep_tree, random_tree
 
 EXISTS_TOWER = {
     1: "exists y1. child(x,y1)",
@@ -24,36 +28,63 @@ TC_FORMULAS = {
     2: "exists y. tc[u,v](child(u,v) & (exists w. tc[p,q](right(p,q))(u,w)))(x,y) & a(y)",
 }
 
+#: The TC-heavy sentence of the speedup gate: reachability of a last leaf
+#: through the union of both one-step relations.
+TC_HEAVY = (
+    "exists x. exists y. tc[u,v](child(u,v) | right(u,v))(x,y) "
+    "& last(y) & leaf(y)"
+)
 
+
+@pytest.mark.parametrize("backend", CHECKER_BACKENDS)
 @pytest.mark.parametrize("size", (16, 32, 64, 128))
-def test_size_scaling(benchmark, size):
+def test_size_scaling(benchmark, size, backend):
     tree = random_tree(size, rng=random.Random(size))
     formula = parse_formula("exists y. tc[u,v](child(u,v) & a(v))(x,y) & leaf(y)")
-    result = benchmark(lambda: ModelChecker(tree).node_set(formula, "x"))
+    result = benchmark(
+        lambda: ModelChecker(tree, backend=backend).node_set(formula, "x")
+    )
     assert isinstance(result, set)
 
 
+@pytest.mark.parametrize("backend", CHECKER_BACKENDS)
 @pytest.mark.parametrize("depth", sorted(EXISTS_TOWER))
-def test_quantifier_depth(benchmark, depth):
+def test_quantifier_depth(benchmark, depth, backend):
     tree = random_tree(48, rng=random.Random(7))
     formula = parse_formula(EXISTS_TOWER[depth])
-    result = benchmark(lambda: ModelChecker(tree).node_set(formula, "x"))
+    result = benchmark(
+        lambda: ModelChecker(tree, backend=backend).node_set(formula, "x")
+    )
     assert isinstance(result, set)
 
 
+@pytest.mark.parametrize("backend", CHECKER_BACKENDS)
 @pytest.mark.parametrize("tc_count", sorted(TC_FORMULAS))
-def test_tc_count(benchmark, tc_count):
+def test_tc_count(benchmark, tc_count, backend):
     tree = random_tree(32, rng=random.Random(9))
     formula = parse_formula(TC_FORMULAS[tc_count])
-    result = benchmark(lambda: ModelChecker(tree).node_set(formula, "x"))
+    result = benchmark(
+        lambda: ModelChecker(tree, backend=backend).node_set(formula, "x")
+    )
     assert isinstance(result, set)
 
 
-def test_checker_reuse_amortizes(benchmark):
+@pytest.mark.parametrize("backend", CHECKER_BACKENDS)
+@pytest.mark.parametrize("size", (64, 128, 256))
+def test_tc_heavy_sentence(benchmark, size, backend):
+    """The gate series: TC over child|right on deep trees."""
+    tree = random_deep_tree(size, rng=random.Random(size))
+    formula = parse_formula(TC_HEAVY)
+    result = benchmark(lambda: ModelChecker(tree, backend=backend).holds(formula))
+    assert isinstance(result, bool)
+
+
+@pytest.mark.parametrize("backend", CHECKER_BACKENDS)
+def test_checker_reuse_amortizes(benchmark, backend):
     """A ModelChecker memoizes per subformula; re-asking is near-free."""
     tree = random_tree(64, rng=random.Random(3))
     formula = parse_formula("exists y. tc[u,v](child(u,v))(x,y) & b(y)")
-    checker = ModelChecker(tree)
+    checker = ModelChecker(tree, backend=backend)
     checker.node_set(formula, "x")  # warm
     result = benchmark(lambda: checker.node_set(formula, "x"))
     assert isinstance(result, set)

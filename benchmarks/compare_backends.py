@@ -1,11 +1,15 @@
 #!/usr/bin/env python
-"""Sets-vs-bitset speedup table for the C1 evaluation series.
+"""Reference-vs-bitset speedup tables for the C1 and C3 series.
 
 Runs the C1 workloads (fixed Regular XPath queries, size-graded random
-trees) on both evaluation backends, prints a speedup table, and exits
-non-zero if the bitset backend falls below the required speedup on the C1
-node-evaluation series (default 2×, i.e. the regression gate used in CI;
-the headline target at size 2048 is ≥10×, recorded in BENCH_eval.json).
+trees) on both *evaluation* backends and the C3 TC-heavy model-checking
+workload on both *checker* backends, prints a speedup table, and exits
+non-zero if a bitset engine falls below its regression gate:
+
+* C1 node-evaluation rows: ``--min-speedup`` (default 2×; the headline
+  target at size 2048 is ≥10×, recorded in BENCH_eval.json);
+* C3 TC-heavy model-checking rows: ``--min-check-speedup`` (default 2×,
+  recorded in BENCH_modelcheck.json).
 
 Usage::
 
@@ -20,11 +24,15 @@ import random
 import sys
 import time
 
-from repro.trees import random_tree
+from repro.logic import ModelChecker, parse_formula
+from repro.trees import random_deep_tree, random_tree
 from repro.xpath import Evaluator, parse_node, parse_path
 
 QUERY = parse_node("<descendant[a and <right[b]>]> and not <child[not <child>]>")
 STAR_QUERY = parse_path("(child[a] | child[b]/right)*")
+TC_HEAVY = parse_formula(
+    "exists x. exists y. tc[u,v](child(u,v) | right(u,v))(x,y) & last(y) & leaf(y)"
+)
 
 
 def median_seconds(thunk, repetitions: int) -> float:
@@ -49,9 +57,16 @@ def main(argv: list[str] | None = None) -> int:
         default=2.0,
         help="fail if the bitset backend is below this on any C1 node row",
     )
+    parser.add_argument(
+        "--min-check-speedup",
+        type=float,
+        default=2.0,
+        help="fail if the bitset checker is below this on any C3 TC-heavy row",
+    )
     args = parser.parse_args(argv)
 
     sizes = (128, 512) if args.quick else (128, 512, 2048)
+    check_sizes = (64, 128) if args.quick else (64, 128, 256)
     reps = 5 if args.quick else 15
 
     rows = []
@@ -77,7 +92,20 @@ def main(argv: list[str] | None = None) -> int:
         bits_t = median_seconds(lambda: bits_ev.image(STAR_QUERY, {0}), reps)
         rows.append((f"star image n={size}", sets_t, bits_t, sets_t / bits_t))
 
-    header = f"{'workload':<22} {'sets':>12} {'bitset':>12} {'speedup':>9}"
+    for size in check_sizes:
+        tree = random_deep_tree(size, rng=random.Random(size))
+        table_t = median_seconds(
+            lambda: ModelChecker(tree, backend="table").holds(TC_HEAVY), reps
+        )
+        bits_t = median_seconds(
+            lambda: ModelChecker(tree, backend="bitset").holds(TC_HEAVY), reps
+        )
+        speedup = table_t / bits_t
+        rows.append((f"C3 TC-heavy n={size}", table_t, bits_t, speedup))
+        if speedup < args.min_check_speedup:
+            gate_failures.append((f"C3 TC-heavy n={size}", speedup))
+
+    header = f"{'workload':<22} {'reference':>12} {'bitset':>12} {'speedup':>9}"
     print(header)
     print("-" * len(header))
     for name, sets_t, bits_t, speedup in rows:
@@ -88,13 +116,19 @@ def main(argv: list[str] | None = None) -> int:
 
     if gate_failures:
         for name, speedup in gate_failures:
+            gate = (
+                args.min_check_speedup if name.startswith("C3") else args.min_speedup
+            )
             print(
                 f"FAIL: {name} speedup {speedup:.2f}x is below the "
-                f"{args.min_speedup:.1f}x regression gate",
+                f"{gate:.1f}x regression gate",
                 file=sys.stderr,
             )
         return 1
-    print(f"OK: all C1 node rows at or above {args.min_speedup:.1f}x")
+    print(
+        f"OK: C1 node rows at or above {args.min_speedup:.1f}x, "
+        f"C3 TC-heavy rows at or above {args.min_check_speedup:.1f}x"
+    )
     return 0
 
 

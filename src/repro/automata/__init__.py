@@ -38,7 +38,7 @@ from .search import (
     swap_subtrees,
 )
 from .strings import Dfa, Nfa
-from .twa import TWA, Move, Observation, TwaBuilder, observation_at
+from .twa import RUN_STRATEGIES, TWA, Move, Observation, TwaBuilder, observation_at
 
 __all__ = [
     "BehaviorAnalysis",
@@ -53,6 +53,7 @@ __all__ = [
     "NestedTwaTreeAcceptor",
     "Nfa",
     "Observation",
+    "RUN_STRATEGIES",
     "TWA",
     "TwaBuilder",
     "TwaTreeAcceptor",

@@ -13,8 +13,11 @@ regular languages, strictly fewer than all of them.
 
 Evaluation strategy: for each node, the accept bit of every sub-automaton on
 that node's subtree is precomputed (recursively, memoized per node); guards
-then reduce to lookups, and the main automaton runs by the usual
-configuration-graph reachability.
+then reduce to lookups, and the main automaton runs by configuration-graph
+reachability.  As for plain TWAs, the reachability itself comes in two
+strategies: the default ``"bitset"`` bit-parallel frontier sweep (guards
+become per-sub-automaton node masks, intersected into the transition's
+source mask) and the ``"deque"`` config-at-a-time reference walk.
 """
 
 from __future__ import annotations
@@ -22,8 +25,18 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass
 
+from ..trees.index import tree_index
 from ..trees.tree import Tree
-from .twa import Move, Observation, apply_move, observation_at
+from .twa import (
+    Move,
+    Observation,
+    _check_strategy,
+    apply_move,
+    move_kernels,
+    observation_at,
+    observation_masks,
+    sweep_configs,
+)
 
 __all__ = ["NestedTWA", "GuardedTransition"]
 
@@ -69,7 +82,9 @@ class NestedTWA:
 
     # -- semantics ----------------------------------------------------------------
 
-    def subtree_bits(self, tree: Tree, scope: int = 0) -> list[tuple[bool, ...]]:
+    def subtree_bits(
+        self, tree: Tree, scope: int = 0, strategy: str = "bitset"
+    ) -> list[tuple[bool, ...]]:
         """For every node of the scoped subtree: the tuple of accept bits of
         the sub-automata on that node's subtree.
 
@@ -78,20 +93,85 @@ class NestedTWA:
         bits: list[tuple[bool, ...]] = [()] * tree.size
         for v in tree.subtree_ids(scope):
             bits[v] = tuple(
-                sub.accepts(tree, scope=v) for sub in self.subautomata
+                sub.accepts(tree, scope=v, strategy=strategy)
+                for sub in self.subautomata
             )
         return bits
 
-    def accepts(self, tree: Tree, scope: int = 0) -> bool:
+    def subtree_masks(
+        self, tree: Tree, scope: int = 0, strategy: str = "bitset"
+    ) -> tuple[int, ...]:
+        """Per sub-automaton: the bitmask of in-scope nodes whose subtree it
+        accepts (the columnar form of :meth:`subtree_bits`)."""
+        masks = [0] * len(self.subautomata)
+        for v in tree.subtree_ids(scope):
+            for i, sub in enumerate(self.subautomata):
+                if sub.accepts(tree, scope=v, strategy=strategy):
+                    masks[i] |= 1 << v
+        return tuple(masks)
+
+    def accepts(
+        self, tree: Tree, scope: int = 0, strategy: str = "bitset"
+    ) -> bool:
         """Acceptance by configuration-graph reachability.
 
         Sub-automata run on subtrees of the *same* scoped view (a subtree of
         the scope is a subtree of the whole tree, so the nesting recursion
         is well-defined).
         """
+        _check_strategy(strategy)
         if self.initial in self.accepting:
             return True
-        bits = self.subtree_bits(tree, scope) if self.subautomata else None
+        if strategy == "deque":
+            return self._accepts_deque(tree, scope)
+        index = tree_index(tree)
+        sc = index.scope(scope)
+        sub_masks = self.subtree_masks(tree, scope) if self.subautomata else ()
+        mask_of = observation_masks(index, sc)
+        kernels = move_kernels(index)
+        guard_masks: dict[Guard, int] = {}
+        merged: list[dict[tuple[Move, int], int]] = [
+            {} for _ in range(self.num_states)
+        ]
+        for (state, obs), options in self.transitions.items():
+            m = mask_of(obs)
+            if not m:
+                continue
+            bucket = merged[state]
+            for option in options:
+                gm = guard_masks.get(option.guard)
+                if gm is None:
+                    gm = sc.mask
+                    for i, sign in option.guard:
+                        gm &= sub_masks[i] if sign else sc.mask & ~sub_masks[i]
+                    guard_masks[option.guard] = gm
+                source = m & gm
+                if not source:
+                    continue
+                key = (option.move, option.target)
+                bucket[key] = bucket.get(key, 0) | source
+        program = [
+            [
+                (source_mask, kernels[move], next_state)
+                for (move, next_state), source_mask in bucket.items()
+            ]
+            for bucket in merged
+        ]
+        return sweep_configs(
+            self.num_states,
+            self.initial,
+            self.accepting,
+            program,
+            sc,
+            accept_only=True,
+        )
+
+    def _accepts_deque(self, tree: Tree, scope: int = 0) -> bool:
+        bits = (
+            self.subtree_bits(tree, scope, strategy="deque")
+            if self.subautomata
+            else None
+        )
         start = (self.initial, scope)
         seen = {start}
         queue = deque([start])

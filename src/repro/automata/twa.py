@@ -15,6 +15,16 @@ Membership is decided by reachability in the configuration graph
 alternative that underlies the paper's regularity theorem (T4) and the two
 are cross-validated against each other.
 
+Two run strategies implement the reachability (``strategy=`` on
+:meth:`TWA.accepts` / :meth:`TWA.reachable_configs`):
+
+* ``"bitset"`` (default) — a bit-parallel frontier sweep: one bitmask of
+  current nodes per state, advanced whole-set at a time by the shared
+  :class:`repro.trees.index.TreeIndex` move kernels, with observation
+  dispatch precompiled into per-transition node masks;
+* ``"deque"`` — the config-at-a-time BFS walk, kept as the readable
+  reference and cross-validation oracle.
+
 All walking machinery takes an optional ``scope`` node: the automaton then
 runs on the subtree rooted there as if it were a standalone tree (the scope
 root observes root flags; moves leaving the subtree die).  This is exactly
@@ -28,9 +38,20 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Iterable
 
+from ..trees.index import Scope, TreeIndex, tree_index
 from ..trees.tree import Tree
 
-__all__ = ["Move", "Observation", "TWA", "TwaBuilder", "observation_at"]
+__all__ = [
+    "Move",
+    "Observation",
+    "RUN_STRATEGIES",
+    "TWA",
+    "TwaBuilder",
+    "observation_at",
+]
+
+#: Names accepted by the ``strategy=`` argument of the run methods.
+RUN_STRATEGIES = ("bitset", "deque")
 
 
 class Move(Enum):
@@ -96,6 +117,91 @@ def apply_move(tree: Tree, node_id: int, move: Move, scope: int = 0) -> int | No
     raise ValueError(f"unknown move {move!r}")  # pragma: no cover
 
 
+def observation_masks(index: TreeIndex, sc: Scope):
+    """A function ``obs -> bitmask`` of in-scope nodes with that local type.
+
+    Non-root observations are four mask intersections (label, leaf, first,
+    last); the scope root is matched separately against its one concrete
+    observation, since its root/first/last flags are scope-dependent.
+    """
+    root_obs = observation_at(index.tree, sc.root, sc.root)
+    nonroot = sc.mask & ~sc.root_bit
+    full = index.full
+
+    def mask_of(obs: Observation) -> int:
+        if obs.is_root:
+            return sc.root_bit if obs == root_obs else 0
+        m = index.label_masks.get(obs.label, 0) & nonroot
+        m &= index.leaf_mask if obs.is_leaf else full ^ index.leaf_mask
+        m &= index.first_mask if obs.is_first else full ^ index.first_mask
+        m &= index.last_mask if obs.is_last else full ^ index.last_mask
+        return m
+
+    return mask_of
+
+
+def move_kernels(index: TreeIndex) -> dict[Move, object]:
+    """The ``(mask, scope) -> mask`` kernel for each walking move."""
+    return {
+        Move.STAY: index.self_,
+        Move.UP: index.parent,
+        Move.DOWN_FIRST: index.down_first,
+        Move.DOWN_LAST: index.down_last,
+        Move.LEFT: index.left,
+        Move.RIGHT: index.right,
+    }
+
+
+def sweep_configs(
+    num_states: int,
+    initial: int,
+    accepting: frozenset[int],
+    program: list[list[tuple[int, object, int]]],
+    sc: Scope,
+    accept_only: bool,
+):
+    """Bit-parallel configuration-graph reachability.
+
+    ``program[state]`` lists ``(source_mask, move_kernel, next_state)``
+    triples; the sweep keeps one frontier mask per state and advances every
+    live configuration of a state in a single kernel application.  With
+    ``accept_only`` it returns a bool as soon as an accepting state's mask
+    becomes nonempty; otherwise it returns the per-state reached masks.
+    """
+    reached = [0] * num_states
+    reached[initial] = sc.root_bit
+    frontier = list(reached)
+    while True:
+        new = [0] * num_states
+        for state, live in enumerate(frontier):
+            if not live:
+                continue
+            for source_mask, kernel, next_state in program[state]:
+                src = live & source_mask
+                if src:
+                    new[next_state] |= kernel(src, sc)
+        if accept_only:
+            for state in accepting:
+                if new[state]:
+                    return True
+        advanced = False
+        for state in range(num_states):
+            fresh = new[state] & ~reached[state]
+            frontier[state] = fresh
+            if fresh:
+                reached[state] |= fresh
+                advanced = True
+        if not advanced:
+            return False if accept_only else reached
+
+
+def _check_strategy(strategy: str) -> None:
+    if strategy not in RUN_STRATEGIES:
+        raise ValueError(
+            f"unknown run strategy {strategy!r}; expected one of {RUN_STRATEGIES}"
+        )
+
+
 @dataclass(frozen=True)
 class TWA:
     """A (nondeterministic) tree walking automaton.
@@ -119,10 +225,77 @@ class TWA:
 
     # -- membership via the configuration graph --------------------------------
 
-    def accepts(self, tree: Tree, scope: int = 0) -> bool:
+    def _program(
+        self, index: TreeIndex, sc: Scope
+    ) -> list[list[tuple[int, object, int]]]:
+        """Compile the transition table for one scope: per state, the merged
+        ``(source_mask, move_kernel, next_state)`` triples."""
+        mask_of = observation_masks(index, sc)
+        kernels = move_kernels(index)
+        merged: list[dict[tuple[Move, int], int]] = [
+            {} for _ in range(self.num_states)
+        ]
+        for (state, obs), choices in self.transitions.items():
+            m = mask_of(obs)
+            if not m:
+                continue
+            bucket = merged[state]
+            for choice in choices:
+                bucket[choice] = bucket.get(choice, 0) | m
+        return [
+            [
+                (source_mask, kernels[move], next_state)
+                for (move, next_state), source_mask in bucket.items()
+            ]
+            for bucket in merged
+        ]
+
+    def accepts(
+        self, tree: Tree, scope: int = 0, strategy: str = "bitset"
+    ) -> bool:
         """Does some run (started at the scope root) reach an accepting state?"""
+        _check_strategy(strategy)
         if self.initial in self.accepting:
             return True
+        if strategy == "deque":
+            return self._accepts_deque(tree, scope)
+        index = tree_index(tree)
+        sc = index.scope(scope)
+        return sweep_configs(
+            self.num_states,
+            self.initial,
+            self.accepting,
+            self._program(index, sc),
+            sc,
+            accept_only=True,
+        )
+
+    def reachable_configs(
+        self, tree: Tree, scope: int = 0, strategy: str = "bitset"
+    ) -> set[tuple[int, int]]:
+        """All reachable (state, node) configurations (for inspection)."""
+        _check_strategy(strategy)
+        if strategy == "deque":
+            return self._reachable_deque(tree, scope)
+        index = tree_index(tree)
+        sc = index.scope(scope)
+        reached = sweep_configs(
+            self.num_states,
+            self.initial,
+            self.accepting,
+            self._program(index, sc),
+            sc,
+            accept_only=False,
+        )
+        configs: set[tuple[int, int]] = set()
+        for state, mask in enumerate(reached):
+            while mask:
+                low = mask & -mask
+                configs.add((state, low.bit_length() - 1))
+                mask ^= low
+        return configs
+
+    def _accepts_deque(self, tree: Tree, scope: int = 0) -> bool:
         start = (self.initial, scope)
         seen = {start}
         queue = deque([start])
@@ -141,8 +314,7 @@ class TWA:
                     queue.append(config)
         return False
 
-    def reachable_configs(self, tree: Tree, scope: int = 0) -> set[tuple[int, int]]:
-        """All reachable (state, node) configurations (for inspection)."""
+    def _reachable_deque(self, tree: Tree, scope: int = 0) -> set[tuple[int, int]]:
         start = (self.initial, scope)
         seen = {start}
         queue = deque([start])

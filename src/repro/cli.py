@@ -13,6 +13,9 @@ Commands:
   downward, corpus-based otherwise;
 * ``satisfiable QUERY`` — exact satisfiability for downward queries with a
   witness document, corpus-based search otherwise;
+* ``check FORMULA [FILE.xml]`` — model-check an FO(MTC) formula against an
+  XML document: truth for sentences, satisfying nodes/pairs for formulas
+  with one/two free variables (``--backend table|bitset``);
 * ``simplify QUERY`` — apply the sound rewrite system;
 * ``classify QUERY`` — dialect, axes, fragment memberships.
 
@@ -35,6 +38,7 @@ from .decision import (
     find_satisfying_node,
     standard_corpus,
 )
+from .logic.modelcheck import CHECKER_BACKENDS
 from .trees import Tree, parse_xml, to_xml
 from .xpath import (
     BACKENDS,
@@ -170,6 +174,41 @@ def cmd_satisfiable(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_check(args: argparse.Namespace) -> int:
+    from .logic import ModelChecker, parse_formula, unparse_formula
+    from .logic.ast import free_variables
+
+    formula = parse_formula(args.formula)
+    tree = _load_tree(args.file)
+    checker = ModelChecker(tree, backend=args.backend)
+    free = tuple(sorted(free_variables(formula)))
+    if len(free) == 0:
+        verdict = checker.holds(formula)
+        print(f"{'HOLDS' if verdict else 'FAILS'}: {unparse_formula(formula)}")
+        return 0 if verdict else 1
+    if len(free) == 1:
+        nodes = checker.node_set(formula, free[0])
+        print(
+            f"{len(nodes)} node(s) satisfy {unparse_formula(formula)} "
+            f"(free variable {free[0]}):"
+        )
+        print(_describe_nodes(tree, nodes))
+        return 0
+    if len(free) == 2:
+        pairs = checker.pairs(formula, free[0], free[1])
+        print(
+            f"{len(pairs)} pair(s) ({free[0]}, {free[1]}) satisfy "
+            f"{unparse_formula(formula)}:"
+        )
+        for a, b in sorted(pairs):
+            print(f"  ({a}, {b})")
+        return 0
+    print(
+        f"error: expected at most 2 free variables, got {free}", file=sys.stderr
+    )
+    return 2
+
+
 def cmd_simplify(args: argparse.Namespace) -> int:
     expr = _parse_any(args.query)
     simplified = simplify(expr)
@@ -236,6 +275,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("query")
     p.add_argument("--alphabet", default="ab")
     p.set_defaults(func=cmd_satisfiable)
+
+    p = sub.add_parser("check", help="model-check an FO(MTC) formula")
+    p.add_argument("formula")
+    p.add_argument("file", nargs="?", help="XML file (default: stdin)")
+    p.add_argument(
+        "--backend",
+        choices=CHECKER_BACKENDS,
+        default="bitset",
+        help="model-checking engine (default: the columnar bitset backend)",
+    )
+    p.set_defaults(func=cmd_check)
 
     p = sub.add_parser("simplify", help="apply the sound rewrite system")
     p.add_argument("query")

@@ -7,8 +7,11 @@ checker, the EF game engine, and the small-scale MSO checker.
 
 from . import ast
 from .ef_games import EFGame, distinguishing_rank, duplicator_wins
+from .engine import BitsetModelChecker, BitsetTable
 from .modelcheck import (
+    CHECKER_BACKENDS,
     ModelChecker,
+    TableModelChecker,
     formula_node_set,
     formula_pairs,
     holds,
@@ -21,6 +24,9 @@ from .tables import Table
 from .unparse import unparse_formula
 
 __all__ = [
+    "BitsetModelChecker",
+    "BitsetTable",
+    "CHECKER_BACKENDS",
     "EFGame",
     "ExistsSet",
     "ForallSet",
@@ -28,6 +34,7 @@ __all__ = [
     "In",
     "ModelChecker",
     "Table",
+    "TableModelChecker",
     "ast",
     "distinguishing_rank",
     "duplicator_wins",

@@ -1,0 +1,360 @@
+"""Relations over tree nodes as columnar big-int bitmask tables.
+
+The bitset model checker evaluates every subformula into a
+:class:`BitsetTable` — the columnar twin of :class:`repro.logic.tables.Table`:
+
+* a **0-column** table is a boolean;
+* a **1-column** table is a single bitmask over preorder node ids;
+* a **k-column** table (k ≥ 2) is a dict mapping value tuples of the first
+  ``k-1`` columns (sorted variable order) to a *nonzero* bitmask over the
+  last column — e.g. a binary relation is a per-source target-mask map.
+
+The payoff is that the inner loop of every relational operation runs over
+whole masks: conjunction joins AND per-bucket masks, complement is one
+``full ^ mask`` per bucket, ``∃`` over the mask column is a popcount test,
+and the TC sweeps in :mod:`repro.logic.engine.checker` union successor
+masks level by level.  Columns are kept sorted (as in ``Table``) so tables
+convert losslessly for cross-validation via :meth:`to_table`.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Iterator
+
+from ...xpath.engine.bitset import iter_bits
+from ..tables import Table
+
+__all__ = ["BitsetTable"]
+
+
+class BitsetTable:
+    """A finite relation with named columns, stored column-wise as masks.
+
+    ``columns`` is a sorted tuple of variable names.  For arity 0 ``data``
+    is a plain bool; for arity ≥ 1 it is ``dict[tuple[int, ...], int]``
+    keyed by values of ``columns[:-1]`` with nonzero masks over
+    ``columns[-1]`` (a unary table therefore has the single key ``()``).
+    """
+
+    __slots__ = ("columns", "data")
+
+    def __init__(self, columns: tuple[str, ...], data) -> None:
+        if tuple(sorted(columns)) != columns:
+            raise ValueError(f"columns must be sorted, got {columns}")
+        self.columns = columns
+        self.data = data
+
+    # -- constructors --------------------------------------------------------
+
+    @staticmethod
+    def boolean(value: bool) -> "BitsetTable":
+        return BitsetTable((), bool(value))
+
+    @staticmethod
+    def unary(var: str, mask: int) -> "BitsetTable":
+        return BitsetTable((var,), {(): mask} if mask else {})
+
+    @staticmethod
+    def from_source_masks(
+        x: str, y: str, masks: dict[int, int]
+    ) -> "BitsetTable":
+        """The relation ``{(v, w) | w ∈ masks[v]}`` over columns ``{x, y}``.
+
+        If ``x == y``, keeps the diagonal (as :meth:`Table.binary` does).
+        """
+        if x == y:
+            diag = 0
+            for v, m in masks.items():
+                if (m >> v) & 1:
+                    diag |= 1 << v
+            return BitsetTable.unary(x, diag)
+        if x < y:
+            return BitsetTable((x, y), {(v,): m for v, m in masks.items() if m})
+        transposed: dict[int, int] = {}
+        for v, m in masks.items():
+            bit = 1 << v
+            for w in iter_bits(m):
+                transposed[w] = transposed.get(w, 0) | bit
+        return BitsetTable((y, x), {(w,): m for w, m in transposed.items()})
+
+    # -- basic properties ----------------------------------------------------
+
+    @property
+    def truth(self) -> bool:
+        """For 0-column tables: is this 'true'?  (Nonempty otherwise.)"""
+        return bool(self.data)
+
+    def __len__(self) -> int:
+        if not self.columns:
+            return 1 if self.data else 0
+        return sum(mask.bit_count() for mask in self.data.values())
+
+    def rows(self) -> Iterator[tuple[int, ...]]:
+        """Row tuples aligned with ``columns`` (for conversion / tests)."""
+        if not self.columns:
+            if self.data:
+                yield ()
+            return
+        for key, mask in self.data.items():
+            for b in iter_bits(mask):
+                yield key + (b,)
+
+    def to_table(self) -> Table:
+        """The row-wise :class:`Table` with identical contents."""
+        if not self.columns:
+            return Table.boolean(self.data)
+        return Table(self.columns, frozenset(self.rows()))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BitsetTable(columns={self.columns}, rows={len(self)})"
+
+    # -- relational algebra ------------------------------------------------
+
+    def join(self, other: "BitsetTable") -> "BitsetTable":
+        """Natural join on shared columns, bucketed on the key columns."""
+        if not self.columns:
+            if self.data:
+                return other
+            return BitsetTable(other.columns, False if not other.columns else {})
+        if not other.columns:
+            if other.data:
+                return self
+            return BitsetTable(self.columns, {})
+        a, b = self, other
+        if b.columns[-1] > a.columns[-1]:
+            a, b = b, a
+        # The global maximum column is a's mask column.
+        columns = tuple(sorted(set(a.columns) | set(b.columns)))
+        out: dict[tuple[int, ...], int] = {}
+        a_keys = a.columns[:-1]
+        b_keys = b.columns[:-1]
+        if b.columns[-1] == a.columns[-1]:
+            # Both masks range over the shared maximum: AND per bucket pair.
+            shared = [c for c in a_keys if c in b.columns]
+            a_pos = [a_keys.index(c) for c in shared]
+            b_pos = [b_keys.index(c) for c in shared]
+            assemble = _assembler(columns[:-1], a_keys, b_keys)
+            bucket: dict[tuple[int, ...], list] = {}
+            for bkey, bmask in b.data.items():
+                bucket.setdefault(tuple(bkey[i] for i in b_pos), []).append(
+                    (bkey, bmask)
+                )
+            for akey, amask in a.data.items():
+                probe = tuple(akey[i] for i in a_pos)
+                for bkey, bmask in bucket.get(probe, ()):
+                    m = amask & bmask
+                    if m:
+                        key = assemble(akey, bkey)
+                        out[key] = out.get(key, 0) | m
+            return BitsetTable(columns, out)
+        mcol = b.columns[-1]  # b's mask column, strictly below a's
+        if mcol in a.columns:
+            # b's mask column is a key column of a: bit-test per a-row.
+            shared = [c for c in a_keys if c in b_keys]
+            a_pos = [a_keys.index(c) for c in shared]
+            b_pos = [b_keys.index(c) for c in shared]
+            a_m = a_keys.index(mcol)
+            assemble = _assembler(columns[:-1], a_keys, b_keys)
+            bucket = {}
+            for bkey, bmask in b.data.items():
+                bucket.setdefault(tuple(bkey[i] for i in b_pos), []).append(
+                    (bkey, bmask)
+                )
+            for akey, amask in a.data.items():
+                probe = tuple(akey[i] for i in a_pos)
+                mval = akey[a_m]
+                for bkey, bmask in bucket.get(probe, ()):
+                    if (bmask >> mval) & 1:
+                        key = assemble(akey, bkey)
+                        out[key] = out.get(key, 0) | amask
+            return BitsetTable(columns, out)
+        # b's mask column is new: its bits become key values of the result.
+        shared = [c for c in a_keys if c in b_keys]
+        a_pos = [a_keys.index(c) for c in shared]
+        b_pos = [b_keys.index(c) for c in shared]
+        assemble = _assembler(columns[:-1], a_keys, b_keys + (mcol,))
+        bucket = {}
+        for akey, amask in a.data.items():
+            bucket.setdefault(tuple(akey[i] for i in a_pos), []).append(
+                (akey, amask)
+            )
+        for bkey, bmask in b.data.items():
+            probe = tuple(bkey[i] for i in b_pos)
+            matches = bucket.get(probe)
+            if not matches:
+                continue
+            for w in iter_bits(bmask):
+                extended = bkey + (w,)
+                for akey, amask in matches:
+                    key = assemble(akey, extended)
+                    out[key] = out.get(key, 0) | amask
+        return BitsetTable(columns, out)
+
+    def pad(
+        self, columns: tuple[str, ...], n: int, full: int
+    ) -> "BitsetTable":
+        """Extend to a superset of columns, new columns ranging over the
+        universe ``range(n)`` (whose mask is ``full``)."""
+        if columns == self.columns:
+            return self
+        missing = [c for c in columns if c not in self.columns]
+        if set(columns) != set(self.columns) | set(missing):
+            raise ValueError("pad target must be a superset of columns")
+        if not self.columns:
+            if not self.data:
+                return BitsetTable(columns, {})
+            out = {
+                key: full
+                for key in product(range(n), repeat=len(columns) - 1)
+            }
+            return BitsetTable(columns, out)
+        old_last = self.columns[-1]
+        new_last = columns[-1]
+        # Value source per output key column: an existing key position, the
+        # old mask column (expanded bitwise), or the universe.
+        sources: list[tuple[str, int]] = []
+        for c in columns[:-1]:
+            if c in self.columns[:-1]:
+                sources.append(("k", self.columns.index(c)))
+            elif c == old_last:
+                sources.append(("m", 0))
+            else:
+                sources.append(("u", 0))
+        mask_is_old = new_last == old_last
+        out = {}
+        universe = range(n)
+        for key, mask in self.data.items():
+            pools = []
+            for kind, i in sources:
+                if kind == "k":
+                    pools.append((key[i],))
+                elif kind == "m":
+                    pools.append(tuple(iter_bits(mask)))
+                else:
+                    pools.append(universe)
+            value = mask if mask_is_old else full
+            for okey in product(*pools):
+                out[okey] = out.get(okey, 0) | value
+        return BitsetTable(columns, out)
+
+    def union(
+        self, other: "BitsetTable", n: int, full: int
+    ) -> "BitsetTable":
+        columns = tuple(sorted(set(self.columns) | set(other.columns)))
+        if not columns:
+            return BitsetTable.boolean(self.data or other.data)
+        a = self.pad(columns, n, full)
+        b = other.pad(columns, n, full)
+        out = dict(a.data)
+        for key, mask in b.data.items():
+            out[key] = out.get(key, 0) | mask
+        return BitsetTable(columns, out)
+
+    def complement(self, n: int, full: int) -> "BitsetTable":
+        if not self.columns:
+            return BitsetTable.boolean(not self.data)
+        out = {}
+        for key in product(range(n), repeat=len(self.columns) - 1):
+            m = full ^ self.data.get(key, 0)
+            if m:
+                out[key] = m
+        return BitsetTable(self.columns, out)
+
+    def project_away(self, var: str) -> "BitsetTable":
+        """∃var: drop the column (no-op if absent)."""
+        if var not in self.columns:
+            return self
+        if len(self.columns) == 1:
+            return BitsetTable.boolean(bool(self.data))
+        out: dict[tuple[int, ...], int] = {}
+        if var == self.columns[-1]:
+            # The second-largest column becomes the new mask column.
+            for key, mask in self.data.items():
+                head = key[:-1]
+                out[head] = out.get(head, 0) | (1 << key[-1])
+            return BitsetTable(self.columns[:-1], out)
+        idx = self.columns.index(var)
+        columns = self.columns[:idx] + self.columns[idx + 1 :]
+        for key, mask in self.data.items():
+            head = key[:idx] + key[idx + 1 :]
+            out[head] = out.get(head, 0) | mask
+        return BitsetTable(columns, out)
+
+    def select_eq(self, var: str, value: int) -> "BitsetTable":
+        """Filter rows where column ``var`` equals ``value`` and drop it."""
+        if var not in self.columns:
+            return self
+        if len(self.columns) == 1:
+            mask = self.data.get((), 0)
+            return BitsetTable.boolean(bool((mask >> value) & 1))
+        out: dict[tuple[int, ...], int] = {}
+        if var == self.columns[-1]:
+            for key, mask in self.data.items():
+                if (mask >> value) & 1:
+                    head = key[:-1]
+                    out[head] = out.get(head, 0) | (1 << key[-1])
+            return BitsetTable(self.columns[:-1], out)
+        idx = self.columns.index(var)
+        columns = self.columns[:idx] + self.columns[idx + 1 :]
+        for key, mask in self.data.items():
+            if key[idx] == value:
+                head = key[:idx] + key[idx + 1 :]
+                out[head] = out.get(head, 0) | mask
+        return BitsetTable(columns, out)
+
+    # -- extraction ---------------------------------------------------------
+
+    def column_values(self, var: str) -> set[int]:
+        if var == self.columns[-1]:
+            acc = 0
+            for mask in self.data.values():
+                acc |= mask
+            return set(iter_bits(acc))
+        idx = self.columns.index(var)
+        return {key[idx] for key in self.data}
+
+    def column_mask(self, var: str) -> int:
+        """The projection onto ``var`` as one bitmask."""
+        acc = 0
+        if var == self.columns[-1]:
+            for mask in self.data.values():
+                acc |= mask
+            return acc
+        idx = self.columns.index(var)
+        for key in self.data:
+            acc |= 1 << key[idx]
+        return acc
+
+    def pairs(self, x: str, y: str) -> set[tuple[int, int]]:
+        """The set of ``(x, y)`` value pairs (columns must be ⊆ {x, y})."""
+        if x == y or len(self.columns) == 1:
+            return {(row[0], row[0]) for row in self.rows()}
+        if x < y:
+            return {
+                (key[0], w)
+                for key, mask in self.data.items()
+                for w in iter_bits(mask)
+            }
+        return {
+            (w, key[0])
+            for key, mask in self.data.items()
+            for w in iter_bits(mask)
+        }
+
+
+def _assembler(target: tuple[str, ...], a_cols: tuple[str, ...], b_cols):
+    """A function assembling output key tuples from a- and b-key tuples.
+
+    Each target column is sourced from ``a_cols`` if present there (shared
+    columns carry equal values in both keys), else from ``b_cols``.
+    """
+    plan = []
+    for c in target:
+        if c in a_cols:
+            plan.append((True, a_cols.index(c)))
+        else:
+            plan.append((False, b_cols.index(c)))
+    def assemble(akey: tuple[int, ...], bkey: tuple[int, ...]) -> tuple[int, ...]:
+        return tuple(akey[i] if from_a else bkey[i] for from_a, i in plan)
+    return assemble

@@ -1,0 +1,263 @@
+"""The bitset FO(MTC) model-checking backend.
+
+Mirrors the design of the XPath bitset engine (:mod:`repro.xpath.engine`):
+evaluation is still database-style bottom-up — every subformula becomes the
+relation of its satisfying assignments — but relations are columnar
+:class:`~repro.logic.engine.bittable.BitsetTable` masks instead of frozensets
+of tuples, and the structural atoms come straight from the shared per-tree
+:class:`~repro.trees.index.TreeIndex`:
+
+* label atoms are one dict lookup into the per-label masks;
+* ``child``/``right``/``descendant``/``following_sibling`` atoms are the
+  index's per-source target-mask maps (delta-shift / subtree-interval
+  derived, cached per tree);
+* ``∧`` is a bucketed mask join, ``¬`` is mask complement, ``∃`` is a
+  column drop, ``∨`` a per-bucket OR;
+* ``[TC]`` runs as batched *semi-naive* frontier sweeps: per source, each
+  BFS level unions whole successor masks and only the newly reached
+  frontier is expanded in the next round — no tuple-at-a-time closure.
+
+Construct via ``ModelChecker(tree, backend="bitset")``; the row-wise table
+backend remains the default and the cross-validation oracle.
+"""
+
+from __future__ import annotations
+
+from ...trees.index import tree_index
+from ...xpath.engine.bitset import iter_bits
+from .. import ast
+from ..modelcheck import ModelChecker
+from ..tables import Table
+from .bittable import BitsetTable
+
+__all__ = ["BitsetModelChecker", "mask_closure"]
+
+
+def mask_closure(successors: dict[int, int]) -> dict[int, int]:
+    """Strict transitive closure of a successor-mask map.
+
+    Two regimes:
+
+    * **forward-only** (every edge goes to a strictly larger id — true for
+      all of the signature's relations, whose targets lie later in
+      preorder): the graph is acyclic in id order, so one reverse-id sweep
+      with ``closure[v] = succ[v] ∪ ⋃ closure[w]`` costs O(edges) mask ORs;
+    * otherwise: a semi-naive batched sweep per source — each round ORs the
+      successor masks of the *frontier* only, then prunes the frontier
+      against the reached mask, so every node is expanded at most once per
+      source and each BFS level costs a handful of big-int operations.
+    """
+    forward = True
+    for v, mask in successors.items():
+        if mask & ((2 << v) - 1):  # any edge to an id <= v
+            forward = False
+            break
+    closure: dict[int, int] = {}
+    if forward:
+        for v in sorted(successors, reverse=True):
+            mask = successors[v]
+            reached = mask
+            for w in iter_bits(mask):
+                later = closure.get(w)
+                if later:
+                    reached |= later
+            closure[v] = reached
+        return closure
+    for source, first in successors.items():
+        reached = 0
+        frontier = first
+        while frontier:
+            reached |= frontier
+            fresh = 0
+            for v in iter_bits(frontier):
+                nxt = successors.get(v)
+                if nxt is not None:
+                    fresh |= nxt
+            frontier = fresh & ~reached
+        closure[source] = reached
+    return closure
+
+
+class BitsetModelChecker(ModelChecker):
+    """The ``bitset`` checker backend: columnar tables over the shared index."""
+
+    backend = "bitset"
+
+    def __init__(self, tree, backend: str | None = None):
+        super().__init__(tree, backend)
+        self.index = tree_index(tree)
+        self._bcache: dict[ast.Formula, BitsetTable] = {}
+        self._table_cache: dict[ast.Formula, Table] = {}
+
+    # -- public API ------------------------------------------------------------
+
+    def table(self, formula: ast.Formula) -> Table:
+        """The row-wise table of satisfying assignments (converted once)."""
+        cached = self._table_cache.get(formula)
+        if cached is None:
+            cached = self.btable(formula).to_table()
+            self._table_cache[formula] = cached
+        return cached
+
+    def btable(self, formula: ast.Formula) -> BitsetTable:
+        """The columnar table of satisfying assignments (memoized
+        structurally, as the compiled XPath plans are)."""
+        cached = self._bcache.get(formula)
+        if cached is None:
+            cached = self._eval(formula)
+            self._bcache[formula] = cached
+        return cached
+
+    def holds(self, formula: ast.Formula, env: dict[str, int] | None = None) -> bool:
+        env = env or {}
+        table = self.btable(formula)
+        missing = [c for c in table.columns if c not in env]
+        if missing:
+            raise ValueError(f"unassigned free variables: {missing}")
+        for var in table.columns:
+            table = table.select_eq(var, env[var])
+        return table.truth
+
+    def node_set(self, formula: ast.Formula, var: str) -> set[int]:
+        table = self.btable(formula)
+        if table.columns == ():
+            return set(self.universe) if table.truth else set()
+        if table.columns != (var,):
+            raise ValueError(
+                f"expected free variables ({var},), got {table.columns}"
+            )
+        return set(iter_bits(table.data.get((), 0)))
+
+    def node_mask(self, formula: ast.Formula, var: str) -> int:
+        """The satisfying set as a raw bitmask (bitset-backend extra)."""
+        table = self.btable(formula)
+        if table.columns == ():
+            return self.index.full if table.truth else 0
+        if table.columns != (var,):
+            raise ValueError(
+                f"expected free variables ({var},), got {table.columns}"
+            )
+        return table.data.get((), 0)
+
+    def pairs(self, formula: ast.Formula, x: str, y: str) -> set[tuple[int, int]]:
+        table = self.btable(formula)
+        table = table.pad(
+            tuple(sorted(set(table.columns) | {x, y})), self.index.n, self.index.full
+        )
+        extra = [c for c in table.columns if c not in (x, y)]
+        if extra:
+            raise ValueError(f"unexpected free variables {extra}")
+        return table.pairs(x, y)
+
+    # -- evaluation ---------------------------------------------------------------
+
+    def _eval(self, formula: ast.Formula) -> BitsetTable:
+        index = self.index
+        n, full = index.n, index.full
+        if isinstance(formula, ast.LabelAtom):
+            return BitsetTable.unary(
+                formula.var, index.label_masks.get(formula.label, 0)
+            )
+        if isinstance(formula, ast.Rel):
+            return BitsetTable.from_source_masks(
+                formula.left, formula.right, index.relation_masks(formula.name)
+            )
+        if isinstance(formula, ast.Eq):
+            if formula.left == formula.right:
+                return BitsetTable.boolean(True)
+            return BitsetTable.from_source_masks(
+                formula.left, formula.right, {v: 1 << v for v in range(n)}
+            )
+        if isinstance(formula, ast.TrueFormula):
+            return BitsetTable.boolean(True)
+        if isinstance(formula, ast.Not):
+            return self.btable(formula.operand).complement(n, full)
+        if isinstance(formula, ast.And):
+            return self.btable(formula.left).join(self.btable(formula.right))
+        if isinstance(formula, ast.Or):
+            return self.btable(formula.left).union(
+                self.btable(formula.right), n, full
+            )
+        if isinstance(formula, ast.Exists):
+            return self.btable(formula.body).project_away(formula.var)
+        if isinstance(formula, ast.Forall):
+            inner = self.btable(formula.body).complement(n, full)
+            return inner.project_away(formula.var).complement(n, full)
+        if isinstance(formula, ast.TC):
+            return self._eval_tc(formula)
+        raise TypeError(f"unknown formula: {formula!r}")
+
+    def _eval_tc(self, formula: ast.TC) -> BitsetTable:
+        n, full = self.index.n, self.index.full
+        body = self.btable(formula.body)
+        cols = tuple(sorted(set(body.columns) | {formula.x, formula.y}))
+        body = body.pad(cols, n, full)
+        key_cols = cols[:-1]
+        params = tuple(c for c in cols if c not in (formula.x, formula.y))
+
+        # Regroup body buckets into per-parameter-valuation successor maps.
+        groups: dict[tuple[int, ...], dict[int, int]] = {}
+        last = cols[-1]
+        if last == formula.y:
+            xpos = key_cols.index(formula.x)
+            ppos = [i for i, c in enumerate(key_cols) if c != formula.x]
+            for key, mask in body.data.items():
+                pkey = tuple(key[i] for i in ppos)
+                succ = groups.setdefault(pkey, {})
+                succ[key[xpos]] = succ.get(key[xpos], 0) | mask
+        elif last == formula.x:
+            ypos = key_cols.index(formula.y)
+            ppos = [i for i, c in enumerate(key_cols) if c != formula.y]
+            for key, mask in body.data.items():
+                pkey = tuple(key[i] for i in ppos)
+                succ = groups.setdefault(pkey, {})
+                target = 1 << key[ypos]
+                for a in iter_bits(mask):
+                    succ[a] = succ.get(a, 0) | target
+        else:
+            # The mask column is the largest *parameter* (params[-1]).
+            xpos = key_cols.index(formula.x)
+            ypos = key_cols.index(formula.y)
+            ppos = [
+                i for i, c in enumerate(key_cols) if c not in (formula.x, formula.y)
+            ]
+            for key, mask in body.data.items():
+                prefix = tuple(key[i] for i in ppos)
+                target = 1 << key[ypos]
+                for pv in iter_bits(mask):
+                    succ = groups.setdefault(prefix + (pv,), {})
+                    succ[key[xpos]] = succ.get(key[xpos], 0) | target
+
+        src, tgt = formula.source, formula.target
+        result_cols = tuple(sorted(set(params) | {src, tgt}))
+        result_last = result_cols[-1]
+        out: dict[tuple[int, ...], int] = {}
+        tgt_is_mask = result_last == tgt and tgt != src and tgt not in params
+
+        for pkey, successors in groups.items():
+            closure = mask_closure(successors)
+            env_base = dict(zip(params, pkey))
+            pinned_src = env_base.get(src)
+            for a, reached in closure.items():
+                if pinned_src is not None and pinned_src != a:
+                    continue
+                env = dict(env_base)
+                env[src] = a
+                if tgt in env:
+                    # tgt pinned (a parameter, or tgt == src): one bit test.
+                    if not (reached >> env[tgt]) & 1:
+                        continue
+                    key = tuple(env[c] for c in result_cols[:-1])
+                    out[key] = out.get(key, 0) | (1 << env[result_last])
+                elif tgt_is_mask:
+                    # Fast path: the whole reachable mask is the bucket.
+                    key = tuple(env[c] for c in result_cols[:-1])
+                    out[key] = out.get(key, 0) | reached
+                else:
+                    for b in iter_bits(reached):
+                        env[tgt] = b
+                        key = tuple(env[c] for c in result_cols[:-1])
+                        out[key] = out.get(key, 0) | (1 << env[result_last])
+        if not result_cols:
+            return BitsetTable.boolean(bool(out))
+        return BitsetTable(result_cols, out)

@@ -3,7 +3,21 @@
 Evaluation is database-style (see :mod:`repro.logic.tables`): each
 subformula is compiled bottom-up into the table of its satisfying
 assignments.  TC subformulas group their body table by parameter columns and
-run a BFS transitive closure per group.
+run a transitive closure per group.
+
+Two interchangeable backends implement this scheme, selected by the
+``backend`` argument of :class:`ModelChecker` and of every module-level
+convenience:
+
+* ``"table"`` (default) — row-wise frozenset tables, the reference
+  semantics and cross-validation oracle;
+* ``"bitset"`` — columnar bitmask tables over the shared per-tree index
+  (:class:`repro.logic.engine.bittable.BitsetTable`), with ``[TC]`` run as
+  batched semi-naive mask sweeps.  See :mod:`repro.logic.engine`.
+
+Both memoize *structurally*: subformula ASTs are frozen dataclasses, so the
+cache keys on the formula value itself and equal subtrees arriving from
+different objects share one table.
 
 Entry points:
 
@@ -25,12 +39,17 @@ from . import ast
 from .tables import Table
 
 __all__ = [
+    "CHECKER_BACKENDS",
     "ModelChecker",
+    "TableModelChecker",
     "satisfying_table",
     "holds",
     "formula_node_set",
     "formula_pairs",
 ]
+
+#: Names accepted by the ``backend=`` argument, in preference order for docs.
+CHECKER_BACKENDS = ("table", "bitset")
 
 _RELATION_AXIS = {
     "child": Axis.CHILD,
@@ -40,28 +59,44 @@ _RELATION_AXIS = {
 }
 
 
-class ModelChecker:
-    """Evaluates FO(MTC) formulas over one tree, memoizing per subformula."""
+def _checker_class(backend: str) -> type["ModelChecker"]:
+    if backend == "table":
+        return TableModelChecker
+    if backend == "bitset":
+        from .engine.checker import BitsetModelChecker
 
-    def __init__(self, tree: Tree):
+        return BitsetModelChecker
+    raise ValueError(
+        f"unknown checker backend {backend!r}; expected one of {CHECKER_BACKENDS}"
+    )
+
+
+class ModelChecker:
+    """Evaluates FO(MTC) formulas over one tree, memoizing per subformula.
+
+    ``ModelChecker(tree)`` builds the default row-wise ``"table"`` checker;
+    ``ModelChecker(tree, backend="bitset")`` builds the columnar bitmask
+    checker.  Both expose the same ``table``/``holds``/``node_set``/``pairs``
+    surface and agree on every formula (enforced by the cross-validation
+    suite).
+    """
+
+    #: Overridden per subclass; mirrors ``Evaluator.backend``.
+    backend = "table"
+
+    def __new__(cls, tree: Tree, backend: str | None = None):
+        if cls is ModelChecker:
+            return super().__new__(_checker_class(backend or "table"))
+        return super().__new__(cls)
+
+    def __init__(self, tree: Tree, backend: str | None = None):
         self.tree = tree
         self.universe = tree.node_ids
-        self._cache: dict[int, Table] = {}
-        self._pinned: dict[int, ast.Formula] = {}
-        self._relations: dict[str, set[tuple[int, int]]] = {}
 
-    # -- public API ------------------------------------------------------------
+    # -- shared public API -----------------------------------------------------
 
     def table(self, formula: ast.Formula) -> Table:
-        """The table of satisfying assignments over the free variables."""
-        key = id(formula)
-        cached = self._cache.get(key)
-        if cached is not None:
-            return cached
-        result = self._eval(formula)
-        self._cache[key] = result
-        self._pinned[key] = formula
-        return result
+        raise NotImplementedError
 
     def holds(self, formula: ast.Formula, env: dict[str, int] | None = None) -> bool:
         """Truth of ``formula`` under the assignment ``env``."""
@@ -97,6 +132,29 @@ class ModelChecker:
         if extra:
             raise ValueError(f"unexpected free variables {extra}")
         return table.pairs(x, y)
+
+
+class TableModelChecker(ModelChecker):
+    """The ``table`` backend: row-wise frozenset tables (reference oracle)."""
+
+    backend = "table"
+
+    def __init__(self, tree: Tree, backend: str | None = None):
+        super().__init__(tree, backend)
+        # Formulas are frozen dataclasses, hence hashable: memoize on the
+        # formula *structure* so structurally equal subformulas share work.
+        self._cache: dict[ast.Formula, Table] = {}
+        self._relations: dict[str, set[tuple[int, int]]] = {}
+
+    # -- public API ------------------------------------------------------------
+
+    def table(self, formula: ast.Formula) -> Table:
+        """The table of satisfying assignments over the free variables."""
+        cached = self._cache.get(formula)
+        if cached is None:
+            cached = self._eval(formula)
+            self._cache[formula] = cached
+        return cached
 
     # -- structural relations ----------------------------------------------------
 
@@ -210,19 +268,28 @@ def _strict_closure(successors: dict[int, set[int]]) -> dict[int, set[int]]:
 # ---------------------------------------------------------------------------
 
 
-def satisfying_table(tree: Tree, formula: ast.Formula) -> Table:
-    return ModelChecker(tree).table(formula)
+def satisfying_table(
+    tree: Tree, formula: ast.Formula, backend: str = "table"
+) -> Table:
+    return ModelChecker(tree, backend=backend).table(formula)
 
 
-def holds(tree: Tree, formula: ast.Formula, env: dict[str, int] | None = None) -> bool:
-    return ModelChecker(tree).holds(formula, env)
+def holds(
+    tree: Tree,
+    formula: ast.Formula,
+    env: dict[str, int] | None = None,
+    backend: str = "table",
+) -> bool:
+    return ModelChecker(tree, backend=backend).holds(formula, env)
 
 
-def formula_node_set(tree: Tree, formula: ast.Formula, var: str) -> set[int]:
-    return ModelChecker(tree).node_set(formula, var)
+def formula_node_set(
+    tree: Tree, formula: ast.Formula, var: str, backend: str = "table"
+) -> set[int]:
+    return ModelChecker(tree, backend=backend).node_set(formula, var)
 
 
 def formula_pairs(
-    tree: Tree, formula: ast.Formula, x: str, y: str
+    tree: Tree, formula: ast.Formula, x: str, y: str, backend: str = "table"
 ) -> set[tuple[int, int]]:
-    return ModelChecker(tree).pairs(formula, x, y)
+    return ModelChecker(tree, backend=backend).pairs(formula, x, y)

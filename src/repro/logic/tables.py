@@ -70,7 +70,14 @@ class Table:
     # -- relational algebra ------------------------------------------------
 
     def join(self, other: "Table") -> "Table":
-        """Natural join on shared columns."""
+        """Natural join on shared columns (hash join, smaller side indexed)."""
+        # Boolean operands: true is the join identity, false annihilates.
+        if not self.columns:
+            return other if self.truth else Table(other.columns, frozenset())
+        if not other.columns:
+            return self if other.truth else Table(self.columns, frozenset())
+        if self.columns == other.columns:
+            return Table(self.columns, self.rows & other.rows)
         shared = tuple(c for c in self.columns if c in other.columns)
         if not shared:
             columns = tuple(sorted(self.columns + other.columns))
@@ -79,22 +86,25 @@ class Table:
                 order(a, b) for a in self.rows for b in other.rows
             )
             return Table(columns, rows)
-        self_key = [self.columns.index(c) for c in shared]
-        other_key = [other.columns.index(c) for c in shared]
-        other_rest = [
-            i for i, c in enumerate(other.columns) if c not in shared
+        # Build the hash index over the smaller operand, probe with the other.
+        probe, build = self, other
+        if len(build.rows) > len(probe.rows):
+            probe, build = build, probe
+        probe_key = [probe.columns.index(c) for c in shared]
+        build_key = [build.columns.index(c) for c in shared]
+        build_rest = [
+            i for i, c in enumerate(build.columns) if c not in shared
         ]
         columns = tuple(sorted(set(self.columns) | set(other.columns)))
-        # index `other` rows by key
         index: dict[tuple[int, ...], list[tuple[int, ...]]] = {}
-        for row in other.rows:
-            key = tuple(row[i] for i in other_key)
-            index.setdefault(key, []).append(tuple(row[i] for i in other_rest))
-        merged_cols = list(self.columns) + [other.columns[i] for i in other_rest]
+        for row in build.rows:
+            key = tuple(row[i] for i in build_key)
+            index.setdefault(key, []).append(tuple(row[i] for i in build_rest))
+        merged_cols = list(probe.columns) + [build.columns[i] for i in build_rest]
         reorder = [merged_cols.index(c) for c in columns]
         rows = set()
-        for row in self.rows:
-            key = tuple(row[i] for i in self_key)
+        for row in probe.rows:
+            key = tuple(row[i] for i in probe_key)
             for rest in index.get(key, ()):
                 merged = row + rest
                 rows.add(tuple(merged[i] for i in reorder))

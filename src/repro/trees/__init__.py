@@ -31,6 +31,7 @@ from .generate import (
     random_tree,
     star,
 )
+from .index import Scope, TreeIndex, tree_index
 from .node import Node
 from .tree import Tree
 from .xml_io import XmlReadOptions, XmlSyntaxError, parse_xml, to_xml
@@ -41,7 +42,9 @@ __all__ = [
     "PRIMITIVE_AXES",
     "TRANSITIVE_AXES",
     "Node",
+    "Scope",
     "Tree",
+    "TreeIndex",
     "XmlReadOptions",
     "XmlSyntaxError",
     "all_shapes",
@@ -60,4 +63,5 @@ __all__ = [
     "random_tree",
     "star",
     "to_xml",
+    "tree_index",
 ]

@@ -121,7 +121,8 @@ class Tree:
         self._alphabet: frozenset[str] | None = None
         self._shape = None
         self._postorder: tuple[int, ...] | None = None
-        # Per-tree bitset index, built lazily by repro.xpath.engine.kernels.
+        # Per-tree bitset index, built lazily by repro.trees.index and
+        # shared by the XPath plans, the logic engine, and the automata.
         self._engine_index = None
 
     # -- construction --------------------------------------------------------

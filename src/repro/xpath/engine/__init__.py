@@ -5,9 +5,10 @@ This package is the performance engine behind
 
 * :mod:`repro.xpath.engine.bitset` — node sets as Python big-int bitmasks
   over preorder ids;
-* :mod:`repro.xpath.engine.kernels` — per-tree precomputed indexes
-  (interval tables, per-label masks, shift groups) and whole-set axis
-  kernels;
+* :mod:`repro.trees.index` — per-tree precomputed indexes (interval
+  tables, per-label masks, shift groups) and whole-set axis kernels,
+  shared with the logic engine and the automata (re-exported here via the
+  :mod:`repro.xpath.engine.kernels` shim);
 * :mod:`repro.xpath.engine.plan` — one-time compilation of a parsed AST
   into a plan of closures, with structural memoization shared across
   queries on the same tree.

@@ -1,285 +1,11 @@
-"""Per-tree bitset indexes and vectorized axis kernels.
-
-A :class:`TreeIndex` is built once per tree (and cached on the tree) and
-precomputes everything the compiled query plans need:
-
-* ``prefix[i] = (1 << i) - 1`` — interval masks ``[a, b)`` are
-  ``prefix[b] ^ prefix[a]``;
-* per-label bitmasks (label tests become one dict lookup);
-* ``after[v] = v + subtree_size(v)`` — the end of ``v``'s preorder
-  interval; equivalently ``postorder[v] + depth[v] + 1``;
-* per-node children masks (sibling-block masks keyed by the parent);
-* *delta groups* for the one-step axes: nodes grouped by ``v - parent(v)``
-  (for ``child``/``parent``) and by subtree size (for ``right``/``left``,
-  since the next sibling of ``v`` is exactly ``v + subtree_size(v)``).
-  A one-step image is then a union of ``(mask & group) << delta`` — a few
-  big-int shifts instead of a Python-level loop over nodes.
-
-Axis kernels all have the signature ``kernel(mask, scope) -> mask`` and
-assume the input mask is a subset of the scope's subtree interval.  The
-scope root behaves exactly like a tree root (no parent, no siblings), which
-is what the paper's ``W`` operator requires; whole-tree evaluation is the
-special case ``scope root = 0``.
+"""Compatibility shim — the per-tree bitset index moved to
+:mod:`repro.trees.index` so that the XPath plans, the bitset FO(MTC) model
+checker (:mod:`repro.logic.engine`) and the bit-parallel automaton runs
+(:mod:`repro.automata.twa`) all share one cached index per tree.
 """
 
 from __future__ import annotations
 
-from ...trees.axes import Axis
-from ...trees.tree import Tree
+from ...trees.index import Scope, TreeIndex, tree_index
 
 __all__ = ["Scope", "TreeIndex", "tree_index"]
-
-
-class Scope:
-    """An evaluation scope: the subtree rooted at ``root`` as an interval."""
-
-    __slots__ = ("root", "lo", "hi", "mask", "root_bit")
-
-    def __init__(self, root: int, lo: int, hi: int, mask: int):
-        self.root = root
-        self.lo = lo
-        self.hi = hi
-        self.mask = mask
-        self.root_bit = 1 << root
-
-    def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"Scope(root={self.root}, ids=[{self.lo}, {self.hi}))"
-
-
-class TreeIndex:
-    """Precomputed bitset indexes and axis kernels for one tree.
-
-    Also owns the compiled-plan caches (filled by
-    :mod:`repro.xpath.engine.plan`), so plans are shared by every evaluator
-    and every query on the same tree.
-    """
-
-    def __init__(self, tree: Tree):
-        self.tree = tree
-        n = tree.size
-        self.n = n
-
-        prefix = [0] * (n + 1)
-        mask = 0
-        for i in range(n + 1):
-            prefix[i] = mask
-            mask = (mask << 1) | 1
-        self.prefix = prefix
-        self.full = prefix[n]
-
-        label_masks: dict[str, int] = {}
-        for v, lbl in enumerate(tree.labels):
-            label_masks[lbl] = label_masks.get(lbl, 0) | (1 << v)
-        self.label_masks = label_masks
-
-        sizes = tree.subtree_sizes
-        self.after = [v + sizes[v] for v in range(n)]
-
-        parent = tree.parent
-        children_of = [0] * n
-        delta_groups: dict[int, int] = {}
-        for v in range(1, n):
-            p = parent[v]
-            children_of[p] |= 1 << v
-            d = v - p
-            delta_groups[d] = delta_groups.get(d, 0) | (1 << v)
-        self.children_of = children_of
-        #: (delta, mask-of-nodes-with-that-parent-offset), ascending delta.
-        self.delta_groups = sorted(delta_groups.items())
-
-        next_sibling = tree.next_sibling
-        sib_groups: dict[int, int] = {}
-        for v in range(n):
-            if next_sibling[v] >= 0:
-                s = sizes[v]  # next sibling sits exactly subtree_size away
-                sib_groups[s] = sib_groups.get(s, 0) | (1 << v)
-        #: (size, mask-of-nodes-with-a-next-sibling-of-that-offset).
-        self.sib_groups = sorted(sib_groups.items())
-
-        self._after_leq: list[int] | None = None  # lazy, for `preceding`
-        self._scopes: dict[int, Scope] = {}
-
-        # Compiled-plan caches, keyed *structurally* on the expression
-        # (AST nodes are frozen dataclasses).  Filled by engine.plan.
-        self.path_plans: dict = {}
-        self.node_plans: dict = {}
-
-        self._kernels = {
-            Axis.SELF: self.self_,
-            Axis.CHILD: self.child,
-            Axis.PARENT: self.parent,
-            Axis.RIGHT: self.right,
-            Axis.LEFT: self.left,
-            Axis.DESCENDANT: self.descendant,
-            Axis.ANCESTOR: self.ancestor,
-            Axis.DESCENDANT_OR_SELF: self.descendant_or_self,
-            Axis.ANCESTOR_OR_SELF: self.ancestor_or_self,
-            Axis.FOLLOWING_SIBLING: self.following_sibling,
-            Axis.PRECEDING_SIBLING: self.preceding_sibling,
-            Axis.FOLLOWING: self.following,
-            Axis.PRECEDING: self.preceding,
-        }
-
-    # -- scopes -----------------------------------------------------------
-
-    def scope(self, root: int | None) -> Scope:
-        """The (cached) scope for ``root`` (``None`` = whole tree)."""
-        if root is None:
-            root = 0
-        sc = self._scopes.get(root)
-        if sc is None:
-            lo, hi = root, self.after[root]
-            sc = Scope(root, lo, hi, self.prefix[hi] ^ self.prefix[lo])
-            self._scopes[root] = sc
-        return sc
-
-    def kernel(self, axis: Axis):
-        """The ``(mask, scope) -> mask`` kernel for ``axis``."""
-        return self._kernels[axis]
-
-    # -- one-step kernels (grouped shift-and-mask) ------------------------
-
-    def self_(self, S: int, sc: Scope) -> int:
-        return S
-
-    def child(self, S: int, sc: Scope) -> int:
-        # v is a child of a source iff (v - delta(v)) is a source.
-        acc = 0
-        for d, gmask in self.delta_groups:
-            acc |= (S << d) & gmask
-        return acc
-
-    def parent(self, S: int, sc: Scope) -> int:
-        S &= ~sc.root_bit  # the scope root navigates like a tree root
-        acc = 0
-        for d, gmask in self.delta_groups:
-            acc |= (S & gmask) >> d
-        return acc
-
-    def right(self, S: int, sc: Scope) -> int:
-        S &= ~sc.root_bit
-        acc = 0
-        for s, gmask in self.sib_groups:
-            acc |= (S & gmask) << s
-        return acc
-
-    def left(self, S: int, sc: Scope) -> int:
-        S &= ~sc.root_bit
-        acc = 0
-        for s, gmask in self.sib_groups:
-            acc |= (S >> s) & gmask
-        return acc
-
-    # -- interval kernels --------------------------------------------------
-
-    def descendant(self, S: int, sc: Scope) -> int:
-        # Union of preorder intervals; sources already inside an earlier
-        # interval are pruned wholesale (their subtree is covered).
-        acc = 0
-        prefix = self.prefix
-        after = self.after
-        rem = S
-        while rem:
-            low = rem & -rem
-            v = low.bit_length() - 1
-            acc |= prefix[after[v]] ^ prefix[v + 1]
-            rem = (rem ^ low) & ~acc
-        return acc
-
-    def descendant_or_self(self, S: int, sc: Scope) -> int:
-        return S | self.descendant(S, sc)
-
-    def ancestor(self, S: int, sc: Scope) -> int:
-        # Fixpoint of the parent kernel: one sweep per tree level, with the
-        # already-reached mask pruning shared ancestor chains.
-        acc = 0
-        frontier = S
-        while frontier:
-            frontier = self.parent(frontier, sc) & ~acc
-            acc |= frontier
-        return acc
-
-    def ancestor_or_self(self, S: int, sc: Scope) -> int:
-        return S | self.ancestor(S, sc)
-
-    def following(self, S: int, sc: Scope) -> int:
-        # following(S) = [min after(v), scope end): one interval, whose left
-        # end is found by descending the first source's subtree chain.
-        if not S:
-            return 0
-        prefix = self.prefix
-        after = self.after
-        v = (S & -S).bit_length() - 1
-        m = after[v]
-        while True:
-            # Only sources *inside* the current minimum's subtree can end
-            # earlier; everything else starts at or after m.
-            inner = S & (prefix[m] ^ prefix[v + 1])
-            if not inner:
-                break
-            v = (inner & -inner).bit_length() - 1
-            m = after[v]
-        return prefix[sc.hi] ^ prefix[m]
-
-    def preceding(self, S: int, sc: Scope) -> int:
-        # u precedes some source iff u's subtree ends by the last source:
-        # after(u) <= max(S).  One lookup in the cumulative after-table.
-        if not S:
-            return 0
-        return self.after_leq(S.bit_length() - 1) & sc.mask
-
-    # -- sibling closures --------------------------------------------------
-
-    def following_sibling(self, S: int, sc: Scope) -> int:
-        # Sibling blocks are the children mask of the parent; following
-        # siblings are the block members with larger preorder id.
-        S &= ~sc.root_bit
-        acc = 0
-        parent = self.tree.parent
-        children_of = self.children_of
-        prefix = self.prefix
-        rem = S
-        while rem:
-            low = rem & -rem
-            v = low.bit_length() - 1
-            acc |= children_of[parent[v]] & ~prefix[v + 1]
-            rem = (rem ^ low) & ~acc
-        return acc
-
-    def preceding_sibling(self, S: int, sc: Scope) -> int:
-        S &= ~sc.root_bit
-        acc = 0
-        parent = self.tree.parent
-        children_of = self.children_of
-        prefix = self.prefix
-        rem = S
-        while rem:
-            v = rem.bit_length() - 1  # descending, so covered bits prune
-            acc |= children_of[parent[v]] & prefix[v]
-            rem = (rem ^ (1 << v)) & ~acc
-        return acc
-
-    # -- lazy tables -------------------------------------------------------
-
-    def after_leq(self, m: int) -> int:
-        """Mask of nodes ``u`` whose subtree ends by ``m`` (after(u) <= m)."""
-        if self._after_leq is None:
-            by_after = [0] * (self.n + 1)
-            for u, a in enumerate(self.after):
-                by_after[a] |= 1 << u
-            acc = 0
-            table = []
-            for a in range(self.n + 1):
-                acc |= by_after[a]
-                table.append(acc)
-            self._after_leq = table
-        return self._after_leq[m]
-
-
-def tree_index(tree: Tree) -> TreeIndex:
-    """The per-tree :class:`TreeIndex`, built once and cached on the tree."""
-    index = tree._engine_index
-    if index is None:
-        index = TreeIndex(tree)
-        tree._engine_index = index
-    return index

@@ -25,11 +25,11 @@ from __future__ import annotations
 
 from typing import Callable, Iterable
 
+from ...trees.index import Scope, TreeIndex, tree_index
 from ...trees.tree import Tree
 from .. import ast
 from ..evaluator import Evaluator, converse
 from .bitset import from_ids, iter_bits, to_frozenset, to_set
-from .kernels import Scope, TreeIndex, tree_index
 
 __all__ = ["BitsetEvaluator", "compile_path_plan", "compile_node_plan"]
 

@@ -1,0 +1,93 @@
+"""Fuzzing the two TWA run strategies against each other.
+
+The bit-parallel frontier sweep (``strategy="bitset"``) and the
+config-at-a-time BFS walk (``strategy="deque"``) implement the same
+configuration-graph reachability; agreement on random machines × random
+trees × random scopes — for plain and nested TWAs — is the correctness
+anchor for the sweep.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.automata import RUN_STRATEGIES, random_nested_twa, random_twa
+from repro.trees import random_tree
+
+
+class TestStrategyDispatch:
+    def test_known_strategies(self):
+        assert set(RUN_STRATEGIES) == {"bitset", "deque"}
+
+    def test_unknown_strategy_rejected(self):
+        twa = random_twa(rng=random.Random(0))
+        tree = random_tree(4, rng=random.Random(0))
+        with pytest.raises(ValueError, match="unknown run strategy"):
+            twa.accepts(tree, strategy="nope")
+        with pytest.raises(ValueError, match="unknown run strategy"):
+            twa.reachable_configs(tree, strategy="nope")
+
+
+class TestTwaStrategiesAgree:
+    @settings(max_examples=150, deadline=None)
+    @given(
+        seed=st.integers(0, 10**9),
+        size=st.integers(1, 20),
+        num_states=st.integers(1, 5),
+    )
+    def test_accepts(self, seed, size, num_states):
+        rng = random.Random(seed)
+        twa = random_twa(num_states=num_states, rng=rng)
+        tree = random_tree(size, rng=rng)
+        scope = rng.randrange(tree.size)
+        assert twa.accepts(tree, scope=scope, strategy="bitset") == twa.accepts(
+            tree, scope=scope, strategy="deque"
+        )
+
+    @settings(max_examples=120, deadline=None)
+    @given(
+        seed=st.integers(0, 10**9),
+        size=st.integers(1, 16),
+        num_states=st.integers(1, 4),
+    )
+    def test_reachable_configs(self, seed, size, num_states):
+        rng = random.Random(seed)
+        twa = random_twa(num_states=num_states, rng=rng)
+        tree = random_tree(size, rng=rng)
+        scope = rng.randrange(tree.size)
+        assert twa.reachable_configs(
+            tree, scope=scope, strategy="bitset"
+        ) == twa.reachable_configs(tree, scope=scope, strategy="deque")
+
+
+class TestNestedStrategiesAgree:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        seed=st.integers(0, 10**9),
+        size=st.integers(1, 10),
+        depth=st.integers(0, 2),
+    )
+    def test_accepts(self, seed, size, depth):
+        rng = random.Random(seed)
+        nested = random_nested_twa(depth=depth, rng=rng)
+        tree = random_tree(size, rng=rng)
+        scope = rng.randrange(tree.size)
+        assert nested.accepts(
+            tree, scope=scope, strategy="bitset"
+        ) == nested.accepts(tree, scope=scope, strategy="deque")
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 10**9), size=st.integers(1, 8))
+    def test_subtree_masks_match_bits(self, seed, size):
+        rng = random.Random(seed)
+        nested = random_nested_twa(depth=1, rng=rng)
+        tree = random_tree(size, rng=rng)
+        bits = nested.subtree_bits(tree)
+        masks = nested.subtree_masks(tree)
+        for i in range(len(nested.subautomata)):
+            expected = 0
+            for v in tree.node_ids:
+                if bits[v][i]:
+                    expected |= 1 << v
+            assert masks[i] == expected

@@ -1,0 +1,147 @@
+"""Fuzzing the two model-checker backends against each other.
+
+The row-wise ``table`` backend and the columnar ``bitset`` backend
+(:mod:`repro.logic.engine`) share the bottom-up evaluation *scheme* but no
+data structures: tables are frozensets of tuples on one side and big-int
+masks on the other, and TC is a tuple BFS versus a semi-naive mask sweep.
+Agreement on random formulas × random trees — including nested TC and the
+T1 translation images of Regular XPath(W) queries — is the correctness
+anchor for the bitset engine.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.logic import (
+    CHECKER_BACKENDS,
+    ModelChecker,
+    ast as fo,
+    formula_node_set,
+    formula_pairs,
+    holds,
+    satisfying_table,
+)
+from repro.logic.random_formulas import FormulaSampler, random_formula
+from repro.translations import xpath_to_mtc
+from repro.trees import random_tree
+from repro.xpath import parse_node, parse_path
+
+
+class TestDispatch:
+    def test_backend_selection(self):
+        tree = random_tree(5, rng=random.Random(0))
+        assert ModelChecker(tree).backend == "table"
+        assert ModelChecker(tree, backend="table").backend == "table"
+        assert ModelChecker(tree, backend="bitset").backend == "bitset"
+        assert set(CHECKER_BACKENDS) == {"table", "bitset"}
+
+    def test_unknown_backend_rejected(self):
+        tree = random_tree(3, rng=random.Random(0))
+        with pytest.raises(ValueError, match="unknown checker backend"):
+            ModelChecker(tree, backend="nope")
+
+    def test_structural_memoization(self):
+        # Structurally equal subformulas share one cache entry even when the
+        # AST objects are distinct.
+        tree = random_tree(6, rng=random.Random(1))
+        for backend in CHECKER_BACKENDS:
+            checker = ModelChecker(tree, backend=backend)
+            first = checker.table(fo.LabelAtom("a", "x"))
+            second = checker.table(fo.LabelAtom("a", "x"))
+            assert first is second
+
+
+class TestBackendsAgree:
+    @settings(max_examples=120, deadline=None)
+    @given(seed=st.integers(0, 10**9), budget=st.integers(1, 8), size=st.integers(1, 8))
+    def test_satisfying_tables(self, seed, budget, size):
+        rng = random.Random(seed)
+        formula = random_formula(["x", "y"], budget=budget, rng=rng)
+        tree = random_tree(size, rng=rng)
+        assert satisfying_table(tree, formula) == satisfying_table(
+            tree, formula, backend="bitset"
+        )
+
+    @settings(max_examples=80, deadline=None)
+    @given(seed=st.integers(0, 10**9), budget=st.integers(1, 6), size=st.integers(1, 6))
+    def test_sentences(self, seed, budget, size):
+        rng = random.Random(seed)
+        formula = random_formula([], budget=budget, rng=rng)
+        tree = random_tree(size, rng=rng)
+        assert holds(tree, formula) == holds(tree, formula, backend="bitset")
+
+    @settings(max_examples=80, deadline=None)
+    @given(seed=st.integers(0, 10**9), budget=st.integers(1, 7), size=st.integers(1, 7))
+    def test_node_sets(self, seed, budget, size):
+        rng = random.Random(seed)
+        formula = random_formula(["x"], budget=budget, rng=rng)
+        tree = random_tree(size, rng=rng)
+        assert formula_node_set(tree, formula, "x") == formula_node_set(
+            tree, formula, "x", backend="bitset"
+        )
+
+    @settings(max_examples=80, deadline=None)
+    @given(seed=st.integers(0, 10**9), budget=st.integers(1, 6), size=st.integers(1, 6))
+    def test_pairs(self, seed, budget, size):
+        rng = random.Random(seed)
+        formula = random_formula(["x", "y"], budget=budget, rng=rng)
+        tree = random_tree(size, rng=rng)
+        assert formula_pairs(tree, formula, "x", "y") == formula_pairs(
+            tree, formula, "x", "y", backend="bitset"
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(seed=st.integers(0, 10**9), size=st.integers(1, 7))
+    def test_nested_tc(self, seed, size):
+        # Force a TC whose body itself contains a TC (the sampler only
+        # sometimes nests them).
+        rng = random.Random(seed)
+        sampler = FormulaSampler(rng=rng)
+        inner = sampler.formula(["u", "v"], budget=3)
+        body = fo.And(fo.TC("u", "v", inner, "x", "y"), sampler.formula(["x"], budget=2))
+        formula = fo.TC("x", "y", body, "x", "y")
+        tree = random_tree(size, rng=rng)
+        assert formula_pairs(tree, formula, "x", "y") == formula_pairs(
+            tree, formula, "x", "y", backend="bitset"
+        )
+
+
+class TestTranslationImagesAgree:
+    """Backend agreement on the T1 images — formulas with the shapes the
+    XPath→FO(MTC) translation actually produces (heavy on TC)."""
+
+    NODE_QUERIES = [
+        "<(child/right)*[b]>",
+        "<(child[a] | right)+>",
+        "<descendant[a and <right>]>",
+        "not W(<child[W(root)]>)",
+        "<ancestor[W(<child[b]>)]>",
+    ]
+    PATH_QUERIES = [
+        "(child[a]/right)*",
+        "child+ | right+",
+        "descendant[W(<child>)]",
+        "preceding_sibling/ancestor_or_self",
+    ]
+
+    @pytest.mark.parametrize("text", NODE_QUERIES)
+    def test_node_queries(self, text):
+        rng = random.Random(hash(text) & 0xFFFF)
+        formula = xpath_to_mtc(parse_node(text))
+        for __ in range(5):
+            tree = random_tree(rng.randint(3, 18), alphabet=("a", "b"), rng=rng)
+            assert formula_node_set(tree, formula, "x") == formula_node_set(
+                tree, formula, "x", backend="bitset"
+            )
+
+    @pytest.mark.parametrize("text", PATH_QUERIES)
+    def test_path_queries(self, text):
+        rng = random.Random(hash(text) & 0xFFFF)
+        formula = xpath_to_mtc(parse_path(text))
+        for __ in range(5):
+            tree = random_tree(rng.randint(3, 15), alphabet=("a", "b"), rng=rng)
+            assert formula_pairs(tree, formula, "x", "y") == formula_pairs(
+                tree, formula, "x", "y", backend="bitset"
+            )

@@ -1,0 +1,151 @@
+"""Unit tests for the columnar :class:`BitsetTable`.
+
+Every relational operation is checked against the row-wise
+:class:`repro.logic.tables.Table` doing the same thing — the two
+representations must stay interconvertible at every step.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.logic import BitsetTable, Table
+
+N = 6  # universe size for the random-relation tests
+FULL = (1 << N) - 1
+UNIVERSE = range(N)
+
+
+def random_bitset_table(rng, columns):
+    """A random BitsetTable over ``columns`` with values in range(N)."""
+    if not columns:
+        return BitsetTable.boolean(rng.random() < 0.5)
+    data = {}
+    for key in _all_keys(len(columns) - 1):
+        if rng.random() < 0.4:
+            mask = rng.randrange(1, 1 << N)
+            data[key] = mask
+    return BitsetTable(columns, data)
+
+
+def _all_keys(arity):
+    if arity == 0:
+        return [()]
+    return [
+        tuple(v)
+        for v in __import__("itertools").product(UNIVERSE, repeat=arity)
+    ]
+
+
+COLUMN_SETS = [(), ("x",), ("x", "y"), ("y",), ("x", "y", "z"), ("y", "z")]
+
+
+class TestRoundTrip:
+    def test_boolean(self):
+        assert BitsetTable.boolean(True).to_table() == Table.boolean(True)
+        assert BitsetTable.boolean(False).to_table() == Table.boolean(False)
+
+    def test_unary(self):
+        bt = BitsetTable.unary("x", 0b10110)
+        assert bt.to_table() == Table.unary("x", [1, 2, 4])
+        assert len(bt) == 3
+
+    def test_from_source_masks(self):
+        masks = {0: 0b110, 2: 0b001}
+        pairs = {(0, 1), (0, 2), (2, 0)}
+        assert BitsetTable.from_source_masks("x", "y", masks).to_table() == Table.binary(
+            "x", "y", pairs
+        )
+        assert BitsetTable.from_source_masks("y", "x", masks).to_table() == Table.binary(
+            "y", "x", pairs
+        )
+        diag = {0: 0b001, 1: 0b010, 2: 0b001}
+        assert BitsetTable.from_source_masks("x", "x", diag).to_table() == Table.binary(
+            "x", "x", {(0, 0), (1, 1), (2, 0)}
+        )
+
+
+class TestAlgebraMatchesTable:
+    @settings(max_examples=150, deadline=None)
+    @given(
+        seed=st.integers(0, 10**9),
+        ci=st.integers(0, len(COLUMN_SETS) - 1),
+        cj=st.integers(0, len(COLUMN_SETS) - 1),
+    )
+    def test_join(self, seed, ci, cj):
+        rng = random.Random(seed)
+        a = random_bitset_table(rng, COLUMN_SETS[ci])
+        b = random_bitset_table(rng, COLUMN_SETS[cj])
+        assert a.join(b).to_table() == a.to_table().join(b.to_table())
+
+    @settings(max_examples=100, deadline=None)
+    @given(seed=st.integers(0, 10**9), ci=st.integers(0, len(COLUMN_SETS) - 1))
+    def test_pad(self, seed, ci):
+        rng = random.Random(seed)
+        bt = random_bitset_table(rng, COLUMN_SETS[ci])
+        target = ("x", "y", "z")
+        assert bt.pad(target, N, FULL).to_table() == bt.to_table().pad(
+            target, UNIVERSE
+        )
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        seed=st.integers(0, 10**9),
+        ci=st.integers(0, len(COLUMN_SETS) - 1),
+        cj=st.integers(0, len(COLUMN_SETS) - 1),
+    )
+    def test_union(self, seed, ci, cj):
+        rng = random.Random(seed)
+        a = random_bitset_table(rng, COLUMN_SETS[ci])
+        b = random_bitset_table(rng, COLUMN_SETS[cj])
+        assert a.union(b, N, FULL).to_table() == a.to_table().union(
+            b.to_table(), UNIVERSE
+        )
+
+    @settings(max_examples=100, deadline=None)
+    @given(seed=st.integers(0, 10**9), ci=st.integers(0, len(COLUMN_SETS) - 1))
+    def test_complement(self, seed, ci):
+        rng = random.Random(seed)
+        bt = random_bitset_table(rng, COLUMN_SETS[ci])
+        assert bt.complement(N, FULL).to_table() == bt.to_table().complement(
+            UNIVERSE
+        )
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        seed=st.integers(0, 10**9),
+        ci=st.integers(1, len(COLUMN_SETS) - 1),
+        var=st.sampled_from(["x", "y", "z"]),
+    )
+    def test_project_away(self, seed, ci, var):
+        rng = random.Random(seed)
+        bt = random_bitset_table(rng, COLUMN_SETS[ci])
+        assert bt.project_away(var).to_table() == bt.to_table().project_away(var)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        seed=st.integers(0, 10**9),
+        ci=st.integers(1, len(COLUMN_SETS) - 1),
+        var=st.sampled_from(["x", "y", "z"]),
+        value=st.integers(0, N - 1),
+    )
+    def test_select_eq(self, seed, ci, var, value):
+        rng = random.Random(seed)
+        bt = random_bitset_table(rng, COLUMN_SETS[ci])
+        assert bt.select_eq(var, value).to_table() == bt.to_table().select_eq(
+            var, value
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(seed=st.integers(0, 10**9))
+    def test_column_extraction(self, seed):
+        rng = random.Random(seed)
+        bt = random_bitset_table(rng, ("x", "y"))
+        table = bt.to_table()
+        for var in ("x", "y"):
+            assert bt.column_values(var) == table.column_values(var)
+            assert bt.column_mask(var) == sum(
+                1 << v for v in table.column_values(var)
+            )
+        assert bt.pairs("x", "y") == table.pairs("x", "y")
+        assert bt.pairs("y", "x") == table.pairs("y", "x")
