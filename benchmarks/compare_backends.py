@@ -9,7 +9,12 @@ non-zero if a bitset engine falls below its regression gate:
 * C1 node-evaluation rows: ``--min-speedup`` (default 2×; the headline
   target at size 2048 is ≥10×, recorded in BENCH_eval.json);
 * C3 TC-heavy model-checking rows: ``--min-check-speedup`` (default 2×,
-  recorded in BENCH_modelcheck.json).
+  recorded in BENCH_modelcheck.json);
+* checkpoint-overhead rows: the same bitset workloads re-run with a
+  permissive :class:`~repro.runtime.ExecutionBudget` attached must stay
+  within ``--max-overhead`` percent (default 5%) of the unbudgeted run —
+  the cooperative cancellation checkpoints are priced at batch boundaries
+  precisely so that governance stays effectively free.
 
 Usage::
 
@@ -25,6 +30,7 @@ import sys
 import time
 
 from repro.logic import ModelChecker, parse_formula
+from repro.runtime import ExecutionBudget
 from repro.trees import random_deep_tree, random_tree
 from repro.xpath import Evaluator, parse_node, parse_path
 
@@ -62,6 +68,13 @@ def main(argv: list[str] | None = None) -> int:
         type=float,
         default=2.0,
         help="fail if the bitset checker is below this on any C3 TC-heavy row",
+    )
+    parser.add_argument(
+        "--max-overhead",
+        type=float,
+        default=5.0,
+        help="fail if attaching a (never-tripping) budget slows the bitset "
+        "engines by more than this many percent",
     )
     args = parser.parse_args(argv)
 
@@ -105,6 +118,30 @@ def main(argv: list[str] | None = None) -> int:
         if speedup < args.min_check_speedup:
             gate_failures.append((f"C3 TC-heavy n={size}", speedup))
 
+    # Checkpoint-overhead rows: the same bitset workloads with a permissive
+    # budget attached (never trips, but every cooperative checkpoint fires).
+    overhead_rows = []
+    ample = ExecutionBudget(max_steps=1 << 62)
+    overhead_reps = reps * 2
+    size = sizes[-1]
+    tree = random_tree(size, rng=random.Random(size * 3 + 1))
+    plain_ev = Evaluator(tree, backend="bitset")
+    budget_ev = Evaluator(tree, backend="bitset", budget=ample)
+    plain_t = median_seconds(lambda: plain_ev.image(STAR_QUERY, {0}), overhead_reps)
+    budget_t = median_seconds(lambda: budget_ev.image(STAR_QUERY, {0}), overhead_reps)
+    overhead_rows.append((f"star image n={size}", plain_t, budget_t))
+
+    size = check_sizes[-1]
+    tree = random_deep_tree(size, rng=random.Random(size))
+    plain_t = median_seconds(
+        lambda: ModelChecker(tree, backend="bitset").holds(TC_HEAVY), overhead_reps
+    )
+    budget_t = median_seconds(
+        lambda: ModelChecker(tree, backend="bitset", budget=ample).holds(TC_HEAVY),
+        overhead_reps,
+    )
+    overhead_rows.append((f"C3 TC-heavy n={size}", plain_t, budget_t))
+
     header = f"{'workload':<22} {'reference':>12} {'bitset':>12} {'speedup':>9}"
     print(header)
     print("-" * len(header))
@@ -114,20 +151,41 @@ def main(argv: list[str] | None = None) -> int:
             f"{speedup:>8.1f}x"
         )
 
+    print()
+    header = f"{'checkpoint overhead':<22} {'unbudgeted':>12} {'budgeted':>12} {'overhead':>9}"
+    print(header)
+    print("-" * len(header))
+    for name, plain_t, budget_t in overhead_rows:
+        overhead_pct = (budget_t / plain_t - 1.0) * 100.0
+        print(
+            f"{name:<22} {plain_t * 1e3:>10.3f}ms {budget_t * 1e3:>10.3f}ms "
+            f"{overhead_pct:>+8.1f}%"
+        )
+        if overhead_pct > args.max_overhead:
+            gate_failures.append((f"overhead {name}", overhead_pct))
+
     if gate_failures:
-        for name, speedup in gate_failures:
+        for name, value in gate_failures:
+            if name.startswith("overhead"):
+                print(
+                    f"FAIL: {name} checkpoint overhead {value:+.1f}% exceeds "
+                    f"the {args.max_overhead:.1f}% gate",
+                    file=sys.stderr,
+                )
+                continue
             gate = (
                 args.min_check_speedup if name.startswith("C3") else args.min_speedup
             )
             print(
-                f"FAIL: {name} speedup {speedup:.2f}x is below the "
+                f"FAIL: {name} speedup {value:.2f}x is below the "
                 f"{gate:.1f}x regression gate",
                 file=sys.stderr,
             )
         return 1
     print(
         f"OK: C1 node rows at or above {args.min_speedup:.1f}x, "
-        f"C3 TC-heavy rows at or above {args.min_check_speedup:.1f}x"
+        f"C3 TC-heavy rows at or above {args.min_check_speedup:.1f}x, "
+        f"checkpoint overhead within {args.max_overhead:.1f}%"
     )
     return 0
 

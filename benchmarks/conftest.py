@@ -16,6 +16,17 @@ import pytest
 
 from repro.trees import chain, comb, random_tree
 
+from compact_json import compact_in_place
+
+
+def pytest_benchmark_update_json(config, benchmarks, output_json):
+    """Emit the compact per-series schema instead of the raw round dumps.
+
+    The committed BENCH_*.json files use repro-bench-compact/1 (p50/p90 per
+    parametrization plus bitset-vs-reference speedups); see compact_json.py.
+    """
+    compact_in_place(output_json)
+
 
 @pytest.fixture(scope="session")
 def workload_trees():

@@ -25,6 +25,7 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass
 
+from ..runtime.budget import ExecutionBudget
 from ..trees.index import tree_index
 from ..trees.tree import Tree
 from .twa import (
@@ -83,7 +84,11 @@ class NestedTWA:
     # -- semantics ----------------------------------------------------------------
 
     def subtree_bits(
-        self, tree: Tree, scope: int = 0, strategy: str = "bitset"
+        self,
+        tree: Tree,
+        scope: int = 0,
+        strategy: str = "bitset",
+        budget: ExecutionBudget | None = None,
     ) -> list[tuple[bool, ...]]:
         """For every node of the scoped subtree: the tuple of accept bits of
         the sub-automata on that node's subtree.
@@ -92,26 +97,38 @@ class NestedTWA:
         """
         bits: list[tuple[bool, ...]] = [()] * tree.size
         for v in tree.subtree_ids(scope):
+            if budget is not None:
+                budget.tick()
             bits[v] = tuple(
-                sub.accepts(tree, scope=v, strategy=strategy)
+                sub.accepts(tree, scope=v, strategy=strategy, budget=budget)
                 for sub in self.subautomata
             )
         return bits
 
     def subtree_masks(
-        self, tree: Tree, scope: int = 0, strategy: str = "bitset"
+        self,
+        tree: Tree,
+        scope: int = 0,
+        strategy: str = "bitset",
+        budget: ExecutionBudget | None = None,
     ) -> tuple[int, ...]:
         """Per sub-automaton: the bitmask of in-scope nodes whose subtree it
         accepts (the columnar form of :meth:`subtree_bits`)."""
         masks = [0] * len(self.subautomata)
         for v in tree.subtree_ids(scope):
+            if budget is not None:
+                budget.tick()
             for i, sub in enumerate(self.subautomata):
-                if sub.accepts(tree, scope=v, strategy=strategy):
+                if sub.accepts(tree, scope=v, strategy=strategy, budget=budget):
                     masks[i] |= 1 << v
         return tuple(masks)
 
     def accepts(
-        self, tree: Tree, scope: int = 0, strategy: str = "bitset"
+        self,
+        tree: Tree,
+        scope: int = 0,
+        strategy: str = "bitset",
+        budget: ExecutionBudget | None = None,
     ) -> bool:
         """Acceptance by configuration-graph reachability.
 
@@ -123,10 +140,14 @@ class NestedTWA:
         if self.initial in self.accepting:
             return True
         if strategy == "deque":
-            return self._accepts_deque(tree, scope)
+            return self._accepts_deque(tree, scope, budget)
         index = tree_index(tree)
         sc = index.scope(scope)
-        sub_masks = self.subtree_masks(tree, scope) if self.subautomata else ()
+        sub_masks = (
+            self.subtree_masks(tree, scope, budget=budget)
+            if self.subautomata
+            else ()
+        )
         mask_of = observation_masks(index, sc)
         kernels = move_kernels(index)
         guard_masks: dict[Guard, int] = {}
@@ -164,11 +185,17 @@ class NestedTWA:
             program,
             sc,
             accept_only=True,
+            budget=budget,
         )
 
-    def _accepts_deque(self, tree: Tree, scope: int = 0) -> bool:
+    def _accepts_deque(
+        self,
+        tree: Tree,
+        scope: int = 0,
+        budget: ExecutionBudget | None = None,
+    ) -> bool:
         bits = (
-            self.subtree_bits(tree, scope, strategy="deque")
+            self.subtree_bits(tree, scope, strategy="deque", budget=budget)
             if self.subautomata
             else None
         )
@@ -176,6 +203,8 @@ class NestedTWA:
         seen = {start}
         queue = deque([start])
         while queue:
+            if budget is not None:
+                budget.tick()
             state, node = queue.popleft()
             obs = observation_at(tree, node, scope)
             for option in self.options(state, obs):

@@ -38,6 +38,8 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Iterable
 
+from ..runtime import faults
+from ..runtime.budget import ExecutionBudget
 from ..trees.index import Scope, TreeIndex, tree_index
 from ..trees.tree import Tree
 
@@ -159,6 +161,7 @@ def sweep_configs(
     program: list[list[tuple[int, object, int]]],
     sc: Scope,
     accept_only: bool,
+    budget: ExecutionBudget | None = None,
 ):
     """Bit-parallel configuration-graph reachability.
 
@@ -168,10 +171,14 @@ def sweep_configs(
     ``accept_only`` it returns a bool as soon as an accepting state's mask
     becomes nonempty; otherwise it returns the per-state reached masks.
     """
+    faults.check("automata.bitset")
     reached = [0] * num_states
     reached[initial] = sc.root_bit
     frontier = list(reached)
     while True:
+        if budget is not None:
+            # One checkpoint per BFS round of the configuration graph.
+            budget.tick()
         new = [0] * num_states
         for state, live in enumerate(frontier):
             if not live:
@@ -251,14 +258,18 @@ class TWA:
         ]
 
     def accepts(
-        self, tree: Tree, scope: int = 0, strategy: str = "bitset"
+        self,
+        tree: Tree,
+        scope: int = 0,
+        strategy: str = "bitset",
+        budget: ExecutionBudget | None = None,
     ) -> bool:
         """Does some run (started at the scope root) reach an accepting state?"""
         _check_strategy(strategy)
         if self.initial in self.accepting:
             return True
         if strategy == "deque":
-            return self._accepts_deque(tree, scope)
+            return self._accepts_deque(tree, scope, budget)
         index = tree_index(tree)
         sc = index.scope(scope)
         return sweep_configs(
@@ -268,15 +279,20 @@ class TWA:
             self._program(index, sc),
             sc,
             accept_only=True,
+            budget=budget,
         )
 
     def reachable_configs(
-        self, tree: Tree, scope: int = 0, strategy: str = "bitset"
+        self,
+        tree: Tree,
+        scope: int = 0,
+        strategy: str = "bitset",
+        budget: ExecutionBudget | None = None,
     ) -> set[tuple[int, int]]:
         """All reachable (state, node) configurations (for inspection)."""
         _check_strategy(strategy)
         if strategy == "deque":
-            return self._reachable_deque(tree, scope)
+            return self._reachable_deque(tree, scope, budget)
         index = tree_index(tree)
         sc = index.scope(scope)
         reached = sweep_configs(
@@ -286,6 +302,7 @@ class TWA:
             self._program(index, sc),
             sc,
             accept_only=False,
+            budget=budget,
         )
         configs: set[tuple[int, int]] = set()
         for state, mask in enumerate(reached):
@@ -295,11 +312,18 @@ class TWA:
                 mask ^= low
         return configs
 
-    def _accepts_deque(self, tree: Tree, scope: int = 0) -> bool:
+    def _accepts_deque(
+        self,
+        tree: Tree,
+        scope: int = 0,
+        budget: ExecutionBudget | None = None,
+    ) -> bool:
         start = (self.initial, scope)
         seen = {start}
         queue = deque([start])
         while queue:
+            if budget is not None:
+                budget.tick()
             state, node = queue.popleft()
             obs = observation_at(tree, node, scope)
             for move, next_state in self.options(state, obs):
@@ -314,11 +338,18 @@ class TWA:
                     queue.append(config)
         return False
 
-    def _reachable_deque(self, tree: Tree, scope: int = 0) -> set[tuple[int, int]]:
+    def _reachable_deque(
+        self,
+        tree: Tree,
+        scope: int = 0,
+        budget: ExecutionBudget | None = None,
+    ) -> set[tuple[int, int]]:
         start = (self.initial, scope)
         seen = {start}
         queue = deque([start])
         while queue:
+            if budget is not None:
+                budget.tick()
             state, node = queue.popleft()
             obs = observation_at(tree, node, scope)
             for move, next_state in self.options(state, obs):

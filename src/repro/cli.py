@@ -21,6 +21,19 @@ Commands:
 
 Queries sort themselves: input parseable as a node expression is treated as
 one, otherwise as a path expression.
+
+Resource governance (``eval`` / ``select`` / ``check``, budgets also on
+``equivalent`` / ``satisfiable``):
+
+* ``--timeout SECONDS`` — wall-clock deadline for the evaluation;
+* ``--max-steps N`` — cooperative step/fuel cap;
+* ``--max-nodes N`` — result-cardinality cap;
+* ``--fallback`` — retry a failed bitset run on the row-wise oracle backend;
+* ``--inject-fault SITE`` — arm a named fault site (testing the above).
+
+Exit codes: 0 success; 1 semantic "no" (NOT equivalent / UNSATISFIABLE /
+FAILS); 2 syntax or usage error; 3 I/O error; 4 deadline exceeded; 5 budget
+exhausted; 6 parser depth limit; 7 XML input limit; 8 engine fault.
 """
 
 from __future__ import annotations
@@ -39,6 +52,7 @@ from .decision import (
     standard_corpus,
 )
 from .logic.modelcheck import CHECKER_BACKENDS
+from .runtime import ExecutionBudget, ReproError, exit_code_for, faults
 from .trees import Tree, parse_xml, to_xml
 from .xpath import (
     BACKENDS,
@@ -73,6 +87,15 @@ def _load_tree(path: str | None) -> Tree:
         return parse_xml(handle.read())
 
 
+def _budget_from(args: argparse.Namespace) -> ExecutionBudget | None:
+    timeout = getattr(args, "timeout", None)
+    max_steps = getattr(args, "max_steps", None)
+    max_nodes = getattr(args, "max_nodes", None)
+    if timeout is None and max_steps is None and max_nodes is None:
+        return None
+    return ExecutionBudget(timeout=timeout, max_steps=max_steps, max_nodes=max_nodes)
+
+
 def _describe_nodes(tree: Tree, nodes) -> str:
     lines = []
     for node_id in sorted(nodes):
@@ -80,10 +103,19 @@ def _describe_nodes(tree: Tree, nodes) -> str:
     return "\n".join(lines) if lines else "  (none)"
 
 
+def _make_evaluator(tree: Tree, args: argparse.Namespace):
+    budget = _budget_from(args)
+    if getattr(args, "fallback", False):
+        from .runtime import GuardedEvaluator
+
+        return GuardedEvaluator(tree, budget, retry_on_budget=False)
+    return Evaluator(tree, backend=args.backend, budget=budget)
+
+
 def cmd_eval(args: argparse.Namespace) -> int:
     expr = parse_node(args.query)
     tree = _load_tree(args.file)
-    nodes = Evaluator(tree, backend=args.backend).nodes(expr)
+    nodes = _make_evaluator(tree, args).nodes(expr)
     print(f"{len(nodes)} node(s) satisfy {unparse(expr)}:")
     print(_describe_nodes(tree, nodes))
     return 0
@@ -92,7 +124,7 @@ def cmd_eval(args: argparse.Namespace) -> int:
 def cmd_select(args: argparse.Namespace) -> int:
     expr = parse_path(args.query)
     tree = _load_tree(args.file)
-    nodes = Evaluator(tree, backend=args.backend).image(expr, {0})
+    nodes = _make_evaluator(tree, args).image(expr, {0})
     print(f"{len(nodes)} node(s) reachable from the root via {unparse(expr)}:")
     print(_describe_nodes(tree, nodes))
     return 0
@@ -129,11 +161,12 @@ def cmd_equivalent(args: argparse.Namespace) -> int:
         print("error: cannot compare a node query with a path query", file=sys.stderr)
         return 2
     alphabet = tuple(args.alphabet)
+    budget = _budget_from(args)
     if is_downward(left) and is_downward(right):
         if isinstance(left, xp.NodeExpr):
-            witness = exact_equivalent(left, right, alphabet)
+            witness = exact_equivalent(left, right, alphabet, budget)
         else:
-            witness = exact_path_equivalent(left, right, alphabet)
+            witness = exact_path_equivalent(left, right, alphabet, budget)
         if witness is None:
             print(f"EQUIVALENT (exact, over alphabet {set(alphabet)})")
             return 0
@@ -142,9 +175,9 @@ def cmd_equivalent(args: argparse.Namespace) -> int:
         return 1
     corpus = standard_corpus(alphabet=alphabet)
     if isinstance(left, xp.NodeExpr):
-        report = check_node_equivalence(left, right, corpus)
+        report = check_node_equivalence(left, right, corpus, budget)
     else:
-        report = check_path_equivalence(left, right, corpus)
+        report = check_path_equivalence(left, right, corpus, budget)
     if report.equivalent_on_corpus:
         print(
             f"equivalent on the corpus ({report.trees_checked} trees, "
@@ -158,15 +191,16 @@ def cmd_equivalent(args: argparse.Namespace) -> int:
 def cmd_satisfiable(args: argparse.Namespace) -> int:
     expr = parse_node(args.query)
     alphabet = tuple(args.alphabet)
+    budget = _budget_from(args)
     if is_downward(expr):
-        witness = exact_satisfiable(expr, alphabet)
+        witness = exact_satisfiable(expr, alphabet, budget)
         if witness is None:
             print(f"UNSATISFIABLE (exact, over alphabet {set(alphabet)})")
             return 1
         print("SATISFIABLE; witness document:")
         print(to_xml(witness, indent="  "))
         return 0
-    found = find_satisfying_node(expr, standard_corpus(alphabet=alphabet))
+    found = find_satisfying_node(expr, standard_corpus(alphabet=alphabet), budget)
     if found is None:
         print("no satisfying node found on the corpus — not a proof of unsatisfiability")
         return 1
@@ -180,7 +214,13 @@ def cmd_check(args: argparse.Namespace) -> int:
 
     formula = parse_formula(args.formula)
     tree = _load_tree(args.file)
-    checker = ModelChecker(tree, backend=args.backend)
+    budget = _budget_from(args)
+    if getattr(args, "fallback", False):
+        from .runtime import GuardedModelChecker
+
+        checker = GuardedModelChecker(tree, budget, retry_on_budget=False)
+    else:
+        checker = ModelChecker(tree, backend=args.backend, budget=budget)
     free = tuple(sorted(free_variables(formula)))
     if len(free) == 0:
         verdict = checker.holds(formula)
@@ -231,6 +271,40 @@ def cmd_classify(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_budget_arguments(p: argparse.ArgumentParser, engine: bool = True) -> None:
+    p.add_argument(
+        "--timeout",
+        type=float,
+        metavar="SECONDS",
+        help="wall-clock deadline; exceeding it exits with code 4",
+    )
+    p.add_argument(
+        "--max-steps",
+        type=int,
+        metavar="N",
+        help="cooperative step/fuel cap; exceeding it exits with code 5",
+    )
+    p.add_argument(
+        "--max-nodes",
+        type=int,
+        metavar="N",
+        help="result-cardinality cap; exceeding it exits with code 5",
+    )
+    if engine:
+        p.add_argument(
+            "--fallback",
+            action="store_true",
+            help="retry a failed or budget-tripped bitset run on the "
+            "row-wise oracle backend",
+        )
+        p.add_argument(
+            "--inject-fault",
+            action="append",
+            metavar="SITE",
+            help="arm a named fault-injection site (repeatable; for testing)",
+        )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -248,6 +322,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="bitset",
         help="evaluation engine (default: the compiled bitset backend)",
     )
+    _add_budget_arguments(p)
     p.set_defaults(func=cmd_eval)
 
     p = sub.add_parser("select", help="select nodes from the root via a path")
@@ -259,6 +334,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="bitset",
         help="evaluation engine (default: the compiled bitset backend)",
     )
+    _add_budget_arguments(p)
     p.set_defaults(func=cmd_select)
 
     p = sub.add_parser("translate", help="FO(MTC) rendering and round trip")
@@ -269,11 +345,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("left")
     p.add_argument("right")
     p.add_argument("--alphabet", default="ab", help="labels, e.g. 'abc'")
+    _add_budget_arguments(p, engine=False)
     p.set_defaults(func=cmd_equivalent)
 
     p = sub.add_parser("satisfiable", help="satisfiability of a node query")
     p.add_argument("query")
     p.add_argument("--alphabet", default="ab")
+    _add_budget_arguments(p, engine=False)
     p.set_defaults(func=cmd_satisfiable)
 
     p = sub.add_parser("check", help="model-check an FO(MTC) formula")
@@ -285,6 +363,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="bitset",
         help="model-checking engine (default: the columnar bitset backend)",
     )
+    _add_budget_arguments(p)
     p.set_defaults(func=cmd_check)
 
     p = sub.add_parser("simplify", help="apply the sound rewrite system")
@@ -301,8 +380,14 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    armed = list(getattr(args, "inject_fault", None) or ())
+    for site in armed:
+        faults.arm(site)
     try:
         return args.func(args)
-    except (XPathSyntaxError, NotDownward, OSError, ValueError) as exc:
+    except (ReproError, NotDownward, OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return exit_code_for(exc)
+    finally:
+        for site in armed:
+            faults.disarm(site)

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..runtime.budget import ExecutionBudget
 from ..trees.tree import Tree
 from ..xpath import ast as xp
 from ..xpath.evaluator import Evaluator
@@ -67,8 +68,14 @@ class EquivalenceReport:
         return self.counterexample is None
 
 
-def _sweep(corpus: Corpus, compare) -> EquivalenceReport:
+def _sweep(
+    corpus: Corpus, compare, budget: ExecutionBudget | None = None
+) -> EquivalenceReport:
     for index, tree in enumerate(corpus):
+        if budget is not None:
+            # One checkpoint per corpus tree; the per-tree evaluators carry
+            # the same budget for their own engine-level checkpoints.
+            budget.tick()
         detail = compare(tree)
         if detail is not None:
             return EquivalenceReport(
@@ -78,13 +85,16 @@ def _sweep(corpus: Corpus, compare) -> EquivalenceReport:
 
 
 def check_node_equivalence(
-    left: xp.NodeExpr, right: xp.NodeExpr, corpus: Corpus | None = None
+    left: xp.NodeExpr,
+    right: xp.NodeExpr,
+    corpus: Corpus | None = None,
+    budget: ExecutionBudget | None = None,
 ) -> EquivalenceReport:
     """Do the two node expressions select the same nodes on every corpus tree?"""
     corpus = corpus or standard_corpus()
 
     def compare(tree: Tree) -> str | None:
-        evaluator = Evaluator(tree)
+        evaluator = Evaluator(tree, budget=budget)
         left_set = evaluator.nodes(left)
         right_set = evaluator.nodes(right)
         if left_set != right_set:
@@ -93,17 +103,20 @@ def check_node_equivalence(
             )
         return None
 
-    return _sweep(corpus, compare)
+    return _sweep(corpus, compare, budget)
 
 
 def check_path_equivalence(
-    left: xp.PathExpr, right: xp.PathExpr, corpus: Corpus | None = None
+    left: xp.PathExpr,
+    right: xp.PathExpr,
+    corpus: Corpus | None = None,
+    budget: ExecutionBudget | None = None,
 ) -> EquivalenceReport:
     """Do the two path expressions denote the same relation on every tree?"""
     corpus = corpus or standard_corpus()
 
     def compare(tree: Tree) -> str | None:
-        evaluator = Evaluator(tree)
+        evaluator = Evaluator(tree, budget=budget)
         left_pairs = evaluator.pairs(left)
         right_pairs = evaluator.pairs(right)
         if left_pairs != right_pairs:
@@ -112,48 +125,58 @@ def check_path_equivalence(
             return f"relations differ: +{sorted(only_left)} / -{sorted(only_right)}"
         return None
 
-    return _sweep(corpus, compare)
+    return _sweep(corpus, compare, budget)
 
 
 def check_node_containment(
-    small: xp.NodeExpr, large: xp.NodeExpr, corpus: Corpus | None = None
+    small: xp.NodeExpr,
+    large: xp.NodeExpr,
+    corpus: Corpus | None = None,
+    budget: ExecutionBudget | None = None,
 ) -> EquivalenceReport:
     """Is ``[[small]] ⊆ [[large]]`` on every corpus tree?"""
     corpus = corpus or standard_corpus()
 
     def compare(tree: Tree) -> str | None:
-        evaluator = Evaluator(tree)
+        evaluator = Evaluator(tree, budget=budget)
         extra = evaluator.nodes(small) - evaluator.nodes(large)
         if extra:
             return f"containment fails at nodes {sorted(extra)}"
         return None
 
-    return _sweep(corpus, compare)
+    return _sweep(corpus, compare, budget)
 
 
 def check_path_containment(
-    small: xp.PathExpr, large: xp.PathExpr, corpus: Corpus | None = None
+    small: xp.PathExpr,
+    large: xp.PathExpr,
+    corpus: Corpus | None = None,
+    budget: ExecutionBudget | None = None,
 ) -> EquivalenceReport:
     """Is the relation of ``small`` contained in that of ``large``?"""
     corpus = corpus or standard_corpus()
 
     def compare(tree: Tree) -> str | None:
-        evaluator = Evaluator(tree)
+        evaluator = Evaluator(tree, budget=budget)
         extra = evaluator.pairs(small) - evaluator.pairs(large)
         if extra:
             return f"containment fails at pairs {sorted(extra)}"
         return None
 
-    return _sweep(corpus, compare)
+    return _sweep(corpus, compare, budget)
 
 
 def find_satisfying_node(
-    expr: xp.NodeExpr, corpus: Corpus | None = None
+    expr: xp.NodeExpr,
+    corpus: Corpus | None = None,
+    budget: ExecutionBudget | None = None,
 ) -> Counterexample | None:
     """A corpus tree with a node satisfying ``expr`` (bounded satisfiability)."""
     corpus = corpus or standard_corpus()
     for tree in corpus:
-        nodes = Evaluator(tree).nodes(expr)
+        if budget is not None:
+            budget.tick()
+        nodes = Evaluator(tree, budget=budget).nodes(expr)
         if nodes:
             return Counterexample(tree, f"satisfied at nodes {sorted(nodes)}")
     return None

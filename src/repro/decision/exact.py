@@ -35,6 +35,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from ..runtime.budget import ExecutionBudget
 from ..trees.axes import Axis
 from ..trees.tree import Tree
 from ..xpath import ast as xp
@@ -144,7 +145,13 @@ class DownwardAnalysis:
     live in the same reachable states and can be compared directly.
     """
 
-    def __init__(self, expressions: Sequence[xp.NodeExpr], alphabet: Sequence[str]):
+    def __init__(
+        self,
+        expressions: Sequence[xp.NodeExpr],
+        alphabet: Sequence[str],
+        budget: ExecutionBudget | None = None,
+    ):
+        self.budget = budget
         self.alphabet = tuple(alphabet)
         if not self.alphabet:
             raise ValueError("the alphabet must be nonempty")
@@ -280,10 +287,15 @@ class DownwardAnalysis:
         # child lists witnessing them.
         u_witness: dict[tuple[frozenset[int], ...], list[Tree]] = {zero: []}
         states: dict[_State, Tree] = {}
+        budget = self.budget
         changed = True
         while changed:
             changed = False
             for union, children in list(u_witness.items()):
+                if budget is not None:
+                    # One checkpoint per explored U-vector per round; the
+                    # reachable state space can be exponential in the query.
+                    budget.tick()
                 for label in self.alphabet:
                     state = self.state_for(label, union)
                     if state not in states:
@@ -291,6 +303,8 @@ class DownwardAnalysis:
                         states[state] = Tree.build(shape)
                         changed = True
             for state, tree in list(states.items()):
+                if budget is not None:
+                    budget.tick()
                 for union, children in list(u_witness.items()):
                     bigger = tuple(
                         union[i] | state.alive[i] for i in range(len(self._nfas))
@@ -308,7 +322,9 @@ class DownwardAnalysis:
 
 
 def exact_satisfiable(
-    expr: xp.NodeExpr, alphabet: Sequence[str] = ("a", "b")
+    expr: xp.NodeExpr,
+    alphabet: Sequence[str] = ("a", "b"),
+    budget: ExecutionBudget | None = None,
 ) -> Tree | None:
     """A tree whose *root* satisfies the downward expression, or None.
 
@@ -317,7 +333,7 @@ def exact_satisfiable(
     complete decision procedure, unlike the corpus-bounded
     :func:`repro.decision.equivalence.find_satisfying_node`.
     """
-    analysis = DownwardAnalysis([expr], alphabet)
+    analysis = DownwardAnalysis([expr], alphabet, budget)
     for state, witness in analysis.reachable_states().items():
         if analysis.bit_of(expr, state):
             return witness
@@ -325,12 +341,15 @@ def exact_satisfiable(
 
 
 def exact_equivalent(
-    left: xp.NodeExpr, right: xp.NodeExpr, alphabet: Sequence[str] = ("a", "b")
+    left: xp.NodeExpr,
+    right: xp.NodeExpr,
+    alphabet: Sequence[str] = ("a", "b"),
+    budget: ExecutionBudget | None = None,
 ) -> Tree | None:
     """None if the two downward expressions agree at every node of every
     tree over ``alphabet``; otherwise a witness tree whose root satisfies
     exactly one of them."""
-    analysis = DownwardAnalysis([left, right], alphabet)
+    analysis = DownwardAnalysis([left, right], alphabet, budget)
     for state, witness in analysis.reachable_states().items():
         if analysis.bit_of(left, state) != analysis.bit_of(right, state):
             return witness
@@ -338,12 +357,15 @@ def exact_equivalent(
 
 
 def exact_contained(
-    small: xp.NodeExpr, large: xp.NodeExpr, alphabet: Sequence[str] = ("a", "b")
+    small: xp.NodeExpr,
+    large: xp.NodeExpr,
+    alphabet: Sequence[str] = ("a", "b"),
+    budget: ExecutionBudget | None = None,
 ) -> Tree | None:
     """None if ``[[small]] ⊆ [[large]]`` at every node of every tree;
     otherwise a witness tree whose root satisfies ``small`` but not
     ``large``."""
-    analysis = DownwardAnalysis([small, large], alphabet)
+    analysis = DownwardAnalysis([small, large], alphabet, budget)
     for state, witness in analysis.reachable_states().items():
         if analysis.bit_of(small, state) and not analysis.bit_of(large, state):
             return witness
@@ -391,7 +413,10 @@ def _mark_path(path: xp.PathExpr) -> xp.PathExpr:
 
 
 def exact_path_equivalent(
-    left: xp.PathExpr, right: xp.PathExpr, alphabet: Sequence[str] = ("a", "b")
+    left: xp.PathExpr,
+    right: xp.PathExpr,
+    alphabet: Sequence[str] = ("a", "b"),
+    budget: ExecutionBudget | None = None,
 ) -> Tree | None:
     """Exact relation equivalence for downward *path* expressions.
 
@@ -413,5 +438,5 @@ def exact_path_equivalent(
     left_node = xp.Exists(xp.Seq(_mark_path(left), xp.Check(marked_test)))
     right_node = xp.Exists(xp.Seq(_mark_path(right), xp.Check(marked_test)))
     return exact_equivalent(
-        left_node, right_node, tuple(alphabet) + tuple(marked_labels)
+        left_node, right_node, tuple(alphabet) + tuple(marked_labels), budget
     )

@@ -23,6 +23,8 @@ backend remains the default and the cross-validation oracle.
 
 from __future__ import annotations
 
+from ...runtime import faults
+from ...runtime.budget import ExecutionBudget
 from ...trees.index import tree_index
 from ...xpath.engine.bitset import iter_bits
 from .. import ast
@@ -33,7 +35,9 @@ from .bittable import BitsetTable
 __all__ = ["BitsetModelChecker", "mask_closure"]
 
 
-def mask_closure(successors: dict[int, int]) -> dict[int, int]:
+def mask_closure(
+    successors: dict[int, int], budget: ExecutionBudget | None = None
+) -> dict[int, int]:
     """Strict transitive closure of a successor-mask map.
 
     Two regimes:
@@ -55,6 +59,8 @@ def mask_closure(successors: dict[int, int]) -> dict[int, int]:
     closure: dict[int, int] = {}
     if forward:
         for v in sorted(successors, reverse=True):
+            if budget is not None:
+                budget.tick()
             mask = successors[v]
             reached = mask
             for w in iter_bits(mask):
@@ -64,6 +70,8 @@ def mask_closure(successors: dict[int, int]) -> dict[int, int]:
             closure[v] = reached
         return closure
     for source, first in successors.items():
+        if budget is not None:
+            budget.tick()
         reached = 0
         frontier = first
         while frontier:
@@ -83,8 +91,13 @@ class BitsetModelChecker(ModelChecker):
 
     backend = "bitset"
 
-    def __init__(self, tree, backend: str | None = None):
-        super().__init__(tree, backend)
+    def __init__(
+        self,
+        tree,
+        backend: str | None = None,
+        budget: ExecutionBudget | None = None,
+    ):
+        super().__init__(tree, backend, budget)
         self.index = tree_index(tree)
         self._bcache: dict[ast.Formula, BitsetTable] = {}
         self._table_cache: dict[ast.Formula, Table] = {}
@@ -93,6 +106,7 @@ class BitsetModelChecker(ModelChecker):
 
     def table(self, formula: ast.Formula) -> Table:
         """The row-wise table of satisfying assignments (converted once)."""
+        faults.check("logic.bitset")
         cached = self._table_cache.get(formula)
         if cached is None:
             cached = self.btable(formula).to_table()
@@ -109,6 +123,7 @@ class BitsetModelChecker(ModelChecker):
         return cached
 
     def holds(self, formula: ast.Formula, env: dict[str, int] | None = None) -> bool:
+        faults.check("logic.bitset")
         env = env or {}
         table = self.btable(formula)
         missing = [c for c in table.columns if c not in env]
@@ -119,6 +134,7 @@ class BitsetModelChecker(ModelChecker):
         return table.truth
 
     def node_set(self, formula: ast.Formula, var: str) -> set[int]:
+        faults.check("logic.bitset")
         table = self.btable(formula)
         if table.columns == ():
             return set(self.universe) if table.truth else set()
@@ -126,7 +142,10 @@ class BitsetModelChecker(ModelChecker):
             raise ValueError(
                 f"expected free variables ({var},), got {table.columns}"
             )
-        return set(iter_bits(table.data.get((), 0)))
+        mask = table.data.get((), 0)
+        if self.budget is not None:
+            self.budget.check_size(mask.bit_count())
+        return set(iter_bits(mask))
 
     def node_mask(self, formula: ast.Formula, var: str) -> int:
         """The satisfying set as a raw bitmask (bitset-backend extra)."""
@@ -140,6 +159,7 @@ class BitsetModelChecker(ModelChecker):
         return table.data.get((), 0)
 
     def pairs(self, formula: ast.Formula, x: str, y: str) -> set[tuple[int, int]]:
+        faults.check("logic.bitset")
         table = self.btable(formula)
         table = table.pad(
             tuple(sorted(set(table.columns) | {x, y})), self.index.n, self.index.full
@@ -147,13 +167,19 @@ class BitsetModelChecker(ModelChecker):
         extra = [c for c in table.columns if c not in (x, y)]
         if extra:
             raise ValueError(f"unexpected free variables {extra}")
-        return table.pairs(x, y)
+        result = table.pairs(x, y)
+        if self.budget is not None:
+            self.budget.check_size(len(result), "pair relation")
+        return result
 
     # -- evaluation ---------------------------------------------------------------
 
     def _eval(self, formula: ast.Formula) -> BitsetTable:
         index = self.index
         n, full = index.n, index.full
+        if self.budget is not None:
+            # One checkpoint per (uncached) subformula evaluation.
+            self.budget.tick()
         if isinstance(formula, ast.LabelAtom):
             return BitsetTable.unary(
                 formula.var, index.label_masks.get(formula.label, 0)
@@ -188,6 +214,7 @@ class BitsetModelChecker(ModelChecker):
         raise TypeError(f"unknown formula: {formula!r}")
 
     def _eval_tc(self, formula: ast.TC) -> BitsetTable:
+        faults.check("logic.bitset.tc")
         n, full = self.index.n, self.index.full
         body = self.btable(formula.body)
         cols = tuple(sorted(set(body.columns) | {formula.x, formula.y}))
@@ -235,7 +262,7 @@ class BitsetModelChecker(ModelChecker):
         tgt_is_mask = result_last == tgt and tgt != src and tgt not in params
 
         for pkey, successors in groups.items():
-            closure = mask_closure(successors)
+            closure = mask_closure(successors, self.budget)
             env_base = dict(zip(params, pkey))
             pinned_src = env_base.get(src)
             for a, reached in closure.items():

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 from collections import deque
 
+from ..runtime.budget import ExecutionBudget
 from ..trees.axes import Axis, axis_pairs
 from ..trees.tree import Tree
 from . import ast
@@ -84,14 +85,25 @@ class ModelChecker:
     #: Overridden per subclass; mirrors ``Evaluator.backend``.
     backend = "table"
 
-    def __new__(cls, tree: Tree, backend: str | None = None):
+    def __new__(
+        cls,
+        tree: Tree,
+        backend: str | None = None,
+        budget: ExecutionBudget | None = None,
+    ):
         if cls is ModelChecker:
             return super().__new__(_checker_class(backend or "table"))
         return super().__new__(cls)
 
-    def __init__(self, tree: Tree, backend: str | None = None):
+    def __init__(
+        self,
+        tree: Tree,
+        backend: str | None = None,
+        budget: ExecutionBudget | None = None,
+    ):
         self.tree = tree
         self.universe = tree.node_ids
+        self.budget = budget
 
     # -- shared public API -----------------------------------------------------
 
@@ -118,7 +130,10 @@ class ModelChecker:
             raise ValueError(
                 f"expected free variables ({var},), got {table.columns}"
             )
-        return table.column_values(var)
+        result = table.column_values(var)
+        if self.budget is not None:
+            self.budget.check_size(len(result))
+        return result
 
     def pairs(self, formula: ast.Formula, x: str, y: str) -> set[tuple[int, int]]:
         """The binary query of a formula with free variables ``{x, y}``.
@@ -131,7 +146,10 @@ class ModelChecker:
         extra = [c for c in table.columns if c not in (x, y)]
         if extra:
             raise ValueError(f"unexpected free variables {extra}")
-        return table.pairs(x, y)
+        result = table.pairs(x, y)
+        if self.budget is not None:
+            self.budget.check_size(len(result), "pair relation")
+        return result
 
 
 class TableModelChecker(ModelChecker):
@@ -139,8 +157,13 @@ class TableModelChecker(ModelChecker):
 
     backend = "table"
 
-    def __init__(self, tree: Tree, backend: str | None = None):
-        super().__init__(tree, backend)
+    def __init__(
+        self,
+        tree: Tree,
+        backend: str | None = None,
+        budget: ExecutionBudget | None = None,
+    ):
+        super().__init__(tree, backend, budget)
         # Formulas are frozen dataclasses, hence hashable: memoize on the
         # formula *structure* so structurally equal subformulas share work.
         self._cache: dict[ast.Formula, Table] = {}
@@ -170,6 +193,9 @@ class TableModelChecker(ModelChecker):
     def _eval(self, formula: ast.Formula) -> Table:
         tree = self.tree
         universe = self.universe
+        if self.budget is not None:
+            # One checkpoint per (uncached) subformula evaluation.
+            self.budget.tick()
         if isinstance(formula, ast.LabelAtom):
             return Table.unary(
                 formula.var,
@@ -230,7 +256,7 @@ class TableModelChecker(ModelChecker):
         result_cols = tuple(sorted(set(params) | {src, tgt}))
 
         for key, successors in groups.items():
-            closure = _strict_closure(successors)
+            closure = _strict_closure(successors, self.budget)
             env_base = dict(zip(params, key))
             for a, reachable in closure.items():
                 for b in reachable:
@@ -246,10 +272,14 @@ class TableModelChecker(ModelChecker):
         return Table(result_cols, frozenset(closed_rows))
 
 
-def _strict_closure(successors: dict[int, set[int]]) -> dict[int, set[int]]:
+def _strict_closure(
+    successors: dict[int, set[int]], budget: ExecutionBudget | None = None
+) -> dict[int, set[int]]:
     """Strict transitive closure of an adjacency map, by BFS per source."""
     closure: dict[int, set[int]] = {}
     for source in successors:
+        if budget is not None:
+            budget.tick()
         reached: set[int] = set()
         frontier = deque(successors.get(source, ()))
         reached.update(frontier)
@@ -269,9 +299,12 @@ def _strict_closure(successors: dict[int, set[int]]) -> dict[int, set[int]]:
 
 
 def satisfying_table(
-    tree: Tree, formula: ast.Formula, backend: str = "table"
+    tree: Tree,
+    formula: ast.Formula,
+    backend: str = "table",
+    budget: ExecutionBudget | None = None,
 ) -> Table:
-    return ModelChecker(tree, backend=backend).table(formula)
+    return ModelChecker(tree, backend=backend, budget=budget).table(formula)
 
 
 def holds(
@@ -279,17 +312,27 @@ def holds(
     formula: ast.Formula,
     env: dict[str, int] | None = None,
     backend: str = "table",
+    budget: ExecutionBudget | None = None,
 ) -> bool:
-    return ModelChecker(tree, backend=backend).holds(formula, env)
+    return ModelChecker(tree, backend=backend, budget=budget).holds(formula, env)
 
 
 def formula_node_set(
-    tree: Tree, formula: ast.Formula, var: str, backend: str = "table"
+    tree: Tree,
+    formula: ast.Formula,
+    var: str,
+    backend: str = "table",
+    budget: ExecutionBudget | None = None,
 ) -> set[int]:
-    return ModelChecker(tree, backend=backend).node_set(formula, var)
+    return ModelChecker(tree, backend=backend, budget=budget).node_set(formula, var)
 
 
 def formula_pairs(
-    tree: Tree, formula: ast.Formula, x: str, y: str, backend: str = "table"
+    tree: Tree,
+    formula: ast.Formula,
+    x: str,
+    y: str,
+    backend: str = "table",
+    budget: ExecutionBudget | None = None,
 ) -> set[tuple[int, int]]:
-    return ModelChecker(tree, backend=backend).pairs(formula, x, y)
+    return ModelChecker(tree, backend=backend, budget=budget).pairs(formula, x, y)

@@ -24,18 +24,21 @@ Example::
 
 from __future__ import annotations
 
+from ..runtime.errors import DepthLimitError, ReproSyntaxError
 from . import ast
 
-__all__ = ["parse_formula", "FormulaSyntaxError"]
+__all__ = ["DEFAULT_MAX_DEPTH", "parse_formula", "FormulaSyntaxError"]
 
 _RELATIONS = set(ast.RELATION_NAMES)
 _KEYWORDS = {"exists", "all", "true", "false", "tc", "rtc", "root", "leaf"} | _RELATIONS
 
+#: Default bound on recursive grammar productions; deep nesting raises a
+#: positioned :class:`DepthLimitError` instead of a bare ``RecursionError``.
+DEFAULT_MAX_DEPTH = 200
 
-class FormulaSyntaxError(ValueError):
-    def __init__(self, message: str, position: int):
-        super().__init__(f"{message} (at offset {position})")
-        self.position = position
+
+class FormulaSyntaxError(ReproSyntaxError):
+    """Raised on malformed formula text."""
 
 
 def _tokenize(text: str) -> list[tuple[str, str, int]]:
@@ -70,9 +73,20 @@ def _tokenize(text: str) -> list[tuple[str, str, int]]:
 
 
 class _Parser:
-    def __init__(self, text: str):
+    def __init__(self, text: str, max_depth: int = DEFAULT_MAX_DEPTH):
         self.tokens = _tokenize(text)
         self.index = 0
+        self.max_depth = max_depth
+        self._depth = 0
+
+    def _enter(self) -> None:
+        self._depth += 1
+        if self._depth > self.max_depth:
+            raise DepthLimitError(
+                "formula nesting exceeds the parser depth limit",
+                self.current[2],
+                self.max_depth,
+            )
 
     @property
     def current(self) -> tuple[str, str, int]:
@@ -114,15 +128,23 @@ class _Parser:
     # -- grammar -------------------------------------------------------------
 
     def formula(self) -> ast.Formula:
-        left = self.impl()
-        while self.accept("<->"):
-            left = ast.iff(left, self.impl())
-        return left
+        self._enter()
+        try:
+            left = self.impl()
+            while self.accept("<->"):
+                left = ast.iff(left, self.impl())
+            return left
+        finally:
+            self._depth -= 1
 
     def impl(self) -> ast.Formula:
         left = self.disj()
         if self.accept("->"):
-            return ast.implies(left, self.impl())
+            self._enter()
+            try:
+                return ast.implies(left, self.impl())
+            finally:
+                self._depth -= 1
         return left
 
     def disj(self) -> ast.Formula:
@@ -139,7 +161,11 @@ class _Parser:
 
     def unary(self) -> ast.Formula:
         if self.accept("~"):
-            return ast.Not(self.unary())
+            self._enter()
+            try:
+                return ast.Not(self.unary())
+            finally:
+                self._depth -= 1
         if self.accept_word("exists"):
             return self._quantifier(ast.Exists)
         if self.accept_word("all"):
@@ -147,22 +173,33 @@ class _Parser:
         return self.atom()
 
     def _quantifier(self, ctor) -> ast.Formula:
-        variables = [self.expect_var()]
-        while self.current[0] == "name" and self.current[1] not in _KEYWORDS:
-            variables.append(self.expect_var())
-        self.expect(".")
-        body = self.formula()
-        for var in reversed(variables):
-            body = ctor(var, body)
-        return body
+        # Guarded in addition to formula(): a quantifier prefix recurses
+        # through ~6 interpreter frames per level, so charging it a second
+        # depth unit keeps the counter ahead of the interpreter stack.
+        self._enter()
+        try:
+            variables = [self.expect_var()]
+            while self.current[0] == "name" and self.current[1] not in _KEYWORDS:
+                variables.append(self.expect_var())
+            self.expect(".")
+            body = self.formula()
+            for var in reversed(variables):
+                body = ctor(var, body)
+            return body
+        finally:
+            self._depth -= 1
 
     def atom(self) -> ast.Formula:
         kind, value, pos = self.current
         if kind == "(":
-            self.advance()
-            inner = self.formula()
-            self.expect(")")
-            return inner
+            self._enter()
+            try:
+                self.advance()
+                inner = self.formula()
+                self.expect(")")
+                return inner
+            finally:
+                self._depth -= 1
         if kind != "name":
             raise FormulaSyntaxError(
                 f"expected an atom, found {value or 'end of input'!r}", pos
@@ -221,9 +258,14 @@ class _Parser:
         )
 
 
-def parse_formula(text: str) -> ast.Formula:
-    """Parse an FO(MTC) formula in the compact notation."""
-    parser = _Parser(text)
+def parse_formula(text: str, max_depth: int = DEFAULT_MAX_DEPTH) -> ast.Formula:
+    """Parse an FO(MTC) formula in the compact notation.
+
+    Nesting beyond ``max_depth`` recursive productions raises
+    :class:`~repro.runtime.errors.DepthLimitError` with the offending
+    position, never a bare ``RecursionError``.
+    """
+    parser = _Parser(text, max_depth)
     result = parser.formula()
     if parser.current[0] != "end":
         raise FormulaSyntaxError(

@@ -1,0 +1,66 @@
+"""repro.runtime — the cross-cutting resource-governance layer.
+
+Production queries must be *boundable*, *cancellable*, and *degradable*.
+This package provides all three, engine-agnostically:
+
+* :class:`ExecutionBudget` (:mod:`repro.runtime.budget`) — one object
+  carrying a wall-clock deadline, a cooperative step/fuel counter, and a
+  result-cardinality cap; every engine accepts ``budget=`` and checkpoints
+  its hot loops against it;
+* the exception taxonomy (:mod:`repro.runtime.errors`) rooted at
+  :class:`ReproError`, with one documented CLI exit code per class;
+* fault injection (:mod:`repro.runtime.faults`) — deterministically fail
+  named kernel boundaries so the failure paths run in CI;
+* guarded execution (:mod:`repro.runtime.guarded`) —
+  :class:`GuardedEvaluator` / :class:`GuardedModelChecker` retry a failed
+  (or, opt-in, budget-tripped) bitset run on the row-wise oracle backend.
+
+The guarded front doors import the engines, which in turn import this
+package's errors — so they are loaded lazily via module ``__getattr__`` to
+keep ``repro.runtime`` importable from anywhere in the dependency graph.
+"""
+
+from . import faults
+from .budget import ExecutionBudget
+from .errors import (
+    EXIT_CODES,
+    BudgetExceededError,
+    DeadlineExceededError,
+    DepthLimitError,
+    EngineFaultError,
+    InjectedFaultError,
+    InputLimitError,
+    ReproError,
+    ReproSyntaxError,
+    exit_code_for,
+)
+
+__all__ = [
+    "EXIT_CODES",
+    "BudgetExceededError",
+    "DeadlineExceededError",
+    "DepthLimitError",
+    "EngineFaultError",
+    "ExecutionBudget",
+    "FallbackStats",
+    "GuardedEvaluator",
+    "GuardedModelChecker",
+    "InjectedFaultError",
+    "InputLimitError",
+    "ReproError",
+    "ReproSyntaxError",
+    "exit_code_for",
+    "faults",
+    "guarded_check",
+    "stats",
+]
+
+_LAZY = {"GuardedEvaluator", "GuardedModelChecker", "FallbackStats", "guarded_check", "stats"}
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        from . import guarded
+
+        return getattr(guarded, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,147 @@
+"""The structured exception taxonomy of the runtime-governance layer.
+
+Every failure mode the system can surface — malformed input, resource
+exhaustion, and engine faults — is rooted at :class:`ReproError`, so callers
+can catch the whole family with one clause while still distinguishing the
+classes that need different handling (retry, degrade, report).  The tree::
+
+    ReproError
+    ├── ReproSyntaxError (also ValueError)     malformed query/formula/XML text
+    │   ├── repro.xpath.XPathSyntaxError
+    │   ├── repro.logic.FormulaSyntaxError
+    │   └── repro.trees.XmlSyntaxError
+    ├── DepthLimitError (also ValueError)      parser nesting-depth cap
+    ├── InputLimitError (also ValueError)      XML document size/depth/text caps
+    ├── BudgetExceededError                    step-fuel / cardinality cap
+    │   └── DeadlineExceededError              wall-clock deadline
+    └── EngineFaultError                       an engine failed mid-run
+        └── InjectedFaultError                 ... because a fault was injected
+
+The syntax/limit classes keep ``ValueError`` in their MRO so pre-existing
+``except ValueError`` call sites continue to work; budget trips deliberately
+do **not** — running out of fuel is an operational condition, not a bad
+value, and must not be swallowed by broad input-validation handlers.
+
+:data:`EXIT_CODES` is the CLI contract: one documented exit code per error
+class (see :mod:`repro.cli`).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ReproSyntaxError",
+    "DepthLimitError",
+    "InputLimitError",
+    "BudgetExceededError",
+    "DeadlineExceededError",
+    "EngineFaultError",
+    "InjectedFaultError",
+    "EXIT_CODES",
+    "exit_code_for",
+]
+
+
+class ReproError(Exception):
+    """Root of every structured error raised by this package."""
+
+
+class ReproSyntaxError(ReproError, ValueError):
+    """Malformed input text (query, formula, or XML).
+
+    Subclasses carry a ``position`` attribute (character offset into the
+    source text) and render it into the message.
+    """
+
+    def __init__(self, message: str, position: int):
+        super().__init__(f"{message} (at offset {position})")
+        self.position = position
+
+
+class DepthLimitError(ReproError, ValueError):
+    """Input nesting exceeds a parser's explicit depth limit.
+
+    Raised *instead of* an uncontrolled ``RecursionError``: the parsers
+    count grammar nesting and stop with a clean message (and position) long
+    before the interpreter stack would overflow.
+    """
+
+    def __init__(self, message: str, position: int, limit: int):
+        super().__init__(f"{message} (at offset {position}; limit {limit})")
+        self.position = position
+        self.limit = limit
+
+
+class InputLimitError(ReproError, ValueError):
+    """An XML document exceeds a configured read limit.
+
+    Raised by :class:`repro.trees.xml_io.XmlReadOptions` caps
+    (``max_depth`` / ``max_nodes`` / ``max_text_length``).
+    """
+
+    def __init__(self, message: str, position: int, limit: int):
+        super().__init__(f"{message} (at offset {position}; limit {limit})")
+        self.position = position
+        self.limit = limit
+
+
+class BudgetExceededError(ReproError):
+    """An :class:`~repro.runtime.budget.ExecutionBudget` cap was hit.
+
+    Covers the step/fuel counter and the node-set cardinality cap; the
+    wall-clock deadline has its own subclass because callers treat it
+    differently (a tripped deadline is never worth retrying on a slower
+    backend, a tripped fuel cap may be).
+    """
+
+
+class DeadlineExceededError(BudgetExceededError):
+    """The budget's wall-clock deadline passed mid-evaluation."""
+
+
+class EngineFaultError(ReproError):
+    """An evaluation engine failed at a kernel boundary."""
+
+
+class InjectedFaultError(EngineFaultError):
+    """A deterministically injected fault (see :mod:`repro.runtime.faults`).
+
+    Only ever raised when a fault site has been armed explicitly — via the
+    API, the ``REPRO_FAULTS`` environment variable, or the CLI's
+    ``--inject-fault`` — so production runs never see this class.
+    """
+
+    def __init__(self, site: str):
+        super().__init__(f"injected fault at {site!r}")
+        self.site = site
+
+
+#: The CLI exit-code contract, one code per error class.  2 doubles as
+#: argparse's own usage-error code; 1 stays reserved for semantic "no"
+#: results (NOT equivalent / UNSATISFIABLE / FAILS).
+EXIT_CODES = {
+    "syntax": 2,
+    "io": 3,
+    "deadline": 4,
+    "budget": 5,
+    "depth": 6,
+    "input_limit": 7,
+    "engine": 8,
+}
+
+
+def exit_code_for(exc: BaseException) -> int:
+    """The documented CLI exit code for an exception (2 for unknown errors)."""
+    if isinstance(exc, DeadlineExceededError):
+        return EXIT_CODES["deadline"]
+    if isinstance(exc, BudgetExceededError):
+        return EXIT_CODES["budget"]
+    if isinstance(exc, DepthLimitError):
+        return EXIT_CODES["depth"]
+    if isinstance(exc, InputLimitError):
+        return EXIT_CODES["input_limit"]
+    if isinstance(exc, EngineFaultError):
+        return EXIT_CODES["engine"]
+    if isinstance(exc, OSError):
+        return EXIT_CODES["io"]
+    return EXIT_CODES["syntax"]

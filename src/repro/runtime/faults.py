@@ -1,0 +1,120 @@
+"""Deterministic fault injection at engine kernel boundaries.
+
+The guarded degradation path (:mod:`repro.runtime.guarded`) only earns its
+keep if the failure branches actually run — in CI, not just in production
+incidents.  This module lets tests (and operators) *arm* named fault sites;
+an armed site makes the engine that checks it raise
+:class:`~repro.runtime.errors.InjectedFaultError` at a well-defined kernel
+boundary, which exercises the exact code path a real engine bug would take.
+
+Fault sites currently wired into the engines:
+
+=========================  ====================================================
+``xpath.bitset``           entry of every public ``BitsetEvaluator`` method
+``xpath.bitset.star``      inside the batched Kleene-star frontier sweep
+``logic.bitset``           entry of every public ``BitsetModelChecker`` method
+``logic.bitset.tc``        inside the semi-naive ``[TC]`` sweep
+``automata.bitset``        entry of the bit-parallel configuration sweep
+=========================  ====================================================
+
+Arming is explicit and three-way togglable:
+
+* **API** — ``faults.arm("xpath.bitset")`` / ``faults.disarm()``, or the
+  scoped ``with faults.inject("xpath.bitset"): ...``;
+* **environment** — ``REPRO_FAULTS="xpath.bitset,logic.bitset.tc:2"``
+  (comma-separated sites, optional ``:count`` arms only the first *count*
+  checks), parsed on import and on :func:`reload_from_env`;
+* **CLI** — ``--inject-fault SITE`` on the evaluation subcommands.
+
+The disarmed fast path is one truthiness test of an empty dict, so leaving
+the checks compiled into the engines costs nothing measurable.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+from .errors import InjectedFaultError
+
+__all__ = [
+    "FAULTS_ENV_VAR",
+    "arm",
+    "disarm",
+    "armed_sites",
+    "check",
+    "inject",
+    "reload_from_env",
+]
+
+FAULTS_ENV_VAR = "REPRO_FAULTS"
+
+#: Armed sites: site -> remaining trigger count (None = every check fires).
+_armed: dict[str, int | None] = {}
+
+
+def arm(site: str, times: int | None = None) -> None:
+    """Arm ``site``: its next ``times`` checks (all, when None) will raise."""
+    if times is not None and times <= 0:
+        raise ValueError(f"times must be positive, got {times!r}")
+    _armed[site] = times
+
+
+def disarm(site: str | None = None) -> None:
+    """Disarm one site, or every site when called without arguments."""
+    if site is None:
+        _armed.clear()
+    else:
+        _armed.pop(site, None)
+
+
+def armed_sites() -> dict[str, int | None]:
+    """A snapshot of the armed sites (site -> remaining count)."""
+    return dict(_armed)
+
+
+def check(site: str) -> None:
+    """The fault point: raise iff ``site`` is armed.  Called by engines."""
+    if not _armed:
+        return
+    remaining = _armed.get(site, 0)
+    if remaining == 0:  # not armed (counted arms are removed at zero)
+        return
+    if remaining is not None:
+        if remaining == 1:
+            del _armed[site]
+        else:
+            _armed[site] = remaining - 1
+    raise InjectedFaultError(site)
+
+
+@contextmanager
+def inject(site: str, times: int | None = None):
+    """Scoped arming: ``with faults.inject("xpath.bitset"): ...``."""
+    arm(site, times)
+    try:
+        yield
+    finally:
+        disarm(site)
+
+
+def reload_from_env(value: str | None = None) -> None:
+    """(Re)arm sites from ``REPRO_FAULTS`` (or an explicit spec string).
+
+    Spec grammar: comma-separated ``site`` or ``site:count`` entries;
+    whitespace around entries is ignored; an empty/unset variable disarms
+    nothing (call :func:`disarm` for that).
+    """
+    spec = os.environ.get(FAULTS_ENV_VAR, "") if value is None else value
+    for entry in spec.split(","):
+        entry = entry.strip()
+        if not entry:
+            continue
+        site, colon, count = entry.partition(":")
+        if colon:
+            arm(site.strip(), int(count))
+        else:
+            arm(site)
+
+
+reload_from_env()

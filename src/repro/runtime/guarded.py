@@ -1,0 +1,223 @@
+"""Guarded execution: bitset fast path with row-wise oracle fallback.
+
+The bitset engines (XPath plans, the columnar model checker) are the
+performance path; the ``sets``/``table`` backends are the readable oracles
+the property suites cross-validate against.  :class:`GuardedEvaluator` and
+:class:`GuardedModelChecker` turn that redundancy into a *runtime* escape
+hatch: every public call first runs on the fast backend, and if the fast
+backend **fails** (an engine bug, or an injected fault from
+:mod:`repro.runtime.faults`) the call is transparently retried on the
+oracle.  Semantics are unchanged by construction — the oracle defines them.
+
+Degradation policy:
+
+* engine faults and unexpected internal errors → fall back, always;
+* :class:`~repro.runtime.errors.BudgetExceededError` (step/cardinality) →
+  fall back only with ``retry_on_budget=True``, refunding the step fuel
+  (:meth:`~repro.runtime.budget.ExecutionBudget.reset_steps`) but keeping
+  the wall-clock deadline;
+* :class:`~repro.runtime.errors.DeadlineExceededError` → never retried
+  (the deadline is global to the logical call; a slower backend cannot
+  beat it);
+* input errors (syntax, ``TypeError`` from malformed ASTs) → re-raised:
+  they would fail identically on the oracle.
+
+Each guarded instance emits **one** :class:`RuntimeWarning` on its first
+fallback (so logs show degradation without flooding) and every fallback
+increments the module-wide :data:`stats` counter, which a service can
+export; ``stats.fallback_count`` staying at zero is the healthy state.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Iterable
+
+from .budget import ExecutionBudget
+from .errors import BudgetExceededError, DeadlineExceededError
+
+__all__ = ["FallbackStats", "GuardedEvaluator", "GuardedModelChecker", "guarded_check", "stats"]
+
+
+class FallbackStats:
+    """Process-wide degradation counters (export these from a service)."""
+
+    __slots__ = ("fallback_count", "last_error")
+
+    def __init__(self) -> None:
+        self.fallback_count = 0
+        self.last_error: BaseException | None = None
+
+    def record(self, exc: BaseException) -> None:
+        self.fallback_count += 1
+        self.last_error = exc
+
+    def reset(self) -> None:
+        self.fallback_count = 0
+        self.last_error = None
+
+
+#: The module-wide fallback counter.
+stats = FallbackStats()
+
+
+class _GuardedBase:
+    """Shared retry machinery for the guarded front doors."""
+
+    #: Human-readable backend names, set by subclasses (for the warning).
+    _fast_name = ""
+    _oracle_name = ""
+
+    def __init__(self, budget: ExecutionBudget | None, retry_on_budget: bool):
+        self.budget = budget
+        self.retry_on_budget = retry_on_budget
+        self.fallback_count = 0
+        self._warned = False
+
+    def _run(self, method: str, *args, **kwargs):
+        fast = self._fast
+        try:
+            return getattr(fast, method)(*args, **kwargs)
+        except DeadlineExceededError:
+            raise
+        except BudgetExceededError as exc:
+            if not self.retry_on_budget:
+                raise
+            if self.budget is not None:
+                self.budget.reset_steps()
+            failure = exc
+        except (ValueError, TypeError):
+            # Input errors (syntax errors, malformed ASTs, unassigned free
+            # variables) are backend-independent: the oracle would raise the
+            # same complaint, so retrying only hides the cause.
+            raise
+        except Exception as exc:
+            failure = exc
+        self._note_fallback(failure)
+        return getattr(self._oracle, method)(*args, **kwargs)
+
+    def _note_fallback(self, exc: BaseException) -> None:
+        self.fallback_count += 1
+        stats.record(exc)
+        if not self._warned:
+            self._warned = True
+            warnings.warn(
+                f"{self._fast_name} backend failed ({exc!r}); "
+                f"falling back to the {self._oracle_name} oracle",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+
+
+class GuardedEvaluator(_GuardedBase):
+    """The :class:`~repro.xpath.evaluator.Evaluator` API with degradation.
+
+    ``GuardedEvaluator(tree)`` evaluates on the compiled ``bitset`` backend
+    and retries failed calls on the ``sets`` oracle; same ``nodes`` /
+    ``image`` / ``preimage`` / ``pairs`` / ``holds_at`` surface.
+    """
+
+    _fast_name = "bitset"
+    _oracle_name = "sets"
+
+    def __init__(
+        self,
+        tree,
+        budget: ExecutionBudget | None = None,
+        *,
+        retry_on_budget: bool = False,
+    ):
+        super().__init__(budget, retry_on_budget)
+        from ..xpath.evaluator import Evaluator
+
+        self.tree = tree
+        self._fast = Evaluator(tree, backend="bitset", budget=budget)
+        self._oracle_lazy = None
+
+    @property
+    def _oracle(self):
+        if self._oracle_lazy is None:
+            from ..xpath.evaluator import Evaluator
+
+            self._oracle_lazy = Evaluator(self.tree, backend="sets", budget=self.budget)
+        return self._oracle_lazy
+
+    # -- the Evaluator surface ---------------------------------------------
+
+    def nodes(self, expr, scope: int | None = None) -> frozenset[int]:
+        return self._run("nodes", expr, scope)
+
+    def image(self, expr, sources: Iterable[int], scope: int | None = None) -> set[int]:
+        return self._run("image", expr, set(sources), scope)
+
+    def preimage(self, expr, targets: Iterable[int], scope: int | None = None) -> set[int]:
+        return self._run("preimage", expr, set(targets), scope)
+
+    def pairs(self, expr, scope: int | None = None) -> set[tuple[int, int]]:
+        return self._run("pairs", expr, scope)
+
+    def holds_at(self, expr, node_id: int) -> bool:
+        return self._run("holds_at", expr, node_id)
+
+
+class GuardedModelChecker(_GuardedBase):
+    """The :class:`~repro.logic.modelcheck.ModelChecker` API with degradation.
+
+    Fast path is the columnar ``bitset`` checker, fallback the row-wise
+    ``table`` oracle; same ``table`` / ``holds`` / ``node_set`` / ``pairs``
+    surface.
+    """
+
+    _fast_name = "bitset"
+    _oracle_name = "table"
+
+    def __init__(
+        self,
+        tree,
+        budget: ExecutionBudget | None = None,
+        *,
+        retry_on_budget: bool = False,
+    ):
+        super().__init__(budget, retry_on_budget)
+        from ..logic.modelcheck import ModelChecker
+
+        self.tree = tree
+        self._fast = ModelChecker(tree, backend="bitset", budget=budget)
+        self._oracle_lazy = None
+
+    @property
+    def _oracle(self):
+        if self._oracle_lazy is None:
+            from ..logic.modelcheck import ModelChecker
+
+            self._oracle_lazy = ModelChecker(
+                self.tree, backend="table", budget=self.budget
+            )
+        return self._oracle_lazy
+
+    # -- the ModelChecker surface ------------------------------------------
+
+    def table(self, formula):
+        return self._run("table", formula)
+
+    def holds(self, formula, env: dict[str, int] | None = None) -> bool:
+        return self._run("holds", formula, env)
+
+    def node_set(self, formula, var: str) -> set[int]:
+        return self._run("node_set", formula, var)
+
+    def pairs(self, formula, x: str, y: str) -> set[tuple[int, int]]:
+        return self._run("pairs", formula, x, y)
+
+
+def guarded_check(
+    tree,
+    formula,
+    env: dict[str, int] | None = None,
+    *,
+    budget: ExecutionBudget | None = None,
+    retry_on_budget: bool = False,
+) -> bool:
+    """One-shot guarded truth check: bitset first, table oracle on failure."""
+    checker = GuardedModelChecker(tree, budget, retry_on_budget=retry_on_budget)
+    return checker.holds(formula, env)

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..runtime.errors import InputLimitError, ReproSyntaxError
 from .tree import Tree
 
 _ENTITIES = {"lt": "<", "gt": ">", "amp": "&", "apos": "'", "quot": '"'}
@@ -25,13 +26,16 @@ _ENTITIES = {"lt": "<", "gt": ">", "amp": "&", "apos": "'", "quot": '"'}
 ATTRIBUTE_PREFIX = "@"
 TEXT_LABEL = "#text"
 
+#: Default element-nesting cap.  The reader recurses (~2 interpreter frames)
+#: per level and CPython's default recursion limit of 1000 overflows just
+#: under depth 500, so 400 trips a clean :class:`InputLimitError` with
+#: comfortable margin; raise it explicitly (together with
+#: ``sys.setrecursionlimit``) if you really need deeper documents.
+DEFAULT_MAX_DEPTH = 400
 
-class XmlSyntaxError(ValueError):
+
+class XmlSyntaxError(ReproSyntaxError):
     """Raised when the input is not well-formed (for our XML subset)."""
-
-    def __init__(self, message: str, position: int):
-        super().__init__(f"{message} (at offset {position})")
-        self.position = position
 
 
 @dataclass
@@ -46,10 +50,24 @@ class XmlReadOptions:
         Encode each maximal non-whitespace text run as a child labelled
         ``"#text"``.  Navigational XPath cannot see string *content*, only
         the presence of text nodes.
+    max_depth:
+        Cap on element nesting depth; exceeding it raises
+        :class:`~repro.runtime.errors.InputLimitError` instead of letting
+        the recursive reader hit ``RecursionError``.
+    max_nodes:
+        Cap on the total number of tree nodes produced (elements plus
+        synthetic attribute/text children); ``None`` means unlimited.
+    max_text_length:
+        Cap on the raw length of any single text run or attribute value
+        (checked *before* entity decoding, so entity-heavy payloads are
+        rejected without paying to decode them); ``None`` means unlimited.
     """
 
     attributes_as_children: bool = False
     text_as_children: bool = False
+    max_depth: int = DEFAULT_MAX_DEPTH
+    max_nodes: int | None = None
+    max_text_length: int | None = None
 
 
 class _Parser:
@@ -59,11 +77,30 @@ class _Parser:
         self.options = options
         self.labels: list[str] = []
         self.parents: list[int] = []
+        self._depth = 0
 
     # -- low-level helpers ---------------------------------------------------
 
     def error(self, message: str) -> XmlSyntaxError:
         return XmlSyntaxError(message, self.pos)
+
+    def add_node(self, label: str, parent_id: int) -> int:
+        max_nodes = self.options.max_nodes
+        if max_nodes is not None and len(self.labels) >= max_nodes:
+            raise InputLimitError(
+                "document exceeds the node-count limit", self.pos, max_nodes
+            )
+        node_id = len(self.labels)
+        self.labels.append(label)
+        self.parents.append(parent_id)
+        return node_id
+
+    def check_text_length(self, length: int) -> None:
+        limit = self.options.max_text_length
+        if limit is not None and length > limit:
+            raise InputLimitError(
+                "text run exceeds the length limit", self.pos, limit
+            )
 
     def peek(self, offset: int = 0) -> str:
         i = self.pos + offset
@@ -164,23 +201,30 @@ class _Parser:
         return Tree(self.labels, self.parents)
 
     def parse_element(self, parent_id: int) -> None:
-        self.expect("<")
-        name = self.read_name()
-        my_id = len(self.labels)
-        self.labels.append(name)
-        self.parents.append(parent_id)
+        self._depth += 1
+        if self._depth > self.options.max_depth:
+            raise InputLimitError(
+                "element nesting exceeds the depth limit",
+                self.pos,
+                self.options.max_depth,
+            )
+        try:
+            self.expect("<")
+            name = self.read_name()
+            my_id = self.add_node(name, parent_id)
 
-        attributes = self.parse_attributes()
-        if self.options.attributes_as_children:
-            for key, value in attributes:
-                self.labels.append(f"{ATTRIBUTE_PREFIX}{key}={value}")
-                self.parents.append(my_id)
+            attributes = self.parse_attributes()
+            if self.options.attributes_as_children:
+                for key, value in attributes:
+                    self.add_node(f"{ATTRIBUTE_PREFIX}{key}={value}", my_id)
 
-        if self.startswith("/>"):
-            self.pos += 2
-            return
-        self.expect(">")
-        self.parse_content(my_id, name)
+            if self.startswith("/>"):
+                self.pos += 2
+                return
+            self.expect(">")
+            self.parse_content(my_id, name)
+        finally:
+            self._depth -= 1
 
     def parse_attributes(self) -> list[tuple[str, str]]:
         attributes: list[tuple[str, str]] = []
@@ -200,6 +244,7 @@ class _Parser:
             end = self.text.find(quote, self.pos)
             if end < 0:
                 raise self.error("unterminated attribute value")
+            self.check_text_length(end - self.pos)
             value = self.decode_entities(self.text[self.pos : end])
             self.pos = end + 1
             attributes.append((key, value))
@@ -214,8 +259,7 @@ class _Parser:
             joined = "".join(text_chunks).strip()
             text_chunks.clear()
             if joined:
-                self.labels.append(TEXT_LABEL)
-                self.parents.append(element_id)
+                self.add_node(TEXT_LABEL, element_id)
 
         while True:
             if self.pos >= len(self.text):
@@ -238,6 +282,7 @@ class _Parser:
                 self.pos += 9
                 start = self.pos
                 self.skip_until("]]>", "CDATA section")
+                self.check_text_length(self.pos - 3 - start)
                 text_chunks.append(self.text[start : self.pos - 3])
             elif self.startswith("<?"):
                 self.pos += 2
@@ -249,6 +294,7 @@ class _Parser:
                 start = self.pos
                 nxt = self.text.find("<", self.pos)
                 self.pos = len(self.text) if nxt < 0 else nxt
+                self.check_text_length(self.pos - start)
                 text_chunks.append(self.decode_entities(self.text[start : self.pos]))
 
 

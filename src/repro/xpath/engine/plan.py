@@ -25,6 +25,8 @@ from __future__ import annotations
 
 from typing import Callable, Iterable
 
+from ...runtime import faults
+from ...runtime.budget import ExecutionBudget
 from ...trees.index import Scope, TreeIndex, tree_index
 from ...trees.tree import Tree
 from .. import ast
@@ -115,9 +117,13 @@ def _compile_path(index: TreeIndex, expr: ast.PathExpr) -> PathPlan:
 
         def run_star(ev, S: int, sc: Scope) -> int:
             # Batched frontier sweep: whole-mask image per BFS level.
+            faults.check("xpath.bitset.star")
+            budget = ev.budget
             reached = S
             frontier = S
             while frontier:
+                if budget is not None:
+                    budget.tick()
                 frontier = body(ev, frontier, sc) & ~reached
                 reached |= frontier
             return reached
@@ -143,8 +149,11 @@ def _compile_path(index: TreeIndex, expr: ast.PathExpr) -> PathPlan:
         def run_intersect(ev, S: int, sc: Scope) -> int:
             # Relation intersection is per-source: image(p∩q, S) is NOT
             # image(p,S) ∩ image(q,S) when |S| > 1.
+            budget = ev.budget
             acc = 0
             for v in iter_bits(S):
+                if budget is not None:
+                    budget.tick()
                 b = 1 << v
                 l = left(ev, b, sc)
                 if l:
@@ -157,9 +166,12 @@ def _compile_path(index: TreeIndex, expr: ast.PathExpr) -> PathPlan:
         body = compile_path_plan(index, expr.path)
 
         def run_complement(ev, S: int, sc: Scope) -> int:
+            budget = ev.budget
             acc = 0
             full = sc.mask
             for v in iter_bits(S):
+                if budget is not None:
+                    budget.tick()
                 acc |= full & ~body(ev, 1 << v, sc)
                 if acc == full:
                     break
@@ -207,9 +219,12 @@ def _compile_node(index: TreeIndex, expr: ast.NodeExpr) -> NodePlan:
         def run_within(ev, sc: Scope) -> int:
             # n ⊨ W φ iff n ⊨ φ under scope n; per-node scoped evaluation,
             # with each (φ, scope-root) result memoized on the evaluator.
+            budget = ev.budget
             acc = 0
             scope_of = ev.index.scope
             for v in iter_bits(sc.mask):
+                if budget is not None:
+                    budget.tick()
                 if (1 << v) & ev._node_mask(test, scope_of(v)):
                     acc |= 1 << v
             return acc
@@ -234,8 +249,13 @@ class BitsetEvaluator(Evaluator):
 
     backend = "bitset"
 
-    def __init__(self, tree: Tree, backend: str | None = None):
-        super().__init__(tree, backend)
+    def __init__(
+        self,
+        tree: Tree,
+        backend: str | None = None,
+        budget: ExecutionBudget | None = None,
+    ):
+        super().__init__(tree, backend, budget)
         self.index = tree_index(tree)
         # Node-set results per (expression, scope root), as masks.
         self._node_masks: dict[tuple[ast.NodeExpr, int], int] = {}
@@ -243,25 +263,36 @@ class BitsetEvaluator(Evaluator):
     # -- public API -------------------------------------------------------
 
     def nodes(self, expr: ast.NodeExpr, scope: int | None = None) -> frozenset[int]:
-        return to_frozenset(self._node_mask(expr, self.index.scope(scope)))
+        faults.check("xpath.bitset")
+        mask = self._node_mask(expr, self.index.scope(scope))
+        if self.budget is not None:
+            self.budget.check_size(mask.bit_count())
+        return to_frozenset(mask)
 
     def node_mask(self, expr: ast.NodeExpr, scope: int | None = None) -> int:
         """The satisfying set as a raw bitmask (bitset-backend extra)."""
+        faults.check("xpath.bitset")
         return self._node_mask(expr, self.index.scope(scope))
 
     def image(
         self, expr: ast.PathExpr, sources: Iterable[int], scope: int | None = None
     ) -> set[int]:
+        faults.check("xpath.bitset")
         sc = self.index.scope(scope)
         plan = compile_path_plan(self.index, expr)
-        return to_set(plan(self, from_ids(sources) & sc.mask, sc))
+        mask = plan(self, from_ids(sources) & sc.mask, sc)
+        if self.budget is not None:
+            self.budget.check_size(mask.bit_count())
+        return to_set(mask)
 
     def image_mask(self, expr: ast.PathExpr, sources: int, scope: int | None = None) -> int:
         """Mask-in, mask-out image (bitset-backend extra)."""
+        faults.check("xpath.bitset")
         sc = self.index.scope(scope)
         return compile_path_plan(self.index, expr)(self, sources & sc.mask, sc)
 
     def pairs(self, expr: ast.PathExpr, scope: int | None = None) -> set[tuple[int, int]]:
+        faults.check("xpath.bitset")
         if isinstance(expr, ast.Step):
             from ...trees.axes import interval_axis_pairs
 
@@ -270,13 +301,18 @@ class BitsetEvaluator(Evaluator):
                 return fast
         # One compiled-plan sweep per source: the plan is compiled (and its
         # node sets memoized) once, shared by all |universe| sweeps.
+        budget = self.budget
         sc = self.index.scope(scope)
         plan = compile_path_plan(self.index, expr)
         result: set[tuple[int, int]] = set()
         for v in iter_bits(sc.mask):
+            if budget is not None:
+                budget.tick()
             img = plan(self, 1 << v, sc)
             if img:
                 result.update((v, m) for m in iter_bits(img))
+        if budget is not None:
+            budget.check_size(len(result), "pair relation")
         return result
 
     # -- internals -------------------------------------------------------

@@ -37,6 +37,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Iterable
 
+from ..runtime.budget import ExecutionBudget
 from ..trees.axes import axis_steps, interval_axis_pairs, inverse_axis
 from ..trees.tree import Tree
 from . import ast
@@ -101,18 +102,30 @@ class Evaluator:
     #: Name of the backend an instance implements (set by subclasses).
     backend = ""
 
-    def __new__(cls, tree: Tree, backend: str | None = None):
+    def __new__(
+        cls,
+        tree: Tree,
+        backend: str | None = None,
+        budget: ExecutionBudget | None = None,
+    ):
         if cls is Evaluator:
             return super().__new__(_backend_class(backend or "sets"))
         return super().__new__(cls)
 
-    def __init__(self, tree: Tree, backend: str | None = None):
+    def __init__(
+        self,
+        tree: Tree,
+        backend: str | None = None,
+        budget: ExecutionBudget | None = None,
+    ):
         if backend is not None and backend != self.backend:
             raise ValueError(
                 f"{type(self).__name__} implements backend {self.backend!r}, "
                 f"not {backend!r}"
             )
         self.tree = tree
+        #: Optional resource envelope; hot loops checkpoint against it.
+        self.budget = budget
 
     # -- public API (shared by both backends) ------------------------------
 
@@ -158,10 +171,15 @@ class Evaluator:
     def _pairs_by_source(
         self, expr: ast.PathExpr, scope: int | None
     ) -> set[tuple[int, int]]:
+        budget = self.budget
         result: set[tuple[int, int]] = set()
         for n in self._universe(scope):
+            if budget is not None:
+                budget.tick()
             for m in self.image(expr, (n,), scope):
                 result.add((n, m))
+        if budget is not None:
+            budget.check_size(len(result), "pair relation")
         return result
 
 
@@ -175,8 +193,13 @@ class SetEvaluator(Evaluator):
 
     backend = "sets"
 
-    def __init__(self, tree: Tree, backend: str | None = None):
-        super().__init__(tree, backend)
+    def __init__(
+        self,
+        tree: Tree,
+        backend: str | None = None,
+        budget: ExecutionBudget | None = None,
+    ):
+        super().__init__(tree, backend, budget)
         # Memoized node sets, keyed structurally: AST nodes are frozen
         # dataclasses, so syntactically equal subexpressions (even distinct
         # objects) share one entry per scope.
@@ -189,14 +212,22 @@ class SetEvaluator(Evaluator):
         cached = self._node_cache.get(key)
         if cached is not None:
             return cached
+        budget = self.budget
+        if budget is not None:
+            budget.tick()
         result = frozenset(self._node(expr, scope))
+        if budget is not None:
+            budget.check_size(len(result))
         self._node_cache[key] = result
         return result
 
     def image(
         self, expr: ast.PathExpr, sources: Iterable[int], scope: int | None = None
     ) -> set[int]:
-        return self._image(expr, set(sources), scope)
+        result = self._image(expr, set(sources), scope)
+        if self.budget is not None:
+            self.budget.check_size(len(result))
+        return result
 
     # -- internals -------------------------------------------------------
 
@@ -217,7 +248,14 @@ class SetEvaluator(Evaluator):
             return self._image(converse(expr.path), universe, scope)
         if isinstance(expr, ast.Within):
             # n ⊨ W φ iff n ⊨ φ under scope n.  Each node gets its own scope.
-            return {n for n in self._universe(scope) if n in self.nodes(expr.test, n)}
+            budget = self.budget
+            result = set()
+            for n in self._universe(scope):
+                if budget is not None:
+                    budget.tick()
+                if n in self.nodes(expr.test, n):
+                    result.add(n)
+            return result
         raise TypeError(f"unknown node expression: {expr!r}")
 
     def _image(
@@ -246,16 +284,22 @@ class SetEvaluator(Evaluator):
         if isinstance(expr, ast.Intersect):
             # Relation intersection is per-source: image(p∩q, S) is NOT
             # image(p,S) ∩ image(q,S) when |S| > 1.
+            budget = self.budget
             result = set()
             for n in sources:
+                if budget is not None:
+                    budget.tick()
                 result |= self._image(expr.left, {n}, scope) & self._image(
                     expr.right, {n}, scope
                 )
             return result
         if isinstance(expr, ast.Complement):
+            budget = self.budget
             universe = set(self._universe(scope))
             result = set()
             for n in sources:
+                if budget is not None:
+                    budget.tick()
                 result |= universe - self._image(expr.path, {n}, scope)
             return result
         raise TypeError(f"unknown path expression: {expr!r}")
@@ -264,9 +308,12 @@ class SetEvaluator(Evaluator):
         self, expr: ast.PathExpr, sources: set[int], scope: int | None
     ) -> set[int]:
         """BFS fixpoint for ``expr*``: the forward closure of ``sources``."""
+        budget = self.budget
         reached = set(sources)
         frontier = deque([sources])
         while frontier:
+            if budget is not None:
+                budget.tick()
             batch = frontier.popleft()
             fresh = self._image(expr, batch, scope) - reached
             if fresh:
@@ -281,26 +328,41 @@ class SetEvaluator(Evaluator):
 
 
 def evaluate_nodes(
-    tree: Tree, expr: ast.NodeExpr, backend: str = "sets"
+    tree: Tree,
+    expr: ast.NodeExpr,
+    backend: str = "sets",
+    budget: ExecutionBudget | None = None,
 ) -> frozenset[int]:
     """One-shot node-set evaluation on ``tree``."""
-    return Evaluator(tree, backend=backend).nodes(expr)
+    return Evaluator(tree, backend=backend, budget=budget).nodes(expr)
 
 
 def evaluate_path(
-    tree: Tree, expr: ast.PathExpr, sources: Iterable[int], backend: str = "sets"
+    tree: Tree,
+    expr: ast.PathExpr,
+    sources: Iterable[int],
+    backend: str = "sets",
+    budget: ExecutionBudget | None = None,
 ) -> set[int]:
     """One-shot image computation: nodes reachable from ``sources``."""
-    return Evaluator(tree, backend=backend).image(expr, sources)
+    return Evaluator(tree, backend=backend, budget=budget).image(expr, sources)
 
 
 def evaluate_pairs(
-    tree: Tree, expr: ast.PathExpr, backend: str = "sets"
+    tree: Tree,
+    expr: ast.PathExpr,
+    backend: str = "sets",
+    budget: ExecutionBudget | None = None,
 ) -> set[tuple[int, int]]:
     """One-shot full-relation evaluation (prefer images when possible)."""
-    return Evaluator(tree, backend=backend).pairs(expr)
+    return Evaluator(tree, backend=backend, budget=budget).pairs(expr)
 
 
-def select(tree: Tree, expr: ast.PathExpr, backend: str = "sets") -> set[int]:
+def select(
+    tree: Tree,
+    expr: ast.PathExpr,
+    backend: str = "sets",
+    budget: ExecutionBudget | None = None,
+) -> set[int]:
     """XPath-style selection: nodes reachable from the *root* via ``expr``."""
-    return Evaluator(tree, backend=backend).image(expr, {0})
+    return Evaluator(tree, backend=backend, budget=budget).image(expr, {0})

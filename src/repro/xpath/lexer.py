@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator
 
+from ..runtime.errors import ReproSyntaxError
+
 __all__ = ["Token", "XPathSyntaxError", "tokenize", "KEYWORDS"]
 
 #: Reserved words of the node-expression grammar.
@@ -59,12 +61,8 @@ _ARROWS = {"↓": "child", "↑": "parent", "→": "right", "←": "left"}
 _PUNCT = "/|*+[]()<>?.&~"
 
 
-class XPathSyntaxError(ValueError):
+class XPathSyntaxError(ReproSyntaxError):
     """Raised on malformed query text."""
-
-    def __init__(self, message: str, position: int):
-        super().__init__(f"{message} (at offset {position})")
-        self.position = position
 
 
 @dataclass(frozen=True)

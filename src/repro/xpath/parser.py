@@ -36,11 +36,19 @@ Examples::
 
 from __future__ import annotations
 
+from ..runtime.errors import DepthLimitError
 from ..trees.axes import Axis
 from . import ast
 from .lexer import KEYWORDS, Token, XPathSyntaxError, tokenize
 
-__all__ = ["parse_path", "parse_node", "XPathSyntaxError"]
+__all__ = ["DEFAULT_MAX_DEPTH", "parse_path", "parse_node", "XPathSyntaxError"]
+
+#: Default bound on recursive grammar productions.  Each level of expression
+#: nesting costs a handful of interpreter stack frames, so this trips a
+#: structured :class:`DepthLimitError` (with the offending position) long
+#: before CPython's own recursion limit turns the parse into a bare
+#: ``RecursionError``.
+DEFAULT_MAX_DEPTH = 200
 
 _AXIS_BY_WORD = {
     "self": Axis.SELF,
@@ -73,9 +81,20 @@ _NODE_CONSTANTS = {
 
 
 class _Parser:
-    def __init__(self, text: str):
+    def __init__(self, text: str, max_depth: int = DEFAULT_MAX_DEPTH):
         self.tokens = list(tokenize(text))
         self.index = 0
+        self.max_depth = max_depth
+        self._depth = 0
+
+    def _enter(self) -> None:
+        self._depth += 1
+        if self._depth > self.max_depth:
+            raise DepthLimitError(
+                "expression nesting exceeds the parser depth limit",
+                self.current.position,
+                self.max_depth,
+            )
 
     # -- cursor helpers ----------------------------------------------------
 
@@ -117,10 +136,14 @@ class _Parser:
     # -- path grammar --------------------------------------------------------
 
     def parse_path(self) -> ast.PathExpr:
-        expr = self.parse_isect()
-        while self.accept("|"):
-            expr = ast.Union(expr, self.parse_isect())
-        return expr
+        self._enter()
+        try:
+            expr = self.parse_isect()
+            while self.accept("|"):
+                expr = ast.Union(expr, self.parse_isect())
+            return expr
+        finally:
+            self._depth -= 1
 
     def parse_isect(self) -> ast.PathExpr:
         expr = self.parse_seq()
@@ -151,16 +174,24 @@ class _Parser:
     def parse_path_atom(self) -> ast.PathExpr:
         token = self.current
         if token.kind == "~":
-            self.advance()
-            return ast.Complement(self.parse_path_atom())
+            self._enter()
+            try:
+                self.advance()
+                return ast.Complement(self.parse_path_atom())
+            finally:
+                self._depth -= 1
         if token.kind == ".":
             self.advance()
             return ast.SELF
         if token.kind == "(":
-            self.advance()
-            expr = self.parse_path()
-            self.expect(")")
-            return expr
+            self._enter()
+            try:
+                self.advance()
+                expr = self.parse_path()
+                self.expect(")")
+                return expr
+            finally:
+                self._depth -= 1
         if token.kind == "?":
             self.advance()
             return ast.Check(self.parse_test_atom())
@@ -195,10 +226,14 @@ class _Parser:
     # -- node grammar ----------------------------------------------------------
 
     def parse_node(self) -> ast.NodeExpr:
-        expr = self.parse_conj()
-        while self.accept_word("or"):
-            expr = ast.Or(expr, self.parse_conj())
-        return expr
+        self._enter()
+        try:
+            expr = self.parse_conj()
+            while self.accept_word("or"):
+                expr = ast.Or(expr, self.parse_conj())
+            return expr
+        finally:
+            self._depth -= 1
 
     def parse_conj(self) -> ast.NodeExpr:
         expr = self.parse_unary()
@@ -208,21 +243,33 @@ class _Parser:
 
     def parse_unary(self) -> ast.NodeExpr:
         if self.accept_word("not"):
-            return ast.Not(self.parse_unary())
+            self._enter()
+            try:
+                return ast.Not(self.parse_unary())
+            finally:
+                self._depth -= 1
         return self.parse_primary()
 
     def parse_primary(self) -> ast.NodeExpr:
         token = self.current
         if token.kind == "<":
-            self.advance()
-            path = self.parse_path()
-            self.expect(">")
-            return ast.Exists(path)
+            self._enter()
+            try:
+                self.advance()
+                path = self.parse_path()
+                self.expect(">")
+                return ast.Exists(path)
+            finally:
+                self._depth -= 1
         if token.kind == "(":
-            self.advance()
-            expr = self.parse_node()
-            self.expect(")")
-            return expr
+            self._enter()
+            try:
+                self.advance()
+                expr = self.parse_node()
+                self.expect(")")
+                return expr
+            finally:
+                self._depth -= 1
         if token.kind in (".", "?"):
             # A path led by '.' or a test: sugar for <path>.
             return ast.Exists(self.parse_path())
@@ -250,18 +297,23 @@ class _Parser:
         )
 
 
-def parse_path(text: str) -> ast.PathExpr:
-    """Parse a path expression, e.g. ``"child*[b]/descendant | parent"``."""
-    parser = _Parser(text)
+def parse_path(text: str, max_depth: int = DEFAULT_MAX_DEPTH) -> ast.PathExpr:
+    """Parse a path expression, e.g. ``"child*[b]/descendant | parent"``.
+
+    Nesting beyond ``max_depth`` recursive productions raises
+    :class:`~repro.runtime.errors.DepthLimitError` (a ``ValueError``) with
+    the offending position, never a bare ``RecursionError``.
+    """
+    parser = _Parser(text, max_depth)
     expr = parser.parse_path()
     if not parser.at_end():
         raise parser.fail(f"unexpected trailing input {parser.current.value!r}")
     return expr
 
 
-def parse_node(text: str) -> ast.NodeExpr:
+def parse_node(text: str, max_depth: int = DEFAULT_MAX_DEPTH) -> ast.NodeExpr:
     """Parse a node expression, e.g. ``"a and not <child[b]>"``."""
-    parser = _Parser(text)
+    parser = _Parser(text, max_depth)
     expr = parser.parse_node()
     if not parser.at_end():
         raise parser.fail(f"unexpected trailing input {parser.current.value!r}")

@@ -1,8 +1,25 @@
-"""Shared fixtures: corpora, samplers, and canonical example trees."""
+"""Shared fixtures: corpora, samplers, and canonical example trees.
+
+Timeout policy: CI runs the suite under pytest-timeout (``--timeout=120``,
+configured in ``.github/workflows/ci.yml`` only — the plugin is not a local
+requirement) as a watchdog against runaway tests.  Hypothesis-side
+per-example deadlines stay **disabled** (``deadline=None`` below): property
+tests here routinely build corpora and automata whose first-example cost is
+dominated by session-scoped cache warming, and Hypothesis deadlines turn
+that warm-up jitter into flaky ``DeadlineExceeded`` failures.  The ``repro``
+profile registered below makes that the suite-wide default (individual
+tests repeat ``deadline=None`` in their ``@settings`` for locality).
+Wall-clock governance of the *engines themselves* is exercised explicitly
+by the ``tests/runtime`` suite via ExecutionBudget instead.
+"""
 
 import random
 
 import pytest
+from hypothesis import settings as hypothesis_settings
+
+hypothesis_settings.register_profile("repro", deadline=None)
+hypothesis_settings.load_profile("repro")
 
 from repro.decision.corpora import standard_corpus
 from repro.trees import Tree, all_trees, chain, parse_xml

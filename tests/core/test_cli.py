@@ -34,7 +34,7 @@ class TestEvalAndSelect:
         assert "1 node(s)" in capsys.readouterr().out
 
     def test_missing_file(self, capsys):
-        assert main(["eval", "a", "/nonexistent/file.xml"]) == 2
+        assert main(["eval", "a", "/nonexistent/file.xml"]) == 3
         assert "error" in capsys.readouterr().err
 
 
@@ -107,3 +107,92 @@ class TestSimplifyAndClassify:
     def test_parse_error(self, capsys):
         assert main(["simplify", "child//"]) == 2
         assert "error" in capsys.readouterr().err
+
+
+class TestErrorPathsAndGovernance:
+    """The documented exit-code contract: one code per failure class, one
+    single-line ``error:`` diagnostic on stderr."""
+
+    def _stderr_is_single_diagnostic(self, capsys):
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert len(err.strip().splitlines()) == 1
+        return err
+
+    def test_bad_expression_exits_2(self, doc_file, capsys):
+        assert main(["eval", "child//", doc_file]) == 2
+        self._stderr_is_single_diagnostic(capsys)
+
+    def test_missing_tree_file_exits_3(self, capsys):
+        assert main(["eval", "a", "/nonexistent/file.xml"]) == 3
+        self._stderr_is_single_diagnostic(capsys)
+
+    def test_timeout_trip_exits_4(self, doc_file, capsys):
+        assert main(["check", "exists x. a(x)", doc_file, "--timeout", "0"]) == 4
+        err = self._stderr_is_single_diagnostic(capsys)
+        assert "deadline" in err
+
+    def test_step_budget_trip_exits_5(self, doc_file, capsys):
+        code = main(
+            ["select", "(child[speaker] | child)*", doc_file, "--max-steps", "0"]
+        )
+        assert code == 5
+        err = self._stderr_is_single_diagnostic(capsys)
+        assert "budget" in err
+
+    def test_node_cap_trip_exits_5(self, doc_file, capsys):
+        assert main(["eval", "true", doc_file, "--max-nodes", "1"]) == 5
+        self._stderr_is_single_diagnostic(capsys)
+
+    def test_depth_limited_expression_exits_6(self, doc_file, capsys):
+        deep = "(" * 10_000 + "child" + ")" * 10_000
+        assert main(["select", deep, doc_file]) == 6
+        err = self._stderr_is_single_diagnostic(capsys)
+        assert "depth" in err
+
+    def test_oversized_document_exits_7(self, tmp_path, capsys):
+        path = tmp_path / "deep.xml"
+        path.write_text("<a>" * 500 + "</a>" * 500)
+        assert main(["eval", "a", str(path)]) == 7
+        err = self._stderr_is_single_diagnostic(capsys)
+        assert "depth limit" in err
+
+    def test_injected_fault_exits_8(self, doc_file, capsys):
+        code = main(["eval", "a", doc_file, "--inject-fault", "xpath.bitset"])
+        assert code == 8
+        err = self._stderr_is_single_diagnostic(capsys)
+        assert "injected fault" in err
+
+    def test_injected_fault_does_not_leak_between_runs(self, doc_file):
+        assert main(["eval", "a", doc_file, "--inject-fault", "xpath.bitset"]) == 8
+        assert main(["eval", "a", doc_file]) == 0  # disarmed on exit
+
+    def test_fallback_rescues_injected_fault(self, doc_file, capsys, recwarn):
+        code = main(
+            ["eval", "<child[i]>", doc_file, "--inject-fault", "xpath.bitset",
+             "--fallback"]
+        )
+        assert code == 0
+        assert "2 node(s)" in capsys.readouterr().out
+        assert any("falling back" in str(w.message) for w in recwarn.list)
+
+    def test_check_fallback_rescues_injected_fault(self, doc_file, capsys, recwarn):
+        code = main(
+            ["check", "exists x. i(x)", doc_file, "--inject-fault", "logic.bitset",
+             "--fallback"]
+        )
+        assert code == 0
+        assert "HOLDS" in capsys.readouterr().out
+
+    def test_governed_run_that_fits_succeeds(self, doc_file, capsys):
+        code = main(
+            ["eval", "<child[i]>", doc_file,
+             "--timeout", "30", "--max-steps", "100000", "--max-nodes", "1000"]
+        )
+        assert code == 0
+        assert "2 node(s)" in capsys.readouterr().out
+
+    def test_budget_flags_on_equivalent(self, capsys):
+        code = main(["equivalent", "child", "child/self", "--max-steps", "0"])
+        assert code == 5
+        self._stderr_is_single_diagnostic(capsys)

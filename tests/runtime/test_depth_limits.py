@@ -1,0 +1,72 @@
+"""Parser depth limits: pathological nesting dies cleanly, never by stack.
+
+The acceptance shape: expressions nested 10,000 deep — fifty times past the
+default limit and deep enough to overflow CPython's interpreter stack if the
+recursive-descent parsers ran unguarded — must raise a positioned
+:class:`DepthLimitError`, never ``RecursionError``.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.logic import parse_formula
+from repro.logic.parser import DEFAULT_MAX_DEPTH as FORMULA_MAX_DEPTH
+from repro.runtime import DepthLimitError
+from repro.xpath import parse_node, parse_path
+from repro.xpath.parser import DEFAULT_MAX_DEPTH as XPATH_MAX_DEPTH
+
+DEEP = 10_000
+
+#: (parse function, a depth-n adversarial input builder) for every
+#: recursion-prone production of the three grammars.
+ADVERSARIAL = {
+    "path parens": (parse_path, lambda n: "(" * n + "child" + ")" * n),
+    "path complement": (parse_path, lambda n: "~" * n + "child"),
+    "path filters": (parse_path, lambda n: ".[" * n + "true" + "]" * n),
+    "node parens": (parse_node, lambda n: "(" * n + "true" + ")" * n),
+    "node not-chain": (parse_node, lambda n: "not " * n + "true"),
+    "node exists": (parse_node, lambda n: ".[" * n + "<child>" + "]" * n),
+    "formula parens": (parse_formula, lambda n: "(" * n + "true" + ")" * n),
+    "formula negations": (parse_formula, lambda n: "~" * n + "true"),
+    "formula implications": (parse_formula, lambda n: "true -> " * n + "true"),
+    "formula quantifiers": (parse_formula, lambda n: "exists x. " * n + "x = x"),
+}
+
+
+class TestDeepInputsDieCleanly:
+    @pytest.mark.parametrize("name", sorted(ADVERSARIAL))
+    def test_10k_deep_raises_depth_limit_not_recursion(self, name):
+        parse, build = ADVERSARIAL[name]
+        with pytest.raises(DepthLimitError) as info:
+            parse(build(DEEP))
+        assert info.value.position >= 0
+        assert info.value.limit in (XPATH_MAX_DEPTH, FORMULA_MAX_DEPTH)
+
+    @pytest.mark.parametrize("name", sorted(ADVERSARIAL))
+    # 500 > any default limit in grammar-nesting units, so every sampled
+    # depth is past the cap for every adversarial shape.
+    @given(depth=st.integers(min_value=500, max_value=DEEP))
+    @settings(max_examples=10, deadline=None)
+    def test_any_depth_past_the_limit_raises(self, name, depth):
+        parse, build = ADVERSARIAL[name]
+        with pytest.raises(DepthLimitError):
+            parse(build(depth))
+
+
+class TestLimitBoundary:
+    def test_moderate_nesting_still_parses(self):
+        assert parse_path("(" * 50 + "child" + ")" * 50)
+        assert parse_node("not " * 50 + "true")
+        assert parse_formula("~" * 50 + "true")
+
+    def test_custom_limit_is_respected(self):
+        text = "(" * 20 + "child" + ")" * 20
+        assert parse_path(text, max_depth=100)
+        with pytest.raises(DepthLimitError) as info:
+            parse_path(text, max_depth=10)
+        assert info.value.limit == 10
+
+    def test_error_is_still_a_value_error(self):
+        """Legacy ``except ValueError`` handlers keep catching parse failures."""
+        with pytest.raises(ValueError):
+            parse_path("(" * DEEP + "child" + ")" * DEEP)

@@ -1,0 +1,104 @@
+"""The exception taxonomy and the CLI exit-code contract."""
+
+import pytest
+
+from repro.logic import FormulaSyntaxError
+from repro.runtime import (
+    EXIT_CODES,
+    BudgetExceededError,
+    DeadlineExceededError,
+    DepthLimitError,
+    EngineFaultError,
+    InjectedFaultError,
+    InputLimitError,
+    ReproError,
+    ReproSyntaxError,
+    exit_code_for,
+)
+from repro.trees.xml_io import XmlSyntaxError
+from repro.xpath import XPathSyntaxError
+
+
+class TestTaxonomy:
+    @pytest.mark.parametrize("cls", [
+        ReproSyntaxError,
+        XPathSyntaxError,
+        FormulaSyntaxError,
+        XmlSyntaxError,
+        DepthLimitError,
+        InputLimitError,
+        BudgetExceededError,
+        DeadlineExceededError,
+        EngineFaultError,
+        InjectedFaultError,
+    ])
+    def test_everything_is_a_repro_error(self, cls):
+        assert issubclass(cls, ReproError)
+
+    @pytest.mark.parametrize("cls", [
+        ReproSyntaxError,
+        XPathSyntaxError,
+        FormulaSyntaxError,
+        XmlSyntaxError,
+        DepthLimitError,
+        InputLimitError,
+    ])
+    def test_input_errors_stay_value_errors(self, cls):
+        """Pre-existing ``except ValueError`` call sites keep working."""
+        assert issubclass(cls, ValueError)
+
+    @pytest.mark.parametrize("cls", [
+        BudgetExceededError,
+        DeadlineExceededError,
+        EngineFaultError,
+        InjectedFaultError,
+    ])
+    def test_operational_errors_are_not_value_errors(self, cls):
+        assert not issubclass(cls, ValueError)
+
+    def test_syntax_error_carries_position(self):
+        exc = ReproSyntaxError("bad input", 17)
+        assert exc.position == 17
+        assert "offset 17" in str(exc)
+
+    def test_limit_errors_carry_position_and_limit(self):
+        for cls in (DepthLimitError, InputLimitError):
+            exc = cls("too deep", 42, 200)
+            assert exc.position == 42
+            assert exc.limit == 200
+            assert "offset 42" in str(exc) and "limit 200" in str(exc)
+
+    def test_injected_fault_carries_site(self):
+        exc = InjectedFaultError("xpath.bitset")
+        assert exc.site == "xpath.bitset"
+        assert "xpath.bitset" in str(exc)
+
+
+class TestExitCodes:
+    def test_contract_values(self):
+        assert EXIT_CODES == {
+            "syntax": 2,
+            "io": 3,
+            "deadline": 4,
+            "budget": 5,
+            "depth": 6,
+            "input_limit": 7,
+            "engine": 8,
+        }
+
+    @pytest.mark.parametrize("exc, code", [
+        (XPathSyntaxError("bad", 0), 2),
+        (FileNotFoundError("gone"), 3),
+        (DeadlineExceededError("late"), 4),
+        (BudgetExceededError("dry"), 5),
+        (DepthLimitError("deep", 0, 1), 6),
+        (InputLimitError("big", 0, 1), 7),
+        (InjectedFaultError("xpath.bitset"), 8),
+        (ValueError("anything else"), 2),
+    ])
+    def test_exit_code_for(self, exc, code):
+        assert exit_code_for(exc) == code
+
+    def test_deadline_beats_its_budget_superclass(self):
+        """The subclass check must come first in the dispatch."""
+        assert exit_code_for(DeadlineExceededError("late")) == 4

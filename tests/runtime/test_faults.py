@@ -1,0 +1,116 @@
+"""Fault-injection machinery and its wiring into the engine kernels."""
+
+import random
+
+import pytest
+
+from repro.logic import ModelChecker, parse_formula
+from repro.runtime import InjectedFaultError, faults
+from repro.trees import chain, random_tree
+from repro.xpath import Evaluator, parse_node, parse_path
+
+
+@pytest.fixture(autouse=True)
+def clean_slate():
+    faults.disarm()
+    yield
+    faults.disarm()
+
+
+class TestFaultRegistry:
+    def test_armed_site_raises_with_site_attribute(self):
+        faults.arm("some.site")
+        with pytest.raises(InjectedFaultError) as info:
+            faults.check("some.site")
+        assert info.value.site == "some.site"
+
+    def test_unarmed_site_is_silent(self):
+        faults.arm("some.site")
+        faults.check("another.site")  # no raise
+
+    def test_counted_arm_fires_exactly_n_times(self):
+        faults.arm("some.site", times=2)
+        for _ in range(2):
+            with pytest.raises(InjectedFaultError):
+                faults.check("some.site")
+        faults.check("some.site")  # exhausted
+        assert faults.armed_sites() == {}
+
+    def test_counted_arm_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            faults.arm("some.site", times=0)
+
+    def test_disarm_one_and_all(self):
+        faults.arm("a")
+        faults.arm("b")
+        faults.disarm("a")
+        assert set(faults.armed_sites()) == {"b"}
+        faults.disarm()
+        assert faults.armed_sites() == {}
+
+    def test_inject_scope(self):
+        with faults.inject("scoped.site"):
+            with pytest.raises(InjectedFaultError):
+                faults.check("scoped.site")
+        faults.check("scoped.site")  # disarmed on exit
+
+    def test_reload_from_env_spec(self):
+        faults.reload_from_env("xpath.bitset, logic.bitset.tc:3")
+        assert faults.armed_sites() == {"xpath.bitset": None, "logic.bitset.tc": 3}
+
+    def test_reload_from_env_empty_is_noop(self):
+        faults.reload_from_env("")
+        assert faults.armed_sites() == {}
+
+
+class TestEngineWiring:
+    """Each documented site actually fires inside its engine."""
+
+    def test_xpath_bitset_entry(self):
+        tree = chain(8, labels=("a", "b"))
+        ev = Evaluator(tree, backend="bitset")
+        with faults.inject("xpath.bitset"):
+            with pytest.raises(InjectedFaultError):
+                ev.nodes(parse_node("a"))
+        assert ev.nodes(parse_node("a"))  # healthy again once disarmed
+
+    def test_xpath_bitset_star_sweep(self):
+        tree = chain(8, labels=("a", "b"))
+        ev = Evaluator(tree, backend="bitset")
+        # A starred union is not a precomputed axis closure, so evaluating it
+        # actually enters the frontier sweep where the site is checked.
+        with faults.inject("xpath.bitset.star"):
+            with pytest.raises(InjectedFaultError):
+                ev.image(parse_path("(child[a] | child)*"), {0})
+
+    def test_logic_bitset_entry(self):
+        tree = random_tree(16, rng=random.Random(0))
+        checker = ModelChecker(tree, backend="bitset")
+        with faults.inject("logic.bitset"):
+            with pytest.raises(InjectedFaultError):
+                checker.holds(parse_formula("exists x. a(x)"))
+
+    def test_logic_bitset_tc_sweep(self):
+        tree = chain(8, labels=("a", "b"))
+        checker = ModelChecker(tree, backend="bitset")
+        with faults.inject("logic.bitset.tc"):
+            with pytest.raises(InjectedFaultError):
+                checker.holds(
+                    parse_formula("exists x. exists y. tc[u,v](child(u,v))(x,y)")
+                )
+
+    def test_automata_bitset_sweep(self):
+        from repro.translations import compile_exists_path
+
+        automaton = compile_exists_path(parse_path("descendant[b]"), ("a", "b"))
+        tree = chain(8, labels=("a", "b"))
+        with faults.inject("automata.bitset"):
+            with pytest.raises(InjectedFaultError):
+                automaton.accepts(tree, strategy="bitset")
+
+    def test_sets_oracle_is_unaffected(self):
+        """Faults target the fast engines; the oracles keep working."""
+        tree = chain(8, labels=("a", "b"))
+        with faults.inject("xpath.bitset"):
+            result = Evaluator(tree, backend="sets").nodes(parse_node("a"))
+        assert result

@@ -1,0 +1,142 @@
+"""Guarded degradation: bitset fast path falling back to the row-wise oracles."""
+
+import random
+import warnings
+
+import pytest
+
+from repro.logic import ModelChecker, parse_formula
+from repro.runtime import (
+    BudgetExceededError,
+    DeadlineExceededError,
+    ExecutionBudget,
+    GuardedEvaluator,
+    GuardedModelChecker,
+    InjectedFaultError,
+    faults,
+    guarded_check,
+    stats,
+)
+from repro.trees import chain, random_tree
+from repro.xpath import Evaluator, parse_node, parse_path
+
+QUERY = parse_node("<descendant[a and <right[b]>]> and not <child[not <child>]>")
+STAR = parse_path("(child[a] | child)*")
+FORMULA = parse_formula("exists y. tc[u,v](child(u,v) & a(v))(x,y) & leaf(y)")
+
+
+@pytest.fixture(autouse=True)
+def clean_slate():
+    faults.disarm()
+    stats.reset()
+    yield
+    faults.disarm()
+    stats.reset()
+
+
+@pytest.fixture()
+def tree():
+    return random_tree(120, rng=random.Random(17))
+
+
+class TestEvaluatorFallback:
+    def test_fallback_matches_the_oracle(self, tree):
+        """The acceptance gate: with the bitset engine faulted, every guarded
+        call returns exactly what the sets oracle computes."""
+        oracle = Evaluator(tree, backend="sets")
+        guarded = GuardedEvaluator(tree)
+        faults.arm("xpath.bitset")
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            assert guarded.nodes(QUERY) == oracle.nodes(QUERY)
+            assert guarded.image(STAR, {0}) == oracle.image(STAR, {0})
+            assert guarded.preimage(STAR, {0}) == oracle.preimage(STAR, {0})
+            assert guarded.pairs(STAR) == oracle.pairs(STAR)
+            assert guarded.holds_at(QUERY, 0) == oracle.holds_at(QUERY, 0)
+        assert guarded.fallback_count == 5
+        assert stats.fallback_count == 5
+        assert isinstance(stats.last_error, InjectedFaultError)
+
+    def test_warns_once_not_per_call(self, tree):
+        guarded = GuardedEvaluator(tree)
+        faults.arm("xpath.bitset")
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            guarded.nodes(QUERY)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # a second warning would fail here
+            guarded.nodes(QUERY)
+        assert guarded.fallback_count == 2
+
+    def test_healthy_path_stays_on_bitset(self, tree):
+        guarded = GuardedEvaluator(tree)
+        assert guarded.nodes(QUERY) == Evaluator(tree, backend="bitset").nodes(QUERY)
+        assert guarded.fallback_count == 0
+        assert stats.fallback_count == 0
+
+    def test_input_errors_are_not_retried(self, tree):
+        """A malformed AST fails identically on the oracle; no fallback."""
+        guarded = GuardedEvaluator(tree)
+        with pytest.raises(TypeError):
+            guarded.nodes("not an expression")
+        assert guarded.fallback_count == 0
+
+
+class TestBudgetDegradation:
+    def test_budget_trip_raises_without_opt_in(self, tree):
+        budget = ExecutionBudget(max_steps=1)
+        guarded = GuardedEvaluator(tree, budget)
+        with pytest.raises(BudgetExceededError):
+            guarded.pairs(STAR)
+        assert guarded.fallback_count == 0
+
+    def test_budget_trip_retries_with_refunded_fuel(self):
+        """A budget nearly drained by earlier work trips the fast engine;
+        the retry refunds the fuel, so the oracle completes the call."""
+        tree = chain(64, labels=("a", "b"))
+        probe = ExecutionBudget(max_steps=10**9)
+        Evaluator(tree, backend="bitset", budget=probe).pairs(STAR)
+        drain = probe.steps  # fuel one pairs() call costs on the fast engine
+
+        budget = ExecutionBudget(max_steps=drain + drain // 2)
+        guarded = GuardedEvaluator(tree, budget, retry_on_budget=True)
+        first = guarded.pairs(STAR)  # fits: uses `drain` of the fuel
+        assert guarded.fallback_count == 0
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            second = guarded.pairs(STAR)  # trips mid-run, retried on the oracle
+        assert second == first
+        assert guarded.fallback_count == 1
+
+    def test_deadline_is_never_retried(self, tree):
+        budget = ExecutionBudget(timeout=0.0)
+        guarded = GuardedEvaluator(tree, budget, retry_on_budget=True)
+        with pytest.raises(DeadlineExceededError):
+            guarded.pairs(STAR)
+        assert guarded.fallback_count == 0
+
+
+class TestModelCheckerFallback:
+    def test_fallback_matches_the_table_oracle(self, tree):
+        oracle = ModelChecker(tree, backend="table")
+        guarded = GuardedModelChecker(tree)
+        faults.arm("logic.bitset")
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            assert guarded.node_set(FORMULA, "x") == oracle.node_set(FORMULA, "x")
+            sentence = parse_formula("exists x. exists y. tc[u,v](child(u,v))(x,y)")
+            assert guarded.holds(sentence) == oracle.holds(sentence)
+        assert guarded.fallback_count == 2
+
+    def test_tc_sweep_fault_falls_back(self, tree):
+        """A fault deep inside the TC kernel (not at the entry) degrades too."""
+        guarded = GuardedModelChecker(tree)
+        expected = ModelChecker(tree, backend="table").node_set(FORMULA, "x")
+        faults.arm("logic.bitset.tc")
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            assert guarded.node_set(FORMULA, "x") == expected
+
+    def test_guarded_check_convenience(self, tree):
+        sentence = parse_formula("exists x. a(x)")
+        expected = ModelChecker(tree, backend="table").holds(sentence)
+        faults.arm("logic.bitset")
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            assert guarded_check(tree, sentence) == expected

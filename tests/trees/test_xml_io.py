@@ -150,3 +150,82 @@ class TestRoundTripProperty:
 
         tree = chain(300, labels=("a", "b"))
         assert parse_xml(to_xml(tree)) == tree
+
+
+class TestReadLimits:
+    """XmlReadOptions caps: depth, node count, and text length."""
+
+    def test_depth_limit_raises_input_limit_not_recursion(self):
+        from repro.runtime import InputLimitError
+
+        doc = "<a>" * 10_000 + "</a>" * 10_000
+        with pytest.raises(InputLimitError) as info:
+            parse_xml(doc)
+        assert "depth" in str(info.value)
+        assert info.value.limit == 400  # the documented default
+
+    def test_depth_limit_boundary(self):
+        from repro.runtime import InputLimitError
+
+        options = XmlReadOptions(max_depth=3)
+        assert parse_xml("<a><b><c/></b></a>", options).labels == ("a", "b", "c")
+        with pytest.raises(InputLimitError):
+            parse_xml("<a><b><c><d/></c></b></a>", options)
+
+    def test_node_count_limit(self):
+        from repro.runtime import InputLimitError
+
+        options = XmlReadOptions(max_nodes=3)
+        assert parse_xml("<r><x/><y/></r>", options).labels == ("r", "x", "y")
+        with pytest.raises(InputLimitError, match="node-count"):
+            parse_xml("<r><x/><y/><z/></r>", options)
+
+    def test_node_count_counts_synthetic_children(self):
+        from repro.runtime import InputLimitError
+
+        options = XmlReadOptions(
+            attributes_as_children=True, text_as_children=True, max_nodes=2
+        )
+        with pytest.raises(InputLimitError):
+            parse_xml('<r a="1" b="2"/>', options)
+        with pytest.raises(InputLimitError):
+            parse_xml("<r>hello<x/>world</r>", options)
+
+    def test_text_length_limit_on_text_runs(self):
+        from repro.runtime import InputLimitError
+
+        options = XmlReadOptions(max_text_length=10)
+        assert parse_xml("<r>0123456789</r>", options).labels == ("r",)
+        with pytest.raises(InputLimitError, match="length"):
+            parse_xml("<r>0123456789x</r>", options)
+
+    def test_text_length_limit_on_attributes_and_cdata(self):
+        from repro.runtime import InputLimitError
+
+        options = XmlReadOptions(max_text_length=4)
+        with pytest.raises(InputLimitError):
+            parse_xml('<r a="12345"/>', options)
+        with pytest.raises(InputLimitError):
+            parse_xml("<r><![CDATA[12345]]></r>", options)
+
+    def test_entity_heavy_text_rejected_on_raw_length(self):
+        """The cap is checked on the *raw* source span, so a payload of
+        entity references is refused before any decoding work happens."""
+        from repro.runtime import InputLimitError
+
+        options = XmlReadOptions(max_text_length=64)
+        payload = "&amp;" * 1_000  # 5000 raw chars, would decode to 1000
+        with pytest.raises(InputLimitError):
+            parse_xml(f"<r>{payload}</r>", options)
+        # The same budget in *decoded* terms fits comfortably below the cap.
+        assert parse_xml("<r>&amp;&lt;&gt;</r>", options).labels == ("r",)
+
+    def test_limit_errors_are_value_errors(self):
+        doc = "<a>" * 10_000 + "</a>" * 10_000
+        with pytest.raises(ValueError):
+            parse_xml(doc)
+
+    def test_unlimited_options_unchanged(self):
+        """Defaults keep accepting everything the seed suite accepted."""
+        doc = "<r>" + "<x/>" * 500 + "</r>"
+        assert len(parse_xml(doc).labels) == 501
