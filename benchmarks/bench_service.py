@@ -1,0 +1,107 @@
+"""Experiment S1 — concurrent service throughput and overhead.
+
+Series: (a) end-to-end ``run_batch`` time for a fixed mixed workload as the
+worker-pool width grows — the shape shows how far the GIL lets the pure-
+Python engines scale before queue/dispatch overhead dominates; (b) the
+per-request overhead the service layer adds over calling the evaluator
+directly (queue hop, budget construction, breaker acquire, stats); and
+(c) batch throughput with a counted fault burst armed, measuring what the
+retry + breaker machinery costs while it reroutes.
+
+Record results with::
+
+    pytest benchmarks/bench_service.py --benchmark-json=BENCH_service.json
+
+The committed BENCH_service.json uses the repro-bench-compact/1 schema
+(see conftest.py / compact_json.py).
+"""
+
+import random
+
+import pytest
+
+from repro.runtime import faults
+from repro.service import QueryRequest, QueryService, RetryPolicy, TreeRegistry
+from repro.trees import chain, random_tree
+from repro.xpath import Evaluator, parse_node
+
+BATCH = 64
+
+#: One template per op family; the batch cycles through them.
+_TEMPLATES = (
+    {"op": "eval", "query": "<descendant[a and <right[b]>]>", "tree": "bushy"},
+    {"op": "eval", "query": "<(child[a])*[b]>", "tree": "chain"},
+    {"op": "select", "query": "descendant[a]", "tree": "bushy"},
+    {"op": "check", "formula": "exists x. a(x)", "tree": "bushy"},
+)
+
+
+def _batch(n=BATCH):
+    return [
+        QueryRequest(**_TEMPLATES[i % len(_TEMPLATES)], id=f"b{i}") for i in range(n)
+    ]
+
+
+@pytest.fixture(scope="module")
+def registry():
+    reg = TreeRegistry()
+    reg.register("bushy", random_tree(512, rng=random.Random(2008)))
+    reg.register("chain", chain(512, labels=("a", "b")))
+    return reg
+
+
+@pytest.mark.parametrize("workers", (1, 2, 4, 8))
+def test_mixed_batch_throughput(benchmark, registry, workers):
+    """S1 series proper: fixed mixed batch, growing worker pool."""
+    benchmark.group = f"S1 batch of {BATCH}"
+    with QueryService(registry, workers=workers, queue_limit=BATCH) as service:
+        results = benchmark(lambda: service.run_batch(_batch()))
+    assert all(r.status == "ok" for r in results)
+
+
+def test_service_overhead_vs_direct_call(benchmark, registry):
+    """Single-request round trip through the full service machinery."""
+    benchmark.group = "S1 overhead"
+    request = QueryRequest(op="eval", query="<descendant[a]>", tree="bushy")
+    with QueryService(registry, workers=1) as service:
+        result = benchmark(lambda: service.run_batch([request])[0])
+    assert result.status == "ok"
+
+
+def test_direct_call_baseline(benchmark, registry):
+    """The same query without the service: the floor for S1 overhead."""
+    benchmark.group = "S1 overhead"
+    tree = registry.get("bushy")
+    expr = parse_node("<descendant[a]>")
+    result = benchmark(lambda: sorted(Evaluator(tree, backend="bitset").nodes(expr)))
+    assert result
+
+
+def test_batch_throughput_under_fault_burst(benchmark, registry):
+    """Chaos cost: a counted burst forces retries and breaker trips, but the
+    batch must still complete with every request resolved."""
+    benchmark.group = "S1 chaos"
+    service = QueryService(
+        registry,
+        workers=4,
+        queue_limit=BATCH,
+        retry=RetryPolicy(max_attempts=2, base_delay=0.0001, max_delay=0.001),
+        breaker_threshold=4,
+        breaker_cooldown=0.01,
+    )
+
+    def run():
+        faults.arm("xpath.bitset", times=8)
+        faults.arm("service.worker", times=4)
+        try:
+            return service.run_batch(_batch())
+        finally:
+            faults.disarm()
+
+    try:
+        results = benchmark(run)
+        assert all(r.status == "ok" for r in results)
+        snap = service.stats_snapshot()
+        assert snap["submitted"] == snap["completed"]
+    finally:
+        service.shutdown()

@@ -17,7 +17,14 @@ Commands:
   XML document: truth for sentences, satisfying nodes/pairs for formulas
   with one/two free variables (``--backend table|bitset``);
 * ``simplify QUERY`` — apply the sound rewrite system;
-* ``classify QUERY`` — dialect, axes, fragment memberships.
+* ``classify QUERY`` — dialect, axes, fragment memberships;
+* ``batch [FILE.jsonl]`` — run many requests through the concurrent query
+  service: one JSON request object per input line (stdin if no file), one
+  JSON result object per output line, in input order.  Documents come from
+  repeatable ``--tree NAME=FILE.xml`` registrations or inline ``"xml"``
+  request fields; ``--workers`` / ``--queue-limit`` / ``--retries`` /
+  ``--breaker-threshold`` / ``--breaker-cooldown`` shape the pool, and
+  ``--stats`` prints the aggregate counters to stderr as JSON.
 
 Queries sort themselves: input parseable as a node expression is treated as
 one, otherwise as a path expression.
@@ -33,7 +40,11 @@ Resource governance (``eval`` / ``select`` / ``check``, budgets also on
 
 Exit codes: 0 success; 1 semantic "no" (NOT equivalent / UNSATISFIABLE /
 FAILS); 2 syntax or usage error; 3 I/O error; 4 deadline exceeded; 5 budget
-exhausted; 6 parser depth limit; 7 XML input limit; 8 engine fault.
+exhausted; 6 parser depth limit; 7 XML input limit; 8 engine fault;
+9 service overload (queue full / closed).  ``batch`` exits 0 when every
+request succeeded, otherwise with the contract code of the first (in input
+order) non-ok result — per-request failures are also reported structurally
+on each output line, so one bad request never hides the others' results.
 """
 
 from __future__ import annotations
@@ -249,6 +260,83 @@ def cmd_check(args: argparse.Namespace) -> int:
     return 2
 
 
+def cmd_batch(args: argparse.Namespace) -> int:
+    import json
+
+    from .service import QueryRequest, QueryService, RetryPolicy, TreeRegistry
+    from .service.api import error_payload
+
+    registry = TreeRegistry()
+    for spec in args.tree or ():
+        name, eq, path = spec.partition("=")
+        if not eq or not name or not path:
+            print(f"error: --tree expects NAME=FILE.xml, got {spec!r}", file=sys.stderr)
+            return 2
+        with open(path) as handle:
+            registry.register(name, parse_xml(handle.read()))
+
+    if args.requests is None or args.requests == "-":
+        lines = sys.stdin.read().splitlines()
+    else:
+        with open(args.requests) as handle:
+            lines = handle.read().splitlines()
+
+    service = QueryService(
+        registry,
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        retry=RetryPolicy(max_attempts=args.retries + 1),
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown=args.breaker_cooldown,
+        default_timeout=args.timeout,
+        default_max_steps=args.max_steps,
+        default_max_nodes=args.max_nodes,
+    )
+    entries = []  # per input line: ("done", json-dict) | ("pending", handle)
+    try:
+        for number, line in enumerate(lines, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            payload = None
+            try:
+                payload = json.loads(line)
+                request = QueryRequest.from_json(payload)
+            except ValueError as exc:
+                request_id = None
+                if isinstance(payload, dict):
+                    request_id = payload.get("id")
+                entries.append(
+                    (
+                        "done",
+                        {
+                            "id": request_id or f"line-{number}",
+                            "op": "?",
+                            "status": "error",
+                            "error": error_payload(exc),
+                        },
+                    )
+                )
+                continue
+            entries.append(("pending", service.submit(request)))
+        exit_code = 0
+        for kind, entry in entries:
+            payload = entry if kind == "done" else entry.result().to_json()
+            print(json.dumps(payload))
+            if exit_code == 0:
+                code = (
+                    payload.get("error", {}).get("exit_code", 2)
+                    if payload["status"] != "ok"
+                    else 0
+                )
+                exit_code = code
+    finally:
+        service.shutdown(drain=True)
+    if args.stats:
+        print(json.dumps(service.stats_snapshot()), file=sys.stderr)
+    return exit_code
+
+
 def cmd_simplify(args: argparse.Namespace) -> int:
     expr = _parse_any(args.query)
     simplified = simplify(expr)
@@ -365,6 +453,57 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_budget_arguments(p)
     p.set_defaults(func=cmd_check)
+
+    p = sub.add_parser(
+        "batch", help="serve a JSONL request batch through the query service"
+    )
+    p.add_argument(
+        "requests", nargs="?", help="JSONL request file (default: stdin)"
+    )
+    p.add_argument(
+        "--tree",
+        action="append",
+        metavar="NAME=FILE",
+        help="register an XML document under NAME (repeatable)",
+    )
+    p.add_argument(
+        "--workers", type=int, default=4, metavar="N", help="worker threads (default 4)"
+    )
+    p.add_argument(
+        "--queue-limit",
+        type=int,
+        default=64,
+        metavar="N",
+        help="bounded request-queue capacity (default 64)",
+    )
+    p.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="max retries per request for transient engine faults (default 2)",
+    )
+    p.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=5,
+        metavar="N",
+        help="consecutive fast-path failures that open a circuit breaker",
+    )
+    p.add_argument(
+        "--breaker-cooldown",
+        type=float,
+        default=0.25,
+        metavar="SECONDS",
+        help="open time before a half-open recovery probe (default 0.25)",
+    )
+    p.add_argument(
+        "--stats",
+        action="store_true",
+        help="print aggregate service counters to stderr as JSON",
+    )
+    _add_budget_arguments(p)
+    p.set_defaults(func=cmd_batch)
 
     p = sub.add_parser("simplify", help="apply the sound rewrite system")
     p.add_argument("query")

@@ -30,8 +30,12 @@ from .errors import (
     EngineFaultError,
     InjectedFaultError,
     InputLimitError,
+    QueueFullError,
     ReproError,
     ReproSyntaxError,
+    RequestShedError,
+    ServiceClosedError,
+    ServiceError,
     exit_code_for,
 )
 
@@ -47,8 +51,12 @@ __all__ = [
     "GuardedModelChecker",
     "InjectedFaultError",
     "InputLimitError",
+    "QueueFullError",
     "ReproError",
     "ReproSyntaxError",
+    "RequestShedError",
+    "ServiceClosedError",
+    "ServiceError",
     "exit_code_for",
     "faults",
     "guarded_check",

@@ -70,6 +70,28 @@ class ExecutionBudget:
         self.max_nodes = max_nodes
         self.steps = 0
 
+    @classmethod
+    def from_deadline(
+        cls,
+        deadline: float | None,
+        max_steps: int | None = None,
+        max_nodes: int | None = None,
+        *,
+        clock=time.monotonic,
+    ) -> "ExecutionBudget":
+        """A budget bounded by an *absolute* deadline on ``clock``'s scale.
+
+        This is how the query service derives per-request budgets: the
+        deadline is fixed when the request is admitted, and however long the
+        request then waits in the queue, the engine-visible budget keeps
+        counting down against the same instant.  A deadline already in the
+        past is allowed — the first checkpoint trips it, and callers that
+        want to shed instead check :attr:`remaining_time` first.
+        """
+        budget = cls(max_steps=max_steps, max_nodes=max_nodes, clock=clock)
+        budget.deadline = deadline
+        return budget
+
     # -- checkpoints -------------------------------------------------------
 
     def tick(self, weight: int = 1) -> None:

@@ -14,8 +14,12 @@ classes that need different handling (retry, degrade, report).  The tree::
     ├── InputLimitError (also ValueError)      XML document size/depth/text caps
     ├── BudgetExceededError                    step-fuel / cardinality cap
     │   └── DeadlineExceededError              wall-clock deadline
-    └── EngineFaultError                       an engine failed mid-run
-        └── InjectedFaultError                 ... because a fault was injected
+    │       └── RequestShedError               shed before execution (service)
+    ├── EngineFaultError                       an engine failed mid-run
+    │   └── InjectedFaultError                 ... because a fault was injected
+    └── ServiceError                           the serving layer itself
+        ├── QueueFullError                     bounded queue rejected a request
+        └── ServiceClosedError                 submit after shutdown began
 
 The syntax/limit classes keep ``ValueError`` in their MRO so pre-existing
 ``except ValueError`` call sites continue to work; budget trips deliberately
@@ -35,8 +39,12 @@ __all__ = [
     "InputLimitError",
     "BudgetExceededError",
     "DeadlineExceededError",
+    "RequestShedError",
     "EngineFaultError",
     "InjectedFaultError",
+    "ServiceError",
+    "QueueFullError",
+    "ServiceClosedError",
     "EXIT_CODES",
     "exit_code_for",
 ]
@@ -99,6 +107,18 @@ class DeadlineExceededError(BudgetExceededError):
     """The budget's wall-clock deadline passed mid-evaluation."""
 
 
+class RequestShedError(DeadlineExceededError):
+    """A queued request was shed before execution started.
+
+    Raised (or attached to a structured result) by the query service when a
+    request's deadline passes while it is still waiting in the queue, or
+    when the service shuts down without draining.  Subclasses
+    :class:`DeadlineExceededError` because the caller-visible meaning is the
+    same — the deadline is unmeetable — but the distinct class records that
+    *no* engine work was wasted on it.
+    """
+
+
 class EngineFaultError(ReproError):
     """An evaluation engine failed at a kernel boundary."""
 
@@ -116,6 +136,22 @@ class InjectedFaultError(EngineFaultError):
         self.site = site
 
 
+class ServiceError(ReproError):
+    """The serving layer itself (queue, worker pool) refused a request."""
+
+
+class QueueFullError(ServiceError):
+    """The bounded request queue is at capacity (backpressure signal).
+
+    Only raised on *non-blocking* submission; blocking submitters wait for
+    space instead.  Callers should slow down or shed load upstream.
+    """
+
+
+class ServiceClosedError(ServiceError):
+    """A request was submitted to a service that has begun shutdown."""
+
+
 #: The CLI exit-code contract, one code per error class.  2 doubles as
 #: argparse's own usage-error code; 1 stays reserved for semantic "no"
 #: results (NOT equivalent / UNSATISFIABLE / FAILS).
@@ -127,6 +163,7 @@ EXIT_CODES = {
     "depth": 6,
     "input_limit": 7,
     "engine": 8,
+    "overload": 9,
 }
 
 
@@ -142,6 +179,8 @@ def exit_code_for(exc: BaseException) -> int:
         return EXIT_CODES["input_limit"]
     if isinstance(exc, EngineFaultError):
         return EXIT_CODES["engine"]
+    if isinstance(exc, ServiceError):
+        return EXIT_CODES["overload"]
     if isinstance(exc, OSError):
         return EXIT_CODES["io"]
     return EXIT_CODES["syntax"]

@@ -15,24 +15,33 @@ Fault sites currently wired into the engines:
 ``logic.bitset``           entry of every public ``BitsetModelChecker`` method
 ``logic.bitset.tc``        inside the semi-naive ``[TC]`` sweep
 ``automata.bitset``        entry of the bit-parallel configuration sweep
+``service.worker``         start of each fast-path attempt in a service worker
 =========================  ====================================================
 
 Arming is explicit and three-way togglable:
 
-* **API** — ``faults.arm("xpath.bitset")`` / ``faults.disarm()``, or the
-  scoped ``with faults.inject("xpath.bitset"): ...``;
+* **API** — ``faults.arm("xpath.bitset")`` / ``faults.disarm()``, the
+  scoped ``with faults.inject("xpath.bitset"): ...`` (disarms that one site
+  on exit), or ``with faults.scoped("xpath.bitset"): ...`` (snapshots and
+  restores the *whole* registry, so pre-existing arming — e.g. from the
+  environment — survives the block and nothing armed inside it leaks out);
 * **environment** — ``REPRO_FAULTS="xpath.bitset,logic.bitset.tc:2"``
   (comma-separated sites, optional ``:count`` arms only the first *count*
   checks), parsed on import and on :func:`reload_from_env`;
 * **CLI** — ``--inject-fault SITE`` on the evaluation subcommands.
 
-The disarmed fast path is one truthiness test of an empty dict, so leaving
-the checks compiled into the engines costs nothing measurable.
+The registry is shared mutable state, so test suites should isolate it (the
+repo's ``tests/conftest.py`` snapshots and restores it around every test).
+Counted decrements in :func:`check` take a lock, making concurrent checks
+from service workers safe; the disarmed fast path stays a lock-free
+truthiness test of an empty dict, so leaving the checks compiled into the
+engines costs nothing measurable.
 """
 
 from __future__ import annotations
 
 import os
+import threading
 from contextlib import contextmanager
 
 from .errors import InjectedFaultError
@@ -44,6 +53,7 @@ __all__ = [
     "armed_sites",
     "check",
     "inject",
+    "scoped",
     "reload_from_env",
 ]
 
@@ -52,50 +62,91 @@ FAULTS_ENV_VAR = "REPRO_FAULTS"
 #: Armed sites: site -> remaining trigger count (None = every check fires).
 _armed: dict[str, int | None] = {}
 
+#: Guards counted decrements and snapshot/restore against concurrent checks.
+_lock = threading.Lock()
+
 
 def arm(site: str, times: int | None = None) -> None:
     """Arm ``site``: its next ``times`` checks (all, when None) will raise."""
     if times is not None and times <= 0:
         raise ValueError(f"times must be positive, got {times!r}")
-    _armed[site] = times
+    with _lock:
+        _armed[site] = times
 
 
 def disarm(site: str | None = None) -> None:
     """Disarm one site, or every site when called without arguments."""
-    if site is None:
-        _armed.clear()
-    else:
-        _armed.pop(site, None)
+    with _lock:
+        if site is None:
+            _armed.clear()
+        else:
+            _armed.pop(site, None)
 
 
 def armed_sites() -> dict[str, int | None]:
     """A snapshot of the armed sites (site -> remaining count)."""
-    return dict(_armed)
+    with _lock:
+        return dict(_armed)
 
 
 def check(site: str) -> None:
     """The fault point: raise iff ``site`` is armed.  Called by engines."""
     if not _armed:
         return
-    remaining = _armed.get(site, 0)
-    if remaining == 0:  # not armed (counted arms are removed at zero)
-        return
-    if remaining is not None:
-        if remaining == 1:
-            del _armed[site]
-        else:
-            _armed[site] = remaining - 1
+    with _lock:
+        remaining = _armed.get(site, 0)
+        if remaining == 0:  # not armed (counted arms are removed at zero)
+            return
+        if remaining is not None:
+            if remaining == 1:
+                del _armed[site]
+            else:
+                _armed[site] = remaining - 1
     raise InjectedFaultError(site)
 
 
 @contextmanager
 def inject(site: str, times: int | None = None):
-    """Scoped arming: ``with faults.inject("xpath.bitset"): ...``."""
+    """Scoped arming: ``with faults.inject("xpath.bitset"): ...``.
+
+    Disarms exactly that one site on exit.  If the site was already armed
+    before entry, that arming is lost — use :func:`scoped` when the
+    surrounding state must survive.
+    """
     arm(site, times)
     try:
         yield
     finally:
         disarm(site)
+
+
+@contextmanager
+def scoped(*sites: "str | tuple[str, int]"):
+    """Registry-isolating arming: snapshot on entry, full restore on exit.
+
+    ``sites`` entries are either a site name (armed for every check) or a
+    ``(site, times)`` pair (counted).  Unlike :func:`inject`, *any* mutation
+    made inside the block — arming, disarming, counted decrements — is
+    rolled back to the entry snapshot, so environment-armed sites and other
+    pre-existing state pass through untouched::
+
+        with faults.scoped("xpath.bitset", ("logic.bitset.tc", 2)):
+            ...  # the two sites fire here
+        ...      # registry exactly as before the block
+    """
+    with _lock:
+        snapshot = dict(_armed)
+    try:
+        for entry in sites:
+            if isinstance(entry, tuple):
+                arm(entry[0], entry[1])
+            else:
+                arm(entry)
+        yield
+    finally:
+        with _lock:
+            _armed.clear()
+            _armed.update(snapshot)
 
 
 def reload_from_env(value: str | None = None) -> None:

@@ -30,6 +30,7 @@ export; ``stats.fallback_count`` staying at zero is the healthy state.
 
 from __future__ import annotations
 
+import threading
 import warnings
 from typing import Iterable
 
@@ -40,21 +41,31 @@ __all__ = ["FallbackStats", "GuardedEvaluator", "GuardedModelChecker", "guarded_
 
 
 class FallbackStats:
-    """Process-wide degradation counters (export these from a service)."""
+    """Process-wide degradation counters (export these from a service).
 
-    __slots__ = ("fallback_count", "last_error")
+    Thread-safe: the module-wide instance is shared by every guarded
+    evaluator/checker in the process, and the query service records into it
+    from many workers at once, so ``record``/``reset`` serialize on a lock
+    (``count += 1`` is a read-modify-write that drops increments under
+    concurrent interleaving otherwise).
+    """
+
+    __slots__ = ("fallback_count", "last_error", "_lock")
 
     def __init__(self) -> None:
+        self._lock = threading.Lock()
         self.fallback_count = 0
         self.last_error: BaseException | None = None
 
     def record(self, exc: BaseException) -> None:
-        self.fallback_count += 1
-        self.last_error = exc
+        with self._lock:
+            self.fallback_count += 1
+            self.last_error = exc
 
     def reset(self) -> None:
-        self.fallback_count = 0
-        self.last_error = None
+        with self._lock:
+            self.fallback_count = 0
+            self.last_error = None
 
 
 #: The module-wide fallback counter.

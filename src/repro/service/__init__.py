@@ -1,0 +1,61 @@
+"""repro.service — the concurrent query-serving subsystem.
+
+Everything below :mod:`repro.service` exists to turn the single-call
+engines (XPath evaluation, FO(MTC) model checking, equivalence decision)
+into a *workload* surface: many requests, shared documents, bounded
+resources, and structured outcomes even when individual runs fail.  This
+is the serving layer the ROADMAP's "heavy traffic" north star calls for,
+built on the PR 3 governance primitives (budgets, the error taxonomy,
+guarded degradation, fault injection).
+
+The pieces, each in its own module:
+
+* :class:`QueryRequest` / :class:`QueryResult` / :class:`TreeRegistry`
+  (:mod:`~repro.service.api`) — the wire surface;
+* :class:`BoundedRequestQueue` (:mod:`~repro.service.queue`) —
+  backpressure and deadline-aware load shedding;
+* :class:`RetryPolicy` (:mod:`~repro.service.retry`) — exponential
+  backoff with full jitter for transient engine faults;
+* :class:`CircuitBreaker` (:mod:`~repro.service.breaker`) — per-backend
+  closed/open/half-open routing to the oracle engines;
+* :class:`ServiceStats` (:mod:`~repro.service.stats`) — aggregate
+  telemetry;
+* :class:`QueryService` (:mod:`~repro.service.workers`) — the worker
+  pool tying it together.
+
+Quickstart::
+
+    from repro import parse_xml
+    from repro.service import QueryRequest, QueryService, TreeRegistry
+
+    registry = TreeRegistry()
+    registry.register("doc", parse_xml("<a><b/><c><b/></c></a>"))
+    with QueryService(registry, workers=4) as service:
+        results = service.run_batch([
+            QueryRequest(op="eval", query="<descendant[b]>", tree="doc"),
+            QueryRequest(op="check", formula="exists x. b(x)", tree="doc"),
+        ])
+
+The CLI exposes the same machinery as ``repro batch`` (JSONL in, JSONL
+out; see :mod:`repro.cli`).
+"""
+
+from .api import OPS, QueryRequest, QueryResult, TreeRegistry
+from .breaker import CircuitBreaker
+from .queue import BoundedRequestQueue
+from .retry import RetryPolicy
+from .stats import ServiceStats
+from .workers import PendingResult, QueryService
+
+__all__ = [
+    "OPS",
+    "BoundedRequestQueue",
+    "CircuitBreaker",
+    "PendingResult",
+    "QueryRequest",
+    "QueryResult",
+    "QueryService",
+    "RetryPolicy",
+    "ServiceStats",
+    "TreeRegistry",
+]

@@ -1,0 +1,197 @@
+"""The service's wire surface: requests, results, and the tree registry.
+
+A :class:`QueryRequest` names one operation against one document — an XPath
+node evaluation (``eval``), a root-anchored path selection (``select``), an
+FO(MTC) model check (``check``), or a two-query equivalence test
+(``equivalent``) — plus its resource envelope (per-request ``timeout`` /
+``max_steps`` / ``max_nodes``).  The document is either a named entry in
+the service's :class:`TreeRegistry` (the "many expressions, one document
+collection" workload shape of the relation-algebra studies) or inline
+``xml`` text parsed on the worker.
+
+A :class:`QueryResult` is the structured outcome.  Exactly one is produced
+per admitted request — the service's no-lost-requests invariant — and its
+``status`` is one of:
+
+* ``"ok"`` — ``value`` holds the JSON-safe answer;
+* ``"error"`` — ``error`` holds the class name, message, and the
+  PR 3 exit-code-contract code of the failure;
+* ``"shed"`` — the request was never executed (deadline passed in the
+  queue, or the service shut down without draining); ``error`` carries a
+  :class:`~repro.runtime.errors.RequestShedError` rendering.
+
+Both dataclasses round-trip through plain dicts (:meth:`QueryRequest.from_json`
+/ :meth:`QueryResult.to_json`), which is what the CLI's ``repro batch``
+JSONL framing uses.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass
+
+from ..runtime.errors import exit_code_for
+from ..trees.tree import Tree
+
+__all__ = ["OPS", "QueryRequest", "QueryResult", "TreeRegistry", "error_payload"]
+
+#: The operations the service executes.
+OPS = ("eval", "select", "check", "equivalent")
+
+#: Which request fields each operation requires.
+_REQUIRED_FIELDS = {
+    "eval": ("query",),
+    "select": ("query",),
+    "check": ("formula",),
+    "equivalent": ("left", "right"),
+}
+
+#: Operations that run against a document (equivalence runs over corpora).
+_NEEDS_DOCUMENT = ("eval", "select", "check")
+
+_auto_ids = itertools.count(1)
+
+
+@dataclass
+class QueryRequest:
+    """One unit of work for the query service (see module docstring)."""
+
+    op: str
+    id: str = ""
+    tree: str | None = None
+    xml: str | None = None
+    query: str | None = None
+    formula: str | None = None
+    left: str | None = None
+    right: str | None = None
+    alphabet: str = "ab"
+    timeout: float | None = None
+    max_steps: int | None = None
+    max_nodes: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.id:
+            self.id = f"req-{next(_auto_ids)}"
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` for structurally unusable requests.
+
+        Ill-formed *query text* is not checked here — parsing happens on the
+        worker under the request budget; this rejects only requests whose
+        shape makes dispatch impossible.
+        """
+        if self.op not in OPS:
+            raise ValueError(f"unknown op {self.op!r}; expected one of {OPS}")
+        for name in _REQUIRED_FIELDS[self.op]:
+            if getattr(self, name) is None:
+                raise ValueError(f"op {self.op!r} requires field {name!r}")
+        if self.op in _NEEDS_DOCUMENT and self.tree is None and self.xml is None:
+            raise ValueError(f"op {self.op!r} requires 'tree' or inline 'xml'")
+        if self.timeout is not None and self.timeout < 0:
+            raise ValueError(f"timeout must be >= 0, got {self.timeout!r}")
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "QueryRequest":
+        """Build a request from a decoded JSONL object (unknown keys rejected)."""
+        if not isinstance(payload, dict):
+            raise ValueError(f"request must be a JSON object, got {type(payload).__name__}")
+        unknown = set(payload) - set(cls.__dataclass_fields__)
+        if unknown:
+            raise ValueError(f"unknown request field(s): {sorted(unknown)}")
+        if "op" not in payload:
+            raise ValueError("request is missing the 'op' field")
+        request = cls(**{key: payload[key] for key in payload})
+        request.validate()
+        return request
+
+
+def error_payload(exc: BaseException) -> dict:
+    """The structured rendering of a failure (class, message, contract code)."""
+    return {
+        "type": type(exc).__name__,
+        "message": str(exc),
+        "exit_code": exit_code_for(exc),
+    }
+
+
+@dataclass
+class QueryResult:
+    """The structured outcome of exactly one request."""
+
+    id: str
+    op: str
+    status: str  # "ok" | "error" | "shed"
+    value: object = None
+    error: dict | None = None
+    retries: int = 0
+    fallback: bool = False
+    routed: str = "bitset"  # engine family that produced the answer
+    latency: float = 0.0
+    worker: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    @property
+    def exit_code(self) -> int:
+        """The PR 3 contract code: 0 for success, the error's code otherwise."""
+        if self.status == "ok":
+            return 0
+        return int((self.error or {}).get("exit_code", 2))
+
+    def to_json(self) -> dict:
+        """A JSON-safe dict (the ``repro batch`` output line)."""
+        payload = {
+            "id": self.id,
+            "op": self.op,
+            "status": self.status,
+            "retries": self.retries,
+            "fallback": self.fallback,
+            "routed": self.routed,
+            "latency": round(self.latency, 6),
+        }
+        if self.status == "ok":
+            payload["value"] = self.value
+        else:
+            payload["error"] = self.error
+        return payload
+
+
+class TreeRegistry:
+    """Named, shared :class:`~repro.trees.tree.Tree` instances.
+
+    The registry is the service's document collection: trees are loaded
+    once, their :class:`~repro.trees.index.TreeIndex` and compiled plans
+    warm up on first use, and every subsequent request against the same
+    name reuses them.  Registration is thread-safe; lookups return the
+    live ``Tree`` object (trees are immutable once built).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._trees: dict[str, Tree] = {}
+
+    def register(self, name: str, tree: Tree) -> None:
+        if not name:
+            raise ValueError("tree name must be non-empty")
+        with self._lock:
+            self._trees[name] = tree
+
+    def get(self, name: str) -> Tree:
+        with self._lock:
+            try:
+                return self._trees[name]
+            except KeyError:
+                raise ValueError(
+                    f"unknown tree {name!r}; registered: {sorted(self._trees) or '(none)'}"
+                ) from None
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._trees)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._trees)

@@ -1,0 +1,156 @@
+"""A bounded FIFO request queue with backpressure and deadline shedding.
+
+Why not :class:`queue.Queue`?  Three behaviours the service needs are not
+expressible on top of it without races:
+
+* **deadline sweeps** — :meth:`BoundedRequestQueue.shed_expired` atomically
+  removes every queued item whose deadline has passed and *returns* them,
+  so the caller can record a structured shed result for each (the
+  no-silent-drops invariant: an item leaves the queue only by being handed
+  to a worker, returned from a sweep, or drained at shutdown);
+* **full-queue policy** — on an admission attempt against a full queue the
+  service first sheds expired entries to make room, and only then blocks
+  (or, non-blocking, raises
+  :class:`~repro.runtime.errors.QueueFullError`), which needs the
+  shed-and-retry to happen under one lock;
+* **close semantics** — :meth:`close` wakes every blocked producer
+  (:class:`~repro.runtime.errors.ServiceClosedError`) and turns
+  :meth:`get` into "drain the remainder, then return None" so workers
+  exit deterministically; :meth:`drain` hands the un-run remainder back
+  for shedding when the shutdown is not graceful.
+
+Items only need a ``deadline`` attribute (monotonic-clock absolute seconds
+or None); the queue never inspects anything else.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+from ..runtime.errors import QueueFullError, ServiceClosedError
+
+__all__ = ["BoundedRequestQueue"]
+
+
+class BoundedRequestQueue:
+    """FIFO of deadline-carrying items, bounded at ``maxsize`` (see above)."""
+
+    def __init__(self, maxsize: int, *, clock=time.monotonic):
+        if maxsize <= 0:
+            raise ValueError(f"maxsize must be positive, got {maxsize!r}")
+        self.maxsize = maxsize
+        self._clock = clock
+        self._items: deque = deque()
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._not_full = threading.Condition(self._lock)
+        self._closed = False
+
+    # -- producer side -----------------------------------------------------
+
+    def put(self, item, *, block: bool = True, timeout: float | None = None) -> list:
+        """Enqueue ``item``; returns the expired items shed to make room.
+
+        When full, expired entries are shed first; if the queue is still
+        full, a blocking put waits for space (``timeout`` seconds at most)
+        and a non-blocking one raises :class:`QueueFullError` immediately.
+        Raises :class:`ServiceClosedError` once :meth:`close` has run.
+        """
+        deadline = None if timeout is None else self._clock() + timeout
+        with self._lock:
+            shed: list = []
+            while True:
+                if self._closed:
+                    raise ServiceClosedError("queue is closed to new requests")
+                if len(self._items) < self.maxsize:
+                    self._items.append(item)
+                    self._not_empty.notify()
+                    return shed
+                shed.extend(self._shed_expired_locked())
+                if len(self._items) < self.maxsize:
+                    continue
+                if not block:
+                    raise QueueFullError(
+                        f"request queue at capacity ({self.maxsize})"
+                    )
+                if deadline is not None:
+                    remaining = deadline - self._clock()
+                    if remaining <= 0 or not self._not_full.wait(remaining):
+                        raise QueueFullError(
+                            f"request queue still at capacity ({self.maxsize}) "
+                            f"after {timeout}s"
+                        )
+                else:
+                    self._not_full.wait()
+
+    # -- consumer side -----------------------------------------------------
+
+    def get(self, *, timeout: float | None = None):
+        """Dequeue the oldest item; None once closed *and* drained.
+
+        A ``timeout`` also returns None on expiry (callers distinguish the
+        two by checking :attr:`closed`).
+        """
+        deadline = None if timeout is None else self._clock() + timeout
+        with self._lock:
+            while not self._items:
+                if self._closed:
+                    return None
+                if deadline is not None:
+                    remaining = deadline - self._clock()
+                    if remaining <= 0 or not self._not_empty.wait(remaining):
+                        if self._items:
+                            break
+                        return None
+                else:
+                    self._not_empty.wait()
+            item = self._items.popleft()
+            self._not_full.notify()
+            return item
+
+    def shed_expired(self, now: float | None = None) -> list:
+        """Atomically remove and return every item whose deadline has passed."""
+        with self._lock:
+            return self._shed_expired_locked(now)
+
+    def _shed_expired_locked(self, now: float | None = None) -> list:
+        now = self._clock() if now is None else now
+        kept: deque = deque()
+        shed: list = []
+        for item in self._items:
+            deadline = getattr(item, "deadline", None)
+            if deadline is not None and now >= deadline:
+                shed.append(item)
+            else:
+                kept.append(item)
+        if shed:
+            self._items = kept
+            self._not_full.notify(len(shed))
+        return shed
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Refuse new puts; pending gets drain the remainder, then None."""
+        with self._lock:
+            self._closed = True
+            self._not_empty.notify_all()
+            self._not_full.notify_all()
+
+    def drain(self) -> list:
+        """Remove and return everything still queued (for shutdown shedding)."""
+        with self._lock:
+            items = list(self._items)
+            self._items.clear()
+            self._not_full.notify_all()
+            return items
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)

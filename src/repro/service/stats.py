@@ -1,0 +1,94 @@
+"""Aggregate service telemetry: counters, latency percentiles, breaker views.
+
+One :class:`ServiceStats` instance per service, written by every worker and
+the submission path, so all mutation happens under one lock.  Counters
+follow the request lifecycle — every admitted request increments
+``submitted`` and exactly one of ``ok`` / ``errors`` / ``shed`` (the
+zero-lost invariant is checkable as ``submitted == ok + errors + shed``
+after drain); ``retries`` and ``fallbacks`` count events, not requests, so
+they can exceed ``submitted``.
+
+Latencies are recorded per completed request (sheds too — their latency is
+pure queue wait) and summarized as p50/p90 in :meth:`snapshot`, matching
+the committed-benchmark schema's percentile choice.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["ServiceStats"]
+
+
+def _percentile(data: list[float], q: float) -> float:
+    ordered = sorted(data)
+    if not ordered:
+        return 0.0
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = q * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    return ordered[low] + (rank - low) * (ordered[high] - ordered[low])
+
+
+class ServiceStats:
+    """Thread-safe aggregate counters for one service (see module docstring)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.submitted = 0
+        self.ok = 0
+        self.errors = 0
+        self.shed = 0
+        self.retries = 0
+        self.fallbacks = 0
+        self._latencies: list[float] = []
+
+    # -- recording ---------------------------------------------------------
+
+    def record_submitted(self, count: int = 1) -> None:
+        with self._lock:
+            self.submitted += count
+
+    def record_result(self, result) -> None:
+        """Fold one finished :class:`~repro.service.api.QueryResult` in."""
+        with self._lock:
+            if result.status == "ok":
+                self.ok += 1
+            elif result.status == "shed":
+                self.shed += 1
+            else:
+                self.errors += 1
+            self.retries += result.retries
+            if result.fallback:
+                self.fallbacks += 1
+            self._latencies.append(result.latency)
+
+    # -- reading -----------------------------------------------------------
+
+    @property
+    def completed(self) -> int:
+        with self._lock:
+            return self.ok + self.errors + self.shed
+
+    def snapshot(self, breakers: dict | None = None) -> dict:
+        """A JSON-safe view (what ``repro batch --stats`` prints)."""
+        with self._lock:
+            latencies = list(self._latencies)
+            payload = {
+                "submitted": self.submitted,
+                "completed": self.ok + self.errors + self.shed,
+                "ok": self.ok,
+                "errors": self.errors,
+                "shed": self.shed,
+                "retries": self.retries,
+                "fallbacks": self.fallbacks,
+                "latency_p50": round(_percentile(latencies, 0.50), 6),
+                "latency_p90": round(_percentile(latencies, 0.90), 6),
+            }
+        if breakers is not None:
+            payload["breakers"] = {
+                name: breaker.snapshot() for name, breaker in breakers.items()
+            }
+        return payload

@@ -1,0 +1,536 @@
+"""The concurrent query service: worker pool, routing, retries, drain.
+
+:class:`QueryService` multiplexes many requests over a shared
+:class:`~repro.service.api.TreeRegistry`.  The life of a request:
+
+1. **Admission** (:meth:`QueryService.submit`, caller's thread) — the
+   request is validated, stamped with an absolute deadline (its own
+   ``timeout`` or the service default), and enqueued on the bounded
+   queue.  A full queue first sheds expired entries (each one resolves to
+   a structured ``shed`` result — never a silent drop), then blocks the
+   submitter (backpressure) or, non-blocking, raises
+   :class:`~repro.runtime.errors.QueueFullError`.
+2. **Dispatch** (worker thread) — a worker pops the request; if its
+   deadline has already passed it is shed without touching an engine.
+   Otherwise the worker derives a per-request
+   :class:`~repro.runtime.budget.ExecutionBudget` *from the admission-time
+   deadline* (queue wait counts against the request, exactly as a caller
+   experiences it) and parses the query text under that envelope.
+3. **Execution** — the per-family circuit breaker
+   (:class:`~repro.service.breaker.CircuitBreaker`; ``xpath`` for
+   eval/select, ``logic`` for check) decides the route.  Closed: the
+   bitset fast path, with transient
+   :class:`~repro.runtime.errors.EngineFaultError`\\ s retried under the
+   full-jitter :class:`~repro.service.retry.RetryPolicy` and, when
+   attempts are exhausted, one final PR 3-style degradation to the
+   row-wise oracle (recorded in the process-wide
+   :data:`repro.runtime.guarded.stats`).  Open: straight to the oracle.
+   Half-open: one probe request tests the fast path and closes or
+   re-opens the breaker.  ``equivalent`` requests run the decision
+   procedures directly (no backend split, no breaker).
+4. **Resolution** — exactly one :class:`~repro.service.api.QueryResult`
+   per admitted request, always: the worker loop catches ``BaseException``
+   around request processing, so even a service-layer bug resolves the
+   request with a structured error instead of losing it.
+
+Shutdown is graceful by default (:meth:`QueryService.shutdown` with
+``drain=True``): the queue closes, workers finish everything already
+queued, then exit.  ``drain=False`` sheds the un-run remainder — again as
+structured results.  The service is a context manager; leaving the block
+drains.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..runtime import faults
+from ..runtime.budget import ExecutionBudget
+from ..runtime.errors import (
+    BudgetExceededError,
+    DeadlineExceededError,
+    EngineFaultError,
+    RequestShedError,
+    ServiceClosedError,
+)
+from .api import QueryRequest, QueryResult, TreeRegistry, error_payload
+from .breaker import CircuitBreaker
+from .queue import BoundedRequestQueue
+from .retry import RetryPolicy
+from .stats import ServiceStats
+
+__all__ = ["PendingResult", "QueryService"]
+
+#: Engine family per operation (None = no fast/oracle split, no breaker).
+_FAMILY = {"eval": "xpath", "select": "xpath", "check": "logic", "equivalent": None}
+
+#: Shared (per-alphabet) equivalence corpora; built once, read concurrently.
+_corpus_cache: dict[tuple[str, ...], object] = {}
+_corpus_lock = threading.Lock()
+
+
+def _shared_corpus(alphabet: tuple[str, ...]):
+    with _corpus_lock:
+        corpus = _corpus_cache.get(alphabet)
+        if corpus is None:
+            from ..decision import standard_corpus
+
+            corpus = standard_corpus(alphabet=alphabet)
+            _corpus_cache[alphabet] = corpus
+        return corpus
+
+
+class PendingResult:
+    """A one-shot, thread-safe slot for a request's eventual result."""
+
+    __slots__ = ("_event", "_result")
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._result: QueryResult | None = None
+
+    def resolve(self, result: QueryResult) -> None:
+        if self._event.is_set():  # pragma: no cover - defensive
+            raise RuntimeError("result already resolved")
+        self._result = result
+        self._event.set()
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: float | None = None) -> QueryResult:
+        if not self._event.wait(timeout):
+            raise TimeoutError(f"no result within {timeout}s")
+        assert self._result is not None
+        return self._result
+
+
+@dataclass
+class _Job:
+    """One admitted request and its bookkeeping."""
+
+    request: QueryRequest
+    deadline: float | None
+    submitted_at: float
+    pending: PendingResult = field(default_factory=PendingResult)
+
+
+# -- per-operation runners --------------------------------------------------
+#
+# ``_prepare(request)`` parses the request's query text once and returns a
+# closure ``run(tree, budget, fast) -> JSON-safe value``; parse errors
+# surface at prepare time and are charged to the request as input errors.
+
+
+def _parse_any(text: str):
+    from ..xpath import XPathSyntaxError, parse_node, parse_path
+
+    try:
+        return parse_path(text)
+    except XPathSyntaxError:
+        return parse_node(text)
+
+
+def _prepare_eval(request: QueryRequest):
+    from ..xpath import parse_node
+    from ..xpath.evaluator import Evaluator
+
+    expr = parse_node(request.query)
+
+    def run(tree, budget, fast):
+        backend = "bitset" if fast else "sets"
+        return sorted(Evaluator(tree, backend=backend, budget=budget).nodes(expr))
+
+    return run
+
+
+def _prepare_select(request: QueryRequest):
+    from ..xpath import parse_path
+    from ..xpath.evaluator import Evaluator
+
+    expr = parse_path(request.query)
+
+    def run(tree, budget, fast):
+        backend = "bitset" if fast else "sets"
+        return sorted(Evaluator(tree, backend=backend, budget=budget).image(expr, {0}))
+
+    return run
+
+
+def _prepare_check(request: QueryRequest):
+    from ..logic import parse_formula
+    from ..logic.ast import free_variables
+    from ..logic.modelcheck import ModelChecker
+
+    formula = parse_formula(request.formula)
+    free = tuple(sorted(free_variables(formula)))
+    if len(free) > 2:
+        raise ValueError(f"expected at most 2 free variables, got {free}")
+
+    def run(tree, budget, fast):
+        backend = "bitset" if fast else "table"
+        checker = ModelChecker(tree, backend=backend, budget=budget)
+        if not free:
+            return checker.holds(formula)
+        if len(free) == 1:
+            return sorted(checker.node_set(formula, free[0]))
+        return [list(pair) for pair in sorted(checker.pairs(formula, free[0], free[1]))]
+
+    return run
+
+
+def _prepare_equivalent(request: QueryRequest):
+    from ..trees import to_xml
+    from ..xpath import ast as xp
+    from ..xpath import is_downward
+
+    left = _parse_any(request.left)
+    right = _parse_any(request.right)
+    if isinstance(left, xp.NodeExpr) != isinstance(right, xp.NodeExpr):
+        raise ValueError("cannot compare a node query with a path query")
+    alphabet = tuple(request.alphabet)
+    node_sort = isinstance(left, xp.NodeExpr)
+
+    def run(tree, budget, fast):
+        from ..decision import (
+            check_node_equivalence,
+            check_path_equivalence,
+            exact_equivalent,
+            exact_path_equivalent,
+        )
+
+        if is_downward(left) and is_downward(right):
+            exact = exact_equivalent if node_sort else exact_path_equivalent
+            witness = exact(left, right, alphabet, budget)
+            return {
+                "equivalent": witness is None,
+                "method": "exact",
+                "witness": None if witness is None else to_xml(witness),
+            }
+        corpus = _shared_corpus(alphabet)
+        compare = check_node_equivalence if node_sort else check_path_equivalence
+        report = compare(left, right, corpus, budget)
+        return {
+            "equivalent": report.equivalent_on_corpus,
+            "method": "corpus",
+            "witness": (
+                None
+                if report.counterexample is None
+                else str(report.counterexample)
+            ),
+        }
+
+    return run
+
+
+_PREPARERS = {
+    "eval": _prepare_eval,
+    "select": _prepare_select,
+    "check": _prepare_check,
+    "equivalent": _prepare_equivalent,
+}
+
+
+class QueryService:
+    """A pool of workers serving queries over a tree registry (see above)."""
+
+    def __init__(
+        self,
+        registry: TreeRegistry | None = None,
+        *,
+        workers: int = 4,
+        queue_limit: int = 64,
+        retry: RetryPolicy | None = None,
+        breaker_threshold: int = 5,
+        breaker_cooldown: float = 0.25,
+        default_timeout: float | None = None,
+        default_max_steps: int | None = None,
+        default_max_nodes: int | None = None,
+        clock=time.monotonic,
+        sleep=time.sleep,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers!r}")
+        self.registry = registry if registry is not None else TreeRegistry()
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.stats = ServiceStats()
+        self._clock = clock
+        self._sleep = sleep
+        self._queue = BoundedRequestQueue(queue_limit, clock=clock)
+        self._breakers = {
+            family: CircuitBreaker(
+                family,
+                failure_threshold=breaker_threshold,
+                cooldown=breaker_cooldown,
+                clock=clock,
+            )
+            for family in ("xpath", "logic")
+        }
+        self._defaults = (default_timeout, default_max_steps, default_max_nodes)
+        self._closed = False
+        self._lifecycle = threading.Lock()
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop,
+                name=f"repro-worker-{i}",
+                args=(f"worker-{i}", random.Random(2008 + i)),
+                daemon=True,
+            )
+            for i in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # -- admission ---------------------------------------------------------
+
+    def submit(
+        self,
+        request: QueryRequest,
+        *,
+        block: bool = True,
+        timeout: float | None = None,
+    ) -> PendingResult:
+        """Admit one request; returns the handle its result will arrive on.
+
+        Structural problems with the request itself (unknown op, missing
+        fields) resolve the handle immediately with an ``error`` result —
+        the exception surface is reserved for *service* conditions
+        (:class:`ServiceClosedError`, and :class:`QueueFullError` on
+        non-blocking submission against a full queue).
+        """
+        if self._closed:
+            raise ServiceClosedError("service is shutting down")
+        now = self._clock()
+        default_timeout = self._defaults[0]
+        per_request = request.timeout if request.timeout is not None else default_timeout
+        job = _Job(
+            request,
+            None if per_request is None else now + per_request,
+            now,
+        )
+        self.stats.record_submitted()
+        try:
+            request.validate()
+        except ValueError as exc:
+            self._finish(job, self._error_result(job, exc, worker="admission"))
+            return job.pending
+        for expired in self._queue.put(job, block=block, timeout=timeout):
+            self._shed(expired, "deadline passed while queued")
+        return job.pending
+
+    def run_batch(self, requests) -> list[QueryResult]:
+        """Submit every request (blocking) and wait; results in input order."""
+        handles = [self.submit(request) for request in requests]
+        return [handle.result() for handle in handles]
+
+    def map_stream(self, requests):
+        """Lazily submit a request stream, yielding results in input order.
+
+        Submission runs ahead of consumption only as far as the bounded
+        queue allows, so an unbounded stream gets natural backpressure.
+        """
+        pending: deque[PendingResult] = deque()
+        for request in requests:
+            pending.append(self.submit(request))
+            while pending and pending[0].done():
+                yield pending.popleft().result()
+        while pending:
+            yield pending.popleft().result()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def shutdown(self, *, drain: bool = True, timeout: float | None = None) -> None:
+        """Stop admissions and wind the pool down.
+
+        ``drain=True`` (the default, and what ``with QueryService(...)``
+        does) lets workers finish everything already queued; ``drain=False``
+        sheds the un-run remainder with structured results.  Idempotent.
+        """
+        with self._lifecycle:
+            self._closed = True
+        self._queue.close()
+        if not drain:
+            for job in self._queue.drain():
+                self._shed(job, "service shut down before execution")
+        for thread in self._threads:
+            thread.join(timeout)
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown(drain=True)
+
+    @property
+    def breakers(self) -> dict[str, CircuitBreaker]:
+        return dict(self._breakers)
+
+    def stats_snapshot(self) -> dict:
+        return self.stats.snapshot(self._breakers)
+
+    # -- worker side -------------------------------------------------------
+
+    def _worker_loop(self, name: str, rng: random.Random) -> None:
+        while True:
+            job = self._queue.get()
+            if job is None:
+                return
+            try:
+                result = self._process(job, name, rng)
+            except BaseException as exc:  # the no-lost-requests backstop
+                result = self._error_result(job, exc, worker=name)
+            self._finish(job, result)
+
+    def _process(self, job: _Job, worker: str, rng: random.Random) -> QueryResult:
+        now = self._clock()
+        if job.deadline is not None and now >= job.deadline:
+            return self._shed_result(job, "deadline passed while queued", worker)
+        request = job.request
+        _, default_steps, default_nodes = self._defaults
+        max_steps = request.max_steps if request.max_steps is not None else default_steps
+        max_nodes = request.max_nodes if request.max_nodes is not None else default_nodes
+        budget = None
+        if job.deadline is not None or max_steps is not None or max_nodes is not None:
+            budget = ExecutionBudget.from_deadline(
+                job.deadline, max_steps, max_nodes, clock=self._clock
+            )
+        try:
+            tree = self._resolve_tree(request)
+            plan = _PREPARERS[request.op](request)
+        except (ValueError, TypeError) as exc:
+            return self._error_result(job, exc, worker=worker)
+        return self._execute(job, plan, tree, budget, worker, rng)
+
+    def _resolve_tree(self, request: QueryRequest):
+        if request.op == "equivalent":
+            return None
+        if request.xml is not None:
+            from ..trees import parse_xml
+
+            return parse_xml(request.xml)
+        return self.registry.get(request.tree)
+
+    def _execute(self, job, plan, tree, budget, worker, rng) -> QueryResult:
+        """The routing/retry/fallback state machine for one request."""
+        family = _FAMILY[job.request.op]
+        breaker = self._breakers.get(family) if family else None
+        attempts = 0
+        retries = 0
+        while True:
+            attempts += 1
+            route = breaker.acquire() if breaker is not None else "direct"
+            fast = route in ("fast", "probe")
+            try:
+                if fast:
+                    faults.check("service.worker")
+                value = plan(tree, budget, fast)
+            except DeadlineExceededError as exc:
+                return self._error_result(job, exc, worker=worker, retries=retries)
+            except BudgetExceededError as exc:
+                return self._error_result(job, exc, worker=worker, retries=retries)
+            except (ValueError, TypeError) as exc:
+                # Input errors are backend-independent; retrying hides them.
+                return self._error_result(job, exc, worker=worker, retries=retries)
+            except Exception as exc:
+                if fast:
+                    breaker.record_failure()
+                    transient = isinstance(exc, EngineFaultError)
+                    if transient and attempts < self.retry.max_attempts:
+                        delay = self.retry.delay(attempts, rng)
+                        if budget is not None and budget.remaining_time is not None:
+                            delay = min(delay, max(0.0, budget.remaining_time))
+                        if delay > 0:
+                            self._sleep(delay)
+                        retries += 1
+                        continue
+                    return self._degrade(
+                        job, plan, tree, budget, worker, retries, exc
+                    )
+                # The oracle route itself failed: no slower engine remains.
+                return self._error_result(job, exc, worker=worker, retries=retries)
+            else:
+                if fast:
+                    breaker.record_success()
+                routed = (
+                    "bitset" if fast else ("decision" if family is None else "oracle")
+                )
+                return self._ok_result(
+                    job, value, worker=worker, retries=retries, routed=routed
+                )
+
+    def _degrade(self, job, plan, tree, budget, worker, retries, cause) -> QueryResult:
+        """Attempts exhausted on the fast path: one PR 3-style oracle run."""
+        from ..runtime.guarded import stats as fallback_stats
+
+        fallback_stats.record(cause)
+        if budget is not None:
+            budget.reset_steps()
+        try:
+            value = plan(tree, budget, fast=False)
+        except Exception as exc:  # the oracle failed too: structured error
+            return self._error_result(job, exc, worker=worker, retries=retries)
+        return self._ok_result(
+            job, value, worker=worker, retries=retries, routed="oracle", fallback=True
+        )
+
+    # -- result shaping ----------------------------------------------------
+
+    def _finish(self, job: _Job, result: QueryResult) -> None:
+        job.pending.resolve(result)
+        self.stats.record_result(result)
+
+    def _shed(self, job: _Job, reason: str) -> None:
+        self._finish(job, self._shed_result(job, reason, worker="queue"))
+
+    def _shed_result(self, job: _Job, reason: str, worker: str) -> QueryResult:
+        waited = self._clock() - job.submitted_at
+        exc = RequestShedError(f"{reason} (waited {waited:.3f}s)")
+        return QueryResult(
+            id=job.request.id,
+            op=job.request.op,
+            status="shed",
+            error=error_payload(exc),
+            routed="none",
+            latency=waited,
+            worker=worker,
+        )
+
+    def _error_result(
+        self, job: _Job, exc: BaseException, *, worker: str, retries: int = 0
+    ) -> QueryResult:
+        return QueryResult(
+            id=job.request.id,
+            op=job.request.op,
+            status="error",
+            error=error_payload(exc),
+            retries=retries,
+            routed="none",
+            latency=self._clock() - job.submitted_at,
+            worker=worker,
+        )
+
+    def _ok_result(
+        self,
+        job: _Job,
+        value,
+        *,
+        worker: str,
+        retries: int,
+        routed: str,
+        fallback: bool = False,
+    ) -> QueryResult:
+        return QueryResult(
+            id=job.request.id,
+            op=job.request.op,
+            status="ok",
+            value=value,
+            retries=retries,
+            fallback=fallback,
+            routed=routed,
+            latency=self._clock() - job.submitted_at,
+            worker=worker,
+        )

@@ -22,8 +22,27 @@ hypothesis_settings.register_profile("repro", deadline=None)
 hypothesis_settings.load_profile("repro")
 
 from repro.decision.corpora import standard_corpus
+from repro.runtime import faults
 from repro.trees import Tree, all_trees, chain, parse_xml
 from repro.xpath.random_exprs import ExprSampler
+
+
+@pytest.fixture(autouse=True)
+def _fault_registry_isolation():
+    """Snapshot/restore the global fault registry around every test.
+
+    ``repro.runtime.faults`` parses ``REPRO_FAULTS`` at import time and its
+    armed sites are process-global mutable state, so a test that arms a
+    site (or consumes an environment-armed counted site) would otherwise
+    leak into every later test.  Restoring the entry snapshot keeps tests
+    isolated from each other while letting deliberately environment-armed
+    runs (the CI chaos job) keep their arming across the session.
+    """
+    snapshot = faults.armed_sites()
+    yield
+    faults.disarm()
+    for site, times in snapshot.items():
+        faults.arm(site, times)
 
 
 @pytest.fixture(scope="session")

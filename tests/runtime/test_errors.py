@@ -11,8 +11,12 @@ from repro.runtime import (
     EngineFaultError,
     InjectedFaultError,
     InputLimitError,
+    QueueFullError,
     ReproError,
     ReproSyntaxError,
+    RequestShedError,
+    ServiceClosedError,
+    ServiceError,
     exit_code_for,
 )
 from repro.trees.xml_io import XmlSyntaxError
@@ -31,6 +35,10 @@ class TestTaxonomy:
         DeadlineExceededError,
         EngineFaultError,
         InjectedFaultError,
+        ServiceError,
+        QueueFullError,
+        RequestShedError,
+        ServiceClosedError,
     ])
     def test_everything_is_a_repro_error(self, cls):
         assert issubclass(cls, ReproError)
@@ -84,6 +92,7 @@ class TestExitCodes:
             "depth": 6,
             "input_limit": 7,
             "engine": 8,
+            "overload": 9,
         }
 
     @pytest.mark.parametrize("exc, code", [
@@ -94,6 +103,9 @@ class TestExitCodes:
         (DepthLimitError("deep", 0, 1), 6),
         (InputLimitError("big", 0, 1), 7),
         (InjectedFaultError("xpath.bitset"), 8),
+        (QueueFullError("full"), 9),
+        (ServiceClosedError("closed"), 9),
+        (RequestShedError("late"), 4),  # a shed is a deadline outcome
         (ValueError("anything else"), 2),
     ])
     def test_exit_code_for(self, exc, code):

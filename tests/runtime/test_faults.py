@@ -63,6 +63,73 @@ class TestFaultRegistry:
         assert faults.armed_sites() == {}
 
 
+class TestScoped:
+    """``faults.scoped`` snapshots the registry and restores it exactly."""
+
+    def test_arms_inside_and_restores_outside(self):
+        with faults.scoped("a.site"):
+            with pytest.raises(InjectedFaultError):
+                faults.check("a.site")
+        faults.check("a.site")  # gone
+        assert faults.armed_sites() == {}
+
+    def test_counted_arm_via_tuple(self):
+        with faults.scoped(("a.site", 1)):
+            with pytest.raises(InjectedFaultError):
+                faults.check("a.site")
+            faults.check("a.site")  # count exhausted inside the scope
+
+    def test_restores_preexisting_arms(self):
+        """The leakage bug the scope exists to fix: a test arming inside a
+        scope must not clobber (or leave behind) arms from outside it."""
+        faults.arm("outer.site", times=3)
+        with faults.scoped("inner.site"):
+            faults.arm("extra.site")  # even manual arms inside are undone
+            faults.disarm("outer.site")  # and manual disarms are undone too
+        assert faults.armed_sites() == {"outer.site": 3}
+
+    def test_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with faults.scoped("a.site"):
+                raise RuntimeError("boom")
+        assert faults.armed_sites() == {}
+
+    def test_multiple_sites_in_one_scope(self):
+        with faults.scoped("a.site", ("b.site", 2)):
+            assert faults.armed_sites() == {"a.site": None, "b.site": 2}
+        assert faults.armed_sites() == {}
+
+
+class TestThreadSafety:
+    def test_concurrent_arm_check_disarm_is_racefree(self):
+        """Hammer the registry from several threads; counted arms must fire
+        exactly ``times`` faults in total, never more (the old unlocked
+        decrement could double-fire or lose counts)."""
+        import threading
+
+        fired = []
+        lock = threading.Lock()
+        faults.arm("hot.site", times=200)
+
+        def worker():
+            local = 0
+            for _ in range(100):
+                try:
+                    faults.check("hot.site")
+                except InjectedFaultError:
+                    local += 1
+            with lock:
+                fired.append(local)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sum(fired) == 200
+        assert faults.armed_sites() == {}
+
+
 class TestEngineWiring:
     """Each documented site actually fires inside its engine."""
 

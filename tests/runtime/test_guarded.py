@@ -114,6 +114,34 @@ class TestBudgetDegradation:
         assert guarded.fallback_count == 0
 
 
+class TestStatsThreadSafety:
+    def test_concurrent_records_are_not_lost(self):
+        """``FallbackStats.record`` is called from service worker threads;
+        the unlocked ``+= 1`` could drop increments under contention."""
+        import threading
+
+        from repro.runtime.guarded import FallbackStats
+
+        local = FallbackStats()
+        barrier = threading.Barrier(8)
+
+        def worker():
+            barrier.wait()
+            for _ in range(500):
+                local.record(InjectedFaultError("x"))
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert local.fallback_count == 8 * 500
+        assert isinstance(local.last_error, InjectedFaultError)
+        local.reset()
+        assert local.fallback_count == 0
+        assert local.last_error is None
+
+
 class TestModelCheckerFallback:
     def test_fallback_matches_the_table_oracle(self, tree):
         oracle = ModelChecker(tree, backend="table")

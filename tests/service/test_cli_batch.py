@@ -1,0 +1,157 @@
+"""``repro batch``: JSONL framing, ordering, exit-code contract, chaos flag."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+
+DOC = "<talk><speaker/><title><i/></title><location><i/><b/></location></talk>"
+
+
+@pytest.fixture()
+def doc_file(tmp_path):
+    path = tmp_path / "doc.xml"
+    path.write_text(DOC)
+    return str(path)
+
+
+def _write_requests(tmp_path, lines):
+    path = tmp_path / "requests.jsonl"
+    path.write_text("\n".join(lines) + "\n")
+    return str(path)
+
+
+def _output_lines(capsys):
+    captured = capsys.readouterr()
+    return [json.loads(line) for line in captured.out.splitlines() if line], captured.err
+
+
+class TestBatchHappyPath:
+    def test_mixed_batch_in_input_order(self, tmp_path, doc_file, capsys):
+        requests = _write_requests(
+            tmp_path,
+            [
+                json.dumps({"id": "a", "op": "eval", "query": "<child[i]>", "tree": "doc"}),
+                json.dumps({"id": "b", "op": "select", "query": "descendant[i]", "tree": "doc"}),
+                json.dumps({"id": "c", "op": "check", "formula": "exists x. i(x)", "tree": "doc"}),
+                json.dumps({"id": "d", "op": "equivalent", "left": "<child[b]>", "right": "<child[b]>"}),
+            ],
+        )
+        assert main(["batch", requests, "--tree", f"doc={doc_file}"]) == 0
+        lines, _ = _output_lines(capsys)
+        assert [line["id"] for line in lines] == ["a", "b", "c", "d"]
+        assert all(line["status"] == "ok" for line in lines)
+        assert lines[2]["value"] is True
+        assert lines[3]["value"]["equivalent"] is True
+
+    def test_inline_xml_needs_no_registry(self, tmp_path, capsys):
+        requests = _write_requests(
+            tmp_path,
+            [json.dumps({"id": "x", "op": "eval", "query": "b", "xml": "<b><b/></b>"})],
+        )
+        assert main(["batch", requests]) == 0
+        lines, _ = _output_lines(capsys)
+        assert lines[0]["value"] == [0, 1]
+
+    def test_stdin_input(self, capsys, monkeypatch):
+        line = json.dumps({"id": "s", "op": "eval", "query": "b", "xml": "<b/>"})
+        monkeypatch.setattr("sys.stdin", io.StringIO(line + "\n"))
+        assert main(["batch"]) == 0
+        lines, _ = _output_lines(capsys)
+        assert lines[0]["id"] == "s"
+
+    def test_stats_go_to_stderr(self, tmp_path, capsys):
+        requests = _write_requests(
+            tmp_path,
+            [json.dumps({"op": "eval", "query": "b", "xml": "<b/>"})],
+        )
+        assert main(["batch", requests, "--stats"]) == 0
+        lines, err = _output_lines(capsys)
+        stats = json.loads(err)
+        assert stats["submitted"] == 1
+        assert stats["ok"] == 1
+        assert "breakers" in stats
+
+
+class TestBatchErrorContract:
+    def test_malformed_json_line_reports_and_continues(self, tmp_path, capsys):
+        requests = _write_requests(
+            tmp_path,
+            [
+                "this is not json",
+                json.dumps({"id": "ok", "op": "eval", "query": "b", "xml": "<b/>"}),
+            ],
+        )
+        assert main(["batch", requests]) == 2
+        lines, _ = _output_lines(capsys)
+        assert lines[0]["id"] == "line-1"
+        assert lines[0]["status"] == "error"
+        assert lines[0]["error"]["exit_code"] == 2
+        assert lines[1]["status"] == "ok"  # one bad line never hides the rest
+
+    def test_unknown_field_is_rejected_structurally(self, tmp_path, capsys):
+        requests = _write_requests(
+            tmp_path,
+            [json.dumps({"id": "u", "op": "eval", "query": "b", "xml": "<b/>", "wat": 1})],
+        )
+        assert main(["batch", requests]) == 2
+        lines, _ = _output_lines(capsys)
+        assert lines[0]["id"] == "u"
+        assert "wat" in lines[0]["error"]["message"]
+
+    def test_shed_request_exits_with_deadline_code(self, tmp_path, capsys):
+        requests = _write_requests(
+            tmp_path,
+            [
+                json.dumps(
+                    {"id": "late", "op": "eval", "query": "b", "xml": "<b/>", "timeout": 0.0}
+                )
+            ],
+        )
+        assert main(["batch", requests]) == 4
+        lines, _ = _output_lines(capsys)
+        assert lines[0]["status"] == "shed"
+        assert lines[0]["error"]["type"] == "RequestShedError"
+
+    def test_first_failure_wins_the_exit_code(self, tmp_path, capsys):
+        requests = _write_requests(
+            tmp_path,
+            [
+                json.dumps({"id": "bad", "op": "eval", "query": "<<<", "xml": "<b/>"}),
+                json.dumps(
+                    {"id": "late", "op": "eval", "query": "b", "xml": "<b/>", "timeout": 0.0}
+                ),
+            ],
+        )
+        assert main(["batch", requests]) == 2  # syntax (first), not deadline
+        lines, _ = _output_lines(capsys)
+        assert [line["status"] for line in lines] == ["error", "shed"]
+
+    def test_bad_tree_spec_is_a_usage_error(self, tmp_path, capsys):
+        requests = _write_requests(tmp_path, ["{}"])
+        assert main(["batch", requests, "--tree", "no-equals-sign"]) == 2
+        assert "NAME=FILE" in capsys.readouterr().err
+
+    def test_missing_tree_file_is_io_error(self, tmp_path, capsys):
+        requests = _write_requests(tmp_path, ["{}"])
+        assert main(["batch", requests, "--tree", "doc=/nonexistent/doc.xml"]) == 3
+
+
+class TestBatchChaos:
+    def test_injected_service_fault_retries_to_success(self, tmp_path, capsys):
+        requests = _write_requests(
+            tmp_path,
+            [
+                json.dumps({"id": f"r{i}", "op": "eval", "query": "b", "xml": "<b/>"})
+                for i in range(4)
+            ],
+        )
+        # Uncounted arm: every fast attempt faults, so every request degrades
+        # to the oracle — the batch still succeeds end to end.
+        assert main(["batch", requests, "--workers", "2", "--inject-fault", "xpath.bitset"]) == 0
+        lines, _ = _output_lines(capsys)
+        assert all(line["status"] == "ok" for line in lines)
+        assert all(line["routed"] == "oracle" for line in lines)
+        assert any(line["retries"] > 0 or line["fallback"] for line in lines)

@@ -1,0 +1,147 @@
+"""BoundedRequestQueue: FIFO, backpressure, shedding, close semantics."""
+
+import threading
+
+import pytest
+
+from repro.runtime import QueueFullError, ServiceClosedError
+from repro.service import BoundedRequestQueue
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+class Item:
+    def __init__(self, name, deadline=None):
+        self.name = name
+        self.deadline = deadline
+
+    def __repr__(self):
+        return f"Item({self.name})"
+
+
+class TestFifoAndBounds:
+    def test_fifo_order(self):
+        q = BoundedRequestQueue(8)
+        for name in "abc":
+            q.put(Item(name))
+        assert [q.get().name for _ in range(3)] == ["a", "b", "c"]
+
+    def test_len(self):
+        q = BoundedRequestQueue(8)
+        assert len(q) == 0
+        q.put(Item("a"))
+        q.put(Item("b"))
+        assert len(q) == 2
+
+    def test_nonblocking_put_raises_when_full(self):
+        q = BoundedRequestQueue(2)
+        q.put(Item("a"))
+        q.put(Item("b"))
+        with pytest.raises(QueueFullError):
+            q.put(Item("c"), block=False)
+
+    def test_blocking_put_times_out(self):
+        q = BoundedRequestQueue(1)
+        q.put(Item("a"))
+        with pytest.raises(QueueFullError):
+            q.put(Item("b"), timeout=0.02)
+
+    def test_blocked_put_released_by_get(self):
+        q = BoundedRequestQueue(1)
+        q.put(Item("a"))
+        done = threading.Event()
+
+        def producer():
+            q.put(Item("b"))
+            done.set()
+
+        thread = threading.Thread(target=producer, daemon=True)
+        thread.start()
+        assert q.get().name == "a"
+        assert done.wait(2.0)
+        assert q.get().name == "b"
+
+    def test_get_timeout_returns_none(self):
+        q = BoundedRequestQueue(2)
+        assert q.get(timeout=0.01) is None
+
+
+class TestDeadlineShedding:
+    def test_shed_expired_removes_only_expired(self):
+        clock = FakeClock()
+        q = BoundedRequestQueue(8, clock=clock)
+        q.put(Item("live", deadline=10.0))
+        q.put(Item("dead", deadline=1.0))
+        q.put(Item("forever", deadline=None))
+        clock.advance(5.0)
+        shed = q.shed_expired()
+        assert [item.name for item in shed] == ["dead"]
+        assert [q.get().name for _ in range(2)] == ["live", "forever"]
+
+    def test_full_put_sheds_expired_to_make_room(self):
+        clock = FakeClock()
+        q = BoundedRequestQueue(2, clock=clock)
+        q.put(Item("dead", deadline=1.0))
+        q.put(Item("live", deadline=100.0))
+        clock.advance(2.0)
+        shed = q.put(Item("new", deadline=100.0))
+        assert [item.name for item in shed] == ["dead"]
+        assert [q.get().name for _ in range(2)] == ["live", "new"]
+
+    def test_full_put_without_expired_still_blocks(self):
+        clock = FakeClock()
+        q = BoundedRequestQueue(1, clock=clock)
+        q.put(Item("live", deadline=None))
+        with pytest.raises(QueueFullError):
+            q.put(Item("new"), block=False)
+
+
+class TestCloseSemantics:
+    def test_put_after_close_raises(self):
+        q = BoundedRequestQueue(2)
+        q.close()
+        with pytest.raises(ServiceClosedError):
+            q.put(Item("a"))
+
+    def test_get_drains_then_returns_none(self):
+        q = BoundedRequestQueue(4)
+        q.put(Item("a"))
+        q.put(Item("b"))
+        q.close()
+        assert q.get().name == "a"
+        assert q.get().name == "b"
+        assert q.get() is None
+
+    def test_close_wakes_blocked_consumer(self):
+        q = BoundedRequestQueue(2)
+        got = []
+
+        def consumer():
+            got.append(q.get())
+
+        thread = threading.Thread(target=consumer, daemon=True)
+        thread.start()
+        q.close()
+        thread.join(2.0)
+        assert got == [None]
+
+    def test_drain_returns_remainder(self):
+        q = BoundedRequestQueue(4)
+        q.put(Item("a"))
+        q.put(Item("b"))
+        q.close()
+        assert [item.name for item in q.drain()] == ["a", "b"]
+        assert len(q) == 0
+
+    def test_rejects_nonpositive_maxsize(self):
+        with pytest.raises(ValueError):
+            BoundedRequestQueue(0)

@@ -1,0 +1,74 @@
+"""RetryPolicy: exponential ceilings, full jitter, transience classes."""
+
+import random
+
+import pytest
+
+from repro.runtime import (
+    BudgetExceededError,
+    DeadlineExceededError,
+    EngineFaultError,
+    InjectedFaultError,
+)
+from repro.service import RetryPolicy
+from repro.service.retry import is_transient
+
+
+class TestCeiling:
+    def test_grows_exponentially(self):
+        policy = RetryPolicy(base_delay=0.01, max_delay=10.0, multiplier=2.0)
+        assert policy.ceiling(1) == pytest.approx(0.01)
+        assert policy.ceiling(2) == pytest.approx(0.02)
+        assert policy.ceiling(3) == pytest.approx(0.04)
+
+    def test_capped_at_max_delay(self):
+        policy = RetryPolicy(base_delay=0.01, max_delay=0.03, multiplier=2.0)
+        assert policy.ceiling(10) == pytest.approx(0.03)
+
+    def test_attempt_is_one_based(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().ceiling(0)
+
+
+class TestJitter:
+    def test_delay_within_full_jitter_bounds(self):
+        policy = RetryPolicy(base_delay=0.01, max_delay=1.0, multiplier=3.0)
+        rng = random.Random(7)
+        for attempt in range(1, 6):
+            for _ in range(50):
+                delay = policy.delay(attempt, rng)
+                assert 0.0 <= delay <= policy.ceiling(attempt)
+
+    def test_deterministic_under_seeded_rng(self):
+        policy = RetryPolicy()
+        a = [policy.delay(i, random.Random(42)) for i in range(1, 4)]
+        b = [policy.delay(i, random.Random(42)) for i in range(1, 4)]
+        assert a == b
+
+
+class TestValidation:
+    def test_rejects_zero_attempts(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+
+    def test_rejects_negative_delays(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=-1.0)
+
+    def test_rejects_shrinking_multiplier(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+
+
+class TestTransience:
+    def test_engine_faults_are_transient(self):
+        assert is_transient(EngineFaultError("boom"))
+        assert is_transient(InjectedFaultError("some.site"))
+
+    def test_budget_and_deadline_are_not(self):
+        assert not is_transient(BudgetExceededError("fuel"))
+        assert not is_transient(DeadlineExceededError("late"))
+
+    def test_input_errors_are_not(self):
+        assert not is_transient(ValueError("bad"))
+        assert not is_transient(TypeError("bad"))

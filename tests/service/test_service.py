@@ -1,0 +1,327 @@
+"""QueryService end-to-end: correctness, budgets, shedding, drain, streams."""
+
+import threading
+
+import pytest
+
+from repro.logic import ModelChecker, parse_formula
+from repro.runtime import ServiceClosedError, faults
+from repro.runtime.guarded import stats as fallback_stats
+from repro.service import (
+    PendingResult,
+    QueryRequest,
+    QueryService,
+    RetryPolicy,
+    TreeRegistry,
+)
+from repro.trees import chain, parse_xml
+from repro.xpath import Evaluator, parse_node, parse_path
+
+DOC = "<talk><speaker/><title><i/></title><location><i/><b/></location></talk>"
+
+
+@pytest.fixture()
+def registry():
+    reg = TreeRegistry()
+    reg.register("talk", parse_xml(DOC))
+    reg.register("chain", chain(48, labels=("a", "b")))
+    return reg
+
+
+@pytest.fixture()
+def service(registry):
+    svc = QueryService(registry, workers=3, queue_limit=32)
+    yield svc
+    svc.shutdown()
+
+
+class TestCorrectness:
+    def test_eval_matches_direct_evaluation(self, service, registry):
+        result = service.run_batch(
+            [QueryRequest(op="eval", query="<descendant[i]>", tree="talk")]
+        )[0]
+        expected = sorted(
+            Evaluator(registry.get("talk")).nodes(parse_node("<descendant[i]>"))
+        )
+        assert result.status == "ok"
+        assert result.value == expected
+        assert result.routed == "bitset"
+
+    def test_select_matches_direct_evaluation(self, service, registry):
+        result = service.run_batch(
+            [QueryRequest(op="select", query="descendant[i]", tree="talk")]
+        )[0]
+        expected = sorted(
+            Evaluator(registry.get("talk")).image(parse_path("descendant[i]"), {0})
+        )
+        assert result.status == "ok"
+        assert result.value == expected
+
+    def test_check_sentence_nodes_and_pairs(self, service, registry):
+        tree = registry.get("talk")
+        results = service.run_batch(
+            [
+                QueryRequest(op="check", formula="exists x. i(x)", tree="talk"),
+                QueryRequest(op="check", formula="i(x)", tree="talk"),
+                QueryRequest(op="check", formula="child(x, y)", tree="talk"),
+            ]
+        )
+        checker = ModelChecker(tree)
+        assert results[0].value is True
+        assert results[1].value == sorted(
+            checker.node_set(parse_formula("i(x)"), "x")
+        )
+        assert results[2].value == [
+            list(p) for p in sorted(checker.pairs(parse_formula("child(x, y)"), "x", "y"))
+        ]
+
+    def test_equivalent_exact_and_corpus(self, service):
+        results = service.run_batch(
+            [
+                QueryRequest(
+                    op="equivalent", left="W(<descendant[b]>)", right="<descendant[b]>"
+                ),
+                QueryRequest(op="equivalent", left="<parent[a]>", right="<parent[b]>"),
+            ]
+        )
+        assert results[0].value["equivalent"] is True
+        assert results[0].value["method"] == "exact"
+        assert results[1].value["equivalent"] is False
+        assert results[1].value["method"] == "corpus"  # parent is not downward
+
+    def test_inline_xml_document(self, service):
+        result = service.run_batch(
+            [QueryRequest(op="eval", query="b", xml="<b><b/></b>")]
+        )[0]
+        assert result.status == "ok"
+        assert result.value == [0, 1]
+
+    def test_results_keep_input_order(self, service):
+        requests = [
+            QueryRequest(op="eval", query="<descendant[b]>", tree="chain", id=f"r{i}")
+            for i in range(20)
+        ]
+        results = service.run_batch(requests)
+        assert [r.id for r in requests] == [r.id for r in results]
+
+
+class TestStructuredErrors:
+    def test_unknown_op(self, service):
+        result = service.run_batch([QueryRequest(op="mystery")])[0]
+        assert result.status == "error"
+        assert result.error["exit_code"] == 2
+
+    def test_missing_required_field(self, service):
+        result = service.run_batch([QueryRequest(op="eval", tree="talk")])[0]
+        assert result.status == "error"
+        assert "query" in result.error["message"]
+
+    def test_unknown_tree(self, service):
+        result = service.run_batch(
+            [QueryRequest(op="eval", query="b", tree="nope")]
+        )[0]
+        assert result.status == "error"
+        assert "unknown tree" in result.error["message"]
+
+    def test_syntax_error_is_an_input_error(self, service):
+        result = service.run_batch(
+            [QueryRequest(op="eval", query="<<<", tree="talk")]
+        )[0]
+        assert result.status == "error"
+        assert result.error["type"] == "XPathSyntaxError"
+        assert result.error["exit_code"] == 2
+        assert result.retries == 0  # input errors are never retried
+
+    def test_step_budget_exhaustion(self, service):
+        # A star query ticks the budget once per fixpoint iteration, so a
+        # zero-step allowance trips on the first round.
+        result = service.run_batch(
+            [
+                QueryRequest(
+                    op="eval",
+                    query="<(child[a])*[b]>",
+                    tree="chain",
+                    max_steps=0,
+                )
+            ]
+        )[0]
+        assert result.status == "error"
+        assert result.error["exit_code"] == 5
+
+    def test_too_many_free_variables(self, service):
+        result = service.run_batch(
+            [QueryRequest(op="check", formula="child(x,y) & child(y,z)", tree="talk")]
+        )[0]
+        assert result.status == "error"
+        assert "free variables" in result.error["message"]
+
+
+class TestSheddingAndDeadlines:
+    def test_expired_deadline_is_shed_not_run(self, service):
+        result = service.run_batch(
+            [QueryRequest(op="eval", query="b", tree="talk", timeout=0.0)]
+        )[0]
+        assert result.status == "shed"
+        assert result.error["type"] == "RequestShedError"
+        assert result.error["exit_code"] == 4  # sheds follow the deadline code
+        assert result.routed == "none"
+
+    def test_default_timeout_applies(self, registry):
+        with QueryService(registry, workers=1, default_timeout=0.0) as svc:
+            result = svc.run_batch(
+                [QueryRequest(op="eval", query="b", tree="talk")]
+            )[0]
+        assert result.status == "shed"
+
+    def test_per_request_timeout_overrides_default(self, registry):
+        with QueryService(registry, workers=1, default_timeout=0.0) as svc:
+            result = svc.run_batch(
+                [QueryRequest(op="eval", query="b", tree="talk", timeout=5.0)]
+            )[0]
+        assert result.status == "ok"
+
+
+class TestRetriesAndFallback:
+    def test_transient_fault_is_retried_to_success(self, registry):
+        svc = QueryService(
+            registry,
+            workers=1,
+            retry=RetryPolicy(max_attempts=3, base_delay=0.0, max_delay=0.0),
+        )
+        try:
+            with faults.scoped(("service.worker", 2)):
+                result = svc.run_batch(
+                    [QueryRequest(op="eval", query="<descendant[b]>", tree="chain")]
+                )[0]
+            assert result.status == "ok"
+            assert result.retries == 2
+            assert result.routed == "bitset"
+            assert not result.fallback
+        finally:
+            svc.shutdown()
+
+    def test_exhausted_retries_degrade_to_oracle(self, registry):
+        svc = QueryService(
+            registry,
+            workers=1,
+            retry=RetryPolicy(max_attempts=2, base_delay=0.0, max_delay=0.0),
+            breaker_threshold=100,  # keep the breaker out of this test
+        )
+        try:
+            before = fallback_stats.fallback_count
+            with faults.scoped("xpath.bitset"):
+                result = svc.run_batch(
+                    [QueryRequest(op="eval", query="<descendant[b]>", tree="chain")]
+                )[0]
+            expected = sorted(
+                Evaluator(registry.get("chain")).nodes(parse_node("<descendant[b]>"))
+            )
+            assert result.status == "ok"
+            assert result.value == expected
+            assert result.fallback
+            assert result.routed == "oracle"
+            assert result.retries == 1
+            # The degradation is visible in the PR 3 process-wide counter.
+            assert fallback_stats.fallback_count == before + 1
+        finally:
+            svc.shutdown()
+
+    def test_stats_account_for_every_request(self, registry):
+        svc = QueryService(registry, workers=2)
+        try:
+            svc.run_batch(
+                [QueryRequest(op="eval", query="b", tree="talk") for _ in range(5)]
+                + [QueryRequest(op="eval", query="b", tree="talk", timeout=0.0)]
+                + [QueryRequest(op="bogus")]
+            )
+            snap = svc.stats_snapshot()
+            assert snap["submitted"] == 7
+            assert snap["completed"] == 7
+            assert snap["ok"] == 5
+            assert snap["shed"] == 1
+            assert snap["errors"] == 1
+            assert snap["breakers"]["xpath"]["state"] == "closed"
+        finally:
+            svc.shutdown()
+
+
+class TestLifecycle:
+    def test_context_manager_drains(self, registry):
+        with QueryService(registry, workers=2) as svc:
+            handles = [
+                svc.submit(QueryRequest(op="eval", query="b", tree="talk"))
+                for _ in range(10)
+            ]
+        # After the block every handle is resolved (drain completed them).
+        assert all(handle.done() for handle in handles)
+        assert all(handle.result().status == "ok" for handle in handles)
+
+    def test_submit_after_shutdown_raises(self, registry):
+        svc = QueryService(registry, workers=1)
+        svc.shutdown()
+        with pytest.raises(ServiceClosedError):
+            svc.submit(QueryRequest(op="eval", query="b", tree="talk"))
+
+    def test_nongraceful_shutdown_sheds_the_remainder(self, registry):
+        svc = QueryService(registry, workers=1, queue_limit=128)
+        handles = [
+            svc.submit(
+                QueryRequest(op="eval", query="<descendant[b]>", tree="chain")
+            )
+            for _ in range(40)
+        ]
+        svc.shutdown(drain=False)
+        results = [handle.result(timeout=5.0) for handle in handles]
+        # Zero lost: every request resolved, as a result or a structured shed.
+        assert all(r.status in ("ok", "shed") for r in results)
+        snap = svc.stats_snapshot()
+        assert snap["completed"] == snap["submitted"] == 40
+
+    def test_shutdown_is_idempotent(self, registry):
+        svc = QueryService(registry, workers=1)
+        svc.shutdown()
+        svc.shutdown()
+
+    def test_pending_result_timeout(self):
+        pending = PendingResult()
+        with pytest.raises(TimeoutError):
+            pending.result(timeout=0.01)
+
+
+class TestStreaming:
+    def test_map_stream_yields_in_order(self, service):
+        requests = [
+            QueryRequest(op="eval", query="b", tree="talk", id=f"s{i}")
+            for i in range(25)
+        ]
+        results = list(service.map_stream(iter(requests)))
+        assert [r.id for r in results] == [f"s{i}" for i in range(25)]
+        assert all(r.status == "ok" for r in results)
+
+    def test_concurrent_submitters_all_resolve(self, registry):
+        svc = QueryService(registry, workers=3, queue_limit=8)
+        outcomes = []
+        lock = threading.Lock()
+
+        def submitter(n):
+            batch = [
+                QueryRequest(op="eval", query="<descendant[b]>", tree="chain")
+                for _ in range(n)
+            ]
+            results = svc.run_batch(batch)
+            with lock:
+                outcomes.extend(results)
+
+        threads = [
+            threading.Thread(target=submitter, args=(15,), daemon=True)
+            for _ in range(4)
+        ]
+        try:
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(30.0)
+            assert len(outcomes) == 60
+            assert all(r.status == "ok" for r in outcomes)
+        finally:
+            svc.shutdown()
