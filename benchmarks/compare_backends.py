@@ -14,7 +14,15 @@ non-zero if a bitset engine falls below its regression gate:
   permissive :class:`~repro.runtime.ExecutionBudget` attached must stay
   within ``--max-overhead`` percent (default 5%) of the unbudgeted run —
   the cooperative cancellation checkpoints are priced at batch boundaries
-  precisely so that governance stays effectively free.
+  precisely so that governance stays effectively free;
+* tracing-overhead rows: the same bitset workloads re-run under an
+  installed :class:`repro.obs.Tracer` must stay within
+  ``--max-trace-overhead`` percent (default 3%) of the default
+  tracing-disabled run.  The baseline rows above already *include* the
+  disabled instrumentation (every ``obs.span`` call hits the no-op fast
+  path), so the headline speedup gates price the disabled overhead, and
+  this gate bounds the full cost of turning tracing on — an upper bound
+  on what the disabled path could possibly cost.
 
 Usage::
 
@@ -29,6 +37,7 @@ import random
 import sys
 import time
 
+from repro import obs
 from repro.logic import ModelChecker, parse_formula
 from repro.runtime import ExecutionBudget
 from repro.trees import random_deep_tree, random_tree
@@ -50,6 +59,41 @@ def median_seconds(thunk, repetitions: int) -> float:
         times.append(time.perf_counter() - start)
     times.sort()
     return times[len(times) // 2]
+
+
+def paired_seconds(baseline, variant, repetitions: int) -> tuple[float, float, float]:
+    """Interleaved paired timing for the overhead gates.
+
+    The overhead rows compare the *same* workload under two configurations,
+    so the arms are timed back-to-back within each repetition (clock-speed
+    drift between separately timed blocks otherwise dwarfs the few-percent
+    effects being gated).  Returns each arm's minimum plus the **median of
+    the per-repetition variant/baseline ratios** — drift cancels inside a
+    repetition and the median discards repetitions where a GC pause or
+    scheduler preemption hit one arm, so the ratio isolates the feature's
+    own cost.
+    """
+    baseline()  # warm caches outside the timing
+    variant()
+    base_times, var_times = [], []
+    for repetition in range(repetitions):
+        # Alternate the order so ramping interference hits both arms alike.
+        first, second = (
+            (baseline, variant) if repetition % 2 == 0 else (variant, baseline)
+        )
+        start = time.perf_counter()
+        first()
+        middle = time.perf_counter()
+        second()
+        end = time.perf_counter()
+        if repetition % 2 == 0:
+            base_times.append(middle - start)
+            var_times.append(end - middle)
+        else:
+            var_times.append(middle - start)
+            base_times.append(end - middle)
+    ratios = sorted(v / b for b, v in zip(base_times, var_times))
+    return min(base_times), min(var_times), ratios[len(ratios) // 2]
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -75,6 +119,13 @@ def main(argv: list[str] | None = None) -> int:
         default=5.0,
         help="fail if attaching a (never-tripping) budget slows the bitset "
         "engines by more than this many percent",
+    )
+    parser.add_argument(
+        "--max-trace-overhead",
+        type=float,
+        default=3.0,
+        help="fail if installing a tracer slows the bitset engines by more "
+        "than this many percent over the default tracing-disabled run",
     )
     args = parser.parse_args(argv)
 
@@ -122,25 +173,64 @@ def main(argv: list[str] | None = None) -> int:
     # budget attached (never trips, but every cooperative checkpoint fires).
     overhead_rows = []
     ample = ExecutionBudget(max_steps=1 << 62)
-    overhead_reps = reps * 2
+    overhead_reps = reps * 4
     size = sizes[-1]
     tree = random_tree(size, rng=random.Random(size * 3 + 1))
     plain_ev = Evaluator(tree, backend="bitset")
     budget_ev = Evaluator(tree, backend="bitset", budget=ample)
-    plain_t = median_seconds(lambda: plain_ev.image(STAR_QUERY, {0}), overhead_reps)
-    budget_t = median_seconds(lambda: budget_ev.image(STAR_QUERY, {0}), overhead_reps)
-    overhead_rows.append((f"star image n={size}", plain_t, budget_t))
+    plain_t, budget_t, ratio = paired_seconds(
+        lambda: plain_ev.image(STAR_QUERY, {0}),
+        lambda: budget_ev.image(STAR_QUERY, {0}),
+        overhead_reps,
+    )
+    overhead_rows.append((f"star image n={size}", plain_t, budget_t, ratio))
 
     size = check_sizes[-1]
     tree = random_deep_tree(size, rng=random.Random(size))
-    plain_t = median_seconds(
-        lambda: ModelChecker(tree, backend="bitset").holds(TC_HEAVY), overhead_reps
-    )
-    budget_t = median_seconds(
+    plain_t, budget_t, ratio = paired_seconds(
+        lambda: ModelChecker(tree, backend="bitset").holds(TC_HEAVY),
         lambda: ModelChecker(tree, backend="bitset", budget=ample).holds(TC_HEAVY),
         overhead_reps,
     )
-    overhead_rows.append((f"C3 TC-heavy n={size}", plain_t, budget_t))
+    overhead_rows.append((f"C3 TC-heavy n={size}", plain_t, budget_t, ratio))
+
+    # Tracing-overhead rows: same bitset workloads with a tracer installed
+    # for the traced arm (the CLI ``--trace`` usage pattern).  Always
+    # measured at the full sizes: the per-call span cost is constant, so
+    # tiny quick-mode workloads would measure tracer setup, not tracing.
+    trace_tracer = obs.Tracer()  # one tracer reused across repetitions:
+    # installing is a global assignment, so the timed arm pays for spans,
+    # not for tracer construction.
+
+    def with_tracer(thunk):
+        def run():
+            obs.install(trace_tracer)
+            try:
+                thunk()
+            finally:
+                obs.uninstall()
+
+        return run
+
+    trace_rows = []
+    size = 4096
+    tree = random_tree(size, rng=random.Random(size * 3 + 1))
+    trace_ev = Evaluator(tree, backend="bitset")
+    plain_t, traced_t, ratio = paired_seconds(
+        lambda: trace_ev.image(STAR_QUERY, {0}),
+        with_tracer(lambda: trace_ev.image(STAR_QUERY, {0})),
+        overhead_reps,
+    )
+    trace_rows.append((f"star image n={size}", plain_t, traced_t, ratio))
+
+    size = 512
+    tree = random_deep_tree(size, rng=random.Random(size))
+    plain_t, traced_t, ratio = paired_seconds(
+        lambda: ModelChecker(tree, backend="bitset").holds(TC_HEAVY),
+        with_tracer(lambda: ModelChecker(tree, backend="bitset").holds(TC_HEAVY)),
+        overhead_reps,
+    )
+    trace_rows.append((f"C3 TC-heavy n={size}", plain_t, traced_t, ratio))
 
     header = f"{'workload':<22} {'reference':>12} {'bitset':>12} {'speedup':>9}"
     print(header)
@@ -155,8 +245,8 @@ def main(argv: list[str] | None = None) -> int:
     header = f"{'checkpoint overhead':<22} {'unbudgeted':>12} {'budgeted':>12} {'overhead':>9}"
     print(header)
     print("-" * len(header))
-    for name, plain_t, budget_t in overhead_rows:
-        overhead_pct = (budget_t / plain_t - 1.0) * 100.0
+    for name, plain_t, budget_t, ratio in overhead_rows:
+        overhead_pct = (ratio - 1.0) * 100.0
         print(
             f"{name:<22} {plain_t * 1e3:>10.3f}ms {budget_t * 1e3:>10.3f}ms "
             f"{overhead_pct:>+8.1f}%"
@@ -164,12 +254,32 @@ def main(argv: list[str] | None = None) -> int:
         if overhead_pct > args.max_overhead:
             gate_failures.append((f"overhead {name}", overhead_pct))
 
+    print()
+    header = f"{'tracing overhead':<22} {'disabled':>12} {'traced':>12} {'overhead':>9}"
+    print(header)
+    print("-" * len(header))
+    for name, plain_t, traced_t, ratio in trace_rows:
+        overhead_pct = (ratio - 1.0) * 100.0
+        print(
+            f"{name:<22} {plain_t * 1e3:>10.3f}ms {traced_t * 1e3:>10.3f}ms "
+            f"{overhead_pct:>+8.1f}%"
+        )
+        if overhead_pct > args.max_trace_overhead:
+            gate_failures.append((f"tracing {name}", overhead_pct))
+
     if gate_failures:
         for name, value in gate_failures:
             if name.startswith("overhead"):
                 print(
                     f"FAIL: {name} checkpoint overhead {value:+.1f}% exceeds "
                     f"the {args.max_overhead:.1f}% gate",
+                    file=sys.stderr,
+                )
+                continue
+            if name.startswith("tracing"):
+                print(
+                    f"FAIL: {name} tracing overhead {value:+.1f}% exceeds "
+                    f"the {args.max_trace_overhead:.1f}% gate",
                     file=sys.stderr,
                 )
                 continue
@@ -185,7 +295,8 @@ def main(argv: list[str] | None = None) -> int:
     print(
         f"OK: C1 node rows at or above {args.min_speedup:.1f}x, "
         f"C3 TC-heavy rows at or above {args.min_check_speedup:.1f}x, "
-        f"checkpoint overhead within {args.max_overhead:.1f}%"
+        f"checkpoint overhead within {args.max_overhead:.1f}%, "
+        f"tracing overhead within {args.max_trace_overhead:.1f}%"
     )
     return 0
 

@@ -38,6 +38,7 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Iterable
 
+from .. import obs
 from ..runtime import faults
 from ..runtime.budget import ExecutionBudget
 from ..trees.index import Scope, TreeIndex, tree_index
@@ -172,34 +173,38 @@ def sweep_configs(
     becomes nonempty; otherwise it returns the per-state reached masks.
     """
     faults.check("automata.bitset")
-    reached = [0] * num_states
-    reached[initial] = sc.root_bit
-    frontier = list(reached)
-    while True:
-        if budget is not None:
-            # One checkpoint per BFS round of the configuration graph.
-            budget.tick()
-        new = [0] * num_states
-        for state, live in enumerate(frontier):
-            if not live:
-                continue
-            for source_mask, kernel, next_state in program[state]:
-                src = live & source_mask
-                if src:
-                    new[next_state] |= kernel(src, sc)
-        if accept_only:
-            for state in accepting:
-                if new[state]:
-                    return True
-        advanced = False
-        for state in range(num_states):
-            fresh = new[state] & ~reached[state]
-            frontier[state] = fresh
-            if fresh:
-                reached[state] |= fresh
-                advanced = True
-        if not advanced:
-            return False if accept_only else reached
+    with obs.span("twa.frontier.sweep", budget=budget, strategy="bitset") as sweep:
+        reached = [0] * num_states
+        reached[initial] = sc.root_bit
+        frontier = list(reached)
+        rounds = 0
+        while True:
+            if budget is not None:
+                # One checkpoint per BFS round of the configuration graph.
+                budget.tick()
+            rounds += 1
+            sweep.set(rounds=rounds)
+            new = [0] * num_states
+            for state, live in enumerate(frontier):
+                if not live:
+                    continue
+                for source_mask, kernel, next_state in program[state]:
+                    src = live & source_mask
+                    if src:
+                        new[next_state] |= kernel(src, sc)
+            if accept_only:
+                for state in accepting:
+                    if new[state]:
+                        return True
+            advanced = False
+            for state in range(num_states):
+                fresh = new[state] & ~reached[state]
+                frontier[state] = fresh
+                if fresh:
+                    reached[state] |= fresh
+                    advanced = True
+            if not advanced:
+                return False if accept_only else reached
 
 
 def _check_strategy(strategy: str) -> None:
@@ -266,21 +271,22 @@ class TWA:
     ) -> bool:
         """Does some run (started at the scope root) reach an accepting state?"""
         _check_strategy(strategy)
-        if self.initial in self.accepting:
-            return True
-        if strategy == "deque":
-            return self._accepts_deque(tree, scope, budget)
-        index = tree_index(tree)
-        sc = index.scope(scope)
-        return sweep_configs(
-            self.num_states,
-            self.initial,
-            self.accepting,
-            self._program(index, sc),
-            sc,
-            accept_only=True,
-            budget=budget,
-        )
+        with obs.span("twa.accepts", budget=budget, strategy=strategy):
+            if self.initial in self.accepting:
+                return True
+            if strategy == "deque":
+                return self._accepts_deque(tree, scope, budget)
+            index = tree_index(tree)
+            sc = index.scope(scope)
+            return sweep_configs(
+                self.num_states,
+                self.initial,
+                self.accepting,
+                self._program(index, sc),
+                sc,
+                accept_only=True,
+                budget=budget,
+            )
 
     def reachable_configs(
         self,
@@ -291,6 +297,16 @@ class TWA:
     ) -> set[tuple[int, int]]:
         """All reachable (state, node) configurations (for inspection)."""
         _check_strategy(strategy)
+        with obs.span("twa.configs", budget=budget, strategy=strategy):
+            return self._reachable(tree, scope, strategy, budget)
+
+    def _reachable(
+        self,
+        tree: Tree,
+        scope: int,
+        strategy: str,
+        budget: ExecutionBudget | None,
+    ) -> set[tuple[int, int]]:
         if strategy == "deque":
             return self._reachable_deque(tree, scope, budget)
         index = tree_index(tree)
@@ -318,25 +334,26 @@ class TWA:
         scope: int = 0,
         budget: ExecutionBudget | None = None,
     ) -> bool:
-        start = (self.initial, scope)
-        seen = {start}
-        queue = deque([start])
-        while queue:
-            if budget is not None:
-                budget.tick()
-            state, node = queue.popleft()
-            obs = observation_at(tree, node, scope)
-            for move, next_state in self.options(state, obs):
-                target = apply_move(tree, node, move, scope)
-                if target is None:
-                    continue
-                if next_state in self.accepting:
-                    return True
-                config = (next_state, target)
-                if config not in seen:
-                    seen.add(config)
-                    queue.append(config)
-        return False
+        with obs.span("twa.frontier.sweep", budget=budget, strategy="deque"):
+            start = (self.initial, scope)
+            seen = {start}
+            queue = deque([start])
+            while queue:
+                if budget is not None:
+                    budget.tick()
+                state, node = queue.popleft()
+                observed = observation_at(tree, node, scope)
+                for move, next_state in self.options(state, observed):
+                    target = apply_move(tree, node, move, scope)
+                    if target is None:
+                        continue
+                    if next_state in self.accepting:
+                        return True
+                    config = (next_state, target)
+                    if config not in seen:
+                        seen.add(config)
+                        queue.append(config)
+            return False
 
     def _reachable_deque(
         self,
@@ -344,23 +361,24 @@ class TWA:
         scope: int = 0,
         budget: ExecutionBudget | None = None,
     ) -> set[tuple[int, int]]:
-        start = (self.initial, scope)
-        seen = {start}
-        queue = deque([start])
-        while queue:
-            if budget is not None:
-                budget.tick()
-            state, node = queue.popleft()
-            obs = observation_at(tree, node, scope)
-            for move, next_state in self.options(state, obs):
-                target = apply_move(tree, node, move, scope)
-                if target is None:
-                    continue
-                config = (next_state, target)
-                if config not in seen:
-                    seen.add(config)
-                    queue.append(config)
-        return seen
+        with obs.span("twa.frontier.sweep", budget=budget, strategy="deque"):
+            start = (self.initial, scope)
+            seen = {start}
+            queue = deque([start])
+            while queue:
+                if budget is not None:
+                    budget.tick()
+                state, node = queue.popleft()
+                observed = observation_at(tree, node, scope)
+                for move, next_state in self.options(state, observed):
+                    target = apply_move(tree, node, move, scope)
+                    if target is None:
+                        continue
+                    config = (next_state, target)
+                    if config not in seen:
+                        seen.add(config)
+                        queue.append(config)
+            return seen
 
 
 class TwaBuilder:

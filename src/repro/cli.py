@@ -26,6 +26,13 @@ Commands:
   ``--breaker-threshold`` / ``--breaker-cooldown`` shape the pool, and
   ``--stats`` prints the aggregate counters to stderr as JSON.
 
+Observability (``eval`` / ``select`` / ``check`` / ``batch``):
+
+* ``--trace [FILE]`` — run under a tracer and emit the span tree as JSON
+  (``repro-trace/1``) to FILE, or to stderr when no FILE is given;
+* ``--metrics [FILE]`` (``batch`` only) — after the batch drains, dump the
+  process metrics registry as JSON (``repro-metrics/1``) to FILE or stderr.
+
 Queries sort themselves: input parseable as a node expression is treated as
 one, otherwise as a path expression.
 
@@ -50,8 +57,10 @@ on each output line, so one bad request never hides the others' results.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
+from . import obs
 from .decision import (
     NotDownward,
     check_node_equivalence,
@@ -261,8 +270,6 @@ def cmd_check(args: argparse.Namespace) -> int:
 
 
 def cmd_batch(args: argparse.Namespace) -> int:
-    import json
-
     from .service import QueryRequest, QueryService, RetryPolicy, TreeRegistry
     from .service.api import error_payload
 
@@ -334,6 +341,8 @@ def cmd_batch(args: argparse.Namespace) -> int:
         service.shutdown(drain=True)
     if args.stats:
         print(json.dumps(service.stats_snapshot()), file=sys.stderr)
+    if args.metrics is not None:
+        _emit_json(obs.REGISTRY.to_json(), args.metrics)
     return exit_code
 
 
@@ -357,6 +366,27 @@ def cmd_classify(args: argparse.Namespace) -> int:
     print(f"conditional: {is_conditional_xpath(expr)}")
     print(f"downward:    {is_downward(expr)}")
     return 0
+
+
+def _emit_json(payload: dict, dest: str) -> None:
+    """Write ``payload`` as JSON to ``dest`` ("-" means stderr)."""
+    text = json.dumps(payload, indent=2)
+    if dest == "-":
+        print(text, file=sys.stderr)
+    else:
+        with open(dest, "w") as handle:
+            handle.write(text + "\n")
+
+
+def _add_trace_argument(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--trace",
+        nargs="?",
+        const="-",
+        metavar="FILE",
+        help="emit the execution span tree as JSON to FILE "
+        "(stderr when no FILE is given)",
+    )
 
 
 def _add_budget_arguments(p: argparse.ArgumentParser, engine: bool = True) -> None:
@@ -411,6 +441,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="evaluation engine (default: the compiled bitset backend)",
     )
     _add_budget_arguments(p)
+    _add_trace_argument(p)
     p.set_defaults(func=cmd_eval)
 
     p = sub.add_parser("select", help="select nodes from the root via a path")
@@ -423,6 +454,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="evaluation engine (default: the compiled bitset backend)",
     )
     _add_budget_arguments(p)
+    _add_trace_argument(p)
     p.set_defaults(func=cmd_select)
 
     p = sub.add_parser("translate", help="FO(MTC) rendering and round trip")
@@ -452,6 +484,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="model-checking engine (default: the columnar bitset backend)",
     )
     _add_budget_arguments(p)
+    _add_trace_argument(p)
     p.set_defaults(func=cmd_check)
 
     p = sub.add_parser(
@@ -502,7 +535,16 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print aggregate service counters to stderr as JSON",
     )
+    p.add_argument(
+        "--metrics",
+        nargs="?",
+        const="-",
+        metavar="FILE",
+        help="after the batch drains, dump the process metrics registry "
+        "as JSON to FILE (stderr when no FILE is given)",
+    )
     _add_budget_arguments(p)
+    _add_trace_argument(p)
     p.set_defaults(func=cmd_batch)
 
     p = sub.add_parser("simplify", help="apply the sound rewrite system")
@@ -522,11 +564,18 @@ def main(argv: list[str] | None = None) -> int:
     armed = list(getattr(args, "inject_fault", None) or ())
     for site in armed:
         faults.arm(site)
+    trace_dest = getattr(args, "trace", None)
+    tracer = obs.Tracer() if trace_dest is not None else None
     try:
+        if tracer is not None:
+            with obs.tracing(tracer):
+                return args.func(args)
         return args.func(args)
     except (ReproError, NotDownward, OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return exit_code_for(exc)
     finally:
+        if tracer is not None:
+            _emit_json(tracer.to_json(), trace_dest)
         for site in armed:
             faults.disarm(site)

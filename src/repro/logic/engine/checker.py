@@ -23,6 +23,7 @@ backend remains the default and the cross-validation oracle.
 
 from __future__ import annotations
 
+from ... import obs
 from ...runtime import faults
 from ...runtime.budget import ExecutionBudget
 from ...trees.index import tree_index
@@ -57,32 +58,36 @@ def mask_closure(
             forward = False
             break
     closure: dict[int, int] = {}
-    if forward:
-        for v in sorted(successors, reverse=True):
+    regime = "forward" if forward else "semi-naive"
+    with obs.span(
+        "logic.tc.sweep", budget=budget, regime=regime, sources=len(successors)
+    ):
+        if forward:
+            for v in sorted(successors, reverse=True):
+                if budget is not None:
+                    budget.tick()
+                mask = successors[v]
+                reached = mask
+                for w in iter_bits(mask):
+                    later = closure.get(w)
+                    if later:
+                        reached |= later
+                closure[v] = reached
+            return closure
+        for source, first in successors.items():
             if budget is not None:
                 budget.tick()
-            mask = successors[v]
-            reached = mask
-            for w in iter_bits(mask):
-                later = closure.get(w)
-                if later:
-                    reached |= later
-            closure[v] = reached
-        return closure
-    for source, first in successors.items():
-        if budget is not None:
-            budget.tick()
-        reached = 0
-        frontier = first
-        while frontier:
-            reached |= frontier
-            fresh = 0
-            for v in iter_bits(frontier):
-                nxt = successors.get(v)
-                if nxt is not None:
-                    fresh |= nxt
-            frontier = fresh & ~reached
-        closure[source] = reached
+            reached = 0
+            frontier = first
+            while frontier:
+                reached |= frontier
+                fresh = 0
+                for v in iter_bits(frontier):
+                    nxt = successors.get(v)
+                    if nxt is not None:
+                        fresh |= nxt
+                frontier = fresh & ~reached
+            closure[source] = reached
     return closure
 
 
@@ -107,11 +112,12 @@ class BitsetModelChecker(ModelChecker):
     def table(self, formula: ast.Formula) -> Table:
         """The row-wise table of satisfying assignments (converted once)."""
         faults.check("logic.bitset")
-        cached = self._table_cache.get(formula)
-        if cached is None:
-            cached = self.btable(formula).to_table()
-            self._table_cache[formula] = cached
-        return cached
+        with obs.span("logic.table", budget=self.budget, backend=self.backend):
+            cached = self._table_cache.get(formula)
+            if cached is None:
+                cached = self.btable(formula).to_table()
+                self._table_cache[formula] = cached
+            return cached
 
     def btable(self, formula: ast.Formula) -> BitsetTable:
         """The columnar table of satisfying assignments (memoized
@@ -124,53 +130,59 @@ class BitsetModelChecker(ModelChecker):
 
     def holds(self, formula: ast.Formula, env: dict[str, int] | None = None) -> bool:
         faults.check("logic.bitset")
-        env = env or {}
-        table = self.btable(formula)
-        missing = [c for c in table.columns if c not in env]
-        if missing:
-            raise ValueError(f"unassigned free variables: {missing}")
-        for var in table.columns:
-            table = table.select_eq(var, env[var])
-        return table.truth
+        with obs.span("logic.holds", budget=self.budget, backend=self.backend):
+            env = env or {}
+            table = self.btable(formula)
+            missing = [c for c in table.columns if c not in env]
+            if missing:
+                raise ValueError(f"unassigned free variables: {missing}")
+            for var in table.columns:
+                table = table.select_eq(var, env[var])
+            return table.truth
 
     def node_set(self, formula: ast.Formula, var: str) -> set[int]:
         faults.check("logic.bitset")
-        table = self.btable(formula)
-        if table.columns == ():
-            return set(self.universe) if table.truth else set()
-        if table.columns != (var,):
-            raise ValueError(
-                f"expected free variables ({var},), got {table.columns}"
-            )
-        mask = table.data.get((), 0)
-        if self.budget is not None:
-            self.budget.check_size(mask.bit_count())
-        return set(iter_bits(mask))
+        with obs.span("logic.node_set", budget=self.budget, backend=self.backend):
+            table = self.btable(formula)
+            if table.columns == ():
+                return set(self.universe) if table.truth else set()
+            if table.columns != (var,):
+                raise ValueError(
+                    f"expected free variables ({var},), got {table.columns}"
+                )
+            mask = table.data.get((), 0)
+            if self.budget is not None:
+                self.budget.check_size(mask.bit_count())
+            return set(iter_bits(mask))
 
     def node_mask(self, formula: ast.Formula, var: str) -> int:
         """The satisfying set as a raw bitmask (bitset-backend extra)."""
-        table = self.btable(formula)
-        if table.columns == ():
-            return self.index.full if table.truth else 0
-        if table.columns != (var,):
-            raise ValueError(
-                f"expected free variables ({var},), got {table.columns}"
-            )
-        return table.data.get((), 0)
+        with obs.span("logic.node_set", budget=self.budget, backend=self.backend):
+            table = self.btable(formula)
+            if table.columns == ():
+                return self.index.full if table.truth else 0
+            if table.columns != (var,):
+                raise ValueError(
+                    f"expected free variables ({var},), got {table.columns}"
+                )
+            return table.data.get((), 0)
 
     def pairs(self, formula: ast.Formula, x: str, y: str) -> set[tuple[int, int]]:
         faults.check("logic.bitset")
-        table = self.btable(formula)
-        table = table.pad(
-            tuple(sorted(set(table.columns) | {x, y})), self.index.n, self.index.full
-        )
-        extra = [c for c in table.columns if c not in (x, y)]
-        if extra:
-            raise ValueError(f"unexpected free variables {extra}")
-        result = table.pairs(x, y)
-        if self.budget is not None:
-            self.budget.check_size(len(result), "pair relation")
-        return result
+        with obs.span("logic.pairs", budget=self.budget, backend=self.backend):
+            table = self.btable(formula)
+            table = table.pad(
+                tuple(sorted(set(table.columns) | {x, y})),
+                self.index.n,
+                self.index.full,
+            )
+            extra = [c for c in table.columns if c not in (x, y)]
+            if extra:
+                raise ValueError(f"unexpected free variables {extra}")
+            result = table.pairs(x, y)
+            if self.budget is not None:
+                self.budget.check_size(len(result), "pair relation")
+            return result
 
     # -- evaluation ---------------------------------------------------------------
 

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 from collections import deque
 
+from .. import obs
 from ..runtime.budget import ExecutionBudget
 from ..trees.axes import Axis, axis_pairs
 from ..trees.tree import Tree
@@ -110,30 +111,36 @@ class ModelChecker:
     def table(self, formula: ast.Formula) -> Table:
         raise NotImplementedError
 
+    def _table_internal(self, formula: ast.Formula) -> Table:
+        """Table computation without the public-entry span (subclass hook)."""
+        return self.table(formula)
+
     def holds(self, formula: ast.Formula, env: dict[str, int] | None = None) -> bool:
         """Truth of ``formula`` under the assignment ``env``."""
-        env = env or {}
-        table = self.table(formula)
-        missing = [c for c in table.columns if c not in env]
-        if missing:
-            raise ValueError(f"unassigned free variables: {missing}")
-        for var in table.columns:
-            table = table.select_eq(var, env[var])
-        return table.truth
+        with obs.span("logic.holds", budget=self.budget, backend=self.backend):
+            env = env or {}
+            table = self._table_internal(formula)
+            missing = [c for c in table.columns if c not in env]
+            if missing:
+                raise ValueError(f"unassigned free variables: {missing}")
+            for var in table.columns:
+                table = table.select_eq(var, env[var])
+            return table.truth
 
     def node_set(self, formula: ast.Formula, var: str) -> set[int]:
         """``{n | tree ⊨ formula[var := n]}`` for a formula with one free var."""
-        table = self.table(formula)
-        if table.columns == ():
-            return set(self.universe) if table.truth else set()
-        if table.columns != (var,):
-            raise ValueError(
-                f"expected free variables ({var},), got {table.columns}"
-            )
-        result = table.column_values(var)
-        if self.budget is not None:
-            self.budget.check_size(len(result))
-        return result
+        with obs.span("logic.node_set", budget=self.budget, backend=self.backend):
+            table = self._table_internal(formula)
+            if table.columns == ():
+                return set(self.universe) if table.truth else set()
+            if table.columns != (var,):
+                raise ValueError(
+                    f"expected free variables ({var},), got {table.columns}"
+                )
+            result = table.column_values(var)
+            if self.budget is not None:
+                self.budget.check_size(len(result))
+            return result
 
     def pairs(self, formula: ast.Formula, x: str, y: str) -> set[tuple[int, int]]:
         """The binary query of a formula with free variables ``{x, y}``.
@@ -141,15 +148,18 @@ class ModelChecker:
         Degenerate column sets (the formula may not mention both variables)
         are padded with the universe, matching the logical convention.
         """
-        table = self.table(formula)
-        table = table.pad(tuple(sorted(set(table.columns) | {x, y})), self.universe)
-        extra = [c for c in table.columns if c not in (x, y)]
-        if extra:
-            raise ValueError(f"unexpected free variables {extra}")
-        result = table.pairs(x, y)
-        if self.budget is not None:
-            self.budget.check_size(len(result), "pair relation")
-        return result
+        with obs.span("logic.pairs", budget=self.budget, backend=self.backend):
+            table = self._table_internal(formula)
+            table = table.pad(
+                tuple(sorted(set(table.columns) | {x, y})), self.universe
+            )
+            extra = [c for c in table.columns if c not in (x, y)]
+            if extra:
+                raise ValueError(f"unexpected free variables {extra}")
+            result = table.pairs(x, y)
+            if self.budget is not None:
+                self.budget.check_size(len(result), "pair relation")
+            return result
 
 
 class TableModelChecker(ModelChecker):
@@ -173,11 +183,23 @@ class TableModelChecker(ModelChecker):
 
     def table(self, formula: ast.Formula) -> Table:
         """The table of satisfying assignments over the free variables."""
+        with obs.span("logic.table", budget=self.budget, backend=self.backend):
+            return self._table(formula)
+
+    # -- internals ---------------------------------------------------------------
+
+    def _table(self, formula: ast.Formula) -> Table:
+        # The memoized recursion target: public ``table`` adds the span,
+        # ``_eval`` re-enters here (no nested public spans, matching the
+        # bitset checker's ``btable`` recursion).
         cached = self._cache.get(formula)
         if cached is None:
             cached = self._eval(formula)
             self._cache[formula] = cached
         return cached
+
+    def _table_internal(self, formula: ast.Formula) -> Table:
+        return self._table(formula)
 
     # -- structural relations ----------------------------------------------------
 
@@ -212,15 +234,15 @@ class TableModelChecker(ModelChecker):
         if isinstance(formula, ast.TrueFormula):
             return Table.boolean(True)
         if isinstance(formula, ast.Not):
-            return self.table(formula.operand).complement(universe)
+            return self._table(formula.operand).complement(universe)
         if isinstance(formula, ast.And):
-            return self.table(formula.left).join(self.table(formula.right))
+            return self._table(formula.left).join(self._table(formula.right))
         if isinstance(formula, ast.Or):
-            return self.table(formula.left).union(self.table(formula.right), universe)
+            return self._table(formula.left).union(self._table(formula.right), universe)
         if isinstance(formula, ast.Exists):
-            return self.table(formula.body).project_away(formula.var)
+            return self._table(formula.body).project_away(formula.var)
         if isinstance(formula, ast.Forall):
-            inner = self.table(formula.body).complement(universe)
+            inner = self._table(formula.body).complement(universe)
             return inner.project_away(formula.var).complement(universe)
         if isinstance(formula, ast.TC):
             return self._eval_tc(formula)
@@ -228,7 +250,7 @@ class TableModelChecker(ModelChecker):
 
     def _eval_tc(self, formula: ast.TC) -> Table:
         universe = self.universe
-        body = self.table(formula.body)
+        body = self._table(formula.body)
         # Ensure the bound variables are present as columns (a body that
         # ignores x or y denotes a cylinder over it).
         body = body.pad(
@@ -277,19 +299,22 @@ def _strict_closure(
 ) -> dict[int, set[int]]:
     """Strict transitive closure of an adjacency map, by BFS per source."""
     closure: dict[int, set[int]] = {}
-    for source in successors:
-        if budget is not None:
-            budget.tick()
-        reached: set[int] = set()
-        frontier = deque(successors.get(source, ()))
-        reached.update(frontier)
-        while frontier:
-            node = frontier.popleft()
-            for nxt in successors.get(node, ()):
-                if nxt not in reached:
-                    reached.add(nxt)
-                    frontier.append(nxt)
-        closure[source] = reached
+    with obs.span(
+        "logic.tc.sweep", budget=budget, regime="bfs", sources=len(successors)
+    ):
+        for source in successors:
+            if budget is not None:
+                budget.tick()
+            reached: set[int] = set()
+            frontier = deque(successors.get(source, ()))
+            reached.update(frontier)
+            while frontier:
+                node = frontier.popleft()
+                for nxt in successors.get(node, ()):
+                    if nxt not in reached:
+                        reached.add(nxt)
+                        frontier.append(nxt)
+            closure[source] = reached
     return closure
 
 

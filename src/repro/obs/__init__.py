@@ -1,0 +1,83 @@
+"""repro.obs — the zero-dependency observability layer.
+
+Three cross-cutting capabilities, usable from every execution layer (the
+XPath evaluators, the FO(MTC) checkers, the TWA runners, the runtime
+governance machinery, and the query service) without any of them importing
+each other:
+
+* **tracing** (:mod:`repro.obs.trace`) — a :class:`Tracer` producing nested
+  :class:`Span` trees (name, attributes, wall time, CPU time, budget steps
+  drawn).  Engines call :func:`span` at well-defined stage boundaries; with
+  no tracer installed the call returns a shared no-op context manager and
+  costs a few attribute loads — nothing is allocated.  The ``REPRO_TRACE``
+  environment variable (or the CLI ``--trace``) installs a process tracer.
+* **metrics** (:mod:`repro.obs.metrics`) — a process-wide
+  :class:`MetricsRegistry` of counters, gauges and fixed-bucket histograms,
+  exported as JSON (``registry.to_json()``) and as a Prometheus-style text
+  dump (``registry.to_prometheus()``).  The service and runtime stats are
+  views over instruments in this registry.
+* **profiling** (:mod:`repro.obs.profile`) — :func:`profile` context
+  manager recording wall/CPU histograms (and a span, when tracing) around
+  any block; a no-op unless tracing or profiling is enabled.
+
+Everything here is stdlib-only and imports nothing from the rest of
+``repro`` — the observability layer sits below every other package.
+"""
+
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    REGISTRY,
+    counter,
+    gauge,
+    histogram,
+)
+from .profile import (
+    PROFILE_ENV_VAR,
+    disable_profiling,
+    enable_profiling,
+    profile,
+    profiling_enabled,
+)
+from .trace import (
+    NOOP_SPAN,
+    TRACE_ENV_VAR,
+    Span,
+    Tracer,
+    current_tracer,
+    install,
+    reload_from_env,
+    span,
+    tracing,
+    tracing_enabled,
+    uninstall,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NOOP_SPAN",
+    "PROFILE_ENV_VAR",
+    "REGISTRY",
+    "Span",
+    "TRACE_ENV_VAR",
+    "Tracer",
+    "counter",
+    "current_tracer",
+    "disable_profiling",
+    "enable_profiling",
+    "gauge",
+    "histogram",
+    "install",
+    "profile",
+    "profiling_enabled",
+    "reload_from_env",
+    "span",
+    "tracing",
+    "tracing_enabled",
+    "uninstall",
+]

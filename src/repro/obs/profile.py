@@ -1,0 +1,94 @@
+"""Profiling hooks: wall/CPU timing of arbitrary blocks, off by default.
+
+``obs.profile("stage")`` brackets any block::
+
+    with obs.profile("corpus.build"):
+        corpus = standard_corpus()
+
+While profiling is **disabled** (the default) the call returns the shared
+no-op context manager — same near-zero cost as a disabled tracing span.
+While enabled, each exit records the block's wall and thread-CPU seconds
+into the process registry histograms ``profile_wall_seconds{stage=...}``
+and ``profile_cpu_seconds{stage=...}`` and, when a tracer is installed,
+also emits a ``profile.<stage>`` span.
+
+Enablement, in precedence order:
+
+* a tracer being installed (tracing implies profiling — ``--trace`` and
+  ``REPRO_TRACE`` light both up);
+* :func:`enable_profiling` / :func:`disable_profiling` (scoped use:
+  ``enable_profiling()`` in a benchmark harness, restore in ``finally``);
+* the ``REPRO_PROFILE`` environment variable (any non-empty value),
+  parsed at import.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from . import metrics, trace
+
+__all__ = [
+    "PROFILE_ENV_VAR",
+    "disable_profiling",
+    "enable_profiling",
+    "profile",
+    "profiling_enabled",
+]
+
+PROFILE_ENV_VAR = "REPRO_PROFILE"
+
+_enabled = bool(os.environ.get(PROFILE_ENV_VAR, ""))
+
+
+def enable_profiling() -> None:
+    """Record histograms (and spans, when tracing) for profiled blocks."""
+    global _enabled
+    _enabled = True
+
+
+def disable_profiling() -> None:
+    global _enabled
+    _enabled = False
+
+
+def profiling_enabled() -> bool:
+    """True when :func:`profile` blocks record (explicitly or via tracing)."""
+    return _enabled or trace.tracing_enabled()
+
+
+class _ProfileBlock:
+    """One enabled profiled block (allocated only while profiling)."""
+
+    __slots__ = ("stage", "registry", "_span", "_wall0", "_cpu0")
+
+    def __init__(self, stage: str, registry: metrics.MetricsRegistry):
+        self.stage = stage
+        self.registry = registry
+        self._span = None
+
+    def __enter__(self) -> "_ProfileBlock":
+        tracer = trace.current_tracer()
+        if tracer is not None:
+            self._span = tracer.span(f"profile.{self.stage}")
+            self._span.__enter__()
+        self._cpu0 = time.thread_time()
+        self._wall0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        wall = time.perf_counter() - self._wall0
+        cpu = time.thread_time() - self._cpu0
+        if self._span is not None:
+            self._span.__exit__(exc_type, exc, tb)
+        self.registry.histogram("profile_wall_seconds", stage=self.stage).observe(wall)
+        self.registry.histogram("profile_cpu_seconds", stage=self.stage).observe(cpu)
+        return False
+
+
+def profile(stage: str, registry: metrics.MetricsRegistry | None = None):
+    """Bracket a block with wall/CPU profiling (no-op while disabled)."""
+    if not (_enabled or trace._active is not None):
+        return trace.NOOP_SPAN
+    return _ProfileBlock(stage, registry if registry is not None else metrics.REGISTRY)

@@ -44,6 +44,7 @@ import os
 import threading
 from contextlib import contextmanager
 
+from .. import obs
 from .errors import InjectedFaultError
 
 __all__ = [
@@ -102,6 +103,9 @@ def check(site: str) -> None:
                 del _armed[site]
             else:
                 _armed[site] = remaining - 1
+    # Counted on the raise path only: the disarmed fast path above stays a
+    # lock-free dict truthiness test with no metrics work.
+    obs.counter("faults_injected_total", site=site).inc()
     raise InjectedFaultError(site)
 
 

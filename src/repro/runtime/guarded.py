@@ -34,6 +34,7 @@ import threading
 import warnings
 from typing import Iterable
 
+from .. import obs
 from .budget import ExecutionBudget
 from .errors import BudgetExceededError, DeadlineExceededError
 
@@ -61,12 +62,17 @@ class FallbackStats:
         with self._lock:
             self.fallback_count += 1
             self.last_error = exc
+        _FALLBACKS_TOTAL.inc()
 
     def reset(self) -> None:
         with self._lock:
             self.fallback_count = 0
             self.last_error = None
 
+
+#: Registry mirror of every :meth:`FallbackStats.record` (monotonic; the
+#: per-instance ``fallback_count`` stays resettable for the health checks).
+_FALLBACKS_TOTAL = obs.counter("guarded_fallbacks_total")
 
 #: The module-wide fallback counter.
 stats = FallbackStats()
@@ -105,7 +111,14 @@ class _GuardedBase:
         except Exception as exc:
             failure = exc
         self._note_fallback(failure)
-        return getattr(self._oracle, method)(*args, **kwargs)
+        with obs.span(
+            "guarded.fallback",
+            budget=self.budget,
+            method=method,
+            error=type(failure).__name__,
+            oracle=self._oracle_name,
+        ):
+            return getattr(self._oracle, method)(*args, **kwargs)
 
     def _note_fallback(self, exc: BaseException) -> None:
         self.fallback_count += 1

@@ -33,6 +33,8 @@ from __future__ import annotations
 import threading
 import time
 
+from .. import obs
+
 __all__ = ["CircuitBreaker", "CLOSED", "OPEN", "HALF_OPEN"]
 
 CLOSED = "closed"
@@ -92,11 +94,18 @@ class CircuitBreaker:
 
     def record_success(self) -> None:
         with self._lock:
-            if self._state == HALF_OPEN:
+            recovered = self._state == HALF_OPEN
+            if recovered:
                 self.recovery_count += 1
             self._state = CLOSED
             self._consecutive_failures = 0
             self._probe_in_flight = False
+        if recovered:
+            obs.counter(
+                "breaker_transitions_total",
+                breaker=self.name,
+                transition="recovery",
+            ).inc()
 
     def record_failure(self) -> None:
         with self._lock:
@@ -116,6 +125,9 @@ class CircuitBreaker:
         self._probe_in_flight = False
         self._consecutive_failures = 0
         self.open_count += 1
+        obs.counter(
+            "breaker_transitions_total", breaker=self.name, transition="open"
+        ).inc()
 
     # -- inspection --------------------------------------------------------
 

@@ -37,7 +37,7 @@ __all__ = ["BoundedRequestQueue"]
 class BoundedRequestQueue:
     """FIFO of deadline-carrying items, bounded at ``maxsize`` (see above)."""
 
-    def __init__(self, maxsize: int, *, clock=time.monotonic):
+    def __init__(self, maxsize: int, *, clock=time.monotonic, depth_gauge=None):
         if maxsize <= 0:
             raise ValueError(f"maxsize must be positive, got {maxsize!r}")
         self.maxsize = maxsize
@@ -47,6 +47,12 @@ class BoundedRequestQueue:
         self._not_empty = threading.Condition(self._lock)
         self._not_full = threading.Condition(self._lock)
         self._closed = False
+        #: Optional :class:`repro.obs.Gauge` tracking the queue depth.
+        self._depth_gauge = depth_gauge
+
+    def _sync_depth_locked(self) -> None:
+        if self._depth_gauge is not None:
+            self._depth_gauge.set(len(self._items))
 
     # -- producer side -----------------------------------------------------
 
@@ -66,6 +72,7 @@ class BoundedRequestQueue:
                     raise ServiceClosedError("queue is closed to new requests")
                 if len(self._items) < self.maxsize:
                     self._items.append(item)
+                    self._sync_depth_locked()
                     self._not_empty.notify()
                     return shed
                 shed.extend(self._shed_expired_locked())
@@ -107,6 +114,7 @@ class BoundedRequestQueue:
                 else:
                     self._not_empty.wait()
             item = self._items.popleft()
+            self._sync_depth_locked()
             self._not_full.notify()
             return item
 
@@ -127,6 +135,7 @@ class BoundedRequestQueue:
                 kept.append(item)
         if shed:
             self._items = kept
+            self._sync_depth_locked()
             self._not_full.notify(len(shed))
         return shed
 
@@ -144,6 +153,7 @@ class BoundedRequestQueue:
         with self._lock:
             items = list(self._items)
             self._items.clear()
+            self._sync_depth_locked()
             self._not_full.notify_all()
             return items
 

@@ -1,92 +1,126 @@
 """Aggregate service telemetry: counters, latency percentiles, breaker views.
 
-One :class:`ServiceStats` instance per service, written by every worker and
-the submission path, so all mutation happens under one lock.  Counters
-follow the request lifecycle — every admitted request increments
+One :class:`ServiceStats` instance per service, but the numbers themselves
+live in the process-wide :data:`repro.obs.REGISTRY` as labelled instruments
+(``service_submitted_total{service=svc3}``, ...): each instance tags its
+series with a unique ``service`` label, so per-service snapshots stay exact
+while ``REGISTRY.total("service_submitted_total")`` reconciles across every
+service in the process (the chaos soak asserts this equals the request
+count).  All mutation goes through the instruments' own locks, so workers
+recording concurrently never lose increments.
+
+Counters follow the request lifecycle — every admitted request increments
 ``submitted`` and exactly one of ``ok`` / ``errors`` / ``shed`` (the
 zero-lost invariant is checkable as ``submitted == ok + errors + shed``
 after drain); ``retries`` and ``fallbacks`` count events, not requests, so
 they can exceed ``submitted``.
 
 Latencies are recorded per completed request (sheds too — their latency is
-pure queue wait) and summarized as p50/p90 in :meth:`snapshot`, matching
-the committed-benchmark schema's percentile choice.
+pure queue wait) into a fixed-bucket histogram and summarized as p50/p90 in
+:meth:`snapshot`, matching the committed-benchmark schema's percentile
+choice (the histogram percentiles are upper bounds, clamped to the observed
+maximum).
 """
 
 from __future__ import annotations
 
-import threading
+import itertools
+
+from .. import obs
 
 __all__ = ["ServiceStats"]
 
-
-def _percentile(data: list[float], q: float) -> float:
-    ordered = sorted(data)
-    if not ordered:
-        return 0.0
-    if len(ordered) == 1:
-        return ordered[0]
-    rank = q * (len(ordered) - 1)
-    low = int(rank)
-    high = min(low + 1, len(ordered) - 1)
-    return ordered[low] + (rank - low) * (ordered[high] - ordered[low])
+#: Distinguishes the instruments of concurrently live services.
+_service_ids = itertools.count()
 
 
 class ServiceStats:
-    """Thread-safe aggregate counters for one service (see module docstring)."""
+    """Registry-backed aggregate counters for one service (see above)."""
 
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self.submitted = 0
-        self.ok = 0
-        self.errors = 0
-        self.shed = 0
-        self.retries = 0
-        self.fallbacks = 0
-        self._latencies: list[float] = []
+    def __init__(
+        self,
+        registry: obs.MetricsRegistry | None = None,
+        service: str | None = None,
+    ) -> None:
+        self.registry = registry if registry is not None else obs.REGISTRY
+        self.service = (
+            service if service is not None else f"svc{next(_service_ids)}"
+        )
+        reg, svc = self.registry, self.service
+        self._submitted = reg.counter("service_submitted_total", service=svc)
+        self._ok = reg.counter("service_results_total", service=svc, status="ok")
+        self._errors = reg.counter(
+            "service_results_total", service=svc, status="error"
+        )
+        self._shed = reg.counter(
+            "service_results_total", service=svc, status="shed"
+        )
+        self._retries = reg.counter("service_retries_total", service=svc)
+        self._fallbacks = reg.counter("service_fallbacks_total", service=svc)
+        self._latency = reg.histogram("service_latency_seconds", service=svc)
 
     # -- recording ---------------------------------------------------------
 
     def record_submitted(self, count: int = 1) -> None:
-        with self._lock:
-            self.submitted += count
+        self._submitted.inc(count)
 
     def record_result(self, result) -> None:
         """Fold one finished :class:`~repro.service.api.QueryResult` in."""
-        with self._lock:
-            if result.status == "ok":
-                self.ok += 1
-            elif result.status == "shed":
-                self.shed += 1
-            else:
-                self.errors += 1
-            self.retries += result.retries
-            if result.fallback:
-                self.fallbacks += 1
-            self._latencies.append(result.latency)
+        if result.status == "ok":
+            self._ok.inc()
+        elif result.status == "shed":
+            self._shed.inc()
+        else:
+            self._errors.inc()
+        if result.retries:
+            self._retries.inc(result.retries)
+        if result.fallback:
+            self._fallbacks.inc()
+        self._latency.observe(result.latency)
 
     # -- reading -----------------------------------------------------------
 
     @property
+    def submitted(self) -> int:
+        return self._submitted.value
+
+    @property
+    def ok(self) -> int:
+        return self._ok.value
+
+    @property
+    def errors(self) -> int:
+        return self._errors.value
+
+    @property
+    def shed(self) -> int:
+        return self._shed.value
+
+    @property
+    def retries(self) -> int:
+        return self._retries.value
+
+    @property
+    def fallbacks(self) -> int:
+        return self._fallbacks.value
+
+    @property
     def completed(self) -> int:
-        with self._lock:
-            return self.ok + self.errors + self.shed
+        return self.ok + self.errors + self.shed
 
     def snapshot(self, breakers: dict | None = None) -> dict:
         """A JSON-safe view (what ``repro batch --stats`` prints)."""
-        with self._lock:
-            latencies = list(self._latencies)
-            payload = {
-                "submitted": self.submitted,
-                "completed": self.ok + self.errors + self.shed,
-                "ok": self.ok,
-                "errors": self.errors,
-                "shed": self.shed,
-                "retries": self.retries,
-                "fallbacks": self.fallbacks,
-                "latency_p50": round(_percentile(latencies, 0.50), 6),
-                "latency_p90": round(_percentile(latencies, 0.90), 6),
-            }
+        payload = {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "ok": self.ok,
+            "errors": self.errors,
+            "shed": self.shed,
+            "retries": self.retries,
+            "fallbacks": self.fallbacks,
+            "latency_p50": round(self._latency.percentile(0.50), 6),
+            "latency_p90": round(self._latency.percentile(0.90), 6),
+        }
         if breakers is not None:
             payload["breakers"] = {
                 name: breaker.snapshot() for name, breaker in breakers.items()

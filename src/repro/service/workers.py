@@ -48,6 +48,7 @@ import time
 from collections import deque
 from dataclasses import dataclass, field
 
+from .. import obs
 from ..runtime import faults
 from ..runtime.budget import ExecutionBudget
 from ..runtime.errors import (
@@ -260,7 +261,11 @@ class QueryService:
         self.stats = ServiceStats()
         self._clock = clock
         self._sleep = sleep
-        self._queue = BoundedRequestQueue(queue_limit, clock=clock)
+        self._queue = BoundedRequestQueue(
+            queue_limit,
+            clock=clock,
+            depth_gauge=obs.gauge("service_queue_depth", service=self.stats.service),
+        )
         self._breakers = {
             family: CircuitBreaker(
                 family,
@@ -379,10 +384,23 @@ class QueryService:
             job = self._queue.get()
             if job is None:
                 return
-            try:
-                result = self._process(job, name, rng)
-            except BaseException as exc:  # the no-lost-requests backstop
-                result = self._error_result(job, exc, worker=name)
+            with obs.span(
+                "service.request", op=job.request.op, worker=name
+            ) as span:
+                tracer = obs.current_tracer()
+                if tracer is not None:
+                    # Queue wait starts on the submitter's thread, so a
+                    # context manager cannot bracket it; attach the already-
+                    # elapsed duration as a closed child span.
+                    tracer.record(
+                        "service.queue.wait",
+                        wall=self._clock() - job.submitted_at,
+                    )
+                try:
+                    result = self._process(job, name, rng)
+                except BaseException as exc:  # the no-lost-requests backstop
+                    result = self._error_result(job, exc, worker=name)
+                span.set(status=result.status, routed=result.routed)
             self._finish(job, result)
 
     def _process(self, job: _Job, worker: str, rng: random.Random) -> QueryResult:
@@ -425,9 +443,12 @@ class QueryService:
             route = breaker.acquire() if breaker is not None else "direct"
             fast = route in ("fast", "probe")
             try:
-                if fast:
-                    faults.check("service.worker")
-                value = plan(tree, budget, fast)
+                with obs.span(
+                    "service.attempt", budget=budget, route=route, attempt=attempts
+                ):
+                    if fast:
+                        faults.check("service.worker")
+                    value = plan(tree, budget, fast)
             except DeadlineExceededError as exc:
                 return self._error_result(job, exc, worker=worker, retries=retries)
             except BudgetExceededError as exc:
@@ -444,7 +465,8 @@ class QueryService:
                         if budget is not None and budget.remaining_time is not None:
                             delay = min(delay, max(0.0, budget.remaining_time))
                         if delay > 0:
-                            self._sleep(delay)
+                            with obs.span("service.retry.backoff", delay=delay):
+                                self._sleep(delay)
                         retries += 1
                         continue
                     return self._degrade(
@@ -470,7 +492,10 @@ class QueryService:
         if budget is not None:
             budget.reset_steps()
         try:
-            value = plan(tree, budget, fast=False)
+            with obs.span(
+                "service.degrade", budget=budget, error=type(cause).__name__
+            ):
+                value = plan(tree, budget, fast=False)
         except Exception as exc:  # the oracle failed too: structured error
             return self._error_result(job, exc, worker=worker, retries=retries)
         return self._ok_result(

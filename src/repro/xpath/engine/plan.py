@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from typing import Callable, Iterable
 
+from ... import obs
 from ...runtime import faults
 from ...runtime.budget import ExecutionBudget
 from ...trees.index import Scope, TreeIndex, tree_index
@@ -112,20 +113,40 @@ def _compile_path(index: TreeIndex, expr: ast.PathExpr) -> PathPlan:
             closed = _STAR_CLOSURES.get(expr.path.axis)
             if closed is not None:
                 kernel = index.kernel(closed)
-                return lambda ev, S, sc: kernel(S, sc) | S if S else 0
+
+                def run_star_axis(ev, S: int, sc: Scope) -> int:
+                    if not S:
+                        return 0
+                    # Same stage name as the general sweep so both star
+                    # regimes (and the sets backend) share one taxonomy.
+                    with obs.span(
+                        "xpath.star.sweep", budget=ev.budget,
+                        backend="bitset", mode="axis",
+                    ):
+                        return kernel(S, sc) | S
+
+                return run_star_axis
         body = compile_path_plan(index, expr.path)
 
         def run_star(ev, S: int, sc: Scope) -> int:
             # Batched frontier sweep: whole-mask image per BFS level.
             faults.check("xpath.bitset.star")
+            if not S:
+                return 0
             budget = ev.budget
-            reached = S
-            frontier = S
-            while frontier:
-                if budget is not None:
-                    budget.tick()
-                frontier = body(ev, frontier, sc) & ~reached
-                reached |= frontier
+            with obs.span(
+                "xpath.star.sweep", budget=budget, backend="bitset", mode="sweep"
+            ) as sweep:
+                reached = S
+                frontier = S
+                rounds = 0
+                while frontier:
+                    if budget is not None:
+                        budget.tick()
+                    rounds += 1
+                    frontier = body(ev, frontier, sc) & ~reached
+                    reached |= frontier
+                sweep.set(rounds=rounds, reached=reached.bit_count())
             return reached
 
         return run_star
@@ -264,56 +285,68 @@ class BitsetEvaluator(Evaluator):
 
     def nodes(self, expr: ast.NodeExpr, scope: int | None = None) -> frozenset[int]:
         faults.check("xpath.bitset")
-        mask = self._node_mask(expr, self.index.scope(scope))
-        if self.budget is not None:
-            self.budget.check_size(mask.bit_count())
-        return to_frozenset(mask)
+        with obs.span("xpath.nodes", budget=self.budget, backend=self.backend):
+            mask = self._node_mask(expr, self.index.scope(scope))
+            if self.budget is not None:
+                self.budget.check_size(mask.bit_count())
+            return to_frozenset(mask)
 
     def node_mask(self, expr: ast.NodeExpr, scope: int | None = None) -> int:
         """The satisfying set as a raw bitmask (bitset-backend extra)."""
         faults.check("xpath.bitset")
-        return self._node_mask(expr, self.index.scope(scope))
+        with obs.span("xpath.nodes", budget=self.budget, backend=self.backend):
+            return self._node_mask(expr, self.index.scope(scope))
 
     def image(
         self, expr: ast.PathExpr, sources: Iterable[int], scope: int | None = None
     ) -> set[int]:
         faults.check("xpath.bitset")
-        sc = self.index.scope(scope)
-        plan = compile_path_plan(self.index, expr)
-        mask = plan(self, from_ids(sources) & sc.mask, sc)
-        if self.budget is not None:
-            self.budget.check_size(mask.bit_count())
-        return to_set(mask)
+        with obs.span("xpath.image", budget=self.budget, backend=self.backend):
+            sc = self.index.scope(scope)
+            plan = compile_path_plan(self.index, expr)
+            mask = plan(self, from_ids(sources) & sc.mask, sc)
+            if self.budget is not None:
+                self.budget.check_size(mask.bit_count())
+            return to_set(mask)
 
     def image_mask(self, expr: ast.PathExpr, sources: int, scope: int | None = None) -> int:
         """Mask-in, mask-out image (bitset-backend extra)."""
         faults.check("xpath.bitset")
-        sc = self.index.scope(scope)
-        return compile_path_plan(self.index, expr)(self, sources & sc.mask, sc)
+        with obs.span("xpath.image", budget=self.budget, backend=self.backend):
+            sc = self.index.scope(scope)
+            return compile_path_plan(self.index, expr)(self, sources & sc.mask, sc)
 
     def pairs(self, expr: ast.PathExpr, scope: int | None = None) -> set[tuple[int, int]]:
         faults.check("xpath.bitset")
-        if isinstance(expr, ast.Step):
-            from ...trees.axes import interval_axis_pairs
+        with obs.span("xpath.pairs", budget=self.budget, backend=self.backend):
+            if isinstance(expr, ast.Step):
+                from ...trees.axes import interval_axis_pairs
 
-            fast = interval_axis_pairs(self.tree, expr.axis, scope)
-            if fast is not None:
-                return fast
-        # One compiled-plan sweep per source: the plan is compiled (and its
-        # node sets memoized) once, shared by all |universe| sweeps.
-        budget = self.budget
+                fast = interval_axis_pairs(self.tree, expr.axis, scope)
+                if fast is not None:
+                    return fast
+            # One compiled-plan sweep per source: the plan is compiled (and
+            # its node sets memoized) once, shared by all |universe| sweeps.
+            budget = self.budget
+            sc = self.index.scope(scope)
+            plan = compile_path_plan(self.index, expr)
+            result: set[tuple[int, int]] = set()
+            for v in iter_bits(sc.mask):
+                if budget is not None:
+                    budget.tick()
+                img = plan(self, 1 << v, sc)
+                if img:
+                    result.update((v, m) for m in iter_bits(img))
+            if budget is not None:
+                budget.check_size(len(result), "pair relation")
+            return result
+
+    def _image_internal(
+        self, expr: ast.PathExpr, sources: Iterable[int], scope: int | None
+    ) -> set[int]:
         sc = self.index.scope(scope)
         plan = compile_path_plan(self.index, expr)
-        result: set[tuple[int, int]] = set()
-        for v in iter_bits(sc.mask):
-            if budget is not None:
-                budget.tick()
-            img = plan(self, 1 << v, sc)
-            if img:
-                result.update((v, m) for m in iter_bits(img))
-        if budget is not None:
-            budget.check_size(len(result), "pair relation")
-        return result
+        return to_set(plan(self, from_ids(sources) & sc.mask, sc))
 
     # -- internals -------------------------------------------------------
 

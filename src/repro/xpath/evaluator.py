@@ -37,6 +37,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Iterable
 
+from .. import obs
 from ..runtime.budget import ExecutionBudget
 from ..trees.axes import axis_steps, interval_axis_pairs, inverse_axis
 from ..trees.tree import Tree
@@ -153,20 +154,28 @@ class Evaluator:
         interval fast path; everything else falls back to one image
         computation per source node.
         """
-        if isinstance(expr, ast.Step):
-            fast = interval_axis_pairs(self.tree, expr.axis, scope)
-            if fast is not None:
-                return fast
-        return self._pairs_by_source(expr, scope)
+        with obs.span("xpath.pairs", budget=self.budget, backend=self.backend):
+            if isinstance(expr, ast.Step):
+                fast = interval_axis_pairs(self.tree, expr.axis, scope)
+                if fast is not None:
+                    return fast
+            return self._pairs_by_source(expr, scope)
 
     def holds_at(self, expr: ast.NodeExpr, node_id: int) -> bool:
         """Does ``expr`` hold at ``node_id`` (whole-tree scope)?"""
-        return node_id in self.nodes(expr)
+        with obs.span("xpath.holds_at", budget=self.budget, backend=self.backend):
+            return node_id in self.nodes(expr)
 
     # -- shared internals ---------------------------------------------------
 
     def _universe(self, scope: int | None) -> range:
         return self.tree.node_ids if scope is None else self.tree.subtree_ids(scope)
+
+    def _image_internal(
+        self, expr: ast.PathExpr, sources: Iterable[int], scope: int | None
+    ) -> set[int]:
+        """Image computation without the public-entry span (subclass hook)."""
+        return self.image(expr, sources, scope)
 
     def _pairs_by_source(
         self, expr: ast.PathExpr, scope: int | None
@@ -176,7 +185,7 @@ class Evaluator:
         for n in self._universe(scope):
             if budget is not None:
                 budget.tick()
-            for m in self.image(expr, (n,), scope):
+            for m in self._image_internal(expr, (n,), scope):
                 result.add((n, m))
         if budget is not None:
             budget.check_size(len(result), "pair relation")
@@ -208,6 +217,24 @@ class SetEvaluator(Evaluator):
     # -- public API -------------------------------------------------------
 
     def nodes(self, expr: ast.NodeExpr, scope: int | None = None) -> frozenset[int]:
+        with obs.span("xpath.nodes", budget=self.budget, backend=self.backend):
+            return self._nodes(expr, scope)
+
+    def image(
+        self, expr: ast.PathExpr, sources: Iterable[int], scope: int | None = None
+    ) -> set[int]:
+        with obs.span("xpath.image", budget=self.budget, backend=self.backend):
+            result = self._image(expr, set(sources), scope)
+            if self.budget is not None:
+                self.budget.check_size(len(result))
+            return result
+
+    # -- internals -------------------------------------------------------
+
+    def _nodes(self, expr: ast.NodeExpr, scope: int | None) -> frozenset[int]:
+        # The memoized recursion target: public ``nodes`` adds the span,
+        # recursive evaluation re-enters here (no nested public spans, so
+        # both backends emit the same span structure).
         key = (expr, scope)
         cached = self._node_cache.get(key)
         if cached is not None:
@@ -221,15 +248,10 @@ class SetEvaluator(Evaluator):
         self._node_cache[key] = result
         return result
 
-    def image(
-        self, expr: ast.PathExpr, sources: Iterable[int], scope: int | None = None
+    def _image_internal(
+        self, expr: ast.PathExpr, sources: Iterable[int], scope: int | None
     ) -> set[int]:
-        result = self._image(expr, set(sources), scope)
-        if self.budget is not None:
-            self.budget.check_size(len(result))
-        return result
-
-    # -- internals -------------------------------------------------------
+        return self._image(expr, set(sources), scope)
 
     def _node(self, expr: ast.NodeExpr, scope: int | None) -> set[int]:
         tree = self.tree
@@ -238,11 +260,11 @@ class SetEvaluator(Evaluator):
         if isinstance(expr, ast.TrueNode):
             return set(self._universe(scope))
         if isinstance(expr, ast.Not):
-            return set(self._universe(scope)) - self.nodes(expr.operand, scope)
+            return set(self._universe(scope)) - self._nodes(expr.operand, scope)
         if isinstance(expr, ast.And):
-            return set(self.nodes(expr.left, scope) & self.nodes(expr.right, scope))
+            return set(self._nodes(expr.left, scope) & self._nodes(expr.right, scope))
         if isinstance(expr, ast.Or):
-            return set(self.nodes(expr.left, scope) | self.nodes(expr.right, scope))
+            return set(self._nodes(expr.left, scope) | self._nodes(expr.right, scope))
         if isinstance(expr, ast.Exists):
             universe = set(self._universe(scope))
             return self._image(converse(expr.path), universe, scope)
@@ -253,7 +275,7 @@ class SetEvaluator(Evaluator):
             for n in self._universe(scope):
                 if budget is not None:
                     budget.tick()
-                if n in self.nodes(expr.test, n):
+                if n in self._nodes(expr.test, n):
                     result.add(n)
             return result
         raise TypeError(f"unknown node expression: {expr!r}")
@@ -278,7 +300,7 @@ class SetEvaluator(Evaluator):
         if isinstance(expr, ast.Star):
             return self._saturate(expr.path, sources, scope)
         if isinstance(expr, ast.Check):
-            return sources & self.nodes(expr.test, scope)
+            return sources & self._nodes(expr.test, scope)
         if isinstance(expr, ast.EmptyPath):
             return set()
         if isinstance(expr, ast.Intersect):
@@ -309,16 +331,20 @@ class SetEvaluator(Evaluator):
     ) -> set[int]:
         """BFS fixpoint for ``expr*``: the forward closure of ``sources``."""
         budget = self.budget
-        reached = set(sources)
-        frontier = deque([sources])
-        while frontier:
-            if budget is not None:
-                budget.tick()
-            batch = frontier.popleft()
-            fresh = self._image(expr, batch, scope) - reached
-            if fresh:
-                reached |= fresh
-                frontier.append(fresh)
+        with obs.span("xpath.star.sweep", budget=budget, backend=self.backend) as sweep:
+            reached = set(sources)
+            frontier = deque([sources])
+            rounds = 0
+            while frontier:
+                if budget is not None:
+                    budget.tick()
+                rounds += 1
+                batch = frontier.popleft()
+                fresh = self._image(expr, batch, scope) - reached
+                if fresh:
+                    reached |= fresh
+                    frontier.append(fresh)
+            sweep.set(rounds=rounds, reached=len(reached))
         return reached
 
 

@@ -1,0 +1,158 @@
+"""Unit tests for the metrics registry: instruments, export, isolation."""
+
+import json
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs.metrics import DEFAULT_BUCKETS, MetricsRegistry
+
+
+class TestInstruments:
+    def test_counter_accumulates_and_rejects_negatives(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("events_total")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        with pytest.raises(ValueError, match="only go up"):
+            counter.inc(-1)
+
+    def test_gauge_sets_and_moves(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth")
+        gauge.set(7)
+        gauge.inc(2)
+        gauge.dec()
+        assert gauge.value == 8
+
+    def test_histogram_summary_statistics(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("latency_seconds")
+        for value in (0.001, 0.002, 0.004, 0.2):
+            hist.observe(value)
+        assert hist.count == 4
+        assert hist.sum == pytest.approx(0.207)
+        summary = hist.snapshot()
+        assert summary["min"] == pytest.approx(0.001)
+        assert summary["max"] == pytest.approx(0.2)
+
+    def test_histogram_percentile_empty_is_zero(self):
+        registry = MetricsRegistry()
+        assert registry.histogram("empty").percentile(0.9) == 0.0
+
+    def test_histogram_percentile_clamps_to_observed_max(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("clamped")
+        hist.observe(0.0013)  # falls in the (0.001, 0.0025] bucket
+        # The bucket edge is 0.0025 but nothing larger than 0.0013 was seen.
+        assert hist.percentile(1.0) == pytest.approx(0.0013)
+
+    def test_histogram_rejects_bad_buckets_and_quantiles(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="strictly increase"):
+            registry.histogram("bad", buckets=(1.0, 1.0))
+        with pytest.raises(ValueError, match="in \\[0, 1\\]"):
+            registry.histogram("ok").percentile(1.5)
+
+
+class TestRegistry:
+    def test_get_or_create_shares_one_instrument(self):
+        registry = MetricsRegistry()
+        a = registry.counter("hits_total", site="x")
+        b = registry.counter("hits_total", site="x")
+        c = registry.counter("hits_total", site="y")
+        assert a is b
+        assert a is not c
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("thing")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("thing")
+
+    def test_total_sums_across_label_sets(self):
+        registry = MetricsRegistry()
+        registry.counter("requests_total", service="a").inc(2)
+        registry.counter("requests_total", service="b").inc(3)
+        registry.histogram("requests_total_unrelated").observe(1.0)
+        assert registry.total("requests_total") == 5
+
+    def test_to_json_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", op="eval").inc()
+        registry.gauge("g").set(2.5)
+        registry.histogram("h").observe(0.01)
+        payload = json.loads(json.dumps(registry.to_json()))
+        assert payload["version"] == "repro-metrics/1"
+        assert payload["counters"] == {"c_total{op=eval}": 1}
+        assert payload["gauges"] == {"g": 2.5}
+        assert payload["histograms"]["h"]["count"] == 1
+
+    def test_to_prometheus_format(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", op="eval").inc(3)
+        registry.gauge("queue_depth").set(4)
+        registry.histogram("lat", buckets=(0.1, 1.0)).observe(0.5)
+        text = registry.to_prometheus()
+        assert '# TYPE c_total counter' in text
+        assert 'c_total{op="eval"} 3' in text
+        assert "queue_depth 4" in text
+        assert 'lat_bucket{le="0.1"} 0' in text
+        assert 'lat_bucket{le="1.0"} 1' in text
+        assert 'lat_bucket{le="+Inf"} 1' in text
+        assert "lat_count 1" in text
+
+    def test_snapshot_restore_preserves_identity_and_drops_new(self):
+        registry = MetricsRegistry()
+        kept = registry.counter("kept_total")
+        kept.inc(2)
+        snapshot = registry.snapshot()
+        kept.inc(10)
+        late = registry.counter("late_total")
+        late.inc()
+        registry.restore(snapshot)
+        # Same object, value rolled back; the late instrument is gone.
+        assert registry.counter("kept_total") is kept
+        assert kept.value == 2
+        assert registry.total("late_total") == 0
+
+    def test_restore_recreates_deleted_instruments(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total").inc(3)
+        registry.histogram("h", buckets=(1.0, 2.0)).observe(1.5)
+        snapshot = registry.snapshot()
+        registry.reset()
+        registry.restore(snapshot)
+        assert registry.counter("c_total").value == 3
+        assert registry.histogram("h", buckets=(1.0, 2.0)).count == 1
+
+    def test_concurrent_increments_are_not_lost(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("contended_total")
+        hist = registry.histogram("contended_seconds")
+
+        def spin():
+            for _ in range(1000):
+                counter.inc()
+                hist.observe(0.001)
+
+        threads = [threading.Thread(target=spin) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == 8000
+        assert hist.count == 8000
+
+
+class TestModuleHelpers:
+    def test_module_helpers_hit_the_global_registry(self):
+        obs.counter("module_helper_total").inc()
+        assert obs.REGISTRY.total("module_helper_total") == 1
+
+    def test_default_buckets_cover_microseconds_to_seconds(self):
+        assert DEFAULT_BUCKETS[0] == pytest.approx(1e-6)
+        assert DEFAULT_BUCKETS[-1] == pytest.approx(50.0)
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)

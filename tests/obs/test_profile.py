@@ -1,0 +1,48 @@
+"""Unit tests for the profiling hooks."""
+
+from repro import obs
+from repro.obs.metrics import MetricsRegistry
+
+
+def test_disabled_profile_is_the_noop_singleton():
+    assert not obs.profiling_enabled()
+    assert obs.profile("stage") is obs.NOOP_SPAN
+
+
+def test_enabled_profile_records_wall_and_cpu_histograms():
+    registry = MetricsRegistry()
+    obs.enable_profiling()
+    try:
+        with obs.profile("corpus.build", registry):
+            sum(range(1000))
+    finally:
+        obs.disable_profiling()
+    wall = registry.histogram("profile_wall_seconds", stage="corpus.build")
+    cpu = registry.histogram("profile_cpu_seconds", stage="corpus.build")
+    assert wall.count == 1
+    assert cpu.count == 1
+    # Clock granularity differs, so only sign is portable here.
+    assert wall.sum >= 0.0
+    assert cpu.sum >= 0.0
+
+
+def test_tracing_implies_profiling_and_emits_a_span():
+    registry = MetricsRegistry()
+    with obs.tracing() as tracer:
+        assert obs.profiling_enabled()
+        with obs.profile("hot.loop", registry):
+            pass
+    (root,) = tracer.roots()
+    assert root.name == "profile.hot.loop"
+    assert registry.histogram("profile_wall_seconds", stage="hot.loop").count == 1
+
+
+def test_profile_defaults_to_the_global_registry():
+    obs.enable_profiling()
+    try:
+        with obs.profile("default.registry"):
+            pass
+    finally:
+        obs.disable_profiling()
+    hist = obs.REGISTRY.histogram("profile_wall_seconds", stage="default.registry")
+    assert hist.count == 1

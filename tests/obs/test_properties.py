@@ -1,0 +1,134 @@
+"""Property tests for the tracer and histogram invariants (satellite 2).
+
+Four invariants the observability layer guarantees:
+
+* executing an arbitrary nesting program under a tracer reproduces exactly
+  that nesting in the recorded span trees;
+* every span a program opens is closed exactly once (and re-closing
+  raises);
+* with no tracer installed, ``obs.span`` allocates nothing — it returns
+  the one shared no-op singleton for every call;
+* histogram ``percentile(q)`` always *bounds the true quantile from
+  above* while never exceeding the observed maximum.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import obs
+from repro.obs.metrics import MetricsRegistry
+
+# -- span-nesting programs --------------------------------------------------
+#
+# A "program" is a forest: each node is (name, children).  Executing it
+# opens a span per node, recursing into children, and the recorded trace
+# must have exactly the program's shape.
+
+_names = st.sampled_from(
+    ["xpath.nodes", "logic.table", "twa.accepts", "sweep", "stage"]
+)
+
+
+def _forests(depth: int):
+    if depth == 0:
+        return st.lists(st.tuples(_names, st.just(())), max_size=3)
+    return st.lists(
+        st.tuples(_names, st.deferred(lambda: _forests(depth - 1))),
+        max_size=3,
+    )
+
+
+def _execute(forest, collected):
+    for name, children in forest:
+        span = obs.span(name)
+        collected.append(span)
+        with span:
+            _execute(children, collected)
+
+
+def _shape(forest):
+    return tuple((name, _shape(children)) for name, children in forest)
+
+
+@given(forest=_forests(3))
+@settings(deadline=None, max_examples=60)
+def test_traced_programs_reproduce_their_nesting(forest):
+    with obs.tracing() as tracer:
+        _execute(forest, [])
+    assert tracer.structure() == _shape(forest)
+
+
+@given(forest=_forests(3))
+@settings(deadline=None, max_examples=60)
+def test_every_span_closes_exactly_once(forest):
+    collected = []
+    with obs.tracing():
+        _execute(forest, collected)
+    assert all(span.closed for span in collected)
+    for span in collected:
+        try:
+            span.close()
+        except RuntimeError:
+            continue
+        raise AssertionError(f"span {span.name!r} closed a second time")
+
+
+@given(names=st.lists(_names, min_size=1, max_size=20))
+@settings(deadline=None, max_examples=60)
+def test_disabled_tracer_allocates_no_spans(names):
+    assert obs.current_tracer() is None
+    spans = {id(obs.span(name, attr="value")) for name in names}
+    assert spans == {id(obs.NOOP_SPAN)}
+
+
+# -- histogram percentile bounds --------------------------------------------
+
+
+@given(
+    values=st.lists(
+        st.floats(
+            min_value=1e-7,
+            max_value=100.0,
+            allow_nan=False,
+            allow_infinity=False,
+        ),
+        min_size=1,
+        max_size=200,
+    ),
+    q=st.floats(min_value=0.0, max_value=1.0),
+)
+@settings(deadline=None, max_examples=120)
+def test_histogram_percentile_bounds_the_true_quantile(values, q):
+    registry = MetricsRegistry()
+    hist = registry.histogram("h")
+    for value in values:
+        hist.observe(value)
+    estimate = hist.percentile(q)
+    ordered = sorted(values)
+    # The true q-quantile: smallest observation with >= q fraction at or
+    # below it (matching the histogram's cumulative-count definition).
+    rank = max(0, math.ceil(q * len(ordered)) - 1)
+    true_quantile = ordered[rank]
+    assert estimate >= true_quantile or math.isclose(
+        estimate, true_quantile, rel_tol=1e-9
+    )
+    assert estimate <= max(ordered)
+
+
+@given(
+    values=st.lists(
+        st.floats(min_value=1e-7, max_value=100.0, allow_nan=False),
+        min_size=1,
+        max_size=50,
+    )
+)
+@settings(deadline=None, max_examples=60)
+def test_histogram_count_and_sum_match_observations(values):
+    registry = MetricsRegistry()
+    hist = registry.histogram("h")
+    for value in values:
+        hist.observe(value)
+    assert hist.count == len(values)
+    assert math.isclose(hist.sum, sum(values), rel_tol=1e-9)

@@ -1,0 +1,196 @@
+"""Unit tests for the tracing layer: spans, tracers, the disabled path."""
+
+import json
+import threading
+
+import pytest
+
+from repro import obs
+from repro.runtime import ExecutionBudget
+
+
+class TestDisabledPath:
+    def test_span_without_tracer_is_the_noop_singleton(self):
+        assert obs.current_tracer() is None
+        assert obs.span("anything") is obs.NOOP_SPAN
+        assert obs.span("other", backend="bitset") is obs.NOOP_SPAN
+
+    def test_noop_span_supports_the_full_span_protocol(self):
+        with obs.span("stage") as sp:
+            assert sp.set(rounds=3) is sp  # chainable, silently dropped
+
+    def test_tracing_enabled_reflects_installation(self):
+        assert not obs.tracing_enabled()
+        with obs.tracing():
+            assert obs.tracing_enabled()
+        assert not obs.tracing_enabled()
+
+
+class TestSpanLifecycle:
+    def test_nesting_is_recorded_parent_to_child(self):
+        with obs.tracing() as tracer:
+            with obs.span("outer"):
+                with obs.span("inner.a"):
+                    pass
+                with obs.span("inner.b"):
+                    pass
+        (root,) = tracer.roots()
+        assert root.name == "outer"
+        assert [child.name for child in root.children] == ["inner.a", "inner.b"]
+        assert tracer.structure() == (("outer", (("inner.a", ()), ("inner.b", ()))),)
+
+    def test_sibling_roots_collect_in_order(self):
+        with obs.tracing() as tracer:
+            with obs.span("first"):
+                pass
+            with obs.span("second"):
+                pass
+        assert [root.name for root in tracer.roots()] == ["first", "second"]
+
+    def test_double_entry_raises(self):
+        with obs.tracing() as tracer:
+            span = tracer.span("once")
+            with span:
+                with pytest.raises(RuntimeError, match="entered twice"):
+                    span.__enter__()
+
+    def test_double_close_raises(self):
+        with obs.tracing() as tracer:
+            span = tracer.span("once")
+            with span:
+                pass
+            with pytest.raises(RuntimeError, match="not open"):
+                span.close()
+
+    def test_close_before_enter_raises(self):
+        with obs.tracing() as tracer:
+            with pytest.raises(RuntimeError, match="not open"):
+                tracer.span("unopened").close()
+
+    def test_exception_annotates_and_still_closes(self):
+        with obs.tracing() as tracer:
+            with pytest.raises(ValueError):
+                with obs.span("failing"):
+                    raise ValueError("boom")
+        (root,) = tracer.roots()
+        assert root.closed
+        assert root.attrs["error"] == "ValueError"
+
+    def test_timings_are_monotone(self):
+        with obs.tracing() as tracer:
+            with obs.span("timed"):
+                sum(range(1000))
+        (root,) = tracer.roots()
+        assert root.wall >= 0.0
+        assert root.cpu >= 0.0
+
+    def test_budget_steps_are_the_delta_while_open(self):
+        budget = ExecutionBudget(max_steps=1000)
+        budget.tick(7)  # drawn before the span: must not count
+        with obs.tracing() as tracer:
+            with obs.span("work", budget=budget):
+                budget.tick(5)
+        (root,) = tracer.roots()
+        assert root.budget_steps == 5
+
+
+class TestTracerExtras:
+    def test_record_attaches_a_closed_span(self):
+        with obs.tracing() as tracer:
+            with obs.span("parent"):
+                tracer.record("queue.wait", wall=0.25)
+        (root,) = tracer.roots()
+        (child,) = root.children
+        assert child.name == "queue.wait"
+        assert child.closed
+        assert child.wall == pytest.approx(0.25)
+
+    def test_record_without_open_span_becomes_a_root(self):
+        with obs.tracing() as tracer:
+            tracer.record("detached", wall=0.1)
+        (root,) = tracer.roots()
+        assert root.name == "detached"
+
+    def test_threads_trace_into_separate_stacks(self):
+        tracer = obs.Tracer()
+
+        def worker():
+            with tracer.span("worker.root"):
+                pass
+
+        with obs.tracing(tracer):
+            with tracer.span("main.root"):
+                thread = threading.Thread(target=worker)
+                thread.start()
+                thread.join()
+        names = sorted(root.name for root in tracer.roots())
+        # The worker's span is a root of its own, not a child of main.root.
+        assert names == ["main.root", "worker.root"]
+
+    def test_to_json_is_json_serializable_and_versioned(self):
+        with obs.tracing() as tracer:
+            with obs.span("outer", backend="sets"):
+                with obs.span("inner"):
+                    pass
+        payload = json.loads(json.dumps(tracer.to_json()))
+        assert payload["version"] == "repro-trace/1"
+        (root,) = payload["spans"]
+        assert root["name"] == "outer"
+        assert root["attrs"] == {"backend": "sets"}
+        assert [c["name"] for c in root["children"]] == ["inner"]
+
+    def test_structure_ignore_drops_prefixed_subtrees(self):
+        with obs.tracing() as tracer:
+            with obs.span("keep"):
+                with obs.span("private.detail"):
+                    with obs.span("keep.nested"):
+                        pass
+        assert tracer.structure(ignore=("private.",)) == (("keep", ()),)
+
+    def test_close_out_of_order_raises(self):
+        with obs.tracing() as tracer:
+            parent = tracer.span("parent")
+            parent.__enter__()
+            child = tracer.span("child")
+            child.__enter__()
+            with pytest.raises(RuntimeError, match="out of order"):
+                parent.close()
+            child.close()
+
+    def test_walk_yields_preorder(self):
+        with obs.tracing() as tracer:
+            with obs.span("a"):
+                with obs.span("b"):
+                    with obs.span("c"):
+                        pass
+                with obs.span("d"):
+                    pass
+        (root,) = tracer.roots()
+        assert [span.name for span in root.walk()] == ["a", "b", "c", "d"]
+
+    def test_open_depth_tracks_the_calling_thread(self):
+        with obs.tracing() as tracer:
+            assert tracer.open_depth() == 0
+            with obs.span("outer"):
+                with obs.span("inner"):
+                    assert tracer.open_depth() == 2
+            assert tracer.open_depth() == 0
+
+    def test_reload_from_env_installs_only_on_a_nonempty_spec(self):
+        try:
+            assert obs.reload_from_env("") is None
+            assert not obs.tracing_enabled()
+            tracer = obs.reload_from_env("stderr")
+            assert tracer is obs.current_tracer()
+        finally:
+            obs.uninstall()
+
+    def test_nested_tracing_restores_the_outer_tracer(self):
+        with obs.tracing() as outer:
+            with obs.tracing() as inner:
+                with obs.span("in.inner"):
+                    pass
+            with obs.span("in.outer"):
+                pass
+        assert [r.name for r in inner.roots()] == ["in.inner"]
+        assert [r.name for r in outer.roots()] == ["in.outer"]

@@ -23,6 +23,7 @@ import time
 
 import pytest
 
+from repro import obs
 from repro.logic import ModelChecker, parse_formula
 from repro.runtime import faults
 from repro.service import QueryRequest, QueryService, RetryPolicy, TreeRegistry
@@ -164,6 +165,35 @@ def test_chaos_soak_zero_lost_requests():
         assert snap["retries"] >= 1
         assert snap["submitted"] == snap["completed"] == total
         assert snap["ok"] + snap["errors"] + snap["shed"] == total
+
+        # -- the process-wide metrics registry reconciles exactly ------------
+        # ServiceStats only *records into* obs.REGISTRY, so the labelled
+        # series must agree with the per-service snapshot to the unit, even
+        # after a chaos burst hammered them from four worker threads.
+        svc = service.stats.service
+        reg = obs.REGISTRY
+        assert reg.counter("service_submitted_total", service=svc).value == total
+        by_status = {
+            status: reg.counter(
+                "service_results_total", service=svc, status=status
+            ).value
+            for status in ("ok", "error", "shed")
+        }
+        assert by_status["ok"] == snap["ok"]
+        assert by_status["error"] == snap["errors"]
+        assert by_status["shed"] == snap["shed"]
+        assert sum(by_status.values()) == total
+        assert (
+            reg.counter("service_retries_total", service=svc).value
+            == snap["retries"]
+        )
+        # Every completed request contributed exactly one latency sample.
+        assert (
+            reg.histogram("service_latency_seconds", service=svc).count == total
+        )
+        assert reg.total("breaker_transitions_total") >= opened
+        assert reg.total("faults_injected_total") >= 1
+        assert reg.gauge("service_queue_depth", service=svc).value == 0
 
         # -- and recovered: healthy traffic after the burst closes it --------
         # End the burst: any counted arms the run did not drain are disarmed

@@ -1,0 +1,272 @@
+"""The differential test corpus (satellite 1 of the observability PR).
+
+A fixed corpus of queries, formulas, and automata runs on pinned trees,
+executed through every interchangeable backend pair:
+
+* Regular XPath evaluation — ``sets`` vs ``bitset`` evaluators;
+* FO(MTC) model checking — ``table`` vs ``bitset`` checkers;
+* TWA runs — ``deque`` vs ``bitset`` strategies.
+
+Each run executes under a **fresh tracer**, and the assertion is twofold:
+identical *results* and identical *span structure* (the nested tuple of
+span names).  The span taxonomy is part of the backend contract — stage
+names describe what the engine is doing, not how — so two backends
+answering the same question must produce the same span tree, with the
+backend recorded only as a span attribute.  A refactor that splits,
+renames, or reorders public stages in one backend but not its twin fails
+here even when the results still agree.
+"""
+
+import random
+
+import pytest
+
+from repro import obs
+from repro.automata import random_nested_twa, random_twa
+from repro.logic import ModelChecker, parse_formula
+from repro.logic.ast import free_variables
+from repro.trees import Tree, chain, parse_xml, random_tree
+from repro.xpath import Evaluator, parse_node, parse_path
+
+# -- pinned trees -----------------------------------------------------------
+
+TREES = {
+    "talk": parse_xml(
+        "<talk><speaker/><title><i/></title><location><i/><b/></location></talk>"
+    ),
+    "mixed": Tree.build(("a", ["b", ("c", ["a", "b", "a"]), ("b", ["a"])])),
+    "chain": chain(9, labels=("a", "b")),
+    "random21": random_tree(21, rng=random.Random(2008)),
+    "random40": random_tree(40, rng=random.Random(40)),
+}
+
+# -- the corpus -------------------------------------------------------------
+
+NODE_QUERIES = [
+    "?a",
+    "?b",
+    "<child[a]>",
+    "<child/child[a]>",
+    "<descendant[a and <right[b]>]>",
+    "not <child>",
+    "?a and <parent[b]>",
+    "<child*[b]>",
+    "<following[a]> or ?b",
+    "not (<child[a]> and <child[b]>)",
+]
+
+PATH_QUERIES = [
+    "child",
+    "child/child",
+    "descendant",
+    "child*",
+    "child+",
+    "right*",
+    "parent/child",
+    "child[a]/descendant",
+    "(child[a] | child[b]/right)*",
+    "child & descendant",
+    "following",
+    ". | child",
+]
+
+FORMULAS = [
+    "exists x. a(x)",
+    "all z. (a(z) -> (exists w. child(z, w)) | leaf(z))",
+    "exists x. exists y. tc[u,v](child(u,v) | right(u,v))(x, y) & last(y) & leaf(y)",
+    "a(x)",
+    "~a(x) & (exists y. child(y, x))",
+    "exists y. tc[u,v](child(u,v) | right(u,v))(x, y)",
+    "a(x) <-> (exists y. child(x, y))",
+    "leaf(x)",
+    "child(x, y)",
+    "tc[u,v](child(u,v))(x, y)",
+    "tc[u,v](child(u,v) & a(u))(x, y) | right(x, y)",
+    "exists z. child(x, z) & child(z, y)",
+]
+
+TWA_SEEDS = [3, 11, 2008]
+NESTED_TWA_SEEDS = [7, 19]
+
+
+def _traced(thunk, ignore=()):
+    """Run ``thunk`` under a fresh tracer; return (result, span structure)."""
+    with obs.tracing() as tracer:
+        result = thunk()
+    return result, tracer.structure(ignore=ignore)
+
+
+def _assert_backends_agree(name, runs, ignore=()):
+    """``runs``: backend -> zero-arg thunk; compare results and spans."""
+    outcomes = {backend: _traced(thunk, ignore) for backend, thunk in runs.items()}
+    (ref_backend, (ref_result, ref_spans)), *rest = list(outcomes.items())
+    for backend, (result, spans) in rest:
+        assert result == ref_result, (
+            f"{name}: {backend} result diverges from {ref_backend}"
+        )
+        assert spans == ref_spans, (
+            f"{name}: {backend} span structure diverges from {ref_backend}:\n"
+            f"  {ref_backend}: {ref_spans}\n  {backend}: {spans}"
+        )
+
+
+# -- XPath evaluation: sets vs bitset ---------------------------------------
+
+
+@pytest.mark.parametrize("tree_name", sorted(TREES))
+@pytest.mark.parametrize("query", NODE_QUERIES)
+def test_node_queries_agree(tree_name, query):
+    tree = TREES[tree_name]
+    expr = parse_node(query)
+    _assert_backends_agree(
+        f"nodes {query!r} on {tree_name}",
+        {
+            backend: lambda backend=backend: Evaluator(
+                tree, backend=backend
+            ).nodes(expr)
+            for backend in ("sets", "bitset")
+        },
+    )
+
+
+@pytest.mark.parametrize("tree_name", sorted(TREES))
+@pytest.mark.parametrize("query", PATH_QUERIES)
+def test_path_images_agree(tree_name, query):
+    tree = TREES[tree_name]
+    expr = parse_path(query)
+    sources = {0, tree.size // 2}
+    _assert_backends_agree(
+        f"image {query!r} on {tree_name}",
+        {
+            backend: lambda backend=backend: Evaluator(
+                tree, backend=backend
+            ).image(expr, sources)
+            for backend in ("sets", "bitset")
+        },
+    )
+
+
+@pytest.mark.parametrize("tree_name", ["talk", "mixed", "random21"])
+@pytest.mark.parametrize("query", PATH_QUERIES)
+def test_path_pairs_agree(tree_name, query):
+    tree = TREES[tree_name]
+    expr = parse_path(query)
+    _assert_backends_agree(
+        f"pairs {query!r} on {tree_name}",
+        {
+            backend: lambda backend=backend: Evaluator(
+                tree, backend=backend
+            ).pairs(expr)
+            for backend in ("sets", "bitset")
+        },
+    )
+
+
+# -- FO(MTC) model checking: table vs bitset --------------------------------
+
+
+@pytest.mark.parametrize("tree_name", sorted(TREES))
+@pytest.mark.parametrize("formula_text", FORMULAS)
+def test_formulas_agree(tree_name, formula_text):
+    tree = TREES[tree_name]
+    formula = parse_formula(formula_text)
+    free = tuple(sorted(free_variables(formula)))
+
+    def run(backend):
+        checker = ModelChecker(tree, backend=backend)
+        if len(free) == 0:
+            return checker.holds(formula)
+        if len(free) == 1:
+            return checker.node_set(formula, free[0])
+        return checker.pairs(formula, free[0], free[1])
+
+    _assert_backends_agree(
+        f"check {formula_text!r} on {tree_name}",
+        {backend: lambda backend=backend: run(backend) for backend in ("table", "bitset")},
+    )
+
+
+# -- TWA runs: deque vs bitset ----------------------------------------------
+
+
+def _plain_twa_cases():
+    return [
+        (f"twa{seed}", random_twa(num_states=4, rng=random.Random(seed)))
+        for seed in TWA_SEEDS
+    ]
+
+
+def _nested_twa_cases():
+    return [
+        (f"nested{seed}", random_nested_twa(rng=random.Random(seed)))
+        for seed in NESTED_TWA_SEEDS
+    ]
+
+
+@pytest.mark.parametrize("tree_name", ["talk", "mixed", "chain", "random21"])
+@pytest.mark.parametrize("twa_name,automaton", _plain_twa_cases())
+def test_twa_accepts_agree(tree_name, twa_name, automaton):
+    tree = TREES[tree_name]
+    scope = tree.size // 2
+    _assert_backends_agree(
+        f"accepts {twa_name} on {tree_name}",
+        {
+            strategy: lambda strategy=strategy: automaton.accepts(
+                tree, scope=scope, strategy=strategy
+            )
+            for strategy in ("deque", "bitset")
+        },
+    )
+
+
+@pytest.mark.parametrize("tree_name", ["talk", "mixed", "chain", "random21"])
+@pytest.mark.parametrize("twa_name,automaton", _nested_twa_cases())
+def test_nested_twa_accepts_agree(tree_name, twa_name, automaton):
+    """Nested TWAs: results must agree; sub-run *scheduling* is private.
+
+    The bitset strategy precomputes sub-automaton accept masks eagerly
+    (one run per in-scope node) while the deque walk evaluates guards
+    lazily, so the two legitimately differ in how many frontier sweeps
+    their sub-runs perform — sweep spans are ignored here, result parity
+    is not.
+    """
+    tree = TREES[tree_name]
+    scope = tree.size // 2
+    _assert_backends_agree(
+        f"accepts {twa_name} on {tree_name}",
+        {
+            strategy: lambda strategy=strategy: automaton.accepts(
+                tree, scope=scope, strategy=strategy
+            )
+            for strategy in ("deque", "bitset")
+        },
+        ignore=("twa.frontier.sweep",),
+    )
+
+
+@pytest.mark.parametrize("tree_name", ["talk", "mixed", "random21"])
+@pytest.mark.parametrize("twa_name,automaton", _plain_twa_cases())
+def test_twa_reachable_configs_agree(tree_name, twa_name, automaton):
+    tree = TREES[tree_name]
+    scope = tree.size // 2
+    _assert_backends_agree(
+        f"configs {twa_name} on {tree_name}",
+        {
+            strategy: lambda strategy=strategy: automaton.reachable_configs(
+                tree, scope=scope, strategy=strategy
+            )
+            for strategy in ("deque", "bitset")
+        },
+    )
+
+
+def test_corpus_is_large_enough():
+    """The corpus stays a real corpus: ~40 distinct fixed inputs."""
+    assert (
+        len(NODE_QUERIES)
+        + len(PATH_QUERIES)
+        + len(FORMULAS)
+        + len(TWA_SEEDS)
+        + len(NESTED_TWA_SEEDS)
+        >= 39
+    )
