@@ -16,16 +16,28 @@ The committed BENCH_service.json uses the repro-bench-compact/1 schema
 (see conftest.py / compact_json.py).
 """
 
+import os
 import random
 
 import pytest
 
 from repro.runtime import faults
-from repro.service import QueryRequest, QueryService, RetryPolicy, TreeRegistry
+from repro.service import (
+    QueryRequest,
+    QueryService,
+    RetryPolicy,
+    ShardedQueryService,
+    TreeRegistry,
+)
 from repro.trees import chain, random_tree
 from repro.xpath import Evaluator, parse_node
 
 BATCH = 64
+
+#: Distinct documents for the shard sweep: routing is tree-affine
+#: (crc32(name) % shards), so the mixed batch must name enough documents
+#: to occupy every shard at the widest sweep point.
+_SHARD_DOCS = 8
 
 #: One template per op family; the batch cycles through them.
 _TEMPLATES = (
@@ -42,11 +54,25 @@ def _batch(n=BATCH):
     ]
 
 
+def _sharded_batch(n=BATCH):
+    """The same op mix as :func:`_batch`, spread over ``_SHARD_DOCS`` docs."""
+    requests = []
+    for i in range(n):
+        template = dict(_TEMPLATES[i % len(_TEMPLATES)])
+        base = template["tree"]
+        template["tree"] = f"{base}{i % (_SHARD_DOCS // 2)}"
+        requests.append(QueryRequest(**template, id=f"s{i}"))
+    return requests
+
+
 @pytest.fixture(scope="module")
 def registry():
     reg = TreeRegistry()
     reg.register("bushy", random_tree(512, rng=random.Random(2008)))
     reg.register("chain", chain(512, labels=("a", "b")))
+    for i in range(_SHARD_DOCS // 2):
+        reg.register("bushy%d" % i, random_tree(512, rng=random.Random(2008 + i)))
+        reg.register("chain%d" % i, chain(512, labels=("a", "b")))
     return reg
 
 
@@ -56,6 +82,26 @@ def test_mixed_batch_throughput(benchmark, registry, workers):
     benchmark.group = f"S1 batch of {BATCH}"
     with QueryService(registry, workers=workers, queue_limit=BATCH) as service:
         results = benchmark(lambda: service.run_batch(_batch()))
+    assert all(r.status == "ok" for r in results)
+
+
+@pytest.mark.parametrize(
+    "shards", tuple(sorted({1, 2, 4, os.cpu_count() or 1}))
+)
+def test_sharded_batch_scaling(benchmark, registry, shards):
+    """S1 shard sweep: the same mixed batch through the multiprocess tier.
+
+    One point per shard count (1, 2, 4, and the machine's core count); the
+    compact schema annotates each point with ``speedup`` over shards=1 and
+    ``scaling_efficiency`` (speedup / shards).  The CI gate
+    (``benchmarks/compare_scaling.py``) asserts shards=4 is at least twice
+    as fast as shards=1 on machines with >= 4 cores.
+    """
+    benchmark.group = f"S1 shard scaling, batch of {BATCH}"
+    with ShardedQueryService(
+        registry, shards=shards, workers_per_shard=1, queue_limit=BATCH
+    ) as service:
+        results = benchmark(lambda: service.run_batch(_sharded_batch()))
     assert all(r.status == "ok" for r in results)
 
 

@@ -8,6 +8,9 @@ the committed ``BENCH_*.json`` files use the compact schema produced here:
 
 * one **series** per test function, with one point per parametrization
   carrying ``p50``/``p90`` (seconds), the round count, and the params;
+  points parametrized by ``shards`` additionally carry ``speedup`` (p50 at
+  shards=1 over this point's p50, other params equal) and
+  ``scaling_efficiency`` (speedup / shards — 1.0 is perfect scaling);
 * a **speedups** table pairing the ``bitset`` engine against its row-wise
   reference (``sets`` or ``table``) at equal parameters, since that ratio is
   the headline number of the C1/C3 experiment rows;
@@ -59,6 +62,34 @@ def _series_key(bench: dict) -> str:
     return bench["name"].partition("[")[0]
 
 
+def _annotate_scaling(points: list[dict]) -> None:
+    """Attach ``speedup`` / ``scaling_efficiency`` to shard-sweep points.
+
+    For every group of points identical up to their ``shards`` param, the
+    shards=1 point is the baseline; each point gets ``speedup`` (baseline
+    p50 / point p50) and ``scaling_efficiency`` (speedup / shards, so 1.0
+    is perfect linear scaling).  Points without a ``shards`` param — and
+    sweeps missing a shards=1 baseline — are left untouched.
+    """
+    baselines: dict[str, float] = {}
+    for point in points:
+        params = dict(point.get("params") or {})
+        shards = params.pop("shards", None)
+        if shards == 1 and point.get("p50"):
+            baselines[json.dumps(params, sort_keys=True)] = point["p50"]
+    for point in points:
+        params = dict(point.get("params") or {})
+        shards = params.pop("shards", None)
+        if not shards:
+            continue
+        baseline = baselines.get(json.dumps(params, sort_keys=True))
+        if not baseline or not point.get("p50"):
+            continue
+        speedup = baseline / point["p50"]
+        point["speedup"] = round(speedup, 4)
+        point["scaling_efficiency"] = round(speedup / shards, 4)
+
+
 def compact(raw: dict) -> dict:
     """Transform a raw pytest-benchmark export into the compact schema."""
     machine = raw.get("machine_info", {})
@@ -71,6 +102,9 @@ def compact(raw: dict) -> dict:
         point = {"params": bench.get("params") or {}}
         point.update(_point_stats(bench))
         entry["points"].append(point)
+
+    for entry in series.values():
+        _annotate_scaling(entry["points"])
 
     speedups = []
     for entry in series.values():
@@ -112,6 +146,7 @@ def compact(raw: dict) -> dict:
             "system": machine.get("system"),
             "python_version": machine.get("python_version"),
             "cpu": (machine.get("cpu") or {}).get("brand_raw"),
+            "cpu_count": (machine.get("cpu") or {}).get("count"),
         },
         "series": sorted(series.values(), key=lambda entry: entry["test"]),
         "speedups": speedups,

@@ -1,0 +1,102 @@
+"""CI gate: the shard pool must actually beat the GIL.
+
+Reads a compact ``BENCH_service.json`` (repro-bench-compact/1) and asserts
+that the ``test_sharded_batch_scaling`` sweep shows the 64-request mixed
+batch at **shards=4 running at least ``--min-speedup`` (default 2.0×)
+faster than shards=1**.
+
+The gate is *cores-guarded*: multiprocess scaling is physics, not code —
+on a machine with fewer than 4 usable cores the 2× bound is unattainable
+and the gate reports SKIP (exit 0) rather than a fake failure.  The core
+count is taken from the benchmark file's machine fingerprint when present
+(so the gate judges the machine that *ran* the sweep), falling back to the
+current machine.
+
+Usage::
+
+    python benchmarks/compare_scaling.py BENCH_service.json
+    python benchmarks/compare_scaling.py BENCH_service.json --min-speedup 2.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+SWEEP_TEST = "test_sharded_batch_scaling"
+BASELINE_SHARDS = 1
+GATED_SHARDS = 4
+
+
+def find_sweep_points(report: dict) -> dict[int, dict]:
+    for entry in report.get("series", ()):
+        if entry.get("test") == SWEEP_TEST:
+            return {
+                point["params"]["shards"]: point
+                for point in entry.get("points", ())
+                if "shards" in (point.get("params") or {})
+            }
+    return {}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("report", help="compact BENCH_service.json path")
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=2.0,
+        help="required p50 speedup of shards=4 over shards=1 (default 2.0)",
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.report) as handle:
+        report = json.load(handle)
+    if report.get("schema") != "repro-bench-compact/1":
+        print(f"FAIL: {args.report} is not a repro-bench-compact/1 report")
+        return 1
+
+    cores = report.get("machine", {}).get("cpu_count") or os.cpu_count() or 1
+    points = find_sweep_points(report)
+    if GATED_SHARDS not in points or BASELINE_SHARDS not in points:
+        if cores < GATED_SHARDS:
+            print(
+                f"SKIP: sweep has no shards={GATED_SHARDS} point and the "
+                f"recording machine has {cores} core(s) — scaling to "
+                f"{GATED_SHARDS} shards is not measurable here"
+            )
+            return 0
+        print(
+            f"FAIL: {args.report} has no {SWEEP_TEST} points for "
+            f"shards={BASELINE_SHARDS} and shards={GATED_SHARDS}"
+        )
+        return 1
+    if cores < GATED_SHARDS:
+        print(
+            f"SKIP: recording machine has {cores} core(s) < {GATED_SHARDS}; "
+            f"a {args.min_speedup}x multiprocess speedup is physically "
+            "unattainable — gate not applicable"
+        )
+        return 0
+
+    baseline = points[BASELINE_SHARDS]["p50"]
+    gated = points[GATED_SHARDS]["p50"]
+    if not baseline or not gated:
+        print("FAIL: sweep points carry no p50 timings")
+        return 1
+    speedup = baseline / gated
+    efficiency = speedup / GATED_SHARDS
+    verdict = "PASS" if speedup >= args.min_speedup else "FAIL"
+    print(
+        f"{verdict}: shards={GATED_SHARDS} p50 {gated * 1e3:.2f} ms vs "
+        f"shards={BASELINE_SHARDS} p50 {baseline * 1e3:.2f} ms -> "
+        f"{speedup:.2f}x (required {args.min_speedup:.2f}x, "
+        f"efficiency {efficiency:.2f})"
+    )
+    return 0 if verdict == "PASS" else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

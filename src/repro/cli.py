@@ -288,17 +288,34 @@ def cmd_batch(args: argparse.Namespace) -> int:
         with open(args.requests) as handle:
             lines = handle.read().splitlines()
 
-    service = QueryService(
-        registry,
-        workers=args.workers,
-        queue_limit=args.queue_limit,
-        retry=RetryPolicy(max_attempts=args.retries + 1),
-        breaker_threshold=args.breaker_threshold,
-        breaker_cooldown=args.breaker_cooldown,
-        default_timeout=args.timeout,
-        default_max_steps=args.max_steps,
-        default_max_nodes=args.max_nodes,
-    )
+    if args.shards:
+        from .service import ShardedQueryService
+
+        service = ShardedQueryService(
+            registry,
+            shards=args.shards,
+            start_method=args.start_method,
+            workers_per_shard=args.workers,
+            queue_limit=args.queue_limit,
+            retry=RetryPolicy(max_attempts=args.retries + 1),
+            breaker_threshold=args.breaker_threshold,
+            breaker_cooldown=args.breaker_cooldown,
+            default_timeout=args.timeout,
+            default_max_steps=args.max_steps,
+            default_max_nodes=args.max_nodes,
+        )
+    else:
+        service = QueryService(
+            registry,
+            workers=args.workers,
+            queue_limit=args.queue_limit,
+            retry=RetryPolicy(max_attempts=args.retries + 1),
+            breaker_threshold=args.breaker_threshold,
+            breaker_cooldown=args.breaker_cooldown,
+            default_timeout=args.timeout,
+            default_max_steps=args.max_steps,
+            default_max_nodes=args.max_nodes,
+        )
     entries = []  # per input line: ("done", json-dict) | ("pending", handle)
     try:
         for number, line in enumerate(lines, start=1):
@@ -342,7 +359,12 @@ def cmd_batch(args: argparse.Namespace) -> int:
     if args.stats:
         print(json.dumps(service.stats_snapshot()), file=sys.stderr)
     if args.metrics is not None:
-        _emit_json(obs.REGISTRY.to_json(), args.metrics)
+        if args.shards:
+            # Parent registry + every shard's delta: the merged registry is
+            # what reconciles (one result series increment per request).
+            _emit_json(service.metrics_snapshot(), args.metrics)
+        else:
+            _emit_json(obs.REGISTRY.to_json(), args.metrics)
     return exit_code
 
 
@@ -501,6 +523,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--workers", type=int, default=4, metavar="N", help="worker threads (default 4)"
+    )
+    p.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        metavar="N",
+        help="run N shard processes over shared-memory tree indexes instead "
+        "of in-process threads (0, the default, keeps the thread pool); "
+        "--workers then means worker threads per shard",
+    )
+    p.add_argument(
+        "--start-method",
+        choices=("fork", "spawn", "forkserver"),
+        default=None,
+        help="multiprocessing start method for --shards (default: platform)",
     )
     p.add_argument(
         "--queue-limit",

@@ -31,8 +31,12 @@ from .metrics import (
     MetricsRegistry,
     REGISTRY,
     counter,
+    diff_state,
     gauge,
     histogram,
+    merge_states,
+    merged_histogram,
+    registry_from_state,
 )
 from .profile import (
     PROFILE_ENV_VAR,
@@ -68,11 +72,15 @@ __all__ = [
     "Tracer",
     "counter",
     "current_tracer",
+    "diff_state",
     "disable_profiling",
     "enable_profiling",
     "gauge",
     "histogram",
     "install",
+    "merge_states",
+    "merged_histogram",
+    "registry_from_state",
     "profile",
     "profiling_enabled",
     "reload_from_env",

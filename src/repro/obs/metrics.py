@@ -37,8 +37,12 @@ __all__ = [
     "MetricsRegistry",
     "REGISTRY",
     "counter",
+    "diff_state",
     "gauge",
     "histogram",
+    "merge_states",
+    "merged_histogram",
+    "registry_from_state",
 ]
 
 #: Default histogram bucket upper edges: 1-2.5-5 per decade, 1µs .. 50s —
@@ -379,6 +383,134 @@ class MetricsRegistry:
         """Drop every instrument (a fresh registry)."""
         with self._lock:
             self._instruments.clear()
+
+
+# -- cross-process snapshot algebra -----------------------------------------
+#
+# The sharded query service runs one registry per shard *process* and folds
+# them back into the parent on drain.  The primitives it needs are plain
+# functions over the picklable state dicts ``MetricsRegistry.snapshot()``
+# produces: a *diff* (what a shard recorded since its baseline — under the
+# ``fork`` start method a child inherits the parent's counts, which must not
+# be double-reported) and an additive *merge* (raw bucket counts and sums,
+# never derived percentiles — merging percentiles skews them).
+
+
+def diff_state(base: dict, current: dict) -> dict:
+    """The per-instrument delta from ``base`` to ``current`` snapshots.
+
+    Counters and histogram counts/sums subtract element-wise; gauges are
+    levels, so the current value is kept as-is.  Histogram min/max cannot
+    be un-merged, so the current extremes are kept (over-inclusive when a
+    forked child inherited observations — summary bounds, not identities).
+    Instruments absent from ``base`` pass through whole.
+    """
+    delta: dict = {}
+    for key, (kind, state, buckets) in current.items():
+        before = base.get(key)
+        if before is None or before[0] != kind:
+            delta[key] = (kind, state, buckets)
+            continue
+        if kind == "counter":
+            delta[key] = (kind, state - before[1], buckets)
+        elif kind == "gauge":
+            delta[key] = (kind, state, buckets)
+        else:
+            counts, count, total, minimum, maximum = state
+            b_counts, b_count, b_total, _, _ = before[1]
+            delta[key] = (
+                kind,
+                (
+                    [c - b for c, b in zip(counts, b_counts)],
+                    count - b_count,
+                    total - b_total,
+                    minimum,
+                    maximum,
+                ),
+                buckets,
+            )
+    return delta
+
+
+def merge_states(*states: dict) -> dict:
+    """Fold snapshot states additively into one (raw reservoirs, see above)."""
+    merged: dict = {}
+    for state in states:
+        for key, (kind, value, buckets) in state.items():
+            existing = merged.get(key)
+            if existing is None:
+                if kind == "histogram":
+                    counts, count, total, minimum, maximum = value
+                    value = (list(counts), count, total, minimum, maximum)
+                merged[key] = (kind, value, buckets)
+                continue
+            if existing[0] != kind:
+                raise ValueError(
+                    f"metric {key[0]!r} is a {existing[0]} in one state "
+                    f"and a {kind} in another"
+                )
+            if kind in ("counter", "gauge"):
+                merged[key] = (kind, existing[1] + value, buckets)
+            else:
+                if buckets != existing[2]:
+                    raise ValueError(
+                        f"histogram {key[0]!r} has mismatched bucket edges"
+                    )
+                counts, count, total, minimum, maximum = existing[1]
+                o_counts, o_count, o_total, o_min, o_max = value
+                merged[key] = (
+                    kind,
+                    (
+                        [c + o for c, o in zip(counts, o_counts)],
+                        count + o_count,
+                        total + o_total,
+                        min(minimum, o_min),
+                        max(maximum, o_max),
+                    ),
+                    buckets,
+                )
+    return merged
+
+
+def registry_from_state(state: dict) -> MetricsRegistry:
+    """A standalone registry materializing a (possibly merged) state dict."""
+    registry = MetricsRegistry()
+    registry.restore(state)
+    return registry
+
+
+def merged_histogram(registry: MetricsRegistry, name: str) -> Histogram:
+    """One histogram summing every label set of ``name`` in ``registry``.
+
+    This is how cross-shard latency percentiles are computed: the raw
+    bucket counts of each shard's labelled ``service_latency_seconds``
+    series are added, and the percentile is read off the combined
+    distribution — never averaged across the per-shard percentiles.
+    """
+    parts = [
+        instrument
+        for instrument in registry.instruments()
+        if instrument.name == name and isinstance(instrument, Histogram)
+    ]
+    buckets = parts[0].buckets if parts else DEFAULT_BUCKETS
+    combined = Histogram(name, (), buckets=buckets)
+    states = []
+    for part in parts:
+        if part.buckets != buckets:
+            raise ValueError(f"histogram {name!r} has mismatched bucket edges")
+        states.append(part.state())
+    if states:
+        counts = [sum(col) for col in zip(*(s[0] for s in states))]
+        combined.load(
+            (
+                counts,
+                sum(s[1] for s in states),
+                sum(s[2] for s in states),
+                min(s[3] for s in states),
+                max(s[4] for s in states),
+            )
+        )
+    return combined
 
 
 #: The process-wide registry every layer records into by default.

@@ -17,8 +17,10 @@ classes that need different handling (retry, degrade, report).  The tree::
     │       └── RequestShedError               shed before execution (service)
     ├── EngineFaultError                       an engine failed mid-run
     │   └── InjectedFaultError                 ... because a fault was injected
+    ├── TreeShareError                         corrupt shared-memory index segment
     └── ServiceError                           the serving layer itself
         ├── QueueFullError                     bounded queue rejected a request
+        ├── ShardCrashedError                  a shard process died mid-request
         └── ServiceClosedError                 submit after shutdown began
 
 The syntax/limit classes keep ``ValueError`` in their MRO so pre-existing
@@ -42,8 +44,10 @@ __all__ = [
     "RequestShedError",
     "EngineFaultError",
     "InjectedFaultError",
+    "TreeShareError",
     "ServiceError",
     "QueueFullError",
+    "ShardCrashedError",
     "ServiceClosedError",
     "EXIT_CODES",
     "exit_code_for",
@@ -136,6 +140,17 @@ class InjectedFaultError(EngineFaultError):
         self.site = site
 
 
+class TreeShareError(ReproError):
+    """A shared-memory :class:`~repro.trees.index.TreeIndex` segment failed
+    validation.
+
+    Raised when attaching a segment whose magic, version, declared size,
+    checksum, or section bounds do not hold — a truncated or corrupted
+    segment must fail loudly here instead of reconstructing wrong masks
+    and silently returning wrong query answers.
+    """
+
+
 class ServiceError(ReproError):
     """The serving layer itself (queue, worker pool) refused a request."""
 
@@ -145,6 +160,16 @@ class QueueFullError(ServiceError):
 
     Only raised on *non-blocking* submission; blocking submitters wait for
     space instead.  Callers should slow down or shed load upstream.
+    """
+
+
+class ShardCrashedError(ServiceError):
+    """A shard process died while requests routed to it were outstanding.
+
+    Every such request resolves with a structured error carrying this
+    class — the sharded service's variant of the no-lost-requests
+    invariant — and subsequent requests routed to the dead shard fail
+    fast instead of queueing forever.
     """
 
 
@@ -179,6 +204,8 @@ def exit_code_for(exc: BaseException) -> int:
         return EXIT_CODES["input_limit"]
     if isinstance(exc, EngineFaultError):
         return EXIT_CODES["engine"]
+    if isinstance(exc, TreeShareError):
+        return EXIT_CODES["io"]
     if isinstance(exc, ServiceError):
         return EXIT_CODES["overload"]
     if isinstance(exc, OSError):

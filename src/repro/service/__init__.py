@@ -21,7 +21,11 @@ The pieces, each in its own module:
 * :class:`ServiceStats` (:mod:`~repro.service.stats`) — aggregate
   telemetry;
 * :class:`QueryService` (:mod:`~repro.service.workers`) — the worker
-  pool tying it together.
+  pool tying it together;
+* :class:`ShardedQueryService` (:mod:`~repro.service.shards`) — the
+  multiprocess tier: shard processes over shared-memory tree indexes,
+  same API, true multi-core scaling (pass ``--shards`` to ``repro
+  batch``).
 
 Quickstart::
 
@@ -44,6 +48,7 @@ from .api import OPS, QueryRequest, QueryResult, TreeRegistry
 from .breaker import CircuitBreaker
 from .queue import BoundedRequestQueue
 from .retry import RetryPolicy
+from .shards import ShardConfig, ShardedQueryService
 from .stats import ServiceStats
 from .workers import PendingResult, QueryService
 
@@ -57,5 +62,7 @@ __all__ = [
     "QueryService",
     "RetryPolicy",
     "ServiceStats",
+    "ShardConfig",
+    "ShardedQueryService",
     "TreeRegistry",
 ]

@@ -1,0 +1,804 @@
+"""The multiprocess execution tier: shard pool over shared-memory indexes.
+
+:class:`ShardedQueryService` presents the same surface as
+:class:`~repro.service.workers.QueryService` — ``submit`` / ``run_batch`` /
+``map_stream`` / ``shutdown`` / ``stats_snapshot`` / context manager — but
+executes requests in **shard processes**, so the bitset engines' single-core
+wins compound across cores instead of serializing on the GIL.
+
+How the pieces fit:
+
+* **Shared-memory tree indexes** — at startup (and on late
+  :meth:`register`) every registered tree's
+  :class:`~repro.trees.index.TreeIndex` is serialized once
+  (:func:`repro.trees.share.dump_index`) into a
+  :class:`multiprocessing.shared_memory.SharedMemory` segment.  Shards
+  attach the segment read-only and reconstruct masks via ``int.from_bytes``
+  over mapped memoryview slices (lazily for the quadratic tables) — no
+  pickled trees cross a pipe, and the segment pages are shared by every
+  shard.
+* **Routing** — requests naming a registered tree go to
+  ``crc32(tree) % shards`` (all requests for one document hit one shard, so
+  its compiled-plan caches stay hot); inline-``xml`` and ``equivalent``
+  requests round-robin.  Only the small request dict crosses the pipe —
+  plan *keys*, never plans: each shard parses a hot query once (the local
+  service's plan cache) and compiles it once per tree (the structural
+  caches on the mapped ``TreeIndex``).
+* **Per-shard PR 3–5 semantics** — each shard process runs a full local
+  :class:`QueryService`: per-request
+  :class:`~repro.runtime.budget.ExecutionBudget` deadlines (the parent
+  ships the *remaining* timeout at dispatch, so cross-process clock skew
+  cannot extend a deadline), bounded queue, retries with jitter,
+  per-engine-family circuit breakers, and fault injection (``REPRO_FAULTS``
+  propagates through the environment under both ``fork`` and ``spawn``;
+  :meth:`arm_faults` broadcasts mid-run arms for chaos drills).
+* **Admission stays in the parent** — a
+  :class:`~repro.service.queue.BoundedRequestQueue` per shard gives the
+  same backpressure/shedding behaviour at submit time, and an in-flight
+  cap per shard keeps the pipe from buffering unboundedly.
+* **Stats reconciliation** — shards ship their
+  :class:`~repro.service.stats.ServiceStats` snapshot plus a metrics-
+  registry *delta* (:func:`repro.obs.diff_state`, so ``fork``-inherited
+  counts are not double-reported) back to the parent, which merges raw
+  histogram reservoirs — never percentiles — via
+  :func:`repro.obs.merge_states` /
+  :meth:`~repro.service.stats.ServiceStats.merge_snapshots`.
+
+Failure containment: a shard process that dies mid-run resolves every
+request routed to it with a structured
+:class:`~repro.runtime.errors.ShardCrashedError` result (the no-lost-
+requests invariant, cross-process), and later requests for that shard fail
+fast.  Shard processes are daemons, the service registers an ``atexit``
+kill, and :meth:`close` (non-graceful) terminates children immediately —
+no orphan survives a ``KeyboardInterrupt`` or test teardown.
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import os
+import queue as _stdlib_queue
+import threading
+import time
+import zlib
+from collections import deque
+from dataclasses import asdict, dataclass
+from multiprocessing import get_context, shared_memory
+
+from .. import obs
+from ..runtime import faults
+from ..runtime.errors import (
+    RequestShedError,
+    ServiceClosedError,
+    ShardCrashedError,
+)
+from ..trees.share import detach_tree, dump_index, load_tree
+from ..trees.index import tree_index
+from .api import QueryRequest, QueryResult, TreeRegistry, error_payload
+from .queue import BoundedRequestQueue
+from .retry import RetryPolicy
+from .stats import ServiceStats
+from .workers import PendingResult, QueryService
+
+__all__ = ["ShardConfig", "ShardedQueryService"]
+
+#: Fields of the request dict shipped to a shard (QueryRequest dataclass).
+_REQUEST_FIELDS = tuple(QueryRequest.__dataclass_fields__)
+
+
+@dataclass(frozen=True)
+class ShardConfig:
+    """Picklable per-shard configuration (crosses the ``spawn`` boundary)."""
+
+    shard_id: int
+    service_name: str
+    workers: int = 1
+    queue_limit: int = 64
+    retry: RetryPolicy | None = None
+    breaker_threshold: int = 5
+    breaker_cooldown: float = 0.25
+    default_max_steps: int | None = None
+    default_max_nodes: int | None = None
+
+
+def _attach_segment(shm_name: str) -> shared_memory.SharedMemory:
+    """Attach a segment without registering it with the resource tracker.
+
+    The parent owns segment lifetime (it unlinks on shutdown), and shard
+    children share the parent's tracker process under both ``fork`` and
+    ``spawn`` — so a child's attach-time registration (unconditional before
+    Python 3.13's ``track=False``) followed by an unregister would erase
+    the *parent's* entry and make the parent's eventual ``unlink`` scream.
+    Suppressing registration for the duration of the attach is the
+    documented workaround.
+    """
+    from multiprocessing import resource_tracker
+
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=shm_name)
+    finally:
+        resource_tracker.register = original
+
+
+def _wire_result(result: QueryResult, shard_id: int) -> dict:
+    payload = result.to_json()
+    payload["worker"] = f"shard-{shard_id}/{result.worker}"
+    return payload
+
+
+def _shard_main(shard_id, request_q, result_q, segments, config) -> None:
+    """Entry point of one shard process (module-level for ``spawn``)."""
+    import signal
+
+    # The parent coordinates shutdown (stop message, then SIGTERM): a
+    # terminal Ctrl-C hits the whole process group, and a shard that dies
+    # on the interrupt before the parent resolves its requests would turn
+    # a clean close into a crash report.
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover - non-main thread
+        pass
+
+    # Everything recorded before this instant (fork-inherited counters
+    # included) belongs to the parent; the shard reports only its delta.
+    base_state = obs.REGISTRY.snapshot()
+
+    registry = TreeRegistry()
+    attached: list[tuple[shared_memory.SharedMemory, object]] = []
+
+    def attach(name: str, shm_name: str, nbytes: int) -> None:
+        shm = _attach_segment(shm_name)
+        tree = load_tree(memoryview(shm.buf)[:nbytes])
+        registry.register(name, tree)
+        attached.append((shm, tree))
+
+    service = None
+    try:
+        for name, shm_name, nbytes in segments:
+            attach(name, shm_name, nbytes)
+        service = QueryService(
+            registry,
+            workers=config.workers,
+            # Sized so the parent's in-flight cap (queue_limit + workers)
+            # can never block the intake thread on a full local queue.
+            queue_limit=config.queue_limit + config.workers,
+            retry=config.retry,
+            breaker_threshold=config.breaker_threshold,
+            breaker_cooldown=config.breaker_cooldown,
+            default_max_steps=config.default_max_steps,
+            default_max_nodes=config.default_max_nodes,
+            service_name=config.service_name,
+            plan_cache=True,
+        )
+
+        def on_done(seq: int):
+            def callback(result: QueryResult) -> None:
+                result_q.put(("res", shard_id, seq, _wire_result(result, shard_id)))
+
+            return callback
+
+        def send_stats(token) -> None:
+            result_q.put(
+                (
+                    "stats",
+                    shard_id,
+                    token,
+                    service.stats_snapshot(),
+                    obs.diff_state(base_state, obs.REGISTRY.snapshot()),
+                )
+            )
+
+        while True:
+            try:
+                message = request_q.get()
+            except (EOFError, OSError):  # parent is gone: nothing to serve
+                return
+            kind = message[0]
+            if kind == "req":
+                seq, payload = message[1], message[2]
+                try:
+                    request = QueryRequest(**payload)
+                    handle = service.submit(request)
+                except BaseException as exc:
+                    result_q.put(
+                        (
+                            "res",
+                            shard_id,
+                            seq,
+                            {
+                                "id": payload.get("id", ""),
+                                "op": payload.get("op", "?"),
+                                "status": "error",
+                                "error": error_payload(exc),
+                                "routed": "none",
+                                "worker": f"shard-{shard_id}/intake",
+                            },
+                        )
+                    )
+                    continue
+                handle.add_done_callback(on_done(seq))
+            elif kind == "tree":
+                try:
+                    attach(message[1], message[2], message[3])
+                except BaseException:  # pragma: no cover - defensive
+                    pass  # requests for it will fail with "unknown tree"
+            elif kind == "faults":
+                faults.arm(message[1], message[2])
+            elif kind == "disarm":
+                faults.disarm(message[1])
+            elif kind == "stats":
+                send_stats(message[1])
+            elif kind == "stop":
+                service.shutdown(drain=message[1])
+                send_stats(None)
+                result_q.put(("bye", shard_id))
+                return
+    finally:
+        if service is not None:
+            try:
+                service.shutdown(drain=False)
+            except Exception:  # pragma: no cover - defensive
+                pass
+        for shm, tree in attached:
+            try:
+                detach_tree(tree)
+                shm.close()
+            except Exception:  # pragma: no cover - defensive
+                pass
+
+
+class _ShardJob:
+    """One admitted request in the parent (mirrors ``workers._Job``)."""
+
+    __slots__ = ("request", "deadline", "submitted_at", "pending", "shard")
+
+    def __init__(self, request, deadline, submitted_at, shard):
+        self.request = request
+        self.deadline = deadline
+        self.submitted_at = submitted_at
+        self.shard = shard
+        self.pending = PendingResult()
+
+
+class ShardedQueryService:
+    """A pool of shard processes serving queries over shared tree indexes."""
+
+    def __init__(
+        self,
+        registry: TreeRegistry | None = None,
+        *,
+        shards: int = 2,
+        start_method: str | None = None,
+        workers_per_shard: int = 1,
+        queue_limit: int = 64,
+        retry: RetryPolicy | None = None,
+        breaker_threshold: int = 5,
+        breaker_cooldown: float = 0.25,
+        default_timeout: float | None = None,
+        default_max_steps: int | None = None,
+        default_max_nodes: int | None = None,
+        shutdown_timeout: float = 10.0,
+        clock=time.monotonic,
+    ):
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards!r}")
+        if workers_per_shard < 1:
+            raise ValueError(
+                f"workers_per_shard must be >= 1, got {workers_per_shard!r}"
+            )
+        self.registry = registry if registry is not None else TreeRegistry()
+        self.shards = shards
+        self.start_method = start_method
+        self.stats = ServiceStats()
+        self._clock = clock
+        self._defaults = (default_timeout, default_max_steps, default_max_nodes)
+        self._shutdown_timeout = shutdown_timeout
+        self._inflight_cap = queue_limit + workers_per_shard
+
+        ctx = get_context(start_method)
+        self._segments: dict[str, tuple[shared_memory.SharedMemory, int]] = {}
+        self._processes: list = []
+        self._request_qs: list = []
+        self._queues: list[BoundedRequestQueue] = []
+        self._feeders: list[threading.Thread] = []
+        self._inflight: list[threading.Semaphore] = []
+        self._pending: dict[int, _ShardJob] = {}
+        self._pending_lock = threading.Lock()
+        self._seq = itertools.count()
+        self._rr = itertools.count()
+        self._closed = False
+        self._lifecycle = threading.Lock()
+        self._dead = [False] * shards
+        self._done = [False] * shards
+        self._collector_stop = False
+        self._stats_cond = threading.Condition()
+        self._shard_stats: dict[int, tuple[dict, dict]] = {}
+        self._stats_tokens: dict[int, object] = {}
+        self._stats_token = itertools.count(1)
+
+        try:
+            segment_specs = []
+            for name in self.registry.names():
+                spec = self._create_segment(name, self.registry.get(name))
+                segment_specs.append(spec)
+
+            self._result_q = ctx.Queue()
+            for shard_id in range(shards):
+                request_q = ctx.SimpleQueue()
+                config = ShardConfig(
+                    shard_id=shard_id,
+                    service_name=f"{self.stats.service}.shard{shard_id}",
+                    workers=workers_per_shard,
+                    queue_limit=queue_limit,
+                    retry=retry,
+                    breaker_threshold=breaker_threshold,
+                    breaker_cooldown=breaker_cooldown,
+                    default_max_steps=default_max_steps,
+                    default_max_nodes=default_max_nodes,
+                )
+                process = ctx.Process(
+                    target=_shard_main,
+                    args=(shard_id, request_q, self._result_q, segment_specs, config),
+                    name=f"repro-shard-{shard_id}",
+                    daemon=True,
+                )
+                self._request_qs.append(request_q)
+                self._processes.append(process)
+            # Start children before any parent-side thread exists: forking
+            # a multi-threaded parent can clone held locks into the child.
+            for process in self._processes:
+                process.start()
+        except BaseException:
+            self._cleanup_segments()
+            for process in self._processes:
+                if process.is_alive():  # pragma: no cover - defensive
+                    process.terminate()
+            raise
+
+        for shard_id in range(shards):
+            self._queues.append(
+                BoundedRequestQueue(
+                    queue_limit,
+                    clock=clock,
+                    depth_gauge=obs.gauge(
+                        "service_queue_depth",
+                        service=self.stats.service,
+                        shard=str(shard_id),
+                    ),
+                )
+            )
+            self._inflight.append(threading.Semaphore(self._inflight_cap))
+            feeder = threading.Thread(
+                target=self._feeder_loop,
+                args=(shard_id,),
+                name=f"repro-shard-feeder-{shard_id}",
+                daemon=True,
+            )
+            self._feeders.append(feeder)
+        self._collector = threading.Thread(
+            target=self._collector_loop, name="repro-shard-collector", daemon=True
+        )
+        for feeder in self._feeders:
+            feeder.start()
+        self._collector.start()
+        atexit.register(self._atexit_close)
+
+    # -- segments ----------------------------------------------------------
+
+    def _create_segment(self, name: str, tree) -> tuple[str, str, int]:
+        payload = dump_index(tree_index(tree))
+        shm = shared_memory.SharedMemory(create=True, size=len(payload))
+        shm.buf[: len(payload)] = payload
+        self._segments[name] = (shm, len(payload))
+        return (name, shm.name, len(payload))
+
+    def _cleanup_segments(self) -> None:
+        for shm, _ in self._segments.values():
+            try:
+                shm.close()
+                shm.unlink()
+            except Exception:  # pragma: no cover - already gone
+                pass
+        self._segments.clear()
+
+    def register(self, name: str, tree) -> None:
+        """Register a tree after startup: segment + broadcast to shards."""
+        if self._closed:
+            raise ServiceClosedError("service is shutting down")
+        self.registry.register(name, tree)
+        spec = self._create_segment(name, tree)
+        for shard_id, request_q in enumerate(self._request_qs):
+            if not self._dead[shard_id]:
+                request_q.put(("tree",) + spec)
+
+    # -- admission ---------------------------------------------------------
+
+    def _route(self, request: QueryRequest) -> int:
+        if request.op != "equivalent" and request.tree is not None:
+            return zlib.crc32(request.tree.encode("utf-8")) % self.shards
+        return next(self._rr) % self.shards
+
+    def submit(
+        self,
+        request: QueryRequest,
+        *,
+        block: bool = True,
+        timeout: float | None = None,
+    ) -> PendingResult:
+        """Admit one request (same contract as ``QueryService.submit``)."""
+        if self._closed:
+            raise ServiceClosedError("service is shutting down")
+        now = self._clock()
+        default_timeout = self._defaults[0]
+        per_request = (
+            request.timeout if request.timeout is not None else default_timeout
+        )
+        shard = self._route(request)
+        job = _ShardJob(
+            request,
+            None if per_request is None else now + per_request,
+            now,
+            shard,
+        )
+        self.stats.record_submitted()
+        try:
+            request.validate()
+        except ValueError as exc:
+            self._finish_local(job, self._error_result(job, exc, "admission"))
+            return job.pending
+        if self._dead[shard]:
+            self._finish_local(job, self._crashed_result(job))
+            return job.pending
+        for expired in self._queues[shard].put(job, block=block, timeout=timeout):
+            self._finish_local(
+                job=expired,
+                result=self._shed_result(expired, "deadline passed while queued"),
+            )
+        return job.pending
+
+    def run_batch(self, requests) -> list[QueryResult]:
+        """Submit every request (blocking) and wait; results in input order."""
+        handles = [self.submit(request) for request in requests]
+        return [handle.result() for handle in handles]
+
+    def map_stream(self, requests):
+        """Lazily submit a request stream, yielding results in input order."""
+        pending: deque[PendingResult] = deque()
+        for request in requests:
+            pending.append(self.submit(request))
+            while pending and pending[0].done():
+                yield pending.popleft().result()
+        while pending:
+            yield pending.popleft().result()
+
+    # -- feeder / collector threads ----------------------------------------
+
+    def _feeder_loop(self, shard: int) -> None:
+        bounded = self._queues[shard]
+        semaphore = self._inflight[shard]
+        request_q = self._request_qs[shard]
+        while True:
+            job = bounded.get()
+            if job is None:
+                return  # queue closed and drained
+            if self._dead[shard]:
+                self._finish_local(job, self._crashed_result(job))
+                continue
+            now = self._clock()
+            if job.deadline is not None and now >= job.deadline:
+                self._finish_local(
+                    job, self._shed_result(job, "deadline passed while queued")
+                )
+                continue
+            acquired = False
+            while not acquired and not self._dead[shard]:
+                acquired = semaphore.acquire(timeout=0.05)
+            if not acquired:
+                self._finish_local(job, self._crashed_result(job))
+                continue
+            payload = {
+                field: getattr(job.request, field) for field in _REQUEST_FIELDS
+            }
+            if job.deadline is not None:
+                payload["timeout"] = max(0.0, job.deadline - self._clock())
+            seq = next(self._seq)
+            with self._pending_lock:
+                self._pending[seq] = job
+            try:
+                request_q.put(("req", seq, payload))
+            except Exception:
+                with self._pending_lock:
+                    self._pending.pop(seq, None)
+                semaphore.release()
+                self._mark_dead(shard)
+                self._finish_local(job, self._crashed_result(job))
+
+    def _collector_loop(self) -> None:
+        while True:
+            try:
+                message = self._result_q.get(timeout=0.1)
+            except _stdlib_queue.Empty:
+                if self._collector_stop:
+                    return
+                self._check_shards()
+                continue
+            kind = message[0]
+            if kind == "res":
+                self._on_result(message[1], message[2], message[3])
+            elif kind == "stats":
+                with self._stats_cond:
+                    self._shard_stats[message[1]] = (message[3], message[4])
+                    self._stats_tokens[message[1]] = message[2]
+                    self._stats_cond.notify_all()
+            elif kind == "bye":
+                self._done[message[1]] = True
+
+    def _on_result(self, shard: int, seq: int, payload: dict) -> None:
+        with self._pending_lock:
+            job = self._pending.pop(seq, None)
+        self._inflight[shard].release()
+        if job is None:  # pragma: no cover - defensive
+            return
+        result = QueryResult(
+            id=payload.get("id", job.request.id),
+            op=payload.get("op", job.request.op),
+            status=payload.get("status", "error"),
+            value=payload.get("value"),
+            error=payload.get("error"),
+            retries=payload.get("retries", 0),
+            fallback=payload.get("fallback", False),
+            routed=payload.get("routed", "none"),
+            # Caller-visible latency is end-to-end (queue + pipe + shard);
+            # the shard's own histogram records its local execution view.
+            latency=self._clock() - job.submitted_at,
+            worker=payload.get("worker", f"shard-{shard}"),
+        )
+        job.pending.resolve(result)
+
+    def _check_shards(self) -> None:
+        for shard, process in enumerate(self._processes):
+            if not self._dead[shard] and not self._done[shard]:
+                if not process.is_alive():
+                    self._mark_dead(shard)
+
+    def _mark_dead(self, shard: int) -> None:
+        """Resolve every outstanding request of a crashed shard."""
+        if self._dead[shard]:
+            return
+        self._dead[shard] = True
+        with self._pending_lock:
+            stranded = [
+                (seq, job)
+                for seq, job in self._pending.items()
+                if job.shard == shard
+            ]
+            for seq, _ in stranded:
+                del self._pending[seq]
+        for _, job in stranded:
+            self._inflight[shard].release()
+            self._finish_local(job, self._crashed_result(job))
+
+    # -- result shaping ----------------------------------------------------
+
+    def _finish_local(self, job: _ShardJob, result: QueryResult) -> None:
+        """Resolve a request the parent itself decided (never ran remotely)."""
+        job.pending.resolve(result)
+        self.stats.record_result(result)
+
+    def _shed_result(self, job: _ShardJob, reason: str) -> QueryResult:
+        waited = self._clock() - job.submitted_at
+        exc = RequestShedError(f"{reason} (waited {waited:.3f}s)")
+        return QueryResult(
+            id=job.request.id,
+            op=job.request.op,
+            status="shed",
+            error=error_payload(exc),
+            routed="none",
+            latency=waited,
+            worker="parent",
+        )
+
+    def _crashed_result(self, job: _ShardJob) -> QueryResult:
+        exitcode = self._processes[job.shard].exitcode
+        exc = ShardCrashedError(
+            f"shard {job.shard} died (exitcode {exitcode}) with the request "
+            "outstanding"
+        )
+        return QueryResult(
+            id=job.request.id,
+            op=job.request.op,
+            status="error",
+            error=error_payload(exc),
+            routed="none",
+            latency=self._clock() - job.submitted_at,
+            worker="parent",
+        )
+
+    def _error_result(self, job: _ShardJob, exc, worker: str) -> QueryResult:
+        return QueryResult(
+            id=job.request.id,
+            op=job.request.op,
+            status="error",
+            error=error_payload(exc),
+            routed="none",
+            latency=self._clock() - job.submitted_at,
+            worker=worker,
+        )
+
+    # -- chaos -------------------------------------------------------------
+
+    def arm_faults(self, site: str, times: int | None = None) -> None:
+        """Broadcast a fault arm to every live shard (mid-run chaos)."""
+        for shard, request_q in enumerate(self._request_qs):
+            if not self._dead[shard] and not self._done[shard]:
+                request_q.put(("faults", site, times))
+
+    def disarm_faults(self, site: str | None = None) -> None:
+        """Broadcast a disarm (one site, or all) to every live shard."""
+        for shard, request_q in enumerate(self._request_qs):
+            if not self._dead[shard] and not self._done[shard]:
+                request_q.put(("disarm", site))
+
+    # -- stats -------------------------------------------------------------
+
+    def _shard_snapshots(self, timeout: float = 5.0) -> dict[int, tuple[dict, dict]]:
+        """Fresh per-shard (stats, registry-delta) pairs; cached if stopped."""
+        live = [
+            shard
+            for shard in range(self.shards)
+            if not self._dead[shard] and not self._done[shard] and not self._closed
+        ]
+        if live:
+            token = next(self._stats_token)
+            for shard in live:
+                try:
+                    self._request_qs[shard].put(("stats", token))
+                except Exception:  # pragma: no cover - racing a crash
+                    continue
+            deadline = time.monotonic() + timeout
+            with self._stats_cond:
+                while any(
+                    self._stats_tokens.get(shard) != token
+                    for shard in live
+                    if not self._dead[shard]
+                ):
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not self._stats_cond.wait(remaining):
+                        break
+        with self._stats_cond:
+            return dict(self._shard_stats)
+
+    def merged_registry(
+        self, snapshots: dict[int, tuple[dict, dict]] | None = None
+    ) -> obs.MetricsRegistry:
+        """Parent registry + every shard's delta, as one standalone registry."""
+        if snapshots is None:
+            snapshots = self._shard_snapshots()
+        states = [obs.REGISTRY.snapshot()]
+        states.extend(delta for _, delta in snapshots.values())
+        return obs.registry_from_state(obs.merge_states(*states))
+
+    def stats_snapshot(self) -> dict:
+        """The cross-shard aggregate view (``repro batch --stats``)."""
+        snapshots = self._shard_snapshots()
+        registry = self.merged_registry(snapshots)
+        parent = self.stats.snapshot()
+        shard_stats = {
+            f"shard-{shard}": snap for shard, (snap, _) in sorted(snapshots.items())
+        }
+        merged = ServiceStats.merge_snapshots(
+            [parent, *(snap for snap, _ in snapshots.values())],
+            submitted=parent["submitted"],
+            latency=obs.merged_histogram(registry, "service_latency_seconds"),
+        )
+        merged["parent"] = parent
+        merged["shards"] = shard_stats
+        return merged
+
+    def metrics_snapshot(self) -> dict:
+        """The merged metrics registry as ``repro-metrics/1`` JSON."""
+        return self.merged_registry().to_json()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def shutdown(self, *, drain: bool = True, timeout: float | None = None) -> None:
+        """Stop admissions, stop shards, reap processes.  Idempotent.
+
+        ``drain=True`` lets every shard finish (or shed, per its own
+        queue's deadline policy) everything already admitted; ``drain=False``
+        sheds the parent-side remainder and tells shards to shed theirs.
+        Processes that outlive ``timeout`` (default: the construction-time
+        ``shutdown_timeout``) are terminated, then killed — a deadlocked
+        shard cannot hang its parent.
+        """
+        self._shutdown(drain=drain, timeout=timeout, kill=False)
+
+    def close(self) -> None:
+        """Non-graceful shutdown: kill shard processes immediately.
+
+        Queued and in-flight requests resolve with structured shed/crash
+        results; no child process survives this call.
+        """
+        self._shutdown(drain=False, timeout=0.0, kill=True)
+
+    def _shutdown(self, *, drain: bool, timeout: float | None, kill: bool) -> None:
+        with self._lifecycle:
+            if self._closed:
+                return
+            self._closed = True
+        timeout = self._shutdown_timeout if timeout is None else timeout
+        for bounded in self._queues:
+            bounded.close()
+        if not drain:
+            for bounded in self._queues:
+                for job in bounded.drain():
+                    self._finish_local(
+                        job,
+                        self._shed_result(job, "service shut down before execution"),
+                    )
+        if kill:
+            for process in self._processes:
+                if process.is_alive():
+                    process.terminate()
+        for feeder in self._feeders:
+            feeder.join(timeout=max(timeout, 1.0))
+        if not kill:
+            for shard, request_q in enumerate(self._request_qs):
+                if not self._dead[shard]:
+                    try:
+                        request_q.put(("stop", drain))
+                    except Exception:  # pragma: no cover - racing a crash
+                        self._mark_dead(shard)
+        deadline = time.monotonic() + timeout
+        for process in self._processes:
+            process.join(timeout=max(0.0, deadline - time.monotonic()))
+        for process in self._processes:
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=1.0)
+            if process.is_alive():  # pragma: no cover - stuck in the kernel
+                process.kill()
+                process.join(timeout=1.0)
+        self._check_shards()
+        self._collector_stop = True
+        self._collector.join(timeout=5.0)
+        # Anything still unresolved (e.g. killed before its result was
+        # read) gets the structured no-lost-requests treatment.
+        with self._pending_lock:
+            leftovers = list(self._pending.values())
+            self._pending.clear()
+        for job in leftovers:
+            self._finish_local(
+                job, self._shed_result(job, "service shut down before execution")
+            )
+        self._cleanup_segments()
+        try:
+            atexit.unregister(self._atexit_close)
+        except Exception:  # pragma: no cover - interpreter teardown
+            pass
+
+    def _atexit_close(self) -> None:  # pragma: no cover - interpreter exit
+        for process in self._processes:
+            try:
+                if process.is_alive():
+                    process.terminate()
+            except Exception:
+                pass
+        self._cleanup_segments()
+
+    def __enter__(self) -> "ShardedQueryService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None and issubclass(exc_type, KeyboardInterrupt):
+            self.close()
+        else:
+            self.shutdown(drain=True)
+
+    @property
+    def processes(self) -> list:
+        """The shard process handles (read-only; for tests and operators)."""
+        return list(self._processes)

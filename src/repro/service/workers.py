@@ -88,17 +88,38 @@ def _shared_corpus(alphabet: tuple[str, ...]):
 class PendingResult:
     """A one-shot, thread-safe slot for a request's eventual result."""
 
-    __slots__ = ("_event", "_result")
+    __slots__ = ("_event", "_result", "_callbacks", "_lock")
 
     def __init__(self) -> None:
         self._event = threading.Event()
         self._result: QueryResult | None = None
+        self._callbacks: list = []
+        self._lock = threading.Lock()
 
     def resolve(self, result: QueryResult) -> None:
         if self._event.is_set():  # pragma: no cover - defensive
             raise RuntimeError("result already resolved")
-        self._result = result
-        self._event.set()
+        with self._lock:
+            self._result = result
+            self._event.set()
+            callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(result)
+
+    def add_done_callback(self, callback) -> None:
+        """Invoke ``callback(result)`` once resolved (immediately if done).
+
+        Callbacks run on the resolving thread (a service worker), so they
+        must be quick and must not raise — the sharded service uses this to
+        push finished results onto the cross-process result queue without a
+        waiter thread per request.
+        """
+        with self._lock:
+            if not self._event.is_set():
+                self._callbacks.append(callback)
+                return
+            result = self._result
+        callback(result)
 
     def done(self) -> bool:
         return self._event.is_set()
@@ -251,6 +272,8 @@ class QueryService:
         default_timeout: float | None = None,
         default_max_steps: int | None = None,
         default_max_nodes: int | None = None,
+        service_name: str | None = None,
+        plan_cache: bool = False,
         clock=time.monotonic,
         sleep=time.sleep,
     ):
@@ -258,7 +281,13 @@ class QueryService:
             raise ValueError(f"workers must be >= 1, got {workers!r}")
         self.registry = registry if registry is not None else TreeRegistry()
         self.retry = retry if retry is not None else RetryPolicy()
-        self.stats = ServiceStats()
+        self.stats = ServiceStats(service=service_name)
+        # Optional prepared-plan cache: hot queries parse once per service
+        # (the sharded tier enables this so each shard compiles each
+        # distinct query exactly once; compiled *plans* are additionally
+        # cached structurally on the per-tree TreeIndex).
+        self._plan_cache: dict | None = {} if plan_cache else None
+        self._plan_lock = threading.Lock()
         self._clock = clock
         self._sleep = sleep
         self._queue = BoundedRequestQueue(
@@ -364,6 +393,10 @@ class QueryService:
         for thread in self._threads:
             thread.join(timeout)
 
+    def close(self) -> None:
+        """Non-graceful shutdown: shed the un-run remainder immediately."""
+        self.shutdown(drain=False)
+
     def __enter__(self) -> "QueryService":
         return self
 
@@ -418,10 +451,40 @@ class QueryService:
             )
         try:
             tree = self._resolve_tree(request)
-            plan = _PREPARERS[request.op](request)
+            plan = self._prepare(request)
         except (ValueError, TypeError) as exc:
             return self._error_result(job, exc, worker=worker)
         return self._execute(job, plan, tree, budget, worker, rng)
+
+    _PLAN_CACHE_LIMIT = 1024
+
+    def _prepare(self, request: QueryRequest):
+        """The prepared runner for ``request``, via the plan cache if on.
+
+        Prepared runners close over parsed ASTs only (no per-request or
+        per-tree state), so they are safe to share across requests and
+        worker threads.
+        """
+        if self._plan_cache is None:
+            return _PREPARERS[request.op](request)
+        key = (
+            request.op,
+            request.query,
+            request.formula,
+            request.left,
+            request.right,
+            request.alphabet,
+        )
+        with self._plan_lock:
+            plan = self._plan_cache.get(key)
+        if plan is not None:
+            return plan
+        plan = _PREPARERS[request.op](request)
+        with self._plan_lock:
+            if len(self._plan_cache) >= self._PLAN_CACHE_LIMIT:
+                self._plan_cache.pop(next(iter(self._plan_cache)))
+            self._plan_cache[key] = plan
+        return plan
 
     def _resolve_tree(self, request: QueryRequest):
         if request.op == "equivalent":

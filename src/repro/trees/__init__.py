@@ -33,18 +33,24 @@ from .generate import (
 )
 from .index import Scope, TreeIndex, tree_index
 from .node import Node
+from .share import MaskSlab, detach_tree, dump_index, dump_tree, load_tree
 from .tree import Tree
 from .xml_io import XmlReadOptions, XmlSyntaxError, parse_xml, to_xml
 
 __all__ = [
     "Axis",
     "CLOSURE_BASE",
+    "MaskSlab",
     "PRIMITIVE_AXES",
     "TRANSITIVE_AXES",
     "Node",
     "Scope",
     "Tree",
     "TreeIndex",
+    "detach_tree",
+    "dump_index",
+    "dump_tree",
+    "load_tree",
     "XmlReadOptions",
     "XmlSyntaxError",
     "all_shapes",

@@ -135,6 +135,53 @@ class TreeIndex:
                 last_groups[c - v] = last_groups.get(c - v, 0) | (1 << v)
         self.last_child_groups = sorted(last_groups.items())
 
+        self._finalize()
+
+    @classmethod
+    def _from_parts(
+        cls,
+        tree: Tree,
+        *,
+        prefix,
+        label_masks: dict[str, int],
+        after: list[int],
+        children_of,
+        delta_groups: list[tuple[int, int]],
+        sib_groups: list[tuple[int, int]],
+        leaf_mask: int,
+        first_mask: int,
+        last_mask: int,
+        last_child_groups: list[tuple[int, int]],
+    ) -> "TreeIndex":
+        """Assemble an index from precomputed state without recomputation.
+
+        This is the shared-memory deserialization entry point
+        (:mod:`repro.trees.share`): every mask table is handed in already
+        built — possibly as a lazy view over a mapped segment — so
+        attaching a tree in a shard process skips the O(n²)-bit
+        construction work entirely.  ``prefix`` and ``children_of`` only
+        need ``__getitem__``/``__len__``, which is what the kernels use.
+        """
+        index = object.__new__(cls)
+        index.tree = tree
+        index.n = tree.size
+        index.prefix = prefix
+        index.full = prefix[tree.size]
+        index.label_masks = label_masks
+        index.after = after
+        index.children_of = children_of
+        index.delta_groups = delta_groups
+        index.sib_groups = sib_groups
+        index.leaf_mask = leaf_mask
+        index.internal_mask = index.full ^ leaf_mask
+        index.first_mask = first_mask
+        index.last_mask = last_mask
+        index.last_child_groups = last_child_groups
+        index._finalize()
+        return index
+
+    def _finalize(self) -> None:
+        """Shared tail of both constructors: lazy tables, caches, kernels."""
         self._after_leq: list[int] | None = None  # lazy, for `preceding`
         self._scopes: dict[int, Scope] = {}
         self._relation_masks: dict[str, dict[int, int]] = {}

@@ -1,0 +1,394 @@
+"""Flat shared-memory serialization of a :class:`~repro.trees.index.TreeIndex`.
+
+The bitset engines' whole representation — node sets as big ints over
+preorder ids — was chosen because it packs into flat byte buffers without
+any pointer chasing.  This module exploits that: a tree and its index
+serialize into one **versioned flat segment** that can live in
+:class:`multiprocessing.shared_memory.SharedMemory` and be attached
+read-only by every shard process of the sharded query service
+(:mod:`repro.service.shards`), mirroring the pre/post-order "XPath
+accelerator" encoding (one flat table per axis-relevant attribute) in
+relational form.
+
+Segment layout (all integers little-endian)::
+
+    header    magic "RTIX" | version u16 | reserved u16 | n u32
+              | section_count u32 | total_size u64 | crc32 u32
+    table     section_count × (tag u32, offset u64, length u64)
+    payload   the sections, at their table offsets
+
+Sections (W = ``(n + 7) // 8``, the fixed mask width in bytes):
+
+========================  ===================================================
+``PARENTS``               n × i32 parent ids (root = -1)
+``LABEL_TABLE``           u32 count, then per label u32 byte-length + UTF-8
+``LABEL_IDS``             n × u32 indexes into the label table
+``AFTER``                 n × u32 (``after[v] = v + subtree_size(v)``)
+``FLAG_MASKS``            3 × W: leaf, first-sibling, last-sibling masks
+``LABEL_MASKS``           one W-byte mask per label, in table order
+``CHILDREN``              n × W per-node children masks
+``DELTA_GROUPS``          u32 count, count × u32 deltas, count × W masks
+``SIB_GROUPS``            same encoding (sizes instead of deltas)
+``LAST_CHILD_GROUPS``     same encoding
+``PREFIX``                (n + 1) × W interval prefix masks
+========================  ===================================================
+
+Masks reconstruct "zero-copy-ish" in the attaching process: each is one
+``int.from_bytes`` over a memoryview slice of the mapped segment — no
+pickling, no per-node Python objects — and the two quadratic-size tables
+(``PREFIX``, ``CHILDREN``) are materialized *lazily* through
+:class:`MaskSlab`, so segment pages are only touched (and ints only built)
+for the masks a workload actually uses.
+
+Integrity: the header carries the declared total size and a CRC-32 of the
+section table + payload.  :func:`load_tree` re-validates both plus every
+section's bounds before touching any content, raising a structured
+:class:`~repro.runtime.errors.TreeShareError` on any mismatch — a
+truncated or bit-flipped segment must never reconstruct wrong masks.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+from ..runtime.errors import TreeShareError
+from .index import TreeIndex, tree_index
+from .tree import Tree
+
+__all__ = [
+    "FORMAT_VERSION",
+    "MAGIC",
+    "MaskSlab",
+    "detach_tree",
+    "dump_index",
+    "dump_tree",
+    "load_tree",
+]
+
+MAGIC = b"RTIX"
+FORMAT_VERSION = 1
+
+_HEADER = struct.Struct("<4sHHIIQI")  # magic, version, reserved, n, sections, size, crc
+_ENTRY = struct.Struct("<IQQ")  # tag, offset, length
+
+# Section tags (the offset table makes the layout self-describing, so new
+# sections can be appended in later versions without breaking old readers).
+T_PARENTS = 1
+T_LABEL_TABLE = 2
+T_LABEL_IDS = 3
+T_AFTER = 4
+T_FLAG_MASKS = 5
+T_LABEL_MASKS = 6
+T_CHILDREN = 7
+T_DELTA_GROUPS = 8
+T_SIB_GROUPS = 9
+T_LAST_CHILD_GROUPS = 10
+T_PREFIX = 11
+
+_REQUIRED_TAGS = (
+    T_PARENTS,
+    T_LABEL_TABLE,
+    T_LABEL_IDS,
+    T_AFTER,
+    T_FLAG_MASKS,
+    T_LABEL_MASKS,
+    T_CHILDREN,
+    T_DELTA_GROUPS,
+    T_SIB_GROUPS,
+    T_LAST_CHILD_GROUPS,
+    T_PREFIX,
+)
+
+
+class MaskSlab:
+    """A lazy, cached sequence of fixed-width bitmasks over a mapped buffer.
+
+    ``slab[i]`` materializes mask ``i`` with one ``int.from_bytes`` over the
+    backing memoryview and caches the int, so repeated kernel access pays
+    the copy once while untouched masks never leave the shared pages.
+    Supports exactly the container protocol the axis kernels use
+    (``__getitem__`` / ``__len__`` / iteration).
+    """
+
+    __slots__ = ("_view", "_width", "_count", "_cache")
+
+    def __init__(self, view: memoryview, width: int, count: int):
+        self._view = view
+        self._width = width
+        self._count = count
+        self._cache: dict[int, int] = {}
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __getitem__(self, i: int) -> int:
+        mask = self._cache.get(i)
+        if mask is None:
+            if not 0 <= i < self._count:
+                raise IndexError(i)
+            if self._view is None:
+                raise TreeShareError(
+                    f"mask {i} read after detach(): the backing segment is "
+                    "unmapped and this mask was never materialized"
+                )
+            off = i * self._width
+            mask = int.from_bytes(self._view[off : off + self._width], "little")
+            self._cache[i] = mask
+        return mask
+
+    def __iter__(self):
+        return (self[i] for i in range(self._count))
+
+    def detach(self) -> None:
+        """Release the backing view (so the segment can be unmapped).
+
+        After detaching, only already-materialized masks remain readable;
+        the sharded service calls this on shard shutdown right before
+        closing the shared-memory handle, which would otherwise refuse to
+        unmap while exported views exist.
+        """
+        if self._view is not None:
+            self._view.release()
+            self._view = None
+
+    def __getstate__(self):  # pragma: no cover - defensive
+        raise TypeError("MaskSlab views a process-local mapping; not picklable")
+
+
+def detach_tree(tree: Tree) -> None:
+    """Release every mapped view a loaded tree's index still holds."""
+    index = tree._engine_index
+    if index is None:
+        return
+    for slab in (index.prefix, index.children_of):
+        if isinstance(slab, MaskSlab):
+            slab.detach()
+
+
+def _grouped_bytes(groups: list[tuple[int, int]], width: int) -> bytes:
+    """Encode ``[(key, mask), ...]`` as count + keys + fixed-width masks."""
+    out = bytearray(struct.pack("<I", len(groups)))
+    for key, _ in groups:
+        out += struct.pack("<I", key)
+    for _, mask in groups:
+        out += mask.to_bytes(width, "little")
+    return bytes(out)
+
+
+def _read_groups(view: memoryview, width: int, n: int) -> list[tuple[int, int]]:
+    if len(view) < 4:
+        raise TreeShareError("group section too short for its count header")
+    (count,) = struct.unpack_from("<I", view, 0)
+    need = 4 + count * (4 + width)
+    if len(view) != need:
+        raise TreeShareError(
+            f"group section length {len(view)} != expected {need} "
+            f"for {count} groups of width {width}"
+        )
+    keys = struct.unpack_from(f"<{count}I", view, 4) if count else ()
+    base = 4 + 4 * count
+    groups = []
+    for i, key in enumerate(keys):
+        off = base + i * width
+        groups.append((key, int.from_bytes(view[off : off + width], "little")))
+    return groups
+
+
+def dump_index(index: TreeIndex) -> bytes:
+    """Serialize ``index`` (and its tree's structure) to one flat segment."""
+    tree = index.tree
+    n = index.n
+    width = (n + 7) // 8
+
+    label_order = sorted(index.label_masks)
+    label_id = {label: i for i, label in enumerate(label_order)}
+    label_table = bytearray(struct.pack("<I", len(label_order)))
+    for label in label_order:
+        encoded = label.encode("utf-8")
+        label_table += struct.pack("<I", len(encoded))
+        label_table += encoded
+
+    sections: list[tuple[int, bytes]] = [
+        (T_PARENTS, struct.pack(f"<{n}i", *tree.parent)),
+        (T_LABEL_TABLE, bytes(label_table)),
+        (T_LABEL_IDS, struct.pack(f"<{n}I", *(label_id[l] for l in tree.labels))),
+        (T_AFTER, struct.pack(f"<{n}I", *index.after)),
+        (
+            T_FLAG_MASKS,
+            index.leaf_mask.to_bytes(width, "little")
+            + index.first_mask.to_bytes(width, "little")
+            + index.last_mask.to_bytes(width, "little"),
+        ),
+        (
+            T_LABEL_MASKS,
+            b"".join(
+                index.label_masks[label].to_bytes(width, "little")
+                for label in label_order
+            ),
+        ),
+        (
+            T_CHILDREN,
+            b"".join(
+                index.children_of[v].to_bytes(width, "little") for v in range(n)
+            ),
+        ),
+        (T_DELTA_GROUPS, _grouped_bytes(index.delta_groups, width)),
+        (T_SIB_GROUPS, _grouped_bytes(index.sib_groups, width)),
+        (T_LAST_CHILD_GROUPS, _grouped_bytes(index.last_child_groups, width)),
+        (
+            T_PREFIX,
+            b"".join(
+                index.prefix[i].to_bytes(width, "little") for i in range(n + 1)
+            ),
+        ),
+    ]
+
+    table = bytearray()
+    payload = bytearray()
+    base = _HEADER.size + _ENTRY.size * len(sections)
+    for tag, blob in sections:
+        table += _ENTRY.pack(tag, base + len(payload), len(blob))
+        payload += blob
+    body = bytes(table) + bytes(payload)
+    total = _HEADER.size + len(body)
+    header = _HEADER.pack(
+        MAGIC, FORMAT_VERSION, 0, n, len(sections), total, zlib.crc32(body)
+    )
+    return header + body
+
+
+def dump_tree(tree: Tree) -> bytes:
+    """Serialize ``tree`` via its (cached, lazily built) index."""
+    return dump_index(tree_index(tree))
+
+
+def _section_view(
+    buffer: memoryview, entries: dict[int, tuple[int, int]], tag: int, total: int
+) -> memoryview:
+    if tag not in entries:
+        raise TreeShareError(f"segment is missing required section {tag}")
+    offset, length = entries[tag]
+    if offset < _HEADER.size or offset + length > total:
+        raise TreeShareError(
+            f"section {tag} spans [{offset}, {offset + length}) "
+            f"outside the declared segment size {total}"
+        )
+    return buffer[offset : offset + length]
+
+
+def load_tree(buffer) -> Tree:
+    """Attach a serialized segment: rebuild the tree, map its index.
+
+    ``buffer`` is any bytes-like object (typically a
+    ``SharedMemory.buf`` memoryview).  Returns the reconstructed
+    :class:`Tree` with its :class:`TreeIndex` already attached (so
+    ``tree_index(tree)`` is O(1) and shares the mapped masks).  The tree's
+    own flat arrays are rebuilt in O(n) from the parents section; every
+    precomputed mask comes from the segment.
+
+    Raises :class:`~repro.runtime.errors.TreeShareError` on any integrity
+    failure — short buffer, bad magic/version, size or CRC mismatch,
+    out-of-bounds or missing sections.
+    """
+    view = memoryview(buffer)
+    if len(view) < _HEADER.size:
+        raise TreeShareError(
+            f"segment too short for header ({len(view)} < {_HEADER.size} bytes)"
+        )
+    magic, version, _, n, section_count, total, crc = _HEADER.unpack_from(view, 0)
+    if magic != MAGIC:
+        raise TreeShareError(f"bad segment magic {magic!r}")
+    if version != FORMAT_VERSION:
+        raise TreeShareError(
+            f"unsupported segment version {version} (expected {FORMAT_VERSION})"
+        )
+    if total < _HEADER.size + _ENTRY.size * section_count or total > len(view):
+        raise TreeShareError(
+            f"declared size {total} does not fit the buffer ({len(view)} bytes)"
+        )
+    view = view[:total]
+    if zlib.crc32(view[_HEADER.size :]) != crc:
+        raise TreeShareError("segment checksum mismatch (truncated or corrupted)")
+    if n < 1:
+        raise TreeShareError(f"segment declares an empty tree (n={n})")
+
+    entries: dict[int, tuple[int, int]] = {}
+    for i in range(section_count):
+        tag, offset, length = _ENTRY.unpack_from(view, _HEADER.size + i * _ENTRY.size)
+        entries[tag] = (offset, length)
+    width = (n + 7) // 8
+
+    def section(tag: int, expected: int | None = None) -> memoryview:
+        sub = _section_view(view, entries, tag, total)
+        if expected is not None and len(sub) != expected:
+            raise TreeShareError(
+                f"section {tag} has length {len(sub)}, expected {expected}"
+            )
+        return sub
+
+    parents = struct.unpack(f"<{n}i", section(T_PARENTS, 4 * n))
+
+    table_view = section(T_LABEL_TABLE)
+    if len(table_view) < 4:
+        raise TreeShareError("label table too short for its count header")
+    (label_count,) = struct.unpack_from("<I", table_view, 0)
+    labels_by_id: list[str] = []
+    pos = 4
+    for _ in range(label_count):
+        if pos + 4 > len(table_view):
+            raise TreeShareError("label table truncated mid-entry")
+        (length,) = struct.unpack_from("<I", table_view, pos)
+        pos += 4
+        if pos + length > len(table_view):
+            raise TreeShareError("label table truncated mid-label")
+        labels_by_id.append(bytes(table_view[pos : pos + length]).decode("utf-8"))
+        pos += length
+
+    label_ids = struct.unpack(f"<{n}I", section(T_LABEL_IDS, 4 * n))
+    if any(i >= label_count for i in label_ids):
+        raise TreeShareError("label id out of range for the label table")
+    labels = [labels_by_id[i] for i in label_ids]
+
+    try:
+        tree = Tree(labels, parents)
+    except ValueError as exc:
+        raise TreeShareError(f"segment does not encode a valid tree: {exc}") from exc
+
+    after = list(struct.unpack(f"<{n}I", section(T_AFTER, 4 * n)))
+
+    flags = section(T_FLAG_MASKS, 3 * width)
+    leaf_mask = int.from_bytes(flags[0:width], "little")
+    first_mask = int.from_bytes(flags[width : 2 * width], "little")
+    last_mask = int.from_bytes(flags[2 * width : 3 * width], "little")
+
+    label_mask_view = section(T_LABEL_MASKS, label_count * width)
+    label_masks = {
+        label: int.from_bytes(
+            label_mask_view[i * width : (i + 1) * width], "little"
+        )
+        for i, label in enumerate(labels_by_id)
+    }
+
+    children_of = MaskSlab(section(T_CHILDREN, n * width), width, n)
+    prefix = MaskSlab(section(T_PREFIX, (n + 1) * width), width, n + 1)
+
+    delta_groups = _read_groups(section(T_DELTA_GROUPS), width, n)
+    sib_groups = _read_groups(section(T_SIB_GROUPS), width, n)
+    last_child_groups = _read_groups(section(T_LAST_CHILD_GROUPS), width, n)
+
+    index = TreeIndex._from_parts(
+        tree,
+        prefix=prefix,
+        label_masks=label_masks,
+        after=after,
+        children_of=children_of,
+        delta_groups=delta_groups,
+        sib_groups=sib_groups,
+        leaf_mask=leaf_mask,
+        first_mask=first_mask,
+        last_mask=last_mask,
+        last_child_groups=last_child_groups,
+    )
+    tree._engine_index = index
+    return tree

@@ -1,0 +1,173 @@
+"""Cross-process metrics algebra: diff, additive merge, percentile merge.
+
+The sharded service's stats reconciliation is only trustworthy if these
+hold:
+
+* ``diff_state(base, current)`` isolates what one process recorded since
+  its baseline (the ``fork`` double-count defence);
+* ``merge_states`` is additive on counters and raw histogram reservoirs;
+* the merged percentile equals the percentile of the *combined*
+  population — and specifically is NOT the average of the per-part
+  percentiles, which is the classic aggregation bug this layer exists to
+  prevent.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.obs import (
+    Histogram,
+    MetricsRegistry,
+    diff_state,
+    merge_states,
+    merged_histogram,
+    registry_from_state,
+)
+
+
+def build_registry(observations, *, service="svc"):
+    registry = MetricsRegistry()
+    registry.counter("requests_total", service=service).inc(len(observations))
+    histogram = registry.histogram("latency_seconds", service=service)
+    for value in observations:
+        histogram.observe(value)
+    return registry
+
+
+class TestDiffState:
+    def test_counter_delta(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hits")
+        counter.inc(7)
+        base = registry.snapshot()
+        counter.inc(5)
+        delta = diff_state(base, registry.snapshot())
+        restored = registry_from_state(delta)
+        assert restored.counter("hits").value == 5
+
+    def test_histogram_delta_subtracts_reservoir(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat")
+        histogram.observe(0.01)
+        histogram.observe(0.02)
+        base = registry.snapshot()
+        histogram.observe(0.04)
+        delta = diff_state(base, registry.snapshot())
+        restored = registry_from_state(delta)
+        assert restored.histogram("lat").count == 1
+
+    def test_new_instrument_passes_through(self):
+        registry = MetricsRegistry()
+        registry.counter("old").inc(3)
+        base = registry.snapshot()
+        registry.counter("new").inc(2)
+        delta = diff_state(base, registry.snapshot())
+        restored = registry_from_state(delta)
+        assert restored.counter("old").value == 0
+        assert restored.counter("new").value == 2
+
+    def test_gauge_keeps_level(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth")
+        gauge.set(10)
+        base = registry.snapshot()
+        gauge.set(4)
+        delta = diff_state(base, registry.snapshot())
+        assert registry_from_state(delta).gauge("depth").value == 4
+
+
+class TestMergeStates:
+    def test_counters_add(self):
+        parts = []
+        for value in (3, 5, 11):
+            registry = MetricsRegistry()
+            registry.counter("hits").inc(value)
+            parts.append(registry.snapshot())
+        merged = registry_from_state(merge_states(*parts))
+        assert merged.counter("hits").value == 19
+
+    def test_kind_mismatch_rejected(self):
+        a = MetricsRegistry()
+        a.counter("x").inc()
+        b = MetricsRegistry()
+        b.gauge("x").set(1)
+        with pytest.raises(ValueError, match="counter"):
+            merge_states(a.snapshot(), b.snapshot())
+
+    def test_histogram_reservoirs_add(self):
+        a = build_registry([0.001, 0.002])
+        b = build_registry([0.5, 0.9])
+        merged = registry_from_state(merge_states(a.snapshot(), b.snapshot()))
+        histogram = merged_histogram(merged, "latency_seconds")
+        assert histogram.count == 4
+        assert histogram.sum == pytest.approx(0.001 + 0.002 + 0.5 + 0.9)
+
+
+class TestPercentileMerge:
+    def test_merged_percentile_is_population_percentile(self):
+        # Shard A: 9 fast requests.  Shard B: 1 slow request.  The combined
+        # p50 is fast; the average of per-shard p50s would be badly wrong.
+        fast = [0.001] * 9
+        slow = [2.0]
+        a = build_registry(fast, service="shard0")
+        b = build_registry(slow, service="shard1")
+        merged = registry_from_state(merge_states(a.snapshot(), b.snapshot()))
+        combined = merged_histogram(merged, "latency_seconds")
+
+        reference = Histogram("latency_seconds", ())
+        for value in fast + slow:
+            reference.observe(value)
+
+        assert combined.percentile(0.50) == reference.percentile(0.50)
+        assert combined.percentile(0.90) == reference.percentile(0.90)
+
+        broken_average = (
+            merged_histogram(a, "latency_seconds").percentile(0.50)
+            + merged_histogram(b, "latency_seconds").percentile(0.50)
+        ) / 2
+        assert combined.percentile(0.50) != pytest.approx(broken_average)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        parts=st.lists(
+            st.lists(
+                st.floats(min_value=1e-6, max_value=50.0,
+                          allow_nan=False, allow_infinity=False),
+                min_size=1,
+                max_size=30,
+            ),
+            min_size=1,
+            max_size=4,
+        ),
+        quantile=st.sampled_from([0.5, 0.9, 0.99]),
+    )
+    def test_merge_equals_population_for_random_splits(self, parts, quantile):
+        snapshots = [
+            build_registry(observations, service=f"shard{i}").snapshot()
+            for i, observations in enumerate(parts)
+        ]
+        merged = registry_from_state(merge_states(*snapshots))
+        combined = merged_histogram(merged, "latency_seconds")
+
+        reference = Histogram("latency_seconds", ())
+        for observations in parts:
+            for value in observations:
+                reference.observe(value)
+
+        assert combined.count == reference.count
+        assert combined.percentile(quantile) == reference.percentile(quantile)
+
+    def test_merged_counter_reconciles(self):
+        snapshots = [
+            build_registry([0.01] * n, service=f"shard{i}").snapshot()
+            for i, n in enumerate((4, 7, 9))
+        ]
+        merged = registry_from_state(merge_states(*snapshots))
+        total = sum(
+            instrument.value
+            for instrument in merged.instruments()
+            if instrument.name == "requests_total"
+        )
+        assert total == 20

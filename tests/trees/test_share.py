@@ -1,0 +1,177 @@
+"""Shared-memory TreeIndex serialization: bit-exactness and corruption.
+
+The multiprocess tier depends on two properties proven here:
+
+* **round-trip fidelity** — ``dump_index`` → (any buffer, including a
+  mapped shared-memory segment) → ``load_tree`` reproduces every mask the
+  engines consult *bit-exactly*, for arbitrary trees (random shapes, empty
+  labels, single node, deep chains).  A single flipped bit in a prefix or
+  children mask silently corrupts every query answer, so the comparison is
+  integer equality on the full big-int masks, not a sample.
+* **structured corruption failure** — a truncated, bit-flipped, or
+  version-skewed segment raises
+  :class:`~repro.runtime.errors.TreeShareError` (the PR 3 error taxonomy's
+  ``io`` exit code), never an unstructured struct/index error and never a
+  silently wrong tree.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.runtime.errors import TreeShareError, exit_code_for
+from repro.trees import (
+    Tree,
+    chain,
+    dump_index,
+    dump_tree,
+    load_tree,
+    parse_xml,
+    random_tree,
+    to_xml,
+    tree_index,
+)
+from repro.trees.share import FORMAT_VERSION, MaskSlab, detach_tree
+
+
+def assert_index_equal(original, loaded):
+    """Every engine-visible mask family, compared bit-exactly."""
+    assert loaded.n == original.n
+    assert loaded.full == original.full
+    assert list(loaded.prefix) == list(original.prefix)
+    assert list(loaded.children_of) == list(original.children_of)
+    assert loaded.label_masks == original.label_masks
+    assert loaded.after == original.after
+    assert loaded.leaf_mask == original.leaf_mask
+    assert loaded.internal_mask == original.internal_mask
+    assert loaded.first_mask == original.first_mask
+    assert loaded.last_mask == original.last_mask
+    assert loaded.delta_groups == original.delta_groups
+    assert loaded.sib_groups == original.sib_groups
+    assert loaded.last_child_groups == original.last_child_groups
+
+
+def roundtrip(tree: Tree) -> Tree:
+    return load_tree(dump_index(tree_index(tree)))
+
+
+class TestRoundTrip:
+    def test_single_node(self):
+        tree = parse_xml("<a/>")
+        loaded = roundtrip(tree)
+        assert loaded.size == 1
+        assert_index_equal(tree_index(tree), tree_index(loaded))
+
+    def test_empty_labels(self):
+        # Empty-string labels are legal in the data model and must survive
+        # the length-prefixed label table.
+        tree = Tree(labels=["", "a", "", "b"], parents=[-1, 0, 0, 2])
+        loaded = roundtrip(tree)
+        assert loaded.labels == tree.labels
+        assert_index_equal(tree_index(tree), tree_index(loaded))
+
+    def test_deep_chain(self):
+        tree = chain(300, "abc")
+        loaded = roundtrip(tree)
+        assert loaded.parent == tree.parent
+        assert_index_equal(tree_index(tree), tree_index(loaded))
+
+    def test_xml_identity(self):
+        tree = random_tree(120, "abc", random.Random(3))
+        assert to_xml(roundtrip(tree)) == to_xml(tree)
+
+    def test_dump_tree_convenience(self):
+        tree = random_tree(40, "ab", random.Random(5))
+        loaded = load_tree(dump_tree(tree))
+        assert_index_equal(tree_index(tree), tree_index(loaded))
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        size=st.integers(min_value=1, max_value=80),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        alphabet=st.sampled_from(["a", "ab", "abc", "xyzw"]),
+    )
+    def test_random_trees_bit_exact(self, size, seed, alphabet):
+        tree = random_tree(size, alphabet, random.Random(seed))
+        loaded = roundtrip(tree)
+        assert loaded.labels == tree.labels
+        assert loaded.parent == tree.parent
+        assert_index_equal(tree_index(tree), tree_index(loaded))
+
+    def test_loaded_tree_answers_queries(self):
+        # The reconstructed index is the live engine index (no rebuild).
+        from repro.xpath import evaluate_path, parse_path
+
+        tree = random_tree(150, "ab", random.Random(11))
+        loaded = load_tree(dump_tree(tree))
+        assert loaded._engine_index is not None
+        sources = range(tree.size)
+        for query in ("descendant[a]", "child[b]", "following[a]"):
+            expr = parse_path(query)
+            assert evaluate_path(loaded, expr, sources, backend="bitset") == (
+                evaluate_path(tree, expr, sources, backend="bitset")
+            )
+
+
+class TestMaskSlab:
+    def test_lazy_views_and_detach(self):
+        tree = random_tree(60, "ab", random.Random(2))
+        payload = dump_index(tree_index(tree))
+        loaded = load_tree(payload)
+        index = tree_index(loaded)
+        assert isinstance(index.prefix, MaskSlab)
+        assert isinstance(index.children_of, MaskSlab)
+        reference = tree_index(tree)
+        assert index.prefix[len(loaded.labels)] == reference.prefix[tree.size]
+        assert index.children_of[0] == reference.children_of[0]
+        detach_tree(loaded)
+        # Materialized masks survive the detach; unmaterialized reads fail
+        # with the structured error, never a raw NoneType crash.
+        assert index.prefix[len(loaded.labels)] == reference.prefix[tree.size]
+        with pytest.raises(TreeShareError, match="detach"):
+            index.prefix[1]
+
+    def test_slab_refuses_pickle(self):
+        import pickle
+
+        tree = random_tree(10, "ab", random.Random(1))
+        loaded = load_tree(dump_tree(tree))
+        with pytest.raises(TypeError):
+            pickle.dumps(tree_index(loaded).prefix)
+
+
+class TestCorruption:
+    def payload(self) -> bytes:
+        return dump_tree(random_tree(50, "ab", random.Random(9)))
+
+    def test_truncated_segment(self):
+        payload = self.payload()
+        for cut in (0, 3, 16, len(payload) // 2, len(payload) - 1):
+            with pytest.raises(TreeShareError):
+                load_tree(payload[:cut])
+
+    def test_bad_magic(self):
+        payload = bytearray(self.payload())
+        payload[0] ^= 0xFF
+        with pytest.raises(TreeShareError, match="magic"):
+            load_tree(bytes(payload))
+
+    def test_version_skew(self):
+        import struct
+
+        payload = bytearray(self.payload())
+        struct.pack_into("<H", payload, 4, FORMAT_VERSION + 1)
+        with pytest.raises(TreeShareError, match="version"):
+            load_tree(bytes(payload))
+
+    def test_flipped_payload_bit_fails_crc(self):
+        payload = bytearray(self.payload())
+        payload[-10] ^= 0x01
+        with pytest.raises(TreeShareError, match="checksum"):
+            load_tree(bytes(payload))
+
+    def test_error_maps_to_io_exit_code(self):
+        assert exit_code_for(TreeShareError("x")) == 3
