@@ -8,6 +8,15 @@ directly (queue hop, budget construction, breaker acquire, stats); and
 (c) batch throughput with a counted fault burst armed, measuring what the
 retry + breaker machinery costs while it reroutes.
 
+Experiment S2 (PR 7) rides in the same file: a Zipf-skewed batch — a few
+hot (query, tree) pairs dominating a long tail, the distribution a serving
+tier actually sees — run three ways: ``baseline`` (the static routing of
+PR 4), ``optimized`` (canonicalization + cost-based backend choice, no
+result reuse), and ``cached`` (the full semantic result cache).  The
+cached point's ``extra`` carries the measured hit rate and cache event
+counts into the committed compact JSON, where the CI gate
+(``benchmarks/compare_backends.py``) checks them.
+
 Record results with::
 
     pytest benchmarks/bench_service.py --benchmark-json=BENCH_service.json
@@ -54,6 +63,39 @@ def _batch(n=BATCH):
     ]
 
 
+#: The S2 request pool, hot-first.  Ranks 0-3 include syntactic variants of
+#: one another (``child/child*`` vs ``descendant``), so the semantic cache
+#: collapses them onto shared entries; the tail keeps the cache honest with
+#: genuinely distinct work.
+_ZIPF_POOL = (
+    {"op": "eval", "query": "<descendant[a and <right[b]>]>", "tree": "bushy"},
+    {"op": "eval", "query": "<child/child*[a and <right[b]>]>", "tree": "bushy"},
+    {"op": "select", "query": "descendant[a]", "tree": "bushy"},
+    {"op": "select", "query": "child/child*[a]", "tree": "bushy"},
+    {"op": "eval", "query": "<(child[a])*[b]>", "tree": "chain"},
+    {"op": "check", "formula": "exists x. a(x)", "tree": "bushy"},
+    {"op": "eval", "query": "<descendant[b]>", "tree": "chain"},
+    {"op": "eval", "query": "<child[a]/descendant[b]>", "tree": "bushy"},
+    {"op": "select", "query": "descendant[b]/child", "tree": "chain"},
+    {"op": "eval", "query": "<parent*[a]>", "tree": "bushy"},
+    {"op": "eval", "query": "<descendant[not <child>]>", "tree": "bushy"},
+    {"op": "check", "formula": "exists x. b(x)", "tree": "chain"},
+)
+
+ZIPF_BATCH = 96
+ZIPF_EXPONENT = 1.1
+
+
+def zipf_batch(n=ZIPF_BATCH, seed=2008):
+    """A Zipf(``ZIPF_EXPONENT``)-weighted sample of the S2 pool (deterministic)."""
+    rng = random.Random(seed)
+    weights = [1.0 / (rank + 1) ** ZIPF_EXPONENT for rank in range(len(_ZIPF_POOL))]
+    return [
+        QueryRequest(**rng.choices(_ZIPF_POOL, weights)[0], id=f"z{i}")
+        for i in range(n)
+    ]
+
+
 def _sharded_batch(n=BATCH):
     """The same op mix as :func:`_batch`, spread over ``_SHARD_DOCS`` docs."""
     requests = []
@@ -83,6 +125,40 @@ def test_mixed_batch_throughput(benchmark, registry, workers):
     with QueryService(registry, workers=workers, queue_limit=BATCH) as service:
         results = benchmark(lambda: service.run_batch(_batch()))
     assert all(r.status == "ok" for r in results)
+
+
+@pytest.mark.parametrize("mode", ("baseline", "optimized", "cached"))
+def test_zipf_cache_sweep(benchmark, registry, mode):
+    """S2: the Zipf-skewed batch, cached vs uncached.
+
+    ``baseline`` is PR 4's static routing; ``optimized`` adds canonical
+    forms + cost-based backend choice but recomputes every result;
+    ``cached`` adds the semantic result cache.  The cache persists across
+    benchmark rounds (by design — it measures the steady state a serving
+    tier reaches), so the cached arm's hit rate approaches 1.0 and its p50
+    is the price of a batch of cache lookups.  The recorded ``extra``
+    carries the hit rate and event counts for the CI effectiveness gate.
+    """
+    benchmark.group = f"S2 zipf batch of {ZIPF_BATCH}"
+    kwargs = {}
+    if mode != "baseline":
+        kwargs = {"optimize": True, "result_cache": mode == "cached"}
+    with QueryService(
+        registry, workers=4, queue_limit=ZIPF_BATCH, **kwargs
+    ) as service:
+        results = benchmark(lambda: service.run_batch(zipf_batch()))
+        snap = service.stats_snapshot()
+    assert all(r.status == "ok" for r in results)
+    cache = snap.get("result_cache")
+    if cache is not None:
+        benchmark.extra_info["hit_rate"] = round(cache["hit_rate"], 4)
+        benchmark.extra_info["cache_events"] = cache["events"]
+    if "optimizer" in snap:
+        benchmark.extra_info["backend_choices"] = snap["optimizer"]["choices"]
+        benchmark.extra_info["seconds_per_unit"] = {
+            backend: float(f"{rate:.3g}")
+            for backend, rate in snap["optimizer"]["rates"].items()
+        }
 
 
 @pytest.mark.parametrize(

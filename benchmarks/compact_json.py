@@ -11,6 +11,8 @@ the committed ``BENCH_*.json`` files use the compact schema produced here:
   points parametrized by ``shards`` additionally carry ``speedup`` (p50 at
   shards=1 over this point's p50, other params equal) and
   ``scaling_efficiency`` (speedup / shards — 1.0 is perfect scaling);
+  a benchmark's ``extra_info`` (e.g. the cache-sweep hit rates) is kept
+  verbatim under ``extra``;
 * a **speedups** table pairing the ``bitset`` engine against its row-wise
   reference (``sets`` or ``table``) at equal parameters, since that ratio is
   the headline number of the C1/C3 experiment rows;
@@ -101,6 +103,9 @@ def compact(raw: dict) -> dict:
         )
         point = {"params": bench.get("params") or {}}
         point.update(_point_stats(bench))
+        extra = bench.get("extra_info") or {}
+        if extra:
+            point["extra"] = extra
         entry["points"].append(point)
 
     for entry in series.values():

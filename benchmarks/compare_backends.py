@@ -23,11 +23,19 @@ non-zero if a bitset engine falls below its regression gate:
   path), so the headline speedup gates price the disabled overhead, and
   this gate bounds the full cost of turning tracing on — an upper bound
   on what the disabled path could possibly cost.
+* semantic-cache rows (PR 7): a Zipf-skewed batch through the service
+  twice — optimizer on in both arms, result cache off vs on — gated on
+  ``--min-hit-rate`` (default 0.30; the skew guarantees repeats, so a
+  lower rate means the canonical keying broke) and ``--min-cache-win``
+  percent p50 improvement (default 10%).  The win gate is *skew-guarded*:
+  it only applies when the hit-rate gate passed, since without repeats a
+  timing win is unattainable by construction.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/compare_backends.py           # full
     PYTHONPATH=src python benchmarks/compare_backends.py --quick   # CI smoke
+    PYTHONPATH=src python benchmarks/compare_backends.py --cache-only
 """
 
 from __future__ import annotations
@@ -40,7 +48,8 @@ import time
 from repro import obs
 from repro.logic import ModelChecker, parse_formula
 from repro.runtime import ExecutionBudget
-from repro.trees import random_deep_tree, random_tree
+from repro.service import QueryRequest, QueryService, TreeRegistry
+from repro.trees import chain, random_deep_tree, random_tree
 from repro.xpath import Evaluator, parse_node, parse_path
 
 QUERY = parse_node("<descendant[a and <right[b]>]> and not <child[not <child>]>")
@@ -48,6 +57,61 @@ STAR_QUERY = parse_path("(child[a] | child[b]/right)*")
 TC_HEAVY = parse_formula(
     "exists x. exists y. tc[u,v](child(u,v) | right(u,v))(x,y) & last(y) & leaf(y)"
 )
+
+#: The cache-gate request pool (hot-first; ranks 0-3 are pairwise syntactic
+#: variants, so canonical keying must collapse them for the hit-rate gate).
+_CACHE_POOL = (
+    {"op": "eval", "query": "<descendant[a and <right[b]>]>", "tree": "bushy"},
+    {"op": "eval", "query": "<child/child*[a and <right[b]>]>", "tree": "bushy"},
+    {"op": "select", "query": "descendant[a]", "tree": "bushy"},
+    {"op": "select", "query": "child/child*[a]", "tree": "bushy"},
+    {"op": "eval", "query": "<(child[a])*[b]>", "tree": "chain"},
+    {"op": "eval", "query": "<descendant[b]>", "tree": "chain"},
+    {"op": "eval", "query": "<child[a]/descendant[b]>", "tree": "bushy"},
+    {"op": "eval", "query": "<descendant[not <child>]>", "tree": "bushy"},
+)
+
+_ZIPF_EXPONENT = 1.1
+
+
+def _zipf_requests(n: int, seed: int = 2008) -> list[QueryRequest]:
+    rng = random.Random(seed)
+    weights = [
+        1.0 / (rank + 1) ** _ZIPF_EXPONENT for rank in range(len(_CACHE_POOL))
+    ]
+    return [
+        QueryRequest(**rng.choices(_CACHE_POOL, weights)[0], id=f"c{i}")
+        for i in range(n)
+    ]
+
+
+def cache_effectiveness(quick: bool, reps: int) -> tuple[tuple, float]:
+    """Time the Zipf batch uncached vs cached; a row plus the hit rate.
+
+    Both arms run with the optimizer on (canonical keys, cost-based backend
+    choice); only the result cache differs, so the ratio isolates what
+    cross-request reuse buys.  The cached service persists across
+    repetitions — steady state is what the gate prices.
+    """
+    size = 256 if quick else 512
+    batch = 48 if quick else 96
+    registry = TreeRegistry()
+    registry.register("bushy", random_tree(size, rng=random.Random(2008)))
+    registry.register("chain", chain(size, labels=("a", "b")))
+    requests = _zipf_requests(batch)
+    with QueryService(
+        registry, workers=4, queue_limit=batch, optimize=True, result_cache=False
+    ) as uncached, QueryService(
+        registry, workers=4, queue_limit=batch, optimize=True, result_cache=True
+    ) as cached:
+        plain_t, cached_t, ratio = paired_seconds(
+            lambda: uncached.run_batch(requests),
+            lambda: cached.run_batch(requests),
+            reps,
+        )
+        snapshot = cached.stats_snapshot()["result_cache"]
+    row = (f"zipf batch of {batch}", plain_t, cached_t, ratio)
+    return row, snapshot["hit_rate"]
 
 
 def median_seconds(thunk, repetitions: int) -> float:
@@ -96,6 +160,50 @@ def paired_seconds(baseline, variant, repetitions: int) -> tuple[float, float, f
     return min(base_times), min(var_times), ratios[len(ratios) // 2]
 
 
+def cache_section(args, reps: int) -> list[str]:
+    """Print the semantic-cache rows; the list of gate-failure messages."""
+    row, hit_rate = cache_effectiveness(args.quick, reps)
+    header = (
+        f"{'semantic cache':<22} {'uncached':>12} {'cached':>12} {'p50 win':>9}"
+    )
+    print(header)
+    print("-" * len(header))
+    name, plain_t, cached_t, ratio = row
+    win_pct = (1.0 - ratio) * 100.0
+    print(
+        f"{name:<22} {plain_t * 1e3:>10.3f}ms {cached_t * 1e3:>10.3f}ms "
+        f"{win_pct:>+8.1f}%"
+    )
+    print(f"{'hit rate':<22} {hit_rate:>36.2%}")
+    failures = []
+    if hit_rate < args.min_hit_rate:
+        failures.append(
+            f"FAIL: semantic cache hit rate {hit_rate:.2%} is below the "
+            f"{args.min_hit_rate:.0%} gate (canonical keying is not "
+            "collapsing the Zipf repeats)"
+        )
+    elif win_pct < args.min_cache_win:
+        # Skew guard: a p50 win is only attainable once the hit-rate gate
+        # confirmed the workload's repeats are actually being collapsed.
+        failures.append(
+            f"FAIL: cached p50 win {win_pct:+.1f}% is below the "
+            f"{args.min_cache_win:.1f}% gate at hit rate {hit_rate:.2%}"
+        )
+    return failures
+
+
+def run_cache_gate(args, reps: int) -> int:
+    failures = cache_section(args, reps)
+    for message in failures:
+        print(message, file=sys.stderr)
+    if not failures:
+        print(
+            f"OK: cache hit rate at or above {args.min_hit_rate:.0%}, "
+            f"cached p50 win at or above {args.min_cache_win:.1f}%"
+        )
+    return 1 if failures else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -127,11 +235,35 @@ def main(argv: list[str] | None = None) -> int:
         help="fail if installing a tracer slows the bitset engines by more "
         "than this many percent over the default tracing-disabled run",
     )
+    parser.add_argument(
+        "--min-hit-rate",
+        type=float,
+        default=0.30,
+        help="fail if the semantic result cache's hit rate on the Zipf "
+        "workload falls below this fraction",
+    )
+    parser.add_argument(
+        "--min-cache-win",
+        type=float,
+        default=10.0,
+        help="fail if the cached arm's p50 is not at least this many "
+        "percent faster than the uncached arm (applied only when the "
+        "hit-rate gate passed)",
+    )
+    parser.add_argument(
+        "--cache-only",
+        action="store_true",
+        help="run only the semantic-cache effectiveness rows and gates "
+        "(the CI optimizer job)",
+    )
     args = parser.parse_args(argv)
 
     sizes = (128, 512) if args.quick else (128, 512, 2048)
     check_sizes = (64, 128) if args.quick else (64, 128, 256)
     reps = 5 if args.quick else 15
+
+    if args.cache_only:
+        return run_cache_gate(args, reps)
 
     rows = []
     gate_failures = []
@@ -267,7 +399,10 @@ def main(argv: list[str] | None = None) -> int:
         if overhead_pct > args.max_trace_overhead:
             gate_failures.append((f"tracing {name}", overhead_pct))
 
-    if gate_failures:
+    print()
+    cache_failures = cache_section(args, reps)
+
+    if gate_failures or cache_failures:
         for name, value in gate_failures:
             if name.startswith("overhead"):
                 print(
@@ -291,12 +426,16 @@ def main(argv: list[str] | None = None) -> int:
                 f"{gate:.1f}x regression gate",
                 file=sys.stderr,
             )
+        for message in cache_failures:
+            print(message, file=sys.stderr)
         return 1
     print(
         f"OK: C1 node rows at or above {args.min_speedup:.1f}x, "
         f"C3 TC-heavy rows at or above {args.min_check_speedup:.1f}x, "
         f"checkpoint overhead within {args.max_overhead:.1f}%, "
-        f"tracing overhead within {args.max_trace_overhead:.1f}%"
+        f"tracing overhead within {args.max_trace_overhead:.1f}%, "
+        f"cache hit rate at or above {args.min_hit_rate:.0%} with a "
+        f">={args.min_cache_win:.1f}% p50 win"
     )
     return 0
 

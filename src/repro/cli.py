@@ -303,6 +303,8 @@ def cmd_batch(args: argparse.Namespace) -> int:
             default_timeout=args.timeout,
             default_max_steps=args.max_steps,
             default_max_nodes=args.max_nodes,
+            optimize=args.optimize,
+            result_cache=args.optimize and not args.no_result_cache,
         )
     else:
         service = QueryService(
@@ -315,6 +317,8 @@ def cmd_batch(args: argparse.Namespace) -> int:
             default_timeout=args.timeout,
             default_max_steps=args.max_steps,
             default_max_nodes=args.max_nodes,
+            optimize=args.optimize,
+            result_cache=args.optimize and not args.no_result_cache,
         )
     entries = []  # per input line: ("done", json-dict) | ("pending", handle)
     try:
@@ -568,9 +572,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="open time before a half-open recovery probe (default 0.25)",
     )
     p.add_argument(
+        "--optimize",
+        action="store_true",
+        help="enable the adaptive query optimizer: canonical/semantic cache "
+        "keys, cost-based sets-vs-bitset choice, and (unless "
+        "--no-result-cache) the cross-request result cache",
+    )
+    p.add_argument(
+        "--no-result-cache",
+        action="store_true",
+        help="with --optimize, keep the optimizer but disable the "
+        "cross-request result cache",
+    )
+    p.add_argument(
         "--stats",
         action="store_true",
-        help="print aggregate service counters to stderr as JSON",
+        help="print aggregate service counters to stderr as JSON "
+        "(includes result-cache and optimizer sections when --optimize)",
     )
     p.add_argument(
         "--metrics",

@@ -18,6 +18,9 @@ The pieces, each in its own module:
   backoff with full jitter for transient engine faults;
 * :class:`CircuitBreaker` (:mod:`~repro.service.breaker`) — per-backend
   closed/open/half-open routing to the oracle engines;
+* :class:`ResultCache` (:mod:`~repro.service.cache`) — the cross-request
+  semantic result cache (LRU + per-tree epochs + single-flight), keyed on
+  canonical query forms from :mod:`repro.xpath.optimizer`;
 * :class:`ServiceStats` (:mod:`~repro.service.stats`) — aggregate
   telemetry;
 * :class:`QueryService` (:mod:`~repro.service.workers`) — the worker
@@ -46,6 +49,7 @@ out; see :mod:`repro.cli`).
 
 from .api import OPS, QueryRequest, QueryResult, TreeRegistry
 from .breaker import CircuitBreaker
+from .cache import ResultCache
 from .queue import BoundedRequestQueue
 from .retry import RetryPolicy
 from .shards import ShardConfig, ShardedQueryService
@@ -60,6 +64,7 @@ __all__ = [
     "QueryRequest",
     "QueryResult",
     "QueryService",
+    "ResultCache",
     "RetryPolicy",
     "ServiceStats",
     "ShardConfig",

@@ -172,12 +172,27 @@ class TreeRegistry:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._trees: dict[str, Tree] = {}
+        self._listeners: list = []
+
+    def subscribe(self, listener) -> None:
+        """Call ``listener(name)`` whenever ``name``'s tree (re)registers.
+
+        The result cache subscribes here: a re-registration bumps the
+        tree's cache epoch so stale values are never served.  Listeners
+        run on the registering thread, outside the registry lock, and
+        must not raise.
+        """
+        with self._lock:
+            self._listeners.append(listener)
 
     def register(self, name: str, tree: Tree) -> None:
         if not name:
             raise ValueError("tree name must be non-empty")
         with self._lock:
             self._trees[name] = tree
+            listeners = list(self._listeners)
+        for listener in listeners:
+            listener(name)
 
     def get(self, name: str) -> Tree:
         with self._lock:

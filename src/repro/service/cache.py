@@ -1,0 +1,249 @@
+"""The cross-request semantic result cache (LRU + epochs + single-flight).
+
+The service's request mix is heavily skewed — a few hot queries against a
+few hot documents dominate (the Zipfian workload in bench_service.py) — and
+PR 7's canonicalizer maps every syntactic variant of a query to one
+*semantic key* (:func:`repro.xpath.optimizer.canonical_key`).  This module
+caches finished ``ok`` values under ``(op, tree, semantic_key)`` so the
+whole variant class evaluates once per tree generation:
+
+* **LRU + size bounds** — entries are kept in access order and evicted
+  past ``max_entries`` or ``max_total_bytes`` (values are JSON-safe by
+  construction; sizes are estimated structurally).  Oversized single
+  values are simply not admitted.
+* **Per-tree epochs** — :meth:`invalidate` bumps the named tree's epoch
+  and drops its entries.  A flight records the epoch it started under and
+  a result is stored *only if the epoch is unchanged at completion*, so a
+  re-registration racing an in-flight evaluation can never publish a value
+  computed against the stale tree.  The service wires this to
+  :meth:`TreeRegistry.subscribe <repro.service.api.TreeRegistry.subscribe>`.
+* **Single-flight** — concurrent requests for one key collapse onto a
+  leader; followers block on the flight and reuse the leader's published
+  value.  A leader that fails (error, shed, budget trip) *abandons* the
+  flight: followers wake and evaluate independently, so a transient fault
+  never fans out, and nothing but a completed ``ok`` value is ever served
+  from the cache.
+
+Only successful values enter the cache; errors and sheds are never stored.
+Counters land in ``service_result_cache_total{event=...}`` with events
+``hit`` (served from store), ``miss`` (leader evaluates), ``wait_hit``
+(follower reused a leader's value), ``store``, ``evict``, ``invalidate``,
+and ``reject`` (value over the single-entry size bound).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+from .. import obs
+
+__all__ = ["CacheKey", "Flight", "ResultCache"]
+
+#: A cache key: (operation, tree name, semantic query key).
+CacheKey = tuple[str, str, str]
+
+#: Sentinel distinguishing "no published value" from a cached ``None``.
+_MISS = object()
+
+
+def approx_size(value) -> int:
+    """A structural byte estimate for a JSON-safe value (cheap, recursive)."""
+    if isinstance(value, str):
+        return 48 + len(value)
+    if isinstance(value, (list, tuple)):
+        return 56 + sum(approx_size(item) for item in value)
+    if isinstance(value, dict):
+        return 64 + sum(
+            approx_size(k) + approx_size(v) for k, v in value.items()
+        )
+    return 32  # ints, floats, bools, None
+
+
+class Flight:
+    """One in-progress evaluation of a cache key (the single-flight unit)."""
+
+    __slots__ = ("key", "tree", "epoch", "_event", "_value")
+
+    def __init__(self, key: CacheKey, tree: str, epoch: int) -> None:
+        self.key = key
+        self.tree = tree
+        self.epoch = epoch
+        self._event = threading.Event()
+        self._value = _MISS
+
+    def wait(self, timeout: float | None):
+        """Block for the leader; the published value, or ``_MISS`` sentinel.
+
+        Returns ``_MISS`` when the leader abandoned the flight (failed) or
+        the timeout elapsed — either way the caller must evaluate itself.
+        """
+        self._event.wait(timeout)
+        return self._value
+
+    @staticmethod
+    def is_miss(value) -> bool:
+        return value is _MISS
+
+
+class _Entry:
+    __slots__ = ("value", "epoch", "nbytes")
+
+    def __init__(self, value, epoch: int, nbytes: int) -> None:
+        self.value = value
+        self.epoch = epoch
+        self.nbytes = nbytes
+
+
+class ResultCache:
+    """The semantic result cache (see module docstring).
+
+    Thread-safe; one instance per :class:`~repro.service.workers.QueryService`
+    (per shard in the sharded tier — tree-affine routing keeps every key's
+    traffic on one shard, so shard-local caches lose nothing).
+    """
+
+    def __init__(
+        self,
+        *,
+        max_entries: int = 512,
+        max_total_bytes: int = 8 << 20,
+        max_value_bytes: int = 1 << 20,
+    ) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries!r}")
+        self.max_entries = max_entries
+        self.max_total_bytes = max_total_bytes
+        self.max_value_bytes = max_value_bytes
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[CacheKey, _Entry] = OrderedDict()
+        self._total_bytes = 0
+        self._epochs: dict[str, int] = {}
+        self._flights: dict[CacheKey, Flight] = {}
+        # Per-instance counts (what snapshot() reports) alongside the
+        # process-wide obs counters (what the metrics export aggregates) —
+        # two services in one process must not see each other's hit rates.
+        events = ("hit", "miss", "wait_hit", "store", "evict", "invalidate", "reject")
+        self._counts = {event: 0 for event in events}
+        self._metrics = {
+            event: obs.counter("service_result_cache_total", event=event)
+            for event in events
+        }
+
+    def _count(self, event: str, amount: int = 1) -> None:
+        # Most callers hold self._lock; the int add is GIL-atomic anyway,
+        # and the obs counter locks itself.
+        self._counts[event] += amount
+        self._metrics[event].inc(amount)
+
+    # -- epochs ------------------------------------------------------------
+
+    def epoch(self, tree: str) -> int:
+        with self._lock:
+            return self._epochs.get(tree, 0)
+
+    def invalidate(self, tree: str) -> int:
+        """Bump ``tree``'s epoch and drop its entries; the new epoch.
+
+        In-flight evaluations that started under the old epoch will refuse
+        to store (the completion-time epoch check), so callers may mutate
+        the registry at any time.
+        """
+        with self._lock:
+            epoch = self._epochs.get(tree, 0) + 1
+            self._epochs[tree] = epoch
+            stale = [key for key in self._entries if key[1] == tree]
+            for key in stale:
+                entry = self._entries.pop(key)
+                self._total_bytes -= entry.nbytes
+            if stale:
+                self._count("invalidate", len(stale))
+        return epoch
+
+    # -- the lookup protocol ----------------------------------------------
+
+    def begin(self, key: CacheKey, tree: str) -> tuple[str, object]:
+        """One cache interaction: ``("hit", value)``, ``("leader", flight)``,
+        or ``("follower", flight)``.
+
+        A leader MUST end its flight with :meth:`complete` or :meth:`abandon`
+        (use ``try/finally``); a follower calls ``flight.wait(...)``.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self._count("hit")
+                return ("hit", entry.value)
+            flight = self._flights.get(key)
+            if flight is not None:
+                return ("follower", flight)
+            flight = Flight(key, tree, self._epochs.get(tree, 0))
+            self._flights[key] = flight
+            self._count("miss")
+            return ("leader", flight)
+
+    def complete(self, flight: Flight, value) -> bool:
+        """Leader finished OK: publish to followers, store if still fresh."""
+        stored = False
+        with self._lock:
+            self._flights.pop(flight.key, None)
+            if self._epochs.get(flight.tree, 0) == flight.epoch:
+                stored = self._store_locked(flight.key, value, flight.epoch)
+                # Publish to followers only when the value is still fresh;
+                # on an epoch race they re-evaluate against the new tree.
+                flight._value = value
+        flight._event.set()
+        return stored
+
+    def abandon(self, flight: Flight) -> None:
+        """Leader failed: wake followers empty-handed (they evaluate)."""
+        with self._lock:
+            self._flights.pop(flight.key, None)
+        flight._event.set()
+
+    def record_follower_reuse(self) -> None:
+        self._count("wait_hit")
+
+    # -- store internals ---------------------------------------------------
+
+    def _store_locked(self, key: CacheKey, value, epoch: int) -> bool:
+        nbytes = approx_size(value)
+        if nbytes > self.max_value_bytes:
+            self._count("reject")
+            return False
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self._total_bytes -= old.nbytes
+        self._entries[key] = _Entry(value, epoch, nbytes)
+        self._total_bytes += nbytes
+        self._count("store")
+        while len(self._entries) > self.max_entries or (
+            self._total_bytes > self.max_total_bytes and len(self._entries) > 1
+        ):
+            _, evicted = self._entries.popitem(last=False)
+            self._total_bytes -= evicted.nbytes
+            self._count("evict")
+        return True
+
+    # -- introspection -----------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def snapshot(self) -> dict:
+        """JSON-safe stats for ``--stats`` / ``stats_snapshot()``."""
+        with self._lock:
+            entries = len(self._entries)
+            total_bytes = self._total_bytes
+            in_flight = len(self._flights)
+        counts = dict(self._counts)
+        lookups = counts["hit"] + counts["miss"]
+        return {
+            "entries": entries,
+            "bytes": total_bytes,
+            "in_flight": in_flight,
+            "events": counts,
+            "hit_rate": (counts["hit"] / lookups) if lookups else 0.0,
+        }

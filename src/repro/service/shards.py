@@ -100,6 +100,10 @@ class ShardConfig:
     breaker_cooldown: float = 0.25
     default_max_steps: int | None = None
     default_max_nodes: int | None = None
+    optimize: bool = False
+    result_cache: bool = False
+    cache_entries: int = 512
+    cache_bytes: int = 8 << 20
 
 
 def _attach_segment(shm_name: str) -> shared_memory.SharedMemory:
@@ -172,6 +176,12 @@ def _shard_main(shard_id, request_q, result_q, segments, config) -> None:
             default_max_nodes=config.default_max_nodes,
             service_name=config.service_name,
             plan_cache=True,
+            # Tree-affine routing means every key's traffic lands on one
+            # shard, so shard-local caches see the full hit-rate benefit.
+            optimize=config.optimize,
+            result_cache=config.result_cache,
+            cache_entries=config.cache_entries,
+            cache_bytes=config.cache_bytes,
         )
 
         def on_done(seq: int):
@@ -280,6 +290,10 @@ class ShardedQueryService:
         default_timeout: float | None = None,
         default_max_steps: int | None = None,
         default_max_nodes: int | None = None,
+        optimize: bool = False,
+        result_cache: bool = False,
+        cache_entries: int = 512,
+        cache_bytes: int = 8 << 20,
         shutdown_timeout: float = 10.0,
         clock=time.monotonic,
     ):
@@ -338,6 +352,10 @@ class ShardedQueryService:
                     breaker_cooldown=breaker_cooldown,
                     default_max_steps=default_max_steps,
                     default_max_nodes=default_max_nodes,
+                    optimize=optimize,
+                    result_cache=result_cache,
+                    cache_entries=cache_entries,
+                    cache_bytes=cache_bytes,
                 )
                 process = ctx.Process(
                     target=_shard_main,
@@ -696,6 +714,42 @@ class ShardedQueryService:
         )
         merged["parent"] = parent
         merged["shards"] = shard_stats
+        caches = [
+            snap["result_cache"]
+            for snap, _ in snapshots.values()
+            if "result_cache" in snap
+        ]
+        if caches:
+            events: dict[str, int] = {}
+            for cache in caches:
+                for event, count in cache["events"].items():
+                    events[event] = events.get(event, 0) + int(count)
+            lookups = events.get("hit", 0) + events.get("miss", 0)
+            merged["result_cache"] = {
+                "entries": sum(cache["entries"] for cache in caches),
+                "bytes": sum(cache["bytes"] for cache in caches),
+                "in_flight": sum(cache["in_flight"] for cache in caches),
+                "events": events,
+                "hit_rate": (events.get("hit", 0) / lookups) if lookups else 0.0,
+            }
+        optimizers = [
+            snap["optimizer"] for snap, _ in snapshots.values() if "optimizer" in snap
+        ]
+        if optimizers:
+            choices: dict[str, int] = {}
+            for opt in optimizers:
+                for backend, count in opt.get("choices", {}).items():
+                    choices[backend] = choices.get(backend, 0) + int(count)
+            merged["optimizer"] = {
+                # Rates are per-shard EWMAs; report each shard's calibration
+                # rather than a meaningless cross-process average.
+                "rates": {
+                    f"shard-{shard}": snap["optimizer"]["rates"]
+                    for shard, (snap, _) in sorted(snapshots.items())
+                    if "optimizer" in snap
+                },
+                "choices": choices,
+            }
         return merged
 
     def metrics_snapshot(self) -> dict:

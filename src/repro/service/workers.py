@@ -60,6 +60,7 @@ from ..runtime.errors import (
 )
 from .api import QueryRequest, QueryResult, TreeRegistry, error_payload
 from .breaker import CircuitBreaker
+from .cache import Flight, ResultCache
 from .queue import BoundedRequestQueue
 from .retry import RetryPolicy
 from .stats import ServiceStats
@@ -144,8 +145,14 @@ class _Job:
 # -- per-operation runners --------------------------------------------------
 #
 # ``_prepare(request)`` parses the request's query text once and returns a
-# closure ``run(tree, budget, fast) -> JSON-safe value``; parse errors
-# surface at prepare time and are charged to the request as input errors.
+# closure ``run(tree, budget, fast, backend=None) -> JSON-safe value``;
+# parse errors surface at prepare time and are charged to the request as
+# input errors.  Runners carry metadata for the optimizer/cache layer:
+# ``run.family`` (engine family or None), ``run.expr`` (the parsed XPath
+# AST for eval/select — what the cost model and canonicalizer consume),
+# and ``run.cache_text`` (a ready-made semantic key for ops whose queries
+# the canonicalizer does not cover).  ``backend`` overrides the static
+# fast/oracle backend choice on the fast route (the cost model's pick).
 
 
 def _parse_any(text: str):
@@ -163,10 +170,13 @@ def _prepare_eval(request: QueryRequest):
 
     expr = parse_node(request.query)
 
-    def run(tree, budget, fast):
-        backend = "bitset" if fast else "sets"
-        return sorted(Evaluator(tree, backend=backend, budget=budget).nodes(expr))
+    def run(tree, budget, fast, backend=None):
+        chosen = backend or ("bitset" if fast else "sets")
+        return sorted(Evaluator(tree, backend=chosen, budget=budget).nodes(expr))
 
+    run.family = "xpath"
+    run.expr = expr
+    run.cache_text = None
     return run
 
 
@@ -176,10 +186,13 @@ def _prepare_select(request: QueryRequest):
 
     expr = parse_path(request.query)
 
-    def run(tree, budget, fast):
-        backend = "bitset" if fast else "sets"
-        return sorted(Evaluator(tree, backend=backend, budget=budget).image(expr, {0}))
+    def run(tree, budget, fast, backend=None):
+        chosen = backend or ("bitset" if fast else "sets")
+        return sorted(Evaluator(tree, backend=chosen, budget=budget).image(expr, {0}))
 
+    run.family = "xpath"
+    run.expr = expr
+    run.cache_text = None
     return run
 
 
@@ -193,15 +206,20 @@ def _prepare_check(request: QueryRequest):
     if len(free) > 2:
         raise ValueError(f"expected at most 2 free variables, got {free}")
 
-    def run(tree, budget, fast):
-        backend = "bitset" if fast else "table"
-        checker = ModelChecker(tree, backend=backend, budget=budget)
+    def run(tree, budget, fast, backend=None):
+        chosen = backend or ("bitset" if fast else "table")
+        checker = ModelChecker(tree, backend=chosen, budget=budget)
         if not free:
             return checker.holds(formula)
         if len(free) == 1:
             return sorted(checker.node_set(formula, free[0]))
         return [list(pair) for pair in sorted(checker.pairs(formula, free[0], free[1]))]
 
+    run.family = "logic"
+    run.expr = None
+    # No canonicalizer for FO(MTC) yet: the raw formula text is the key
+    # (still a win — the hot-set workload repeats formulas verbatim).
+    run.cache_text = f"F:{request.formula}"
     return run
 
 
@@ -217,7 +235,7 @@ def _prepare_equivalent(request: QueryRequest):
     alphabet = tuple(request.alphabet)
     node_sort = isinstance(left, xp.NodeExpr)
 
-    def run(tree, budget, fast):
+    def run(tree, budget, fast, backend=None):
         from ..decision import (
             check_node_equivalence,
             check_path_equivalence,
@@ -246,6 +264,11 @@ def _prepare_equivalent(request: QueryRequest):
             ),
         }
 
+    run.family = None
+    run.expr = None
+    # Equivalence answers are tree-independent (corpus/exact decision);
+    # key on the normalized question.
+    run.cache_text = f"E:{request.left}\x00{request.right}\x00{request.alphabet}"
     return run
 
 
@@ -274,6 +297,10 @@ class QueryService:
         default_max_nodes: int | None = None,
         service_name: str | None = None,
         plan_cache: bool = False,
+        optimize: bool = False,
+        result_cache: bool = False,
+        cache_entries: int = 512,
+        cache_bytes: int = 8 << 20,
         clock=time.monotonic,
         sleep=time.sleep,
     ):
@@ -282,6 +309,24 @@ class QueryService:
         self.registry = registry if registry is not None else TreeRegistry()
         self.retry = retry if retry is not None else RetryPolicy()
         self.stats = ServiceStats(service=service_name)
+        # The PR 7 adaptive layer, both off by default (opt-in per service):
+        # ``optimize`` turns on canonical/semantic cache keys plus cost-based
+        # sets-vs-bitset choice on the fast route; ``result_cache`` caches
+        # finished ok values cross-request under semantic keys.
+        if optimize:
+            from ..xpath.optimizer import QueryOptimizer
+
+            self.optimizer: "QueryOptimizer | None" = QueryOptimizer()
+        else:
+            self.optimizer = None
+        self.result_cache: ResultCache | None = (
+            ResultCache(max_entries=cache_entries, max_total_bytes=cache_bytes)
+            if result_cache
+            else None
+        )
+        if self.result_cache is not None:
+            # Re-registering a tree bumps its epoch and drops its entries.
+            self.registry.subscribe(self.result_cache.invalidate)
         # Optional prepared-plan cache: hot queries parse once per service
         # (the sharded tier enables this so each shard compiles each
         # distinct query exactly once; compiled *plans* are additionally
@@ -408,7 +453,15 @@ class QueryService:
         return dict(self._breakers)
 
     def stats_snapshot(self) -> dict:
-        return self.stats.snapshot(self._breakers)
+        snapshot = self.stats.snapshot(self._breakers)
+        if self.result_cache is not None:
+            snapshot["result_cache"] = self.result_cache.snapshot()
+        if self.optimizer is not None:
+            snapshot["optimizer"] = {
+                "rates": self.optimizer.cost.rates(),
+                "choices": self.optimizer.cost.choices(),
+            }
+        return snapshot
 
     # -- worker side -------------------------------------------------------
 
@@ -496,6 +549,66 @@ class QueryService:
         return self.registry.get(request.tree)
 
     def _execute(self, job, plan, tree, budget, worker, rng) -> QueryResult:
+        """One request through the cache, then the retry state machine.
+
+        With the result cache on, requests for one semantic key collapse:
+        a stored value is served directly (``routed="cache"``), concurrent
+        identical requests single-flight behind a leader, and a leader that
+        fails abandons the flight so followers evaluate independently (a
+        transient fault never fans out through the cache).
+        """
+        cache = self.result_cache
+        key = None
+        if cache is not None and job.request.xml is None:
+            key = self._cache_key(job.request, plan)
+        if key is None:
+            return self._attempt(job, plan, tree, budget, worker, rng)
+        tree_name = job.request.tree or ""
+        kind, payload = cache.begin(key, tree_name)
+        if kind == "hit":
+            return self._ok_result(
+                job, payload, worker=worker, retries=0, routed="cache"
+            )
+        if kind == "leader":
+            flight = payload
+            settled = False
+            try:
+                result = self._attempt(job, plan, tree, budget, worker, rng)
+                if result.status == "ok":
+                    cache.complete(flight, result.value)
+                    settled = True
+                return result
+            finally:
+                if not settled:
+                    cache.abandon(flight)
+        # Follower: wait for the leader (bounded by our own deadline), then
+        # either reuse its published value or evaluate independently.
+        flight = payload
+        timeout = budget.remaining_time if budget is not None else None
+        value = flight.wait(timeout)
+        if not Flight.is_miss(value):
+            cache.record_follower_reuse()
+            return self._ok_result(
+                job, value, worker=worker, retries=0, routed="cache"
+            )
+        return self._attempt(job, plan, tree, budget, worker, rng)
+
+    def _cache_key(self, request: QueryRequest, plan) -> tuple | None:
+        """The semantic cache key for ``request``, or None if uncacheable."""
+        text = getattr(plan, "cache_text", None)
+        if text is None:
+            expr = getattr(plan, "expr", None)
+            if expr is None:
+                return None
+            if self.optimizer is not None:
+                _, text = self.optimizer.prepare(expr)
+            else:
+                from ..xpath.optimizer import canonical_key
+
+                text = canonical_key(expr)
+        return (request.op, request.tree or "", text)
+
+    def _attempt(self, job, plan, tree, budget, worker, rng) -> QueryResult:
         """The routing/retry/fallback state machine for one request."""
         family = _FAMILY[job.request.op]
         breaker = self._breakers.get(family) if family else None
@@ -505,13 +618,25 @@ class QueryService:
             attempts += 1
             route = breaker.acquire() if breaker is not None else "direct"
             fast = route in ("fast", "probe")
+            # Cost-based backend choice, fast route only: the breaker's
+            # degraded/oracle routes stay pinned to the row-wise engines
+            # (they are the known-good fallback, not a tuning knob).
+            chosen = None
+            if (
+                fast
+                and self.optimizer is not None
+                and getattr(plan, "family", None) == "xpath"
+                and tree is not None
+            ):
+                chosen = self.optimizer.choose(plan.expr, tree)
+            started = self._clock()
             try:
                 with obs.span(
                     "service.attempt", budget=budget, route=route, attempt=attempts
                 ):
                     if fast:
                         faults.check("service.worker")
-                    value = plan(tree, budget, fast)
+                    value = plan(tree, budget, fast, chosen)
             except DeadlineExceededError as exc:
                 return self._error_result(job, exc, worker=worker, retries=retries)
             except BudgetExceededError as exc:
@@ -540,9 +665,15 @@ class QueryService:
             else:
                 if fast:
                     breaker.record_success()
-                routed = (
-                    "bitset" if fast else ("decision" if family is None else "oracle")
-                )
+                    if chosen is not None:
+                        # Calibrate the cost model with the observed run.
+                        self.optimizer.observe(
+                            chosen, plan.expr, tree, self._clock() - started
+                        )
+                if fast:
+                    routed = chosen or "bitset"
+                else:
+                    routed = "decision" if family is None else "oracle"
                 return self._ok_result(
                     job, value, worker=worker, retries=retries, routed=routed
                 )

@@ -47,6 +47,15 @@ from .normal_forms import (
     is_simple_node,
     to_modal_form,
 )
+from .optimizer import (
+    CostModel,
+    QueryOptimizer,
+    SemanticKeyer,
+    canonical_key,
+    canonicalize,
+    canonicalize_node,
+    canonicalize_path,
+)
 from .parser import parse_node, parse_path
 from .random_exprs import ExprSampler, random_node, random_path
 from .reference import node_set, path_pairs
@@ -75,6 +84,13 @@ __all__ = [
     "is_downward",
     "is_regular_xpath",
     "NotCoreXPath",
+    "CostModel",
+    "QueryOptimizer",
+    "SemanticKeyer",
+    "canonical_key",
+    "canonicalize",
+    "canonicalize_node",
+    "canonicalize_path",
     "distribute_unions",
     "is_simple_node",
     "node_set",

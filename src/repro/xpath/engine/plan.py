@@ -32,6 +32,7 @@ from ...trees.index import Scope, TreeIndex, tree_index
 from ...trees.tree import Tree
 from .. import ast
 from ..evaluator import Evaluator, converse
+from ..optimizer import canonicalize_node, canonicalize_path
 from .bitset import from_ids, iter_bits, to_frozenset, to_set
 
 __all__ = ["BitsetEvaluator", "compile_path_plan", "compile_node_plan"]
@@ -63,20 +64,42 @@ _STAR_CLOSURES = {
 # ---------------------------------------------------------------------------
 
 
+#: Structural compilations actually performed (plan-cache misses that built
+#: a new closure tree, canonical aliases excluded) — the regression tests
+#: assert equivalent query variants stop duplicating compilation work.
+_COMPILES = obs.counter("xpath_plan_compile_total")
+
+
 def compile_path_plan(index: TreeIndex, expr: ast.PathExpr) -> PathPlan:
-    """The compiled plan for ``expr`` on ``index``'s tree (cached)."""
+    """The compiled plan for ``expr`` on ``index``'s tree (cached).
+
+    Plans are keyed on the *canonical form* (see
+    :mod:`repro.xpath.optimizer`): a syntactic variant of an already-compiled
+    query stores an alias to the canonical plan instead of compiling a
+    duplicate, so equivalent-by-rewriting variants share one closure tree.
+    """
     plan = index.path_plans.get(expr)
     if plan is None:
-        plan = _compile_path(index, expr)
+        canon = canonicalize_path(expr)
+        if canon != expr:
+            plan = compile_path_plan(index, canon)
+        else:
+            _COMPILES.inc()
+            plan = _compile_path(index, expr)
         index.path_plans[expr] = plan
     return plan
 
 
 def compile_node_plan(index: TreeIndex, expr: ast.NodeExpr) -> NodePlan:
-    """The compiled plan for node expression ``expr`` (cached)."""
+    """The compiled plan for node expression ``expr`` (canonically cached)."""
     plan = index.node_plans.get(expr)
     if plan is None:
-        plan = _compile_node(index, expr)
+        canon = canonicalize_node(expr)
+        if canon != expr:
+            plan = compile_node_plan(index, canon)
+        else:
+            _COMPILES.inc()
+            plan = _compile_node(index, expr)
         index.node_plans[expr] = plan
     return plan
 
@@ -318,6 +341,7 @@ class BitsetEvaluator(Evaluator):
 
     def pairs(self, expr: ast.PathExpr, scope: int | None = None) -> set[tuple[int, int]]:
         faults.check("xpath.bitset")
+        expr = canonicalize_path(expr)
         with obs.span("xpath.pairs", budget=self.budget, backend=self.backend):
             if isinstance(expr, ast.Step):
                 from ...trees.axes import interval_axis_pairs

@@ -30,6 +30,13 @@ shift-and-mask kernels; see :mod:`repro.xpath.engine` and DESIGN.md.  Both
 are cross-validated against the denotational reference semantics
 (:mod:`repro.xpath.reference`) — and against each other — by the
 property-test suite.
+
+Both backends evaluate the *canonical form* of each query
+(:mod:`repro.xpath.optimizer`): public entry points canonicalize before
+evaluating (the bitset backend equivalently through canonical plan-cache
+aliasing), so syntactic variants of one query share memo entries and
+compiled plans — and the two backends emit identical span structures for
+any input, which the differential corpus asserts.
 """
 
 from __future__ import annotations
@@ -42,6 +49,7 @@ from ..runtime.budget import ExecutionBudget
 from ..trees.axes import axis_steps, interval_axis_pairs, inverse_axis
 from ..trees.tree import Tree
 from . import ast
+from .optimizer import canonicalize_node, canonicalize_path
 
 __all__ = [
     "Evaluator",
@@ -154,6 +162,7 @@ class Evaluator:
         interval fast path; everything else falls back to one image
         computation per source node.
         """
+        expr = canonicalize_path(expr)
         with obs.span("xpath.pairs", budget=self.budget, backend=self.backend):
             if isinstance(expr, ast.Step):
                 fast = interval_axis_pairs(self.tree, expr.axis, scope)
@@ -217,12 +226,14 @@ class SetEvaluator(Evaluator):
     # -- public API -------------------------------------------------------
 
     def nodes(self, expr: ast.NodeExpr, scope: int | None = None) -> frozenset[int]:
+        expr = canonicalize_node(expr)
         with obs.span("xpath.nodes", budget=self.budget, backend=self.backend):
             return self._nodes(expr, scope)
 
     def image(
         self, expr: ast.PathExpr, sources: Iterable[int], scope: int | None = None
     ) -> set[int]:
+        expr = canonicalize_path(expr)
         with obs.span("xpath.image", budget=self.budget, backend=self.backend):
             result = self._image(expr, set(sources), scope)
             if self.budget is not None:
@@ -267,7 +278,10 @@ class SetEvaluator(Evaluator):
             return set(self._nodes(expr.left, scope) | self._nodes(expr.right, scope))
         if isinstance(expr, ast.Exists):
             universe = set(self._universe(scope))
-            return self._image(converse(expr.path), universe, scope)
+            # The converse of a canonical path need not be canonical;
+            # re-canonicalize so the walked structure matches the plan the
+            # bitset backend compiles for the same ⟨p⟩ (span parity).
+            return self._image(canonicalize_path(converse(expr.path)), universe, scope)
         if isinstance(expr, ast.Within):
             # n ⊨ W φ iff n ⊨ φ under scope n.  Each node gets its own scope.
             budget = self.budget
