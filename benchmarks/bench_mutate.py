@@ -1,0 +1,95 @@
+"""Experiment M1 — delta index maintenance vs full reindex.
+
+A live document answers indexed queries between edits, so the cost that
+matters is *edit + index repair*, not edit alone.  Two arms per point:
+
+* ``delta`` — :func:`repro.trees.mutate.apply_edit_indexed`: structural
+  edit plus incremental mask shift/splice + ancestor-chain repair;
+* ``reindex`` — the same structural edit followed by a full
+  :func:`repro.trees.tree_index` rebuild (the correctness oracle the
+  property tests compare the delta path against, bit for bit).
+
+Series: one (size, kind) grid over graded random trees and the three edit
+kinds.  Relabel touches one label column and repairs one ancestor chain,
+so its delta arm should be far below the rebuild at every size; insert and
+delete pay a mask shift linear in the suffix but still avoid re-deriving
+the structural tables.  The compact schema's per-group speedups (delta vs
+reindex share a group per size/kind) are what EXPERIMENTS.md quotes.
+
+Record results with::
+
+    pytest benchmarks/bench_mutate.py --benchmark-json=BENCH_mutate.json
+
+The committed BENCH_mutate.json uses the repro-bench-compact/1 schema
+(see conftest.py / compact_json.py).
+"""
+
+import pytest
+
+from repro.trees import parse_xml, tree_index
+from repro.trees.mutate import (
+    DeleteSubtree,
+    InsertSubtree,
+    Relabel,
+    apply_edit,
+    apply_edit_indexed,
+    index_fingerprint,
+)
+
+SIZES = (128, 512, 2048)
+
+#: Mid-tree edits (around node size//2): both mask halves are non-trivial,
+#: so the shift/splice cost is representative rather than best-case.
+_KINDS = ("insert", "delete", "relabel")
+
+
+def _edit_for(tree, kind):
+    node = tree.size // 2
+    if kind == "insert":
+        return InsertSubtree(parent=node, index=0, subtree=parse_xml("<b><a/><c/></b>"))
+    if kind == "delete":
+        return DeleteSubtree(node=node)
+    return Relabel(node=node, label="z")
+
+
+@pytest.fixture(scope="module")
+def indexed_trees(workload_trees):
+    """The benchmark trees with their indexes prebuilt (steady-state input)."""
+    for tree in workload_trees.values():
+        tree_index(tree)
+    return workload_trees
+
+
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize("kind", _KINDS)
+def test_delta_maintenance(benchmark, indexed_trees, kind, size):
+    """M1 delta arm: one edit with incremental index repair."""
+    benchmark.group = f"M1 {kind} n={size}"
+    tree = indexed_trees[size]
+    edit = _edit_for(tree, kind)
+    result = benchmark(lambda: apply_edit_indexed(tree, edit))
+    assert result._engine_index is not None
+
+
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize("kind", _KINDS)
+def test_full_reindex(benchmark, indexed_trees, kind, size):
+    """M1 oracle arm: the same edit, index rebuilt from scratch."""
+    benchmark.group = f"M1 {kind} n={size}"
+    tree = indexed_trees[size]
+    edit = _edit_for(tree, kind)
+    result = benchmark(lambda: tree_index(apply_edit(tree, edit)))
+    assert result is not None
+
+
+def test_delta_equals_reindex_on_the_bench_grid(indexed_trees):
+    """The two arms must agree bit for bit on every benchmarked point —
+    otherwise the speedup rows would be comparing different computations."""
+    for size, tree in indexed_trees.items():
+        for kind in _KINDS:
+            edit = _edit_for(tree, kind)
+            delta = apply_edit_indexed(tree, edit)
+            oracle = apply_edit(tree, edit)
+            assert index_fingerprint(delta._engine_index) == index_fingerprint(
+                tree_index(oracle)
+            ), (size, kind)

@@ -24,7 +24,11 @@ Commands:
   repeatable ``--tree NAME=FILE.xml`` registrations or inline ``"xml"``
   request fields; ``--workers`` / ``--queue-limit`` / ``--retries`` /
   ``--breaker-threshold`` / ``--breaker-cooldown`` shape the pool, and
-  ``--stats`` prints the aggregate counters to stderr as JSON.
+  ``--stats`` prints the aggregate counters to stderr as JSON.  Registered
+  trees are *live*: a ``{"op": "mutate", "tree": NAME, "edit": {...}}``
+  request applies a subtree insert/delete/relabel and publishes a new
+  epoch — later reads in the batch see the edited document (an optional
+  ``"min_epoch"`` field on reads asserts freshness).
 
 Observability (``eval`` / ``select`` / ``check`` / ``batch``):
 
@@ -445,7 +449,10 @@ def _add_budget_arguments(p: argparse.ArgumentParser, engine: bool = True) -> No
             "--inject-fault",
             action="append",
             metavar="SITE",
-            help="arm a named fault-injection site (repeatable; for testing)",
+            help="arm a named fault-injection site (repeatable; for testing). "
+            "Sites: xpath.bitset, xpath.bitset.star, logic.bitset, "
+            "logic.bitset.tc, automata.bitset, service.worker, trees.mutate, "
+            "service.reshare",
         )
 
 

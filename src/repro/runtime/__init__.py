@@ -36,6 +36,7 @@ from .errors import (
     RequestShedError,
     ServiceClosedError,
     ServiceError,
+    StaleEpochError,
     exit_code_for,
 )
 
@@ -57,6 +58,7 @@ __all__ = [
     "RequestShedError",
     "ServiceClosedError",
     "ServiceError",
+    "StaleEpochError",
     "exit_code_for",
     "faults",
     "guarded_check",

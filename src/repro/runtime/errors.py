@@ -16,7 +16,8 @@ classes that need different handling (retry, degrade, report).  The tree::
     │   └── DeadlineExceededError              wall-clock deadline
     │       └── RequestShedError               shed before execution (service)
     ├── EngineFaultError                       an engine failed mid-run
-    │   └── InjectedFaultError                 ... because a fault was injected
+    │   ├── InjectedFaultError                 ... because a fault was injected
+    │   └── StaleEpochError                    shard served an outdated tree epoch
     ├── TreeShareError                         corrupt shared-memory index segment
     └── ServiceError                           the serving layer itself
         ├── QueueFullError                     bounded queue rejected a request
@@ -44,6 +45,7 @@ __all__ = [
     "RequestShedError",
     "EngineFaultError",
     "InjectedFaultError",
+    "StaleEpochError",
     "TreeShareError",
     "ServiceError",
     "QueueFullError",
@@ -138,6 +140,27 @@ class InjectedFaultError(EngineFaultError):
     def __init__(self, site: str):
         super().__init__(f"injected fault at {site!r}")
         self.site = site
+
+
+class StaleEpochError(EngineFaultError):
+    """A read was executed against an outdated epoch of a live tree.
+
+    Raised by the sharded service when a shard's attached copy of a named
+    tree is older than the epoch the request was stamped with at dispatch
+    time — i.e. a mutation was published but its re-share has not reached
+    the shard yet.  Subclasses :class:`EngineFaultError` because the
+    condition is transient and retryable: the parent heals the lagging
+    shard by re-broadcasting the current segment and re-dispatching.
+    """
+
+    def __init__(self, tree: str, local_epoch: int, min_epoch: int):
+        super().__init__(
+            f"tree {tree!r} is at epoch {local_epoch}, "
+            f"request requires >= {min_epoch}"
+        )
+        self.tree = tree
+        self.local_epoch = local_epoch
+        self.min_epoch = min_epoch
 
 
 class TreeShareError(ReproError):

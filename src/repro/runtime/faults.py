@@ -16,6 +16,10 @@ Fault sites currently wired into the engines:
 ``logic.bitset.tc``        inside the semi-naive ``[TC]`` sweep
 ``automata.bitset``        entry of the bit-parallel configuration sweep
 ``service.worker``         start of each fast-path attempt in a service worker
+``trees.mutate``           inside :meth:`TreeRegistry.mutate`, before the edit
+                           is applied (the pre-publish atomicity boundary)
+``service.reshare``        per shard, while re-broadcasting a mutated tree's
+                           shared-memory segment (leaves that shard stale)
 =========================  ====================================================
 
 Arming is explicit and three-way togglable:

@@ -47,7 +47,7 @@ The CLI exposes the same machinery as ``repro batch`` (JSONL in, JSONL
 out; see :mod:`repro.cli`).
 """
 
-from .api import OPS, QueryRequest, QueryResult, TreeRegistry
+from .api import OPS, QueryRequest, QueryResult, TreePin, TreeRegistry
 from .breaker import CircuitBreaker
 from .cache import ResultCache
 from .queue import BoundedRequestQueue
@@ -69,5 +69,6 @@ __all__ = [
     "ServiceStats",
     "ShardConfig",
     "ShardedQueryService",
+    "TreePin",
     "TreeRegistry",
 ]

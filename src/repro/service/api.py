@@ -2,9 +2,10 @@
 
 A :class:`QueryRequest` names one operation against one document — an XPath
 node evaluation (``eval``), a root-anchored path selection (``select``), an
-FO(MTC) model check (``check``), or a two-query equivalence test
-(``equivalent``) — plus its resource envelope (per-request ``timeout`` /
-``max_steps`` / ``max_nodes``).  The document is either a named entry in
+FO(MTC) model check (``check``), a two-query equivalence test
+(``equivalent``), or a live-document edit (``mutate``, publishing a new
+epoch of a registered tree) — plus its resource envelope (per-request
+``timeout`` / ``max_steps`` / ``max_nodes``).  The document is either a named entry in
 the service's :class:`TreeRegistry` (the "many expressions, one document
 collection" workload shape of the relation-algebra studies) or inline
 ``xml`` text parsed on the worker.
@@ -31,13 +32,21 @@ import itertools
 import threading
 from dataclasses import dataclass
 
+from .. import obs
 from ..runtime.errors import exit_code_for
 from ..trees.tree import Tree
 
-__all__ = ["OPS", "QueryRequest", "QueryResult", "TreeRegistry", "error_payload"]
+__all__ = [
+    "OPS",
+    "QueryRequest",
+    "QueryResult",
+    "TreePin",
+    "TreeRegistry",
+    "error_payload",
+]
 
 #: The operations the service executes.
-OPS = ("eval", "select", "check", "equivalent")
+OPS = ("eval", "select", "check", "equivalent", "mutate")
 
 #: Which request fields each operation requires.
 _REQUIRED_FIELDS = {
@@ -45,6 +54,7 @@ _REQUIRED_FIELDS = {
     "select": ("query",),
     "check": ("formula",),
     "equivalent": ("left", "right"),
+    "mutate": ("tree", "edit"),
 }
 
 #: Operations that run against a document (equivalence runs over corpora).
@@ -69,6 +79,8 @@ class QueryRequest:
     timeout: float | None = None
     max_steps: int | None = None
     max_nodes: int | None = None
+    edit: dict | None = None
+    min_epoch: int | None = None
 
     def __post_init__(self) -> None:
         if not self.id:
@@ -88,6 +100,20 @@ class QueryRequest:
                 raise ValueError(f"op {self.op!r} requires field {name!r}")
         if self.op in _NEEDS_DOCUMENT and self.tree is None and self.xml is None:
             raise ValueError(f"op {self.op!r} requires 'tree' or inline 'xml'")
+        if self.op == "mutate":
+            if self.xml is not None:
+                raise ValueError("op 'mutate' edits a registered tree; 'xml' is not allowed")
+            if not isinstance(self.edit, dict):
+                raise ValueError(
+                    f"op 'mutate' requires 'edit' to be a JSON object, "
+                    f"got {type(self.edit).__name__}"
+                )
+        elif self.edit is not None:
+            raise ValueError(f"op {self.op!r} does not take an 'edit'")
+        if self.min_epoch is not None and (
+            not isinstance(self.min_epoch, int) or self.min_epoch < 0
+        ):
+            raise ValueError(f"min_epoch must be a non-negative int, got {self.min_epoch!r}")
         if self.timeout is not None and self.timeout < 0:
             raise ValueError(f"timeout must be >= 0, got {self.timeout!r}")
 
@@ -159,19 +185,59 @@ class QueryResult:
         return payload
 
 
+class TreePin:
+    """A reader's hold on one epoch of a named tree (snapshot isolation).
+
+    Pinning costs one dict lookup — trees are immutable, so the "snapshot"
+    is simply the ``Tree`` object that was current at pin time; mutations
+    publish *new* objects and never touch pinned ones.  The pin exists to
+    make the reader's view explicit: the ``(tree, epoch)`` pair taken
+    atomically under the registry lock, plus a live-readers gauge
+    (``snapshot_pins``) for observability.  ``release()`` is idempotent;
+    the pin is also a context manager.
+    """
+
+    __slots__ = ("name", "tree", "epoch", "_released")
+
+    def __init__(self, name: str, tree: Tree, epoch: int):
+        self.name = name
+        self.tree = tree
+        self.epoch = epoch
+        self._released = False
+
+    def release(self) -> None:
+        if not self._released:
+            self._released = True
+            obs.gauge("snapshot_pins").dec()
+
+    def __enter__(self) -> "TreePin":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+
 class TreeRegistry:
-    """Named, shared :class:`~repro.trees.tree.Tree` instances.
+    """Named, shared :class:`~repro.trees.tree.Tree` instances with epochs.
 
     The registry is the service's document collection: trees are loaded
     once, their :class:`~repro.trees.index.TreeIndex` and compiled plans
     warm up on first use, and every subsequent request against the same
     name reuses them.  Registration is thread-safe; lookups return the
     live ``Tree`` object (trees are immutable once built).
+
+    Live documents add an **epoch** per name: every (re)registration bumps
+    it, and :meth:`mutate` publishes an edited copy-on-write snapshot under
+    the next epoch.  Readers take a :class:`TreePin` — an atomic
+    ``(tree, epoch)`` view — so a request in flight keeps answering against
+    the exact snapshot it started with while writers race ahead.
     """
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
+        self._mutation_lock = threading.Lock()
         self._trees: dict[str, Tree] = {}
+        self._epochs: dict[str, int] = {}
         self._listeners: list = []
 
     def subscribe(self, listener) -> None:
@@ -179,20 +245,35 @@ class TreeRegistry:
 
         The result cache subscribes here: a re-registration bumps the
         tree's cache epoch so stale values are never served.  Listeners
-        run on the registering thread, outside the registry lock, and
-        must not raise.
+        run on the registering thread, outside the registry lock, and are
+        exception-isolated: a raising listener is counted
+        (``registry_listener_errors_total``) and skipped, never aborting
+        the registration or starving later listeners.
         """
         with self._lock:
             self._listeners.append(listener)
 
-    def register(self, name: str, tree: Tree) -> None:
+    def register(self, name: str, tree: Tree, *, epoch: int | None = None) -> int:
+        """Publish ``tree`` under ``name`` and return the new epoch.
+
+        ``epoch`` pins the published epoch explicitly (the sharded tier
+        uses this to keep parent and shard epochs in lockstep); by default
+        the name's epoch is bumped by one.
+        """
         if not name:
             raise ValueError("tree name must be non-empty")
         with self._lock:
+            if epoch is None:
+                epoch = self._epochs.get(name, 0) + 1
             self._trees[name] = tree
+            self._epochs[name] = epoch
             listeners = list(self._listeners)
         for listener in listeners:
-            listener(name)
+            try:
+                listener(name)
+            except Exception:
+                obs.counter("registry_listener_errors_total").inc()
+        return epoch
 
     def get(self, name: str) -> Tree:
         with self._lock:
@@ -202,6 +283,51 @@ class TreeRegistry:
                 raise ValueError(
                     f"unknown tree {name!r}; registered: {sorted(self._trees) or '(none)'}"
                 ) from None
+
+    def epoch(self, name: str) -> int:
+        """The current epoch of ``name`` (0 if never registered)."""
+        with self._lock:
+            return self._epochs.get(name, 0)
+
+    def snapshot(self, name: str) -> tuple[Tree, int]:
+        """The current ``(tree, epoch)`` pair, taken atomically."""
+        with self._lock:
+            try:
+                return self._trees[name], self._epochs[name]
+            except KeyError:
+                raise ValueError(
+                    f"unknown tree {name!r}; registered: {sorted(self._trees) or '(none)'}"
+                ) from None
+
+    def pin(self, name: str) -> TreePin:
+        """Pin the current snapshot of ``name`` for a reader."""
+        tree, epoch = self.snapshot(name)
+        obs.gauge("snapshot_pins").inc()
+        return TreePin(name, tree, epoch)
+
+    def mutate(self, name: str, edit) -> tuple[Tree, int]:
+        """Apply ``edit`` to ``name``'s tree and publish the result.
+
+        The edit is an :mod:`repro.trees.mutate` edit object (or a JSON
+        dict in its wire format).  The new snapshot is built copy-on-write
+        with its ``TreeIndex`` maintained incrementally, then published
+        atomically under the next epoch; concurrent readers holding pins
+        (or plain ``get()`` results) keep their pre-edit snapshot.  Writers
+        serialize on a mutation lock so edits never interleave.  Returns
+        the published ``(tree, epoch)``.
+        """
+        from ..runtime import faults
+        from ..trees.mutate import apply_edit_indexed, edit_from_json
+
+        if isinstance(edit, dict):
+            edit = edit_from_json(edit)
+        with self._mutation_lock:
+            old = self.get(name)
+            faults.check("trees.mutate")
+            new_tree = apply_edit_indexed(old, edit)
+            epoch = self.register(name, new_tree)
+        obs.counter("tree_mutations_total", kind=edit.kind).inc()
+        return new_tree, epoch
 
     def names(self) -> list[str]:
         with self._lock:

@@ -36,6 +36,20 @@ How the pieces fit:
   :class:`~repro.service.queue.BoundedRequestQueue` per shard gives the
   same backpressure/shedding behaviour at submit time, and an in-flight
   cap per shard keeps the pipe from buffering unboundedly.
+* **Live documents** — ``mutate`` requests run on a parent-side writer
+  thread (the parent owns the registry and the segments): the edit is
+  applied copy-on-write with incremental index maintenance
+  (:mod:`repro.trees.mutate`), the new index is serialized into a *fresh*
+  segment, the ``(segment, epoch)`` pair is broadcast to every shard, and
+  only then is the new epoch published to the parent registry
+  (broadcast-before-publish).  Reads against named trees are stamped with
+  the registry epoch at dispatch; a shard whose broadcast was dropped (the
+  ``service.reshare`` fault site) answers with a structured
+  :class:`~repro.runtime.errors.StaleEpochError`, which the parent heals
+  by re-sharing the current segment to that shard and re-dispatching —
+  bounded retries, after which the retryable error reaches the caller.
+  Old segments stay attached in the shards, so in-flight requests pinned
+  to a pre-edit epoch keep their snapshot.
 * **Stats reconciliation** — shards ship their
   :class:`~repro.service.stats.ServiceStats` snapshot plus a metrics-
   registry *delta* (:func:`repro.obs.diff_state`, so ``fork``-inherited
@@ -59,6 +73,7 @@ import atexit
 import itertools
 import os
 import queue as _stdlib_queue
+import random
 import threading
 import time
 import zlib
@@ -69,6 +84,9 @@ from multiprocessing import get_context, shared_memory
 from .. import obs
 from ..runtime import faults
 from ..runtime.errors import (
+    DeadlineExceededError,
+    EngineFaultError,
+    InjectedFaultError,
     RequestShedError,
     ServiceClosedError,
     ShardCrashedError,
@@ -153,16 +171,26 @@ def _shard_main(shard_id, request_q, result_q, segments, config) -> None:
     registry = TreeRegistry()
     attached: list[tuple[shared_memory.SharedMemory, object]] = []
 
-    def attach(name: str, shm_name: str, nbytes: int) -> None:
+    def attach(name: str, shm_name: str, nbytes: int, epoch: int) -> None:
+        # Pre-mutation segments stay attached (and their trees alive) for
+        # the rest of the shard's life: in-flight requests pinned to an
+        # older epoch keep reading the snapshot they started with.
         shm = _attach_segment(shm_name)
         tree = load_tree(memoryview(shm.buf)[:nbytes])
-        registry.register(name, tree)
+        registry.register(name, tree, epoch=epoch)
         attached.append((shm, tree))
 
     service = None
     try:
-        for name, shm_name, nbytes in segments:
-            attach(name, shm_name, nbytes)
+        for name, shm_name, nbytes, epoch in segments:
+            try:
+                attach(name, shm_name, nbytes, epoch)
+            except FileNotFoundError:
+                # A mutation raced this shard's startup and unlinked the
+                # spec'd segment.  Its replacement was broadcast to our
+                # request queue before the unlink, so skipping is safe:
+                # the newer epoch registers when the loop below drains it.
+                continue
         service = QueryService(
             registry,
             workers=config.workers,
@@ -232,7 +260,7 @@ def _shard_main(shard_id, request_q, result_q, segments, config) -> None:
                 handle.add_done_callback(on_done(seq))
             elif kind == "tree":
                 try:
-                    attach(message[1], message[2], message[3])
+                    attach(message[1], message[2], message[3], message[4])
                 except BaseException:  # pragma: no cover - defensive
                     pass  # requests for it will fail with "unknown tree"
             elif kind == "faults":
@@ -263,7 +291,14 @@ def _shard_main(shard_id, request_q, result_q, segments, config) -> None:
 class _ShardJob:
     """One admitted request in the parent (mirrors ``workers._Job``)."""
 
-    __slots__ = ("request", "deadline", "submitted_at", "pending", "shard")
+    __slots__ = (
+        "request",
+        "deadline",
+        "submitted_at",
+        "pending",
+        "shard",
+        "reshare_retries",
+    )
 
     def __init__(self, request, deadline, submitted_at, shard):
         self.request = request
@@ -271,6 +306,7 @@ class _ShardJob:
         self.submitted_at = submitted_at
         self.shard = shard
         self.pending = PendingResult()
+        self.reshare_retries = 0
 
 
 class ShardedQueryService:
@@ -311,6 +347,12 @@ class ShardedQueryService:
         self._defaults = (default_timeout, default_max_steps, default_max_nodes)
         self._shutdown_timeout = shutdown_timeout
         self._inflight_cap = queue_limit + workers_per_shard
+        # Mutations run on the parent (it owns the registry and segments):
+        # one writer thread, serialized with late register() on this lock.
+        self._retry = retry if retry is not None else RetryPolicy()
+        self._mutation_lock = threading.Lock()
+        self._mutator_rng = random.Random(4040)
+        self._max_reshare_retries = 3
 
         ctx = get_context(start_method)
         self._segments: dict[str, tuple[shared_memory.SharedMemory, int]] = {}
@@ -337,7 +379,7 @@ class ShardedQueryService:
             segment_specs = []
             for name in self.registry.names():
                 spec = self._create_segment(name, self.registry.get(name))
-                segment_specs.append(spec)
+                segment_specs.append(spec + (self.registry.epoch(name),))
 
             self._result_q = ctx.Queue()
             for shard_id in range(shards):
@@ -396,11 +438,22 @@ class ShardedQueryService:
                 daemon=True,
             )
             self._feeders.append(feeder)
+        self._mutation_q = BoundedRequestQueue(
+            queue_limit,
+            clock=clock,
+            depth_gauge=obs.gauge(
+                "service_queue_depth", service=self.stats.service, shard="mutator"
+            ),
+        )
+        self._mutator = threading.Thread(
+            target=self._mutator_loop, name="repro-shard-mutator", daemon=True
+        )
         self._collector = threading.Thread(
             target=self._collector_loop, name="repro-shard-collector", daemon=True
         )
         for feeder in self._feeders:
             feeder.start()
+        self._mutator.start()
         self._collector.start()
         atexit.register(self._atexit_close)
 
@@ -413,6 +466,18 @@ class ShardedQueryService:
         self._segments[name] = (shm, len(payload))
         return (name, shm.name, len(payload))
 
+    def _replace_segment(self, name: str, tree):
+        """Swap in a fresh segment for ``name``; ``(spec, old_shm_or_None)``.
+
+        The old segment is returned instead of unlinked here: shards that
+        attached it keep their mapping regardless, but the *name* must stay
+        resolvable until the replacement has been broadcast (a lagging
+        shard heals by re-attaching the current name).
+        """
+        old = self._segments.get(name)
+        spec = self._create_segment(name, tree)
+        return spec, (old[0] if old is not None else None)
+
     def _cleanup_segments(self) -> None:
         for shm, _ in self._segments.values():
             try:
@@ -422,15 +487,50 @@ class ShardedQueryService:
                 pass
         self._segments.clear()
 
+    def _broadcast_tree(self, spec, epoch: int, only_shard: int | None = None) -> None:
+        """Ship ``(spec, epoch)`` to shards, one ``service.reshare`` fault
+        check per shard — an injected fault skips that shard (it serves
+        stale reads until healed) without failing the mutation itself."""
+        name, shm_name, nbytes = spec
+        targets = [only_shard] if only_shard is not None else list(range(self.shards))
+        for shard in targets:
+            if self._dead[shard] or self._done[shard]:
+                continue
+            try:
+                faults.check("service.reshare")
+                self._request_qs[shard].put(("tree", name, shm_name, nbytes, epoch))
+            except InjectedFaultError:
+                obs.counter("tree_reshare_total", event="fault").inc()
+            except Exception:  # pragma: no cover - racing a crash
+                self._mark_dead(shard)
+            else:
+                obs.counter("tree_reshare_total", event="ok").inc()
+
     def register(self, name: str, tree) -> None:
-        """Register a tree after startup: segment + broadcast to shards."""
+        """Register a tree after startup: segment + broadcast to shards.
+
+        Broadcast-before-publish: shards see the new epoch's segment no
+        later than the parent registry reports the new epoch, so a read
+        stamped with the published epoch can only find a stale shard if a
+        ``service.reshare`` fault dropped that shard's broadcast.
+        """
         if self._closed:
             raise ServiceClosedError("service is shutting down")
-        self.registry.register(name, tree)
-        spec = self._create_segment(name, tree)
-        for shard_id, request_q in enumerate(self._request_qs):
-            if not self._dead[shard_id]:
-                request_q.put(("tree",) + spec)
+        with self._mutation_lock:
+            epoch = self.registry.epoch(name) + 1
+            spec, old_shm = self._replace_segment(name, tree)
+            self._broadcast_tree(spec, epoch)
+            self.registry.register(name, tree, epoch=epoch)
+        self._unlink_old(old_shm)
+
+    @staticmethod
+    def _unlink_old(old_shm) -> None:
+        if old_shm is not None:
+            try:
+                old_shm.close()
+                old_shm.unlink()
+            except Exception:  # pragma: no cover - already gone
+                pass
 
     # -- admission ---------------------------------------------------------
 
@@ -466,6 +566,16 @@ class ShardedQueryService:
             request.validate()
         except ValueError as exc:
             self._finish_local(job, self._error_result(job, exc, "admission"))
+            return job.pending
+        if request.op == "mutate":
+            # Mutations never cross the pipe: the parent owns the registry
+            # and the shared-memory segments, so the writer runs here and
+            # re-shares the result to every shard.
+            for expired in self._mutation_q.put(job, block=block, timeout=timeout):
+                self._finish_local(
+                    job=expired,
+                    result=self._shed_result(expired, "deadline passed while queued"),
+                )
             return job.pending
         if self._dead[shard]:
             self._finish_local(job, self._crashed_result(job))
@@ -517,11 +627,7 @@ class ShardedQueryService:
             if not acquired:
                 self._finish_local(job, self._crashed_result(job))
                 continue
-            payload = {
-                field: getattr(job.request, field) for field in _REQUEST_FIELDS
-            }
-            if job.deadline is not None:
-                payload["timeout"] = max(0.0, job.deadline - self._clock())
+            payload = self._wire_payload(job)
             seq = next(self._seq)
             with self._pending_lock:
                 self._pending[seq] = job
@@ -534,6 +640,118 @@ class ShardedQueryService:
                 self._mark_dead(shard)
                 self._finish_local(job, self._crashed_result(job))
 
+    def _wire_payload(self, job: _ShardJob) -> dict:
+        """The request dict shipped to a shard, re-stamped at dispatch time.
+
+        The remaining timeout is refreshed (queue wait already spent), and
+        named-tree reads are stamped with the registry's *current* epoch as
+        ``min_epoch`` — the freshness floor the shard must meet, and the
+        signal that turns a dropped re-share into a structured, healable
+        :class:`~repro.runtime.errors.StaleEpochError` instead of a
+        silently stale answer.
+        """
+        request = job.request
+        payload = {field: getattr(request, field) for field in _REQUEST_FIELDS}
+        if job.deadline is not None:
+            payload["timeout"] = max(0.0, job.deadline - self._clock())
+        if request.op != "equivalent" and request.tree is not None and request.xml is None:
+            payload["min_epoch"] = max(
+                request.min_epoch or 0, self.registry.epoch(request.tree)
+            )
+        return payload
+
+    # -- the mutator thread --------------------------------------------------
+
+    def _mutator_loop(self) -> None:
+        while True:
+            job = self._mutation_q.get()
+            if job is None:
+                return  # queue closed and drained
+            now = self._clock()
+            if job.deadline is not None and now >= job.deadline:
+                self._finish_local(
+                    job, self._shed_result(job, "deadline passed while queued")
+                )
+                continue
+            try:
+                result = self._apply_mutation(job)
+            except BaseException as exc:  # the no-lost-requests backstop
+                result = self._error_result(job, exc, "mutator")
+            try:
+                self._finish_local(job, result)
+            except Exception:  # pragma: no cover - a dead mutator would
+                # block every later submit; survive a resolve surprise.
+                obs.counter("service_loop_errors_total", loop="mutator").inc()
+
+    def _apply_mutation(self, job: _ShardJob) -> QueryResult:
+        """One edit: apply, re-segment, broadcast, publish — atomically.
+
+        Everything up to (and including) the registry publish happens under
+        the mutation lock, so readers observe epochs in mutation order and
+        a failed attempt publishes nothing.  Transient faults at the
+        ``trees.mutate`` site retry under the service's retry policy;
+        per-shard ``service.reshare`` faults do *not* fail the mutation —
+        they leave that shard stale, to be healed on its next stamped read.
+        """
+        from ..trees.mutate import apply_edit_indexed, edit_from_json
+
+        request = job.request
+        try:
+            edit = edit_from_json(request.edit)
+        except (ValueError, TypeError) as exc:
+            return self._error_result(job, exc, "mutator")
+        attempts = 0
+        retries = 0
+        while True:
+            attempts += 1
+            if job.deadline is not None and self._clock() >= job.deadline:
+                exc: BaseException = DeadlineExceededError(
+                    f"deadline passed before mutation of {request.tree!r} applied"
+                )
+                return self._error_result(job, exc, "mutator", retries=retries)
+            old_shm = None
+            try:
+                with obs.span(
+                    "service.mutate", tree=request.tree, attempt=attempts
+                ):
+                    with self._mutation_lock:
+                        old = self.registry.get(request.tree)
+                        faults.check("trees.mutate")
+                        new_tree = apply_edit_indexed(old, edit)
+                        epoch = self.registry.epoch(request.tree) + 1
+                        spec, old_shm = self._replace_segment(request.tree, new_tree)
+                        self._broadcast_tree(spec, epoch)
+                        self.registry.register(request.tree, new_tree, epoch=epoch)
+            except (ValueError, TypeError) as exc:
+                return self._error_result(job, exc, "mutator", retries=retries)
+            except EngineFaultError as exc:
+                if attempts < self._retry.max_attempts:
+                    delay = self._retry.delay(attempts, self._mutator_rng)
+                    if job.deadline is not None:
+                        delay = min(delay, max(0.0, job.deadline - self._clock()))
+                    if delay > 0:
+                        time.sleep(delay)
+                    retries += 1
+                    continue
+                return self._error_result(job, exc, "mutator", retries=retries)
+            self._unlink_old(old_shm)
+            obs.counter("tree_mutations_total", kind=edit.kind).inc()
+            return QueryResult(
+                id=request.id,
+                op=request.op,
+                status="ok",
+                value={
+                    "tree": request.tree,
+                    "epoch": epoch,
+                    "kind": edit.kind,
+                    "size": new_tree.size,
+                },
+                retries=retries,
+                routed="mutate",
+                latency=self._clock() - job.submitted_at,
+                worker="mutator",
+            )
+
     def _collector_loop(self) -> None:
         while True:
             try:
@@ -544,15 +762,20 @@ class ShardedQueryService:
                 self._check_shards()
                 continue
             kind = message[0]
-            if kind == "res":
-                self._on_result(message[1], message[2], message[3])
-            elif kind == "stats":
-                with self._stats_cond:
-                    self._shard_stats[message[1]] = (message[3], message[4])
-                    self._stats_tokens[message[1]] = message[2]
-                    self._stats_cond.notify_all()
-            elif kind == "bye":
-                self._done[message[1]] = True
+            try:
+                if kind == "res":
+                    self._on_result(message[1], message[2], message[3])
+                elif kind == "stats":
+                    with self._stats_cond:
+                        self._shard_stats[message[1]] = (message[3], message[4])
+                        self._stats_tokens[message[1]] = message[2]
+                        self._stats_cond.notify_all()
+                elif kind == "bye":
+                    self._done[message[1]] = True
+            except Exception:  # pragma: no cover - backstop; a dead collector
+                # would strand every in-flight request, so the loop survives
+                # anything one message's handling throws.
+                obs.counter("service_loop_errors_total", loop="collector").inc()
 
     def _on_result(self, shard: int, seq: int, payload: dict) -> None:
         with self._pending_lock:
@@ -560,6 +783,20 @@ class ShardedQueryService:
         self._inflight[shard].release()
         if job is None:  # pragma: no cover - defensive
             return
+        try:
+            if (
+                payload.get("status") == "error"
+                and (payload.get("error") or {}).get("type") == "StaleEpochError"
+                and job.reshare_retries < self._max_reshare_retries
+                and not self._closed
+                and not self._dead[shard]
+                and (job.deadline is None or self._clock() < job.deadline)
+            ):
+                if self._heal_and_redispatch(job, shard):
+                    return
+        except Exception:  # pragma: no cover - heal is best-effort; the
+            # popped job must still resolve below, never be lost.
+            obs.counter("service_loop_errors_total", loop="collector").inc()
         result = QueryResult(
             id=payload.get("id", job.request.id),
             op=payload.get("op", job.request.op),
@@ -575,6 +812,38 @@ class ShardedQueryService:
             worker=payload.get("worker", f"shard-{shard}"),
         )
         job.pending.resolve(result)
+
+    def _heal_and_redispatch(self, job: _ShardJob, shard: int) -> bool:
+        """A shard answered stale: re-share the current segment, retry there.
+
+        Runs on the collector thread, so everything is non-blocking: if the
+        segment is gone, the in-flight slot cannot be re-acquired instantly,
+        or the pipe fails, we return False and the stale error resolves to
+        the caller (it is still structured and retryable client-side).
+        """
+        job.reshare_retries += 1
+        name = job.request.tree
+        with self._mutation_lock:
+            entry = self._segments.get(name)
+            epoch = self.registry.epoch(name)
+            spec = None if entry is None else (name, entry[0].name, entry[1])
+        if spec is None:  # pragma: no cover - racing shutdown
+            return False
+        if not self._inflight[shard].acquire(blocking=False):
+            return False  # pragma: no cover - shard saturated; resolve stale
+        seq = next(self._seq)
+        with self._pending_lock:
+            self._pending[seq] = job
+        try:
+            self._broadcast_tree(spec, epoch, only_shard=shard)
+            self._request_qs[shard].put(("req", seq, self._wire_payload(job)))
+        except Exception:  # pragma: no cover - racing a crash
+            with self._pending_lock:
+                self._pending.pop(seq, None)
+            self._inflight[shard].release()
+            return False
+        obs.counter("tree_reshare_total", event="heal").inc()
+        return True
 
     def _check_shards(self) -> None:
         for shard, process in enumerate(self._processes):
@@ -635,12 +904,15 @@ class ShardedQueryService:
             worker="parent",
         )
 
-    def _error_result(self, job: _ShardJob, exc, worker: str) -> QueryResult:
+    def _error_result(
+        self, job: _ShardJob, exc, worker: str, retries: int = 0
+    ) -> QueryResult:
         return QueryResult(
             id=job.request.id,
             op=job.request.op,
             status="error",
             error=error_payload(exc),
+            retries=retries,
             routed="none",
             latency=self._clock() - job.submitted_at,
             worker=worker,
@@ -786,8 +1058,9 @@ class ShardedQueryService:
         timeout = self._shutdown_timeout if timeout is None else timeout
         for bounded in self._queues:
             bounded.close()
+        self._mutation_q.close()
         if not drain:
-            for bounded in self._queues:
+            for bounded in (*self._queues, self._mutation_q):
                 for job in bounded.drain():
                     self._finish_local(
                         job,
@@ -799,6 +1072,7 @@ class ShardedQueryService:
                     process.terminate()
         for feeder in self._feeders:
             feeder.join(timeout=max(timeout, 1.0))
+        self._mutator.join(timeout=max(timeout, 1.0))
         if not kill:
             for shard, request_q in enumerate(self._request_qs):
                 if not self._dead[shard]:

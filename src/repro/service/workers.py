@@ -57,8 +57,9 @@ from ..runtime.errors import (
     EngineFaultError,
     RequestShedError,
     ServiceClosedError,
+    StaleEpochError,
 )
-from .api import QueryRequest, QueryResult, TreeRegistry, error_payload
+from .api import QueryRequest, QueryResult, TreePin, TreeRegistry, error_payload
 from .breaker import CircuitBreaker
 from .cache import Flight, ResultCache
 from .queue import BoundedRequestQueue
@@ -68,7 +69,17 @@ from .stats import ServiceStats
 __all__ = ["PendingResult", "QueryService"]
 
 #: Engine family per operation (None = no fast/oracle split, no breaker).
-_FAMILY = {"eval": "xpath", "select": "xpath", "check": "logic", "equivalent": None}
+_FAMILY = {
+    "eval": "xpath",
+    "select": "xpath",
+    "check": "logic",
+    "equivalent": None,
+    "mutate": None,
+}
+
+#: Epoch-lag histogram buckets: how many epochs behind a stamped read found
+#: its local tree (0 = perfectly fresh; >0 only under re-share faults).
+_EPOCH_LAG_BUCKETS = (0.0, 1.0, 2.0, 4.0, 8.0, 16.0)
 
 #: Shared (per-alphabet) equivalence corpora; built once, read concurrently.
 _corpus_cache: dict[tuple[str, ...], object] = {}
@@ -502,12 +513,19 @@ class QueryService:
             budget = ExecutionBudget.from_deadline(
                 job.deadline, max_steps, max_nodes, clock=self._clock
             )
+        if request.op == "mutate":
+            return self._mutate(job, budget, worker, rng)
+        pin = None
         try:
-            tree = self._resolve_tree(request)
-            plan = self._prepare(request)
-        except (ValueError, TypeError) as exc:
-            return self._error_result(job, exc, worker=worker)
-        return self._execute(job, plan, tree, budget, worker, rng)
+            try:
+                tree, pin = self._resolve_tree(request)
+                plan = self._prepare(request)
+            except (ValueError, TypeError, StaleEpochError) as exc:
+                return self._error_result(job, exc, worker=worker)
+            return self._execute(job, plan, tree, budget, worker, rng, pin)
+        finally:
+            if pin is not None:
+                pin.release()
 
     _PLAN_CACHE_LIMIT = 1024
 
@@ -539,16 +557,107 @@ class QueryService:
             self._plan_cache[key] = plan
         return plan
 
-    def _resolve_tree(self, request: QueryRequest):
+    def _resolve_tree(self, request: QueryRequest) -> tuple:
+        """The request's document as ``(tree, pin)``.
+
+        Named trees are *pinned* — the worker holds an atomic
+        ``(tree, epoch)`` snapshot for the request's whole execution, so a
+        concurrent mutation never tears its view.  Requests stamped with a
+        ``min_epoch`` (the sharded tier's dispatch-time epoch) additionally
+        verify freshness: a local snapshot older than the stamp raises
+        :class:`StaleEpochError`, the structured retryable signal the
+        parent heals by re-sharing and re-dispatching.
+        """
         if request.op == "equivalent":
-            return None
+            return None, None
         if request.xml is not None:
             from ..trees import parse_xml
 
-            return parse_xml(request.xml)
-        return self.registry.get(request.tree)
+            return parse_xml(request.xml), None
+        try:
+            pin = self.registry.pin(request.tree)
+        except ValueError:
+            if request.min_epoch is not None:
+                # The dispatcher stamped an epoch, so the tree exists
+                # upstream — this replica just never (successfully)
+                # attached it.  Surface the healable staleness signal,
+                # not an "unknown tree" dead end.
+                raise StaleEpochError(request.tree, 0, request.min_epoch)
+            raise
+        if request.min_epoch is not None:
+            lag = request.min_epoch - pin.epoch
+            obs.histogram("tree_epoch_lag", buckets=_EPOCH_LAG_BUCKETS).observe(
+                float(max(0, lag))
+            )
+            if lag > 0:
+                pin.release()
+                raise StaleEpochError(request.tree, pin.epoch, request.min_epoch)
+        return pin.tree, pin
 
-    def _execute(self, job, plan, tree, budget, worker, rng) -> QueryResult:
+    def _mutate(self, job: _Job, budget, worker: str, rng: random.Random) -> QueryResult:
+        """Apply one live-document edit, with transient-fault retries.
+
+        Mutations bypass the breaker/cache machinery — there is no oracle
+        to degrade to and nothing cacheable — but keep the retry policy:
+        an injected (or real) :class:`EngineFaultError` at the
+        ``trees.mutate`` boundary is transient by contract, and the
+        registry's mutation lock guarantees a failed attempt published
+        nothing, so re-applying is safe.
+        """
+        from ..trees.mutate import edit_from_json
+
+        request = job.request
+        try:
+            edit = edit_from_json(request.edit)
+        except (ValueError, TypeError) as exc:
+            return self._error_result(job, exc, worker=worker)
+        attempts = 0
+        retries = 0
+        while True:
+            attempts += 1
+            if (
+                budget is not None
+                and budget.remaining_time is not None
+                and budget.remaining_time <= 0
+            ):
+                exc: BaseException = DeadlineExceededError(
+                    f"deadline passed before mutation of {request.tree!r} applied"
+                )
+                return self._error_result(job, exc, worker=worker, retries=retries)
+            try:
+                with obs.span(
+                    "service.mutate", tree=request.tree, attempt=attempts
+                ):
+                    new_tree, epoch = self.registry.mutate(request.tree, edit)
+            except (ValueError, TypeError) as exc:
+                return self._error_result(job, exc, worker=worker, retries=retries)
+            except EngineFaultError as exc:
+                if attempts < self.retry.max_attempts:
+                    delay = self.retry.delay(attempts, rng)
+                    if budget is not None and budget.remaining_time is not None:
+                        delay = min(delay, max(0.0, budget.remaining_time))
+                    if delay > 0:
+                        with obs.span("service.retry.backoff", delay=delay):
+                            self._sleep(delay)
+                    retries += 1
+                    continue
+                return self._error_result(job, exc, worker=worker, retries=retries)
+            return self._ok_result(
+                job,
+                {
+                    "tree": request.tree,
+                    "epoch": epoch,
+                    "kind": edit.kind,
+                    "size": new_tree.size,
+                },
+                worker=worker,
+                retries=retries,
+                routed="mutate",
+            )
+
+    def _execute(
+        self, job, plan, tree, budget, worker, rng, pin: TreePin | None = None
+    ) -> QueryResult:
         """One request through the cache, then the retry state machine.
 
         With the result cache on, requests for one semantic key collapse:
@@ -574,7 +683,14 @@ class QueryService:
             settled = False
             try:
                 result = self._attempt(job, plan, tree, budget, worker, rng)
-                if result.status == "ok":
+                # Store only if the tree is still at the pinned epoch: a
+                # mutation landing between pin and cache.begin() would
+                # otherwise let this pre-edit value slip in under the
+                # post-edit epoch (cache.complete's own epoch check only
+                # covers mutations after begin()).
+                if result.status == "ok" and (
+                    pin is None or self.registry.epoch(pin.name) == pin.epoch
+                ):
                     cache.complete(flight, result.value)
                     settled = True
                 return result

@@ -32,6 +32,16 @@ from .generate import (
     star,
 )
 from .index import Scope, TreeIndex, tree_index
+from .mutate import (
+    DeleteSubtree,
+    InsertSubtree,
+    Relabel,
+    apply_edit,
+    apply_edit_indexed,
+    apply_edits,
+    edit_from_json,
+    edit_to_json,
+)
 from .node import Node
 from .share import MaskSlab, detach_tree, dump_index, dump_tree, load_tree
 from .tree import Tree
@@ -40,7 +50,10 @@ from .xml_io import XmlReadOptions, XmlSyntaxError, parse_xml, to_xml
 __all__ = [
     "Axis",
     "CLOSURE_BASE",
+    "DeleteSubtree",
+    "InsertSubtree",
     "MaskSlab",
+    "Relabel",
     "PRIMITIVE_AXES",
     "TRANSITIVE_AXES",
     "Node",
@@ -55,6 +68,9 @@ __all__ = [
     "XmlSyntaxError",
     "all_shapes",
     "all_trees",
+    "apply_edit",
+    "apply_edit_indexed",
+    "apply_edits",
     "axis_image",
     "axis_pairs",
     "axis_steps",
@@ -62,6 +78,8 @@ __all__ = [
     "chain",
     "comb",
     "count_shapes",
+    "edit_from_json",
+    "edit_to_json",
     "full_kary",
     "inverse_axis",
     "parse_xml",

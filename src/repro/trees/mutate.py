@@ -1,0 +1,638 @@
+"""Live-document edits: subtree insert/delete/relabel with delta reindexing.
+
+Every engine in the repro evaluates against a frozen :class:`Tree` plus its
+:class:`~repro.trees.index.TreeIndex`.  This module makes documents *live*
+without giving that up: an edit produces a **new** tree (copy-on-write — the
+old tree, its index, and every compiled plan cached on it stay valid for
+readers pinned to the old snapshot) whose index is **maintained
+incrementally** instead of rebuilt from scratch.
+
+The preorder-interval representation is what makes the delta cheap.  A
+subtree edit touches exactly one contiguous id range ``[pos, pos + k)``:
+
+* every big-int node-set mask updates by a **shift + splice** —
+  ``(m & low) | ((m & ~low) << k)`` on insert and
+  ``(m & low) | ((m >> k) & ~low)`` on delete, with ``low = prefix[pos]``
+  (Python's infinite-precision ``~low`` makes the high part exact);
+* the ``prefix`` table — the only O(n²)-bit structure — is extended or
+  truncated, never rebuilt;
+* subtree sizes (the ``after`` table and the size-keyed ``sib_groups`` /
+  ``last_child_groups``) change only on the **ancestor chain** of the edit
+  parent, so those tables repair in O(depth) group moves;
+* the parent-offset ``delta_groups`` split exactly at the splice point by
+  id arithmetic: a node below the splice whose parent is also below keeps
+  its offset, a node above with parent below grows/shrinks by ``k``, and
+  both cases are contiguous sub-intervals of each group.
+
+Full reindex-from-scratch (``TreeIndex(tree)``) is the correctness oracle:
+the property suite in ``tests/trees/test_mutate.py`` asserts bit-exact
+equality (:func:`index_fingerprint`) after random edit scripts.
+
+Edits round-trip through JSON (:func:`edit_from_json` /
+:func:`edit_to_json`), which is how the service tier's ``mutate`` requests
+carry them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .index import TreeIndex, tree_index
+from .tree import Tree
+
+__all__ = [
+    "InsertSubtree",
+    "DeleteSubtree",
+    "Relabel",
+    "Edit",
+    "apply_edit",
+    "apply_edits",
+    "apply_edit_indexed",
+    "edit_from_json",
+    "edit_to_json",
+    "index_fingerprint",
+]
+
+
+@dataclass(frozen=True)
+class InsertSubtree:
+    """Insert a standalone subtree as child ``index`` of node ``parent``."""
+
+    parent: int
+    index: int
+    subtree: Tree
+    kind = "insert"
+
+
+@dataclass(frozen=True)
+class DeleteSubtree:
+    """Delete node ``node`` together with its whole subtree."""
+
+    node: int
+    kind = "delete"
+
+
+@dataclass(frozen=True)
+class Relabel:
+    """Replace the label of one node."""
+
+    node: int
+    label: str
+    kind = "relabel"
+
+
+Edit = "InsertSubtree | DeleteSubtree | Relabel"
+
+
+# -- validation --------------------------------------------------------------
+
+
+def _check_node(tree: Tree, node: int, role: str) -> None:
+    if not isinstance(node, int) or isinstance(node, bool):
+        raise ValueError(f"{role} must be an int node id, got {node!r}")
+    if not 0 <= node < tree.size:
+        raise ValueError(
+            f"{role} {node!r} out of range for a tree of {tree.size} nodes"
+        )
+
+
+def _insert_position(tree: Tree, edit: InsertSubtree) -> int:
+    """The preorder id the inserted subtree's root will take."""
+    _check_node(tree, edit.parent, "insert parent")
+    kids = tree.children_ids(edit.parent)
+    if not isinstance(edit.index, int) or isinstance(edit.index, bool):
+        raise ValueError(f"insert index must be an int, got {edit.index!r}")
+    if not 0 <= edit.index <= len(kids):
+        raise ValueError(
+            f"insert index {edit.index} out of range: node {edit.parent} has "
+            f"{len(kids)} children"
+        )
+    if not isinstance(edit.subtree, Tree):
+        raise ValueError(f"insert subtree must be a Tree, got {edit.subtree!r}")
+    if edit.index < len(kids):
+        return kids[edit.index]
+    return edit.parent + tree.subtree_sizes[edit.parent]
+
+
+# -- structural application (no index) ---------------------------------------
+
+
+def apply_edit(tree: Tree, edit) -> Tree:
+    """Apply one edit structurally, returning a brand-new :class:`Tree`.
+
+    The input tree is never touched (trees are immutable); this is the
+    copy-on-write snapshot boundary.  The returned tree has **no** index
+    attached — use :func:`apply_edit_indexed` on the hot path.
+    """
+    if isinstance(edit, Relabel):
+        _check_node(tree, edit.node, "relabel node")
+        if not isinstance(edit.label, str) or not edit.label:
+            raise ValueError(f"relabel label must be a non-empty string, got {edit.label!r}")
+        labels = list(tree.labels)
+        labels[edit.node] = edit.label
+        return Tree(labels, tree.parent)
+    if isinstance(edit, InsertSubtree):
+        labels, parents, _, _ = _insert_arrays(tree, edit)
+        return Tree(labels, parents)
+    if isinstance(edit, DeleteSubtree):
+        labels, parents, _, _ = _delete_arrays(tree, edit)
+        return Tree(labels, parents)
+    raise ValueError(f"unknown edit {edit!r}")
+
+
+def apply_edits(tree: Tree, edits) -> Tree:
+    """Fold an edit script left-to-right with :func:`apply_edit`."""
+    for edit in edits:
+        tree = apply_edit(tree, edit)
+    return tree
+
+
+def _insert_arrays(tree: Tree, edit: InsertSubtree):
+    pos = _insert_position(tree, edit)
+    sub = edit.subtree
+    k = sub.size
+    labels = list(tree.labels[:pos]) + list(sub.labels) + list(tree.labels[pos:])
+    parents = list(tree.parent[:pos])
+    parents.append(edit.parent)
+    for i in range(1, k):
+        parents.append(sub.parent[i] + pos)
+    for i in range(pos, tree.size):
+        p = tree.parent[i]
+        parents.append(p + k if p >= pos else p)
+    return labels, parents, pos, k
+
+
+def _delete_arrays(tree: Tree, edit: DeleteSubtree):
+    _check_node(tree, edit.node, "delete node")
+    if edit.node == 0:
+        raise ValueError("cannot delete the root")
+    x = edit.node
+    k = tree.subtree_sizes[x]
+    labels = list(tree.labels[:x]) + list(tree.labels[x + k :])
+    parents = list(tree.parent[:x])
+    for i in range(x + k, tree.size):
+        p = tree.parent[i]
+        # Survivors never have a parent inside the deleted interval: such a
+        # parent would make them descendants of x, hence deleted themselves.
+        parents.append(p - k if p >= x + k else p)
+    return labels, parents, x, k
+
+
+# -- incremental index maintenance -------------------------------------------
+
+
+def apply_edit_indexed(tree: Tree, edit) -> Tree:
+    """Apply one edit and maintain the :class:`TreeIndex` incrementally.
+
+    Returns a new tree whose cached index was assembled from the old one
+    by shift + splice + chain repair (see module docstring) — bit-exact
+    with a from-scratch ``TreeIndex`` build, validated by the property
+    suite.  The old tree and its index are untouched.
+    """
+    old = tree_index(tree)
+    if isinstance(edit, Relabel):
+        new_tree, index = _relabel_indexed(tree, old, edit)
+    elif isinstance(edit, InsertSubtree):
+        new_tree, index = _insert_indexed(tree, old, edit)
+    elif isinstance(edit, DeleteSubtree):
+        new_tree, index = _delete_indexed(tree, old, edit)
+    else:
+        raise ValueError(f"unknown edit {edit!r}")
+    new_tree._engine_index = index
+    return new_tree
+
+
+def _ancestor_chain(tree: Tree, node: int):
+    """Ancestors-or-self of ``node``: the only nodes whose subtree size
+    (hence ``after``, ``sib_groups`` key, ``last_child`` offset) changes."""
+    chain = []
+    u = node
+    while u >= 0:
+        chain.append(u)
+        u = tree.parent[u]
+    mask = 0
+    for u in chain:
+        mask |= 1 << u
+    return chain, mask, set(chain)
+
+
+def _relabel_indexed(tree: Tree, old: TreeIndex, edit: Relabel):
+    new_tree = apply_edit(tree, edit)
+    label_masks = dict(old.label_masks)
+    old_label = tree.labels[edit.node]
+    if edit.label != old_label:
+        bit = 1 << edit.node
+        remaining = label_masks[old_label] & ~bit
+        if remaining:
+            label_masks[old_label] = remaining
+        else:
+            del label_masks[old_label]
+        label_masks[edit.label] = label_masks.get(edit.label, 0) | bit
+    # Structure is untouched: every other table is shared with the old
+    # index (all are read-only after construction).
+    index = TreeIndex._from_parts(
+        new_tree,
+        prefix=old.prefix,
+        label_masks=label_masks,
+        after=old.after,
+        children_of=old.children_of,
+        delta_groups=old.delta_groups,
+        sib_groups=old.sib_groups,
+        leaf_mask=old.leaf_mask,
+        first_mask=old.first_mask,
+        last_mask=old.last_mask,
+        last_child_groups=old.last_child_groups,
+    )
+    return new_tree, index
+
+
+def _insert_indexed(tree: Tree, old: TreeIndex, edit: InsertSubtree):
+    labels, parents, pos, k = _insert_arrays(tree, edit)
+    new_tree = Tree(labels, parents)
+    sub = edit.subtree
+    subidx = tree_index(sub)
+    n = old.n
+    P = edit.parent
+    kids = tree.children_ids(P)
+    j = edit.index
+    low = old.prefix[pos]
+
+    def up(mask: int) -> int:
+        return (mask & low) | ((mask & ~low) << k)
+
+    chain, chain_mask, chain_set = _ancestor_chain(tree, P)
+
+    # prefix: extend by k entries; the old table is never recomputed.
+    prefix = [old.prefix[i] for i in range(n + 1)]
+    mask = prefix[-1]
+    for _ in range(k):
+        mask = (mask << 1) | 1
+        prefix.append(mask)
+
+    after = [0] * (n + k)
+    for v in range(pos):
+        after[v] = old.after[v] + (k if v in chain_set else 0)
+    for i in range(k):
+        after[pos + i] = pos + subidx.after[i]
+    for v in range(pos, n):
+        after[v + k] = old.after[v] + k
+
+    label_masks = {}
+    for label, m in old.label_masks.items():
+        label_masks[label] = up(m)
+    for label, m in subidx.label_masks.items():
+        label_masks[label] = label_masks.get(label, 0) | (m << pos)
+
+    children_of = [0] * (n + k)
+    for v in range(pos):
+        children_of[v] = up(old.children_of[v])
+    for i in range(k):
+        children_of[pos + i] = subidx.children_of[i] << pos
+    for v in range(pos, n):
+        children_of[v + k] = up(old.children_of[v])
+    children_of[P] |= 1 << pos
+
+    root_bit = 1 << pos
+    leaf_mask = (up(old.leaf_mask) | (subidx.leaf_mask << pos)) & ~(1 << P)
+    first_mask = up(old.first_mask) | (subidx.first_mask << pos)
+    last_mask = up(old.last_mask) | (subidx.last_mask << pos)
+    if j > 0:
+        first_mask &= ~root_bit  # the new node has a previous sibling
+    elif kids:
+        first_mask &= ~(1 << (kids[0] + k))  # old first child demoted
+    if j < len(kids):
+        last_mask &= ~root_bit  # the new node has a next sibling
+    elif kids:
+        last_mask &= ~(1 << kids[-1])  # old last child demoted (id < pos)
+
+    # delta_groups: exact interval split.  For group (d, g): v < pos keeps
+    # d; v in [pos, pos+d) has its parent below the splice, so the offset
+    # grows by k; v >= pos+d has parent >= pos, so the offset is preserved.
+    acc: dict[int, int] = {}
+    for d, g in old.delta_groups:
+        below = g & low
+        bound = pos + d if pos + d < n else n
+        straddle = old.prefix[bound] ^ low
+        mid = g & straddle
+        high = g & ~low & ~straddle
+        if below:
+            acc[d] = acc.get(d, 0) | below
+        if mid:
+            acc[d + k] = acc.get(d + k, 0) | (mid << k)
+        if high:
+            acc[d] = acc.get(d, 0) | (high << k)
+    for d, g in subidx.delta_groups:
+        acc[d] = acc.get(d, 0) | (g << pos)
+    acc[pos - P] = acc.get(pos - P, 0) | root_bit  # the new edge P -> pos
+    delta_groups = sorted(acc.items())
+
+    # sib_groups (keyed by subtree size): only the chain changes size, so
+    # pull the chain out, splice the rest, re-add the chain at size + k,
+    # and repair the edit-site siblings.
+    sizes = tree.subtree_sizes
+    acc = {}
+    for s, g in old.sib_groups:
+        g2 = g & ~chain_mask
+        if g2:
+            acc[s] = acc.get(s, 0) | up(g2)
+    for u in chain:
+        if tree.next_sibling[u] >= 0:
+            s = sizes[u] + k
+            acc[s] = acc.get(s, 0) | (1 << u)
+    if j < len(kids):
+        acc[k] = acc.get(k, 0) | root_bit  # new node's next sibling at +k
+    elif kids:
+        L = kids[-1]  # old last child gains a next sibling (id < pos)
+        acc[sizes[L]] = acc.get(sizes[L], 0) | (1 << L)
+    for s, g in subidx.sib_groups:
+        acc[s] = acc.get(s, 0) | (g << pos)
+    sib_groups = sorted(acc.items())
+
+    # last_child_groups: the affected owners are exactly the chain (a
+    # non-chain node u < pos with last_child(u) >= pos would contain the
+    # splice, i.e. be an ancestor of P).  Re-add each chain node with its
+    # new last-child offset.
+    acc = {}
+    for d, g in old.last_child_groups:
+        g2 = g & ~chain_mask
+        if g2:
+            acc[d] = acc.get(d, 0) | up(g2)
+    for u in chain:
+        lc = tree.last_child[u]
+        if u == P and j == len(kids):
+            lc_new = pos  # inserted at the end: the new node is last
+        else:
+            lc_new = lc + k if lc >= pos else lc
+        acc[lc_new - u] = acc.get(lc_new - u, 0) | (1 << u)
+    for d, g in subidx.last_child_groups:
+        acc[d] = acc.get(d, 0) | (g << pos)
+    last_child_groups = sorted(acc.items())
+
+    index = TreeIndex._from_parts(
+        new_tree,
+        prefix=prefix,
+        label_masks=label_masks,
+        after=after,
+        children_of=children_of,
+        delta_groups=delta_groups,
+        sib_groups=sib_groups,
+        leaf_mask=leaf_mask,
+        first_mask=first_mask,
+        last_mask=last_mask,
+        last_child_groups=last_child_groups,
+    )
+    return new_tree, index
+
+
+def _delete_indexed(tree: Tree, old: TreeIndex, edit: DeleteSubtree):
+    labels, parents, x, k = _delete_arrays(tree, edit)
+    new_tree = Tree(labels, parents)
+    n = old.n
+    P = tree.parent[x]
+    low = old.prefix[x]
+    interval = old.prefix[x + k] ^ low  # the deleted id range [x, x+k)
+
+    def down(mask: int) -> int:
+        # Deleted bits shift into [x-k, x) and are cleared by the ~low
+        # guard on the high part / absent from the untouched low part.
+        return (mask & low) | ((mask >> k) & ~low)
+
+    chain, chain_mask, chain_set = _ancestor_chain(tree, P)
+
+    prefix = [old.prefix[i] for i in range(n - k + 1)]
+
+    after = [0] * (n - k)
+    for v in range(x):
+        after[v] = old.after[v] - (k if v in chain_set else 0)
+    for v in range(x + k, n):
+        after[v - k] = old.after[v] - k
+
+    label_masks = {}
+    for label, m in old.label_masks.items():
+        m = down(m)
+        if m:
+            label_masks[label] = m
+
+    children_of = [0] * (n - k)
+    for v in range(x):
+        children_of[v] = down(old.children_of[v])
+    for v in range(x + k, n):
+        children_of[v - k] = down(old.children_of[v])
+
+    leaf_mask = down(old.leaf_mask)
+    first_mask = down(old.first_mask)
+    last_mask = down(old.last_mask)
+    kids = tree.children_ids(P)
+    if len(kids) == 1:
+        leaf_mask |= 1 << P  # x was the only child
+    prev_sib = tree.prev_sibling[x]
+    next_sib = tree.next_sibling[x]
+    if prev_sib < 0 and next_sib >= 0:
+        first_mask |= 1 << x  # next sibling's new id is next_sib - k == x
+    if next_sib < 0 and prev_sib >= 0:
+        last_mask |= 1 << prev_sib  # prev sibling (id < x) becomes last
+
+    # delta_groups: clear the deleted interval, then split as on insert.
+    # The gap [x + d, x + k + d) is provably empty in every group: a node
+    # there would have its parent inside the deleted interval.
+    acc: dict[int, int] = {}
+    for d, g in old.delta_groups:
+        g &= ~interval
+        if not g:
+            continue
+        below = g & low
+        bound = x + d if x + d < n else n
+        straddle = old.prefix[bound] ^ low
+        mid = g & straddle
+        high = g & ~low & ~straddle
+        if below:
+            acc[d] = acc.get(d, 0) | below
+        if mid:
+            acc[d - k] = acc.get(d - k, 0) | (mid >> k)
+        if high:
+            acc[d] = acc.get(d, 0) | (high >> k)
+    delta_groups = sorted(acc.items())
+
+    sizes = tree.subtree_sizes
+    pre_clear = chain_mask | interval
+    if next_sib < 0 and prev_sib >= 0:
+        pre_clear |= 1 << prev_sib  # prev sibling loses its next sibling
+    acc = {}
+    for s, g in old.sib_groups:
+        g2 = g & ~pre_clear
+        if g2:
+            acc[s] = acc.get(s, 0) | down(g2)
+    for u in chain:
+        if tree.next_sibling[u] >= 0:
+            s = sizes[u] - k
+            acc[s] = acc.get(s, 0) | (1 << u)
+    sib_groups = sorted(acc.items())
+
+    acc = {}
+    for d, g in old.last_child_groups:
+        g2 = g & ~(chain_mask | interval)
+        if g2:
+            acc[d] = acc.get(d, 0) | down(g2)
+    for u in chain:
+        lc = tree.last_child[u]
+        if u == P and lc == x:
+            lc_new = prev_sib if prev_sib >= 0 else None
+        elif lc >= x + k:
+            lc_new = lc - k
+        else:
+            lc_new = lc
+        if lc_new is not None:
+            acc[lc_new - u] = acc.get(lc_new - u, 0) | (1 << u)
+    last_child_groups = sorted(acc.items())
+
+    index = TreeIndex._from_parts(
+        new_tree,
+        prefix=prefix,
+        label_masks=label_masks,
+        after=after,
+        children_of=children_of,
+        delta_groups=delta_groups,
+        sib_groups=sib_groups,
+        leaf_mask=leaf_mask,
+        first_mask=first_mask,
+        last_mask=last_mask,
+        last_child_groups=last_child_groups,
+    )
+    return new_tree, index
+
+
+# -- JSON round-trip (the service wire format) --------------------------------
+
+_EDIT_FIELDS = {
+    "relabel": {"kind", "node", "label"},
+    "delete": {"kind", "node"},
+    "insert": {"kind", "parent", "index", "xml", "shape"},
+}
+
+def _tree_from_shape_json(obj) -> Tree:
+    """Build a tree from the JSON shape form: a label string for a leaf,
+    ``[label, [child, ...]]`` for an inner node.  Iterative (like
+    :meth:`Tree.build`), so arbitrarily deep shapes never hit the
+    recursion limit."""
+    labels: list[str] = []
+    parents: list[int] = []
+    stack = [(obj, -1)]
+    while stack:
+        item, parent_id = stack.pop()
+        if isinstance(item, str):
+            label, kids = item, ()
+        elif (
+            isinstance(item, (list, tuple))
+            and len(item) == 2
+            and isinstance(item[0], str)
+            and isinstance(item[1], (list, tuple))
+        ):
+            label, kids = item
+        else:
+            raise ValueError(
+                f"bad shape {item!r}: expected a label string or "
+                "[label, [children]]"
+            )
+        my_id = len(labels)
+        labels.append(label)
+        parents.append(parent_id)
+        for kid in reversed(list(kids)):
+            stack.append((kid, my_id))
+    return Tree(labels, parents)
+
+
+def _shape_to_json(tree: Tree):
+    # Reverse-document-order sweep: children have larger ids, so their
+    # shapes are ready when the parent assembles (no recursion).
+    shapes: list = [None] * tree.size
+    for v in range(tree.size - 1, -1, -1):
+        kids = tree.children_ids(v)
+        if kids:
+            shapes[v] = [tree.labels[v], [shapes[c] for c in kids]]
+        else:
+            shapes[v] = tree.labels[v]
+    return shapes[0]
+
+
+def edit_from_json(payload) -> "InsertSubtree | DeleteSubtree | Relabel":
+    """Decode one edit from its JSON dict (unknown keys/kinds rejected)."""
+    if not isinstance(payload, dict):
+        raise ValueError(
+            f"edit must be a JSON object, got {type(payload).__name__}"
+        )
+    kind = payload.get("kind")
+    if kind not in _EDIT_FIELDS:
+        raise ValueError(
+            f"unknown edit kind {kind!r}; expected one of "
+            f"{sorted(_EDIT_FIELDS)}"
+        )
+    unknown = set(payload) - _EDIT_FIELDS[kind]
+    if unknown:
+        raise ValueError(f"unknown edit field(s) for {kind!r}: {sorted(unknown)}")
+    if kind == "relabel":
+        if "node" not in payload or "label" not in payload:
+            raise ValueError("relabel edit requires 'node' and 'label'")
+        return Relabel(node=payload["node"], label=payload["label"])
+    if kind == "delete":
+        if "node" not in payload:
+            raise ValueError("delete edit requires 'node'")
+        return DeleteSubtree(node=payload["node"])
+    if "parent" not in payload or "index" not in payload:
+        raise ValueError("insert edit requires 'parent' and 'index'")
+    has_xml = "xml" in payload
+    has_shape = "shape" in payload
+    if has_xml == has_shape:
+        raise ValueError("insert edit requires exactly one of 'xml' or 'shape'")
+    if has_xml:
+        from .xml_io import parse_xml
+
+        subtree = parse_xml(payload["xml"])
+    else:
+        subtree = _tree_from_shape_json(payload["shape"])
+    return InsertSubtree(
+        parent=payload["parent"], index=payload["index"], subtree=subtree
+    )
+
+
+def edit_to_json(edit) -> dict:
+    """The JSON dict for one edit (inserts carry their subtree as a shape)."""
+    if isinstance(edit, Relabel):
+        return {"kind": "relabel", "node": edit.node, "label": edit.label}
+    if isinstance(edit, DeleteSubtree):
+        return {"kind": "delete", "node": edit.node}
+    if isinstance(edit, InsertSubtree):
+        return {
+            "kind": "insert",
+            "parent": edit.parent,
+            "index": edit.index,
+            "shape": _shape_to_json(edit.subtree),
+        }
+    raise ValueError(f"unknown edit {edit!r}")
+
+
+# -- the oracle comparison helper --------------------------------------------
+
+
+def index_fingerprint(index: TreeIndex) -> dict:
+    """Every precomputed table of an index, as plain comparable values.
+
+    Two indexes over equal trees must produce identical fingerprints —
+    this is the bit-exactness contract the incremental maintenance is
+    property-tested against (oracle: ``TreeIndex(tree)`` from scratch).
+    """
+    n = index.n
+    return {
+        "n": n,
+        "full": index.full,
+        "prefix": [index.prefix[i] for i in range(n + 1)],
+        "label_masks": dict(index.label_masks),
+        "after": list(index.after),
+        "children_of": [index.children_of[v] for v in range(n)],
+        "delta_groups": [tuple(item) for item in index.delta_groups],
+        "sib_groups": [tuple(item) for item in index.sib_groups],
+        "last_child_groups": [tuple(item) for item in index.last_child_groups],
+        "leaf_mask": index.leaf_mask,
+        "internal_mask": index.internal_mask,
+        "first_mask": index.first_mask,
+        "last_mask": index.last_mask,
+    }

@@ -351,3 +351,61 @@ class TestSafety:
             assert replay == expected
         finally:
             service.shutdown()
+
+
+class TestMutationEpochRaces:
+    """Satellite coverage: a mutation landing between compute-start and
+    store must drop the entry, whichever window it lands in."""
+
+    def test_registry_mutation_mid_flight_drops_the_entry(self):
+        # The registry-wired variant of the completion-time epoch check:
+        # the invalidation arrives via TreeRegistry.mutate -> subscribe,
+        # not a manual invalidate() call.
+        registry = make_registry()
+        cache = ResultCache()
+        registry.subscribe(cache.invalidate)
+        kind, flight = cache.begin(("eval", "talk", "k"), "talk")
+        assert kind == "leader"
+        registry.mutate("talk", {"kind": "relabel", "node": 0, "label": "z"})
+        assert cache.complete(flight, ["stale"]) is False
+        assert len(cache) == 0
+        assert Flight.is_miss(flight.wait(0))
+
+    def test_mutation_between_pin_and_begin_drops_the_entry(self):
+        # The other window: the worker pins the pre-edit tree, the mutation
+        # (and its cache invalidation) lands, and only then does the worker
+        # reach cache.begin().  The flight's epoch is already post-edit, so
+        # the completion-time check alone would store the pre-edit value;
+        # the worker's pin-epoch guard must refuse instead.
+        registry = make_registry()
+        service = QueryService(registry, workers=1, result_cache=True)
+        cache = service.result_cache
+        real_begin = cache.begin
+        raced = threading.Event()
+
+        def racing_begin(key, tree):
+            if not raced.is_set():
+                raced.set()
+                registry.mutate(
+                    "talk", {"kind": "relabel", "node": 0, "label": "z"}
+                )
+            return real_begin(key, tree)
+
+        cache.begin = racing_begin
+        try:
+            first = service.run_batch(
+                [QueryRequest(op="eval", query="talk", tree="talk")]
+            )[0]
+            # The answer itself is the pinned (pre-edit) snapshot's: id 0
+            # was still labeled "talk" when this request resolved its tree.
+            assert first.status == "ok" and first.value == [0]
+            assert len(cache) == 0  # ... but it never entered the cache
+            assert cache.snapshot()["events"]["store"] == 0
+            second = service.run_batch(
+                [QueryRequest(op="eval", query="talk", tree="talk")]
+            )[0]
+            assert second.routed != "cache"
+            assert second.value == []  # post-edit truth, freshly computed
+        finally:
+            cache.begin = real_begin
+            service.shutdown()

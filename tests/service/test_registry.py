@@ -1,0 +1,161 @@
+"""TreeRegistry live-document surface: epochs, snapshots, pins, mutate,
+and exception-isolated listeners."""
+
+import pytest
+
+from repro import obs
+from repro.runtime import faults
+from repro.runtime.errors import InjectedFaultError
+from repro.service import TreeRegistry
+from repro.trees import Tree, tree_index
+from repro.trees.mutate import InsertSubtree, Relabel, index_fingerprint
+
+
+def _tree(shape=("a", ["b", "c"])):
+    return Tree.build(shape)
+
+
+# -- epochs ------------------------------------------------------------------
+
+
+def test_register_bumps_epoch():
+    registry = TreeRegistry()
+    assert registry.epoch("doc") == 0
+    assert registry.register("doc", _tree()) == 1
+    assert registry.epoch("doc") == 1
+    assert registry.register("doc", _tree()) == 2
+    assert registry.epoch("doc") == 2
+
+
+def test_register_with_explicit_epoch():
+    registry = TreeRegistry()
+    assert registry.register("doc", _tree(), epoch=7) == 7
+    assert registry.epoch("doc") == 7
+    # Default bump continues from the pinned value.
+    assert registry.register("doc", _tree()) == 8
+
+
+def test_snapshot_is_atomic_pair():
+    registry = TreeRegistry()
+    t = _tree()
+    registry.register("doc", t)
+    tree, epoch = registry.snapshot("doc")
+    assert tree is t
+    assert epoch == 1
+    with pytest.raises(ValueError, match="unknown tree"):
+        registry.snapshot("missing")
+
+
+# -- pins --------------------------------------------------------------------
+
+
+def test_pin_holds_snapshot_and_tracks_gauge():
+    registry = TreeRegistry()
+    t = _tree()
+    registry.register("doc", t)
+    gauge = obs.gauge("snapshot_pins")
+    base = gauge.value
+    pin = registry.pin("doc")
+    assert gauge.value == base + 1
+    assert pin.tree is t and pin.epoch == 1 and pin.name == "doc"
+    # A mutation does not disturb the pinned snapshot.
+    registry.mutate("doc", Relabel(0, "z"))
+    assert pin.tree is t
+    assert pin.tree.labels[0] == "a"
+    pin.release()
+    assert gauge.value == base
+    pin.release()  # idempotent
+    assert gauge.value == base
+
+
+def test_pin_is_a_context_manager():
+    registry = TreeRegistry()
+    registry.register("doc", _tree())
+    gauge = obs.gauge("snapshot_pins")
+    base = gauge.value
+    with registry.pin("doc") as pin:
+        assert gauge.value == base + 1
+        assert pin.epoch == 1
+    assert gauge.value == base
+
+
+# -- mutate ------------------------------------------------------------------
+
+
+def test_mutate_publishes_new_epoch_copy_on_write():
+    registry = TreeRegistry()
+    old = _tree()
+    registry.register("doc", old)
+    new_tree, epoch = registry.mutate(
+        "doc", InsertSubtree(parent=0, index=0, subtree=Tree.leaf("x"))
+    )
+    assert epoch == 2
+    assert registry.get("doc") is new_tree
+    assert new_tree.to_shape() == ("a", ["x", "b", "c"])
+    assert old.to_shape() == ("a", ["b", "c"])
+    # The published index was maintained incrementally, bit-exact vs rebuild.
+    assert index_fingerprint(tree_index(new_tree)) == index_fingerprint(
+        tree_index(Tree(new_tree.labels, new_tree.parent))
+    )
+
+
+def test_mutate_accepts_json_edits_and_counts_by_kind():
+    registry = TreeRegistry()
+    registry.register("doc", _tree())
+    counter = obs.counter("tree_mutations_total", kind="relabel")
+    base = counter.value
+    registry.mutate("doc", {"kind": "relabel", "node": 1, "label": "q"})
+    assert registry.get("doc").labels[1] == "q"
+    assert counter.value == base + 1
+
+
+def test_mutate_unknown_tree_and_invalid_edit():
+    registry = TreeRegistry()
+    with pytest.raises(ValueError, match="unknown tree"):
+        registry.mutate("missing", Relabel(0, "x"))
+    registry.register("doc", _tree())
+    with pytest.raises(ValueError, match="out of range"):
+        registry.mutate("doc", Relabel(99, "x"))
+    # A rejected edit publishes nothing.
+    assert registry.epoch("doc") == 1
+
+
+def test_mutate_fault_is_atomic():
+    """An injected trees.mutate fault leaves tree and epoch untouched."""
+    registry = TreeRegistry()
+    t = _tree()
+    registry.register("doc", t)
+    with faults.scoped(("trees.mutate", 1)):
+        with pytest.raises(InjectedFaultError):
+            registry.mutate("doc", Relabel(0, "x"))
+        assert registry.get("doc") is t
+        assert registry.epoch("doc") == 1
+        # The site is consumed; the retry succeeds.
+        _, epoch = registry.mutate("doc", Relabel(0, "x"))
+    assert epoch == 2
+    assert registry.get("doc").labels[0] == "x"
+
+
+# -- listener isolation (satellite regression) -------------------------------
+
+
+def test_throwing_listener_does_not_abort_register_or_skip_later_listeners():
+    registry = TreeRegistry()
+    calls = []
+
+    def bad(name):
+        calls.append(("bad", name))
+        raise RuntimeError("listener bug")
+
+    def good(name):
+        calls.append(("good", name))
+
+    registry.subscribe(bad)
+    registry.subscribe(good)
+    errors = obs.counter("registry_listener_errors_total")
+    base = errors.value
+    epoch = registry.register("doc", _tree())
+    assert epoch == 1
+    assert registry.get("doc") is not None
+    assert calls == [("bad", "doc"), ("good", "doc")]
+    assert errors.value == base + 1
