@@ -1,0 +1,145 @@
+"""Experiment R1 — the durability tax and the recovery clock.
+
+Two questions decide whether the WAL + supervisor machinery is usable in
+the serving path:
+
+* **WAL append overhead** — ``TreeRegistry.mutate`` with a WAL attached
+  vs the bare registry, on the M1-style mid-tree insert/delete workload
+  (n=2048).  One arm per fsync policy (``never``, batched ``64``,
+  ``always``); all arms share a group with the bare baseline, so the
+  compact schema's per-group p50 ratios read off the overhead directly.
+  The acceptance gate is <= 10% for the batched policy.
+
+* **MTTR** — SIGKILL one shard of a supervised pool and measure
+  kill-to-first-ok-answer on a tree routed to that shard: liveness
+  detection + budgeted respawn + full segment resync + the feeder's
+  wait-out-the-restart path, end to end.
+
+* **recovery replay** — :func:`repro.trees.wal.recover` folding a
+  300-edit log (snapshot cadence 64) back into a verified registry.
+
+Record results with::
+
+    pytest benchmarks/bench_recovery.py --benchmark-json=BENCH_recovery.json
+
+The committed BENCH_recovery.json uses the repro-bench-compact/1 schema
+(see conftest.py / compact_json.py).
+"""
+
+import random
+import time
+import zlib
+
+import pytest
+
+from repro.service import ShardedQueryService, QueryRequest, TreeRegistry
+from repro.trees import parse_xml, random_tree
+from repro.trees.mutate import DeleteSubtree, InsertSubtree, Relabel
+from repro.trees.wal import WriteAheadLog, recover
+
+SIZE = 2048
+_SUB = parse_xml("<b><a/><c/></b>")
+
+#: Insert+delete at mid-tree: the tree returns to its starting size every
+#: pair, so arms measure a steady-state edit mix, not a growing document.
+def _edit_pair(registry):
+    registry.mutate("doc", InsertSubtree(parent=SIZE // 2, index=0, subtree=_SUB))
+    registry.mutate("doc", DeleteSubtree(node=SIZE // 2 + 1))
+
+
+@pytest.fixture()
+def registry_2048():
+    registry = TreeRegistry()
+    registry.register("doc", random_tree(SIZE, rng=random.Random(2008)))
+    return registry
+
+
+def test_mutate_no_wal_baseline(benchmark, registry_2048):
+    """R1 baseline arm: the bare registry (PR 8 behaviour)."""
+    benchmark.group = f"R1 wal append overhead n={SIZE}"
+    benchmark(lambda: _edit_pair(registry_2048))
+    assert registry_2048.get("doc").size == SIZE
+
+
+@pytest.mark.parametrize("policy", ["never", 64, "always"])
+def test_mutate_with_wal(benchmark, registry_2048, tmp_path, policy):
+    """R1 durable arms: the same edits, logged ahead under each policy."""
+    benchmark.group = f"R1 wal append overhead n={SIZE}"
+    wal = WriteAheadLog.open(tmp_path / "wal", fsync=policy, snapshot_every=None)
+    registry_2048.attach_wal(wal)
+    try:
+        benchmark(lambda: _edit_pair(registry_2048))
+    finally:
+        wal.close()
+    benchmark.extra_info["fsync_policy"] = str(policy)
+    assert registry_2048.get("doc").size == SIZE
+
+
+def test_recovery_replay(benchmark, tmp_path):
+    """R1 recovery arm: snapshot + suffix replay of a 300-edit history."""
+    benchmark.group = "R1 recovery replay"
+    registry = TreeRegistry()
+    wal = WriteAheadLog.open(tmp_path / "wal", fsync="never", snapshot_every=64)
+    registry.attach_wal(wal)
+    registry.register("doc", random_tree(SIZE, rng=random.Random(2008)))
+    for i in range(300):
+        registry.mutate("doc", Relabel(node=(i * 37) % SIZE, label="zw"[i % 2]))
+    wal.close()
+    recovered = benchmark(lambda: recover(tmp_path / "wal"))
+    assert recovered.epoch("doc") == registry.epoch("doc")
+    assert recovered.get("doc") == registry.get("doc")
+    benchmark.extra_info["edits"] = 300
+    benchmark.extra_info["snapshot_every"] = 64
+
+
+def test_shard_kill_mttr(benchmark, registry_2048):
+    """R1 MTTR: SIGKILL -> respawn -> resync -> first ok answer again."""
+    benchmark.group = "R1 shard kill MTTR"
+    shards = 2
+    victim = zlib.crc32(b"doc") % shards
+    request = QueryRequest(op="eval", query="<child[b]>", tree="doc")
+    service = ShardedQueryService(
+        registry_2048,
+        shards=shards,
+        workers_per_shard=1,
+        max_restarts=50,
+        restart_window=3600.0,
+        restart_backoff=0.01,
+    )
+
+    last_killed = [None]
+
+    def wait_alive():
+        # A fresh Process object (not the last round's corpse, which can
+        # report alive until reaped) + one warm ok round trip, so every
+        # kill lands on a serving shard mid-steady-state.
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            process = service.processes[victim]
+            try:
+                if process is not last_killed[0] and process.is_alive():
+                    if service.run_batch([request])[0].status == "ok":
+                        return
+            except ValueError:
+                pass
+            time.sleep(0.01)
+        raise AssertionError("victim shard never came back")
+
+    def kill_to_first_ok():
+        process = service.processes[victim]
+        last_killed[0] = process
+        process.kill()
+        result = service.submit(request).result(timeout=60.0)
+        assert result.status == "ok"
+
+    def setup():
+        wait_alive()
+        return (), {}
+
+    try:
+        benchmark.pedantic(
+            kill_to_first_ok, setup=setup, rounds=5, iterations=1, warmup_rounds=0
+        )
+        benchmark.extra_info["restarts"] = sum(service.restart_counts)
+    finally:
+        service.shutdown()

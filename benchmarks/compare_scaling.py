@@ -30,6 +30,35 @@ BASELINE_SHARDS = 1
 GATED_SHARDS = 4
 
 
+def usable_cores() -> int | None:
+    """Cores this process may actually run on — affinity, not the host count.
+
+    Containerized CI runners routinely pin a job to a subset of the host's
+    cores while ``os.cpu_count()`` keeps reporting the host, so a 4-shard
+    speedup gate would demand parallelism the scheduler will never grant.
+    Prefers :func:`os.sched_getaffinity`, falls back to parsing
+    ``Cpus_allowed_list`` from ``/proc/self/status``, and returns ``None``
+    when neither is available (non-Linux), leaving the caller to trust the
+    advertised count.
+    """
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        pass
+    try:
+        with open("/proc/self/status") as handle:
+            for line in handle:
+                if line.startswith("Cpus_allowed_list:"):
+                    count = 0
+                    for part in line.split(":", 1)[1].strip().split(","):
+                        low, _, high = part.partition("-")
+                        count += (int(high) - int(low) + 1) if high else 1
+                    return count or None
+    except (OSError, ValueError):
+        pass
+    return None
+
+
 def find_sweep_points(report: dict) -> dict[int, dict]:
     for entry in report.get("series", ()):
         if entry.get("test") == SWEEP_TEST:
@@ -58,13 +87,23 @@ def main(argv: list[str] | None = None) -> int:
         print(f"FAIL: {args.report} is not a repro-bench-compact/1 report")
         return 1
 
-    cores = report.get("machine", {}).get("cpu_count") or os.cpu_count() or 1
+    advertised = report.get("machine", {}).get("cpu_count") or os.cpu_count() or 1
+    affinity = usable_cores()
+    # Judge by the *effective* parallelism: a runner advertising 8 cores
+    # but pinned to 2 by its cgroup cannot honour a 4-shard speedup.
+    cores = min(advertised, affinity) if affinity else advertised
+    pinned = affinity is not None and affinity < advertised
+    how = (
+        f"{cores} usable core(s) (affinity-limited from {advertised})"
+        if pinned
+        else f"{cores} core(s)"
+    )
     points = find_sweep_points(report)
     if GATED_SHARDS not in points or BASELINE_SHARDS not in points:
         if cores < GATED_SHARDS:
             print(
                 f"SKIP: sweep has no shards={GATED_SHARDS} point and the "
-                f"recording machine has {cores} core(s) — scaling to "
+                f"recording machine has {how} — scaling to "
                 f"{GATED_SHARDS} shards is not measurable here"
             )
             return 0
@@ -75,7 +114,7 @@ def main(argv: list[str] | None = None) -> int:
         return 1
     if cores < GATED_SHARDS:
         print(
-            f"SKIP: recording machine has {cores} core(s) < {GATED_SHARDS}; "
+            f"SKIP: recording machine has {how} < {GATED_SHARDS}; "
             f"a {args.min_speedup}x multiprocess speedup is physically "
             "unattainable — gate not applicable"
         )

@@ -28,7 +28,18 @@ Commands:
   trees are *live*: a ``{"op": "mutate", "tree": NAME, "edit": {...}}``
   request applies a subtree insert/delete/relabel and publishes a new
   epoch — later reads in the batch see the edited document (an optional
-  ``"min_epoch"`` field on reads asserts freshness).
+  ``"min_epoch"`` field on reads asserts freshness).  ``--wal DIR`` makes
+  those mutations *durable*: every registration and edit is appended to a
+  write-ahead log before it is published, and a previous run's state is
+  replayed from DIR before ``--tree`` registrations apply.  With
+  ``--shards``, ``--max-restarts N`` arms the self-healing supervisor:
+  crashed shard processes are respawned (at most N times per shard per
+  rolling window) with full state resync, and their in-flight requests are
+  re-dispatched instead of failing;
+* ``recover DIR`` — validate and replay a write-ahead log directory
+  offline: truncates a torn tail, folds the latest snapshot plus the log
+  suffix into a registry, verifies every replayed tree against its
+  recorded digest, and prints the per-tree epoch/size summary.
 
 Observability (``eval`` / ``select`` / ``check`` / ``batch``):
 
@@ -52,7 +63,8 @@ Resource governance (``eval`` / ``select`` / ``check``, budgets also on
 Exit codes: 0 success; 1 semantic "no" (NOT equivalent / UNSATISFIABLE /
 FAILS); 2 syntax or usage error; 3 I/O error; 4 deadline exceeded; 5 budget
 exhausted; 6 parser depth limit; 7 XML input limit; 8 engine fault;
-9 service overload (queue full / closed).  ``batch`` exits 0 when every
+9 service overload (queue full / closed); 10 shard permanently unavailable
+(restart budget exhausted).  ``batch`` exits 0 when every
 request succeeded, otherwise with the contract code of the first (in input
 order) non-ok result — per-request failures are also reported structurally
 on each output line, so one bad request never hides the others' results.
@@ -278,6 +290,16 @@ def cmd_batch(args: argparse.Namespace) -> int:
     from .service.api import error_payload
 
     registry = TreeRegistry()
+    wal = None
+    if args.wal is not None:
+        from .trees.wal import WriteAheadLog, recover
+
+        # Opening first truncates a torn tail left by a crash mid-append;
+        # recovery then folds snapshot + intact suffix into the registry so
+        # a restarted batch resumes exactly where the last one stopped.
+        wal = WriteAheadLog.open(args.wal)
+        registry = recover(args.wal, registry=registry)
+        registry.attach_wal(wal)
     for spec in args.tree or ():
         name, eq, path = spec.partition("=")
         if not eq or not name or not path:
@@ -309,6 +331,7 @@ def cmd_batch(args: argparse.Namespace) -> int:
             default_max_nodes=args.max_nodes,
             optimize=args.optimize,
             result_cache=args.optimize and not args.no_result_cache,
+            max_restarts=args.max_restarts,
         )
     else:
         service = QueryService(
@@ -364,6 +387,8 @@ def cmd_batch(args: argparse.Namespace) -> int:
                 exit_code = code
     finally:
         service.shutdown(drain=True)
+        if wal is not None:
+            wal.close()
     if args.stats:
         print(json.dumps(service.stats_snapshot()), file=sys.stderr)
     if args.metrics is not None:
@@ -374,6 +399,21 @@ def cmd_batch(args: argparse.Namespace) -> int:
         else:
             _emit_json(obs.REGISTRY.to_json(), args.metrics)
     return exit_code
+
+
+def cmd_recover(args: argparse.Namespace) -> int:
+    from .trees.wal import WriteAheadLog, recover
+
+    # Open/close first so a torn tail is truncated exactly as a restarted
+    # writer would; recover() itself only *tolerates* one at the tail.
+    WriteAheadLog.open(args.directory).close()
+    registry = recover(args.directory)
+    names = registry.names()
+    print(f"recovered {len(names)} tree(s) from {args.directory}:")
+    for name in names:
+        tree, epoch = registry.snapshot(name)
+        print(f"  {name}: epoch {epoch}, {tree.size} node(s)")
+    return 0
 
 
 def cmd_simplify(args: argparse.Namespace) -> int:
@@ -452,7 +492,7 @@ def _add_budget_arguments(p: argparse.ArgumentParser, engine: bool = True) -> No
             help="arm a named fault-injection site (repeatable; for testing). "
             "Sites: xpath.bitset, xpath.bitset.star, logic.bitset, "
             "logic.bitset.tc, automata.bitset, service.worker, trees.mutate, "
-            "service.reshare",
+            "service.reshare, wal.append, service.shard_kill",
         )
 
 
@@ -551,6 +591,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="multiprocessing start method for --shards (default: platform)",
     )
     p.add_argument(
+        "--max-restarts",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with --shards, supervise the shard processes: respawn a "
+        "crashed shard up to N times per rolling window (with state resync "
+        "and in-flight re-dispatch) before degrading its requests to "
+        "structured unavailability (exit code 10)",
+    )
+    p.add_argument(
+        "--wal",
+        metavar="DIR",
+        help="durable mutation write-ahead log: replay DIR's snapshot+log "
+        "before --tree registrations, then append every registration and "
+        "edit to it before publication (see 'repro recover')",
+    )
+    p.add_argument(
         "--queue-limit",
         type=int,
         default=64,
@@ -608,6 +665,12 @@ def build_parser() -> argparse.ArgumentParser:
     _add_budget_arguments(p)
     _add_trace_argument(p)
     p.set_defaults(func=cmd_batch)
+
+    p = sub.add_parser(
+        "recover", help="replay and summarize a mutation write-ahead log"
+    )
+    p.add_argument("directory", help="WAL directory (as passed to batch --wal)")
+    p.set_defaults(func=cmd_recover)
 
     p = sub.add_parser("simplify", help="apply the sound rewrite system")
     p.add_argument("query")

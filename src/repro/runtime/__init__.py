@@ -36,7 +36,9 @@ from .errors import (
     RequestShedError,
     ServiceClosedError,
     ServiceError,
+    ShardUnavailableError,
     StaleEpochError,
+    WalCorruptError,
     exit_code_for,
 )
 
@@ -58,7 +60,9 @@ __all__ = [
     "RequestShedError",
     "ServiceClosedError",
     "ServiceError",
+    "ShardUnavailableError",
     "StaleEpochError",
+    "WalCorruptError",
     "exit_code_for",
     "faults",
     "guarded_check",

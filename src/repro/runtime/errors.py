@@ -19,9 +19,11 @@ classes that need different handling (retry, degrade, report).  The tree::
     │   ├── InjectedFaultError                 ... because a fault was injected
     │   └── StaleEpochError                    shard served an outdated tree epoch
     ├── TreeShareError                         corrupt shared-memory index segment
+    ├── WalCorruptError                        write-ahead log / snapshot corruption
     └── ServiceError                           the serving layer itself
         ├── QueueFullError                     bounded queue rejected a request
         ├── ShardCrashedError                  a shard process died mid-request
+        ├── ShardUnavailableError              restart budget exhausted for a shard
         └── ServiceClosedError                 submit after shutdown began
 
 The syntax/limit classes keep ``ValueError`` in their MRO so pre-existing
@@ -47,9 +49,11 @@ __all__ = [
     "InjectedFaultError",
     "StaleEpochError",
     "TreeShareError",
+    "WalCorruptError",
     "ServiceError",
     "QueueFullError",
     "ShardCrashedError",
+    "ShardUnavailableError",
     "ServiceClosedError",
     "EXIT_CODES",
     "exit_code_for",
@@ -174,6 +178,18 @@ class TreeShareError(ReproError):
     """
 
 
+class WalCorruptError(ReproError):
+    """A write-ahead log record or snapshot failed validation.
+
+    Raised by :mod:`repro.trees.wal` when a framed record's length/CRC
+    header does not match its payload *before* the torn tail (a torn tail —
+    an interrupted final append — is expected after a crash and is silently
+    truncated), or when a snapshot's checksum or a record's post-state
+    digest disagrees with the replayed tree.  Corruption in the durable
+    history must fail loudly rather than recover a silently wrong registry.
+    """
+
+
 class ServiceError(ReproError):
     """The serving layer itself (queue, worker pool) refused a request."""
 
@@ -196,6 +212,19 @@ class ShardCrashedError(ServiceError):
     """
 
 
+class ShardUnavailableError(ServiceError):
+    """A shard exhausted its restart budget and was taken out of service.
+
+    The supervised sharded service respawns crashed shards under a rolling
+    restart budget; once the budget is spent, requests routed to the failed
+    shard resolve with this class instead of queueing or retrying forever.
+    Unlike :class:`ShardCrashedError` (a transient mid-request casualty,
+    retryable once the shard respawns), this is a *terminal* degradation
+    signal for the affected trees: operator action (or a service restart,
+    possibly via ``repro recover``) is required.
+    """
+
+
 class ServiceClosedError(ServiceError):
     """A request was submitted to a service that has begun shutdown."""
 
@@ -212,11 +241,14 @@ EXIT_CODES = {
     "input_limit": 7,
     "engine": 8,
     "overload": 9,
+    "unavailable": 10,
 }
 
 
 def exit_code_for(exc: BaseException) -> int:
     """The documented CLI exit code for an exception (2 for unknown errors)."""
+    if isinstance(exc, ShardUnavailableError):
+        return EXIT_CODES["unavailable"]
     if isinstance(exc, DeadlineExceededError):
         return EXIT_CODES["deadline"]
     if isinstance(exc, BudgetExceededError):
@@ -228,6 +260,8 @@ def exit_code_for(exc: BaseException) -> int:
     if isinstance(exc, EngineFaultError):
         return EXIT_CODES["engine"]
     if isinstance(exc, TreeShareError):
+        return EXIT_CODES["io"]
+    if isinstance(exc, WalCorruptError):
         return EXIT_CODES["io"]
     if isinstance(exc, ServiceError):
         return EXIT_CODES["overload"]

@@ -20,6 +20,12 @@ Fault sites currently wired into the engines:
                            is applied (the pre-publish atomicity boundary)
 ``service.reshare``        per shard, while re-broadcasting a mutated tree's
                            shared-memory segment (leaves that shard stale)
+``wal.append``             inside :meth:`WriteAheadLog._append`, before the
+                           record reaches the log (the mutation aborts with
+                           both the log and the registry untouched)
+``service.shard_kill``     checked by the shard supervisor once per poll
+                           tick; each fire SIGKILLs one live shard process
+                           (chaos testing the crash/respawn/re-dispatch path)
 =========================  ====================================================
 
 Arming is explicit and three-way togglable:

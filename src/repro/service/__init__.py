@@ -28,7 +28,15 @@ The pieces, each in its own module:
 * :class:`ShardedQueryService` (:mod:`~repro.service.shards`) — the
   multiprocess tier: shard processes over shared-memory tree indexes,
   same API, true multi-core scaling (pass ``--shards`` to ``repro
-  batch``).
+  batch``);
+* :class:`ShardSupervisor` (:mod:`~repro.service.supervisor`) — parent-
+  side self-healing for the shard pool: liveness/heartbeat detection,
+  budgeted exponential-backoff respawn with full state resync, stranded-
+  request re-dispatch, and terminal
+  :class:`~repro.runtime.errors.ShardUnavailableError` degradation
+  (enabled with ``max_restarts=N``; pair with a
+  :class:`~repro.trees.wal.WriteAheadLog` on the registry for durable
+  mutations and ``repro recover``).
 
 Quickstart::
 
@@ -54,6 +62,7 @@ from .queue import BoundedRequestQueue
 from .retry import RetryPolicy
 from .shards import ShardConfig, ShardedQueryService
 from .stats import ServiceStats
+from .supervisor import RestartBudget, ShardSupervisor
 from .workers import PendingResult, QueryService
 
 __all__ = [
@@ -64,10 +73,12 @@ __all__ = [
     "QueryRequest",
     "QueryResult",
     "QueryService",
+    "RestartBudget",
     "ResultCache",
     "RetryPolicy",
     "ServiceStats",
     "ShardConfig",
+    "ShardSupervisor",
     "ShardedQueryService",
     "TreePin",
     "TreeRegistry",

@@ -239,6 +239,38 @@ class TreeRegistry:
         self._trees: dict[str, Tree] = {}
         self._epochs: dict[str, int] = {}
         self._listeners: list = []
+        self._wal = None
+
+    @property
+    def wal(self):
+        """The attached :class:`~repro.trees.wal.WriteAheadLog`, or ``None``."""
+        return self._wal
+
+    def attach_wal(self, wal) -> None:
+        """Make every future (re)registration and mutation durable.
+
+        From this point on, :meth:`register` and :meth:`mutate` append to
+        ``wal`` *before* publishing (log-ahead).  Trees already registered
+        but unknown to the log (e.g. loaded before a fresh WAL directory
+        was opened) are baselined immediately with full ``register``
+        records, so a later ``mutate`` record is never the first mention of
+        its tree in the durable history.
+        """
+        with self._mutation_lock:
+            self._wal = wal
+            with self._lock:
+                baseline = [
+                    (name, self._trees[name], self._epochs[name])
+                    for name in sorted(self._trees)
+                    if name not in wal.known_trees
+                ]
+            for name, tree, epoch in baseline:
+                wal.append_register(name, epoch, tree)
+
+    def _wal_state(self) -> dict:
+        """The ``{name: (tree, epoch)}`` snapshot the WAL folds into snapshots."""
+        with self._lock:
+            return {name: (tree, self._epochs[name]) for name, tree in self._trees.items()}
 
     def subscribe(self, listener) -> None:
         """Call ``listener(name)`` whenever ``name``'s tree (re)registers.
@@ -253,15 +285,27 @@ class TreeRegistry:
         with self._lock:
             self._listeners.append(listener)
 
-    def register(self, name: str, tree: Tree, *, epoch: int | None = None) -> int:
+    def register(
+        self, name: str, tree: Tree, *, epoch: int | None = None, _wal_logged: bool = False
+    ) -> int:
         """Publish ``tree`` under ``name`` and return the new epoch.
 
         ``epoch`` pins the published epoch explicitly (the sharded tier
         uses this to keep parent and shard epochs in lockstep); by default
-        the name's epoch is bumped by one.
+        the name's epoch is bumped by one.  With a WAL attached, the
+        registration is appended to the log *before* it publishes
+        (``_wal_logged=True`` marks callers — :meth:`mutate`, the sharded
+        mutator — that already wrote their own record).
         """
         if not name:
             raise ValueError("tree name must be non-empty")
+        wal = self._wal
+        if wal is not None and not _wal_logged:
+            with self._mutation_lock:
+                if epoch is None:
+                    epoch = self.epoch(name) + 1
+                wal.append_register(name, epoch, tree)
+                return self.register(name, tree, epoch=epoch, _wal_logged=True)
         with self._lock:
             if epoch is None:
                 epoch = self._epochs.get(name, 0) + 1
@@ -273,6 +317,8 @@ class TreeRegistry:
                 listener(name)
             except Exception:
                 obs.counter("registry_listener_errors_total").inc()
+        if wal is not None:
+            wal.maybe_snapshot(self._wal_state)
         return epoch
 
     def get(self, name: str) -> Tree:
@@ -317,7 +363,7 @@ class TreeRegistry:
         the published ``(tree, epoch)``.
         """
         from ..runtime import faults
-        from ..trees.mutate import apply_edit_indexed, edit_from_json
+        from ..trees.mutate import apply_edit_indexed, edit_from_json, edit_to_json
 
         if isinstance(edit, dict):
             edit = edit_from_json(edit)
@@ -325,7 +371,15 @@ class TreeRegistry:
             old = self.get(name)
             faults.check("trees.mutate")
             new_tree = apply_edit_indexed(old, edit)
-            epoch = self.register(name, new_tree)
+            if self._wal is not None:
+                # Log-ahead: the record is durable before the epoch is
+                # visible.  A failed append (wal.append fault, disk error)
+                # aborts here with the registry untouched.
+                epoch = self.epoch(name) + 1
+                self._wal.append_mutate(name, epoch, edit_to_json(edit), new_tree)
+                self.register(name, new_tree, epoch=epoch, _wal_logged=True)
+            else:
+                epoch = self.register(name, new_tree)
         obs.counter("tree_mutations_total", kind=edit.kind).inc()
         return new_tree, epoch
 

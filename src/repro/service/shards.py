@@ -62,9 +62,33 @@ Failure containment: a shard process that dies mid-run resolves every
 request routed to it with a structured
 :class:`~repro.runtime.errors.ShardCrashedError` result (the no-lost-
 requests invariant, cross-process), and later requests for that shard fail
-fast.  Shard processes are daemons, the service registers an ``atexit``
+fast.  No IPC lock is ever shared between a killable shard and anyone who
+must survive it: each shard reads its own request ``SimpleQueue`` (swapped
+on respawn) and writes its own single-writer result pipe, so a SIGKILL
+landing mid-send tears at most that shard's final frame — read as EOF by
+the parent's collector, which multiplexes all pipes with
+:func:`multiprocessing.connection.wait` — and can never wedge a sibling
+or a replacement on a lock the corpse still holds.  Shard processes are daemons, the service registers an ``atexit``
 kill, and :meth:`close` (non-graceful) terminates children immediately —
 no orphan survives a ``KeyboardInterrupt`` or test teardown.
+
+**Supervision** (``max_restarts=N``): instead of marking a crashed shard
+dead forever, a :class:`~repro.service.supervisor.ShardSupervisor` monitor
+thread detects the death (liveness poll + optional heartbeat staleness),
+respawns the process with exponential backoff under a rolling restart
+budget, resyncs it completely (every current RTIX segment at its current
+epoch, tracked fault arms re-delivered), and re-dispatches the requests
+that were in flight on the casualty — callers see one slower answer, not
+an error.  Requests arriving while the replacement spawns wait (bounded by
+their own deadlines) rather than failing fast.  Only when the budget is
+exhausted does the shard degrade terminally: everything routed to it
+resolves with :class:`~repro.runtime.errors.ShardUnavailableError`.
+
+**Durability**: attach a :class:`~repro.trees.wal.WriteAheadLog` to the
+parent registry (``registry.attach_wal``) and every mutation appends its
+edit record — log-ahead, inside the mutation lock, before the broadcast
+and the epoch publish — so ``repro recover DIR`` folds the history back
+after a crash of the *parent* itself.
 """
 
 from __future__ import annotations
@@ -72,13 +96,13 @@ from __future__ import annotations
 import atexit
 import itertools
 import os
-import queue as _stdlib_queue
 import random
 import threading
 import time
 import zlib
 from collections import deque
 from dataclasses import asdict, dataclass
+from multiprocessing import connection as _mp_connection
 from multiprocessing import get_context, shared_memory
 
 from .. import obs
@@ -90,6 +114,7 @@ from ..runtime.errors import (
     RequestShedError,
     ServiceClosedError,
     ShardCrashedError,
+    ShardUnavailableError,
 )
 from ..trees.share import detach_tree, dump_index, load_tree
 from ..trees.index import tree_index
@@ -122,6 +147,7 @@ class ShardConfig:
     result_cache: bool = False
     cache_entries: int = 512
     cache_bytes: int = 8 << 20
+    heartbeat_interval: float = 0.5
 
 
 def _attach_segment(shm_name: str) -> shared_memory.SharedMemory:
@@ -151,9 +177,24 @@ def _wire_result(result: QueryResult, shard_id: int) -> dict:
     return payload
 
 
-def _shard_main(shard_id, request_q, result_q, segments, config) -> None:
-    """Entry point of one shard process (module-level for ``spawn``)."""
+def _shard_main(shard_id, request_q, result_conn, segments, config) -> None:
+    """Entry point of one shard process (module-level for ``spawn``).
+
+    ``result_conn`` is this shard's *private* result pipe: no IPC lock is
+    shared with any other process, so a SIGKILL landing mid-send can only
+    tear this shard's own frame (the parent reads the tear as EOF), never
+    wedge a lock a sibling or a respawned replacement would need.  The
+    send lock below is an ordinary in-process :class:`threading.Lock` —
+    it serializes this shard's own threads (workers' done-callbacks, the
+    heartbeat) and dies with the process.
+    """
     import signal
+
+    send_lock = threading.Lock()
+
+    def emit(message) -> None:
+        with send_lock:
+            result_conn.send(message)
 
     # The parent coordinates shutdown (stop message, then SIGTERM): a
     # terminal Ctrl-C hits the whole process group, and a shard that dies
@@ -170,6 +211,25 @@ def _shard_main(shard_id, request_q, result_q, segments, config) -> None:
 
     registry = TreeRegistry()
     attached: list[tuple[shared_memory.SharedMemory, object]] = []
+
+    # Liveness heartbeat: a cheap periodic "hb" on the result queue lets
+    # the parent's supervisor distinguish a hung shard (alive but silent)
+    # from a merely busy one — workers run queries, this thread only beats.
+    hb_stop = threading.Event()
+
+    def heartbeat_loop() -> None:
+        while not hb_stop.wait(config.heartbeat_interval):
+            try:
+                emit(("hb", shard_id))
+            except Exception:  # parent is gone
+                return
+
+    heartbeat = None
+    if config.heartbeat_interval and config.heartbeat_interval > 0:
+        heartbeat = threading.Thread(
+            target=heartbeat_loop, name=f"repro-shard-{shard_id}-hb", daemon=True
+        )
+        heartbeat.start()
 
     def attach(name: str, shm_name: str, nbytes: int, epoch: int) -> None:
         # Pre-mutation segments stay attached (and their trees alive) for
@@ -214,12 +274,12 @@ def _shard_main(shard_id, request_q, result_q, segments, config) -> None:
 
         def on_done(seq: int):
             def callback(result: QueryResult) -> None:
-                result_q.put(("res", shard_id, seq, _wire_result(result, shard_id)))
+                emit(("res", shard_id, seq, _wire_result(result, shard_id)))
 
             return callback
 
         def send_stats(token) -> None:
-            result_q.put(
+            emit(
                 (
                     "stats",
                     shard_id,
@@ -241,7 +301,7 @@ def _shard_main(shard_id, request_q, result_q, segments, config) -> None:
                     request = QueryRequest(**payload)
                     handle = service.submit(request)
                 except BaseException as exc:
-                    result_q.put(
+                    emit(
                         (
                             "res",
                             shard_id,
@@ -272,9 +332,10 @@ def _shard_main(shard_id, request_q, result_q, segments, config) -> None:
             elif kind == "stop":
                 service.shutdown(drain=message[1])
                 send_stats(None)
-                result_q.put(("bye", shard_id))
+                emit(("bye", shard_id))
                 return
     finally:
+        hb_stop.set()
         if service is not None:
             try:
                 service.shutdown(drain=False)
@@ -331,6 +392,11 @@ class ShardedQueryService:
         cache_entries: int = 512,
         cache_bytes: int = 8 << 20,
         shutdown_timeout: float = 10.0,
+        max_restarts: int | None = None,
+        restart_window: float = 30.0,
+        restart_backoff: float = 0.05,
+        heartbeat_interval: float = 0.5,
+        heartbeat_timeout: float | None = None,
         clock=time.monotonic,
     ):
         if shards < 1:
@@ -339,6 +405,8 @@ class ShardedQueryService:
             raise ValueError(
                 f"workers_per_shard must be >= 1, got {workers_per_shard!r}"
             )
+        if max_restarts is not None and max_restarts < 0:
+            raise ValueError(f"max_restarts must be >= 0, got {max_restarts!r}")
         self.registry = registry if registry is not None else TreeRegistry()
         self.shards = shards
         self.start_method = start_method
@@ -355,9 +423,14 @@ class ShardedQueryService:
         self._max_reshare_retries = 3
 
         ctx = get_context(start_method)
+        self._ctx = ctx
         self._segments: dict[str, tuple[shared_memory.SharedMemory, int]] = {}
         self._processes: list = []
         self._request_qs: list = []
+        #: Per-shard result-pipe read ends; ``None`` marks a slot retired by
+        #: the collector (EOF seen) until a respawn installs a fresh pipe.
+        self._result_readers: list = []
+        self._reader_lock = threading.Lock()
         self._queues: list[BoundedRequestQueue] = []
         self._feeders: list[threading.Thread] = []
         self._inflight: list[threading.Semaphore] = []
@@ -368,12 +441,33 @@ class ShardedQueryService:
         self._closed = False
         self._lifecycle = threading.Lock()
         self._dead = [False] * shards
+        self._dead_lock = threading.Lock()
         self._done = [False] * shards
+        self._failed = [False] * shards
+        self._supervised = max_restarts is not None
+        self._supervisor = None
+        self._heartbeats: dict[int, float] = {}
+        self._fault_arms: dict[str, int | None] = {}
+        self._fault_lock = threading.Lock()
         self._collector_stop = False
         self._stats_cond = threading.Condition()
         self._shard_stats: dict[int, tuple[dict, dict]] = {}
         self._stats_tokens: dict[int, object] = {}
         self._stats_token = itertools.count(1)
+        self._config_kwargs = dict(
+            workers=workers_per_shard,
+            queue_limit=queue_limit,
+            retry=retry,
+            breaker_threshold=breaker_threshold,
+            breaker_cooldown=breaker_cooldown,
+            default_max_steps=default_max_steps,
+            default_max_nodes=default_max_nodes,
+            optimize=optimize,
+            result_cache=result_cache,
+            cache_entries=cache_entries,
+            cache_bytes=cache_bytes,
+            heartbeat_interval=heartbeat_interval,
+        )
 
         try:
             segment_specs = []
@@ -381,36 +475,44 @@ class ShardedQueryService:
                 spec = self._create_segment(name, self.registry.get(name))
                 segment_specs.append(spec + (self.registry.epoch(name),))
 
-            self._result_q = ctx.Queue()
+            # One private result pipe per shard (not a shared queue): a
+            # queue shared by every shard keeps its writer lock in shared
+            # memory, and a shard SIGKILLed between ``send_bytes`` and the
+            # release would wedge that lock for every surviving sibling and
+            # every respawned replacement.  With a single-writer pipe the
+            # worst a kill can do is tear the dying shard's own last frame,
+            # which the collector reads as EOF — a death signal, not a hang.
+            result_writers = []
             for shard_id in range(shards):
                 request_q = ctx.SimpleQueue()
-                config = ShardConfig(
-                    shard_id=shard_id,
-                    service_name=f"{self.stats.service}.shard{shard_id}",
-                    workers=workers_per_shard,
-                    queue_limit=queue_limit,
-                    retry=retry,
-                    breaker_threshold=breaker_threshold,
-                    breaker_cooldown=breaker_cooldown,
-                    default_max_steps=default_max_steps,
-                    default_max_nodes=default_max_nodes,
-                    optimize=optimize,
-                    result_cache=result_cache,
-                    cache_entries=cache_entries,
-                    cache_bytes=cache_bytes,
-                )
+                result_reader, result_writer = ctx.Pipe(duplex=False)
                 process = ctx.Process(
                     target=_shard_main,
-                    args=(shard_id, request_q, self._result_q, segment_specs, config),
+                    args=(
+                        shard_id,
+                        request_q,
+                        result_writer,
+                        segment_specs,
+                        self._make_config(shard_id),
+                    ),
                     name=f"repro-shard-{shard_id}",
                     daemon=True,
                 )
                 self._request_qs.append(request_q)
+                self._result_readers.append(result_reader)
+                result_writers.append(result_writer)
                 self._processes.append(process)
             # Start children before any parent-side thread exists: forking
             # a multi-threaded parent can clone held locks into the child.
-            for process in self._processes:
+            for shard_id, process in enumerate(self._processes):
                 process.start()
+                # Drop the parent's copy of the write end: the child holds
+                # the only writer, so its death — even mid-frame — surfaces
+                # as EOF on the reader instead of a silent pipe.
+                result_writers[shard_id].close()
+                # Seed the heartbeat clock at spawn so a hung-from-birth
+                # shard still trips the staleness check.
+                self._heartbeats[shard_id] = time.monotonic()
         except BaseException:
             self._cleanup_segments()
             for process in self._processes:
@@ -455,7 +557,26 @@ class ShardedQueryService:
             feeder.start()
         self._mutator.start()
         self._collector.start()
+        if self._supervised:
+            from .supervisor import ShardSupervisor
+
+            self._supervisor = ShardSupervisor(
+                self,
+                max_restarts=max_restarts,
+                window=restart_window,
+                backoff_base=restart_backoff,
+                heartbeat_timeout=heartbeat_timeout,
+                clock=clock,
+            )
+            self._supervisor.start()
         atexit.register(self._atexit_close)
+
+    def _make_config(self, shard_id: int) -> ShardConfig:
+        return ShardConfig(
+            shard_id=shard_id,
+            service_name=f"{self.stats.service}.shard{shard_id}",
+            **self._config_kwargs,
+        )
 
     # -- segments ----------------------------------------------------------
 
@@ -518,9 +639,12 @@ class ShardedQueryService:
             raise ServiceClosedError("service is shutting down")
         with self._mutation_lock:
             epoch = self.registry.epoch(name) + 1
+            wal = self.registry.wal
+            if wal is not None:
+                wal.append_register(name, epoch, tree)
             spec, old_shm = self._replace_segment(name, tree)
             self._broadcast_tree(spec, epoch)
-            self.registry.register(name, tree, epoch=epoch)
+            self.registry.register(name, tree, epoch=epoch, _wal_logged=True)
         self._unlink_old(old_shm)
 
     @staticmethod
@@ -577,9 +701,14 @@ class ShardedQueryService:
                     result=self._shed_result(expired, "deadline passed while queued"),
                 )
             return job.pending
-        if self._dead[shard]:
+        if self._failed[shard]:
+            self._finish_local(job, self._unavailable_result(job))
+            return job.pending
+        if self._dead[shard] and not self._supervised:
             self._finish_local(job, self._crashed_result(job))
             return job.pending
+        # Supervised + dead: admit normally — the feeder waits (bounded by
+        # the job's own deadline) for the supervisor to respawn the shard.
         for expired in self._queues[shard].put(job, block=block, timeout=timeout):
             self._finish_local(
                 job=expired,
@@ -606,31 +735,53 @@ class ShardedQueryService:
 
     def _feeder_loop(self, shard: int) -> None:
         bounded = self._queues[shard]
-        semaphore = self._inflight[shard]
-        request_q = self._request_qs[shard]
         while True:
             job = bounded.get()
             if job is None:
                 return  # queue closed and drained
-            if self._dead[shard]:
-                self._finish_local(job, self._crashed_result(job))
-                continue
-            now = self._clock()
-            if job.deadline is not None and now >= job.deadline:
+            self._feed_one(shard, job)
+
+    def _feed_one(self, shard: int, job: _ShardJob) -> None:
+        """Dispatch one job to its shard, surviving a death-and-respawn.
+
+        The loop re-evaluates shard state on every pass: a supervised dead
+        shard means *wait* (the supervisor is respawning it; bounded by the
+        job's deadline and service shutdown), an unsupervised one means the
+        classic fail-fast crashed result, and a failed shard resolves with
+        the terminal unavailable error.  The request queue handle is
+        re-read after the aliveness check because respawn swaps it.
+        """
+        semaphore = self._inflight[shard]
+        while True:
+            if job.deadline is not None and self._clock() >= job.deadline:
                 self._finish_local(
                     job, self._shed_result(job, "deadline passed while queued")
                 )
+                return
+            if self._failed[shard]:
+                self._finish_local(job, self._unavailable_result(job))
+                return
+            if self._dead[shard]:
+                if not self._supervised:
+                    self._finish_local(job, self._crashed_result(job))
+                    return
+                if self._closed:
+                    self._finish_local(
+                        job, self._shed_result(job, "service shut down before execution")
+                    )
+                    return
+                time.sleep(0.01)  # the supervisor is (re)spawning it
                 continue
-            acquired = False
-            while not acquired and not self._dead[shard]:
-                acquired = semaphore.acquire(timeout=0.05)
-            if not acquired:
-                self._finish_local(job, self._crashed_result(job))
+            if not semaphore.acquire(timeout=0.05):
+                continue
+            if self._dead[shard]:  # died while we waited for a slot
+                semaphore.release()
                 continue
             payload = self._wire_payload(job)
             seq = next(self._seq)
             with self._pending_lock:
                 self._pending[seq] = job
+            request_q = self._request_qs[shard]
             try:
                 request_q.put(("req", seq, payload))
             except Exception:
@@ -638,7 +789,8 @@ class ShardedQueryService:
                     self._pending.pop(seq, None)
                 semaphore.release()
                 self._mark_dead(shard)
-                self._finish_local(job, self._crashed_result(job))
+                continue  # supervised: retry after respawn; else resolve above
+            return
 
     def _wire_payload(self, job: _ShardJob) -> dict:
         """The request dict shipped to a shard, re-stamped at dispatch time.
@@ -693,7 +845,7 @@ class ShardedQueryService:
         per-shard ``service.reshare`` faults do *not* fail the mutation —
         they leave that shard stale, to be healed on its next stamped read.
         """
-        from ..trees.mutate import apply_edit_indexed, edit_from_json
+        from ..trees.mutate import apply_edit_indexed, edit_from_json, edit_to_json
 
         request = job.request
         try:
@@ -719,9 +871,20 @@ class ShardedQueryService:
                         faults.check("trees.mutate")
                         new_tree = apply_edit_indexed(old, edit)
                         epoch = self.registry.epoch(request.tree) + 1
+                        wal = self.registry.wal
+                        if wal is not None:
+                            # Log-ahead: the edit record is durable before
+                            # the broadcast and the epoch publish.  A failed
+                            # append (wal.append fault site, disk error)
+                            # aborts here — retryable, registry untouched.
+                            wal.append_mutate(
+                                request.tree, epoch, edit_to_json(edit), new_tree
+                            )
                         spec, old_shm = self._replace_segment(request.tree, new_tree)
                         self._broadcast_tree(spec, epoch)
-                        self.registry.register(request.tree, new_tree, epoch=epoch)
+                        self.registry.register(
+                            request.tree, new_tree, epoch=epoch, _wal_logged=True
+                        )
             except (ValueError, TypeError) as exc:
                 return self._error_result(job, exc, "mutator", retries=retries)
             except EngineFaultError as exc:
@@ -753,36 +916,73 @@ class ShardedQueryService:
             )
 
     def _collector_loop(self) -> None:
+        """Multiplex every shard's private result pipe onto one thread.
+
+        The wait set is rebuilt each pass from ``_result_readers`` so a
+        respawn's fresh pipe joins (and a retired one leaves) within one
+        iteration.  EOF on a pipe — including the torn last frame of a
+        shard SIGKILLed mid-send — is the fastest death signal we have:
+        the slot is retired (compare-and-swap against a racing respawn)
+        and the crash path runs immediately instead of waiting for the
+        next liveness poll.
+        """
         while True:
+            with self._reader_lock:
+                readers = {
+                    conn: shard
+                    for shard, conn in enumerate(self._result_readers)
+                    if conn is not None
+                }
             try:
-                message = self._result_q.get(timeout=0.1)
-            except _stdlib_queue.Empty:
+                ready = _mp_connection.wait(list(readers), timeout=0.1)
+            except OSError:  # pragma: no cover - reader closed mid-wait
+                continue
+            if not ready:
                 if self._collector_stop:
                     return
                 self._check_shards()
                 continue
-            kind = message[0]
-            try:
-                if kind == "res":
-                    self._on_result(message[1], message[2], message[3])
-                elif kind == "stats":
-                    with self._stats_cond:
-                        self._shard_stats[message[1]] = (message[3], message[4])
-                        self._stats_tokens[message[1]] = message[2]
-                        self._stats_cond.notify_all()
-                elif kind == "bye":
-                    self._done[message[1]] = True
-            except Exception:  # pragma: no cover - backstop; a dead collector
-                # would strand every in-flight request, so the loop survives
-                # anything one message's handling throws.
-                obs.counter("service_loop_errors_total", loop="collector").inc()
+            for conn in ready:
+                shard = readers[conn]
+                try:
+                    message = conn.recv()
+                except (EOFError, OSError):
+                    with self._reader_lock:
+                        stale = self._result_readers[shard] is not conn
+                        if not stale:
+                            self._result_readers[shard] = None
+                    # A swapped slot means a respawn already handled this
+                    # death; a done shard simply closed its end cleanly.
+                    if not stale and not self._done[shard]:
+                        self._mark_dead(shard)
+                    continue
+                kind = message[0]
+                try:
+                    if kind == "res":
+                        self._on_result(message[1], message[2], message[3])
+                    elif kind == "stats":
+                        with self._stats_cond:
+                            self._shard_stats[message[1]] = (message[3], message[4])
+                            self._stats_tokens[message[1]] = message[2]
+                            self._stats_cond.notify_all()
+                    elif kind == "hb":
+                        self._heartbeats[message[1]] = time.monotonic()
+                    elif kind == "bye":
+                        self._done[message[1]] = True
+                except Exception:  # pragma: no cover - backstop; a dead
+                    # collector would strand every in-flight request, so the
+                    # loop survives anything one message's handling throws.
+                    obs.counter("service_loop_errors_total", loop="collector").inc()
 
     def _on_result(self, shard: int, seq: int, payload: dict) -> None:
         with self._pending_lock:
             job = self._pending.pop(seq, None)
-        self._inflight[shard].release()
-        if job is None:  # pragma: no cover - defensive
+        if job is None:
+            # Already resolved elsewhere (stranded at a crash, re-dispatched
+            # under a new seq): its in-flight slot was released then — a
+            # second release here would quietly inflate the cap.
             return
+        self._inflight[shard].release()
         try:
             if (
                 payload.get("status") == "error"
@@ -848,14 +1048,25 @@ class ShardedQueryService:
     def _check_shards(self) -> None:
         for shard, process in enumerate(self._processes):
             if not self._dead[shard] and not self._done[shard]:
-                if not process.is_alive():
+                try:
+                    alive = process.is_alive()
+                except ValueError:  # closed handle racing a respawn swap
+                    continue
+                if not alive:
                     self._mark_dead(shard)
 
     def _mark_dead(self, shard: int) -> None:
-        """Resolve every outstanding request of a crashed shard."""
-        if self._dead[shard]:
-            return
-        self._dead[shard] = True
+        """Contain a crashed shard: strand-collect its in-flight requests.
+
+        Unsupervised (or failed/shutting-down), the stranded requests
+        resolve immediately with crashed results — the PR 6 behaviour.
+        Supervised, they are handed to the supervisor intact and re-dispatch
+        once the replacement process is live.
+        """
+        with self._dead_lock:
+            if self._dead[shard]:
+                return
+            self._dead[shard] = True
         with self._pending_lock:
             stranded = [
                 (seq, job)
@@ -864,16 +1075,28 @@ class ShardedQueryService:
             ]
             for seq, _ in stranded:
                 del self._pending[seq]
-        for _, job in stranded:
+        jobs = [job for _, job in stranded]
+        for _ in jobs:
             self._inflight[shard].release()
+        if (
+            self._supervised
+            and not self._failed[shard]
+            and not self._closed
+            and self._supervisor is not None
+            and self._supervisor.notify_death(shard, jobs)
+        ):
+            return
+        for job in jobs:
             self._finish_local(job, self._crashed_result(job))
 
     # -- result shaping ----------------------------------------------------
 
     def _finish_local(self, job: _ShardJob, result: QueryResult) -> None:
         """Resolve a request the parent itself decided (never ran remotely)."""
-        job.pending.resolve(result)
+        # Same order as the worker tier: count before resolve, so a caller
+        # that has the result never reads a snapshot missing it.
         self.stats.record_result(result)
+        job.pending.resolve(result)
 
     def _shed_result(self, job: _ShardJob, reason: str) -> QueryResult:
         waited = self._clock() - job.submitted_at
@@ -889,10 +1112,31 @@ class ShardedQueryService:
         )
 
     def _crashed_result(self, job: _ShardJob) -> QueryResult:
-        exitcode = self._processes[job.shard].exitcode
+        # The handle may be closed (already reaped), swapped by a respawn,
+        # or never started — ``.exitcode`` raises ValueError on a closed
+        # handle; report None rather than crash the resolving thread.
+        try:
+            exitcode = self._processes[job.shard].exitcode
+        except (ValueError, IndexError, AttributeError):
+            exitcode = None
         exc = ShardCrashedError(
             f"shard {job.shard} died (exitcode {exitcode}) with the request "
             "outstanding"
+        )
+        return QueryResult(
+            id=job.request.id,
+            op=job.request.op,
+            status="error",
+            error=error_payload(exc),
+            routed="none",
+            latency=self._clock() - job.submitted_at,
+            worker="parent",
+        )
+
+    def _unavailable_result(self, job: _ShardJob) -> QueryResult:
+        exc = ShardUnavailableError(
+            f"shard {job.shard} exhausted its restart budget; trees routed "
+            "to it are unavailable until the service restarts"
         )
         return QueryResult(
             id=job.request.id,
@@ -918,19 +1162,149 @@ class ShardedQueryService:
             worker=worker,
         )
 
+    # -- supervision hooks (called by ShardSupervisor) -----------------------
+
+    def _respawn_shard(self, shard: int) -> float:
+        """Replace a dead shard with a fully resynced process; resync seconds.
+
+        The segment-spec snapshot and the request-queue swap happen under
+        the mutation lock, so no mutation's broadcast can fall between the
+        snapshot and the new queue: a broadcast either lands in the new
+        queue (attached after the startup specs — re-registering the same
+        epoch is idempotent) or is covered by the snapshot.  Mutations
+        published while the shard was down are part of the snapshot's
+        per-tree epochs; anything that still slips through (a broadcast
+        skipped because ``_dead`` was set) heals through the stamped-read
+        ``StaleEpochError`` path.
+        """
+        start = time.perf_counter()
+        old = self._processes[shard]
+        try:
+            old.join(timeout=1.0)  # reap the zombie
+        except Exception:  # pragma: no cover - closed handle
+            pass
+        with self._mutation_lock:
+            specs = [
+                (name, shm.name, nbytes, self.registry.epoch(name))
+                for name, (shm, nbytes) in self._segments.items()
+            ]
+            request_q = self._ctx.SimpleQueue()
+            self._request_qs[shard] = request_q
+        # A fresh result pipe too: the dead shard's pipe may hold a torn
+        # frame, and single-writer isolation is the whole point — the
+        # replacement never shares an IPC lock with the corpse.
+        result_reader, result_writer = self._ctx.Pipe(duplex=False)
+        process = self._ctx.Process(
+            target=_shard_main,
+            args=(shard, request_q, result_writer, specs, self._make_config(shard)),
+            name=f"repro-shard-{shard}",
+            daemon=True,
+        )
+        process.start()
+        result_writer.close()
+        self._processes[shard] = process
+        with self._reader_lock:
+            self._result_readers[shard] = result_reader
+        # Re-arm tracked fault state at the originally requested counts
+        # (fires already consumed by the dead shard are not subtracted).
+        with self._fault_lock:
+            arms = dict(self._fault_arms)
+        for site, times in arms.items():
+            request_q.put(("faults", site, times))
+        self._heartbeats[shard] = time.monotonic()
+        with self._dead_lock:
+            self._dead[shard] = False
+        return time.perf_counter() - start
+
+    def _redispatch_job(self, shard: int, job: _ShardJob) -> None:
+        """Re-submit one stranded casualty to the freshly respawned shard."""
+        if job.deadline is not None and self._clock() >= job.deadline:
+            self._finish_local(
+                job, self._shed_result(job, "deadline passed during shard restart")
+            )
+            return
+        if not self._inflight[shard].acquire(blocking=False):
+            # Feeders raced every slot away already; requeue at the back
+            # (waiting out a momentarily full queue — the shard is alive
+            # again, so the backlog is draining).  Still saturated after
+            # the grace period, or closing: overload semantics (shed),
+            # never a phantom crash.
+            try:
+                expired = self._queues[shard].put(job, block=True, timeout=1.0)
+            except Exception:
+                self._finish_local(
+                    job,
+                    self._shed_result(
+                        job, "request queue at capacity during shard restart"
+                    ),
+                )
+                return
+            for stale in expired:
+                self._finish_local(
+                    stale, self._shed_result(stale, "deadline passed while queued")
+                )
+            return
+        seq = next(self._seq)
+        with self._pending_lock:
+            self._pending[seq] = job
+        try:
+            self._request_qs[shard].put(("req", seq, self._wire_payload(job)))
+        except Exception:  # pragma: no cover - replacement died instantly
+            with self._pending_lock:
+                self._pending.pop(seq, None)
+            self._inflight[shard].release()
+            self._mark_dead(shard)
+            # The job left _pending before _mark_dead could strand-collect
+            # it: hand it back explicitly so it is never silently dropped.
+            supervisor = self._supervisor
+            if not (supervisor is not None and supervisor.notify_death(shard, [job])):
+                self._finish_local(job, self._crashed_result(job))
+
     # -- chaos -------------------------------------------------------------
 
-    def arm_faults(self, site: str, times: int | None = None) -> None:
-        """Broadcast a fault arm to every live shard (mid-run chaos)."""
-        for shard, request_q in enumerate(self._request_qs):
-            if not self._dead[shard] and not self._done[shard]:
-                request_q.put(("faults", site, times))
+    def arm_faults(self, site: str, times: int | None = None) -> dict[int, bool]:
+        """Broadcast a fault arm to every shard; per-shard delivery outcome.
 
-    def disarm_faults(self, site: str | None = None) -> None:
-        """Broadcast a disarm (one site, or all) to every live shard."""
+        Returns ``{shard: delivered}`` — ``False`` for shards that are
+        dead, finished, or failed (they never see the arm), so chaos soaks
+        can assert fault state instead of guessing.  Delivered arms are
+        also tracked for the supervisor's re-arm-on-respawn: a replacement
+        shard receives every tracked ``(site, times)`` at spawn.
+        """
+        with self._fault_lock:
+            self._fault_arms[site] = times
+        outcome: dict[int, bool] = {}
         for shard, request_q in enumerate(self._request_qs):
-            if not self._dead[shard] and not self._done[shard]:
+            if self._dead[shard] or self._done[shard] or self._failed[shard]:
+                outcome[shard] = False
+                continue
+            try:
+                request_q.put(("faults", site, times))
+            except Exception:  # pragma: no cover - racing a crash
+                outcome[shard] = False
+            else:
+                outcome[shard] = True
+        return outcome
+
+    def disarm_faults(self, site: str | None = None) -> dict[int, bool]:
+        """Broadcast a disarm (one site, or all); per-shard delivery outcome."""
+        with self._fault_lock:
+            if site is None:
+                self._fault_arms.clear()
+            else:
+                self._fault_arms.pop(site, None)
+        outcome: dict[int, bool] = {}
+        for shard, request_q in enumerate(self._request_qs):
+            if self._dead[shard] or self._done[shard] or self._failed[shard]:
+                outcome[shard] = False
+                continue
+            try:
                 request_q.put(("disarm", site))
+            except Exception:  # pragma: no cover - racing a crash
+                outcome[shard] = False
+            else:
+                outcome[shard] = True
+        return outcome
 
     # -- stats -------------------------------------------------------------
 
@@ -1056,6 +1430,11 @@ class ShardedQueryService:
                 return
             self._closed = True
         timeout = self._shutdown_timeout if timeout is None else timeout
+        if self._supervisor is not None:
+            # Stop self-healing first: a respawn racing the kill loop below
+            # would resurrect a shard mid-shutdown.  Any still-stashed
+            # casualties resolve as shed inside stop().
+            self._supervisor.stop()
         for bounded in self._queues:
             bounded.close()
         self._mutation_q.close()
@@ -1130,3 +1509,10 @@ class ShardedQueryService:
     def processes(self) -> list:
         """The shard process handles (read-only; for tests and operators)."""
         return list(self._processes)
+
+    @property
+    def restart_counts(self) -> list[int]:
+        """Per-shard supervisor restarts so far (all zeros unsupervised)."""
+        if self._supervisor is None:
+            return [0] * self.shards
+        return list(self._supervisor.restart_counts)

@@ -815,8 +815,11 @@ class QueryService:
     # -- result shaping ----------------------------------------------------
 
     def _finish(self, job: _Job, result: QueryResult) -> None:
-        job.pending.resolve(result)
+        # Stats first, then resolve: resolution runs done-callbacks (a shard
+        # uses one to ship the result to its parent), and anyone who has
+        # *seen* the result must find it already counted in a snapshot.
         self.stats.record_result(result)
+        job.pending.resolve(result)
 
     def _shed(self, job: _Job, reason: str) -> None:
         self._finish(job, self._shed_result(job, reason, worker="queue"))

@@ -45,6 +45,7 @@ from .mutate import (
 from .node import Node
 from .share import MaskSlab, detach_tree, dump_index, dump_tree, load_tree
 from .tree import Tree
+from .wal import WriteAheadLog, recover_registry, tree_digest
 from .xml_io import XmlReadOptions, XmlSyntaxError, parse_xml, to_xml
 
 __all__ = [
@@ -60,6 +61,7 @@ __all__ = [
     "Scope",
     "Tree",
     "TreeIndex",
+    "WriteAheadLog",
     "detach_tree",
     "dump_index",
     "dump_tree",
@@ -85,7 +87,9 @@ __all__ = [
     "parse_xml",
     "random_deep_tree",
     "random_tree",
+    "recover_registry",
     "star",
     "to_xml",
+    "tree_digest",
     "tree_index",
 ]

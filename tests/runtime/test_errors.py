@@ -17,6 +17,7 @@ from repro.runtime import (
     RequestShedError,
     ServiceClosedError,
     ServiceError,
+    ShardUnavailableError,
     exit_code_for,
 )
 from repro.trees.xml_io import XmlSyntaxError
@@ -93,6 +94,7 @@ class TestExitCodes:
             "input_limit": 7,
             "engine": 8,
             "overload": 9,
+            "unavailable": 10,
         }
 
     @pytest.mark.parametrize("exc, code", [
@@ -105,6 +107,7 @@ class TestExitCodes:
         (InjectedFaultError("xpath.bitset"), 8),
         (QueueFullError("full"), 9),
         (ServiceClosedError("closed"), 9),
+        (ShardUnavailableError("shard 0 out of restarts"), 10),
         (RequestShedError("late"), 4),  # a shed is a deadline outcome
         (ValueError("anything else"), 2),
     ])

@@ -159,3 +159,62 @@ def test_throwing_listener_does_not_abort_register_or_skip_later_listeners():
     assert registry.get("doc") is not None
     assert calls == [("bad", "doc"), ("good", "doc")]
     assert errors.value == base + 1
+
+
+def test_listener_reentrancy_does_not_corrupt_epochs():
+    """A listener that calls back into the registry (subscribing another
+    listener, or re-registering a *different* tree) runs outside the
+    registry lock, so reentrancy must neither deadlock nor corrupt epoch
+    bookkeeping."""
+    registry = TreeRegistry()
+    seen = []
+
+    def late(name):
+        seen.append(("late", name, registry.epoch(name)))
+
+    def reentrant(name):
+        seen.append(("reentrant", name, registry.epoch(name)))
+        # Subscribe from inside a callback: takes the registry lock again.
+        registry.subscribe(late)
+        # Register a *different* tree from inside the callback (bounded:
+        # "shadow" has no reentrant listener cascade of its own).
+        if name == "doc":
+            registry.register("shadow", _tree())
+
+    registry.subscribe(reentrant)
+    epoch = registry.register("doc", _tree())
+    assert epoch == 1
+    # The nested registration published cleanly under its own epoch...
+    assert registry.epoch("doc") == 1
+    assert registry.epoch("shadow") == 1
+    # ...and every listener observed a fully published state (the epoch
+    # the callback reads is never the pre-publish value).
+    assert ("reentrant", "doc", 1) in seen
+    assert ("reentrant", "shadow", 1) in seen
+    # A later registration reaches the listener subscribed re-entrantly,
+    # and epochs keep advancing monotonically per tree.
+    registry.register("doc", _tree())
+    assert registry.epoch("doc") == 2
+    assert ("late", "doc", 2) in seen
+    # The reentrant listener fired for "doc" again and re-registered
+    # "shadow" under the next epoch — advanced, not corrupted.
+    assert registry.epoch("shadow") == 2
+
+
+def test_reentrant_self_reregistration_is_bounded_and_consistent():
+    """A listener re-registering the SAME tree must converge (the test
+    bounds the recursion itself) with a strictly increasing epoch chain."""
+    registry = TreeRegistry()
+    fires = []
+
+    def bump_once(name):
+        fires.append(registry.epoch(name))
+        if len(fires) < 3:  # the test's own recursion guard
+            registry.register(name, _tree())
+
+    registry.subscribe(bump_once)
+    registry.register("doc", _tree())
+    # Three nested publications, each one epoch further on, no epoch lost
+    # or doubled by the reentrancy.
+    assert registry.epoch("doc") == 3
+    assert sorted(fires) == fires and len(set(fires)) == len(fires)
