@@ -23,6 +23,13 @@ non-zero if a bitset engine falls below its regression gate:
   path), so the headline speedup gates price the disabled overhead, and
   this gate bounds the full cost of turning tracing on — an upper bound
   on what the disabled path could possibly cost.
+* disk-backed store rows (PR 10): the same Zipf batch served by a plain
+  in-memory registry vs a store-backed registry whose budget keeps every
+  tree resident — warm hits must stay within ``--max-store-overhead``
+  percent (default 10%) p50 of in-memory serving, since a warm hit is by
+  construction the same dict lookup plus an LRU touch.  A cold
+  ``TreeStore.load`` row is printed for scale but not gated (its cost is
+  the budget trade-off itself, priced in BENCH_store.json);
 * semantic-cache rows (PR 7): a Zipf-skewed batch through the service
   twice — optimizer on in both arms, result cache off vs on — gated on
   ``--min-hit-rate`` (default 0.30; the skew guarantees repeats, so a
@@ -36,6 +43,7 @@ Usage::
     PYTHONPATH=src python benchmarks/compare_backends.py           # full
     PYTHONPATH=src python benchmarks/compare_backends.py --quick   # CI smoke
     PYTHONPATH=src python benchmarks/compare_backends.py --cache-only
+    PYTHONPATH=src python benchmarks/compare_backends.py --store-only
 """
 
 from __future__ import annotations
@@ -192,6 +200,89 @@ def cache_section(args, reps: int) -> list[str]:
     return failures
 
 
+def store_section(args, reps: int) -> list[str]:
+    """Print the disk-backed store rows; the list of gate-failure messages.
+
+    Both arms run the same Zipf batch through identical services; only the
+    registry differs — plain in-memory vs store-backed with an ample
+    resident budget, every tree faulted in up front.  The ratio therefore
+    isolates what the LRU bookkeeping costs on the hot path.  The cold-load
+    row re-reads one tree from disk per repetition (handle released each
+    time) purely for scale.
+    """
+    import tempfile
+    from pathlib import Path
+
+    from repro.trees import TreeStore, tree_index
+    from repro.trees.store import release_tree
+
+    size = 256 if args.quick else 512
+    batch = 48 if args.quick else 96
+    trees = {
+        "bushy": random_tree(size, rng=random.Random(2008)),
+        "chain": chain(size, labels=("a", "b")),
+    }
+    plain = TreeRegistry()
+    backed = TreeRegistry()
+    for name, tree in trees.items():
+        tree_index(tree)  # prebuilt: neither arm times index construction
+        plain.register(name, tree)
+        backed.register(name, tree)
+    tmpdir = tempfile.TemporaryDirectory(prefix="repro-store-gate-")
+    store = TreeStore(Path(tmpdir.name) / "store")
+    backed.attach_store(store, resident_budget=1 << 30)
+    for name in trees:
+        backed.get(name)  # fault in: the gated arm serves warm hits only
+    requests = _zipf_requests(batch)
+    with QueryService(
+        plain, workers=4, queue_limit=batch, optimize=True
+    ) as base_svc, QueryService(
+        backed, workers=4, queue_limit=batch, optimize=True
+    ) as store_svc:
+        plain_t, store_t, ratio = paired_seconds(
+            lambda: base_svc.run_batch(requests),
+            lambda: store_svc.run_batch(requests),
+            reps,
+        )
+
+    def cold_load():
+        tree, _ = store.load("bushy")
+        release_tree(tree)
+
+    cold_t = median_seconds(cold_load, reps)
+    overhead_pct = (ratio - 1.0) * 100.0
+    header = (
+        f"{'disk-backed store':<22} {'in-memory':>12} {'store-warm':>12} "
+        f"{'overhead':>9}"
+    )
+    print(header)
+    print("-" * len(header))
+    print(
+        f"{f'zipf batch of {batch}':<22} {plain_t * 1e3:>10.3f}ms "
+        f"{store_t * 1e3:>10.3f}ms {overhead_pct:>+8.1f}%"
+    )
+    print(f"{'cold load (1 tree)':<22} {cold_t * 1e3:>23.3f}ms {'(ungated)':>22}")
+    tmpdir.cleanup()
+    if overhead_pct > args.max_store_overhead:
+        return [
+            f"FAIL: store-backed warm serving is {overhead_pct:+.1f}% over "
+            f"in-memory, beyond the {args.max_store_overhead:.1f}% gate"
+        ]
+    return []
+
+
+def run_store_gate(args, reps: int) -> int:
+    failures = store_section(args, reps)
+    for message in failures:
+        print(message, file=sys.stderr)
+    if not failures:
+        print(
+            "OK: store-backed warm serving within "
+            f"{args.max_store_overhead:.1f}% of in-memory"
+        )
+    return 1 if failures else 0
+
+
 def run_cache_gate(args, reps: int) -> int:
     failures = cache_section(args, reps)
     for message in failures:
@@ -256,6 +347,19 @@ def main(argv: list[str] | None = None) -> int:
         help="run only the semantic-cache effectiveness rows and gates "
         "(the CI optimizer job)",
     )
+    parser.add_argument(
+        "--max-store-overhead",
+        type=float,
+        default=10.0,
+        help="fail if warm-hit serving through a store-backed registry is "
+        "more than this many percent slower (p50) than in-memory serving",
+    )
+    parser.add_argument(
+        "--store-only",
+        action="store_true",
+        help="run only the disk-backed store overhead rows and gate "
+        "(the CI store job)",
+    )
     args = parser.parse_args(argv)
 
     sizes = (128, 512) if args.quick else (128, 512, 2048)
@@ -264,6 +368,8 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.cache_only:
         return run_cache_gate(args, reps)
+    if args.store_only:
+        return run_store_gate(args, reps)
 
     rows = []
     gate_failures = []
@@ -401,6 +507,8 @@ def main(argv: list[str] | None = None) -> int:
 
     print()
     cache_failures = cache_section(args, reps)
+    print()
+    cache_failures += store_section(args, reps)
 
     if gate_failures or cache_failures:
         for name, value in gate_failures:
@@ -435,7 +543,8 @@ def main(argv: list[str] | None = None) -> int:
         f"checkpoint overhead within {args.max_overhead:.1f}%, "
         f"tracing overhead within {args.max_trace_overhead:.1f}%, "
         f"cache hit rate at or above {args.min_hit_rate:.0%} with a "
-        f">={args.min_cache_win:.1f}% p50 win"
+        f">={args.min_cache_win:.1f}% p50 win, store warm hits within "
+        f"{args.max_store_overhead:.1f}%"
     )
     return 0
 

@@ -35,7 +35,15 @@ Commands:
   ``--shards``, ``--max-restarts N`` arms the self-healing supervisor:
   crashed shard processes are respawned (at most N times per shard per
   rolling window) with full state resync, and their in-flight requests are
-  re-dispatched instead of failing;
+  re-dispatched instead of failing.  ``--store DIR`` attaches the
+  disk-backed index store: registered trees are packed to compact RSTR
+  files, cold trees mmap back in on first touch, and ``--resident-budget
+  BYTES`` bounds the resident set with LRU eviction so a corpus much
+  larger than memory stays serveable;
+* ``store pack DIR --tree NAME=FILE.xml ...`` — pack XML documents into a
+  store directory offline (the files ``batch --store`` serves from);
+* ``store verify DIR [NAME]`` — check every section checksum of one or all
+  stored trees and rebuild their indexes; corrupt files exit with code 3;
 * ``recover DIR`` — validate and replay a write-ahead log directory
   offline: truncates a torn tail, folds the latest snapshot plus the log
   suffix into a registry, verifies every replayed tree against its
@@ -300,6 +308,17 @@ def cmd_batch(args: argparse.Namespace) -> int:
         wal = WriteAheadLog.open(args.wal)
         registry = recover(args.wal, registry=registry)
         registry.attach_wal(wal)
+    if args.store is not None:
+        from .trees.store import TreeStore
+
+        # Attach before --tree registrations so new documents write through
+        # to disk immediately and the resident budget applies from the start.
+        registry.attach_store(
+            TreeStore(args.store), resident_budget=args.resident_budget
+        )
+    elif args.resident_budget is not None:
+        print("error: --resident-budget requires --store DIR", file=sys.stderr)
+        return 2
     for spec in args.tree or ():
         name, eq, path = spec.partition("=")
         if not eq or not name or not path:
@@ -401,6 +420,48 @@ def cmd_batch(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def cmd_store_pack(args: argparse.Namespace) -> int:
+    from .trees.store import TreeStore
+
+    store = TreeStore(args.directory)
+    if not args.tree:
+        print("error: store pack needs at least one --tree NAME=FILE.xml", file=sys.stderr)
+        return 2
+    total = 0
+    for spec in args.tree:
+        name, eq, path = spec.partition("=")
+        if not eq or not name or not path:
+            print(f"error: --tree expects NAME=FILE.xml, got {spec!r}", file=sys.stderr)
+            return 2
+        with open(path) as handle:
+            tree = parse_xml(handle.read())
+        nbytes = store.pack(name, tree, epoch=args.epoch)
+        total += nbytes
+        print(f"  {name}: {tree.size} node(s), {nbytes} bytes (epoch {args.epoch})")
+    print(f"packed {len(args.tree)} tree(s), {total} bytes -> {args.directory}")
+    return 0
+
+
+def cmd_store_verify(args: argparse.Namespace) -> int:
+    from .trees.store import TreeStore
+
+    store = TreeStore(args.directory)
+    names = [args.name] if args.name else store.names()
+    if not names:
+        print(f"no stored trees in {args.directory}")
+        return 0
+    for name in names:
+        # A corrupt file raises StoreCorruptError -> exit code 3 via main().
+        report = store.verify(name)
+        print(
+            f"  {report['name']}: OK — {report['n']} node(s), "
+            f"epoch {report['epoch']}, {report['bytes']} bytes, "
+            f"{report['sections']} section(s)"
+        )
+    print(f"verified {len(names)} tree(s) in {args.directory}")
+    return 0
+
+
 def cmd_recover(args: argparse.Namespace) -> int:
     from .trees.wal import WriteAheadLog, recover
 
@@ -492,7 +553,7 @@ def _add_budget_arguments(p: argparse.ArgumentParser, engine: bool = True) -> No
             help="arm a named fault-injection site (repeatable; for testing). "
             "Sites: xpath.bitset, xpath.bitset.star, logic.bitset, "
             "logic.bitset.tc, automata.bitset, service.worker, trees.mutate, "
-            "service.reshare, wal.append, service.shard_kill",
+            "service.reshare, wal.append, service.shard_kill, store.load",
         )
 
 
@@ -608,6 +669,21 @@ def build_parser() -> argparse.ArgumentParser:
         "edit to it before publication (see 'repro recover')",
     )
     p.add_argument(
+        "--store",
+        metavar="DIR",
+        help="disk-backed index store: pack registered trees to compact "
+        "RSTR files in DIR and mmap cold trees back on demand "
+        "(see 'repro store pack/verify')",
+    )
+    p.add_argument(
+        "--resident-budget",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="with --store, bound resident index bytes: least-recently-used "
+        "unpinned trees are evicted to disk when the budget is exceeded",
+    )
+    p.add_argument(
         "--queue-limit",
         type=int,
         default=64,
@@ -671,6 +747,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("directory", help="WAL directory (as passed to batch --wal)")
     p.set_defaults(func=cmd_recover)
+
+    p = sub.add_parser(
+        "store", help="manage a disk-backed index store directory"
+    )
+    store_sub = p.add_subparsers(dest="store_command", required=True)
+    sp = store_sub.add_parser(
+        "pack", help="pack XML documents into RSTR store files"
+    )
+    sp.add_argument("directory", help="store directory (as passed to batch --store)")
+    sp.add_argument(
+        "--tree",
+        action="append",
+        metavar="NAME=FILE",
+        help="pack an XML document under NAME (repeatable)",
+    )
+    sp.add_argument(
+        "--epoch",
+        type=int,
+        default=0,
+        metavar="N",
+        help="epoch stamp recorded in each packed header (default 0)",
+    )
+    sp.set_defaults(func=cmd_store_pack)
+    sp = store_sub.add_parser(
+        "verify", help="checksum-verify stored trees and rebuild their indexes"
+    )
+    sp.add_argument("directory", help="store directory")
+    sp.add_argument("name", nargs="?", help="verify one tree (default: all)")
+    sp.set_defaults(func=cmd_store_verify)
 
     p = sub.add_parser("simplify", help="apply the sound rewrite system")
     p.add_argument("query")

@@ -100,9 +100,15 @@ def _add_path(path: xp.PathExpr, nfa: _StepNfa, src: int, dst: int) -> None:
             nfa.child_edges.append((hub, hub))
             nfa.epsilon_edges.append((hub, dst))
         elif path.axis is Axis.DESCENDANT_OR_SELF:
+            # The descend-loop must live on a fresh hub, never on ``dst``:
+            # fragments compose by sharing states, so an edge *at* dst
+            # (e.g. a Star hub) would be reachable from every other path
+            # into that state, admitting descents the axis never made.
             nfa.epsilon_edges.append((src, dst))
-            nfa.child_edges.append((src, dst))
-            nfa.child_edges.append((dst, dst))
+            hub = nfa.fresh()
+            nfa.child_edges.append((src, hub))
+            nfa.child_edges.append((hub, hub))
+            nfa.epsilon_edges.append((hub, dst))
         else:
             raise NotDownward(f"axis {path.axis!r} is outside the downward fragment")
     elif isinstance(path, xp.Seq):

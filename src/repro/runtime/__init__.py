@@ -38,6 +38,7 @@ from .errors import (
     ServiceError,
     ShardUnavailableError,
     StaleEpochError,
+    StoreCorruptError,
     WalCorruptError,
     exit_code_for,
 )
@@ -62,6 +63,7 @@ __all__ = [
     "ServiceError",
     "ShardUnavailableError",
     "StaleEpochError",
+    "StoreCorruptError",
     "WalCorruptError",
     "exit_code_for",
     "faults",

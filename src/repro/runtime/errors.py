@@ -19,6 +19,7 @@ classes that need different handling (retry, degrade, report).  The tree::
     │   ├── InjectedFaultError                 ... because a fault was injected
     │   └── StaleEpochError                    shard served an outdated tree epoch
     ├── TreeShareError                         corrupt shared-memory index segment
+    ├── StoreCorruptError                      corrupt on-disk store file (RSTR)
     ├── WalCorruptError                        write-ahead log / snapshot corruption
     └── ServiceError                           the serving layer itself
         ├── QueueFullError                     bounded queue rejected a request
@@ -49,6 +50,7 @@ __all__ = [
     "InjectedFaultError",
     "StaleEpochError",
     "TreeShareError",
+    "StoreCorruptError",
     "WalCorruptError",
     "ServiceError",
     "QueueFullError",
@@ -178,6 +180,17 @@ class TreeShareError(ReproError):
     """
 
 
+class StoreCorruptError(ReproError):
+    """An on-disk store file (RSTR v1) failed validation.
+
+    Raised by :mod:`repro.trees.store` when a stored tree's magic, version,
+    declared size (a truncated tail), table checksum, or any per-section
+    CRC does not hold.  Every section CRC is verified *eagerly* at load
+    time, before any mask is reconstructed, so a flipped bit on disk fails
+    loudly here — it can never surface as a silently wrong query answer.
+    """
+
+
 class WalCorruptError(ReproError):
     """A write-ahead log record or snapshot failed validation.
 
@@ -260,6 +273,8 @@ def exit_code_for(exc: BaseException) -> int:
     if isinstance(exc, EngineFaultError):
         return EXIT_CODES["engine"]
     if isinstance(exc, TreeShareError):
+        return EXIT_CODES["io"]
+    if isinstance(exc, StoreCorruptError):
         return EXIT_CODES["io"]
     if isinstance(exc, WalCorruptError):
         return EXIT_CODES["io"]

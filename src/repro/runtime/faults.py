@@ -26,6 +26,9 @@ Fault sites currently wired into the engines:
 ``service.shard_kill``     checked by the shard supervisor once per poll
                            tick; each fire SIGKILLs one live shard process
                            (chaos testing the crash/respawn/re-dispatch path)
+``store.load``             entry of :meth:`TreeStore.load`, before the file
+                           is opened (a cold-load failure: the tree stays
+                           unresident and the next touch retries)
 =========================  ====================================================
 
 Arming is explicit and three-way togglable:

@@ -30,10 +30,13 @@ from __future__ import annotations
 
 import itertools
 import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 
 from .. import obs
 from ..runtime.errors import exit_code_for
+from ..trees.index import tree_index
+from ..trees.store import index_nbytes
 from ..trees.tree import Tree
 
 __all__ = [
@@ -197,18 +200,23 @@ class TreePin:
     the pin is also a context manager.
     """
 
-    __slots__ = ("name", "tree", "epoch", "_released")
+    __slots__ = ("name", "tree", "epoch", "_released", "_registry")
 
-    def __init__(self, name: str, tree: Tree, epoch: int):
+    def __init__(self, name: str, tree: Tree, epoch: int, registry=None):
         self.name = name
         self.tree = tree
         self.epoch = epoch
         self._released = False
+        # Set by store-backed registries: eviction defers to live pins, so
+        # release() must report back to the per-name pin counts.
+        self._registry = registry
 
     def release(self) -> None:
         if not self._released:
             self._released = True
             obs.gauge("snapshot_pins").dec()
+            if self._registry is not None:
+                self._registry._unpin(self.name)
 
     def __enter__(self) -> "TreePin":
         return self
@@ -231,6 +239,18 @@ class TreeRegistry:
     the next epoch.  Readers take a :class:`TreePin` — an atomic
     ``(tree, epoch)`` view — so a request in flight keeps answering against
     the exact snapshot it started with while writers race ahead.
+
+    A disk-backed :class:`~repro.trees.store.TreeStore` (via
+    :meth:`attach_store`) lifts the RAM cap: lookups fall back to the
+    store on a miss (single-flight — concurrent cold touches share one
+    load), an optional resident-byte budget evicts least-recently-used
+    trees back to disk (pinned trees are exempt; eviction only drops the
+    registry's reference, so in-flight readers keep their snapshot), and
+    (re)registrations write through to the store so the stored generation
+    tracks the live epoch.  Evicting never loses the name's epoch: the
+    result-cache guard ``registry.epoch(pin.name) == pin.epoch`` holds
+    across an evict/reload cycle because the store file is packed at the
+    epoch it re-publishes with.
     """
 
     def __init__(self) -> None:
@@ -240,6 +260,17 @@ class TreeRegistry:
         self._epochs: dict[str, int] = {}
         self._listeners: list = []
         self._wal = None
+        # Disk-backed tier (attach_store): the store, its write mode, the
+        # resident-byte budget, LRU costs (name -> serialized bytes, oldest
+        # first), per-name pin counts, and in-flight single-flight loads.
+        self._store = None
+        self._store_readonly = False
+        self._store_lock = threading.Lock()  # serializes pack() writers
+        self._resident_budget: int | None = None
+        self._resident_bytes = 0
+        self._lru: "OrderedDict[str, int]" = OrderedDict()
+        self._pins: dict[str, int] = {}
+        self._loads: dict[str, threading.Event] = {}
 
     @property
     def wal(self):
@@ -272,6 +303,374 @@ class TreeRegistry:
         with self._lock:
             return {name: (tree, self._epochs[name]) for name, tree in self._trees.items()}
 
+    # -- disk-backed store ---------------------------------------------------
+
+    @property
+    def store(self):
+        """The attached :class:`~repro.trees.store.TreeStore`, or ``None``."""
+        return self._store
+
+    @property
+    def store_readonly(self) -> bool:
+        return self._store_readonly
+
+    @property
+    def resident_budget(self) -> int | None:
+        return self._resident_budget
+
+    @property
+    def resident_bytes(self) -> int:
+        """The priced bytes of the currently resident trees."""
+        return self._resident_bytes
+
+    def resident_names(self) -> list[str]:
+        """The names resident in memory right now (a subset of names())."""
+        with self._lock:
+            return sorted(self._trees)
+
+    def attach_store(self, store, *, resident_budget: int | None = None,
+                     readonly: bool = False) -> None:
+        """Back this registry with ``store`` (and optionally a byte budget).
+
+        Residents the store does not hold at their current epoch are packed
+        immediately (unless ``readonly``), so every registered tree is
+        evictable from the start; every resident is then priced (via
+        :func:`~repro.trees.store.index_nbytes`) into the LRU accounting
+        and the registry evicts down to ``resident_budget`` if one is set.
+
+        ``readonly`` marks a registry that must never write store files —
+        the shard processes attach this way, mmapping the parent's files
+        directly while the parent remains the single writer.
+        """
+        if resident_budget is not None and resident_budget <= 0:
+            raise ValueError(
+                f"resident_budget must be positive, got {resident_budget!r}"
+            )
+        with self._mutation_lock:
+            with self._lock:
+                residents = [
+                    (name, self._trees[name], self._epochs[name])
+                    for name in sorted(self._trees)
+                ]
+            if not readonly:
+                with self._store_lock:
+                    for name, tree, epoch in residents:
+                        if store.epoch(name) != epoch:
+                            store.pack(name, tree, epoch=epoch)
+            costs = {
+                name: index_nbytes(tree_index(tree)) for name, tree, _ in residents
+            }
+            with self._lock:
+                self._store = store
+                self._store_readonly = readonly
+                self._resident_budget = resident_budget
+                for name, tree, _ in residents:
+                    if self._trees.get(name) is tree and name not in self._lru:
+                        self._lru[name] = costs[name]
+                        self._resident_bytes += costs[name]
+                obs.gauge("registry_resident_bytes").set(self._resident_bytes)
+        self._evict_over_budget()
+
+    def _next_epoch(self, name: str) -> int:
+        """The epoch a fresh registration of ``name`` should publish at.
+
+        With a store attached, a cold name's stored generation counts:
+        re-registering over an evicted (or never-loaded) tree must still
+        move the epoch forward, never reuse one the store already holds.
+        """
+        current = self.epoch(name)
+        store = self._store
+        if store is not None:
+            stored = store.epoch(name)
+            if stored is not None and stored > current:
+                current = stored
+        return current + 1
+
+    def _lookup(self, name: str, *, pin: bool = False) -> tuple[Tree, int]:
+        """The resident ``(tree, epoch)`` for ``name``, loading on a miss.
+
+        Single-flight: the first thread to miss becomes the loader; every
+        concurrent miss waits on its event and then re-checks, so one cold
+        touch costs one store read no matter the fan-in.  A failed load
+        (corrupt file, injected ``store.load`` fault) propagates to the
+        loader and wakes the waiters, the first of which retries as the
+        next loader — counted faults therefore self-heal.  With ``pin``
+        the per-name pin count is incremented atomically with the hit, so
+        eviction can never slip between lookup and pin.
+        """
+        while True:
+            with self._lock:
+                tree = self._trees.get(name)
+                if tree is not None:
+                    if name in self._lru:
+                        self._lru.move_to_end(name)
+                    if pin:
+                        self._pins[name] = self._pins.get(name, 0) + 1
+                    return tree, self._epochs[name]
+                store = self._store
+                if store is None:
+                    raise ValueError(
+                        f"unknown tree {name!r}; registered: "
+                        f"{sorted(self._trees) or '(none)'}"
+                    )
+                event = self._loads.get(name)
+                leader = event is None
+                if leader:
+                    event = threading.Event()
+                    self._loads[name] = event
+            if not leader:
+                event.wait()
+                continue
+            published = False
+            try:
+                try:
+                    tree, epoch = store.load(name)
+                except KeyError:
+                    raise ValueError(
+                        f"unknown tree {name!r}; registered: "
+                        f"{self.names() or '(none)'}"
+                    ) from None
+                cost = index_nbytes(tree_index(tree))
+                with self._lock:
+                    # Publish only a generation at least as new as the one
+                    # the registry already knows (epochs survive eviction
+                    # exactly for this check): a load that raced an eviction
+                    # may have read the file *before* the newer generation
+                    # was packed, and publishing it would regress the epoch
+                    # — and let the budget sweep re-pack the old bytes over
+                    # the new ones.  Stale loads retry; the eviction that
+                    # dropped the newer resident packed it first, so the
+                    # re-read is guaranteed to see the current generation.
+                    if (
+                        name not in self._trees
+                        and epoch >= self._epochs.get(name, 0)
+                    ):
+                        self._trees[name] = tree
+                        self._epochs[name] = epoch
+                        self._lru[name] = cost
+                        self._resident_bytes += cost
+                        obs.gauge("registry_resident_bytes").set(
+                            self._resident_bytes
+                        )
+                        if pin:
+                            self._pins[name] = self._pins.get(name, 0) + 1
+                        published = True
+            finally:
+                with self._lock:
+                    self._loads.pop(name, None)
+                event.set()
+            if published:
+                # Return the loaded snapshot directly rather than re-probing
+                # the resident map: under pin pressure the budget sweep may
+                # evict this very tree immediately, and re-probing would
+                # load it again forever.  The caller's reference (and its
+                # pin, taken atomically with the publish above) stays valid
+                # either way.
+                self._evict_over_budget()
+                return tree, epoch
+
+    def _account(self, name: str, tree: Tree, cost: int) -> None:
+        """Re-price ``name`` after a (re)registration published ``tree``."""
+        with self._lock:
+            if self._trees.get(name) is not tree:
+                return  # republished while we were pricing; theirs counts
+            previous = self._lru.pop(name, 0)
+            self._lru[name] = cost
+            self._resident_bytes += cost - previous
+            obs.gauge("registry_resident_bytes").set(self._resident_bytes)
+
+    def _write_through(self, name: str, tree: Tree, epoch: int) -> None:
+        """Sync the stored generation with a just-published registration.
+
+        Skipped when the store already holds this epoch (the sharded
+        mutator packs before broadcasting, so its registrations arrive
+        pre-synced).  A failed pack is counted, not raised: the tree
+        simply stays unevictable until a later pack succeeds.
+        """
+        store = self._store
+        if store is None or self._store_readonly:
+            return
+        with self._store_lock:
+            with self._lock:
+                if (
+                    self._epochs.get(name) != epoch
+                    or self._trees.get(name) is not tree
+                ):
+                    return  # a newer registration owns the store file now
+            stored = store.epoch(name)
+            if stored is not None and stored >= epoch:
+                return  # already durable (or a newer pack beat us to it)
+            try:
+                store.pack(name, tree, epoch=epoch)
+            except OSError:
+                obs.counter("store_pack_errors_total").inc()
+
+    def _drop_resident(self, name: str) -> int:
+        """Forget the resident tree (caller holds ``_lock``); bytes freed.
+
+        Only the registry's reference is dropped — the epoch survives (the
+        stored generation carries it) and the tree object itself stays
+        valid for any reader still holding it.
+        """
+        del self._trees[name]
+        cost = self._lru.pop(name, 0)
+        self._resident_bytes -= cost
+        obs.gauge("registry_resident_bytes").set(self._resident_bytes)
+        return cost
+
+    def _evict_over_budget(self) -> None:
+        """Evict LRU-first until resident bytes fit the budget.
+
+        A victim is only evictable once the store holds its current epoch
+        (read-write registries re-pack to get there; read-only ones skip
+        it) and no reader pins it.  When everything left is pinned or
+        unevictable the loop gives up — a burst of pinned readers may
+        overshoot the budget transiently rather than fail.
+        """
+        store, budget = self._store, self._resident_budget
+        if store is None or budget is None:
+            return
+        skip: set[str] = set()
+        while True:
+            with self._lock:
+                if self._resident_bytes <= budget:
+                    return
+                victim = None
+                for name in self._lru:  # oldest first
+                    if name not in skip and not self._pins.get(name, 0):
+                        victim = name
+                        break
+                if victim is None:
+                    return  # every resident is pinned or unevictable
+                tree = self._trees[victim]
+                epoch = self._epochs[victim]
+            # Pack-and-drop as one critical section on the store lock:
+            # every packer serializes on it, so once the stored generation
+            # is verified (or written) current, no stale packer can regress
+            # the file before the drop below commits.  Packing itself is
+            # guarded twice — never over a newer stored generation, and
+            # never from a snapshot that a concurrent registration has
+            # superseded — because a stale pack would silently replace the
+            # only durable copy of the current epoch.
+            with self._store_lock:
+                stored = store.epoch(victim)
+                if stored != epoch:
+                    if self._store_readonly or (
+                        stored is not None and stored > epoch
+                    ):
+                        skip.add(victim)
+                        continue
+                    with self._lock:
+                        superseded = (
+                            self._trees.get(victim) is not tree
+                            or self._epochs.get(victim) != epoch
+                        )
+                    if superseded:
+                        skip.add(victim)
+                        continue
+                    try:
+                        store.pack(victim, tree, epoch=epoch)
+                    except OSError:
+                        obs.counter("store_pack_errors_total").inc()
+                        skip.add(victim)
+                        continue
+                with self._lock:
+                    if (
+                        self._pins.get(victim, 0)
+                        or self._trees.get(victim) is not tree
+                        or self._epochs.get(victim) != epoch
+                    ):
+                        skip.add(victim)  # pinned or republished since chosen
+                        continue
+                    self._drop_resident(victim)
+            obs.counter("store_evictions_total").inc()
+
+    def evict(self, name: str) -> int:
+        """Explicitly demote ``name`` to the store; the bytes freed.
+
+        Refuses with ``ValueError`` while any reader pins the tree (the
+        caller should retry after the pins drain).  Evicting an
+        already-cold name returns 0; an unknown name raises.
+        """
+        store = self._store
+        if store is None:
+            raise ValueError("no store attached; evict() requires attach_store()")
+        with self._lock:
+            tree = self._trees.get(name)
+            known = name in self._epochs
+            if tree is not None:
+                pins = self._pins.get(name, 0)
+                if pins:
+                    raise ValueError(
+                        f"tree {name!r} is pinned by {pins} reader(s); "
+                        "refusing to evict"
+                    )
+                epoch = self._epochs[name]
+        if tree is None:
+            if known or store.contains(name):
+                return 0
+            raise ValueError(
+                f"unknown tree {name!r}; registered: {self.names() or '(none)'}"
+            )
+        # Pack-and-drop under the store lock, like the budget sweep: the
+        # stored generation cannot be regressed by a stale packer between
+        # the currency check and the drop.
+        with self._store_lock:
+            stored = store.epoch(name)
+            if stored is None or stored < epoch:
+                if self._store_readonly:
+                    raise ValueError(
+                        f"tree {name!r} is newer than its stored generation "
+                        "and the store is read-only"
+                    )
+                with self._lock:
+                    superseded = (
+                        self._trees.get(name) is not tree
+                        or self._epochs.get(name) != epoch
+                    )
+                if superseded:
+                    return 0  # a newer registration owns the store file now
+                store.pack(name, tree, epoch=epoch)
+            with self._lock:
+                pins = self._pins.get(name, 0)
+                if pins:
+                    raise ValueError(
+                        f"tree {name!r} is pinned by {pins} reader(s); "
+                        "refusing to evict"
+                    )
+                if (
+                    self._trees.get(name) is not tree
+                    or self._epochs.get(name) != epoch
+                ):
+                    return 0  # republished while packing; this one is gone
+                freed = self._drop_resident(name)
+        obs.counter("store_evictions_total").inc()
+        return freed
+
+    def refresh(self, name: str, epoch: int) -> None:
+        """Drop a resident older than ``epoch`` so the next touch reloads.
+
+        The shard-side reaction to a parent's "drop" broadcast after a
+        mutation: the parent packs the new generation *before*
+        broadcasting, so re-loading from the store is guaranteed to see an
+        epoch >= the broadcast one.  A no-op for already-cold or
+        already-current names.
+        """
+        with self._lock:
+            if name in self._trees and self._epochs.get(name, 0) < epoch:
+                self._drop_resident(name)
+
+    def _unpin(self, name: str) -> None:
+        with self._lock:
+            count = self._pins.get(name, 0) - 1
+            if count <= 0:
+                self._pins.pop(name, None)
+            else:
+                self._pins[name] = count
+        budget = self._resident_budget
+        if budget is not None and self._resident_bytes > budget:
+            self._evict_over_budget()
+
     def subscribe(self, listener) -> None:
         """Call ``listener(name)`` whenever ``name``'s tree (re)registers.
 
@@ -303,9 +702,11 @@ class TreeRegistry:
         if wal is not None and not _wal_logged:
             with self._mutation_lock:
                 if epoch is None:
-                    epoch = self.epoch(name) + 1
+                    epoch = self._next_epoch(name)
                 wal.append_register(name, epoch, tree)
                 return self.register(name, tree, epoch=epoch, _wal_logged=True)
+        if epoch is None and self._store is not None:
+            epoch = self._next_epoch(name)
         with self._lock:
             if epoch is None:
                 epoch = self._epochs.get(name, 0) + 1
@@ -319,37 +720,44 @@ class TreeRegistry:
                 obs.counter("registry_listener_errors_total").inc()
         if wal is not None:
             wal.maybe_snapshot(self._wal_state)
+        if self._store is not None:
+            self._account(name, tree, index_nbytes(tree_index(tree)))
+            self._write_through(name, tree, epoch)
+            self._evict_over_budget()
         return epoch
 
     def get(self, name: str) -> Tree:
-        with self._lock:
-            try:
-                return self._trees[name]
-            except KeyError:
-                raise ValueError(
-                    f"unknown tree {name!r}; registered: {sorted(self._trees) or '(none)'}"
-                ) from None
+        tree, _ = self._lookup(name)
+        return tree
 
     def epoch(self, name: str) -> int:
-        """The current epoch of ``name`` (0 if never registered)."""
+        """The current epoch of ``name`` (0 if never registered).
+
+        An evicted name keeps its epoch — the entry outlives residency, so
+        the result-cache guard compares against the live generation even
+        while the tree itself is cold.
+        """
         with self._lock:
             return self._epochs.get(name, 0)
 
     def snapshot(self, name: str) -> tuple[Tree, int]:
-        """The current ``(tree, epoch)`` pair, taken atomically."""
-        with self._lock:
-            try:
-                return self._trees[name], self._epochs[name]
-            except KeyError:
-                raise ValueError(
-                    f"unknown tree {name!r}; registered: {sorted(self._trees) or '(none)'}"
-                ) from None
+        """The current ``(tree, epoch)`` pair, taken atomically.
+
+        With a store attached, a cold name is loaded (single-flight) and
+        re-published first — callers never see "unknown" for a stored tree.
+        """
+        return self._lookup(name)
 
     def pin(self, name: str) -> TreePin:
-        """Pin the current snapshot of ``name`` for a reader."""
-        tree, epoch = self.snapshot(name)
+        """Pin the current snapshot of ``name`` for a reader.
+
+        Store-backed registries count the pin, making the tree
+        eviction-exempt until :meth:`TreePin.release`.
+        """
+        store_backed = self._store is not None
+        tree, epoch = self._lookup(name, pin=store_backed)
         obs.gauge("snapshot_pins").inc()
-        return TreePin(name, tree, epoch)
+        return TreePin(name, tree, epoch, registry=self if store_backed else None)
 
     def mutate(self, name: str, edit) -> tuple[Tree, int]:
         """Apply ``edit`` to ``name``'s tree and publish the result.
@@ -384,9 +792,16 @@ class TreeRegistry:
         return new_tree, epoch
 
     def names(self) -> list[str]:
+        """Every servable name: residents plus (with a store) stored trees."""
         with self._lock:
-            return sorted(self._trees)
+            known = set(self._trees)
+        store = self._store
+        if store is not None:
+            known.update(store.names())
+        return sorted(known)
 
     def __len__(self) -> int:
+        if self._store is not None:
+            return len(self.names())
         with self._lock:
             return len(self._trees)

@@ -148,6 +148,10 @@ class ShardConfig:
     cache_entries: int = 512
     cache_bytes: int = 8 << 20
     heartbeat_interval: float = 0.5
+    #: Disk-backed store mode: shards mmap the parent's store files
+    #: directly (read-only) instead of receiving re-shared segments.
+    store_dir: str | None = None
+    resident_budget: int | None = None
 
 
 def _attach_segment(shm_name: str) -> shared_memory.SharedMemory:
@@ -210,6 +214,18 @@ def _shard_main(shard_id, request_q, result_conn, segments, config) -> None:
     base_state = obs.REGISTRY.snapshot()
 
     registry = TreeRegistry()
+    if config.store_dir:
+        # Read-only: the parent is the single store writer (it packs before
+        # broadcasting a drop), so a shard never races it on a file; cold
+        # trees mmap straight from disk on first touch, under this shard's
+        # own resident budget.
+        from ..trees.store import TreeStore
+
+        registry.attach_store(
+            TreeStore(config.store_dir),
+            resident_budget=config.resident_budget,
+            readonly=True,
+        )
     attached: list[tuple[shared_memory.SharedMemory, object]] = []
 
     # Liveness heartbeat: a cheap periodic "hb" on the result queue lets
@@ -323,6 +339,12 @@ def _shard_main(shard_id, request_q, result_conn, segments, config) -> None:
                     attach(message[1], message[2], message[3], message[4])
                 except BaseException:  # pragma: no cover - defensive
                     pass  # requests for it will fail with "unknown tree"
+            elif kind == "drop":
+                # The parent packed a new generation and invalidated ours:
+                # forget the resident copy so the next stamped read reloads
+                # the (already current) store file.  In-flight pins keep
+                # their snapshot — only the registry's reference drops.
+                registry.refresh(message[1], message[2])
             elif kind == "faults":
                 faults.arm(message[1], message[2])
             elif kind == "disarm":
@@ -471,7 +493,13 @@ class ShardedQueryService:
 
         try:
             segment_specs = []
-            for name in self.registry.names():
+            store = self.registry.store
+            for name in self.registry.resident_names():
+                if store is not None and store.epoch(name) == self.registry.epoch(name):
+                    # The store holds this tree at its current epoch, so
+                    # shards mmap the file directly — no segment, and cold
+                    # (never-resident) trees cost the parent nothing at all.
+                    continue
                 spec = self._create_segment(name, self.registry.get(name))
                 segment_specs.append(spec + (self.registry.epoch(name),))
 
@@ -572,9 +600,15 @@ class ShardedQueryService:
         atexit.register(self._atexit_close)
 
     def _make_config(self, shard_id: int) -> ShardConfig:
+        # Store fields are read at (re)spawn time, not construction time,
+        # so a registry whose store was attached before the service was
+        # built — the supported order — also covers respawned shards.
+        store = self.registry.store
         return ShardConfig(
             shard_id=shard_id,
             service_name=f"{self.stats.service}.shard{shard_id}",
+            store_dir=None if store is None else str(store.directory),
+            resident_budget=self.registry.resident_budget,
             **self._config_kwargs,
         )
 
@@ -627,6 +661,26 @@ class ShardedQueryService:
             else:
                 obs.counter("tree_reshare_total", event="ok").inc()
 
+    def _broadcast_drop(self, name: str, epoch: int, only_shard: int | None = None) -> None:
+        """Store-mode invalidation: tell shards ``name`` has a new stored
+        generation.  Pack-before-broadcast makes the reload safe; one
+        ``service.reshare`` fault check per shard, exactly like a segment
+        broadcast — a dropped drop leaves that shard stale until the
+        stamped-read heal path re-sends it."""
+        targets = [only_shard] if only_shard is not None else list(range(self.shards))
+        for shard in targets:
+            if self._dead[shard] or self._done[shard]:
+                continue
+            try:
+                faults.check("service.reshare")
+                self._request_qs[shard].put(("drop", name, epoch))
+            except InjectedFaultError:
+                obs.counter("tree_reshare_total", event="fault").inc()
+            except Exception:  # pragma: no cover - racing a crash
+                self._mark_dead(shard)
+            else:
+                obs.counter("tree_reshare_total", event="ok").inc()
+
     def register(self, name: str, tree) -> None:
         """Register a tree after startup: segment + broadcast to shards.
 
@@ -634,16 +688,35 @@ class ShardedQueryService:
         later than the parent registry reports the new epoch, so a read
         stamped with the published epoch can only find a stale shard if a
         ``service.reshare`` fault dropped that shard's broadcast.
+
+        With a (writable) store attached, the tree is packed to disk at
+        the new epoch instead of re-segmented, and shards receive a
+        ``drop`` invalidation — they mmap the store file on next touch.
         """
         if self._closed:
             raise ServiceClosedError("service is shutting down")
+        store = self.registry.store
+        store_mode = store is not None and not self.registry.store_readonly
         with self._mutation_lock:
-            epoch = self.registry.epoch(name) + 1
+            epoch = (
+                self.registry._next_epoch(name)
+                if store_mode
+                else self.registry.epoch(name) + 1
+            )
             wal = self.registry.wal
             if wal is not None:
                 wal.append_register(name, epoch, tree)
-            spec, old_shm = self._replace_segment(name, tree)
-            self._broadcast_tree(spec, epoch)
+            if store_mode:
+                store.pack(name, tree, epoch=epoch)
+                self._broadcast_drop(name, epoch)
+                # Any segment a pre-store generation left behind is now
+                # superseded by the store file; keeping it would let a
+                # respawn re-spec stale bytes at a current epoch.
+                old_entry = self._segments.pop(name, None)
+                old_shm = old_entry[0] if old_entry is not None else None
+            else:
+                spec, old_shm = self._replace_segment(name, tree)
+                self._broadcast_tree(spec, epoch)
             self.registry.register(name, tree, epoch=epoch, _wal_logged=True)
         self._unlink_old(old_shm)
 
@@ -880,8 +953,22 @@ class ShardedQueryService:
                             wal.append_mutate(
                                 request.tree, epoch, edit_to_json(edit), new_tree
                             )
-                        spec, old_shm = self._replace_segment(request.tree, new_tree)
-                        self._broadcast_tree(spec, epoch)
+                        store = self.registry.store
+                        if store is not None and not self.registry.store_readonly:
+                            # Store mode: pack the new generation, then
+                            # invalidate — same pack-before-broadcast-
+                            # before-publish ordering as the segment path.
+                            store.pack(request.tree, new_tree, epoch=epoch)
+                            self._broadcast_drop(request.tree, epoch)
+                            old_entry = self._segments.pop(request.tree, None)
+                            old_shm = (
+                                old_entry[0] if old_entry is not None else None
+                            )
+                        else:
+                            spec, old_shm = self._replace_segment(
+                                request.tree, new_tree
+                            )
+                            self._broadcast_tree(spec, epoch)
                         self.registry.register(
                             request.tree, new_tree, epoch=epoch, _wal_logged=True
                         )
@@ -1027,7 +1114,11 @@ class ShardedQueryService:
             entry = self._segments.get(name)
             epoch = self.registry.epoch(name)
             spec = None if entry is None else (name, entry[0].name, entry[1])
-        if spec is None:  # pragma: no cover - racing shutdown
+            store = self.registry.store
+            store_heal = (
+                spec is None and store is not None and store.contains(name)
+            )
+        if spec is None and not store_heal:  # pragma: no cover - racing shutdown
             return False
         if not self._inflight[shard].acquire(blocking=False):
             return False  # pragma: no cover - shard saturated; resolve stale
@@ -1035,7 +1126,13 @@ class ShardedQueryService:
         with self._pending_lock:
             self._pending[seq] = job
         try:
-            self._broadcast_tree(spec, epoch, only_shard=shard)
+            if store_heal:
+                # Store mode: no segment to re-share — the shard heals by
+                # dropping its stale resident copy and re-loading the
+                # current generation from the store file.
+                self._broadcast_drop(name, epoch, only_shard=shard)
+            else:
+                self._broadcast_tree(spec, epoch, only_shard=shard)
             self._request_qs[shard].put(("req", seq, self._wire_payload(job)))
         except Exception:  # pragma: no cover - racing a crash
             with self._pending_lock:

@@ -58,6 +58,7 @@ from ..runtime.errors import (
     RequestShedError,
     ServiceClosedError,
     StaleEpochError,
+    StoreCorruptError,
 )
 from .api import QueryRequest, QueryResult, TreePin, TreeRegistry, error_payload
 from .breaker import CircuitBreaker
@@ -517,12 +518,34 @@ class QueryService:
             return self._mutate(job, budget, worker, rng)
         pin = None
         try:
-            try:
-                tree, pin = self._resolve_tree(request)
-                plan = self._prepare(request)
-            except (ValueError, TypeError, StaleEpochError) as exc:
-                return self._error_result(job, exc, worker=worker)
-            return self._execute(job, plan, tree, budget, worker, rng, pin)
+            attempts = 0
+            while True:
+                attempts += 1
+                try:
+                    tree, pin = self._resolve_tree(request)
+                    plan = self._prepare(request)
+                except (ValueError, TypeError, StaleEpochError, StoreCorruptError) as exc:
+                    return self._error_result(job, exc, worker=worker)
+                except EngineFaultError as exc:
+                    # A transient fault resolving the document — the
+                    # ``store.load`` site firing on a cold tree.  The failed
+                    # load published nothing (and woke any single-flight
+                    # waiters), so re-resolving is safe; corrupt files and
+                    # staleness are excluded above because retrying cannot
+                    # change them.
+                    if attempts >= self.retry.max_attempts:
+                        return self._error_result(job, exc, worker=worker)
+                    delay = self.retry.delay(attempts, rng)
+                    if budget is not None and budget.remaining_time is not None:
+                        delay = min(delay, max(0.0, budget.remaining_time))
+                    if delay > 0:
+                        with obs.span("service.retry.backoff", delay=delay):
+                            self._sleep(delay)
+                    continue
+                break
+            return self._execute(
+                job, plan, tree, budget, worker, rng, pin, attempts - 1
+            )
         finally:
             if pin is not None:
                 pin.release()
@@ -656,7 +679,15 @@ class QueryService:
             )
 
     def _execute(
-        self, job, plan, tree, budget, worker, rng, pin: TreePin | None = None
+        self,
+        job,
+        plan,
+        tree,
+        budget,
+        worker,
+        rng,
+        pin: TreePin | None = None,
+        base_retries: int = 0,
     ) -> QueryResult:
         """One request through the cache, then the retry state machine.
 
@@ -671,18 +702,20 @@ class QueryService:
         if cache is not None and job.request.xml is None:
             key = self._cache_key(job.request, plan)
         if key is None:
-            return self._attempt(job, plan, tree, budget, worker, rng)
+            return self._attempt(job, plan, tree, budget, worker, rng, base_retries)
         tree_name = job.request.tree or ""
         kind, payload = cache.begin(key, tree_name)
         if kind == "hit":
             return self._ok_result(
-                job, payload, worker=worker, retries=0, routed="cache"
+                job, payload, worker=worker, retries=base_retries, routed="cache"
             )
         if kind == "leader":
             flight = payload
             settled = False
             try:
-                result = self._attempt(job, plan, tree, budget, worker, rng)
+                result = self._attempt(
+                    job, plan, tree, budget, worker, rng, base_retries
+                )
                 # Store only if the tree is still at the pinned epoch: a
                 # mutation landing between pin and cache.begin() would
                 # otherwise let this pre-edit value slip in under the
@@ -705,9 +738,9 @@ class QueryService:
         if not Flight.is_miss(value):
             cache.record_follower_reuse()
             return self._ok_result(
-                job, value, worker=worker, retries=0, routed="cache"
+                job, value, worker=worker, retries=base_retries, routed="cache"
             )
-        return self._attempt(job, plan, tree, budget, worker, rng)
+        return self._attempt(job, plan, tree, budget, worker, rng, base_retries)
 
     def _cache_key(self, request: QueryRequest, plan) -> tuple | None:
         """The semantic cache key for ``request``, or None if uncacheable."""
@@ -724,12 +757,18 @@ class QueryService:
                 text = canonical_key(expr)
         return (request.op, request.tree or "", text)
 
-    def _attempt(self, job, plan, tree, budget, worker, rng) -> QueryResult:
-        """The routing/retry/fallback state machine for one request."""
+    def _attempt(
+        self, job, plan, tree, budget, worker, rng, base_retries: int = 0
+    ) -> QueryResult:
+        """The routing/retry/fallback state machine for one request.
+
+        ``base_retries`` carries retries already spent *resolving* the
+        document (a transient cold-load fault) into the result's count.
+        """
         family = _FAMILY[job.request.op]
         breaker = self._breakers.get(family) if family else None
         attempts = 0
-        retries = 0
+        retries = base_retries
         while True:
             attempts += 1
             route = breaker.acquire() if breaker is not None else "direct"

@@ -7,6 +7,8 @@ Public surface:
 * :func:`parse_xml` / :func:`to_xml` — XML in and out.
 * the workload generators (:func:`random_tree`, :func:`all_trees`, shaped
   families).
+* :class:`TreeStore` — the on-disk (RSTR v1) index store with mmap-backed
+  loading.
 """
 
 from .axes import (
@@ -44,6 +46,7 @@ from .mutate import (
 )
 from .node import Node
 from .share import MaskSlab, detach_tree, dump_index, dump_tree, load_tree
+from .store import StoreHandle, TreeStore, index_nbytes, pack_bytes, release_tree
 from .tree import Tree
 from .wal import WriteAheadLog, recover_registry, tree_digest
 from .xml_io import XmlReadOptions, XmlSyntaxError, parse_xml, to_xml
@@ -59,13 +62,18 @@ __all__ = [
     "TRANSITIVE_AXES",
     "Node",
     "Scope",
+    "StoreHandle",
     "Tree",
     "TreeIndex",
+    "TreeStore",
     "WriteAheadLog",
     "detach_tree",
     "dump_index",
     "dump_tree",
+    "index_nbytes",
     "load_tree",
+    "pack_bytes",
+    "release_tree",
     "XmlReadOptions",
     "XmlSyntaxError",
     "all_shapes",

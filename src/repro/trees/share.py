@@ -60,10 +60,12 @@ __all__ = [
     "FORMAT_VERSION",
     "MAGIC",
     "MaskSlab",
+    "build_sections",
     "detach_tree",
     "dump_index",
     "dump_tree",
     "load_tree",
+    "tree_from_sections",
 ]
 
 MAGIC = b"RTIX"
@@ -195,8 +197,14 @@ def _read_groups(view: memoryview, width: int, n: int) -> list[tuple[int, int]]:
     return groups
 
 
-def dump_index(index: TreeIndex) -> bytes:
-    """Serialize ``index`` (and its tree's structure) to one flat segment."""
+def build_sections(index: TreeIndex) -> list[tuple[int, bytes]]:
+    """The full ``(tag, payload)`` section list for ``index``.
+
+    The canonical serialization of a tree + index, shared between the
+    shared-memory segment writer (:func:`dump_index`) and the on-disk
+    store writer (:mod:`repro.trees.store`), which wrap the same sections
+    in different framing (one CRC over the body vs. per-section CRCs).
+    """
     tree = index.tree
     n = index.n
     width = (n + 7) // 8
@@ -243,6 +251,13 @@ def dump_index(index: TreeIndex) -> bytes:
             ),
         ),
     ]
+    return sections
+
+
+def dump_index(index: TreeIndex) -> bytes:
+    """Serialize ``index`` (and its tree's structure) to one flat segment."""
+    n = index.n
+    sections = build_sections(index)
 
     table = bytearray()
     payload = bytearray()
@@ -317,6 +332,22 @@ def load_tree(buffer) -> Tree:
     for i in range(section_count):
         tag, offset, length = _ENTRY.unpack_from(view, _HEADER.size + i * _ENTRY.size)
         entries[tag] = (offset, length)
+    return tree_from_sections(view, entries, n, total)
+
+
+def tree_from_sections(
+    view: memoryview, entries: dict[int, tuple[int, int]], n: int, total: int
+) -> Tree:
+    """Reconstruct a tree + mapped index from validated section bounds.
+
+    The common reader half shared by :func:`load_tree` and the on-disk
+    store: ``entries`` maps section tag to ``(offset, length)`` within
+    ``view`` (whose framing — header layout, checksums — the caller has
+    already validated).  The quadratic ``CHILDREN``/``PREFIX`` families
+    stay lazy :class:`MaskSlab` views over ``view``; everything else is
+    materialized eagerly.  Raises :class:`TreeShareError` on structural
+    problems within the sections themselves.
+    """
     width = (n + 7) // 8
 
     def section(tag: int, expected: int | None = None) -> memoryview:

@@ -1,0 +1,339 @@
+"""The eviction-hardened registry over a disk-backed store.
+
+Covers the races the LRU tier must survive:
+
+* cold trees load from the store on first touch, **single-flight** (one
+  concurrent load per name, everyone gets the same snapshot);
+* the resident set is bounded by the byte budget, least-recently-used
+  unpinned trees evicted first, and ``registry_resident_bytes`` tracks it;
+* ``evict`` refuses a pinned tree; an evict *between* a load and the
+  query re-loads transparently; epochs survive eviction so the result
+  cache's freshness guard holds across an evict/reload cycle;
+* mutations write through to the store (stored epoch == published epoch)
+  and shards in store mode heal from ``drop`` invalidations.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+import pytest
+
+from repro import obs
+from repro.runtime import faults
+from repro.service import (
+    QueryRequest,
+    QueryService,
+    RetryPolicy,
+    ShardedQueryService,
+    TreeRegistry,
+)
+from repro.trees import TreeStore, index_nbytes, parse_xml, tree_index
+from repro.trees.store import open_handles
+
+START_METHOD = os.environ.get("REPRO_START_METHOD", "fork")
+
+DOCS = {
+    "alpha": "<a><b/><b/><c/></a>",
+    "beta": "<a><c><b/></c><b/></a>",
+    "gamma": "<a><b><c/><c/></b></a>",
+    "delta": "<a><c/><c/><b/><b/></a>",
+}
+
+
+def make_registry(budget_trees: float = 2.5) -> "tuple[TreeRegistry, TreeStore]":
+    """A registry over a tmp store whose budget holds ~``budget_trees`` trees."""
+    registry = TreeRegistry()
+    trees = {name: parse_xml(xml) for name, xml in DOCS.items()}
+    for name, tree in trees.items():
+        registry.register(name, tree)
+    per_tree = max(index_nbytes(tree_index(t)) for t in trees.values())
+    store = TreeStore(make_registry.tmp_path / "store")
+    registry.attach_store(store, resident_budget=int(per_tree * budget_trees))
+    return registry, store
+
+
+@pytest.fixture(autouse=True)
+def _tmp_store_dir(tmp_path):
+    make_registry.tmp_path = tmp_path
+    yield
+    del make_registry.tmp_path
+
+
+class TestColdLoads:
+    def test_attach_packs_and_evicts_to_budget(self):
+        registry, store = make_registry()
+        assert sorted(store.names()) == sorted(DOCS)
+        assert registry.names() == sorted(DOCS)
+        assert len(registry.resident_names()) < len(DOCS)
+        assert registry.resident_bytes <= registry.resident_budget
+        assert obs.gauge("registry_resident_bytes").value == registry.resident_bytes
+
+    def test_cold_tree_loads_on_first_touch(self):
+        registry, _ = make_registry()
+        cold = sorted(set(DOCS) - set(registry.resident_names()))[0]
+        before = obs.counter("store_loads_total", event="ok").value
+        tree = registry.get(cold)
+        assert tree.labels[0] == "a"
+        assert obs.counter("store_loads_total", event="ok").value == before + 1
+        assert cold in registry.resident_names()
+        assert registry.resident_bytes <= registry.resident_budget
+
+    def test_unknown_tree_still_a_value_error(self):
+        registry, _ = make_registry()
+        with pytest.raises(ValueError, match="unknown tree"):
+            registry.get("ghost")
+
+    def test_single_flight_concurrent_cold_load(self):
+        registry, _ = make_registry()
+        cold = sorted(set(DOCS) - set(registry.resident_names()))[0]
+        before = obs.counter("store_loads_total", event="ok").value
+        results = []
+        barrier = threading.Barrier(8)
+
+        def touch():
+            barrier.wait()
+            results.append(registry.get(cold))
+
+        threads = [threading.Thread(target=touch) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len({id(tree) for tree in results}) == 1
+        assert obs.counter("store_loads_total", event="ok").value == before + 1
+
+    def test_register_writes_through(self):
+        registry, store = make_registry()
+        registry.register("fresh", parse_xml("<a><b/></a>"))
+        assert "fresh" in store
+        assert store.epoch("fresh") == registry.epoch("fresh") == 1
+        assert registry.resident_bytes <= registry.resident_budget
+
+
+class TestEviction:
+    def test_lru_order(self):
+        registry, _ = make_registry(budget_trees=1.5)
+        # Touch in a known order; the budget holds one tree, so each touch
+        # evicts the previous one.
+        for name in sorted(DOCS):
+            registry.get(name)
+            assert registry.resident_names() == [name]
+        assert obs.counter("store_evictions_total").value >= len(DOCS) - 1
+
+    def test_evict_while_pinned_refused(self):
+        registry, _ = make_registry()
+        name = registry.resident_names()[0]
+        with registry.pin(name):
+            with pytest.raises(ValueError, match="pinned"):
+                registry.evict(name)
+            assert name in registry.resident_names()
+        freed = registry.evict(name)  # released: eviction proceeds
+        assert freed > 0
+        assert name not in registry.resident_names()
+
+    def test_budget_pressure_skips_pinned_trees(self):
+        registry, _ = make_registry(budget_trees=1.5)
+        names = sorted(DOCS)
+        with registry.pin(names[0]):
+            for name in names[1:]:
+                registry.get(name)
+            assert names[0] in registry.resident_names()
+
+    def test_evict_cold_tree_is_a_noop(self):
+        registry, _ = make_registry()
+        cold = sorted(set(DOCS) - set(registry.resident_names()))[0]
+        assert registry.evict(cold) == 0
+
+    def test_evict_unknown_tree_raises(self):
+        registry, _ = make_registry()
+        with pytest.raises(ValueError, match="unknown"):
+            registry.evict("ghost")
+
+    def test_evict_between_load_and_query_reloads_transparently(self):
+        registry, _ = make_registry()
+        name = sorted(DOCS)[0]
+        first = registry.get(name)
+        registry.evict(name)
+        assert name not in registry.resident_names()
+        again = registry.get(name)  # transparent reload
+        assert again.labels == first.labels
+        assert name in registry.resident_names()
+
+    def test_epoch_survives_eviction(self):
+        registry, _ = make_registry()
+        name = sorted(DOCS)[0]
+        registry.mutate(name, {"kind": "relabel", "node": 0, "label": "c"})
+        epoch = registry.epoch(name)
+        assert epoch == 2
+        registry.evict(name)
+        assert registry.epoch(name) == epoch  # epochs outlive residency
+        _, loaded_epoch = registry.snapshot(name)
+        assert loaded_epoch == epoch
+
+    def test_pin_epoch_stable_across_evict_of_other_trees(self):
+        registry, _ = make_registry(budget_trees=1.5)
+        names = sorted(DOCS)
+        pin = registry.pin(names[0])
+        for name in names[1:]:  # pressure: everything else cycles through
+            registry.get(name)
+        assert registry.epoch(pin.name) == pin.epoch
+        assert pin.tree.labels[0] == "a"  # snapshot still readable
+        pin.release()
+
+
+class TestWriteThrough:
+    def test_mutate_packs_new_generation(self):
+        registry, store = make_registry()
+        name = sorted(DOCS)[0]
+        before = store.epoch(name)
+        _, epoch = registry.mutate(
+            name, {"kind": "insert", "parent": 0, "index": 0, "xml": "<b/>"}
+        )
+        assert epoch == before + 1
+        assert store.epoch(name) == epoch
+        loaded, loaded_epoch = store.load(name)
+        assert loaded_epoch == epoch
+        assert loaded.labels.count("b") == parse_xml(DOCS[name]).labels.count("b") + 1
+
+    def test_mutated_then_evicted_tree_reloads_current(self):
+        registry, _ = make_registry()
+        name = sorted(DOCS)[0]
+        registry.mutate(name, {"kind": "relabel", "node": 0, "label": "z"})
+        registry.evict(name)
+        assert registry.get(name).labels[0] == "z"
+
+    def test_refresh_drops_stale_resident(self):
+        registry, _ = make_registry()
+        name = registry.resident_names()[0]
+        registry.refresh(name, registry.epoch(name))  # current: no-op
+        assert name in registry.resident_names()
+        registry.refresh(name, registry.epoch(name) + 1)  # newer elsewhere
+        assert name not in registry.resident_names()
+
+
+class TestResultCacheGuard:
+    def run(self, svc, query="descendant[b]", tree="alpha"):
+        return svc.run_batch(
+            [QueryRequest(op="select", query=query, tree=tree)]
+        )[0]
+
+    def test_cache_stays_fresh_across_evict_and_mutate(self):
+        registry, _ = make_registry()
+        with QueryService(
+            registry, workers=2, optimize=True, result_cache=True
+        ) as svc:
+            first = self.run(svc)
+            assert first.status == "ok"
+            # Eviction does not bump the epoch: the cached result stays
+            # valid and the re-loaded tree must agree with it.
+            registry.evict("alpha")
+            again = self.run(svc)
+            assert again.value == first.value
+            # A mutation *does* bump the epoch — the changed answer must
+            # be recomputed, never served from the pre-edit cache entry.
+            registry.mutate(
+                "alpha", {"kind": "insert", "parent": 0, "index": 0, "xml": "<b/>"}
+            )
+            registry.evict("alpha")
+            fresh = self.run(svc)
+            assert fresh.status == "ok"
+            assert len(fresh.value) == len(first.value) + 1
+
+    def test_store_load_fault_is_retried_transparently(self):
+        registry, _ = make_registry()
+        cold = sorted(set(DOCS) - set(registry.resident_names()))[0]
+        with QueryService(
+            registry, workers=1, retry=RetryPolicy(max_attempts=3, base_delay=0.0)
+        ) as svc:
+            faults.arm("store.load", times=1)
+            result = self.run(svc, tree=cold)
+            assert result.status == "ok"
+            assert result.retries == 1
+
+
+class TestShardedStoreMode:
+    def test_reads_mutations_and_drop_invalidations(self):
+        registry, store = make_registry()
+        svc = ShardedQueryService(
+            registry, shards=2, start_method=START_METHOD, workers_per_shard=1
+        )
+        try:
+            for name in sorted(DOCS):
+                result = svc.run_batch(
+                    [QueryRequest(op="select", query="descendant[b]", tree=name)]
+                )[0]
+                assert result.status == "ok"
+                expected = [
+                    i
+                    for i, lbl in enumerate(parse_xml(DOCS[name]).labels)
+                    if lbl == "b"
+                ]
+                assert result.value == expected
+            mutated = svc.run_batch(
+                [
+                    QueryRequest(
+                        op="mutate",
+                        tree="alpha",
+                        edit={"kind": "insert", "parent": 0, "index": 0, "xml": "<b/>"},
+                    )
+                ]
+            )[0]
+            assert mutated.status == "ok"
+            epoch = registry.epoch("alpha")
+            assert store.epoch("alpha") == epoch  # packed before broadcast
+            # Every shard must serve the new generation: min_epoch asserts
+            # freshness, and the drop invalidation is what makes it pass.
+            for _ in range(6):
+                fresh = svc.run_batch(
+                    [
+                        QueryRequest(
+                            op="select",
+                            query="descendant[b]",
+                            tree="alpha",
+                            min_epoch=epoch,
+                        )
+                    ]
+                )[0]
+                assert fresh.status == "ok"
+                assert len(fresh.value) == 3
+        finally:
+            svc.shutdown()
+
+    def test_post_startup_register_reaches_shards_via_store(self):
+        registry, store = make_registry()
+        svc = ShardedQueryService(
+            registry, shards=2, start_method=START_METHOD, workers_per_shard=1
+        )
+        try:
+            svc.register("fresh", parse_xml("<a><b/><b/></a>"))
+            assert "fresh" in store
+            for _ in range(4):
+                result = svc.run_batch(
+                    [
+                        QueryRequest(
+                            op="select",
+                            query="descendant[b]",
+                            tree="fresh",
+                            min_epoch=registry.epoch("fresh"),
+                        )
+                    ]
+                )[0]
+                assert result.status == "ok"
+                assert result.value == [1, 2]
+        finally:
+            svc.shutdown()
+
+
+class TestHandleHygiene:
+    def test_no_handle_leak_after_evict_cycle(self):
+        registry, _ = make_registry(budget_trees=1.5)
+        import gc
+
+        for name in sorted(DOCS) * 3:
+            registry.get(name)
+        gc.collect()
+        # At most the resident trees keep mappings open; evicted trees'
+        # handles die with their tree objects.
+        assert len(open_handles()) <= len(registry.resident_names()) + 1
